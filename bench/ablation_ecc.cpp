@@ -1,0 +1,107 @@
+// Error-resilience analysis (Section 3: environmental corruption "can be
+// mitigated by error-correction codes and/or physical shielding").
+//
+// The interesting interaction: SPE is a wide-block cipher, so a single-cell
+// analog disturb in the *ciphertext* avalanches into a fully garbled block
+// after decryption. ECC therefore has to be applied around the cipher in
+// the right order — protect the PLAINTEXT (check bits computed before
+// encryption, verified after decryption) and the whole pipeline survives
+// single-bit storage errors only if the error is corrected *in the analog
+// domain / ciphertext image* before decryption. We quantify both orders.
+
+#include "bench_util.hpp"
+#include "core/spe_cipher.hpp"
+#include "ecc/secded.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace spe;
+  benchutil::banner("ablation_ecc — soft errors, SEC-DED and SPE's avalanche",
+                    "Section 3 (environmental effects / ECC)");
+
+  const auto cal = core::get_calibration(xbar::CrossbarParams{});
+  const core::SpeCipher cipher(core::SpeKey{0xE77, 0x0CC}, cal);
+  util::Xoshiro256ss rng(21);
+  const unsigned trials = benchutil::env_or("SPE_ECC_TRIALS", 300);
+
+  double garbled_bits_no_ecc = 0.0;
+  unsigned recovered_ct_ecc = 0, recovered_pt_ecc = 0;
+
+  for (unsigned t = 0; t < trials; ++t) {
+    std::vector<std::uint8_t> pt(16);
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.below(256));
+
+    // Encrypt, then hit ONE stored cell with a one-level analog disturb
+    // (a mild radiation / drift event).
+    core::UnitLevels levels = cipher.levels_from_bytes(pt);
+    const core::UnitLevels clean = levels;
+    cipher.encrypt(levels);
+    const unsigned victim = static_cast<unsigned>(rng.below(64));
+    levels[victim] = static_cast<std::uint8_t>((levels[victim] + 1) % 64);
+
+    // (a) No ECC: decrypt the disturbed ciphertext.
+    core::UnitLevels no_ecc = levels;
+    cipher.decrypt(no_ecc);
+    for (unsigned i = 0; i < 64; ++i)
+      garbled_bits_no_ecc += no_ecc[i] != clean[i] ? 2.0 : 0.0;  // 2 bits/cell
+
+    // (b) ECC over the ciphertext image: scrubbing corrects the stored
+    // image before decryption (what a real controller does on read).
+    {
+      std::vector<std::uint8_t> ct(16);
+      cipher.bytes_from_levels(levels, ct);
+      // The disturb may or may not have crossed a read band; SEC-DED over
+      // the pre-disturb image corrects it when it did.
+      std::vector<std::uint8_t> golden_ct(16);
+      core::UnitLevels enc_clean = clean;
+      cipher.encrypt(enc_clean);
+      cipher.bytes_from_levels(enc_clean, golden_ct);
+      auto stored = ecc::protect_block(std::vector<std::uint8_t>(golden_ct.begin(),
+                                                                 golden_ct.end()));
+      stored.data.assign(ct.begin(), ct.end());  // the disturbed image
+      const auto fixed = ecc::recover_block(stored);
+      recovered_ct_ecc += fixed.ok && fixed.data == std::vector<std::uint8_t>(
+                                                        golden_ct.begin(),
+                                                        golden_ct.end())
+                              ? 1
+                              : 0;
+    }
+
+    // (c) ECC over the plaintext only: detection works, correction fails —
+    // the avalanche turns 1 flipped cell into ~half the block.
+    {
+      const auto protected_pt =
+          ecc::protect_block(std::vector<std::uint8_t>(pt.begin(), pt.end()));
+      std::vector<std::uint8_t> garbled(16);
+      cipher.bytes_from_levels(no_ecc, garbled);
+      ecc::ProtectedBlock stored{std::vector<std::uint8_t>(garbled.begin(), garbled.end()),
+                                 protected_pt.checks};
+      const auto fixed = ecc::recover_block(stored);
+      recovered_pt_ecc += fixed.ok && fixed.data == std::vector<std::uint8_t>(
+                                                        pt.begin(), pt.end())
+                              ? 1
+                              : 0;
+    }
+  }
+
+  util::Table table({"configuration", "outcome"});
+  table.add_row({"no ECC, 1-level analog disturb",
+                 util::Table::fmt(garbled_bits_no_ecc / trials, 1) +
+                     " of 128 plaintext bits garbled (avalanche)"});
+  table.add_row({"SEC-DED over stored ciphertext image",
+                 util::Table::pct(static_cast<double>(recovered_ct_ecc) / trials, 1) +
+                     " blocks fully recovered"});
+  table.add_row({"SEC-DED over plaintext only",
+                 util::Table::pct(static_cast<double>(recovered_pt_ecc) / trials, 1) +
+                     " recovered (avalanche defeats post-hoc correction)"});
+  table.print();
+
+  std::printf("\nConclusion: with SPE, ECC must scrub the STORED image before\n"
+              "decryption (standard controller-side SEC-DED, 12.5%% overhead);\n"
+              "plaintext-side ECC still detects corruption but cannot correct\n"
+              "through the cipher's avalanche. This quantifies the Section-3\n"
+              "remark that environmental effects are an ECC problem, not an\n"
+              "encryption problem.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Section 5 Monte-Carlo reproduction: "we vary the wire resistance by +/-5%
+// and see that there is no change in the shape of the polyomino. Macro
+// level changes to the device/crossbar parameters change the shape ...
+// showing significant effect on the encryption operation."
+
+#include "bench_util.hpp"
+#include "core/fingerprint.hpp"
+#include "util/table.hpp"
+#include "xbar/monte_carlo.hpp"
+
+int main() {
+  using namespace spe;
+  benchutil::banner("ablation_montecarlo — parametric variation of the polyomino",
+                    "Section 5 (Monte-Carlo) + Section 6.1 data set 3");
+
+  const xbar::CrossbarParams nominal;
+  const std::vector<unsigned> data(64, 1);
+  const unsigned trials = benchutil::env_or("SPE_MC_TRIALS", 40);
+
+  // Micro variation: wire resistance within manufacturing tolerance.
+  util::Table micro({"wire-resistance variation", "trials", "shape changes",
+                     "mean |dV| on covered cells"});
+  for (double fraction : {0.01, 0.05, 0.10}) {
+    const auto result =
+        xbar::polyomino_stability(nominal, {3, 4}, 1.0, data, fraction, trials, 99);
+    micro.add_row({"+/-" + util::Table::pct(fraction, 0), std::to_string(result.trials),
+                   std::to_string(result.shape_changes),
+                   util::Table::fmt(result.mean_voltage_delta * 1e3, 3) + " mV"});
+  }
+  micro.print();
+  std::printf("\nPaper: +/-5%% wire variation leaves the polyomino shape unchanged\n"
+              "(wire ohms are negligible against kilo-ohm memristors).\n\n");
+
+  // Macro perturbations: the hardware-avalanche regime.
+  util::Table macro({"macro perturbation", "fingerprint changed",
+                     "max |dV| vs nominal [mV]", "shape changed"});
+  xbar::Crossbar base(nominal);
+  base.load_symbols(data);
+  const auto reference = xbar::extract_polyomino(base, {3, 4}, 1.0);
+  for (double delta : {0.05, 0.075, 0.10, -0.05, -0.10}) {
+    const auto params = xbar::perturb_macro(nominal, delta);
+    xbar::Crossbar xb(params);
+    xb.load_symbols(data);
+    const auto poly = xbar::extract_polyomino(xb, {3, 4}, 1.0);
+    double max_dv = 0.0;
+    for (unsigned i = 0; i < 64; ++i)
+      max_dv = std::max(max_dv, std::abs(poly.voltages[i] - reference.voltages[i]));
+    macro.add_row({(delta > 0 ? "+" : "") + util::Table::pct(delta, 1),
+                   core::fingerprint_of(params) != core::fingerprint_of(nominal) ? "yes"
+                                                                                 : "no",
+                   util::Table::fmt(max_dv * 1e3, 2),
+                   poly.mask != reference.mask ? "yes" : "no"});
+  }
+  macro.print();
+  std::printf("\nMacro changes move the voltage map (and the calibration tables),\n"
+              "which is exactly why ciphertext from one device cannot be\n"
+              "decrypted on another — and why the hardware-avalanche data set\n"
+              "of Table 2 is random.\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+#pragma once
+// Shared helpers for the table/figure reproduction harnesses.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace spe::benchutil {
+
+/// Reads an unsigned environment override (e.g. SPE_NIST_SEQS) or returns
+/// the default. All benches run with sensible fast defaults; the paper-scale
+/// profile is selected by exporting the documented variables.
+inline unsigned env_or(const char* name, unsigned fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace spe::benchutil

@@ -1,0 +1,44 @@
+// Fig. 8 reproduction: percentage of memory kept in encrypted form over
+// time, per workload and scheme. Paper: AES and SPE-parallel 100%,
+// SPE-serial 99.4% on average, i-NVMM ~73% (27% of the footprint sits
+// decrypted in its working pool).
+
+#include "bench_util.hpp"
+#include "sim/metrics.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace spe;
+  benchutil::banner("fig8_encrypted_fraction — % of memory kept encrypted",
+                    "Fig. 8 (Section 7)");
+
+  sim::SimConfig cfg;
+  cfg.instructions = benchutil::env_or("SPE_SIM_INSTR", 6'000'000);
+
+  const std::vector<core::Scheme> schemes = {
+      core::Scheme::None, core::Scheme::Aes, core::Scheme::INvmm,
+      core::Scheme::SpeSerial, core::Scheme::SpeParallel};
+  const auto grid = sim::run_grid(schemes, cfg);
+
+  util::Table table({"workload", "AES", "i-NVMM", "SPE-serial", "SPE-parallel"});
+  for (const auto& row : grid) {
+    table.add_row({row[0].workload,
+                   util::Table::pct(row[1].mean_encrypted_fraction),
+                   util::Table::pct(row[2].mean_encrypted_fraction),
+                   util::Table::pct(row[3].mean_encrypted_fraction),
+                   util::Table::pct(row[4].mean_encrypted_fraction)});
+  }
+  table.print();
+
+  std::printf("\nAverages (paper in parentheses):\n");
+  const char* paper[] = {"", "100%", "73%", "99.4%", "100%"};
+  for (std::size_t s = 1; s < schemes.size(); ++s) {
+    const auto column = sim::grid_column(grid, s);
+    std::printf("  %-13s %6.1f%%   (%s)\n", core::scheme_name(schemes[s]).c_str(),
+                100.0 * sim::mean_encrypted_fraction(column), paper[s]);
+  }
+  std::printf("\nbzip2-style tight-reuse workloads keep i-NVMM's working pool\n"
+              "plaintext (its best case); SPE-serial's plaintext pool is bounded\n"
+              "by the idle window, keeping coverage near 100%% everywhere.\n");
+  return 0;
+}

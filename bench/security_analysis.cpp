@@ -1,0 +1,112 @@
+// Section 6.2-6.4 reproduction: the attack analyses. Brute-force search
+// times (ciphertext-only, and with the ILP's PoE set known), the
+// known-plaintext ambiguity created by overlapping polyominoes, the
+// insertion-attack statistics, and the cold-boot exposure window.
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "core/attacks.hpp"
+#include "sim/system.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace spe;
+  benchutil::banner("security_analysis — attack cost and resilience analysis",
+                    "Sections 6.2, 6.3, 6.4");
+
+  // --- Attack 1: brute force (Section 6.2.1) -----------------------------
+  const auto bf = core::brute_force_analysis();
+  util::Table bft({"quantity", "log10", "meaning"});
+  bft.add_row({"PoE sequences P(64,16)", util::Table::fmt(bf.log10_poe_sequences, 1),
+               "orderings of 16 PoEs over 64 cells"});
+  bft.add_row({"pulse combinations 32^16", util::Table::fmt(bf.log10_pulse_combos, 1),
+               "discrete pulses per PoE"});
+  bft.add_row({"total key space", util::Table::fmt(bf.log10_keyspace, 1), ""});
+  bft.add_row({"years, ciphertext-only", util::Table::fmt(bf.log10_years, 1),
+               "at 100 ns per PoE trial (paper: ~1e32 yr)"});
+  bft.add_row({"years, ILP known", util::Table::fmt(bf.log10_years_known_ilp, 1),
+               "16! x 32^16 (paper: ~1e19 yr)"});
+  bft.add_row({"years, AES-128 reference",
+               util::Table::fmt(core::aes128_brute_force_log10_years(), 1),
+               "(paper: ~1e38 yr)"});
+  bft.print();
+  std::printf("\nNote: brute force cannot even be parallelised — decryption only\n"
+              "works on the stolen device itself, and repeated trials push the\n"
+              "memristors toward their endurance limit (Section 6.2.1).\n\n");
+
+  // --- key-entropy accounting (Section 5.4) -------------------------------
+  const auto ke = core::key_entropy_analysis();
+  std::printf("Key entropy (Section 5.4's '44 bits represent P(64,16)' revisited):\n");
+  std::printf("  PoE-ordering space:   2^%.1f\n", ke.log2_poe_orderings);
+  std::printf("  pulse space:          2^%.1f\n", ke.log2_pulse_space);
+  std::printf("  combined sequences:   2^%.1f\n", ke.log2_combined);
+  std::printf("  PRNG seed (the key):  2^%.0f\n", ke.seed_bits);
+  std::printf("  effective strength:   %.0f bits — the 88-bit key, not the\n"
+              "  combinatorial space, is the binding term (the paper's 44-bit\n"
+              "  sizing under-counts the ordering space; security is unaffected\n"
+              "  because the seed remains the bottleneck either way).\n\n",
+              ke.effective_bits);
+
+  // --- Attack 1b/2a: known / chosen plaintext (Sections 6.2.2, 6.3.1) ----
+  const auto cal = core::get_calibration(xbar::CrossbarParams{});
+  const core::SpeCipher cipher(core::SpeKey{0x13572468, 0x24681357}, cal);
+  const auto kp = core::known_plaintext_analysis(cipher);
+  std::printf("Known-plaintext analysis (default 16-PoE schedule):\n");
+  std::printf("  single-covered cells:          %u  (vulnerable; paper: 0 at 16 PoEs)\n",
+              kp.single_covered_cells);
+  std::printf("  multi-covered cells:           %u\n", kp.multi_covered_cells);
+  std::printf("  mean consistent pulse pairs:   %.1f per overlapped cell\n",
+              kp.mean_consistent_factorisations);
+  std::printf("  residual search space:         10^%.1f combinations\n\n",
+              kp.log10_residual_search);
+
+  // --- Attack 2b: insertion attack (Section 6.3.2) -----------------------
+  const unsigned trials = benchutil::env_or("SPE_ATTACK_TRIALS", 500);
+  const auto ins = core::insertion_attack(cipher, trials, /*seed=*/12345);
+  std::printf("Insertion attack (%u single-bit insertions):\n", ins.trials);
+  std::printf("  mean ciphertext flip rate:     %.4f  (ideal 0.5)\n", ins.mean_flip_rate);
+  std::printf("  max positional bias:           %.4f  (no usable correlation)\n\n",
+              ins.max_bit_bias);
+
+  // --- Attack 3: cold boot (Section 6.4) ---------------------------------
+  util::Table cb({"dirty data at power-down", "blocks", "SPE window", "vs DRAM 3.2s"});
+  for (const std::uint64_t bytes :
+       {64ull, 64ull * 1024, 2ull * 1024 * 1024, 16ull * 1024 * 1024}) {
+    const auto r = core::cold_boot_analysis(bytes);
+    char window[32];
+    if (r.spe_window_seconds < 1e-3)
+      std::snprintf(window, sizeof(window), "%.2f us", r.spe_window_seconds * 1e6);
+    else
+      std::snprintf(window, sizeof(window), "%.2f ms", r.spe_window_seconds * 1e3);
+    const std::string label = bytes < 1024 ? std::to_string(bytes) + " B"
+                                           : std::to_string(bytes / 1024) + " KiB";
+    cb.add_row({label, std::to_string(r.dirty_blocks), window,
+                util::Table::fmt(100.0 * r.exposure_ratio, 3) + "%"});
+  }
+  cb.print();
+  std::printf("\nPaper: 1600 ns per 64B block; a fully dirty 2 MB cache drains in\n"
+              "tens of milliseconds versus DRAM's 3.2 s retention (their quoted\n"
+              "figure is 32.7 ms; ours is 52.4 ms for a full 2 MB — same order,\n"
+              "see EXPERIMENTS.md).\n");
+
+  // Measured variant: the ACTUAL dirty cache state of simulated workloads
+  // at the moment of power-down ("it is extremely unlikely that the entire
+  // cache is written back", Section 6.4).
+  std::printf("\nMeasured cold-boot drain from simulated cache state at power-down:\n");
+  util::Table sim_cb({"workload", "dirty L1+L2 lines", "drain time", "vs full 2MB cache"});
+  sim::SimConfig sim_cfg;
+  sim_cfg.instructions = benchutil::env_or("SPE_SIM_INSTR", 6'000'000) / 3;
+  for (const char* name : {"bzip2", "mcf", "sjeng"}) {
+    const auto r = sim::simulate(sim::workload_by_name(name), core::Scheme::SpeSerial,
+                                 sim_cfg);
+    const std::uint64_t dirty = r.dirty_l1_lines + r.dirty_l2_lines;
+    const auto drain = core::cold_boot_analysis(dirty * 64);
+    char window[32];
+    std::snprintf(window, sizeof(window), "%.2f ms", drain.spe_window_seconds * 1e3);
+    sim_cb.add_row({name, std::to_string(dirty), window,
+                    util::Table::pct(static_cast<double>(dirty) / 32768.0, 1)});
+  }
+  sim_cb.print();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: the five-minute tour of the SPE library.
+//
+//  1. Manufacture a memristor NVMM (device parameters + per-chip variation).
+//  2. Provision its SPE key into the platform TPM.
+//  3. Power up the SPECU, write and read cache blocks.
+//  4. Power down — everything in the array is ciphertext.
+//  5. Power back up and read the data (instant-on).
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "core/specu.hpp"
+
+int main() {
+  using namespace spe;
+  std::printf("== SPE quickstart ==\n\n");
+
+  // 1. The NVMM. device_seed models the manufacturing instance: another
+  //    seed is physically another chip with another fingerprint.
+  core::SnvmmConfig config;
+  config.device_seed = 20260704;
+  core::Snvmm nvmm(config);
+  std::printf("NVMM device id %llu, fingerprint %016llx, %u-byte blocks\n",
+              static_cast<unsigned long long>(nvmm.device_id()),
+              static_cast<unsigned long long>(nvmm.fingerprint()), nvmm.block_bytes());
+
+  // 2. TPM provisioning: the 88-bit key is sealed against this device and a
+  //    platform integrity measurement.
+  util::Xoshiro256ss rng(7);
+  const core::SpeKey key = core::SpeKey::random(rng);
+  const std::uint64_t platform_measurement = 0x0123456789ABCDEF;
+  core::Tpm tpm;
+  tpm.provision(nvmm.device_id(), platform_measurement, key);
+  std::printf("Sealed key %s into the TPM\n\n", key.to_hex().c_str());
+
+  // 3. Power on and use the memory. (First power-on builds the physics
+  //    calibration for this chip — a few hundred milliseconds.)
+  core::Specu specu(nvmm, core::SpeMode::Parallel);
+  if (!specu.power_on(tpm, platform_measurement)) {
+    std::printf("TPM refused the key!\n");
+    return 1;
+  }
+  std::printf("SPECU powered on (SPE-parallel mode)\n");
+
+  const std::string secret = "user=alice password=correct-horse-battery";
+  std::vector<std::uint8_t> block(64, 0);
+  std::copy(secret.begin(), secret.end(), block.begin());
+  specu.write_block(/*block address=*/0x40, block);
+  std::printf("wrote:  \"%s\"\n", secret.c_str());
+
+  const auto read_back = specu.read_block(0x40);
+  std::printf("read:   \"%.*s\"\n", 42, reinterpret_cast<const char*>(read_back.data()));
+
+  // What is *physically* in the array right now?
+  const auto probe = nvmm.probe_block(0x40);
+  std::printf("array:  ");
+  for (int i = 0; i < 16; ++i) std::printf("%02x", probe[i]);
+  std::printf("... (ciphertext, even while powered)\n\n");
+
+  // 4. Power down: the key evaporates from the SPECU's volatile store.
+  specu.power_down();
+  std::printf("powered down; array still holds only ciphertext\n");
+
+  // 5. Instant-on: power up, TPM releases the key, data decrypts in place.
+  core::Specu again(nvmm, core::SpeMode::Parallel);
+  again.power_on(tpm, platform_measurement);
+  const auto recovered = again.read_block(0x40);
+  std::printf("recovered after power cycle: \"%.*s\"\n", 42,
+              reinterpret_cast<const char*>(recovered.data()));
+  std::printf("\nroundtrip %s\n", recovered == block ? "OK" : "FAILED");
+  return recovered == block ? 0 : 1;
+}

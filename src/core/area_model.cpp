@@ -1,0 +1,63 @@
+#include "core/area_model.hpp"
+
+#include <stdexcept>
+
+namespace spe::core {
+
+std::string scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::None: return "None";
+    case Scheme::Aes: return "AES";
+    case Scheme::INvmm: return "i-NVMM";
+    case Scheme::SpeSerial: return "SPE-serial";
+    case Scheme::SpeParallel: return "SPE-parallel";
+    case Scheme::StreamCipher: return "Stream cipher";
+  }
+  return "?";
+}
+
+const std::vector<SchemeCosts>& scheme_costs() {
+  static const std::vector<SchemeCosts> kCosts = {
+      // scheme, read+, write+, table latency, area, node, always-encrypted
+      {Scheme::None, 0, 0, 0, 0.0, "-", false},
+      {Scheme::Aes, 80, 80, 80, 8.0, "180nm", true},
+      {Scheme::INvmm, 80, 0, 80, 5.3, "n/a", false},
+      {Scheme::SpeSerial, 16, 16, 32, 1.3, "65nm", false},
+      {Scheme::SpeParallel, 32, 16, 16, 1.3, "65nm", true},
+      {Scheme::StreamCipher, 1, 1, 1, 6.18, "65nm", true},
+  };
+  return kCosts;
+}
+
+const SchemeCosts& costs_for(Scheme s) {
+  for (const auto& c : scheme_costs())
+    if (c.scheme == s) return c;
+  throw std::invalid_argument("costs_for: unknown scheme");
+}
+
+std::vector<AreaComponent> specu_area_breakdown() {
+  // 65 nm estimates for the Fig. 1b SPECU blocks. The pulse-width generator
+  // is the NVMM's own programming circuit (Section 5.4: "we use the same
+  // pulse width generator"), so SPE adds no area for it.
+  return {
+      {"Coupled-LCG PRNG pair (2 x 44-bit)", 0.10},
+      {"Address LUT (PoE set, per-bank)", 0.38},
+      {"Voltage/pulse-width LUT", 0.22},
+      {"Control FSM + sequencing", 0.32},
+      {"Volatile key store (88-bit, SRAM)", 0.03},
+      {"Sneak-path gate drivers (peripheral mods)", 0.25},
+      {"Pulse-width generator (reused from NVMM)", 0.00},
+  };
+}
+
+double specu_area_mm2() {
+  double total = 0.0;
+  for (const auto& c : specu_area_breakdown()) total += c.mm2;
+  return total;
+}
+
+double cold_boot_drain_seconds(std::uint64_t dirty_blocks, double ns_per_block) {
+  return static_cast<double>(dirty_blocks) * ns_per_block * 1e-9;
+}
+
+}  // namespace spe::core

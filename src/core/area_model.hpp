@@ -1,0 +1,48 @@
+#pragma once
+// Area and latency model (Table 3). Latencies are the cycle costs the paper
+// charges per scheme at the 3.2 GHz core clock; areas are the published
+// silicon estimates with the SPECU broken down into its Fig. 1b components.
+
+#include <string>
+#include <vector>
+
+namespace spe::core {
+
+/// The five schemes compared in Table 3 plus the unprotected baseline.
+enum class Scheme { None, Aes, INvmm, SpeSerial, SpeParallel, StreamCipher };
+
+[[nodiscard]] std::string scheme_name(Scheme s);
+
+struct SchemeCosts {
+  Scheme scheme;
+  unsigned read_extra_cycles;    ///< added to every NVMM read
+  unsigned write_extra_cycles;   ///< added to every NVMM write
+  unsigned table_latency_cycles; ///< the single "Latency (cycles)" figure of Table 3
+  double area_mm2;               ///< Table 3 area
+  std::string tech_node;         ///< technology the area is quoted in
+  bool full_time_encryption;     ///< whether memory is 100% ciphertext at all times
+};
+
+/// Table-3 cost rows. SPE decryption takes 16 cycles (16 PoE pulses,
+/// pipelined against the array access); SPE-serial's table entry is 32
+/// (decrypt + deferred re-encrypt both charged to the block), SPE-parallel
+/// overlaps the re-encrypt with the cache fill and charges 16 per
+/// direction. AES and i-NVMM pay the 80-cycle AES pipeline; the stream
+/// cipher XORs a precomputed pad in 1 cycle.
+[[nodiscard]] const std::vector<SchemeCosts>& scheme_costs();
+[[nodiscard]] const SchemeCosts& costs_for(Scheme s);
+
+/// SPECU area breakdown (65 nm), summing to the 1.3 mm^2 of Table 3.
+struct AreaComponent {
+  std::string name;
+  double mm2;
+};
+[[nodiscard]] std::vector<AreaComponent> specu_area_breakdown();
+[[nodiscard]] double specu_area_mm2();
+
+/// Cold-boot window model (Section 6.4): time to secure `dirty_blocks`
+/// 64-byte blocks at `ns_per_block` (16 pulses x 100 ns = 1600 ns).
+[[nodiscard]] double cold_boot_drain_seconds(std::uint64_t dirty_blocks,
+                                             double ns_per_block = 1600.0);
+
+}  // namespace spe::core

@@ -1,0 +1,145 @@
+#include "core/attacks.hpp"
+
+#include <cmath>
+
+#include "util/mathfn.hpp"
+#include "util/rng.hpp"
+
+namespace spe::core {
+
+namespace {
+constexpr double kSecondsPerYear = 365.25 * 24 * 3600;
+}
+
+BruteForceAnalysis brute_force_analysis(unsigned cells, unsigned poes, unsigned pulse_codes,
+                                        double ns_per_poe) {
+  BruteForceAnalysis a{};
+  a.log10_poe_sequences = util::log10_permutations(cells, poes);
+  a.log10_pulse_combos = poes * std::log10(static_cast<double>(pulse_codes));
+  a.log10_keyspace = a.log10_poe_sequences + a.log10_pulse_combos;
+  a.log10_trial_seconds = std::log10(poes * ns_per_poe * 1e-9);
+  a.log10_years = a.log10_keyspace + a.log10_trial_seconds - std::log10(kSecondsPerYear);
+  // Attacker knows the ILP's PoE set: poes! orderings x pulse_codes^poes.
+  const double log10_orderings = util::log_factorial(poes) / std::log(10.0);
+  a.log10_years_known_ilp = log10_orderings + a.log10_pulse_combos +
+                            a.log10_trial_seconds - std::log10(kSecondsPerYear);
+  return a;
+}
+
+double aes128_brute_force_log10_years(double ns_per_trial) {
+  return 128.0 * std::log10(2.0) + std::log10(ns_per_trial * 1e-9) -
+         std::log10(kSecondsPerYear);
+}
+
+KeyEntropyReport key_entropy_analysis(unsigned cells, unsigned poes,
+                                      unsigned pulse_codes, double seed_bits) {
+  KeyEntropyReport r{};
+  const double log2_10 = std::log2(10.0);
+  r.log2_poe_orderings = util::log10_permutations(cells, poes) * log2_10;
+  r.log2_pulse_space = poes * std::log2(static_cast<double>(pulse_codes));
+  r.log2_combined = r.log2_poe_orderings + r.log2_pulse_space;
+  r.seed_bits = seed_bits;
+  r.effective_bits = std::min(seed_bits, r.log2_combined);
+  return r;
+}
+
+KnownPlaintextReport known_plaintext_analysis(const SpeCipher& cipher) {
+  const CipherCalibration& cal = cipher.calibration();
+  const unsigned cells = cipher.cell_count();
+
+  // Coverage counts under the *scheduled* PoEs.
+  std::vector<unsigned> coverage(cells, 0);
+  for (const PulseStep& step : cipher.schedule())
+    for (std::uint16_t c : cal.shape(step.poe_cell).cells) ++coverage[c];
+
+  KnownPlaintextReport report;
+  double factorisation_sum = 0.0;
+
+  // For a doubly-covered cell the attacker sees only the NET transition
+  // n = p2(p1(l)). Count (code1, code2) pairs consistent with one observed
+  // (l, n) — averaged over a representative start level (band-1 centre).
+  const unsigned codes = cal.library().size();
+  const unsigned start = device::MlcCodec::level_for_symbol(1);
+  for (unsigned c = 0; c < cells; ++c) {
+    if (coverage[c] <= 1) {
+      report.single_covered_cells += coverage[c] == 1 ? 1 : 0;
+      continue;
+    }
+    ++report.multi_covered_cells;
+    // Tier of this cell is context-dependent; use tier 1 as representative.
+    unsigned consistent = 0;
+    for (unsigned code1 = 0; code1 < codes; ++code1) {
+      const unsigned mid = cal.perm(code1, 1)[start];
+      for (unsigned code2 = 0; code2 < codes; ++code2) {
+        // Any pair that lands in the same read band as some other pair is
+        // indistinguishable from the attacker's 2-bit view.
+        const unsigned end = cal.perm(code2, 1)[mid];
+        consistent += device::MlcCodec::symbol_for_level(end) ==
+                              device::MlcCodec::symbol_for_level(
+                                  cal.perm(0, 1)[cal.perm(0, 1)[start]])
+                          ? 1
+                          : 0;
+      }
+    }
+    factorisation_sum += static_cast<double>(consistent);
+  }
+  if (report.multi_covered_cells > 0)
+    report.mean_consistent_factorisations =
+        factorisation_sum / report.multi_covered_cells;
+
+  // Residual search: the attacker still has to order the PoEs and resolve
+  // the per-PoE pulses for the ambiguous cells.
+  const unsigned poes = static_cast<unsigned>(cipher.schedule().size());
+  report.log10_residual_search =
+      util::log_factorial(poes) / std::log(10.0) +
+      report.multi_covered_cells * std::log10(std::max(
+          report.mean_consistent_factorisations, 1.0));
+  return report;
+}
+
+InsertionAttackReport insertion_attack(const SpeCipher& cipher, unsigned trials,
+                                       std::uint64_t seed) {
+  InsertionAttackReport report;
+  report.trials = trials;
+  util::Xoshiro256ss rng(seed);
+
+  const unsigned bytes = cipher.block_bytes();
+  const unsigned bits = bytes * 8;
+  std::vector<double> flip_count(bits, 0.0);
+  double flip_total = 0.0;
+
+  std::vector<std::uint8_t> pt(bytes), ct0(bytes), ct1(bytes);
+  for (unsigned t = 0; t < trials; ++t) {
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.below(256));
+    cipher.encrypt_bytes(pt, ct0);
+    const unsigned flip_bit = static_cast<unsigned>(rng.below(bits));
+    pt[flip_bit / 8] ^= static_cast<std::uint8_t>(0x80u >> (flip_bit % 8));
+    cipher.encrypt_bytes(pt, ct1);
+    pt[flip_bit / 8] ^= static_cast<std::uint8_t>(0x80u >> (flip_bit % 8));
+
+    for (unsigned j = 0; j < bits; ++j) {
+      const bool flipped = ((ct0[j / 8] ^ ct1[j / 8]) >> (7 - j % 8)) & 1u;
+      if (flipped) {
+        flip_count[j] += 1.0;
+        flip_total += 1.0;
+      }
+    }
+  }
+  report.mean_flip_rate = flip_total / (static_cast<double>(trials) * bits);
+  for (unsigned j = 0; j < bits; ++j) {
+    const double bias = std::fabs(flip_count[j] / trials - 0.5);
+    if (bias > report.max_bit_bias) report.max_bit_bias = bias;
+  }
+  return report;
+}
+
+ColdBootReport cold_boot_analysis(std::uint64_t dirty_bytes, double ns_per_block) {
+  ColdBootReport r{};
+  r.dirty_blocks = (dirty_bytes + 63) / 64;
+  r.spe_window_seconds = static_cast<double>(r.dirty_blocks) * ns_per_block * 1e-9;
+  r.dram_retention_seconds = 3.2;
+  r.exposure_ratio = r.spe_window_seconds / r.dram_retention_seconds;
+  return r;
+}
+
+}  // namespace spe::core

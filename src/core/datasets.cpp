@@ -1,0 +1,303 @@
+#include "core/datasets.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "xbar/monte_carlo.hpp"
+
+namespace spe::core {
+
+namespace {
+
+constexpr unsigned kBlockBytes = 16;   // one crossbar unit
+constexpr unsigned kBlockBits = 128;
+
+using Block = std::array<std::uint8_t, kBlockBytes>;
+
+Block random_block(util::Xoshiro256ss& rng) {
+  Block b;
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.below(256));
+  return b;
+}
+
+void flip_bit(Block& b, unsigned i) {
+  b[i / 8] ^= static_cast<std::uint8_t>(0x80u >> (i % 8));
+}
+
+/// Enumerates the standard density-block family: index 0 = base pattern,
+/// 1..n = single flipped bit, then all two-bit flips. `ones_base` selects
+/// all-zero (low density) or all-one (high density).
+Block density_block(std::size_t index, bool ones_base) {
+  Block b;
+  b.fill(ones_base ? 0xFF : 0x00);
+  if (index == 0) return b;
+  index -= 1;
+  if (index < kBlockBits) {
+    flip_bit(b, static_cast<unsigned>(index));
+    return b;
+  }
+  index -= kBlockBits;
+  // Two-bit combinations (i < j) in lexicographic order, wrapped.
+  const std::size_t pairs = static_cast<std::size_t>(kBlockBits) * (kBlockBits - 1) / 2;
+  index %= pairs;
+  unsigned i = 0;
+  std::size_t remaining = index;
+  while (remaining >= kBlockBits - 1 - i) {
+    remaining -= kBlockBits - 1 - i;
+    ++i;
+  }
+  const unsigned j = i + 1 + static_cast<unsigned>(remaining);
+  flip_bit(b, i);
+  flip_bit(b, j);
+  return b;
+}
+
+/// Same family over 88-bit keys.
+SpeKey density_key(std::size_t index, bool ones_base) {
+  SpeKey base = ones_base ? SpeKey::all_one() : SpeKey::all_zero();
+  if (index == 0) return base;
+  index -= 1;
+  if (index < SpeKey::kBits) return base.with_bit_flipped(static_cast<unsigned>(index));
+  index -= SpeKey::kBits;
+  const std::size_t pairs = static_cast<std::size_t>(SpeKey::kBits) * (SpeKey::kBits - 1) / 2;
+  index %= pairs;
+  unsigned i = 0;
+  std::size_t remaining = index;
+  while (remaining >= SpeKey::kBits - 1 - i) {
+    remaining -= SpeKey::kBits - 1 - i;
+    ++i;
+  }
+  const unsigned j = i + 1 + static_cast<unsigned>(remaining);
+  return base.with_bit_flipped(i).with_bit_flipped(j);
+}
+
+/// Shared encryption oracle: one calibration, fresh schedule per key.
+class Oracle {
+public:
+  explicit Oracle(const DatasetConfig& cfg)
+      : cfg_(cfg), cal_(get_calibration(cfg.params)) {}
+
+  explicit Oracle(const DatasetConfig& cfg, const xbar::CrossbarParams& params)
+      : cfg_(cfg), cal_(get_calibration(params)) {}
+
+  [[nodiscard]] Block encrypt(const SpeCipher& cipher, const Block& pt) const {
+    Block ct;
+    if (cfg_.truncate_pulses == 0) {
+      cipher.encrypt_bytes(pt, ct);
+    } else {
+      UnitLevels levels = cipher.levels_from_bytes(pt);
+      cipher.encrypt_truncated(levels, cfg_.truncate_pulses);
+      cipher.bytes_from_levels(levels, ct);
+    }
+    return ct;
+  }
+
+  [[nodiscard]] SpeCipher make_cipher(const SpeKey& key) const {
+    return SpeCipher(key, cal_, cfg_.poes, 0);
+  }
+
+private:
+  const DatasetConfig& cfg_;
+  std::shared_ptr<const CipherCalibration> cal_;
+};
+
+void append_xor(util::BitVector& bits, const Block& a, const Block& b) {
+  for (unsigned i = 0; i < kBlockBytes; ++i)
+    bits.append_bits(static_cast<std::uint64_t>(a[i] ^ b[i]), 8);
+}
+
+void append_block(util::BitVector& bits, const Block& a) {
+  for (unsigned i = 0; i < kBlockBytes; ++i)
+    bits.append_bits(static_cast<std::uint64_t>(a[i]), 8);
+}
+
+using SequenceGen = std::function<util::BitVector(const DatasetConfig&, std::uint64_t)>;
+
+util::BitVector gen_key_avalanche(const DatasetConfig& cfg, std::uint64_t seed) {
+  Oracle oracle(cfg);
+  util::Xoshiro256ss rng(seed);
+  util::BitVector bits;
+  Block zero{};
+  while (bits.size() < cfg.bits_per_sequence) {
+    const SpeKey key = SpeKey::random(rng);
+    const SpeCipher base_cipher = oracle.make_cipher(key);
+    const Block base = oracle.encrypt(base_cipher, zero);
+    for (unsigned i = 0; i < SpeKey::kBits && bits.size() < cfg.bits_per_sequence; ++i) {
+      const SpeCipher flipped = oracle.make_cipher(key.with_bit_flipped(i));
+      append_xor(bits, base, oracle.encrypt(flipped, zero));
+    }
+  }
+  return bits.slice(0, cfg.bits_per_sequence);
+}
+
+util::BitVector gen_plaintext_avalanche(const DatasetConfig& cfg, std::uint64_t seed) {
+  Oracle oracle(cfg);
+  util::Xoshiro256ss rng(seed);
+  util::BitVector bits;
+  const SpeCipher cipher = oracle.make_cipher(SpeKey::all_zero());
+  while (bits.size() < cfg.bits_per_sequence) {
+    Block pt = random_block(rng);
+    const Block base = oracle.encrypt(cipher, pt);
+    for (unsigned j = 0; j < kBlockBits && bits.size() < cfg.bits_per_sequence; ++j) {
+      flip_bit(pt, j);
+      append_xor(bits, base, oracle.encrypt(cipher, pt));
+      flip_bit(pt, j);
+    }
+  }
+  return bits.slice(0, cfg.bits_per_sequence);
+}
+
+util::BitVector gen_hardware_avalanche(const DatasetConfig& cfg, std::uint64_t seed) {
+  // Section 6.1 data set 3: all-zero key, physical parameters perturbed
+  // 5-10% in 0.5% steps. (The paper's fixed all-zero plaintext would make
+  // the XOR stream periodic; we follow the NIST block-cipher evaluation
+  // methodology and draw a fresh plaintext per block — documented in
+  // DESIGN.md.)
+  Oracle nominal(cfg);
+  std::vector<Oracle> perturbed;
+  for (int sign : {+1, -1}) {
+    for (double delta = 0.05; delta <= 0.1001; delta += 0.005)
+      perturbed.emplace_back(cfg, xbar::perturb_macro(cfg.params, sign * delta));
+  }
+  util::Xoshiro256ss rng(seed);
+  util::BitVector bits;
+  const SpeKey key = SpeKey::all_zero();
+  const SpeCipher nom_cipher = nominal.make_cipher(key);
+  std::vector<SpeCipher> pert_ciphers;
+  pert_ciphers.reserve(perturbed.size());
+  for (const auto& o : perturbed) pert_ciphers.push_back(o.make_cipher(key));
+
+  std::size_t which = 0;
+  while (bits.size() < cfg.bits_per_sequence) {
+    const Block pt = random_block(rng);
+    const Block a = nominal.encrypt(nom_cipher, pt);
+    const Block b = perturbed[which % perturbed.size()].encrypt(
+        pert_ciphers[which % perturbed.size()], pt);
+    append_xor(bits, a, b);
+    ++which;
+  }
+  return bits.slice(0, cfg.bits_per_sequence);
+}
+
+util::BitVector gen_pt_ct_correlation(const DatasetConfig& cfg, std::uint64_t seed) {
+  Oracle oracle(cfg);
+  util::Xoshiro256ss rng(seed);
+  util::BitVector bits;
+  const SpeCipher cipher = oracle.make_cipher(SpeKey::random(rng));
+  while (bits.size() < cfg.bits_per_sequence) {
+    const Block pt = random_block(rng);
+    append_xor(bits, pt, oracle.encrypt(cipher, pt));
+  }
+  return bits.slice(0, cfg.bits_per_sequence);
+}
+
+util::BitVector gen_random_pt_key(const DatasetConfig& cfg, std::uint64_t seed) {
+  Oracle oracle(cfg);
+  util::Xoshiro256ss rng(seed);
+  util::BitVector bits;
+  const SpeCipher cipher = oracle.make_cipher(SpeKey::random(rng));
+  while (bits.size() < cfg.bits_per_sequence) {
+    append_block(bits, oracle.encrypt(cipher, random_block(rng)));
+  }
+  return bits.slice(0, cfg.bits_per_sequence);
+}
+
+util::BitVector gen_density_pt(const DatasetConfig& cfg, std::uint64_t seed, bool high) {
+  Oracle oracle(cfg);
+  util::Xoshiro256ss rng(seed);
+  util::BitVector bits;
+  const SpeCipher cipher = oracle.make_cipher(SpeKey::random(rng));
+  std::size_t index = 0;
+  while (bits.size() < cfg.bits_per_sequence) {
+    append_block(bits, oracle.encrypt(cipher, density_block(index, high)));
+    ++index;
+  }
+  return bits.slice(0, cfg.bits_per_sequence);
+}
+
+util::BitVector gen_density_key(const DatasetConfig& cfg, std::uint64_t seed, bool high) {
+  Oracle oracle(cfg);
+  util::Xoshiro256ss rng(seed);
+  util::BitVector bits;
+  const Block pt = random_block(rng);
+  std::size_t index = 0;
+  while (bits.size() < cfg.bits_per_sequence) {
+    const SpeCipher cipher = oracle.make_cipher(density_key(index, high));
+    append_block(bits, oracle.encrypt(cipher, pt));
+    ++index;
+  }
+  return bits.slice(0, cfg.bits_per_sequence);
+}
+
+}  // namespace
+
+std::string dataset_name(Dataset d) {
+  switch (d) {
+    case Dataset::KeyAvalanche: return "Avalanche/Key";
+    case Dataset::PlaintextAvalanche: return "Avalanche/PT";
+    case Dataset::HardwareAvalanche: return "Avalanche/h/w";
+    case Dataset::PlaintextCiphertextCorrelation: return "PT/CT corr.";
+    case Dataset::RandomPlaintextKey: return "Rnd. PT/CT";
+    case Dataset::LowDensityKey: return "Low Den. Key";
+    case Dataset::LowDensityPlaintext: return "Low Den. PT";
+    case Dataset::HighDensityKey: return "High Den. Key";
+    case Dataset::HighDensityPlaintext: return "High Den. PT";
+  }
+  return "?";
+}
+
+const std::vector<Dataset>& all_datasets() {
+  static const std::vector<Dataset> kAll = {
+      Dataset::KeyAvalanche,
+      Dataset::PlaintextAvalanche,
+      Dataset::HardwareAvalanche,
+      Dataset::PlaintextCiphertextCorrelation,
+      Dataset::RandomPlaintextKey,
+      Dataset::LowDensityKey,
+      Dataset::LowDensityPlaintext,
+      Dataset::HighDensityKey,
+      Dataset::HighDensityPlaintext,
+  };
+  return kAll;
+}
+
+std::vector<util::BitVector> generate_dataset(Dataset which, const DatasetConfig& config) {
+  std::vector<util::BitVector> sequences;
+  sequences.reserve(config.sequences);
+  for (unsigned s = 0; s < config.sequences; ++s) {
+    const std::uint64_t seed =
+        util::mix64(config.seed ^ (static_cast<std::uint64_t>(which) << 32) ^ s);
+    switch (which) {
+      case Dataset::KeyAvalanche:
+        sequences.push_back(gen_key_avalanche(config, seed));
+        break;
+      case Dataset::PlaintextAvalanche:
+        sequences.push_back(gen_plaintext_avalanche(config, seed));
+        break;
+      case Dataset::HardwareAvalanche:
+        sequences.push_back(gen_hardware_avalanche(config, seed));
+        break;
+      case Dataset::PlaintextCiphertextCorrelation:
+        sequences.push_back(gen_pt_ct_correlation(config, seed));
+        break;
+      case Dataset::RandomPlaintextKey:
+        sequences.push_back(gen_random_pt_key(config, seed));
+        break;
+      case Dataset::LowDensityKey:
+        sequences.push_back(gen_density_key(config, seed, false));
+        break;
+      case Dataset::LowDensityPlaintext:
+        sequences.push_back(gen_density_pt(config, seed, false));
+        break;
+      case Dataset::HighDensityKey:
+        sequences.push_back(gen_density_key(config, seed, true));
+        break;
+      case Dataset::HighDensityPlaintext:
+        sequences.push_back(gen_density_pt(config, seed, true));
+        break;
+    }
+  }
+  return sequences;
+}
+
+}  // namespace spe::core

@@ -1,0 +1,54 @@
+#include "core/fingerprint.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace spe::core {
+
+namespace {
+std::uint64_t quantise(double v) {
+  // 1 ppm relative quantisation (log-domain) keeps the digest stable under
+  // floating-point noise but sensitive to real parameter changes.
+  if (v == 0.0) return 0;
+  const double mag = std::log(std::fabs(v));
+  return static_cast<std::uint64_t>(std::llround(mag * 1e6)) ^ (v < 0 ? 0x1ull << 63 : 0);
+}
+}  // namespace
+
+DeviceFingerprint fingerprint_of(const xbar::CrossbarParams& params) {
+  std::uint64_t h = 0x6A09E667F3BCC908ull;
+  auto fold = [&h](std::uint64_t v) { h = util::mix64(h ^ v); };
+  fold(params.rows);
+  fold(params.cols);
+  fold(quantise(params.r_wire_row));
+  fold(quantise(params.r_wire_col));
+  fold(quantise(params.r_driver));
+  fold(quantise(params.team.r_on));
+  fold(quantise(params.team.r_off));
+  fold(quantise(params.team.i_off));
+  fold(quantise(params.team.i_on));
+  fold(quantise(params.team.k_off));
+  fold(quantise(params.team.k_on));
+  fold(quantise(params.team.alpha_off));
+  fold(quantise(params.team.alpha_on));
+  fold(quantise(params.transistor.r_on));
+  fold(quantise(params.transistor.v_threshold));
+  return h;
+}
+
+xbar::CrossbarParams with_device_variation(const xbar::CrossbarParams& base,
+                                           std::uint64_t device_seed, double spread) {
+  util::Xoshiro256ss rng(util::mix64(device_seed ^ 0x243F6A8885A308D3ull));
+  xbar::CrossbarParams p = base;
+  p.r_wire_row *= 1.0 + rng.uniform(-spread, spread);
+  p.r_wire_col *= 1.0 + rng.uniform(-spread, spread);
+  p.r_driver *= 1.0 + rng.uniform(-spread, spread);
+  p.team.r_on *= 1.0 + rng.uniform(-spread, spread);
+  p.team.r_off *= 1.0 + rng.uniform(-spread, spread);
+  p.team.k_off *= 1.0 + rng.uniform(-spread, spread);
+  p.team.k_on *= 1.0 + rng.uniform(-spread, spread);
+  return p;
+}
+
+}  // namespace spe::core

@@ -1,0 +1,29 @@
+#pragma once
+// Device fingerprint: a digest of the crossbar's physical parameters. The
+// SPE transformation tables are derived from the physics of the *specific*
+// device, which is what makes ciphertext decryptable only on the NVMM that
+// produced it (Section 6.2.1: "data decryption can only be performed on the
+// same SNVMM it was encrypted on"). Manufacturing variation gives every
+// device instance distinct parameters, hence a distinct fingerprint.
+
+#include <cstdint>
+
+#include "xbar/crossbar.hpp"
+
+namespace spe::core {
+
+using DeviceFingerprint = std::uint64_t;
+
+/// Digest of the electrically relevant parameters. Values are quantised to
+/// 1 ppm before hashing so that floating-point noise cannot split devices,
+/// while the paper's 5-10% hardware-avalanche perturbations always do.
+[[nodiscard]] DeviceFingerprint fingerprint_of(const xbar::CrossbarParams& params);
+
+/// Applies deterministic per-device manufacturing variation (a fraction of
+/// a percent on wires and device thresholds) derived from `device_seed`.
+/// Distinct seeds model physically distinct NVMM chips.
+[[nodiscard]] xbar::CrossbarParams with_device_variation(const xbar::CrossbarParams& base,
+                                                         std::uint64_t device_seed,
+                                                         double spread = 0.004);
+
+}  // namespace spe::core

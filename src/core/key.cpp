@@ -1,0 +1,74 @@
+#include "core/key.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace spe::core {
+
+SpeKey SpeKey::random(util::Xoshiro256ss& rng) {
+  SpeKey k;
+  k.address_seed = rng() & kSeedMask;
+  k.voltage_seed = rng() & kSeedMask;
+  return k;
+}
+
+SpeKey SpeKey::all_one() {
+  SpeKey k;
+  k.address_seed = kSeedMask;
+  k.voltage_seed = kSeedMask;
+  return k;
+}
+
+std::array<std::uint8_t, SpeKey::kBytes> SpeKey::to_bytes() const {
+  // 88 bits big-endian: address seed (44) then voltage seed (44).
+  std::array<std::uint8_t, kBytes> out{};
+  for (unsigned i = 0; i < kBits; ++i) {
+    const bool bit = i < kSeedBits
+                         ? ((address_seed >> (kSeedBits - 1 - i)) & 1u) != 0
+                         : ((voltage_seed >> (kBits - 1 - i)) & 1u) != 0;
+    if (bit) out[i / 8] |= static_cast<std::uint8_t>(0x80u >> (i % 8));
+  }
+  return out;
+}
+
+SpeKey SpeKey::from_bytes(std::span<const std::uint8_t, kBytes> bytes) {
+  SpeKey k;
+  for (unsigned i = 0; i < kBits; ++i) {
+    const bool bit = (bytes[i / 8] >> (7 - i % 8)) & 1u;
+    if (!bit) continue;
+    if (i < kSeedBits)
+      k.address_seed |= std::uint64_t{1} << (kSeedBits - 1 - i);
+    else
+      k.voltage_seed |= std::uint64_t{1} << (kBits - 1 - i);
+  }
+  return k;
+}
+
+SpeKey SpeKey::with_bit_flipped(unsigned i) const {
+  if (i >= kBits) throw std::out_of_range("SpeKey::with_bit_flipped");
+  SpeKey k = *this;
+  if (i < kSeedBits)
+    k.address_seed ^= std::uint64_t{1} << (kSeedBits - 1 - i);
+  else
+    k.voltage_seed ^= std::uint64_t{1} << (kBits - 1 - i);
+  return k;
+}
+
+SpeKey SpeKey::with_bits_set(std::span<const unsigned> bit_indices) {
+  SpeKey k;
+  for (unsigned i : bit_indices) k = k.with_bit_flipped(i);
+  return k;
+}
+
+std::string SpeKey::to_hex() const {
+  const auto bytes = to_bytes();
+  std::string s;
+  char buf[4];
+  for (auto b : bytes) {
+    std::snprintf(buf, sizeof(buf), "%02x", b);
+    s += buf;
+  }
+  return s;
+}
+
+}  // namespace spe::core

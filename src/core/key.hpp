@@ -1,0 +1,48 @@
+#pragma once
+// The SPE secret key (Section 5.4). For an 8x8 crossbar the key is 88 bits:
+// a 44-bit seed for the address PRNG (PoE sequence) and a 44-bit seed for
+// the voltage PRNG (pulse polarity/width sequence). The TPM releases the key
+// to the SPECU at power-on; the SPECU holds it in volatile storage only.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace spe::core {
+
+struct SpeKey {
+  static constexpr unsigned kBits = 88;
+  static constexpr unsigned kSeedBits = 44;
+  static constexpr unsigned kBytes = 11;
+
+  std::uint64_t address_seed = 0;  ///< low 44 bits used
+  std::uint64_t voltage_seed = 0;  ///< low 44 bits used
+
+  [[nodiscard]] static SpeKey random(util::Xoshiro256ss& rng);
+  [[nodiscard]] static SpeKey all_zero() { return {}; }
+  [[nodiscard]] static SpeKey all_one();
+
+  /// Big-endian 11-byte serialisation (address seed first).
+  [[nodiscard]] std::array<std::uint8_t, kBytes> to_bytes() const;
+  [[nodiscard]] static SpeKey from_bytes(std::span<const std::uint8_t, kBytes> bytes);
+
+  /// Key with bit `i` flipped, 0 <= i < 88 (bit 0 = MSB of the address
+  /// seed, matching the serialised order) — used by the key-avalanche and
+  /// low/high-density-key data sets.
+  [[nodiscard]] SpeKey with_bit_flipped(unsigned i) const;
+
+  /// Key whose serialised form has exactly the given bits set.
+  [[nodiscard]] static SpeKey with_bits_set(std::span<const unsigned> bit_indices);
+
+  [[nodiscard]] std::string to_hex() const;
+
+  bool operator==(const SpeKey&) const = default;
+
+private:
+  static constexpr std::uint64_t kSeedMask = (std::uint64_t{1} << kSeedBits) - 1;
+};
+
+}  // namespace spe::core

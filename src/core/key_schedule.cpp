@@ -1,0 +1,24 @@
+#include "core/key_schedule.hpp"
+
+namespace spe::core {
+
+KeySchedule::KeySchedule(const SpeKey& key, const AddressLut& addresses,
+                         const VoltageLut& voltages, unsigned unit_index) {
+  // Fold the crossbar-unit index into both seeds (44-bit masked) so the four
+  // units of a cache block run distinct sequences from one key.
+  const std::uint64_t mask = (std::uint64_t{1} << SpeKey::kSeedBits) - 1;
+  const std::uint64_t tweak = util::mix64(0x5BE0CD19137E2179ull + unit_index);
+  util::CoupledLcg addr_prng((key.address_seed ^ (tweak & mask)) & mask);
+  util::CoupledLcg volt_prng((key.voltage_seed ^ ((tweak >> 20) & mask)) & mask);
+
+  const std::vector<unsigned> order = addresses.permuted_order(addr_prng);
+  steps_.reserve(order.size());
+  for (unsigned idx : order) {
+    PulseStep step;
+    step.poe_cell = addresses.cell(idx);
+    step.pulse_code = voltages.next_code(volt_prng);
+    steps_.push_back(step);
+  }
+}
+
+}  // namespace spe::core

@@ -1,0 +1,36 @@
+#pragma once
+// Key schedule (Section 5.4, Fig. 2a): the 88-bit key seeds two coupled-LCG
+// PRNGs; the address PRNG orders the ILP-chosen PoE set and the voltage PRNG
+// assigns one of 32 pulse codes to each PoE. One schedule protects one
+// crossbar unit; a 64-byte cache block uses four units whose schedules are
+// derived from the same key with the unit index folded into the seeds
+// (Section 6.2.1: "four 8x8 crossbars are used to store 64 bytes").
+
+#include <vector>
+
+#include "core/key.hpp"
+#include "core/lut.hpp"
+
+namespace spe::core {
+
+/// One SPE pulse: where and what to apply.
+struct PulseStep {
+  unsigned poe_cell = 0;    ///< Flat row-major PoE cell index.
+  unsigned pulse_code = 0;  ///< Index into the VoltageLut / PulseLibrary.
+};
+
+/// The full encryption sequence for one crossbar unit. Decryption uses the
+/// same steps in reverse order (Section 5.3).
+class KeySchedule {
+public:
+  KeySchedule(const SpeKey& key, const AddressLut& addresses, const VoltageLut& voltages,
+              unsigned unit_index = 0);
+
+  [[nodiscard]] const std::vector<PulseStep>& steps() const noexcept { return steps_; }
+  [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(steps_.size()); }
+
+private:
+  std::vector<PulseStep> steps_;
+};
+
+}  // namespace spe::core

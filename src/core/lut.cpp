@@ -1,0 +1,58 @@
+#include "core/lut.hpp"
+
+#include <stdexcept>
+
+namespace spe::core {
+
+const std::vector<unsigned>& default_poes_8x8() {
+  // 16 PoEs, two per column, rows staggered so every cell is covered by the
+  // physically-calibrated polyominoes and polyomino overlap stays small.
+  // Derived from solve_fixed_poes(8, 8, 16) with the relaxed boundary rule;
+  // regenerated and validated by bench/fig6_coverage and the ilp tests.
+  static const std::vector<unsigned> kPoes = {
+      1 * 8 + 0, 6 * 8 + 0,  // column 0: rows 1, 6
+      3 * 8 + 1, 4 * 8 + 1,  // column 1: rows 3, 4
+      0 * 8 + 2, 5 * 8 + 2,  // column 2: rows 0, 5
+      2 * 8 + 3, 7 * 8 + 3,  // column 3: rows 2, 7
+      1 * 8 + 4, 6 * 8 + 4,  // column 4: rows 1, 6
+      3 * 8 + 5, 4 * 8 + 5,  // column 5: rows 3, 4
+      0 * 8 + 6, 5 * 8 + 6,  // column 6: rows 0, 5
+      2 * 8 + 7, 7 * 8 + 7,  // column 7: rows 2, 7
+  };
+  return kPoes;
+}
+
+AddressLut::AddressLut(std::vector<unsigned> poe_cells, unsigned rows, unsigned cols)
+    : cells_(std::move(poe_cells)), rows_(rows), cols_(cols) {
+  if (cells_.empty()) throw std::invalid_argument("AddressLut: empty PoE set");
+  for (unsigned c : cells_)
+    if (c >= rows_ * cols_) throw std::out_of_range("AddressLut: PoE outside crossbar");
+}
+
+unsigned AddressLut::cell(unsigned idx) const {
+  if (idx >= cells_.size()) throw std::out_of_range("AddressLut::cell");
+  return cells_[idx];
+}
+
+xbar::PoE AddressLut::poe(unsigned idx) const {
+  const unsigned flat = cell(idx);
+  return {flat / cols_, flat % cols_};
+}
+
+std::vector<unsigned> AddressLut::permuted_order(util::CoupledLcg& prng) const {
+  std::vector<unsigned> order(cells_.size());
+  for (unsigned i = 0; i < order.size(); ++i) order[i] = i;
+  for (unsigned i = static_cast<unsigned>(order.size()); i-- > 1;) {
+    const unsigned j = prng.below(i + 1);
+    std::swap(order[i], order[j]);
+  }
+  return order;
+}
+
+VoltageLut::VoltageLut(device::PulseLibrary library) : library_(std::move(library)) {}
+
+unsigned VoltageLut::next_code(util::CoupledLcg& prng) const {
+  return prng.next_bits(5) % library_.size();
+}
+
+}  // namespace spe::core

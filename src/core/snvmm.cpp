@@ -1,0 +1,52 @@
+#include "core/snvmm.hpp"
+
+#include "device/mlc.hpp"
+
+namespace spe::core {
+
+SnvmmConfig Snvmm::default_config() { return SnvmmConfig{}; }
+
+Snvmm::Snvmm(SnvmmConfig config)
+    : config_(config),
+      device_params_(with_device_variation(config.base_params, config.device_seed)),
+      fingerprint_(fingerprint_of(device_params_)) {}
+
+bool Snvmm::has_block(std::uint64_t block_addr) const { return blocks_.contains(block_addr); }
+
+Snvmm::Block& Snvmm::block(std::uint64_t block_addr) {
+  auto it = blocks_.find(block_addr);
+  if (it == blocks_.end()) {
+    Block b;
+    b.levels.assign(static_cast<std::size_t>(config_.units_per_block) *
+                        config_.base_params.cell_count(),
+                    0);
+    it = blocks_.emplace(block_addr, std::move(b)).first;
+  }
+  return it->second;
+}
+
+const Snvmm::Block* Snvmm::find_block(std::uint64_t block_addr) const {
+  const auto it = blocks_.find(block_addr);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+double Snvmm::max_wear() const {
+  double peak = 0.0;
+  for (const auto& [addr, block] : blocks_)
+    if (block.wear > peak) peak = block.wear;
+  return peak;
+}
+
+std::vector<std::uint8_t> Snvmm::probe_block(std::uint64_t block_addr) const {
+  std::vector<std::uint8_t> out(block_bytes(), 0);
+  const Block* b = find_block(block_addr);
+  if (b == nullptr) return out;
+  for (std::size_t i = 0; i < b->levels.size(); ++i) {
+    const unsigned symbol = device::MlcCodec::symbol_for_level(b->levels[i]);
+    const unsigned logic = device::MlcCodec::logic_bits_for_symbol(symbol);
+    out[i / 4] |= static_cast<std::uint8_t>(logic << (6 - 2 * (i % 4)));
+  }
+  return out;
+}
+
+}  // namespace spe::core

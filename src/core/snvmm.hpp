@@ -1,0 +1,78 @@
+#pragma once
+// The secure NVMM storage array (Section 4). A 64-byte cache block occupies
+// four 8x8 MLC-2 crossbar units; the array stores every cell's analog level
+// (the real memory content) plus a per-block "currently encrypted" flag the
+// SPECU maintains. probe_block() is the attacker's view: a physical readout
+// of the quantised 2-bit symbols exactly as they sit in the array, whether
+// or not they are encrypted.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/fingerprint.hpp"
+
+namespace spe::core {
+
+struct SnvmmConfig {
+  xbar::CrossbarParams base_params;      ///< nominal design parameters
+  std::uint64_t device_seed = 1;         ///< manufacturing-instance seed
+  unsigned units_per_block = 4;          ///< 4 x 16B = 64B cache blocks
+
+  [[nodiscard]] unsigned block_bytes() const {
+    return units_per_block * base_params.cell_count() / 4;
+  }
+};
+
+class Snvmm {
+public:
+  explicit Snvmm(SnvmmConfig config = default_config());
+
+  [[nodiscard]] static SnvmmConfig default_config();
+
+  [[nodiscard]] const SnvmmConfig& config() const noexcept { return config_; }
+  /// The manufactured (variation-applied) parameters of this instance.
+  [[nodiscard]] const xbar::CrossbarParams& device_params() const noexcept {
+    return device_params_;
+  }
+  [[nodiscard]] DeviceFingerprint fingerprint() const noexcept { return fingerprint_; }
+  [[nodiscard]] std::uint64_t device_id() const noexcept { return config_.device_seed; }
+  [[nodiscard]] unsigned block_bytes() const noexcept { return config_.block_bytes(); }
+
+  /// One cache block's stored state.
+  struct Block {
+    std::vector<std::uint8_t> levels;  ///< units_per_block * 64 cell levels
+    bool encrypted = false;            ///< SPECU bookkeeping flag
+    double wear = 0.0;  ///< accumulated write-equivalents (Section 5.2: a
+                        ///< full write = 1.0, an SPE pulse ~0.02)
+  };
+
+  [[nodiscard]] bool has_block(std::uint64_t block_addr) const;
+  [[nodiscard]] Block& block(std::uint64_t block_addr);  ///< creates zeroed block
+  [[nodiscard]] const Block* find_block(std::uint64_t block_addr) const;
+
+  /// Attacker's physical probe: the quantised symbols of the block as
+  /// stored, packed 2 bits per cell into block_bytes() bytes. Returns an
+  /// all-zero pattern for never-written blocks (erased array).
+  [[nodiscard]] std::vector<std::uint8_t> probe_block(std::uint64_t block_addr) const;
+
+  [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
+
+  /// Peak accumulated wear over all blocks (0 for an empty array) — the
+  /// quantity an endurance limit is compared against.
+  [[nodiscard]] double max_wear() const;
+  [[nodiscard]] const std::map<std::uint64_t, Block>& blocks() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] std::map<std::uint64_t, Block>& blocks() noexcept { return blocks_; }
+
+private:
+  SnvmmConfig config_;
+  xbar::CrossbarParams device_params_;
+  DeviceFingerprint fingerprint_;
+  std::map<std::uint64_t, Block> blocks_;
+};
+
+}  // namespace spe::core

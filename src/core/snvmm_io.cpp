@@ -1,0 +1,105 @@
+#include "core/snvmm_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace spe::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'P', 'E', 'N', 'V', 'M', 'M', '1'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out.write(buf, 8);
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  char buf[8];
+  in.read(buf, 8);
+  if (!in) throw std::runtime_error("snvmm image: truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void save_image(const Snvmm& nvmm, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  write_u64(out, nvmm.config().device_seed);
+  write_u64(out, nvmm.config().units_per_block);
+  write_u64(out, nvmm.config().base_params.rows);
+  write_u64(out, nvmm.config().base_params.cols);
+  write_u64(out, nvmm.fingerprint());
+  write_u64(out, nvmm.block_count());
+  for (const auto& [addr, block] : nvmm.blocks()) {
+    write_u64(out, addr);
+    write_u64(out, block.encrypted ? 1 : 0);
+    std::uint64_t wear_bits;
+    static_assert(sizeof(wear_bits) == sizeof(block.wear));
+    std::memcpy(&wear_bits, &block.wear, sizeof(wear_bits));
+    write_u64(out, wear_bits);
+    write_u64(out, block.levels.size());
+    out.write(reinterpret_cast<const char*>(block.levels.data()),
+              static_cast<std::streamsize>(block.levels.size()));
+  }
+  if (!out) throw std::runtime_error("snvmm image: write failure");
+}
+
+void save_image_file(const Snvmm& nvmm, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("snvmm image: cannot open " + path);
+  save_image(nvmm, out);
+}
+
+Snvmm load_image(std::istream& in) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("snvmm image: bad magic");
+
+  SnvmmConfig config;
+  config.device_seed = read_u64(in);
+  config.units_per_block = static_cast<unsigned>(read_u64(in));
+  config.base_params.rows = static_cast<unsigned>(read_u64(in));
+  config.base_params.cols = static_cast<unsigned>(read_u64(in));
+  const std::uint64_t stored_fingerprint = read_u64(in);
+
+  Snvmm nvmm(config);
+  if (nvmm.fingerprint() != stored_fingerprint)
+    throw std::runtime_error(
+        "snvmm image: fingerprint mismatch (corrupted image or different "
+        "library parameterisation)");
+
+  const std::uint64_t blocks = read_u64(in);
+  const std::size_t expected_levels =
+      static_cast<std::size_t>(config.units_per_block) *
+      config.base_params.cell_count();
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const std::uint64_t addr = read_u64(in);
+    const bool encrypted = read_u64(in) != 0;
+    const std::uint64_t wear_bits = read_u64(in);
+    const std::uint64_t levels = read_u64(in);
+    if (levels != expected_levels)
+      throw std::runtime_error("snvmm image: block size mismatch");
+    auto& block = nvmm.block(addr);
+    in.read(reinterpret_cast<char*>(block.levels.data()),
+            static_cast<std::streamsize>(levels));
+    if (!in) throw std::runtime_error("snvmm image: truncated block data");
+    block.encrypted = encrypted;
+    std::memcpy(&block.wear, &wear_bits, sizeof(block.wear));
+  }
+  return nvmm;
+}
+
+Snvmm load_image_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("snvmm image: cannot open " + path);
+  return load_image(in);
+}
+
+}  // namespace spe::core

@@ -1,0 +1,31 @@
+#pragma once
+// NVMM image persistence. The array is non-volatile: its analog state
+// survives power-down *and process restart*. These helpers serialise a
+// device image (parameters + every stored cell level + encryption flags)
+// so an SNVMM can be saved to disk and reloaded later — the instant-on
+// property end-to-end, and a convenient fixture format for experiments.
+//
+// Format (little-endian, versioned):
+//   magic "SPENVMM1" | device_seed | units_per_block | crossbar rows/cols |
+//   block count | per block: address, encrypted flag, cell levels.
+// The manufactured parameters are re-derived from the device seed, and the
+// stored fingerprint is cross-checked on load (a corrupted or mismatched
+// image is rejected rather than silently decrypting garbage).
+
+#include <iosfwd>
+#include <string>
+
+#include "core/snvmm.hpp"
+
+namespace spe::core {
+
+/// Writes the device image. Throws std::runtime_error on I/O failure.
+void save_image(const Snvmm& nvmm, std::ostream& out);
+void save_image_file(const Snvmm& nvmm, const std::string& path);
+
+/// Reads a device image back. Throws std::runtime_error on I/O failure,
+/// format corruption, or fingerprint mismatch.
+[[nodiscard]] Snvmm load_image(std::istream& in);
+[[nodiscard]] Snvmm load_image_file(const std::string& path);
+
+}  // namespace spe::core

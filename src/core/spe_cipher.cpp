@@ -1,0 +1,178 @@
+#include "core/spe_cipher.hpp"
+
+#include <stdexcept>
+
+namespace spe::core {
+
+namespace {
+constexpr std::uint64_t kChainInit = 0x510E527FADE682D1ull;
+constexpr std::uint64_t kDigestInit = 0x9B05688C2B3E6C1Full;
+}  // namespace
+
+SpeCipher::SpeCipher(const SpeKey& key, std::shared_ptr<const CipherCalibration> calibration,
+                     std::vector<unsigned> poes, unsigned unit_index)
+    : cal_(std::move(calibration)),
+      addresses_(poes.empty() ? default_poes_8x8() : std::move(poes),
+                 cal_->params().rows, cal_->params().cols),
+      voltages_(cal_->library()),
+      schedule_(key, addresses_, voltages_, unit_index) {
+  if (!cal_) throw std::invalid_argument("SpeCipher: null calibration");
+  if (cal_->cell_count() > 256)
+    throw std::invalid_argument("SpeCipher: crossbar unit larger than 256 cells");
+}
+
+std::uint64_t SpeCipher::outside_digest(const UnitLevels& levels,
+                                        const CipherCalibration::Shape& shape) const {
+  // Membership flags for the (small) covered set.
+  std::array<std::uint8_t, 256> in_shape{};
+  for (std::uint16_t c : shape.cells) in_shape[c] = 1;
+
+  // Order-independent fold over the untouched cells: this is the
+  // behavioural stand-in for the global resistive load the sneak network
+  // presents to the pulse. It is identical before and after the pulse
+  // (outside cells do not move), which is what makes decryption able to
+  // recompute it.
+  std::uint64_t digest = kDigestInit;
+  for (unsigned i = 0; i < levels.size(); ++i) {
+    if (!in_shape[i]) digest ^= util::mix64((std::uint64_t{levels[i]} << 16) | i);
+  }
+  return digest;
+}
+
+void SpeCipher::apply_pass(UnitLevels& levels, const CipherCalibration::Shape& shape,
+                           const PulseStep& step, unsigned step_index, unsigned pass,
+                           std::uint64_t digest, bool reverse_order, bool encrypt) const {
+  const unsigned count = static_cast<unsigned>(shape.cells.size());
+  if (count == 0) return;
+  const std::uint64_t base = digest ^ cal_->fingerprint() ^
+                             (std::uint64_t{step.pulse_code} << 32) ^
+                             (std::uint64_t{step.poe_cell} << 40) ^
+                             (std::uint64_t{step_index} << 48) ^
+                             (std::uint64_t{pass} << 56);
+
+  auto cell_at = [&](unsigned pos) {
+    return reverse_order ? count - 1 - pos : pos;
+  };
+  auto transform_params = [&](std::uint64_t chain, unsigned tier, unsigned& code,
+                              unsigned& rot) {
+    const std::uint64_t h = util::mix64(base ^ chain ^ (std::uint64_t{tier} << 8));
+    code = (step.pulse_code ^ static_cast<unsigned>(h & 31)) % cal_->library().size();
+    rot = static_cast<unsigned>((h >> 5) & (CipherCalibration::kLevels - 1));
+  };
+  auto fold_chain = [](std::uint64_t chain, std::uint8_t level, std::uint16_t cell) {
+    return util::mix64(chain ^ (std::uint64_t{level} << 8) ^ cell);
+  };
+
+  if (encrypt) {
+    std::uint64_t chain = kChainInit;
+    for (unsigned pos = 0; pos < count; ++pos) {
+      const unsigned k = cell_at(pos);
+      const std::uint16_t cell = shape.cells[k];
+      const unsigned tier = shape.tiers[k];
+      unsigned code, rot;
+      transform_params(chain, tier, code, rot);
+      const std::uint8_t old = levels[cell];
+      const std::uint8_t fresh =
+          cal_->perm(code, tier)[(old + rot) % CipherCalibration::kLevels];
+      levels[cell] = fresh;
+      chain = fold_chain(chain, fresh, cell);
+    }
+  } else {
+    // Inverse: positions back-to-front; cells at earlier positions still
+    // hold their pass outputs, so the chain can be replayed exactly.
+    for (unsigned pos = count; pos-- > 0;) {
+      std::uint64_t chain = kChainInit;
+      for (unsigned q = 0; q < pos; ++q) {
+        const unsigned kq = cell_at(q);
+        chain = fold_chain(chain, levels[shape.cells[kq]], shape.cells[kq]);
+      }
+      const unsigned k = cell_at(pos);
+      const std::uint16_t cell = shape.cells[k];
+      const unsigned tier = shape.tiers[k];
+      unsigned code, rot;
+      transform_params(chain, tier, code, rot);
+      const std::uint8_t inv = cal_->inv_perm(code, tier)[levels[cell]];
+      levels[cell] = static_cast<std::uint8_t>(
+          (inv + CipherCalibration::kLevels - rot) % CipherCalibration::kLevels);
+    }
+  }
+}
+
+void SpeCipher::apply_pulse(UnitLevels& levels, const PulseStep& step, unsigned step_index,
+                            bool encrypt) const {
+  const CipherCalibration::Shape& shape = cal_->shape(step.poe_cell);
+  const std::uint64_t digest = outside_digest(levels, shape);
+  if (encrypt) {
+    apply_pass(levels, shape, step, step_index, 0, digest, /*reverse_order=*/false, true);
+    apply_pass(levels, shape, step, step_index, 1, digest, /*reverse_order=*/true, true);
+  } else {
+    apply_pass(levels, shape, step, step_index, 1, digest, /*reverse_order=*/true, false);
+    apply_pass(levels, shape, step, step_index, 0, digest, /*reverse_order=*/false, false);
+  }
+}
+
+void SpeCipher::encrypt(UnitLevels& levels) const {
+  if (levels.size() != cell_count()) throw std::invalid_argument("SpeCipher::encrypt: size");
+  const auto& steps = schedule_.steps();
+  for (unsigned s = 0; s < steps.size(); ++s) apply_pulse(levels, steps[s], s, true);
+}
+
+void SpeCipher::decrypt(UnitLevels& levels) const {
+  if (levels.size() != cell_count()) throw std::invalid_argument("SpeCipher::decrypt: size");
+  const auto& steps = schedule_.steps();
+  for (unsigned s = static_cast<unsigned>(steps.size()); s-- > 0;)
+    apply_pulse(levels, steps[s], s, false);
+}
+
+void SpeCipher::encrypt_truncated(UnitLevels& levels, unsigned pulses) const {
+  if (levels.size() != cell_count())
+    throw std::invalid_argument("SpeCipher::encrypt_truncated: size");
+  const auto& steps = schedule_.steps();
+  const unsigned n = std::min<unsigned>(pulses, static_cast<unsigned>(steps.size()));
+  for (unsigned s = 0; s < n; ++s) apply_pulse(levels, steps[s], s, true);
+}
+
+void SpeCipher::decrypt_with_order(UnitLevels& levels, std::span<const unsigned> order) const {
+  if (levels.size() != cell_count())
+    throw std::invalid_argument("SpeCipher::decrypt_with_order: size");
+  const auto& steps = schedule_.steps();
+  for (unsigned i = static_cast<unsigned>(order.size()); i-- > 0;) {
+    const unsigned s = order[i];
+    if (s >= steps.size()) throw std::out_of_range("SpeCipher::decrypt_with_order");
+    apply_pulse(levels, steps[s], s, false);
+  }
+}
+
+UnitLevels SpeCipher::levels_from_bytes(std::span<const std::uint8_t> plaintext) const {
+  const unsigned cells = cell_count();
+  if (plaintext.size() * 4 != cells)
+    throw std::invalid_argument("SpeCipher::levels_from_bytes: need cells/4 bytes");
+  UnitLevels levels(cells);
+  for (unsigned i = 0; i < cells; ++i) {
+    const unsigned logic = (plaintext[i / 4] >> (6 - 2 * (i % 4))) & 3u;
+    const unsigned symbol = device::MlcCodec::symbol_for_logic_bits(logic);
+    levels[i] = static_cast<std::uint8_t>(device::MlcCodec::level_for_symbol(symbol));
+  }
+  return levels;
+}
+
+void SpeCipher::bytes_from_levels(const UnitLevels& levels, std::span<std::uint8_t> out) const {
+  const unsigned cells = cell_count();
+  if (levels.size() != cells || out.size() * 4 != cells)
+    throw std::invalid_argument("SpeCipher::bytes_from_levels: size");
+  for (auto& b : out) b = 0;
+  for (unsigned i = 0; i < cells; ++i) {
+    const unsigned symbol = device::MlcCodec::symbol_for_level(levels[i]);
+    const unsigned logic = device::MlcCodec::logic_bits_for_symbol(symbol);
+    out[i / 4] |= static_cast<std::uint8_t>(logic << (6 - 2 * (i % 4)));
+  }
+}
+
+void SpeCipher::encrypt_bytes(std::span<const std::uint8_t> plaintext,
+                              std::span<std::uint8_t> ciphertext) const {
+  UnitLevels levels = levels_from_bytes(plaintext);
+  encrypt(levels);
+  bytes_from_levels(levels, ciphertext);
+}
+
+}  // namespace spe::core

@@ -1,0 +1,138 @@
+#include "core/specu.hpp"
+
+#include <stdexcept>
+
+namespace spe::core {
+
+namespace {
+// Per-pulse ageing relative to a full write (Section 5.2 / wear module).
+constexpr double kSpePulseWear = 0.02;
+}  // namespace
+
+Specu::Specu(Snvmm& memory, SpeMode mode, std::vector<unsigned> poes)
+    : memory_(memory), mode_(mode), poes_(std::move(poes)) {
+  calibration_ = get_calibration(memory_.device_params());
+}
+
+bool Specu::power_on(const Tpm& tpm, std::uint64_t platform_measurement) {
+  const auto key = tpm.authenticate_and_release(memory_.device_id(), platform_measurement);
+  if (!key) return false;
+  ciphers_.clear();
+  for (unsigned unit = 0; unit < memory_.config().units_per_block; ++unit)
+    ciphers_.push_back(std::make_unique<SpeCipher>(*key, calibration_, poes_, unit));
+  return true;
+}
+
+unsigned Specu::power_down() {
+  if (!powered()) return 0;
+  unsigned secured = 0;
+  for (std::uint64_t addr : plaintext_) {
+    encrypt_block_in_place(memory_.block(addr));
+    ++secured;
+  }
+  plaintext_.clear();
+  ciphers_.clear();  // volatile key storage wiped
+  return secured;
+}
+
+unsigned Specu::power_loss() {
+  const auto abandoned = static_cast<unsigned>(plaintext_.size());
+  ciphers_.clear();
+  // plaintext_ intentionally kept: those blocks really are plaintext in the
+  // array now, with no powered controller to know it.
+  return abandoned;
+}
+
+void Specu::encrypt_block_in_place(Snvmm::Block& block) {
+  const unsigned cells = calibration_->cell_count();
+  for (unsigned unit = 0; unit < ciphers_.size(); ++unit) {
+    UnitLevels levels(block.levels.begin() + unit * cells,
+                      block.levels.begin() + (unit + 1) * cells);
+    cipher(unit).encrypt(levels);
+    std::copy(levels.begin(), levels.end(), block.levels.begin() + unit * cells);
+    ++stats_.encrypt_ops;
+    // Section 5.2: each PoE pulse ages the cells by ~2% of a full write.
+    block.wear += kSpePulseWear * static_cast<double>(cipher(unit).schedule().size());
+  }
+  block.encrypted = true;
+}
+
+void Specu::decrypt_block_in_place(Snvmm::Block& block) {
+  const unsigned cells = calibration_->cell_count();
+  for (unsigned unit = 0; unit < ciphers_.size(); ++unit) {
+    UnitLevels levels(block.levels.begin() + unit * cells,
+                      block.levels.begin() + (unit + 1) * cells);
+    cipher(unit).decrypt(levels);
+    std::copy(levels.begin(), levels.end(), block.levels.begin() + unit * cells);
+    ++stats_.decrypt_ops;
+    block.wear += kSpePulseWear * static_cast<double>(cipher(unit).schedule().size());
+  }
+  block.encrypted = false;
+}
+
+void Specu::write_block(std::uint64_t block_addr, std::span<const std::uint8_t> data) {
+  if (!powered()) throw std::logic_error("Specu::write_block: not powered / no key");
+  if (data.size() != memory_.block_bytes())
+    throw std::invalid_argument("Specu::write_block: bad block size");
+
+  Snvmm::Block& block = memory_.block(block_addr);
+  block.wear += 1.0;  // full write: one RESET/SET-class cycle per cell
+  const unsigned cells = calibration_->cell_count();
+  const unsigned unit_bytes = cells / 4;
+  // Write phase: program plaintext band centres.
+  for (unsigned unit = 0; unit < ciphers_.size(); ++unit) {
+    const UnitLevels levels =
+        cipher(unit).levels_from_bytes(data.subspan(unit * unit_bytes, unit_bytes));
+    std::copy(levels.begin(), levels.end(), block.levels.begin() + unit * cells);
+  }
+  block.encrypted = false;
+  plaintext_.erase(block_addr);
+  // Encryption phase (all transistors ON, PoE pulses applied).
+  encrypt_block_in_place(block);
+  ++stats_.writes;
+}
+
+std::vector<std::uint8_t> Specu::read_block(std::uint64_t block_addr) {
+  if (!powered()) throw std::logic_error("Specu::read_block: not powered / no key");
+  Snvmm::Block& block = memory_.block(block_addr);
+  if (block.encrypted) decrypt_block_in_place(block);
+
+  const unsigned cells = calibration_->cell_count();
+  const unsigned unit_bytes = cells / 4;
+  std::vector<std::uint8_t> out(memory_.block_bytes(), 0);
+  for (unsigned unit = 0; unit < ciphers_.size(); ++unit) {
+    const UnitLevels levels(block.levels.begin() + unit * cells,
+                            block.levels.begin() + (unit + 1) * cells);
+    cipher(unit).bytes_from_levels(levels,
+                                   std::span(out).subspan(unit * unit_bytes, unit_bytes));
+  }
+  ++stats_.reads;
+
+  if (mode_ == SpeMode::Parallel) {
+    encrypt_block_in_place(block);
+  } else {
+    plaintext_.insert(block_addr);
+  }
+  return out;
+}
+
+unsigned Specu::background_encrypt(unsigned max_blocks) {
+  if (!powered()) return 0;
+  unsigned secured = 0;
+  while (secured < max_blocks && !plaintext_.empty()) {
+    const std::uint64_t addr = *plaintext_.begin();
+    plaintext_.erase(plaintext_.begin());
+    encrypt_block_in_place(memory_.block(addr));
+    ++secured;
+  }
+  return secured;
+}
+
+double Specu::encrypted_fraction() const {
+  if (memory_.block_count() == 0) return 1.0;
+  std::size_t encrypted = 0;
+  for (const auto& [addr, block] : memory_.blocks()) encrypted += block.encrypted ? 1 : 0;
+  return static_cast<double>(encrypted) / static_cast<double>(memory_.block_count());
+}
+
+}  // namespace spe::core

@@ -1,0 +1,97 @@
+#pragma once
+// The Sneak-Path Encryption Control Unit (Section 4.1, Fig. 1b). Sits
+// between the L2 cache and the NVMM; holds the key in volatile storage
+// (obtained from the TPM at power-on, lost at power-down) and orchestrates
+// the two-phase read (decrypt + read) and write (write + encrypt)
+// operations. Two operating modes (Section 7):
+//
+//  * SPE-serial:   a decrypted block STAYS decrypted in the array until it
+//                  is written back or the background engine re-encrypts it
+//                  (cheap reads of hot blocks; a small window of plaintext
+//                  exposure — "99.4% of memory encrypted on average").
+//  * SPE-parallel: every block is re-encrypted immediately after the read
+//                  data leaves for the cache (100% encrypted; each read
+//                  pays decrypt + encrypt latency).
+//
+// The SPECU here is the *functional* controller; cycle costs live in the
+// area/latency model and are charged by the architecture simulator.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "core/snvmm.hpp"
+#include "core/spe_cipher.hpp"
+#include "core/tpm.hpp"
+
+namespace spe::core {
+
+enum class SpeMode { Serial, Parallel };
+
+class Specu {
+public:
+  /// Creates the control unit for `memory`. No key yet: reads/writes throw
+  /// until power_on() succeeds.
+  Specu(Snvmm& memory, SpeMode mode, std::vector<unsigned> poes = {});
+
+  /// Power-on handshake: TPM authenticates the platform and releases the
+  /// key. Returns false (and stays locked) on authentication failure.
+  bool power_on(const Tpm& tpm, std::uint64_t platform_measurement);
+
+  /// Orderly power-down: every plaintext block is encrypted (counted into
+  /// stats; the cold-boot analysis uses the count), then the volatile key
+  /// is destroyed. Returns the number of blocks that had to be secured.
+  unsigned power_down();
+
+  /// Hard power loss (the cold-boot scenario): the key is lost but
+  /// plaintext blocks are NOT secured first. Returns how many plaintext
+  /// blocks were abandoned in the array.
+  unsigned power_loss();
+
+  [[nodiscard]] bool powered() const noexcept { return ciphers_.size() > 0; }
+  [[nodiscard]] SpeMode mode() const noexcept { return mode_; }
+
+  /// Cache-block write: stores plaintext and encrypts it (write phase +
+  /// encryption phase, Section 4.1).
+  void write_block(std::uint64_t block_addr, std::span<const std::uint8_t> data);
+
+  /// Cache-block read: decrypts in the array, reads out, and (parallel
+  /// mode) immediately re-encrypts; serial mode leaves the block decrypted
+  /// and queues it for the background engine.
+  [[nodiscard]] std::vector<std::uint8_t> read_block(std::uint64_t block_addr);
+
+  /// Serial-mode background engine: re-encrypts up to `max_blocks` pending
+  /// plaintext blocks; returns how many it secured.
+  unsigned background_encrypt(unsigned max_blocks = 1);
+
+  /// Blocks currently sitting in the array as plaintext.
+  [[nodiscard]] std::size_t plaintext_blocks() const noexcept { return plaintext_.size(); }
+  /// Fraction of resident blocks currently encrypted (1.0 for empty array).
+  [[nodiscard]] double encrypted_fraction() const;
+
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t decrypt_ops = 0;   ///< per crossbar-unit decryptions
+    std::uint64_t encrypt_ops = 0;   ///< per crossbar-unit encryptions
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+private:
+  [[nodiscard]] const SpeCipher& cipher(unsigned unit) const { return *ciphers_.at(unit); }
+  void encrypt_block_in_place(Snvmm::Block& block);
+  void decrypt_block_in_place(Snvmm::Block& block);
+
+  Snvmm& memory_;
+  SpeMode mode_;
+  std::vector<unsigned> poes_;
+  std::shared_ptr<const CipherCalibration> calibration_;
+  std::vector<std::unique_ptr<SpeCipher>> ciphers_;  ///< one per unit index
+  std::set<std::uint64_t> plaintext_;                ///< serial-mode pending set
+  Stats stats_;
+};
+
+}  // namespace spe::core

@@ -1,0 +1,22 @@
+#include "core/tpm.hpp"
+
+namespace spe::core {
+
+void Tpm::provision(std::uint64_t device_id, std::uint64_t platform_measurement,
+                    const SpeKey& key) {
+  sealed_[device_id] = Sealed{platform_measurement, key};
+}
+
+std::optional<SpeKey> Tpm::authenticate_and_release(
+    std::uint64_t device_id, std::uint64_t platform_measurement) const {
+  const auto it = sealed_.find(device_id);
+  if (it == sealed_.end()) return std::nullopt;
+  if (it->second.measurement != platform_measurement) return std::nullopt;
+  return it->second.key;
+}
+
+bool Tpm::knows_device(std::uint64_t device_id) const {
+  return sealed_.contains(device_id);
+}
+
+}  // namespace spe::core

@@ -1,0 +1,38 @@
+#pragma once
+// Trusted Platform Module stub (Section 4.1 / ref [11]). The TPM seals the
+// SPE key against (device id, platform measurement). At power-on it
+// authenticates the NVMM and the platform and releases the key to the
+// SPECU, which keeps it in volatile storage only — on power-down the key is
+// gone and only the TPM can restore it on a *measured* platform.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/key.hpp"
+
+namespace spe::core {
+
+class Tpm {
+public:
+  /// Seals `key` for the NVMM `device_id` on a platform whose integrity
+  /// measurement is `platform_measurement` (e.g. a boot-chain hash).
+  void provision(std::uint64_t device_id, std::uint64_t platform_measurement,
+                 const SpeKey& key);
+
+  /// Power-on handshake: returns the key iff the device is known and the
+  /// presented measurement matches the sealed one.
+  [[nodiscard]] std::optional<SpeKey> authenticate_and_release(
+      std::uint64_t device_id, std::uint64_t platform_measurement) const;
+
+  [[nodiscard]] bool knows_device(std::uint64_t device_id) const;
+
+private:
+  struct Sealed {
+    std::uint64_t measurement = 0;
+    SpeKey key;
+  };
+  std::map<std::uint64_t, Sealed> sealed_;
+};
+
+}  // namespace spe::core

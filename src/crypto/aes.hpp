@@ -1,0 +1,36 @@
+#pragma once
+// AES-128 (FIPS-197), encrypt and decrypt, implemented from the spec. Used
+// as the block-cipher baseline of the paper's evaluation (Section 7: "we
+// also evaluate the performance of AES block ciphers") and by the i-NVMM
+// baseline model. Software model only — the 80-cycle hardware latency the
+// paper charges for AES lives in the architecture simulator's scheme table.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace spe::crypto {
+
+class Aes128 {
+public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr unsigned kRounds = 10;
+
+  explicit Aes128(std::span<const std::uint8_t, kKeySize> key);
+
+  void encrypt_block(std::span<const std::uint8_t, kBlockSize> in,
+                     std::span<std::uint8_t, kBlockSize> out) const;
+  void decrypt_block(std::span<const std::uint8_t, kBlockSize> in,
+                     std::span<std::uint8_t, kBlockSize> out) const;
+
+  /// In-place convenience overloads.
+  void encrypt_block(std::span<std::uint8_t, kBlockSize> data) const;
+  void decrypt_block(std::span<std::uint8_t, kBlockSize> data) const;
+
+private:
+  // Round keys: (kRounds + 1) * 16 bytes.
+  std::array<std::uint8_t, (kRounds + 1) * kBlockSize> round_keys_{};
+};
+
+}  // namespace spe::crypto

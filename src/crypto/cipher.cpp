@@ -1,0 +1,58 @@
+#include "crypto/cipher.hpp"
+
+#include <cstring>
+
+namespace spe::crypto {
+
+AesBlockCipher::AesBlockCipher(std::span<const std::uint8_t, Aes128::kKeySize> key)
+    : aes_(key) {}
+
+std::array<std::uint8_t, 16> AesBlockCipher::tweak(std::uint64_t block_address,
+                                                   unsigned sub_block) const {
+  std::array<std::uint8_t, 16> t{};
+  for (int i = 0; i < 8; ++i) t[i] = static_cast<std::uint8_t>(block_address >> (8 * i));
+  t[8] = static_cast<std::uint8_t>(sub_block);
+  aes_.encrypt_block(std::span<std::uint8_t, 16>(t));
+  return t;
+}
+
+void AesBlockCipher::encrypt(std::uint64_t block_address,
+                             std::span<std::uint8_t, kCacheBlockBytes> data) const {
+  for (unsigned sb = 0; sb < kCacheBlockBytes / 16; ++sb) {
+    const auto t = tweak(block_address, sb);
+    auto chunk = data.subspan(sb * 16).first<16>();
+    for (int i = 0; i < 16; ++i) chunk[i] ^= t[i];
+    aes_.encrypt_block(chunk);
+    for (int i = 0; i < 16; ++i) chunk[i] ^= t[i];
+  }
+}
+
+void AesBlockCipher::decrypt(std::uint64_t block_address,
+                             std::span<std::uint8_t, kCacheBlockBytes> data) const {
+  for (unsigned sb = 0; sb < kCacheBlockBytes / 16; ++sb) {
+    const auto t = tweak(block_address, sb);
+    auto chunk = data.subspan(sb * 16).first<16>();
+    for (int i = 0; i < 16; ++i) chunk[i] ^= t[i];
+    aes_.decrypt_block(chunk);
+    for (int i = 0; i < 16; ++i) chunk[i] ^= t[i];
+  }
+}
+
+StreamBlockCipher::StreamBlockCipher(std::span<const std::uint8_t, Trivium::kKeyBytes> key) {
+  std::memcpy(key_.data(), key.data(), key_.size());
+}
+
+void StreamBlockCipher::encrypt(std::uint64_t block_address,
+                                std::span<std::uint8_t, kCacheBlockBytes> data) const {
+  std::array<std::uint8_t, Trivium::kIvBytes> iv{};
+  for (int i = 0; i < 8; ++i) iv[i] = static_cast<std::uint8_t>(block_address >> (8 * i));
+  Trivium stream(std::span<const std::uint8_t, Trivium::kKeyBytes>(key_), iv);
+  stream.apply(data);
+}
+
+void StreamBlockCipher::decrypt(std::uint64_t block_address,
+                                std::span<std::uint8_t, kCacheBlockBytes> data) const {
+  encrypt(block_address, data);  // XOR stream: involution
+}
+
+}  // namespace spe::crypto

@@ -1,0 +1,46 @@
+#include "crypto/stream_cipher.hpp"
+
+namespace spe::crypto {
+
+Trivium::Trivium(std::span<const std::uint8_t, kKeyBytes> key,
+                 std::span<const std::uint8_t, kIvBytes> iv) {
+  s_.fill(0);
+  // Load key into s1..s80 and IV into s94..s173 (1-based spec indices),
+  // bit i of byte b = bit (8b + i), LSB-first per the reference code.
+  for (unsigned i = 0; i < 80; ++i) s_[i] = (key[i / 8] >> (i % 8)) & 1u;
+  for (unsigned i = 0; i < 80; ++i) s_[93 + i] = (iv[i / 8] >> (i % 8)) & 1u;
+  // s286, s287, s288 = 1.
+  s_[285] = s_[286] = s_[287] = 1;
+  // 4 * 288 warm-up rounds, discarding output.
+  for (int i = 0; i < 4 * 288; ++i) (void)next_bit();
+}
+
+unsigned Trivium::next_bit() {
+  const unsigned t1 = s_[65] ^ s_[92];
+  const unsigned t2 = s_[161] ^ s_[176];
+  const unsigned t3 = s_[242] ^ s_[287];
+  const unsigned z = t1 ^ t2 ^ t3;
+  const unsigned n1 = t1 ^ (s_[90] & s_[91]) ^ s_[170];
+  const unsigned n2 = t2 ^ (s_[174] & s_[175]) ^ s_[263];
+  const unsigned n3 = t3 ^ (s_[285] & s_[286]) ^ s_[68];
+  // Shift the three registers toward higher indices.
+  for (int i = 92; i > 0; --i) s_[i] = s_[i - 1];     // reg 1: s0..s92
+  s_[0] = static_cast<std::uint8_t>(n3);
+  for (int i = 176; i > 93; --i) s_[i] = s_[i - 1];   // reg 2: s93..s176
+  s_[93] = static_cast<std::uint8_t>(n1);
+  for (int i = 287; i > 177; --i) s_[i] = s_[i - 1];  // reg 3: s177..s287
+  s_[177] = static_cast<std::uint8_t>(n2);
+  return z;
+}
+
+std::uint8_t Trivium::next_byte() {
+  std::uint8_t b = 0;
+  for (int i = 0; i < 8; ++i) b |= static_cast<std::uint8_t>(next_bit() << i);
+  return b;
+}
+
+void Trivium::apply(std::span<std::uint8_t> data) {
+  for (auto& byte : data) byte ^= next_byte();
+}
+
+}  // namespace spe::crypto

@@ -1,0 +1,35 @@
+#pragma once
+// Trivium stream cipher (eSTREAM hardware portfolio) — the stream-cipher
+// baseline of the paper's Table 3 ([5], [8] secure an NVMM with stream
+// ciphers: ~1-cycle latency but ~6.18 mm^2 of key-stream storage). The
+// simulator charges those costs; this class provides the functional
+// key-stream so attack/end-to-end tests can operate on real ciphertext.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace spe::crypto {
+
+class Trivium {
+public:
+  static constexpr std::size_t kKeyBytes = 10;  // 80-bit key
+  static constexpr std::size_t kIvBytes = 10;   // 80-bit IV
+
+  Trivium(std::span<const std::uint8_t, kKeyBytes> key,
+          std::span<const std::uint8_t, kIvBytes> iv);
+
+  /// Next key-stream bit / byte (bytes are little-endian in bit order,
+  /// matching the eSTREAM reference implementation).
+  [[nodiscard]] unsigned next_bit();
+  [[nodiscard]] std::uint8_t next_byte();
+
+  /// XORs the key-stream over `data` (encrypt == decrypt).
+  void apply(std::span<std::uint8_t> data);
+
+private:
+  // 288-bit state in three shift registers (93 + 84 + 111).
+  std::array<std::uint8_t, 288> s_{};
+};
+
+}  // namespace spe::crypto

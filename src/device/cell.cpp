@@ -1,0 +1,72 @@
+#include "device/cell.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spe::device {
+
+Cell::Cell(TeamParams mparams, TransistorParams tparams, double initial_state)
+    : memristor_(mparams, initial_state), tparams_(tparams) {}
+
+double Cell::series_resistance() const noexcept {
+  const double rt = gate_on_ ? tparams_.r_on : tparams_.r_off;
+  return memristor_.resistance() + rt;
+}
+
+void Cell::apply_cell_voltage(double cell_voltage, double duration, int steps) {
+  if (std::abs(cell_voltage) < tparams_.v_threshold) return;  // sub-Vt: no write
+  // Voltage divider across the series pair; the memristor resistance moves
+  // during the pulse, so recompute the divider every step by delegating the
+  // integration to the memristor with the divided voltage updated per step.
+  const double rt = gate_on_ ? tparams_.r_on : tparams_.r_off;
+  if (duration <= 0.0 || steps <= 0) return;
+  const double h = duration / steps;
+  for (int s = 0; s < steps; ++s) {
+    const double rm = memristor_.resistance();
+    const double vm = cell_voltage * rm / (rm + rt);
+    memristor_.apply_voltage(vm, h, 1);
+  }
+}
+
+double find_inverse_pulse_width(Cell& cell, double decrypt_voltage, double target_state,
+                                double max_width, double tolerance) {
+  if (max_width <= 0.0) throw std::invalid_argument("find_inverse_pulse_width: max_width");
+  const double start_state = cell.memristor().state();
+
+  // Signed miss distance after applying a candidate pulse width.
+  auto miss = [&](double width) {
+    cell.memristor().set_state(start_state);
+    cell.apply_cell_voltage(decrypt_voltage, width);
+    const double err = cell.memristor().state() - target_state;
+    return err;
+  };
+
+  // The decrypt pulse drives the state monotonically; bracket the root.
+  double lo = 0.0;
+  double hi = max_width;
+  const double m_lo = miss(1e-12);
+  const double m_hi = miss(max_width);
+  double width = max_width;
+  if (m_lo * m_hi > 0.0) {
+    // Target unreachable within max_width: return the closer endpoint.
+    width = std::abs(m_lo) < std::abs(m_hi) ? 1e-12 : max_width;
+  } else {
+    for (int iter = 0; iter < 64; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      const double m = miss(mid);
+      if (std::abs(m) < tolerance) {
+        width = mid;
+        break;
+      }
+      if (m * m_lo > 0.0)
+        lo = mid;
+      else
+        hi = mid;
+      width = 0.5 * (lo + hi);
+    }
+  }
+  cell.memristor().set_state(start_state);
+  return width;
+}
+
+}  // namespace spe::device

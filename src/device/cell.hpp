@@ -1,0 +1,64 @@
+#pragma once
+// A 1T1M crossbar cell: a TEAM memristor in series with an access transistor
+// (Section 5.1, Fig. 3a). The transistor is modelled as a two-state resistor
+// (on-resistance / off-resistance); its gate threshold Vt is the quantity
+// that bounds the polyomino — cells seeing less than Vt are unaffected by an
+// encryption pulse (Fig. 4).
+
+#include "device/mlc.hpp"
+#include "device/pulse.hpp"
+#include "device/team_model.hpp"
+
+namespace spe::device {
+
+/// Series-transistor parameters.
+struct TransistorParams {
+  double r_on = 1e3;    ///< Channel resistance when the gate is driven [Ohm].
+  double r_off = 1e9;   ///< Leakage path when the gate is off [Ohm].
+  double v_threshold = 0.45;  ///< Device write threshold Vt [V] — pulses whose
+                              ///< cell share is below this leave the state
+                              ///< unchanged (Fig. 4's white cells). Sneak
+                              ///< voltages on the PoE's row/column plateau
+                              ///< near 0.5 V, so 0.45 V admits a
+                              ///< data-dependent subset of that cross.
+};
+
+/// One 1T1M cell. The memristor state is owned here; the crossbar owns the
+/// wiring.
+class Cell {
+public:
+  Cell(TeamParams mparams, TransistorParams tparams, double initial_state = 0.5);
+
+  [[nodiscard]] TeamModel& memristor() noexcept { return memristor_; }
+  [[nodiscard]] const TeamModel& memristor() const noexcept { return memristor_; }
+  [[nodiscard]] const TransistorParams& transistor() const noexcept { return tparams_; }
+
+  void set_gate(bool on) noexcept { gate_on_ = on; }
+  [[nodiscard]] bool gate_on() const noexcept { return gate_on_; }
+
+  /// Total series resistance seen between the cell's row and column wires.
+  [[nodiscard]] double series_resistance() const noexcept;
+
+  /// Applies `cell_voltage` (across the *series pair*) for `duration`.
+  /// The memristor only moves if its share of the voltage drives a current
+  /// past the TEAM thresholds; sub-Vt voltages never move it (hard cut that
+  /// models the write threshold of the access device).
+  void apply_cell_voltage(double cell_voltage, double duration, int steps = 200);
+
+private:
+  TeamModel memristor_;
+  TransistorParams tparams_;
+  bool gate_on_ = false;
+};
+
+/// Finds, by bisection, the -polarity pulse width that returns `cell`'s
+/// memristor to `target_state` after an encryption pulse, reproducing the
+/// Fig. 5 hysteresis experiment (the decrypt width differs from the encrypt
+/// width because k_on != k_off). Returns the width in seconds; `max_width`
+/// bounds the search. The cell state is restored before returning.
+[[nodiscard]] double find_inverse_pulse_width(Cell& cell, double decrypt_voltage,
+                                              double target_state,
+                                              double max_width = 0.2e-6,
+                                              double tolerance = 1e-3);
+
+}  // namespace spe::device

@@ -1,0 +1,36 @@
+#include "device/mlc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spe::device {
+
+MlcCodec::MlcCodec(TeamParams params) noexcept : params_(params) {}
+
+unsigned MlcCodec::symbol_for_state(double w) const noexcept {
+  const double t = std::clamp(w, 0.0, 1.0);
+  auto s = static_cast<unsigned>(t * kSymbols);
+  return std::min(s, kSymbols - 1);
+}
+
+double MlcCodec::state_for_symbol(unsigned symbol) const {
+  if (symbol >= kSymbols) throw std::out_of_range("MlcCodec::state_for_symbol");
+  return (static_cast<double>(symbol) + 0.5) / kSymbols;
+}
+
+unsigned MlcCodec::level_for_state(double w) const noexcept {
+  const double t = std::clamp(w, 0.0, 1.0);
+  auto level = static_cast<unsigned>(t * kInternalLevels);
+  return std::min(level, kInternalLevels - 1);
+}
+
+double MlcCodec::state_for_level(unsigned level) const {
+  if (level >= kInternalLevels) throw std::out_of_range("MlcCodec::state_for_level");
+  return (static_cast<double>(level) + 0.5) / kInternalLevels;
+}
+
+double MlcCodec::resistance_for_symbol(unsigned symbol) const {
+  return params_.resistance(state_for_symbol(symbol));
+}
+
+}  // namespace spe::device

@@ -1,0 +1,70 @@
+#pragma once
+// Multi-level cell (MLC) codec. The paper's NVMM uses MLC-2 memristors: four
+// resistance bands store two bits per cell (Section 5.1), with logic "11" at
+// the lowest resistance and "00" at the highest (Section 5.3: a cell
+// programmed to ~172 kOhm reads as logic 00).
+//
+// The codec also exposes a finer internal grid (default 64 levels) used by
+// the behavioural SPE cipher: encryption perturbs the analog state *within*
+// and *across* read bands, so the cipher tracks more resolution than the two
+// read bits.
+
+#include <cstdint>
+
+#include "device/team_model.hpp"
+
+namespace spe::device {
+
+/// Maps between logical MLC symbols, internal fine-grained levels, and
+/// physical resistance / normalised state values.
+class MlcCodec {
+public:
+  static constexpr unsigned kBitsPerCell = 2;
+  static constexpr unsigned kSymbols = 1u << kBitsPerCell;  // 4 read bands
+  static constexpr unsigned kInternalLevels = 64;           // 6-bit fine grid
+
+  explicit MlcCodec(TeamParams params = {}) noexcept;
+
+  /// Logical symbol (0..3) for a normalised device state. Symbol 0 encodes
+  /// logic "11" (lowest resistance); symbol 3 encodes logic "00".
+  [[nodiscard]] unsigned symbol_for_state(double w) const noexcept;
+
+  /// Centre-of-band normalised state for a logical symbol.
+  [[nodiscard]] double state_for_symbol(unsigned symbol) const;
+
+  /// Fine level (0..63) for a normalised state, uniform quantisation.
+  [[nodiscard]] unsigned level_for_state(double w) const noexcept;
+
+  /// Centre-of-cell normalised state for a fine level.
+  [[nodiscard]] double state_for_level(unsigned level) const;
+
+  /// Read band of a fine level: top two bits (level / 16).
+  [[nodiscard]] static constexpr unsigned symbol_for_level(unsigned level) noexcept {
+    return (level / (kInternalLevels / kSymbols)) & (kSymbols - 1);
+  }
+
+  /// Fine level at the centre of a read band.
+  [[nodiscard]] static constexpr unsigned level_for_symbol(unsigned symbol) noexcept {
+    constexpr unsigned per = kInternalLevels / kSymbols;
+    return symbol * per + per / 2;
+  }
+
+  /// Two-bit logic value as written in the paper ("11" = lowest resistance):
+  /// logic bits are the complement of the symbol index.
+  [[nodiscard]] static constexpr unsigned logic_bits_for_symbol(unsigned symbol) noexcept {
+    return (kSymbols - 1) - (symbol & (kSymbols - 1));
+  }
+  [[nodiscard]] static constexpr unsigned symbol_for_logic_bits(unsigned bits) noexcept {
+    return (kSymbols - 1) - (bits & (kSymbols - 1));
+  }
+
+  /// Resistance at the centre of a read band [Ohm].
+  [[nodiscard]] double resistance_for_symbol(unsigned symbol) const;
+
+  [[nodiscard]] const TeamParams& params() const noexcept { return params_; }
+
+private:
+  TeamParams params_;
+};
+
+}  // namespace spe::device

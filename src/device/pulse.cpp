@@ -1,0 +1,43 @@
+#include "device/pulse.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spe::device {
+
+PulseLibrary::PulseLibrary(double min_width, double max_width, double amplitude) {
+  if (min_width <= 0.0 || max_width <= min_width)
+    throw std::invalid_argument("PulseLibrary: need 0 < min_width < max_width");
+  pulses_.reserve(kPulses);
+  const double ratio = std::pow(max_width / min_width, 1.0 / (kWidths - 1));
+  for (unsigned pol = 0; pol < 2; ++pol) {
+    const double v = pol == 0 ? amplitude : -amplitude;
+    double w = min_width;
+    for (unsigned i = 0; i < kWidths; ++i) {
+      pulses_.push_back(Pulse{v, w});
+      w *= ratio;
+    }
+  }
+}
+
+const Pulse& PulseLibrary::pulse(unsigned code) const {
+  if (code >= pulses_.size()) throw std::out_of_range("PulseLibrary::pulse");
+  return pulses_[code];
+}
+
+unsigned PulseLibrary::nearest_code(double voltage, double width) const {
+  const unsigned pol = voltage >= 0.0 ? 0u : 1u;
+  unsigned best = pol * kWidths;
+  double best_err = std::abs(std::log(pulses_[best].width / width));
+  for (unsigned i = 1; i < kWidths; ++i) {
+    const unsigned code = pol * kWidths + i;
+    const double err = std::abs(std::log(pulses_[code].width / width));
+    if (err < best_err) {
+      best_err = err;
+      best = code;
+    }
+  }
+  return best;
+}
+
+}  // namespace spe::device

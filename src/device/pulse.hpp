@@ -1,0 +1,46 @@
+#pragma once
+// Programming pulses. Section 5.4: "the pulse width generator is capable of
+// producing 32 distinct pulse widths of either +1V or -1V" — i.e. 16 widths
+// per polarity, 32 (polarity, width) combinations in total. Widths are
+// log-spaced over the range a typical MLC programming circuit uses
+// (0.01 us .. 0.1 us; Fig. 2a lists e.g. 0.04/0.07/0.1 us pulses).
+
+#include <cstdint>
+#include <vector>
+
+namespace spe::device {
+
+/// A rectangular programming pulse.
+struct Pulse {
+  double voltage = 1.0;  ///< [V]; the SPECU drives +1 V or -1 V.
+  double width = 0.1e-6; ///< [s].
+
+  bool operator==(const Pulse&) const = default;
+};
+
+/// The SPECU's discrete pulse library: kWidths log-spaced widths times two
+/// polarities. Index layout: index = polarity * kWidths + width_index with
+/// polarity 0 = +1 V, polarity 1 = -1 V (so 32 codes fit in 5 bits, matching
+/// the 5-bit voltage field in the Fig. 2a key schedule).
+class PulseLibrary {
+public:
+  static constexpr unsigned kWidths = 16;
+  static constexpr unsigned kPulses = 2 * kWidths;
+
+  /// Builds the default library spanning [min_width, max_width] log-spaced.
+  explicit PulseLibrary(double min_width = 0.01e-6, double max_width = 0.1e-6,
+                        double amplitude = 1.0);
+
+  [[nodiscard]] const Pulse& pulse(unsigned code) const;
+  [[nodiscard]] unsigned size() const noexcept { return kPulses; }
+
+  /// The code whose pulse best matches (voltage sign, width) — inverse LUT.
+  [[nodiscard]] unsigned nearest_code(double voltage, double width) const;
+
+  [[nodiscard]] const std::vector<Pulse>& all() const noexcept { return pulses_; }
+
+private:
+  std::vector<Pulse> pulses_;
+};
+
+}  // namespace spe::device

@@ -1,0 +1,64 @@
+#include "device/team_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spe::device {
+
+double TeamParams::resistance(double w) const noexcept {
+  const double t = std::clamp(w, 0.0, 1.0);
+  return r_on + t * (r_off - r_on);
+}
+
+double TeamParams::state_for_resistance(double r) const noexcept {
+  const double t = (r - r_on) / (r_off - r_on);
+  return std::clamp(t, 0.0, 1.0);
+}
+
+TeamModel::TeamModel(TeamParams params, double initial_state) noexcept
+    : params_(params), w_(std::clamp(initial_state, 0.0, 1.0)) {}
+
+void TeamModel::set_state(double w) noexcept { w_ = std::clamp(w, 0.0, 1.0); }
+
+namespace {
+// TEAM exponential window: ~1 in the bulk, decays smoothly to 0 within
+// `edge` of the approached boundary. `toward_one` selects which boundary
+// pins the motion.
+double window(double w, double c, double edge, bool toward_one) noexcept {
+  const double dist = toward_one ? (1.0 - w) : w;
+  const double x = dist - edge;
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-x / c);
+}
+}  // namespace
+
+double TeamModel::dw_dt(double w, double voltage) const noexcept {
+  const double r = params_.resistance(w);
+  const double i = voltage / r;
+  if (i > params_.i_off && params_.i_off > 0.0) {
+    const double drive = std::pow(i / params_.i_off - 1.0, params_.alpha_off);
+    return params_.k_off * drive * window(w, params_.window_c, params_.window_edge, true);
+  }
+  if (i < params_.i_on && params_.i_on < 0.0) {
+    const double drive = std::pow(i / params_.i_on - 1.0, params_.alpha_on);
+    return params_.k_on * drive * window(w, params_.window_c, params_.window_edge, false);
+  }
+  return 0.0;
+}
+
+void TeamModel::apply_voltage(double voltage, double duration, int steps) {
+  if (duration <= 0.0 || steps <= 0) return;
+  const double h = duration / steps;
+  double w = w_;
+  for (int s = 0; s < steps; ++s) {
+    const double k1 = dw_dt(w, voltage);
+    const double k2 = dw_dt(w + 0.5 * h * k1, voltage);
+    const double k3 = dw_dt(w + 0.5 * h * k2, voltage);
+    const double k4 = dw_dt(w + h * k3, voltage);
+    w += h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    w = std::clamp(w, 0.0, 1.0);
+  }
+  w_ = w;
+}
+
+}  // namespace spe::device

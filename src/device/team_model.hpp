@@ -1,0 +1,76 @@
+#pragma once
+// ThrEshold Adaptive Memristor (TEAM) model — Kvatinsky et al., IEEE TCAS-I
+// 2013 (the paper's ref [15]). The device state w is normalised to [0, 1]
+// (w = 0 is the fully-ON, low-resistance state). The state moves only when
+// the device current exceeds the polarity-specific threshold:
+//
+//   dw/dt = k_off * (i/i_off - 1)^alpha_off * f_off(w)   for i >  i_off > 0
+//   dw/dt = k_on  * (i/i_on  - 1)^alpha_on  * f_on(w)    for i <  i_on  < 0
+//   dw/dt = 0                                            otherwise
+//
+// with k_off > 0 (drives w toward 1 / high resistance) and k_on < 0. The
+// window functions are the TEAM exponential windows, which softly pin w at
+// the boundaries. The resistance map is linear in w between R_on and R_off.
+//
+// Default parameters are calibrated so a +1 V pulse of ~0.07 us moves a cell
+// from the MLC-2 "10" band to the "00" band (~172 kOhm), and the reverse
+// -1 V pulse needs a much shorter width (~0.015 us), reproducing the
+// hysteresis asymmetry of the paper's Fig. 5.
+
+#include <cstdint>
+
+namespace spe::device {
+
+/// Physical/fitting parameters of a TEAM memristor.
+struct TeamParams {
+  double r_on = 10e3;      ///< Resistance at w = 0 [Ohm].
+  double r_off = 200e3;    ///< Resistance at w = 1 [Ohm].
+  double i_off = 1e-6;     ///< Positive current threshold [A].
+  double i_on = -1e-6;     ///< Negative current threshold [A].
+  double k_off = 1.15e6;   ///< OFF-switching rate [1/s].
+  double k_on = -5.5e6;    ///< ON-switching rate [1/s] (faster: hysteresis).
+  double alpha_off = 1.0;  ///< OFF-switching nonlinearity exponent.
+  double alpha_on = 1.0;   ///< ON-switching nonlinearity exponent.
+  double window_c = 0.06;  ///< Exponential window decay constant.
+  double window_edge = 0.02;  ///< Window pinning distance from each boundary.
+
+  /// Resistance for a given normalised state (linear ion-drift map).
+  [[nodiscard]] double resistance(double w) const noexcept;
+
+  /// Inverse of resistance(): the state that produces resistance r
+  /// (clamped to [0, 1]).
+  [[nodiscard]] double state_for_resistance(double r) const noexcept;
+};
+
+/// A single TEAM memristor with explicit state. Integration is RK4 with a
+/// fixed step chosen as a fraction of the pulse width.
+class TeamModel {
+public:
+  explicit TeamModel(TeamParams params = {}, double initial_state = 0.5) noexcept;
+
+  [[nodiscard]] const TeamParams& params() const noexcept { return params_; }
+  [[nodiscard]] double state() const noexcept { return w_; }
+  void set_state(double w) noexcept;
+
+  [[nodiscard]] double resistance() const noexcept { return params_.resistance(w_); }
+  void set_resistance(double r) noexcept { w_ = params_.state_for_resistance(r); }
+
+  /// State derivative for a given applied device voltage (current computed
+  /// through the instantaneous resistance).
+  [[nodiscard]] double dw_dt(double w, double voltage) const noexcept;
+
+  /// Applies `voltage` across the device for `duration` seconds, advancing
+  /// the state with `steps` RK4 steps (default resolves 0.1 us pulses well).
+  void apply_voltage(double voltage, double duration, int steps = 200);
+
+  /// Device current at the present state for an applied voltage.
+  [[nodiscard]] double current(double voltage) const noexcept {
+    return voltage / resistance();
+  }
+
+private:
+  TeamParams params_;
+  double w_;
+};
+
+}  // namespace spe::device

@@ -1,0 +1,129 @@
+#include "ecc/secded.hpp"
+
+#include <array>
+#include <bit>
+#include <stdexcept>
+
+namespace spe::ecc {
+
+namespace {
+
+/// Position code for each data bit: a 7-bit value that is neither zero nor
+/// a power of two, so data-bit syndromes never collide with check-bit
+/// syndromes (which are the powers of two).
+constexpr std::array<std::uint8_t, 64> make_position_codes() {
+  std::array<std::uint8_t, 64> codes{};
+  unsigned next = 0;
+  for (unsigned v = 3; next < 64; ++v) {
+    if ((v & (v - 1)) == 0) continue;  // skip powers of two
+    codes[next++] = static_cast<std::uint8_t>(v);
+  }
+  return codes;
+}
+constexpr std::array<std::uint8_t, 64> kPositionCodes = make_position_codes();
+
+std::uint8_t low7_checks(std::uint64_t data) {
+  std::uint8_t checks = 0;
+  for (unsigned i = 0; i < 7; ++i) {
+    std::uint64_t covered = 0;
+    for (unsigned d = 0; d < 64; ++d)
+      if ((kPositionCodes[d] >> i) & 1u) covered |= (data >> d) & 1u ? (std::uint64_t{1} << d) : 0;
+    checks |= static_cast<std::uint8_t>((std::popcount(covered) & 1) << i);
+  }
+  return checks;
+}
+
+unsigned parity64(std::uint64_t v) { return std::popcount(v) & 1u; }
+
+}  // namespace
+
+std::uint8_t encode_check(std::uint64_t data) {
+  const std::uint8_t low = low7_checks(data);
+  // Overall parity bit (bit 7) makes the full 72-bit codeword even-parity.
+  const unsigned overall = parity64(data) ^ (std::popcount(low) & 1u);
+  return static_cast<std::uint8_t>(low | (overall << 7));
+}
+
+DecodeResult decode(Codeword word) {
+  DecodeResult result;
+  result.data = word.data;
+
+  const std::uint8_t syndrome =
+      static_cast<std::uint8_t>(low7_checks(word.data) ^ (word.check & 0x7F));
+  const unsigned overall =
+      parity64(word.data) ^ (std::popcount(word.check) & 1u);
+
+  if (syndrome == 0 && overall == 0) {
+    result.status = DecodeStatus::Clean;
+    return result;
+  }
+  if (overall == 1) {
+    // Odd number of flips: assume single error.
+    if (syndrome == 0) {
+      result.status = DecodeStatus::CorrectedCheck;  // overall-parity bit
+      return result;
+    }
+    if ((syndrome & (syndrome - 1)) == 0) {
+      result.status = DecodeStatus::CorrectedCheck;  // one Hamming check bit
+      return result;
+    }
+    for (unsigned d = 0; d < 64; ++d) {
+      if (kPositionCodes[d] == syndrome) {
+        result.data ^= std::uint64_t{1} << d;
+        result.corrected_bit = static_cast<int>(d);
+        result.status = DecodeStatus::CorrectedData;
+        return result;
+      }
+    }
+    // Syndrome matches no position: 3+ errors masquerading as odd.
+    result.status = DecodeStatus::DoubleError;
+    return result;
+  }
+  // Even flip count with nonzero syndrome: detected double error.
+  result.status = DecodeStatus::DoubleError;
+  return result;
+}
+
+ProtectedBlock protect_block(std::span<const std::uint8_t> block) {
+  if (block.size() % 8 != 0)
+    throw std::invalid_argument("protect_block: size must be a multiple of 8");
+  ProtectedBlock out;
+  out.data.assign(block.begin(), block.end());
+  out.checks.reserve(block.size() / 8);
+  for (std::size_t w = 0; w < block.size(); w += 8) {
+    std::uint64_t word = 0;
+    for (unsigned b = 0; b < 8; ++b) word |= std::uint64_t{block[w + b]} << (8 * b);
+    out.checks.push_back(encode_check(word));
+  }
+  return out;
+}
+
+BlockDecodeResult recover_block(const ProtectedBlock& stored) {
+  BlockDecodeResult result;
+  result.data = stored.data;
+  if (stored.data.size() != stored.checks.size() * 8) return result;
+  result.ok = true;
+  for (std::size_t w = 0; w < stored.checks.size(); ++w) {
+    std::uint64_t word = 0;
+    for (unsigned b = 0; b < 8; ++b)
+      word |= std::uint64_t{stored.data[w * 8 + b]} << (8 * b);
+    const DecodeResult r = decode({word, stored.checks[w]});
+    switch (r.status) {
+      case DecodeStatus::Clean:
+        break;
+      case DecodeStatus::CorrectedData:
+      case DecodeStatus::CorrectedCheck:
+        ++result.corrected_words;
+        break;
+      case DecodeStatus::DoubleError:
+        ++result.uncorrectable_words;
+        result.ok = false;
+        break;
+    }
+    for (unsigned b = 0; b < 8; ++b)
+      result.data[w * 8 + b] = static_cast<std::uint8_t>(r.data >> (8 * b));
+  }
+  return result;
+}
+
+}  // namespace spe::ecc

@@ -1,0 +1,59 @@
+#pragma once
+// SEC-DED (single-error-correct, double-error-detect) Hamming code over
+// 64-bit words — the standard (72,64) main-memory ECC the paper's threat
+// model points to for environmental corruption ("data may also be corrupted
+// by ... heat and gamma rays. ... mitigated by error-correction codes",
+// Section 3). The NVMM stores one 8-bit check byte per 64-bit word.
+//
+// Layout: 7 Hamming parity bits (covering bit positions by their index
+// binary representation) + 1 overall parity bit for double-error detection.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spe::ecc {
+
+struct Codeword {
+  std::uint64_t data = 0;
+  std::uint8_t check = 0;
+};
+
+/// Computes the 8 check bits for a 64-bit word.
+[[nodiscard]] std::uint8_t encode_check(std::uint64_t data);
+
+enum class DecodeStatus {
+  Clean,             ///< no error
+  CorrectedData,     ///< single data-bit error corrected
+  CorrectedCheck,    ///< single check-bit error (data already good)
+  DoubleError,       ///< uncorrectable: two bits flipped
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::Clean;
+  std::uint64_t data = 0;      ///< corrected data
+  int corrected_bit = -1;      ///< flipped data-bit index, if CorrectedData
+};
+
+/// Decodes a possibly corrupted codeword.
+[[nodiscard]] DecodeResult decode(Codeword word);
+
+/// Block convenience layer: protects a 64-byte cache block as eight words
+/// (8 check bytes of overhead — the standard 12.5%).
+struct ProtectedBlock {
+  std::vector<std::uint8_t> data;    ///< 64 bytes
+  std::vector<std::uint8_t> checks;  ///< 8 bytes
+};
+
+[[nodiscard]] ProtectedBlock protect_block(std::span<const std::uint8_t> block);
+
+struct BlockDecodeResult {
+  bool ok = false;                 ///< all words clean or corrected
+  unsigned corrected_words = 0;
+  unsigned uncorrectable_words = 0;
+  std::vector<std::uint8_t> data;  ///< best-effort corrected block
+};
+
+[[nodiscard]] BlockDecodeResult recover_block(const ProtectedBlock& stored);
+
+}  // namespace spe::ecc

@@ -1,0 +1,58 @@
+#include "ilp/model.hpp"
+
+#include <stdexcept>
+
+namespace spe::ilp {
+
+unsigned Model::add_var(double objective_coeff, std::string name) {
+  objective_.push_back(objective_coeff);
+  var_names_.push_back(std::move(name));
+  return static_cast<unsigned>(objective_.size() - 1);
+}
+
+void Model::add_constraint(Constraint c) {
+  for (const Term& t : c.terms) {
+    if (t.var >= num_vars()) throw std::out_of_range("Model::add_constraint: unknown variable");
+  }
+  if (c.lo > c.hi) throw std::invalid_argument("Model::add_constraint: lo > hi");
+  constraints_.push_back(std::move(c));
+}
+
+void Model::add_le(std::vector<Term> terms, double hi, std::string name) {
+  add_constraint(Constraint{std::move(terms), -Constraint::kInf, hi, std::move(name)});
+}
+
+void Model::add_ge(std::vector<Term> terms, double lo, std::string name) {
+  add_constraint(Constraint{std::move(terms), lo, Constraint::kInf, std::move(name)});
+}
+
+void Model::add_eq(std::vector<Term> terms, double value, std::string name) {
+  add_constraint(Constraint{std::move(terms), value, value, std::move(name)});
+}
+
+void Model::add_range(std::vector<Term> terms, double lo, double hi, std::string name) {
+  add_constraint(Constraint{std::move(terms), lo, hi, std::move(name)});
+}
+
+double Model::objective_value(const std::vector<std::uint8_t>& x) const {
+  if (x.size() != objective_.size())
+    throw std::invalid_argument("Model::objective_value: assignment size mismatch");
+  double v = 0.0;
+  for (unsigned i = 0; i < objective_.size(); ++i)
+    if (x[i]) v += objective_[i];
+  return v;
+}
+
+bool Model::is_feasible(const std::vector<std::uint8_t>& x, double eps) const {
+  if (x.size() != objective_.size())
+    throw std::invalid_argument("Model::is_feasible: assignment size mismatch");
+  for (const Constraint& c : constraints_) {
+    double sum = 0.0;
+    for (const Term& t : c.terms)
+      if (x[t.var]) sum += t.coeff;
+    if (sum < c.lo - eps || sum > c.hi + eps) return false;
+  }
+  return true;
+}
+
+}  // namespace spe::ilp

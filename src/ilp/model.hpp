@@ -1,0 +1,66 @@
+#pragma once
+// A small 0/1 integer-linear-program representation. All variables are
+// binary; constraints are two-sided linear ranges lo <= a.x <= hi. This is
+// exactly the shape of the paper's Table-1 PoE-placement model, and general
+// enough for the ablation variants.
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace spe::ilp {
+
+/// One linear term: coefficient * x[var].
+struct Term {
+  unsigned var = 0;
+  double coeff = 0.0;
+};
+
+/// lo <= sum(terms) <= hi. Use +/-kInf for one-sided constraints.
+struct Constraint {
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<Term> terms;
+  double lo = -kInf;
+  double hi = kInf;
+  std::string name;  ///< Diagnostic label (shown in infeasibility reports).
+};
+
+enum class Sense { Minimize, Maximize };
+
+/// A binary ILP: min/max c.x subject to range constraints, x in {0,1}^n.
+class Model {
+public:
+  /// Adds a variable with the given objective coefficient; returns its index.
+  unsigned add_var(double objective_coeff = 0.0, std::string name = {});
+
+  /// Adds a constraint (terms referencing existing variables; throws on a
+  /// dangling index).
+  void add_constraint(Constraint c);
+
+  /// Convenience builders.
+  void add_le(std::vector<Term> terms, double hi, std::string name = {});
+  void add_ge(std::vector<Term> terms, double lo, std::string name = {});
+  void add_eq(std::vector<Term> terms, double value, std::string name = {});
+  void add_range(std::vector<Term> terms, double lo, double hi, std::string name = {});
+
+  [[nodiscard]] unsigned num_vars() const noexcept { return static_cast<unsigned>(objective_.size()); }
+  [[nodiscard]] const std::vector<double>& objective() const noexcept { return objective_; }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const noexcept { return constraints_; }
+  [[nodiscard]] const std::string& var_name(unsigned v) const { return var_names_.at(v); }
+
+  Sense sense = Sense::Minimize;
+
+  /// Evaluates the objective for a full assignment.
+  [[nodiscard]] double objective_value(const std::vector<std::uint8_t>& x) const;
+
+  /// True iff the assignment satisfies every constraint (within `eps`).
+  [[nodiscard]] bool is_feasible(const std::vector<std::uint8_t>& x, double eps = 1e-9) const;
+
+private:
+  std::vector<double> objective_;
+  std::vector<std::string> var_names_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace spe::ilp

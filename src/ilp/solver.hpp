@@ -1,0 +1,48 @@
+#pragma once
+// Depth-first branch-and-bound solver for binary ILPs with interval
+// constraint propagation. Replaces the FICO Xpress solver the paper used
+// (ref [16]). Designed for the Table-1 PoE-placement models: tens of
+// variables, tight two-sided covering constraints — propagation does most of
+// the work; the objective bound prunes the rest.
+
+#include <cstdint>
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace spe::ilp {
+
+struct SolverOptions {
+  std::uint64_t node_limit = 50'000'000;  ///< Hard cap on explored nodes.
+  bool use_greedy_start = true;           ///< Seed the incumbent greedily.
+};
+
+struct Solution {
+  enum class Status {
+    Optimal,     ///< Proven optimal.
+    Feasible,    ///< Incumbent found but search hit the node limit.
+    Infeasible,  ///< Proven infeasible.
+    NoSolution,  ///< Node limit hit with no incumbent (feasibility unknown).
+  };
+
+  Status status = Status::NoSolution;
+  double objective = 0.0;
+  std::vector<std::uint8_t> values;
+  std::uint64_t nodes_explored = 0;
+
+  [[nodiscard]] bool has_solution() const noexcept {
+    return status == Status::Optimal || status == Status::Feasible;
+  }
+};
+
+class Solver {
+public:
+  explicit Solver(SolverOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] Solution solve(const Model& model);
+
+private:
+  SolverOptions options_;
+};
+
+}  // namespace spe::ilp

@@ -1,0 +1,110 @@
+// SP 800-22 2.10 Linear complexity test. Uses a word-packed
+// Berlekamp-Massey (discrepancy via AND + popcount over 64-bit words) so the
+// O(M^2) inner product runs 64 lanes at a time — the scalar version in
+// util/berlekamp.hpp is kept for cross-validation in the tests.
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "nist/suite.hpp"
+#include "util/mathfn.hpp"
+
+namespace spe::nist {
+
+namespace {
+
+/// Linear complexity of `m` bits packed little-endian in `seq`.
+unsigned packed_linear_complexity(const std::vector<std::uint64_t>& seq, unsigned m) {
+  const unsigned words = m / 64 + 2;  // head-room for degree-m polynomials
+  std::vector<std::uint64_t> c(words, 0), b(words, 0), t, rev(words, 0);
+  c[0] = b[0] = 1;
+  unsigned L = 0;
+  int last_n = -1;
+
+  for (unsigned n = 0; n < m; ++n) {
+    // rev bit i holds s_{n-i}: shift left by one, insert s_n at bit 0.
+    for (unsigned w = words; w-- > 1;) rev[w] = (rev[w] << 1) | (rev[w - 1] >> 63);
+    rev[0] = (rev[0] << 1) | ((seq[n / 64] >> (n % 64)) & 1u);
+
+    // Discrepancy d = sum_i c_i * s_{n-i} (mod 2) = parity(c AND rev).
+    unsigned d = 0;
+    for (unsigned w = 0; w < words; ++w)
+      d ^= static_cast<unsigned>(std::popcount(c[w] & rev[w]));
+    if ((d & 1u) == 0) continue;
+
+    t = c;
+    const auto shift = static_cast<unsigned>(static_cast<int>(n) - last_n);
+    const unsigned ws = shift / 64, bs = shift % 64;
+    for (unsigned w = words; w-- > 0;) {
+      std::uint64_t v = 0;
+      if (w >= ws) {
+        v = b[w - ws] << bs;
+        if (bs != 0 && w > ws) v |= b[w - ws - 1] >> (64 - bs);
+      }
+      c[w] ^= v;
+    }
+    if (2 * L <= n) {
+      L = n + 1 - L;
+      last_n = static_cast<int>(n);
+      b = t;
+    }
+  }
+  return L;
+}
+
+}  // namespace
+
+TestResult linear_complexity_test(const util::BitVector& bits, unsigned block_len) {
+  TestResult r{"Lin. Com.", {}, true};
+  const std::size_t n = bits.size();
+  const std::size_t blocks = n / block_len;
+  if (blocks < 20) {
+    r.applicable = false;
+    return r;
+  }
+  constexpr unsigned kK = 6;
+  static constexpr std::array<double, 7> kPi = {0.010417, 0.03125, 0.125, 0.5,
+                                                0.25, 0.0625, 0.020833};
+  const double m = static_cast<double>(block_len);
+  const double sign = (block_len % 2 == 0) ? 1.0 : -1.0;
+  const double mu = m / 2.0 + (9.0 + sign) / 36.0 - (m / 3.0 + 2.0 / 9.0) / std::pow(2.0, m);
+
+  std::array<double, kK + 1> counts{};
+  std::vector<std::uint64_t> seq(block_len / 64 + 1, 0);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    for (auto& w : seq) w = 0;
+    for (unsigned i = 0; i < block_len; ++i)
+      if (bits.get(blk * block_len + i)) seq[i / 64] |= std::uint64_t{1} << (i % 64);
+    const double L = packed_linear_complexity(seq, block_len);
+    // T statistic and its 7-class bucketing (SP 800-22 2.10.4 step 4).
+    const double t_stat = sign * (L - mu) + 2.0 / 9.0;
+    int cls;
+    if (t_stat <= -2.5)
+      cls = 0;
+    else if (t_stat <= -1.5)
+      cls = 1;
+    else if (t_stat <= -0.5)
+      cls = 2;
+    else if (t_stat <= 0.5)
+      cls = 3;
+    else if (t_stat <= 1.5)
+      cls = 4;
+    else if (t_stat <= 2.5)
+      cls = 5;
+    else
+      cls = 6;
+    counts[static_cast<std::size_t>(cls)] += 1.0;
+  }
+  double chi2 = 0.0;
+  for (unsigned c = 0; c <= kK; ++c) {
+    const double expected = static_cast<double>(blocks) * kPi[c];
+    const double d = counts[c] - expected;
+    chi2 += d * d / expected;
+  }
+  r.p_values.push_back(util::igamc(kK / 2.0, chi2 / 2.0));
+  return r;
+}
+
+}  // namespace spe::nist

@@ -1,0 +1,64 @@
+// SP 800-22 2.13 Cumulative sums test (forward and backward).
+
+#include <algorithm>
+#include <cmath>
+
+#include "nist/suite.hpp"
+#include "util/mathfn.hpp"
+
+namespace spe::nist {
+
+namespace {
+
+double cusum_p_value(std::size_t n, long z) {
+  const double zn = static_cast<double>(z);
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  double sum1 = 0.0;
+  {
+    const long lo = (-static_cast<long>(n) / z + 1) / 4;
+    const long hi = (static_cast<long>(n) / z - 1) / 4;
+    for (long k = lo; k <= hi; ++k) {
+      sum1 += util::normal_cdf((4.0 * k + 1.0) * zn / sqrt_n) -
+              util::normal_cdf((4.0 * k - 1.0) * zn / sqrt_n);
+    }
+  }
+  double sum2 = 0.0;
+  {
+    const long lo = (-static_cast<long>(n) / z - 3) / 4;
+    const long hi = (static_cast<long>(n) / z - 1) / 4;
+    for (long k = lo; k <= hi; ++k) {
+      sum2 += util::normal_cdf((4.0 * k + 3.0) * zn / sqrt_n) -
+              util::normal_cdf((4.0 * k + 1.0) * zn / sqrt_n);
+    }
+  }
+  return 1.0 - sum1 + sum2;
+}
+
+}  // namespace
+
+TestResult cusum_test(const util::BitVector& bits) {
+  TestResult r{"Cusums", {}, true};
+  const std::size_t n = bits.size();
+  if (n < 100) {
+    r.applicable = false;
+    return r;
+  }
+  // Forward maximum partial sum.
+  long s = 0, z_fwd = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s += bits.get(i) ? 1 : -1;
+    z_fwd = std::max(z_fwd, std::labs(s));
+  }
+  // Backward maximum partial sum.
+  s = 0;
+  long z_bwd = 0;
+  for (std::size_t i = n; i-- > 0;) {
+    s += bits.get(i) ? 1 : -1;
+    z_bwd = std::max(z_bwd, std::labs(s));
+  }
+  r.p_values.push_back(cusum_p_value(n, std::max(z_fwd, 1l)));
+  r.p_values.push_back(cusum_p_value(n, std::max(z_bwd, 1l)));
+  return r;
+}
+
+}  // namespace spe::nist

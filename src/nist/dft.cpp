@@ -1,0 +1,40 @@
+// SP 800-22 2.6 Discrete Fourier Transform (spectral) test. Our FFT is
+// radix-2, so the test runs on the largest power-of-two prefix of the
+// sequence (the suite's data-set generators emit power-of-two lengths, so
+// normally nothing is discarded).
+
+#include <bit>
+#include <cmath>
+
+#include "nist/suite.hpp"
+#include "util/fft.hpp"
+#include "util/mathfn.hpp"
+
+namespace spe::nist {
+
+TestResult dft_test(const util::BitVector& bits) {
+  TestResult r{"DFT", {}, true};
+  std::size_t n = bits.size();
+  if (n < 1024) {
+    r.applicable = false;
+    return r;
+  }
+  n = std::bit_floor(n);
+
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = bits.get(i) ? 1.0 : -1.0;
+  const auto mags = util::real_magnitude_spectrum(x);
+
+  const double t = std::sqrt(std::log(1.0 / 0.05) * static_cast<double>(n));
+  const double n0 = 0.95 * static_cast<double>(n) / 2.0;
+  double n1 = 0.0;
+  // Peaks 0 .. n/2 - 1 per the reference implementation.
+  for (std::size_t i = 0; i < n / 2; ++i) n1 += mags[i] < t ? 1.0 : 0.0;
+
+  const double d =
+      (n1 - n0) / std::sqrt(static_cast<double>(n) * 0.95 * 0.05 / 4.0);
+  r.p_values.push_back(util::erfc(std::fabs(d) / std::sqrt(2.0)));
+  return r;
+}
+
+}  // namespace spe::nist

@@ -1,0 +1,52 @@
+// SP 800-22 2.12 Approximate entropy test.
+
+#include <cmath>
+#include <vector>
+
+#include "nist/suite.hpp"
+#include "util/mathfn.hpp"
+
+namespace spe::nist {
+
+namespace {
+
+/// phi(m) = sum_i pi_i * ln(pi_i) over overlapping m-bit patterns (wrapped).
+double phi(const util::BitVector& bits, unsigned m) {
+  const std::size_t n = bits.size();
+  if (m == 0) return 0.0;
+  std::vector<std::size_t> counts(std::size_t{1} << m, 0);
+  const std::size_t mask = (std::size_t{1} << m) - 1;
+  std::size_t pattern = 0;
+  for (unsigned j = 0; j < m; ++j)
+    pattern = (pattern << 1) | static_cast<std::size_t>(bits.get(j % n));
+  ++counts[pattern];
+  for (std::size_t i = 1; i < n; ++i) {
+    pattern = ((pattern << 1) & mask) |
+              static_cast<std::size_t>(bits.get((i + m - 1) % n));
+    ++counts[pattern];
+  }
+  double sum = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(n);
+    sum += p * std::log(p);
+  }
+  return sum;
+}
+
+}  // namespace
+
+TestResult approximate_entropy_test(const util::BitVector& bits, unsigned pattern_len) {
+  TestResult r{"App. Ent", {}, true};
+  const std::size_t n = bits.size();
+  if (pattern_len < 1 || n < (std::size_t{1} << pattern_len)) {
+    r.applicable = false;
+    return r;
+  }
+  const double ap_en = phi(bits, pattern_len) - phi(bits, pattern_len + 1);
+  const double chi2 = 2.0 * static_cast<double>(n) * (std::log(2.0) - ap_en);
+  r.p_values.push_back(util::igamc(std::pow(2.0, pattern_len - 1), chi2 / 2.0));
+  return r;
+}
+
+}  // namespace spe::nist

@@ -1,0 +1,115 @@
+// SP 800-22 2.14 Random excursions and 2.15 Random excursions variant tests.
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "nist/suite.hpp"
+#include "util/mathfn.hpp"
+
+namespace spe::nist {
+
+namespace {
+
+/// pi_k(x): probability that state x is visited exactly k times in a cycle
+/// (k = 0..4, class 5 is ">= 5"). SP 800-22 table 2-12.
+double pi_k(unsigned k, int x) {
+  const double ax = std::fabs(static_cast<double>(x));
+  if (k == 0) return 1.0 - 1.0 / (2.0 * ax);
+  const double base = 1.0 / (4.0 * ax * ax);
+  const double decay = 1.0 - 1.0 / (2.0 * ax);
+  if (k < 5) return base * std::pow(decay, static_cast<double>(k - 1));
+  // k >= 5 tail.
+  return (1.0 / (2.0 * ax)) * std::pow(decay, 4.0);
+}
+
+/// Partial-sum walk S_i and its zero-crossing cycle count J.
+struct Walk {
+  std::vector<long> s;  ///< S_1 .. S_n (prefix sums of +/-1)
+  unsigned cycles = 0;  ///< number of zero crossings (cycles)
+};
+
+Walk build_walk(const util::BitVector& bits) {
+  Walk w;
+  const std::size_t n = bits.size();
+  w.s.resize(n);
+  long acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += bits.get(i) ? 1 : -1;
+    w.s[i] = acc;
+    if (acc == 0) ++w.cycles;
+  }
+  // The final partial cycle (if the walk does not end at zero) counts too.
+  if (n > 0 && w.s[n - 1] != 0) ++w.cycles;
+  return w;
+}
+
+}  // namespace
+
+TestResult random_excursions_test(const util::BitVector& bits) {
+  TestResult r{"Rnd. Ex.", {}, true};
+  const Walk walk = build_walk(bits);
+  const unsigned j = walk.cycles;
+  if (j < 500) {  // SP 800-22 applicability criterion
+    r.applicable = false;
+    return r;
+  }
+  static constexpr std::array<int, 8> kStates = {-4, -3, -2, -1, 1, 2, 3, 4};
+  // visits[state][k]: number of cycles in which `state` was hit exactly k
+  // times (k capped at 5).
+  std::array<std::array<double, 6>, 8> visit_counts{};
+  std::array<unsigned, 8> in_cycle{};
+
+  auto flush_cycle = [&]() {
+    for (unsigned si = 0; si < kStates.size(); ++si) {
+      const unsigned k = in_cycle[si] > 5 ? 5 : in_cycle[si];
+      visit_counts[si][k] += 1.0;
+      in_cycle[si] = 0;
+    }
+  };
+
+  for (std::size_t i = 0; i < walk.s.size(); ++i) {
+    const long v = walk.s[i];
+    for (unsigned si = 0; si < kStates.size(); ++si)
+      if (v == kStates[si]) ++in_cycle[si];
+    if (v == 0) flush_cycle();
+  }
+  if (walk.s.back() != 0) flush_cycle();
+
+  for (unsigned si = 0; si < kStates.size(); ++si) {
+    double chi2 = 0.0;
+    for (unsigned k = 0; k <= 5; ++k) {
+      const double expected = static_cast<double>(j) * pi_k(k, kStates[si]);
+      const double d = visit_counts[si][k] - expected;
+      chi2 += d * d / expected;
+    }
+    r.p_values.push_back(util::igamc(5.0 / 2.0, chi2 / 2.0));
+  }
+  return r;
+}
+
+TestResult random_excursions_variant_test(const util::BitVector& bits) {
+  TestResult r{"REV", {}, true};
+  const Walk walk = build_walk(bits);
+  // J for the variant counts zero crossings *within* the walk (cycles that
+  // return to zero); SP 800-22 uses the same J >= 500 criterion.
+  unsigned j = 0;
+  for (long v : walk.s)
+    if (v == 0) ++j;
+  if (walk.s.empty() || walk.s.back() != 0) ++j;
+  if (j < 500) {
+    r.applicable = false;
+    return r;
+  }
+  for (int x = -9; x <= 9; ++x) {
+    if (x == 0) continue;
+    double xi = 0.0;
+    for (long v : walk.s)
+      if (v == x) xi += 1.0;
+    const double denom = std::sqrt(2.0 * j * (4.0 * std::fabs(x) - 2.0));
+    r.p_values.push_back(util::erfc(std::fabs(xi - static_cast<double>(j)) / denom));
+  }
+  return r;
+}
+
+}  // namespace spe::nist

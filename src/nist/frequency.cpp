@@ -1,0 +1,45 @@
+// SP 800-22 2.1 Frequency (monobit) and 2.2 Block-frequency tests.
+
+#include <cmath>
+
+#include "nist/suite.hpp"
+#include "util/mathfn.hpp"
+
+namespace spe::nist {
+
+TestResult frequency_test(const util::BitVector& bits) {
+  TestResult r{"F-mono", {}, true};
+  const std::size_t n = bits.size();
+  if (n < 100) {
+    r.applicable = false;
+    return r;
+  }
+  // S_n = sum of +/-1; p = erfc(|S_n| / sqrt(2 n)).
+  const double ones = static_cast<double>(bits.popcount());
+  const double s = 2.0 * ones - static_cast<double>(n);
+  const double s_obs = std::fabs(s) / std::sqrt(static_cast<double>(n));
+  r.p_values.push_back(util::erfc(s_obs / std::sqrt(2.0)));
+  return r;
+}
+
+TestResult block_frequency_test(const util::BitVector& bits, unsigned block_len) {
+  TestResult r{"F-block", {}, true};
+  const std::size_t n = bits.size();
+  const std::size_t blocks = n / block_len;
+  if (blocks < 1) {
+    r.applicable = false;
+    return r;
+  }
+  double chi2 = 0.0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t ones = 0;
+    for (unsigned i = 0; i < block_len; ++i) ones += bits.get(b * block_len + i);
+    const double pi = static_cast<double>(ones) / block_len;
+    chi2 += (pi - 0.5) * (pi - 0.5);
+  }
+  chi2 *= 4.0 * block_len;
+  r.p_values.push_back(util::igamc(static_cast<double>(blocks) / 2.0, chi2 / 2.0));
+  return r;
+}
+
+}  // namespace spe::nist

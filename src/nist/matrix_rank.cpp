@@ -1,0 +1,40 @@
+// SP 800-22 2.5 Binary matrix rank test (32x32 matrices).
+
+#include "nist/suite.hpp"
+#include "util/gf2.hpp"
+#include "util/mathfn.hpp"
+
+namespace spe::nist {
+
+TestResult matrix_rank_test(const util::BitVector& bits) {
+  TestResult r{"BMR", {}, true};
+  constexpr unsigned kM = 32, kQ = 32;
+  const std::size_t n = bits.size();
+  const std::size_t matrices = n / (kM * kQ);
+  if (matrices < 38) {  // SP 800-22 requirement for the 3-class chi^2
+    r.applicable = false;
+    return r;
+  }
+  // Asymptotic class probabilities for full rank, rank-1, and lower.
+  constexpr double kPFull = 0.2888, kPMinus1 = 0.5776, kPRest = 0.1336;
+
+  double full = 0.0, minus1 = 0.0, rest = 0.0;
+  for (std::size_t i = 0; i < matrices; ++i) {
+    const auto m = util::Gf2Matrix::from_bits(bits, i * kM * kQ, kM, kQ);
+    const unsigned rank = m.rank();
+    if (rank == kM)
+      full += 1.0;
+    else if (rank == kM - 1)
+      minus1 += 1.0;
+    else
+      rest += 1.0;
+  }
+  const double nn = static_cast<double>(matrices);
+  const double chi2 = (full - kPFull * nn) * (full - kPFull * nn) / (kPFull * nn) +
+                      (minus1 - kPMinus1 * nn) * (minus1 - kPMinus1 * nn) / (kPMinus1 * nn) +
+                      (rest - kPRest * nn) * (rest - kPRest * nn) / (kPRest * nn);
+  r.p_values.push_back(util::igamc(1.0, chi2 / 2.0));  // 2 degrees of freedom
+  return r;
+}
+
+}  // namespace spe::nist

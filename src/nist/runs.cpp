@@ -1,0 +1,90 @@
+// SP 800-22 2.3 Runs and 2.4 Longest-run-of-ones tests.
+
+#include <array>
+#include <cmath>
+
+#include "nist/suite.hpp"
+#include "util/mathfn.hpp"
+
+namespace spe::nist {
+
+TestResult runs_test(const util::BitVector& bits) {
+  TestResult r{"Runs", {}, true};
+  const std::size_t n = bits.size();
+  if (n < 100) {
+    r.applicable = false;
+    return r;
+  }
+  const double pi = static_cast<double>(bits.popcount()) / static_cast<double>(n);
+  // Prerequisite frequency check (SP 800-22 2.3.4 step 2).
+  const double tau = 2.0 / std::sqrt(static_cast<double>(n));
+  if (std::fabs(pi - 0.5) >= tau) {
+    r.p_values.push_back(0.0);  // dominated by the frequency failure
+    return r;
+  }
+  std::size_t v_obs = 1;
+  for (std::size_t i = 1; i < n; ++i) v_obs += bits.get(i) != bits.get(i - 1);
+  const double num = std::fabs(static_cast<double>(v_obs) - 2.0 * n * pi * (1.0 - pi));
+  const double den = 2.0 * std::sqrt(2.0 * static_cast<double>(n)) * pi * (1.0 - pi);
+  r.p_values.push_back(util::erfc(num / den));
+  return r;
+}
+
+TestResult longest_run_test(const util::BitVector& bits) {
+  TestResult r{"LroO", {}, true};
+  const std::size_t n = bits.size();
+  // Parameterisation per SP 800-22 table 2-4.
+  unsigned m = 0, k = 0;
+  std::vector<double> pi;
+  std::vector<unsigned> edges;  // class upper bounds (last is open-ended)
+  if (n >= 750000) {
+    m = 10000;
+    k = 6;
+    pi = {0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727};
+    edges = {10, 11, 12, 13, 14, 15};
+  } else if (n >= 6272) {
+    m = 128;
+    k = 5;
+    pi = {0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124};
+    edges = {4, 5, 6, 7, 8};
+  } else if (n >= 128) {
+    m = 8;
+    k = 3;
+    pi = {0.2148, 0.3672, 0.2305, 0.1875};
+    edges = {1, 2, 3};
+  } else {
+    r.applicable = false;
+    return r;
+  }
+  const std::size_t blocks = n / m;
+  std::vector<double> counts(k + 1, 0.0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    unsigned longest = 0, run = 0;
+    for (unsigned i = 0; i < m; ++i) {
+      if (bits.get(b * m + i)) {
+        ++run;
+        if (run > longest) longest = run;
+      } else {
+        run = 0;
+      }
+    }
+    unsigned cls = k;  // open-ended top class
+    for (unsigned c = 0; c < edges.size(); ++c) {
+      if (longest <= edges[c]) {
+        cls = c;
+        break;
+      }
+    }
+    counts[cls] += 1.0;
+  }
+  double chi2 = 0.0;
+  for (unsigned c = 0; c <= k; ++c) {
+    const double expected = static_cast<double>(blocks) * pi[c];
+    const double d = counts[c] - expected;
+    chi2 += d * d / expected;
+  }
+  r.p_values.push_back(util::igamc(static_cast<double>(k) / 2.0, chi2 / 2.0));
+  return r;
+}
+
+}  // namespace spe::nist

@@ -1,0 +1,54 @@
+// SP 800-22 2.11 Serial test (two p-values).
+
+#include <cmath>
+#include <vector>
+
+#include "nist/suite.hpp"
+#include "util/mathfn.hpp"
+
+namespace spe::nist {
+
+namespace {
+
+/// psi^2_m statistic: overlapping m-bit pattern counts with wrap-around.
+double psi_squared(const util::BitVector& bits, unsigned m) {
+  if (m == 0) return 0.0;
+  const std::size_t n = bits.size();
+  std::vector<std::size_t> counts(std::size_t{1} << m, 0);
+  const std::size_t mask = (std::size_t{1} << m) - 1;
+  // Build the first pattern (with wrap-around bits).
+  std::size_t pattern = 0;
+  for (unsigned j = 0; j < m; ++j)
+    pattern = (pattern << 1) | static_cast<std::size_t>(bits.get(j % n));
+  ++counts[pattern];
+  for (std::size_t i = 1; i < n; ++i) {
+    pattern = ((pattern << 1) & mask) |
+              static_cast<std::size_t>(bits.get((i + m - 1) % n));
+    ++counts[pattern];
+  }
+  double sum = 0.0;
+  for (std::size_t c : counts) sum += static_cast<double>(c) * static_cast<double>(c);
+  return sum * static_cast<double>(std::size_t{1} << m) / static_cast<double>(n) -
+         static_cast<double>(n);
+}
+
+}  // namespace
+
+TestResult serial_test(const util::BitVector& bits, unsigned pattern_len) {
+  TestResult r{"Ser. Com.", {}, true};
+  const std::size_t n = bits.size();
+  if (pattern_len < 2 || n < (std::size_t{1} << pattern_len)) {
+    r.applicable = false;
+    return r;
+  }
+  const double psi_m = psi_squared(bits, pattern_len);
+  const double psi_m1 = psi_squared(bits, pattern_len - 1);
+  const double psi_m2 = pattern_len >= 2 ? psi_squared(bits, pattern_len - 2) : 0.0;
+  const double d1 = psi_m - psi_m1;
+  const double d2 = psi_m - 2.0 * psi_m1 + psi_m2;
+  r.p_values.push_back(util::igamc(std::pow(2.0, pattern_len - 1) / 2.0, d1 / 2.0));
+  r.p_values.push_back(util::igamc(std::pow(2.0, pattern_len - 2) / 2.0, d2 / 2.0));
+  return r;
+}
+
+}  // namespace spe::nist

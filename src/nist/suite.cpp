@@ -1,0 +1,74 @@
+#include "nist/suite.hpp"
+
+#include "util/stats.hpp"
+
+namespace spe::nist {
+
+bool TestResult::passed(double alpha) const {
+  if (!applicable) return true;
+  for (double p : p_values)
+    if (p < alpha) return false;
+  return true;
+}
+
+double TestResult::worst_p() const {
+  if (!applicable || p_values.empty()) return 1.0;
+  double worst = 1.0;
+  for (double p : p_values) worst = p < worst ? p : worst;
+  return worst;
+}
+
+std::vector<std::string> test_names() {
+  return {
+      "F-mono",    "F-block",  "Runs",     "LroO",     "BMR",
+      "DFT",       "NOTM",     "OTM",      "Maurer",   "Lin. Com.",
+      "Ser. Com.", "App. Ent", "Cusums",   "Rnd. Ex.", "REV",
+  };
+}
+
+std::vector<TestResult> run_all(const util::BitVector& bits) {
+  return {
+      frequency_test(bits),
+      block_frequency_test(bits),
+      runs_test(bits),
+      longest_run_test(bits),
+      matrix_rank_test(bits),
+      dft_test(bits),
+      non_overlapping_template_test(bits),
+      overlapping_template_test(bits),
+      universal_test(bits),
+      linear_complexity_test(bits),
+      serial_test(bits),
+      approximate_entropy_test(bits),
+      cusum_test(bits),
+      random_excursions_test(bits),
+      random_excursions_variant_test(bits),
+  };
+}
+
+bool SuiteSummary::all_accepted() const {
+  const unsigned bound = max_allowed();
+  for (unsigned f : failures)
+    if (f > bound) return false;
+  return true;
+}
+
+unsigned SuiteSummary::max_allowed() const {
+  return util::max_allowed_failures(sequences, alpha);
+}
+
+SuiteSummary evaluate_dataset(const std::vector<util::BitVector>& sequences, double alpha) {
+  SuiteSummary summary;
+  summary.names = test_names();
+  summary.failures.assign(summary.names.size(), 0);
+  summary.sequences = static_cast<unsigned>(sequences.size());
+  summary.alpha = alpha;
+  for (const auto& seq : sequences) {
+    const auto results = run_all(seq);
+    for (std::size_t t = 0; t < results.size(); ++t)
+      if (!results[t].passed(alpha)) ++summary.failures[t];
+  }
+  return summary;
+}
+
+}  // namespace spe::nist

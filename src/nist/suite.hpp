@@ -1,0 +1,76 @@
+#pragma once
+// NIST SP 800-22 statistical test suite (the paper's ref [17]), re-implemented
+// in C++ for Table 2. Each test maps a binary sequence to one or more
+// p-values; a sequence FAILS a test if any of its p-values falls below the
+// significance level (alpha = 0.01 in the paper). Table 2 counts failing
+// sequences per test over a 150-sequence data set; the acceptance bound
+// ("not more than 5 of 150 may fail") is the standard NIST proportion
+// interval, available as spe::util::max_allowed_failures().
+//
+// Parameter choices follow SP 800-22 rev 1a recommendations scaled to the
+// paper's ~120 kbit sequences (we default to power-of-two lengths so the
+// spectral test can use an exact radix-2 FFT).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace spe::nist {
+
+/// Result of one test on one sequence.
+struct TestResult {
+  std::string name;
+  std::vector<double> p_values;  ///< One or more (serial, cusum, excursions...).
+  bool applicable = true;        ///< False when the sequence is too short /
+                                 ///< has too few cycles (counts as pass).
+
+  [[nodiscard]] bool passed(double alpha = 0.01) const;
+  /// The smallest p-value (1.0 if not applicable / empty).
+  [[nodiscard]] double worst_p() const;
+};
+
+// --- the fifteen SP 800-22 tests -----------------------------------------
+// Every function takes the full sequence; tests with block parameters pick
+// them per the SP 800-22 guidance from the sequence length.
+
+TestResult frequency_test(const util::BitVector& bits);
+TestResult block_frequency_test(const util::BitVector& bits, unsigned block_len = 128);
+TestResult runs_test(const util::BitVector& bits);
+TestResult longest_run_test(const util::BitVector& bits);
+TestResult matrix_rank_test(const util::BitVector& bits);
+TestResult dft_test(const util::BitVector& bits);
+TestResult non_overlapping_template_test(const util::BitVector& bits);
+TestResult overlapping_template_test(const util::BitVector& bits);
+TestResult universal_test(const util::BitVector& bits);
+TestResult linear_complexity_test(const util::BitVector& bits, unsigned block_len = 500);
+TestResult serial_test(const util::BitVector& bits, unsigned pattern_len = 8);
+TestResult approximate_entropy_test(const util::BitVector& bits, unsigned pattern_len = 8);
+TestResult cusum_test(const util::BitVector& bits);
+TestResult random_excursions_test(const util::BitVector& bits);
+TestResult random_excursions_variant_test(const util::BitVector& bits);
+
+/// The Table-2 row order (15 tests).
+[[nodiscard]] std::vector<std::string> test_names();
+
+/// Runs all fifteen tests on one sequence, in Table-2 row order.
+[[nodiscard]] std::vector<TestResult> run_all(const util::BitVector& bits);
+
+/// Aggregated results of a data set (many sequences through all tests).
+struct SuiteSummary {
+  std::vector<std::string> names;      ///< Test names (Table-2 rows).
+  std::vector<unsigned> failures;      ///< Failing-sequence count per test.
+  unsigned sequences = 0;
+  double alpha = 0.01;
+
+  /// Acceptance per test: failures <= max_allowed_failures(sequences, alpha).
+  [[nodiscard]] bool all_accepted() const;
+  [[nodiscard]] unsigned max_allowed() const;
+};
+
+/// Evaluates a whole data set. Sequences are tested independently.
+[[nodiscard]] SuiteSummary evaluate_dataset(const std::vector<util::BitVector>& sequences,
+                                            double alpha = 0.01);
+
+}  // namespace spe::nist

@@ -1,0 +1,96 @@
+// SP 800-22 2.7 Non-overlapping and 2.8 Overlapping template matching tests.
+
+#include <array>
+#include <cmath>
+
+#include "nist/suite.hpp"
+#include "util/mathfn.hpp"
+
+namespace spe::nist {
+
+TestResult non_overlapping_template_test(const util::BitVector& bits) {
+  TestResult r{"NOTM", {}, true};
+  // Template B = 000000001 (m = 9), N = 8 independent blocks (SP 800-22
+  // defaults for the one-template variant).
+  constexpr unsigned kM = 9;
+  constexpr unsigned kBlocks = 8;
+  const std::size_t n = bits.size();
+  const std::size_t block_len = n / kBlocks;
+  if (block_len < kM + 1) {
+    r.applicable = false;
+    return r;
+  }
+  const double mu =
+      static_cast<double>(block_len - kM + 1) / static_cast<double>(1u << kM);
+  const double sigma2 =
+      static_cast<double>(block_len) *
+      (1.0 / static_cast<double>(1u << kM) -
+       (2.0 * kM - 1.0) / std::pow(2.0, 2.0 * kM));
+
+  double chi2 = 0.0;
+  for (unsigned b = 0; b < kBlocks; ++b) {
+    unsigned hits = 0;
+    std::size_t i = 0;
+    while (i + kM <= block_len) {
+      bool match = true;
+      for (unsigned j = 0; j < kM; ++j) {
+        const bool expected = (j == kM - 1);  // "000000001"
+        if (bits.get(b * block_len + i + j) != expected) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        ++hits;
+        i += kM;  // non-overlapping: skip past the match
+      } else {
+        ++i;
+      }
+    }
+    const double d = static_cast<double>(hits) - mu;
+    chi2 += d * d / sigma2;
+  }
+  r.p_values.push_back(util::igamc(kBlocks / 2.0, chi2 / 2.0));
+  return r;
+}
+
+TestResult overlapping_template_test(const util::BitVector& bits) {
+  TestResult r{"OTM", {}, true};
+  // Template = 9 ones, M = 1032, K = 5 classes with tabulated pi.
+  constexpr unsigned kM = 9;
+  constexpr unsigned kBlockLen = 1032;
+  constexpr unsigned kK = 5;
+  static constexpr std::array<double, 6> kPi = {0.364091, 0.185659, 0.139381,
+                                                0.100571, 0.0704323, 0.139865};
+  const std::size_t n = bits.size();
+  const std::size_t blocks = n / kBlockLen;
+  if (blocks < 5) {
+    r.applicable = false;
+    return r;
+  }
+  std::array<double, kK + 1> counts{};
+  for (std::size_t b = 0; b < blocks; ++b) {
+    unsigned hits = 0;
+    for (std::size_t i = 0; i + kM <= kBlockLen; ++i) {
+      bool match = true;
+      for (unsigned j = 0; j < kM; ++j) {
+        if (!bits.get(b * kBlockLen + i + j)) {
+          match = false;
+          break;
+        }
+      }
+      hits += match ? 1 : 0;
+    }
+    counts[hits >= kK ? kK : hits] += 1.0;
+  }
+  double chi2 = 0.0;
+  for (unsigned c = 0; c <= kK; ++c) {
+    const double expected = static_cast<double>(blocks) * kPi[c];
+    const double d = counts[c] - expected;
+    chi2 += d * d / expected;
+  }
+  r.p_values.push_back(util::igamc(kK / 2.0, chi2 / 2.0));
+  return r;
+}
+
+}  // namespace spe::nist

@@ -1,0 +1,65 @@
+// SP 800-22 2.9 Maurer's "universal statistical" test.
+
+#include <array>
+#include <cmath>
+
+#include "nist/suite.hpp"
+#include "util/mathfn.hpp"
+
+namespace spe::nist {
+
+TestResult universal_test(const util::BitVector& bits) {
+  TestResult r{"Maurer", {}, true};
+  // Expected value / variance of the per-block statistic for L = 2..16
+  // (SP 800-22 table 2-9; index 0 is L = 2).
+  static constexpr std::array<double, 15> kExpected = {
+      1.5374383, 2.4016068, 3.3112247, 4.2534266, 5.2177052,
+      6.1962507, 7.1836656, 8.1764248, 9.1723243, 10.170032,
+      11.168765, 12.168070, 13.167693, 14.167488, 15.167379};
+  static constexpr std::array<double, 15> kVariance = {
+      1.338, 1.901, 2.358, 2.705, 2.954, 3.125, 3.238,
+      3.311, 3.356, 3.384, 3.401, 3.410, 3.416, 3.419, 3.421};
+
+  const std::size_t n = bits.size();
+  // Choose the largest L in [2, 16] with n >= 1010 * 2^L * L (Q = 10*2^L
+  // initialisation blocks plus ~1000*2^L test blocks).
+  int L = 0;
+  for (int cand = 16; cand >= 2; --cand) {
+    const double need = 1010.0 * std::pow(2.0, cand) * cand;
+    if (static_cast<double>(n) >= need) {
+      L = cand;
+      break;
+    }
+  }
+  if (L == 0) {
+    r.applicable = false;
+    return r;
+  }
+  const std::size_t q = 10u << L;         // initialisation blocks
+  const std::size_t blocks = n / static_cast<std::size_t>(L);
+  const std::size_t k = blocks - q;       // test blocks
+
+  std::vector<std::size_t> last_seen(std::size_t{1} << L, 0);
+  for (std::size_t i = 0; i < q; ++i) {
+    const auto pattern = static_cast<std::size_t>(bits.read_bits(i * L, L));
+    last_seen[pattern] = i + 1;
+  }
+  double sum = 0.0;
+  for (std::size_t i = q; i < blocks; ++i) {
+    const auto pattern = static_cast<std::size_t>(bits.read_bits(i * L, L));
+    sum += std::log2(static_cast<double>(i + 1 - last_seen[pattern]));
+    last_seen[pattern] = i + 1;
+  }
+  const double fn = sum / static_cast<double>(k);
+
+  const double expected = kExpected[L - 2];
+  const double variance = kVariance[L - 2];
+  // Finite-size correction factor c (SP 800-22 (7)).
+  const double c = 0.7 - 0.8 / L +
+                   (4.0 + 32.0 / L) * std::pow(static_cast<double>(k), -3.0 / L) / 15.0;
+  const double sigma = c * std::sqrt(variance / static_cast<double>(k));
+  r.p_values.push_back(util::erfc(std::fabs(fn - expected) / (std::sqrt(2.0) * sigma)));
+  return r;
+}
+
+}  // namespace spe::nist

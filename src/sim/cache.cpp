@@ -1,0 +1,68 @@
+#include "sim/cache.hpp"
+
+#include <stdexcept>
+
+namespace spe::sim {
+
+Cache::Cache(CacheConfig config) : config_(config) {
+  if (config_.line_bytes == 0 || config_.ways == 0)
+    throw std::invalid_argument("Cache: bad geometry");
+  const std::size_t lines = config_.size_bytes / config_.line_bytes;
+  if (lines % config_.ways != 0)
+    throw std::invalid_argument("Cache: size/ways mismatch");
+  sets_ = static_cast<unsigned>(lines / config_.ways);
+  lines_.assign(lines, Line{});
+}
+
+Cache::AccessResult Cache::access(std::uint64_t addr, bool is_write) {
+  const std::uint64_t line_addr = addr / config_.line_bytes;
+  const unsigned set = static_cast<unsigned>(line_addr % sets_);
+  const std::uint64_t tag = line_addr / sets_;
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+
+  AccessResult result;
+  ++use_counter_;
+  for (unsigned w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = use_counter_;
+      line.dirty = line.dirty || is_write;
+      result.hit = true;
+      ++stats_.hits;
+      return result;
+    }
+  }
+  ++stats_.misses;
+  // Choose victim: first invalid, else LRU.
+  Line* victim = base;
+  for (unsigned w = 0; w < config_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  if (victim->valid && victim->dirty) {
+    result.evicted_dirty = true;
+    result.writeback_addr =
+        (victim->tag * sets_ + set) * config_.line_bytes;
+    ++stats_.writebacks;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = is_write;
+  victim->lru = use_counter_;
+  return result;
+}
+
+void Cache::flush() {
+  for (auto& line : lines_) line = Line{};
+}
+
+std::uint64_t Cache::dirty_lines() const {
+  std::uint64_t n = 0;
+  for (const auto& line : lines_) n += (line.valid && line.dirty) ? 1 : 0;
+  return n;
+}
+
+}  // namespace spe::sim

@@ -1,0 +1,62 @@
+#pragma once
+// Set-associative write-back/write-allocate cache with LRU replacement —
+// the L1/L2 models of the paper's evaluation platform (Section 7: L1 I/D
+// 32KB 8-way 4-cycle; L2 2MB 16-way 16-cycle; 64B lines, LRU).
+
+#include <cstdint>
+#include <vector>
+
+namespace spe::sim {
+
+struct CacheConfig {
+  std::size_t size_bytes = 32 * 1024;
+  unsigned ways = 8;
+  unsigned line_bytes = 64;
+  unsigned latency_cycles = 4;
+  const char* name = "L1";
+};
+
+class Cache {
+public:
+  explicit Cache(CacheConfig config);
+
+  struct AccessResult {
+    bool hit = false;
+    bool evicted_dirty = false;      ///< a dirty victim must be written back
+    std::uint64_t writeback_addr = 0;  ///< line address of the dirty victim
+  };
+
+  /// Looks up `addr` (byte address); on miss, allocates the line and evicts
+  /// the LRU way. Writes mark the line dirty.
+  AccessResult access(std::uint64_t addr, bool is_write);
+
+  /// Invalidate everything, writing back nothing (power events).
+  void flush();
+
+  /// Dirty lines currently resident (cold-boot drain size).
+  [[nodiscard]] std::uint64_t dirty_lines() const;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+
+private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;  ///< last-use stamp
+  };
+
+  CacheConfig config_;
+  unsigned sets_;
+  std::vector<Line> lines_;  // sets_ * ways
+  std::uint64_t use_counter_ = 0;
+  Stats stats_;
+};
+
+}  // namespace spe::sim

@@ -1,0 +1,4 @@
+#include "sim/cpu_model.hpp"
+
+// Header-only model; this translation unit anchors the library target.
+namespace spe::sim {}

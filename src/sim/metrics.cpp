@@ -1,0 +1,31 @@
+#include "sim/metrics.hpp"
+
+#include <stdexcept>
+
+namespace spe::sim {
+
+double mean_overhead(const std::vector<SimResult>& runs,
+                     const std::vector<SimResult>& baselines) {
+  if (runs.size() != baselines.size() || runs.empty())
+    throw std::invalid_argument("mean_overhead: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < runs.size(); ++i) sum += runs[i].overhead_vs(baselines[i]);
+  return sum / static_cast<double>(runs.size());
+}
+
+double mean_encrypted_fraction(const std::vector<SimResult>& runs) {
+  if (runs.empty()) return 1.0;
+  double sum = 0.0;
+  for (const auto& r : runs) sum += r.mean_encrypted_fraction;
+  return sum / static_cast<double>(runs.size());
+}
+
+std::vector<SimResult> grid_column(const std::vector<std::vector<SimResult>>& grid,
+                                   std::size_t scheme_index) {
+  std::vector<SimResult> column;
+  column.reserve(grid.size());
+  for (const auto& row : grid) column.push_back(row.at(scheme_index));
+  return column;
+}
+
+}  // namespace spe::sim

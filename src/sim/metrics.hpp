@@ -1,0 +1,22 @@
+#pragma once
+// Aggregation helpers for the Fig. 7 / Fig. 8 / Table 3 harnesses.
+
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace spe::sim {
+
+/// Arithmetic mean of per-workload overheads vs. the matching baseline rows
+/// (the paper reports "average performance impact").
+[[nodiscard]] double mean_overhead(const std::vector<SimResult>& runs,
+                                   const std::vector<SimResult>& baselines);
+
+/// Mean of the time-averaged encrypted fractions (Fig. 8 / Table 3 row 3).
+[[nodiscard]] double mean_encrypted_fraction(const std::vector<SimResult>& runs);
+
+/// Flattens column `scheme_index` out of a run_grid() result.
+[[nodiscard]] std::vector<SimResult> grid_column(
+    const std::vector<std::vector<SimResult>>& grid, std::size_t scheme_index);
+
+}  // namespace spe::sim

@@ -1,0 +1,31 @@
+#include "sim/nvmm.hpp"
+
+#include <algorithm>
+
+namespace spe::sim {
+
+NvmmTiming::NvmmTiming(NvmmConfig config) : config_(config) {
+  bank_free_at_.assign(config_.banks, 0);
+}
+
+std::uint64_t NvmmTiming::access(std::uint64_t now, std::uint64_t addr, bool is_write,
+                                 std::uint64_t extra_busy_cycles) {
+  // Block-interleaved bank mapping (64B granularity).
+  const unsigned bank = static_cast<unsigned>((addr / 64) % config_.banks);
+  const std::uint64_t service =
+      static_cast<std::uint64_t>(is_write ? config_.write_mem_cycles
+                                          : config_.read_mem_cycles) *
+      config_.cpu_cycles_per_mem_cycle;
+
+  const std::uint64_t start = std::max(now, bank_free_at_[bank]);
+  const std::uint64_t queue = start - now;
+  stats_.bank_conflict_cycles += queue;
+  bank_free_at_[bank] = start + service + extra_busy_cycles;
+  if (is_write)
+    ++stats_.writes;
+  else
+    ++stats_.reads;
+  return queue + service;
+}
+
+}  // namespace spe::sim

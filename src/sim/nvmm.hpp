@@ -1,0 +1,46 @@
+#pragma once
+// NVMM timing model: single-rank, 800 MHz, 2 GB, 8 devices (Section 7),
+// attached to a 3.2 GHz core (4 CPU cycles per memory-bus cycle). Access
+// timing is a fixed array latency plus bank-conflict queueing; the SPECU's
+// scheme-specific cycles are charged on top by the scheme models.
+
+#include <cstdint>
+#include <vector>
+
+namespace spe::sim {
+
+struct NvmmConfig {
+  unsigned banks = 8;
+  unsigned cpu_cycles_per_mem_cycle = 4;  ///< 3.2 GHz core / 800 MHz bus
+  unsigned read_mem_cycles = 30;          ///< array read (~37.5 ns)
+  unsigned write_mem_cycles = 40;         ///< array write (~50 ns)
+  std::uint64_t capacity_bytes = 2ull << 30;
+};
+
+class NvmmTiming {
+public:
+  explicit NvmmTiming(NvmmConfig config = {});
+
+  [[nodiscard]] const NvmmConfig& config() const noexcept { return config_; }
+
+  /// Issues an access at CPU-cycle `now`; returns total CPU cycles until
+  /// data (read) or completion (write), including bank queueing delay.
+  /// `extra_busy_cycles` keeps the bank busy longer (e.g. SPE-parallel's
+  /// post-read re-encryption occupies the bank after the data has left).
+  std::uint64_t access(std::uint64_t now, std::uint64_t addr, bool is_write,
+                       std::uint64_t extra_busy_cycles = 0);
+
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t bank_conflict_cycles = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+private:
+  NvmmConfig config_;
+  std::vector<std::uint64_t> bank_free_at_;
+  Stats stats_;
+};
+
+}  // namespace spe::sim

@@ -1,0 +1,46 @@
+#pragma once
+// NVMM protection-scheme timing/coverage models (Section 7). Each model
+// charges the scheme's extra cycles on NVMM traffic and tracks which part
+// of memory currently sits encrypted, so the simulator can reproduce both
+// Fig. 7 (performance overhead) and Fig. 8 (% memory kept encrypted).
+//
+// These are timing models: the functional ciphers live in spe_core /
+// spe_crypto and are exercised by the examples and integration tests.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/area_model.hpp"
+
+namespace spe::sim {
+
+/// Extra cycles a scheme adds to one NVMM access.
+struct SchemeCharge {
+  std::uint64_t critical_cycles = 0;  ///< on the CPU-visible critical path
+  std::uint64_t bank_busy_cycles = 0; ///< additional bank occupancy only
+};
+
+class SchemeModel {
+public:
+  virtual ~SchemeModel() = default;
+
+  [[nodiscard]] virtual core::Scheme scheme() const = 0;
+
+  /// NVMM read of `block_addr` (64B-aligned) at CPU-cycle `now`.
+  virtual SchemeCharge on_read(std::uint64_t now, std::uint64_t block_addr) = 0;
+  /// NVMM write (cache writeback) of `block_addr`.
+  virtual SchemeCharge on_write(std::uint64_t now, std::uint64_t block_addr) = 0;
+
+  /// Background work (inert-page scanning, serial re-encryption engines).
+  virtual void tick(std::uint64_t now) = 0;
+
+  /// Fraction of the *touched* memory footprint currently encrypted.
+  [[nodiscard]] virtual double encrypted_fraction() const = 0;
+};
+
+/// Factory for the Table-3 schemes.
+[[nodiscard]] std::unique_ptr<SchemeModel> make_scheme(core::Scheme scheme);
+
+}  // namespace spe::sim

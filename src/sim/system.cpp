@@ -1,0 +1,108 @@
+#include "sim/system.hpp"
+
+namespace spe::sim {
+
+SimResult simulate(const WorkloadSpec& workload, core::Scheme scheme,
+                   const SimConfig& config) {
+  CpuModel cpu(config.cpu);
+  Cache l1(config.l1);
+  Cache l2(config.l2);
+  NvmmTiming nvmm(config.nvmm);
+  auto scheme_model = make_scheme(scheme);
+  TraceGenerator trace(workload, config.seed);
+
+  SimResult result;
+  result.workload = workload.name;
+  result.scheme = scheme;
+
+  std::uint64_t retired = 0;
+  std::uint64_t next_tick = config.tick_interval_cycles;
+  double coverage_weighted = 0.0;
+  std::uint64_t warm_start_cycle = 0;  // 0 = warm-up not finished yet
+  std::uint64_t last_sample_cycle = 0;
+
+  while (retired < config.instructions) {
+    const MemAccess access = trace.next();
+    retired += access.instruction_gap;
+    cpu.retire(access.instruction_gap, workload.base_cpi);
+
+    const auto l1_result = l1.access(access.addr, access.is_write);
+    if (!l1_result.hit) {
+      ++result.l1_misses;
+      cpu.stall(config.l2.latency_cycles);
+      // L1 victim writeback is absorbed by the L2 (write-back hierarchy).
+      if (l1_result.evicted_dirty) (void)l2.access(l1_result.writeback_addr, true);
+
+      const auto l2_result = l2.access(access.addr, access.is_write);
+      if (!l2_result.hit) {
+        ++result.l2_misses;
+        const std::uint64_t now = cpu.cycles();
+        // Demand fill from NVMM through the SPECU.
+        const SchemeCharge charge = scheme_model->on_read(now, access.addr);
+        const std::uint64_t mem_latency =
+            nvmm.access(now, access.addr, false, charge.bank_busy_cycles);
+        cpu.stall(mem_latency + charge.critical_cycles);
+
+        // Dirty L2 victim: write back through the SPECU (buffered; bank
+        // occupancy only).
+        if (l2_result.evicted_dirty) {
+          ++result.writebacks;
+          const SchemeCharge wb = scheme_model->on_write(now, l2_result.writeback_addr);
+          (void)nvmm.access(now, l2_result.writeback_addr, true,
+                            wb.bank_busy_cycles + wb.critical_cycles);
+        }
+      }
+    }
+
+    if (cpu.cycles() >= next_tick) {
+      scheme_model->tick(cpu.cycles());
+      // Coverage is time-averaged only after warm-up (the init sweep and
+      // the schemes' cold start would otherwise dominate the Fig. 8 mean).
+      const bool warm = retired >= static_cast<std::uint64_t>(
+                            config.coverage_warmup_fraction *
+                            static_cast<double>(config.instructions));
+      if (warm) {
+        if (warm_start_cycle == 0) {
+          warm_start_cycle = cpu.cycles();
+          last_sample_cycle = cpu.cycles();
+        }
+        coverage_weighted += scheme_model->encrypted_fraction() *
+                             static_cast<double>(cpu.cycles() - last_sample_cycle);
+        last_sample_cycle = cpu.cycles();
+      }
+      next_tick = cpu.cycles() + config.tick_interval_cycles;
+    }
+  }
+
+  if (warm_start_cycle != 0 && cpu.cycles() > last_sample_cycle) {
+    coverage_weighted += scheme_model->encrypted_fraction() *
+                         static_cast<double>(cpu.cycles() - last_sample_cycle);
+    last_sample_cycle = cpu.cycles();
+  }
+
+  result.instructions = retired;
+  result.cycles = cpu.cycles();
+  result.dirty_l1_lines = l1.dirty_lines();
+  result.dirty_l2_lines = l2.dirty_lines();
+  result.mean_encrypted_fraction =
+      warm_start_cycle != 0 && last_sample_cycle > warm_start_cycle
+          ? coverage_weighted /
+                static_cast<double>(last_sample_cycle - warm_start_cycle)
+          : scheme_model->encrypted_fraction();
+  result.final_encrypted_fraction = scheme_model->encrypted_fraction();
+  return result;
+}
+
+std::vector<std::vector<SimResult>> run_grid(const std::vector<core::Scheme>& schemes,
+                                             const SimConfig& config) {
+  std::vector<std::vector<SimResult>> grid;
+  for (const WorkloadSpec& workload : spec2006_suite()) {
+    std::vector<SimResult> row;
+    row.reserve(schemes.size());
+    for (core::Scheme scheme : schemes) row.push_back(simulate(workload, scheme, config));
+    grid.push_back(std::move(row));
+  }
+  return grid;
+}
+
+}  // namespace spe::sim

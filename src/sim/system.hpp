@@ -1,0 +1,62 @@
+#pragma once
+// Full-system trace simulation: workload trace -> L1D -> L2 -> SPECU scheme
+// -> NVMM. Reproduces the Section-7 platform: 3.2 GHz 4-issue OoO core,
+// 32 KB 8-way L1 (4 cyc), 2 MB 16-way L2 (16 cyc), 64 B lines, LRU, 2 GB
+// single-rank 800 MHz NVMM with 8 banks.
+
+#include <string>
+#include <vector>
+
+#include "core/area_model.hpp"
+#include "sim/cache.hpp"
+#include "sim/cpu_model.hpp"
+#include "sim/nvmm.hpp"
+#include "sim/schemes.hpp"
+#include "sim/workloads.hpp"
+
+namespace spe::sim {
+
+struct SimConfig {
+  std::uint64_t instructions = 6'000'000;
+  CpuConfig cpu{};
+  CacheConfig l1{32 * 1024, 8, 64, 4, "L1D"};
+  CacheConfig l2{2 * 1024 * 1024, 16, 64, 16, "L2"};
+  NvmmConfig nvmm{};
+  std::uint64_t seed = 0xC0FFEE;
+  std::uint64_t tick_interval_cycles = 50'000;  ///< background-engine cadence
+  double coverage_warmup_fraction = 0.33;  ///< skip the init sweep / cold start
+                                           ///< when averaging Fig. 8 coverage
+};
+
+struct SimResult {
+  std::string workload;
+  core::Scheme scheme = core::Scheme::None;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t writebacks = 0;
+  double mean_encrypted_fraction = 0.0;  ///< time-averaged (Fig. 8)
+  double final_encrypted_fraction = 0.0;
+  std::uint64_t dirty_l1_lines = 0;  ///< cache state at end of run —
+  std::uint64_t dirty_l2_lines = 0;  ///< the Section-6.4 cold-boot drain size
+
+  [[nodiscard]] double ipc() const {
+    return cycles ? static_cast<double>(instructions) / static_cast<double>(cycles) : 0.0;
+  }
+  /// Fig. 7 metric: relative slowdown versus an unprotected run.
+  [[nodiscard]] double overhead_vs(const SimResult& baseline) const {
+    return static_cast<double>(cycles) / static_cast<double>(baseline.cycles) - 1.0;
+  }
+};
+
+/// Runs one workload under one scheme.
+[[nodiscard]] SimResult simulate(const WorkloadSpec& workload, core::Scheme scheme,
+                                 const SimConfig& config = {});
+
+/// Runs the whole Fig. 7/8 grid: every suite workload under every scheme in
+/// `schemes`, returning results indexed [workload][scheme-order-given].
+[[nodiscard]] std::vector<std::vector<SimResult>> run_grid(
+    const std::vector<core::Scheme>& schemes, const SimConfig& config = {});
+
+}  // namespace spe::sim

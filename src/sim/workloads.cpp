@@ -1,0 +1,80 @@
+#include "sim/workloads.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spe::sim {
+
+const std::vector<WorkloadSpec>& spec2006_suite() {
+  // cold_prob / stream_prob set the L2 MPKI
+  // (MPKI ~ mem_ratio * (stream_prob/8 + cold_prob) * 1000);
+  // live_pages sets the page-revisit interval
+  // (live_pages / (mem_ratio * cold_prob) instructions), which is what
+  // separates i-NVMM's winners (revisit << inertness threshold) from its
+  // losers (revisit >= threshold, e.g. sjeng).
+  static const std::vector<WorkloadSpec> kSuite = {
+      // name        mem    wr    pages  live   hot   cold     stream  cpi
+      {"perlbench", 0.35, 0.35, 16384, 3072,  128, 0.0020, 0.020, 0.65},
+      {"bzip2",     0.32, 0.30, 8192,  512,   24,  0.0060, 0.055, 0.70},
+      {"gcc",       0.33, 0.30, 24576, 4096,  192, 0.0080, 0.070, 0.75},
+      {"mcf",       0.38, 0.25, 49152, 8192,  192, 0.0630, 0.020, 0.90},
+      {"gobmk",     0.28, 0.30, 16384, 2048,  96,  0.0025, 0.010, 0.80},
+      {"hmmer",     0.30, 0.25, 4096,  256,   16,  0.0004, 0.010, 0.60},
+      {"sjeng",     0.27, 0.30, 24576, 8192,  128, 0.0014, 0.003, 0.85},
+      {"libquantum",0.34, 0.20, 49152, 1024,  64,  0.0005, 0.700, 0.95},
+      {"h264ref",   0.31, 0.35, 12288, 1024,  48,  0.0015, 0.040, 0.65},
+      {"astar",     0.33, 0.30, 24576, 5120,  160, 0.0215, 0.020, 0.85},
+  };
+  return kSuite;
+}
+
+const WorkloadSpec& workload_by_name(const std::string& name) {
+  for (const auto& w : spec2006_suite())
+    if (w.name == name) return w;
+  throw std::invalid_argument("workload_by_name: unknown workload " + name);
+}
+
+TraceGenerator::TraceGenerator(const WorkloadSpec& spec, std::uint64_t seed)
+    : spec_(spec), rng_(util::mix64(seed ^ std::hash<std::string>{}(spec.name))) {}
+
+MemAccess TraceGenerator::next() {
+  MemAccess a;
+  constexpr std::uint64_t kPage = 4096;
+
+  // Program-load phase: one line-write per allocated page.
+  if (init_page_ < spec_.pages) {
+    a.addr = static_cast<std::uint64_t>(init_page_) * kPage;
+    a.is_write = true;
+    a.instruction_gap = 2;  // dense initialisation loop
+    ++init_page_;
+    return a;
+  }
+
+  // Geometric instruction gap with mean 1/mem_ratio.
+  const double u = rng_.uniform();
+  a.instruction_gap =
+      1 + static_cast<unsigned>(std::log(1.0 - u) / std::log(1.0 - spec_.mem_ratio));
+  a.is_write = rng_.uniform() < spec_.write_ratio;
+
+  const std::uint64_t full_bytes = static_cast<std::uint64_t>(spec_.pages) * kPage;
+  const double r = rng_.uniform();
+  if (r < spec_.stream_prob) {
+    // Streaming walk, 8-byte stride: 8 touches per 64B line, so one L2 miss
+    // per line; footprints larger than the L2 never re-hit.
+    stream_pos_ = (stream_pos_ + 8) % full_bytes;
+    a.addr = stream_pos_;
+    return a;
+  }
+  std::uint64_t page;
+  if (r < spec_.stream_prob + spec_.cold_prob) {
+    page = rng_.below(spec_.live_pages);  // live-region capacity miss
+  } else {
+    // Hot-set access; the hot window slides gradually (phase behaviour).
+    if (rng_.below(50000) == 0) hot_base_ = (hot_base_ + 1) % spec_.live_pages;
+    page = (hot_base_ + rng_.below(spec_.hot_pages)) % spec_.live_pages;
+  }
+  a.addr = page * kPage + rng_.below(kPage / 64) * 64;
+  return a;
+}
+
+}  // namespace spe::sim

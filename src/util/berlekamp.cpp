@@ -1,0 +1,39 @@
+#include "util/berlekamp.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace spe::util {
+
+std::size_t linear_complexity(const BitVector& bits, std::size_t offset, std::size_t len) {
+  if (offset + len > bits.size()) throw std::out_of_range("linear_complexity");
+
+  // Standard Berlekamp-Massey over GF(2). c = current connection polynomial,
+  // b = polynomial at the last length change.
+  std::vector<std::uint8_t> c(len + 1, 0), b(len + 1, 0), t;
+  c[0] = b[0] = 1;
+  std::size_t L = 0;
+  std::size_t m = std::size_t(-1);  // index of last discrepancy (as signed -1)
+
+  for (std::size_t n = 0; n < len; ++n) {
+    // Discrepancy d = s_n + sum_{i=1..L} c_i * s_{n-i}
+    unsigned d = bits.get(offset + n) ? 1u : 0u;
+    for (std::size_t i = 1; i <= L; ++i) {
+      if (c[i] && bits.get(offset + n - i)) d ^= 1u;
+    }
+    if (d == 0) continue;
+    t = c;
+    const std::size_t shift = n - m;  // well-defined: first discrepancy has m = -1, n - m = n+1
+    for (std::size_t i = 0; i + shift <= len; ++i) {
+      if (b[i]) c[i + shift] ^= 1u;
+    }
+    if (2 * L <= n) {
+      L = n + 1 - L;
+      m = n;
+      b = t;
+    }
+  }
+  return L;
+}
+
+}  // namespace spe::util

@@ -1,0 +1,16 @@
+#pragma once
+// Berlekamp-Massey algorithm over GF(2): computes the linear complexity of a
+// binary sequence (the length of the shortest LFSR that generates it). Used
+// by the NIST linear-complexity test and the stream-cipher security tests.
+
+#include <cstddef>
+
+#include "util/bitvec.hpp"
+
+namespace spe::util {
+
+/// Returns the linear complexity of bits[offset, offset+len).
+[[nodiscard]] std::size_t linear_complexity(const BitVector& bits,
+                                            std::size_t offset, std::size_t len);
+
+}  // namespace spe::util

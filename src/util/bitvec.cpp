@@ -1,0 +1,110 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace spe::util {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t words_for(std::size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+BitVector::BitVector(std::size_t n, bool value)
+    : words_(words_for(n), value ? ~std::uint64_t{0} : 0), size_(n) {
+  if (value && size_ % kWordBits != 0) {
+    // Clear the padding bits so popcount() and operator== stay exact.
+    words_.back() &= (std::uint64_t{1} << (size_ % kWordBits)) - 1;
+  }
+}
+
+bool BitVector::get(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("BitVector::get");
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void BitVector::set(std::size_t i, bool value) {
+  if (i >= size_) throw std::out_of_range("BitVector::set");
+  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+  if (value)
+    words_[i / kWordBits] |= mask;
+  else
+    words_[i / kWordBits] &= ~mask;
+}
+
+void BitVector::push_back(bool bit) {
+  if (size_ % kWordBits == 0) words_.push_back(0);
+  if (bit) words_.back() |= std::uint64_t{1} << (size_ % kWordBits);
+  ++size_;
+}
+
+void BitVector::append_bits(std::uint64_t word, unsigned count) {
+  if (count > 64) throw std::invalid_argument("BitVector::append_bits: count > 64");
+  for (unsigned i = count; i-- > 0;) push_back((word >> i) & 1u);
+}
+
+void BitVector::append_bytes(std::span<const std::uint8_t> bytes) {
+  for (std::uint8_t b : bytes) append_bits(b, 8);
+}
+
+void BitVector::append(const BitVector& other) {
+  for (std::size_t i = 0; i < other.size_; ++i) push_back(other.get(i));
+}
+
+BitVector BitVector::slice(std::size_t begin, std::size_t len) const {
+  if (begin + len > size_) throw std::out_of_range("BitVector::slice");
+  BitVector out;
+  for (std::size_t i = 0; i < len; ++i) out.push_back(get(begin + i));
+  return out;
+}
+
+std::size_t BitVector::popcount() const noexcept {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+BitVector& BitVector::operator^=(const BitVector& other) {
+  if (size_ != other.size_) throw std::invalid_argument("BitVector::operator^=: size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+std::vector<std::uint8_t> BitVector::to_bytes() const {
+  std::vector<std::uint8_t> out((size_ + 7) / 8, 0);
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (get(i)) out[i / 8] |= static_cast<std::uint8_t>(0x80u >> (i % 8));
+  }
+  return out;
+}
+
+std::uint64_t BitVector::read_bits(std::size_t pos, unsigned count) const {
+  if (count > 64) throw std::invalid_argument("BitVector::read_bits: count > 64");
+  if (pos + count > size_) throw std::out_of_range("BitVector::read_bits");
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < count; ++i) v = (v << 1) | static_cast<std::uint64_t>(get(pos + i));
+  return v;
+}
+
+std::string BitVector::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back(get(i) ? '1' : '0');
+  return s;
+}
+
+BitVector BitVector::from_string(std::string_view s) {
+  BitVector v;
+  for (char c : s) {
+    if (c == '0')
+      v.push_back(false);
+    else if (c == '1')
+      v.push_back(true);
+    else
+      throw std::invalid_argument("BitVector::from_string: expected '0' or '1'");
+  }
+  return v;
+}
+
+}  // namespace spe::util

@@ -1,0 +1,76 @@
+#pragma once
+// Dynamic bit vector tuned for the NIST statistical suite and the SPE data
+// paths: append-oriented construction, O(1) random access, XOR combination,
+// and byte/word import-export.
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spe::util {
+
+/// A growable sequence of bits. Bit 0 is the first bit appended; storage is
+/// little-endian within 64-bit words. All indices are checked in debug builds
+/// via assert-like guards (out-of-range access throws std::out_of_range).
+class BitVector {
+public:
+  BitVector() = default;
+
+  /// Constructs a vector of `n` bits, all initialised to `value`.
+  explicit BitVector(std::size_t n, bool value = false);
+
+  /// Number of bits stored.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Reads the bit at `i`. Throws std::out_of_range if `i >= size()`.
+  [[nodiscard]] bool get(std::size_t i) const;
+
+  /// Writes the bit at `i`. Throws std::out_of_range if `i >= size()`.
+  void set(std::size_t i, bool value);
+
+  /// Appends a single bit.
+  void push_back(bool bit);
+
+  /// Appends the `count` low-order bits of `word`, most-significant first
+  /// (matching the order a hardware shift register would emit a field).
+  void append_bits(std::uint64_t word, unsigned count);
+
+  /// Appends every bit of `bytes`, MSB-first within each byte.
+  void append_bytes(std::span<const std::uint8_t> bytes);
+
+  /// Appends all bits of `other`.
+  void append(const BitVector& other);
+
+  /// Returns the sub-vector [begin, begin+len). Throws if out of range.
+  [[nodiscard]] BitVector slice(std::size_t begin, std::size_t len) const;
+
+  /// Number of one-bits.
+  [[nodiscard]] std::size_t popcount() const noexcept;
+
+  /// XORs `other` into this vector. Sizes must match (throws otherwise).
+  BitVector& operator^=(const BitVector& other);
+
+  /// Packs the bits back into bytes, MSB-first; the final byte is zero-padded.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+
+  /// Reads `count` bits starting at `pos` as an unsigned value, first bit is
+  /// the most significant. `count` must be <= 64.
+  [[nodiscard]] std::uint64_t read_bits(std::size_t pos, unsigned count) const;
+
+  /// "0101..." rendering, for diagnostics and golden tests.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses a "0101..." string (throws std::invalid_argument on other chars).
+  static BitVector from_string(std::string_view s);
+
+  bool operator==(const BitVector& other) const = default;
+
+private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace spe::util

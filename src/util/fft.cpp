@@ -1,0 +1,54 @@
+#include "util/fft.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace spe::util {
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  if (!std::has_single_bit(n)) throw std::invalid_argument("fft: size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> real_magnitude_spectrum(const std::vector<double>& signal, bool pad) {
+  std::size_t n = signal.size();
+  if (n == 0) return {};
+  if (!std::has_single_bit(n)) {
+    if (!pad) throw std::invalid_argument("real_magnitude_spectrum: size must be a power of two");
+    n = std::bit_ceil(n);
+  }
+  std::vector<std::complex<double>> buf(n, {0.0, 0.0});
+  for (std::size_t i = 0; i < signal.size(); ++i) buf[i] = {signal[i], 0.0};
+  fft(buf);
+  std::vector<double> mags(n / 2 + 1);
+  for (std::size_t i = 0; i <= n / 2; ++i) mags[i] = std::abs(buf[i]);
+  return mags;
+}
+
+}  // namespace spe::util

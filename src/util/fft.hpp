@@ -1,0 +1,23 @@
+#pragma once
+// Iterative radix-2 complex FFT, used by the NIST Discrete Fourier Transform
+// (spectral) test. Inputs whose length is not a power of two are handled by
+// the caller (the NIST test truncates to the usable prefix).
+
+#include <complex>
+#include <vector>
+
+namespace spe::util {
+
+/// In-place radix-2 decimation-in-time FFT. `data.size()` must be a power of
+/// two (throws std::invalid_argument otherwise). Set `inverse` for the
+/// unscaled inverse transform (caller divides by N if needed).
+void fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Convenience: forward transform of a real signal, returning the first
+/// n/2 + 1 modulus values (the one-sided magnitude spectrum). `signal.size()`
+/// need not be a power of two: it is zero-padded up to the next power of two
+/// only if `pad` is set, otherwise it must already be a power of two.
+[[nodiscard]] std::vector<double> real_magnitude_spectrum(
+    const std::vector<double>& signal, bool pad = false);
+
+}  // namespace spe::util

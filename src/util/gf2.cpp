@@ -1,0 +1,54 @@
+#include "util/gf2.hpp"
+
+#include <stdexcept>
+
+namespace spe::util {
+
+Gf2Matrix::Gf2Matrix(unsigned rows, unsigned cols) : rows_(rows), cols_(cols) {
+  if (rows == 0 || cols == 0 || rows > 64 || cols > 64)
+    throw std::invalid_argument("Gf2Matrix: dimensions must be in [1, 64]");
+  row_words_.assign(rows, 0);
+}
+
+Gf2Matrix Gf2Matrix::from_bits(const BitVector& bits, std::size_t offset,
+                               unsigned rows, unsigned cols) {
+  Gf2Matrix m(rows, cols);
+  for (unsigned r = 0; r < rows; ++r)
+    for (unsigned c = 0; c < cols; ++c)
+      m.set(r, c, bits.get(offset + static_cast<std::size_t>(r) * cols + c));
+  return m;
+}
+
+bool Gf2Matrix::get(unsigned r, unsigned c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Gf2Matrix::get");
+  return (row_words_[r] >> c) & 1u;
+}
+
+void Gf2Matrix::set(unsigned r, unsigned c, bool v) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Gf2Matrix::set");
+  const std::uint64_t mask = std::uint64_t{1} << c;
+  if (v)
+    row_words_[r] |= mask;
+  else
+    row_words_[r] &= ~mask;
+}
+
+unsigned Gf2Matrix::rank() const {
+  std::vector<std::uint64_t> rows = row_words_;
+  unsigned rank = 0;
+  for (unsigned col = 0; col < cols_ && rank < rows_; ++col) {
+    const std::uint64_t mask = std::uint64_t{1} << col;
+    // Find a pivot row at or below `rank` with this column set.
+    unsigned pivot = rank;
+    while (pivot < rows_ && !(rows[pivot] & mask)) ++pivot;
+    if (pivot == rows_) continue;
+    std::swap(rows[rank], rows[pivot]);
+    for (unsigned r = 0; r < rows_; ++r) {
+      if (r != rank && (rows[r] & mask)) rows[r] ^= rows[rank];
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace spe::util

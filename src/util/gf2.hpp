@@ -1,0 +1,38 @@
+#pragma once
+// Small dense matrices over GF(2), packed one row per 64-bit word (matrix
+// dimensions up to 64x64 — the NIST binary-matrix-rank test uses 32x32).
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace spe::util {
+
+/// Row-packed GF(2) matrix; bit j of row word i is column j of row i.
+class Gf2Matrix {
+public:
+  /// Zero matrix of the given shape. rows, cols must each be in [1, 64].
+  Gf2Matrix(unsigned rows, unsigned cols);
+
+  /// Builds a rows x cols matrix from the first rows*cols bits of `bits`
+  /// starting at `offset`, row-major (the NIST convention).
+  static Gf2Matrix from_bits(const BitVector& bits, std::size_t offset,
+                             unsigned rows, unsigned cols);
+
+  [[nodiscard]] unsigned rows() const noexcept { return rows_; }
+  [[nodiscard]] unsigned cols() const noexcept { return cols_; }
+
+  [[nodiscard]] bool get(unsigned r, unsigned c) const;
+  void set(unsigned r, unsigned c, bool v);
+
+  /// Rank over GF(2) by forward elimination (does not modify *this).
+  [[nodiscard]] unsigned rank() const;
+
+private:
+  unsigned rows_;
+  unsigned cols_;
+  std::vector<std::uint64_t> row_words_;
+};
+
+}  // namespace spe::util

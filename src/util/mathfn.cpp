@@ -1,0 +1,78 @@
+#include "util/mathfn.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace spe::util {
+
+namespace {
+constexpr double kEps = 1e-15;
+constexpr int kMaxIter = 10000;
+
+// Series expansion for P(a, x), converges quickly for x < a + 1.
+double igam_series(double a, double x) {
+  double sum = 1.0 / a;
+  double term = sum;
+  double ap = a;
+  for (int n = 0; n < kMaxIter; ++n) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued fraction (modified Lentz) for Q(a, x), converges for x >= a + 1.
+double igamc_cf(double a, double x) {
+  constexpr double kFpMin = std::numeric_limits<double>::min() / kEps;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIter; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEps) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+}  // namespace
+
+double igam(double a, double x) {
+  if (a <= 0.0 || x < 0.0) throw std::domain_error("igam: requires a > 0, x >= 0");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return igam_series(a, x);
+  return 1.0 - igamc_cf(a, x);
+}
+
+double igamc(double a, double x) {
+  if (a <= 0.0 || x < 0.0) throw std::domain_error("igamc: requires a > 0, x >= 0");
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - igam_series(a, x);
+  return igamc_cf(a, x);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double erfc(double x) { return std::erfc(x); }
+
+double log_factorial(unsigned n) {
+  if (n < 2) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log10_permutations(unsigned n, unsigned k) {
+  if (k > n) throw std::domain_error("log10_permutations: k > n");
+  return (log_factorial(n) - log_factorial(n - k)) / std::log(10.0);
+}
+
+}  // namespace spe::util

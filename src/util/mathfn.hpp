@@ -1,0 +1,30 @@
+#pragma once
+// Special functions needed by the NIST SP 800-22 p-value computations and the
+// simulator's statistics: regularized incomplete gamma functions, the
+// complementary error function wrapper, and the standard normal CDF.
+
+namespace spe::util {
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x)/Gamma(a).
+/// Domain: a > 0, x >= 0. Accuracy ~1e-12 (series for x < a+1, continued
+/// fraction otherwise).
+[[nodiscard]] double igam(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+[[nodiscard]] double igamc(double a, double x);
+
+/// Standard normal cumulative distribution function.
+[[nodiscard]] double normal_cdf(double x);
+
+/// erfc wrapper (provided for symmetry / test hooks).
+[[nodiscard]] double erfc(double x);
+
+/// Natural log of n! (exact accumulation for small n, lgamma otherwise).
+[[nodiscard]] double log_factorial(unsigned n);
+
+/// log10 of the falling factorial n * (n-1) * ... * (n-k+1)  — i.e. the
+/// number of ordered k-permutations P(n, k). Used by the brute-force attack
+/// cost analysis (Section 6.2 of the paper) where the value overflows double.
+[[nodiscard]] double log10_permutations(unsigned n, unsigned k);
+
+}  // namespace spe::util

@@ -1,0 +1,124 @@
+#include "util/rng.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+namespace spe::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+}
+
+Xoshiro256ss::result_type Xoshiro256ss::operator()() noexcept {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256ss::below(std::uint64_t bound) noexcept {
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256ss::uniform() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256ss::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+double Xoshiro256ss::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+namespace {
+// LCG multipliers/increments chosen per Hull-Dobell (full period mod 2^44):
+// a ≡ 1 (mod 4), c odd.
+constexpr std::uint64_t kA1 = 0x5DEECE66Dull;   // 25214903917
+constexpr std::uint64_t kC1 = 0xBull;           // 11
+constexpr std::uint64_t kA2 = 0x5851F42D5ull;   // truncated PCG multiplier, ≡1 mod 4
+constexpr std::uint64_t kC2 = 0x14057B7EFull;   // odd
+}  // namespace
+
+CoupledLcg::CoupledLcg(std::uint64_t seed44) noexcept {
+  x_ = seed44 & kMask;
+  // Derive the second state from the MASKED seed so bits above the 44-bit
+  // key field can never influence the stream; the constant keeps x == y
+  // impossible for seed 0.
+  std::uint64_t sm = (seed44 & kMask) ^ 0xA5A5A5A5A5ull;
+  y_ = splitmix64(sm) & kMask;
+}
+
+std::uint64_t CoupledLcg::next_raw() noexcept {
+  // Cross-coupling: each increment is perturbed by the other generator's
+  // previous state (shifted so high bits land on low bits).
+  const std::uint64_t nx = (kA1 * x_ + kC1 + (y_ >> 13)) & kMask;
+  const std::uint64_t ny = (kA2 * y_ + kC2 + (x_ >> 13)) & kMask;
+  x_ = nx;
+  y_ = ny;
+  return (x_ ^ (y_ << 7)) & kMask;
+}
+
+std::uint32_t CoupledLcg::next_bits(unsigned bits) noexcept {
+  // Take the middle bits of the combined state; LCG low bits are weak.
+  const std::uint64_t raw = next_raw();
+  if (bits == 0) return 0;
+  if (bits > 32) bits = 32;
+  return static_cast<std::uint32_t>((raw >> (kStateBits - 32 - 6)) >> (32 - bits)) &
+         ((bits == 32) ? 0xFFFFFFFFu : ((1u << bits) - 1u));
+}
+
+std::uint32_t CoupledLcg::below(std::uint32_t bound) noexcept {
+  if (bound <= 1) return 0;
+  const std::uint32_t limit = (0xFFFFFFFFu / bound) * bound;
+  for (;;) {
+    const std::uint32_t v = next_bits(32);
+    if (v < limit) return v % bound;
+  }
+}
+
+}  // namespace spe::util

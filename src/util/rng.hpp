@@ -1,0 +1,82 @@
+#pragma once
+// Pseudo-random number generators.
+//
+// - SplitMix64: seeding / hashing helper.
+// - Xoshiro256ss: general-purpose simulation RNG (workload generators,
+//   Monte-Carlo sweeps). Not used inside the cipher.
+// - CoupledLcg: the paper's key-stream PRNG (ref [14], Katti & Kavasseri,
+//   "Secure pseudo-random bit sequence generation using coupled linear
+//   congruential generators"): two LCGs whose states perturb each other each
+//   step. The SPECU seeds one instance with the 44-bit address seed and one
+//   with the 44-bit voltage seed (Section 5.4 of the paper).
+
+#include <cstdint>
+#include <limits>
+
+namespace spe::util {
+
+/// Avalanching 64-bit mix (Stafford variant 13); also usable as a tiny PRNG.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// One-shot mix of a value (stateless convenience for hashing).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Xoshiro256ss {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal() noexcept;
+
+private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Coupled linear congruential generator after the paper's ref [14]. Two
+/// 44-bit LCGs advance in lock-step and each feeds a shifted copy of its
+/// state into the other's increment, which breaks the lattice structure of a
+/// single LCG. Output takes the high-quality middle bits of the XOR of both
+/// states. The modulus is 2^44 to match the paper's 44-bit seeds.
+class CoupledLcg {
+public:
+  static constexpr unsigned kStateBits = 44;
+  static constexpr std::uint64_t kMask = (std::uint64_t{1} << kStateBits) - 1;
+
+  explicit CoupledLcg(std::uint64_t seed44) noexcept;
+
+  /// Advances both LCGs once and returns `bits` (<= 32) pseudo-random bits.
+  std::uint32_t next_bits(unsigned bits) noexcept;
+
+  /// Uniform integer in [0, bound) by rejection sampling; bound <= 2^32.
+  std::uint32_t below(std::uint32_t bound) noexcept;
+
+  /// Raw 44-bit combined state step (exposed for randomness tests).
+  std::uint64_t next_raw() noexcept;
+
+private:
+  std::uint64_t x_;
+  std::uint64_t y_;
+};
+
+}  // namespace spe::util

@@ -1,0 +1,47 @@
+#pragma once
+// Light statistics helpers shared by the simulator metrics, the Monte-Carlo
+// sweeps and the NIST suite bookkeeping.
+
+#include <cstddef>
+#include <vector>
+
+namespace spe::util {
+
+/// Streaming accumulator (Welford) for mean / variance / extrema.
+class RunningStats {
+public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+[[nodiscard]] double mean(const std::vector<double>& xs);
+[[nodiscard]] double stddev(const std::vector<double>& xs);
+
+/// Pearson correlation coefficient; returns 0 for degenerate inputs.
+[[nodiscard]] double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Chi-square statistic of observed counts against expected counts.
+[[nodiscard]] double chi_square(const std::vector<double>& observed,
+                                const std::vector<double>& expected);
+
+/// Maximum number of failures out of `n` trials at which a Bernoulli(alpha)
+/// failure process is still plausible — the NIST acceptance bound
+/// p_hat + 3*sqrt(p_hat (1-p_hat) / n) applied to counts. For n = 150 and
+/// alpha = 0.01 this yields 5, matching Table 2's "not more than 5 of 150".
+[[nodiscard]] unsigned max_allowed_failures(unsigned n, double alpha);
+
+}  // namespace spe::util

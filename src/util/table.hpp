@@ -1,0 +1,32 @@
+#pragma once
+// Minimal fixed-width console table printer used by every bench binary to
+// emit the rows/series the paper's tables and figures report.
+
+#include <string>
+#include <vector>
+
+namespace spe::util {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class Table {
+public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats helpers for numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Renders the full table (header, separator, rows) to a string.
+  [[nodiscard]] std::string render() const;
+
+  /// Convenience: render straight to stdout.
+  void print() const;
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spe::util

@@ -1,0 +1,62 @@
+#include "wear/endurance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spe::wear {
+
+EnduranceModel::EnduranceModel(std::size_t lines, EnduranceParams params)
+    : params_(params), wear_(lines, 0.0) {
+  if (lines == 0) throw std::invalid_argument("EnduranceModel: zero lines");
+}
+
+void EnduranceModel::record_write(std::size_t line) {
+  wear_.at(line) += 1.0;
+  total_ += 1.0;
+}
+
+void EnduranceModel::record_spe_encryption(std::size_t line, unsigned pulses) {
+  const double units = params_.spe_pulse_wear * pulses;
+  wear_.at(line) += units;
+  total_ += units;
+}
+
+double EnduranceModel::wear(std::size_t line) const { return wear_.at(line); }
+
+double EnduranceModel::max_wear() const {
+  return *std::max_element(wear_.begin(), wear_.end());
+}
+
+bool EnduranceModel::any_failed() const { return max_wear() >= params_.write_limit; }
+
+std::size_t EnduranceModel::failed_lines() const {
+  std::size_t n = 0;
+  for (double w : wear_) n += w >= params_.write_limit ? 1 : 0;
+  return n;
+}
+
+double EnduranceModel::lifetime_fraction() const {
+  const double peak = max_wear();
+  if (peak <= 0.0) return 1.0;
+  // Actual failure time scales total writes by limit/peak; ideal spreads
+  // the same total evenly.
+  const double at_failure = total_ * (params_.write_limit / peak);
+  const double ideal = static_cast<double>(wear_.size()) * params_.write_limit;
+  return std::min(1.0, at_failure / ideal);
+}
+
+BruteForceWearReport brute_force_wear(const EnduranceParams& params,
+                                      unsigned pulses_per_trial, double ns_per_pulse,
+                                      double log10_keyspace) {
+  BruteForceWearReport r{};
+  const double wear_per_trial = params.spe_pulse_wear * pulses_per_trial;
+  r.trials_until_failure = params.write_limit / wear_per_trial;
+  r.log10_keyspace_fraction_searched =
+      std::log10(r.trials_until_failure) - log10_keyspace;
+  r.seconds_until_failure =
+      r.trials_until_failure * pulses_per_trial * ns_per_pulse * 1e-9;
+  return r;
+}
+
+}  // namespace spe::wear

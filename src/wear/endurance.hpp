@@ -1,0 +1,67 @@
+#pragma once
+// Endurance accounting for memristive storage. The paper leans on endurance
+// twice: Section 5.2 argues SPE pulses barely age the cells ("the
+// resistance change is small compared to the typical write operation",
+// ref [13]: TaOx endures ~1e10 full switches), and Section 6.2.1 argues a
+// brute-force attacker *destroys* the module before finding the key. Both
+// claims are quantified here; the wear-levelling substrate (start_gap.hpp)
+// is the ref [6] defence against deliberate write-hammering.
+
+#include <cstdint>
+#include <vector>
+
+namespace spe::wear {
+
+struct EnduranceParams {
+  double write_limit = 1e8;       ///< full RESET/SET cycles before failure
+                                  ///< (PCM-class; TaOx reaches 1e10)
+  double spe_pulse_wear = 0.02;   ///< one SPE pulse ~2% of a full write
+                                  ///< (small resistance excursion, §5.2)
+};
+
+/// Tracks accumulated wear per line and reports failures.
+class EnduranceModel {
+public:
+  EnduranceModel(std::size_t lines, EnduranceParams params = {});
+
+  [[nodiscard]] const EnduranceParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::size_t lines() const noexcept { return wear_.size(); }
+
+  /// Records one full write to `line`.
+  void record_write(std::size_t line);
+  /// Records one SPE encryption of `line` (16 pulses x per-pulse wear each
+  /// touching ~2 polyominoes worth of cells is folded into one factor).
+  void record_spe_encryption(std::size_t line, unsigned pulses = 16);
+
+  [[nodiscard]] double wear(std::size_t line) const;
+  [[nodiscard]] double max_wear() const;
+  [[nodiscard]] bool any_failed() const;
+  [[nodiscard]] std::size_t failed_lines() const;
+
+  /// Fraction of the ideal (perfectly levelled) lifetime achieved: with
+  /// `total` write units spread over `lines()` lines, ideal failure happens
+  /// at total = lines * limit; actual failure when max_wear hits limit.
+  [[nodiscard]] double lifetime_fraction() const;
+
+private:
+  EnduranceParams params_;
+  std::vector<double> wear_;
+  double total_ = 0.0;
+};
+
+/// Section 6.2.1 quantified: how long a ciphertext-only brute-force attack
+/// can hammer one crossbar before the memristors die. Each trial applies
+/// `pulses` decrypt attempts; returns the number of trials until the
+/// per-cell wear budget is exhausted and the log10 of the fraction of the
+/// key space covered by then.
+struct BruteForceWearReport {
+  double trials_until_failure;
+  double log10_keyspace_fraction_searched;  ///< log10(trials / keyspace)
+  double seconds_until_failure;
+};
+[[nodiscard]] BruteForceWearReport brute_force_wear(const EnduranceParams& params = {},
+                                                    unsigned pulses_per_trial = 16,
+                                                    double ns_per_pulse = 100.0,
+                                                    double log10_keyspace = 52.0);
+
+}  // namespace spe::wear

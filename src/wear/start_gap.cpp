@@ -1,0 +1,126 @@
+#include "wear/start_gap.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace spe::wear {
+
+StartGap::StartGap(std::size_t lines, unsigned gap_write_interval)
+    : lines_(lines), interval_(gap_write_interval), gap_(lines), start_(0) {
+  if (lines == 0) throw std::invalid_argument("StartGap: zero lines");
+  if (gap_write_interval == 0) throw std::invalid_argument("StartGap: zero interval");
+}
+
+std::size_t StartGap::physical_of(std::size_t logical) const {
+  if (logical >= lines_) throw std::out_of_range("StartGap::physical_of");
+  // Qureshi et al.: PA = (LA + Start) mod N; slots at or past the gap are
+  // shifted by one (the gap itself never holds data).
+  std::size_t pa = (logical + start_) % lines_;
+  if (pa >= gap_) ++pa;
+  return pa;
+}
+
+std::optional<StartGap::GapMove> StartGap::on_write() {
+  if (++writes_since_move_ < interval_) return std::nullopt;
+  writes_since_move_ = 0;
+  ++gap_moves_;
+  if (gap_ > 0) {
+    const GapMove move{gap_ - 1, gap_};
+    --gap_;
+    return move;
+  }
+  // Gap at slot 0: move the last slot's line into it, gap jumps to the top
+  // and the region has rotated by one line.
+  const GapMove move{lines_, 0};
+  gap_ = lines_;
+  start_ = (start_ + 1) % lines_;
+  return move;
+}
+
+AddressScrambler::AddressScrambler(std::size_t lines, std::uint64_t key)
+    : lines_(lines), key_(key) {
+  if (lines == 0) throw std::invalid_argument("AddressScrambler: zero lines");
+  // Feistel over an even number of bits covering [0, lines).
+  unsigned bits = std::max<unsigned>(2, std::bit_width(lines - 1));
+  if (bits % 2) ++bits;
+  half_bits_ = bits / 2;
+}
+
+std::size_t AddressScrambler::feistel(std::size_t value, bool inverse) const {
+  const std::size_t mask = (std::size_t{1} << half_bits_) - 1;
+  std::size_t left = (value >> half_bits_) & mask;
+  std::size_t right = value & mask;
+  constexpr int kRounds = 3;
+  auto round_fn = [&](std::size_t v, int round) {
+    return static_cast<std::size_t>(
+               util::mix64(key_ ^ (static_cast<std::uint64_t>(v) << 8) ^
+                           static_cast<std::uint64_t>(round))) &
+           mask;
+  };
+  if (!inverse) {
+    for (int r = 0; r < kRounds; ++r) {
+      const std::size_t next = left ^ round_fn(right, r);
+      left = right;
+      right = next;
+    }
+  } else {
+    for (int r = kRounds - 1; r >= 0; --r) {
+      const std::size_t prev = right ^ round_fn(left, r);
+      right = left;
+      left = prev;
+    }
+  }
+  return (left << half_bits_) | right;
+}
+
+std::size_t AddressScrambler::scramble(std::size_t logical) const {
+  if (logical >= lines_) throw std::out_of_range("AddressScrambler::scramble");
+  // Cycle walking keeps the permutation closed over [0, lines).
+  std::size_t v = feistel(logical, false);
+  while (v >= lines_) v = feistel(v, false);
+  return v;
+}
+
+std::size_t AddressScrambler::unscramble(std::size_t scrambled) const {
+  if (scrambled >= lines_) throw std::out_of_range("AddressScrambler::unscramble");
+  std::size_t v = feistel(scrambled, true);
+  while (v >= lines_) v = feistel(v, true);
+  return v;
+}
+
+RandomizedStartGapRegion::RandomizedStartGapRegion(std::size_t lines,
+                                                   std::size_t line_bytes,
+                                                   std::uint64_t key,
+                                                   unsigned gap_write_interval)
+    : scrambler_(lines, key),
+      gap_(lines, gap_write_interval),
+      line_bytes_(line_bytes),
+      slots_(lines + 1, std::vector<std::uint8_t>(line_bytes, 0)),
+      physical_writes_(lines + 1, 0) {}
+
+std::size_t RandomizedStartGapRegion::physical_of(std::size_t logical) const {
+  return gap_.physical_of(scrambler_.scramble(logical));
+}
+
+void RandomizedStartGapRegion::write(std::size_t logical,
+                                     const std::vector<std::uint8_t>& data) {
+  if (data.size() != line_bytes_)
+    throw std::invalid_argument("RandomizedStartGapRegion::write: bad line size");
+  const std::size_t slot = physical_of(logical);
+  slots_[slot] = data;
+  ++physical_writes_[slot];
+  // The gap move must happen AFTER the data write so the mapping used above
+  // stays valid for it; the move's copy is itself a physical write.
+  if (const auto move = gap_.on_write()) {
+    slots_[move->to] = slots_[move->from];
+    ++physical_writes_[move->to];
+  }
+}
+
+std::vector<std::uint8_t> RandomizedStartGapRegion::read(std::size_t logical) const {
+  return slots_[physical_of(logical)];
+}
+
+}  // namespace spe::wear

@@ -1,0 +1,107 @@
+#pragma once
+// Start-Gap wear levelling (Qureshi et al., MICRO 2009 — the paper's
+// ref [6]). A region of N logical lines is stored in N+1 physical slots;
+// one slot is a GAP. Every psi writes, the line adjacent to the gap moves
+// into it, rotating the whole region one slot per N+1 gap moves. The
+// logical->physical map is algebraic (two registers: Start and GapPos), so
+// no translation table is needed.
+//
+// Plain Start-Gap only spreads *spatially uniform* hot spots; an adversary
+// who hammers one logical line still concentrates wear on a slowly moving
+// physical neighbourhood. Randomized Start-Gap therefore composes it with a
+// fixed pseudo-random invertible address permutation (here a 2-round
+// Feistel network keyed per region), as in the reference design.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace spe::wear {
+
+/// Algebraic Start-Gap remapper for a region of `lines` logical lines.
+class StartGap {
+public:
+  /// `gap_write_interval` is psi: one gap move per psi writes (ref [6]
+  /// uses 100, bounding the write amplification at 1%).
+  StartGap(std::size_t lines, unsigned gap_write_interval = 100);
+
+  [[nodiscard]] std::size_t lines() const noexcept { return lines_; }
+  [[nodiscard]] std::size_t slots() const noexcept { return lines_ + 1; }
+  [[nodiscard]] std::size_t gap_position() const noexcept { return gap_; }
+  [[nodiscard]] std::size_t start() const noexcept { return start_; }
+  [[nodiscard]] std::uint64_t gap_moves() const noexcept { return gap_moves_; }
+
+  /// Physical slot currently holding logical line `logical`.
+  [[nodiscard]] std::size_t physical_of(std::size_t logical) const;
+
+  /// Notifies the leveller of one write. Returns the data movement the
+  /// caller must perform if this write triggered a gap move: the line in
+  /// physical slot `from` must be copied to slot `to` (the old gap).
+  struct GapMove {
+    std::size_t from;
+    std::size_t to;
+  };
+  [[nodiscard]] std::optional<GapMove> on_write();
+
+private:
+  std::size_t lines_;
+  unsigned interval_;
+  unsigned writes_since_move_ = 0;
+  std::size_t gap_;    ///< physical slot of the gap
+  std::size_t start_;  ///< rotation offset
+  std::uint64_t gap_moves_ = 0;
+};
+
+/// Fixed keyed invertible permutation of line addresses (2-round Feistel),
+/// the "randomized" layer of Randomized Start-Gap. Works for any line
+/// count: addresses are permuted inside the next power of two and cycled
+/// until they land in range (cycle walking), so the map stays a bijection
+/// on [0, lines).
+class AddressScrambler {
+public:
+  AddressScrambler(std::size_t lines, std::uint64_t key);
+
+  [[nodiscard]] std::size_t scramble(std::size_t logical) const;
+  [[nodiscard]] std::size_t unscramble(std::size_t scrambled) const;
+  [[nodiscard]] std::size_t lines() const noexcept { return lines_; }
+
+private:
+  [[nodiscard]] std::size_t feistel(std::size_t value, bool inverse) const;
+
+  std::size_t lines_;
+  unsigned half_bits_;
+  std::uint64_t key_;
+};
+
+/// Randomized Start-Gap region with actual data storage: the full ref-[6]
+/// device, usable as the NVMM's translation layer. Data integrity across
+/// gap moves is the invariant the tests hammer.
+class RandomizedStartGapRegion {
+public:
+  RandomizedStartGapRegion(std::size_t lines, std::size_t line_bytes,
+                           std::uint64_t key, unsigned gap_write_interval = 100);
+
+  [[nodiscard]] std::size_t lines() const noexcept { return scrambler_.lines(); }
+  [[nodiscard]] std::size_t line_bytes() const noexcept { return line_bytes_; }
+
+  void write(std::size_t logical, const std::vector<std::uint8_t>& data);
+  [[nodiscard]] std::vector<std::uint8_t> read(std::size_t logical) const;
+
+  /// Physical-slot write counts (what an endurance model sees); slot
+  /// `slots()-1`-sized vector including the gap slot.
+  [[nodiscard]] const std::vector<std::uint64_t>& physical_writes() const noexcept {
+    return physical_writes_;
+  }
+  [[nodiscard]] std::uint64_t gap_moves() const noexcept { return gap_.gap_moves(); }
+
+private:
+  [[nodiscard]] std::size_t physical_of(std::size_t logical) const;
+
+  AddressScrambler scrambler_;
+  StartGap gap_;
+  std::size_t line_bytes_;
+  std::vector<std::vector<std::uint8_t>> slots_;
+  std::vector<std::uint64_t> physical_writes_;
+};
+
+}  // namespace spe::wear

@@ -1,0 +1,64 @@
+#include "xbar/monte_carlo.hpp"
+
+#include <cmath>
+
+namespace spe::xbar {
+
+CrossbarParams perturb_wires(const CrossbarParams& params, double fraction,
+                             spe::util::Xoshiro256ss& rng) {
+  CrossbarParams p = params;
+  p.r_wire_row *= 1.0 + rng.uniform(-fraction, fraction);
+  p.r_wire_col *= 1.0 + rng.uniform(-fraction, fraction);
+  p.r_driver *= 1.0 + rng.uniform(-fraction, fraction);
+  return p;
+}
+
+CrossbarParams perturb_macro(const CrossbarParams& params, double delta) {
+  // Macro (process-corner) perturbation. Deliberately DIFFERENTIAL: a
+  // uniform scaling of every resistance is ratio-preserving and leaves the
+  // DC voltage-divider map — hence the polyomino — unchanged; real corners
+  // shift the resistance window, the access-device threshold and the
+  // switching currents by different amounts, which is what reshapes the
+  // polyomino (Section 5's "macro level changes ... change the shape").
+  CrossbarParams p = params;
+  p.r_wire_row *= 1.0 + 2.0 * delta;
+  p.r_wire_col *= 1.0 + 2.0 * delta;
+  p.team.r_on *= 1.0 + delta;
+  p.team.r_off *= 1.0 - 0.5 * delta;
+  p.team.i_off *= 1.0 + delta;
+  p.team.i_on *= 1.0 + delta;
+  p.transistor.r_on *= 1.0 + delta;
+  p.transistor.v_threshold *= 1.0 + 0.5 * delta;
+  return p;
+}
+
+McResult polyomino_stability(const CrossbarParams& nominal, PoE poe, double voltage,
+                             const std::vector<unsigned>& symbols, double fraction,
+                             unsigned trials, std::uint64_t seed) {
+  Crossbar base(nominal);
+  base.load_symbols(symbols);
+  const Polyomino reference = extract_polyomino(base, poe, voltage);
+
+  spe::util::Xoshiro256ss rng(seed);
+  McResult result;
+  result.trials = trials;
+  double dv_sum = 0.0;
+  std::size_t dv_count = 0;
+
+  for (unsigned t = 0; t < trials; ++t) {
+    Crossbar xbar(perturb_wires(nominal, fraction, rng));
+    xbar.load_symbols(symbols);
+    const Polyomino poly = extract_polyomino(xbar, poe, voltage);
+    if (poly.mask != reference.mask) ++result.shape_changes;
+    for (unsigned i = 0; i < poly.mask.size(); ++i) {
+      if (reference.mask[i]) {
+        dv_sum += std::fabs(poly.voltages[i] - reference.voltages[i]);
+        ++dv_count;
+      }
+    }
+  }
+  result.mean_voltage_delta = dv_count ? dv_sum / static_cast<double>(dv_count) : 0.0;
+  return result;
+}
+
+}  // namespace spe::xbar

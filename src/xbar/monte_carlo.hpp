@@ -1,0 +1,42 @@
+#pragma once
+// Monte-Carlo analysis of parametric variation (Section 5: "+/-5% wire
+// resistance does not change the polyomino shape; macro-level changes do")
+// and the physical perturbations used by the hardware-avalanche data set
+// (Section 6.1, data set 3: parameters perturbed 5-10% in 0.5% steps).
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "xbar/polyomino.hpp"
+
+namespace spe::xbar {
+
+/// Result of one Monte-Carlo polyomino-stability sweep.
+struct McResult {
+  unsigned trials = 0;
+  unsigned shape_changes = 0;   ///< trials where the covered-cell set differed
+  double mean_voltage_delta = 0.0;  ///< mean |dV| over covered cells
+};
+
+/// Applies a relative perturbation of `fraction` (e.g. 0.05 = +/-5% uniform)
+/// to the wire resistances of `params`. Used both by the stability sweep and
+/// to derive distinct "devices".
+[[nodiscard]] CrossbarParams perturb_wires(const CrossbarParams& params, double fraction,
+                                           spe::util::Xoshiro256ss& rng);
+
+/// Applies a *macro* perturbation `delta` (signed fraction, e.g. +0.07) to
+/// the major device parameters (wire resistance, memristor resistance range,
+/// thresholds) — the hardware-avalanche perturbation of Section 6.1.
+[[nodiscard]] CrossbarParams perturb_macro(const CrossbarParams& params, double delta);
+
+/// Runs `trials` random wire-resistance perturbations of magnitude
+/// `fraction` and reports how often the polyomino of `poe` changes shape
+/// relative to the nominal parameters (data pattern `symbols` loaded first).
+[[nodiscard]] McResult polyomino_stability(const CrossbarParams& nominal, PoE poe,
+                                           double voltage,
+                                           const std::vector<unsigned>& symbols,
+                                           double fraction, unsigned trials,
+                                           std::uint64_t seed);
+
+}  // namespace spe::xbar

@@ -1,0 +1,144 @@
+#include "xbar/nodal_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spe::xbar {
+
+namespace {
+// Tiny leakage to ground on every node keeps the system nonsingular when
+// lines float (physically: pA-scale substrate leakage).
+constexpr double kLeakage = 1e-12;
+}  // namespace
+
+NodalSolution::NodalSolution(unsigned rows, unsigned cols, std::vector<double> voltages)
+    : rows_(rows), cols_(cols), v_(std::move(voltages)) {
+  if (v_.size() != static_cast<std::size_t>(2) * rows_ * cols_)
+    throw std::invalid_argument("NodalSolution: voltage vector size mismatch");
+}
+
+double NodalSolution::row_node(unsigned row, unsigned col) const {
+  if (row >= rows_ || col >= cols_) throw std::out_of_range("NodalSolution::row_node");
+  return v_[static_cast<std::size_t>(row) * cols_ + col];
+}
+
+double NodalSolution::col_node(unsigned row, unsigned col) const {
+  if (row >= rows_ || col >= cols_) throw std::out_of_range("NodalSolution::col_node");
+  return v_[static_cast<std::size_t>(rows_) * cols_ +
+            static_cast<std::size_t>(col) * rows_ + row];
+}
+
+double NodalSolution::cell_voltage(unsigned row, unsigned col) const {
+  return row_node(row, col) - col_node(row, col);
+}
+
+std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  if (a.size() != n * n) throw std::invalid_argument("solve_dense: shape mismatch");
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t pivot = k;
+    double best = std::fabs(a[k * n + k]);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::fabs(a[r * n + k]);
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw std::runtime_error("solve_dense: singular matrix");
+    if (pivot != k) {
+      for (std::size_t c = k; c < n; ++c) std::swap(a[k * n + c], a[pivot * n + c]);
+      std::swap(b[k], b[pivot]);
+    }
+    const double inv_pivot = 1.0 / a[k * n + k];
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = a[r * n + k] * inv_pivot;
+      if (factor == 0.0) continue;
+      a[r * n + k] = 0.0;
+      for (std::size_t c = k + 1; c < n; ++c) a[r * n + c] -= factor * a[k * n + c];
+      b[r] -= factor * b[k];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t k = n; k-- > 0;) {
+    double sum = b[k];
+    for (std::size_t c = k + 1; c < n; ++c) sum -= a[k * n + c] * x[c];
+    x[k] = sum / a[k * n + k];
+  }
+  return x;
+}
+
+NodalSolution solve_crossbar(const Crossbar& xbar, const std::vector<LineDrive>& row_drives,
+                             const std::vector<LineDrive>& col_drives) {
+  const unsigned rows = xbar.rows();
+  const unsigned cols = xbar.cols();
+  if (row_drives.size() != rows || col_drives.size() != cols)
+    throw std::invalid_argument("solve_crossbar: drive vector size mismatch");
+
+  const std::size_t n = static_cast<std::size_t>(2) * rows * cols;
+  std::vector<double> g(n * n, 0.0);
+  std::vector<double> b(n, 0.0);
+
+  auto row_idx = [&](unsigned r, unsigned c) -> std::size_t {
+    return static_cast<std::size_t>(r) * cols + c;
+  };
+  auto col_idx = [&](unsigned r, unsigned c) -> std::size_t {
+    return static_cast<std::size_t>(rows) * cols + static_cast<std::size_t>(c) * rows + r;
+  };
+  auto stamp = [&](std::size_t i, std::size_t j, double conductance) {
+    g[i * n + i] += conductance;
+    g[j * n + j] += conductance;
+    g[i * n + j] -= conductance;
+    g[j * n + i] -= conductance;
+  };
+
+  const auto& p = xbar.params();
+  const double g_row_seg = 1.0 / p.r_wire_row;
+  const double g_col_seg = 1.0 / p.r_wire_col;
+  const double g_driver = 1.0 / p.r_driver;
+
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      // Cell between row node and column node.
+      const double g_cell = 1.0 / xbar.cell({r, c}).series_resistance();
+      stamp(row_idx(r, c), col_idx(r, c), g_cell);
+      // Wire segments toward the next crossing.
+      if (c + 1 < cols) stamp(row_idx(r, c), row_idx(r, c + 1), g_row_seg);
+      if (r + 1 < rows) stamp(col_idx(r, c), col_idx(r + 1, c), g_col_seg);
+      // Leakage regularisation.
+      g[row_idx(r, c) * n + row_idx(r, c)] += kLeakage;
+      g[col_idx(r, c) * n + col_idx(r, c)] += kLeakage;
+    }
+  }
+
+  // Thevenin drivers: conductance g_driver from the attachment node to the
+  // source voltage -> add to diagonal and to the current vector.
+  for (unsigned r = 0; r < rows; ++r) {
+    if (row_drives[r].mode == LineDrive::Mode::Driven) {
+      const std::size_t node = row_idx(r, 0);
+      g[node * n + node] += g_driver;
+      b[node] += g_driver * row_drives[r].voltage;
+    }
+  }
+  for (unsigned c = 0; c < cols; ++c) {
+    if (col_drives[c].mode == LineDrive::Mode::Driven) {
+      const std::size_t node = col_idx(0, c);
+      g[node * n + node] += g_driver;
+      b[node] += g_driver * col_drives[c].voltage;
+    }
+  }
+
+  return NodalSolution(rows, cols, solve_dense(std::move(g), std::move(b)));
+}
+
+double row_source_current(const Crossbar& xbar, const NodalSolution& sol, unsigned row,
+                          const LineDrive& drive) {
+  if (drive.mode != LineDrive::Mode::Driven) return 0.0;
+  const double v_node = sol.row_node(row, 0);
+  return (drive.voltage - v_node) / xbar.params().r_driver;
+}
+
+}  // namespace spe::xbar

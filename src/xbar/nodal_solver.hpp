@@ -1,0 +1,66 @@
+#pragma once
+// Exact DC solution of the crossbar resistive network by dense nodal
+// analysis. Every row wire contributes `cols` nodes and every column wire
+// `rows` nodes (one per crossing); cells connect a row node to the matching
+// column node through their series (memristor + transistor) resistance.
+// Line drivers are Thevenin sources (voltage behind r_driver); undriven
+// lines float. The node-conductance system G v = b is solved with
+// partial-pivot Gaussian elimination (128 unknowns for an 8x8 unit — exact
+// and fast).
+
+#include <vector>
+
+#include "xbar/crossbar.hpp"
+
+namespace spe::xbar {
+
+/// Boundary condition for one row or column line.
+struct LineDrive {
+  enum class Mode { Floating, Driven };
+  Mode mode = Mode::Floating;
+  double voltage = 0.0;  ///< Thevenin source voltage when driven [V].
+
+  static LineDrive floating() { return {}; }
+  static LineDrive driven(double v) { return {Mode::Driven, v}; }
+};
+
+/// Node voltages of one DC solve.
+class NodalSolution {
+public:
+  NodalSolution(unsigned rows, unsigned cols, std::vector<double> voltages);
+
+  /// Voltage of the row-wire node at crossing (row, col).
+  [[nodiscard]] double row_node(unsigned row, unsigned col) const;
+  /// Voltage of the column-wire node at crossing (row, col).
+  [[nodiscard]] double col_node(unsigned row, unsigned col) const;
+  /// Voltage across the cell (series memristor+transistor) at (row, col).
+  [[nodiscard]] double cell_voltage(unsigned row, unsigned col) const;
+
+  [[nodiscard]] unsigned rows() const noexcept { return rows_; }
+  [[nodiscard]] unsigned cols() const noexcept { return cols_; }
+
+private:
+  unsigned rows_;
+  unsigned cols_;
+  std::vector<double> v_;
+};
+
+/// Solves the crossbar with the given line boundary conditions.
+/// `row_drives.size()` must equal rows(), `col_drives.size()` cols().
+/// Row drivers attach at the column-0 end of each row wire; column drivers
+/// at the row-0 end of each column wire (the decoder side in Fig. 1b).
+[[nodiscard]] NodalSolution solve_crossbar(const Crossbar& xbar,
+                                           const std::vector<LineDrive>& row_drives,
+                                           const std::vector<LineDrive>& col_drives);
+
+/// Total current delivered by a driven row line (positive out of the
+/// source). Useful for read-out modelling and Kirchhoff validation tests.
+[[nodiscard]] double row_source_current(const Crossbar& xbar, const NodalSolution& sol,
+                                        unsigned row, const LineDrive& drive);
+
+/// Dense linear solve A x = b with partial pivoting; A is row-major n*n.
+/// Exposed for unit testing. Throws std::runtime_error on singularity.
+[[nodiscard]] std::vector<double> solve_dense(std::vector<double> a,
+                                              std::vector<double> b);
+
+}  // namespace spe::xbar

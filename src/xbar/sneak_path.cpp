@@ -1,0 +1,57 @@
+#include "xbar/sneak_path.hpp"
+
+#include <stdexcept>
+
+namespace spe::xbar {
+
+namespace {
+std::vector<LineDrive> poe_row_drives(const Crossbar& xbar, PoE poe, double voltage) {
+  std::vector<LineDrive> drives(xbar.rows(), LineDrive::floating());
+  drives.at(poe.row) = LineDrive::driven(voltage);
+  return drives;
+}
+
+std::vector<LineDrive> poe_col_drives(const Crossbar& xbar, PoE poe) {
+  std::vector<LineDrive> drives(xbar.cols(), LineDrive::floating());
+  drives.at(poe.col) = LineDrive::driven(0.0);
+  return drives;
+}
+}  // namespace
+
+NodalSolution solve_poe(Crossbar& xbar, PoE poe, double voltage) {
+  if (poe.row >= xbar.rows() || poe.col >= xbar.cols())
+    throw std::out_of_range("solve_poe: PoE outside crossbar");
+  xbar.set_all_gates(true);
+  return solve_crossbar(xbar, poe_row_drives(xbar, poe, voltage), poe_col_drives(xbar, poe));
+}
+
+NodalSolution apply_poe_pulse(Crossbar& xbar, PoE poe, const spe::device::Pulse& pulse,
+                              int substeps) {
+  if (substeps <= 0) throw std::invalid_argument("apply_poe_pulse: substeps must be > 0");
+  xbar.set_all_gates(true);
+  const auto row_drives = poe_row_drives(xbar, poe, pulse.voltage);
+  const auto col_drives = poe_col_drives(xbar, poe);
+  const double dt = pulse.width / substeps;
+
+  NodalSolution sol = solve_crossbar(xbar, row_drives, col_drives);
+  for (int s = 0; s < substeps; ++s) {
+    if (s > 0) sol = solve_crossbar(xbar, row_drives, col_drives);
+    for (unsigned r = 0; r < xbar.rows(); ++r)
+      for (unsigned c = 0; c < xbar.cols(); ++c)
+        xbar.cell({r, c}).apply_cell_voltage(sol.cell_voltage(r, c), dt, 50);
+  }
+  return solve_crossbar(xbar, row_drives, col_drives);
+}
+
+NodalSolution solve_normal_read(Crossbar& xbar, unsigned row, unsigned col, double voltage) {
+  if (row >= xbar.rows() || col >= xbar.cols())
+    throw std::out_of_range("solve_normal_read");
+  xbar.select_row(row);
+  std::vector<LineDrive> row_drives(xbar.rows(), LineDrive::floating());
+  row_drives[row] = LineDrive::driven(voltage);
+  std::vector<LineDrive> col_drives(xbar.cols(), LineDrive::floating());
+  col_drives[col] = LineDrive::driven(0.0);
+  return solve_crossbar(xbar, row_drives, col_drives);
+}
+
+}  // namespace spe::xbar

@@ -1,0 +1,41 @@
+#pragma once
+// Sneak-path control (Section 4 / Fig. 3b) and PoE pulse application
+// (Section 5.2). A Point of Encryption (PoE) pulse drives the PoE's row at
+// +/-1 V, grounds the PoE's column, floats every other line, and turns ALL
+// access transistors ON so sneak currents spread the disturbance to the
+// surrounding polyomino. The crossbar states are advanced quasi-statically:
+// the resistive network is re-solved between integration sub-steps because
+// every state change reshapes the voltage distribution (this is exactly the
+// data-dependence Section 5.3 relies on).
+
+#include "device/pulse.hpp"
+#include "xbar/crossbar.hpp"
+#include "xbar/nodal_solver.hpp"
+
+namespace spe::xbar {
+
+/// A Point of Encryption: the addressed crossing for one SPE pulse.
+struct PoE {
+  unsigned row = 0;
+  unsigned col = 0;
+  bool operator==(const PoE&) const = default;
+};
+
+/// Solves the network in sneak-path mode for a PoE drive without modifying
+/// any state. Gate state of the crossbar is set to all-ON and left that way.
+[[nodiscard]] NodalSolution solve_poe(Crossbar& xbar, PoE poe, double voltage);
+
+/// Applies one SPE pulse at the PoE: re-solves the network `substeps` times
+/// across the pulse width and advances every cell with its instantaneous
+/// voltage share. Cells below the write threshold are untouched (Fig. 4's
+/// white cells). Returns the final network solution for inspection.
+NodalSolution apply_poe_pulse(Crossbar& xbar, PoE poe, const spe::device::Pulse& pulse,
+                              int substeps = 4);
+
+/// Restores normal read/write operation: selects `row` and returns the
+/// solution for a read drive of `voltage` on that row with `col` grounded
+/// (all other lines floating).
+[[nodiscard]] NodalSolution solve_normal_read(Crossbar& xbar, unsigned row, unsigned col,
+                                              double voltage);
+
+}  // namespace spe::xbar

@@ -1,0 +1,70 @@
+#include "core/area_model.hpp"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace spe::core {
+namespace {
+
+TEST(AreaModel, Table3LatencyColumn) {
+  EXPECT_EQ(costs_for(Scheme::Aes).table_latency_cycles, 80u);
+  EXPECT_EQ(costs_for(Scheme::INvmm).table_latency_cycles, 80u);
+  EXPECT_EQ(costs_for(Scheme::SpeSerial).table_latency_cycles, 32u);
+  EXPECT_EQ(costs_for(Scheme::SpeParallel).table_latency_cycles, 16u);
+  EXPECT_EQ(costs_for(Scheme::StreamCipher).table_latency_cycles, 1u);
+}
+
+TEST(AreaModel, Table3AreaColumn) {
+  EXPECT_DOUBLE_EQ(costs_for(Scheme::Aes).area_mm2, 8.0);
+  EXPECT_DOUBLE_EQ(costs_for(Scheme::INvmm).area_mm2, 5.3);
+  EXPECT_DOUBLE_EQ(costs_for(Scheme::SpeSerial).area_mm2, 1.3);
+  EXPECT_DOUBLE_EQ(costs_for(Scheme::SpeParallel).area_mm2, 1.3);
+  EXPECT_DOUBLE_EQ(costs_for(Scheme::StreamCipher).area_mm2, 6.18);
+}
+
+TEST(AreaModel, SpeAreaIsSmallest) {
+  const double spe = costs_for(Scheme::SpeSerial).area_mm2;
+  for (const auto& c : scheme_costs()) {
+    if (c.scheme == Scheme::None || c.scheme == Scheme::SpeSerial ||
+        c.scheme == Scheme::SpeParallel)
+      continue;
+    EXPECT_GT(c.area_mm2, spe) << scheme_name(c.scheme);
+  }
+  // Stream cipher ~5x SPE (Section 7: "area overhead ~5x of SPE").
+  EXPECT_NEAR(costs_for(Scheme::StreamCipher).area_mm2 / spe, 5.0, 0.5);
+}
+
+TEST(AreaModel, BreakdownSumsToTable3) {
+  EXPECT_NEAR(specu_area_mm2(), 1.3, 1e-9);
+  double sum = 0.0;
+  for (const auto& c : specu_area_breakdown()) {
+    EXPECT_GE(c.mm2, 0.0);
+    sum += c.mm2;
+  }
+  EXPECT_DOUBLE_EQ(sum, specu_area_mm2());
+}
+
+TEST(AreaModel, FullTimeEncryptionFlags) {
+  EXPECT_TRUE(costs_for(Scheme::Aes).full_time_encryption);
+  EXPECT_TRUE(costs_for(Scheme::SpeParallel).full_time_encryption);
+  EXPECT_TRUE(costs_for(Scheme::StreamCipher).full_time_encryption);
+  EXPECT_FALSE(costs_for(Scheme::INvmm).full_time_encryption);
+  EXPECT_FALSE(costs_for(Scheme::SpeSerial).full_time_encryption);
+}
+
+TEST(AreaModel, SchemeNamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& c : scheme_costs()) names.insert(scheme_name(c.scheme));
+  EXPECT_EQ(names.size(), scheme_costs().size());
+}
+
+TEST(AreaModel, ColdBootDrainFormula) {
+  EXPECT_DOUBLE_EQ(cold_boot_drain_seconds(0), 0.0);
+  EXPECT_NEAR(cold_boot_drain_seconds(1000), 1.6e-3, 1e-12);
+  EXPECT_NEAR(cold_boot_drain_seconds(1, 100.0), 1e-7, 1e-15);
+}
+
+}  // namespace
+}  // namespace spe::core

@@ -1,0 +1,166 @@
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace spe::core {
+namespace {
+
+std::shared_ptr<const CipherCalibration> cal() {
+  return get_calibration(xbar::CrossbarParams{});
+}
+
+TEST(Calibration, ShapesCoverEveryPoE) {
+  const auto c = cal();
+  for (unsigned p = 0; p < 64; ++p) {
+    const auto& shape = c->shape(p);
+    ASSERT_FALSE(shape.cells.empty());
+    // The PoE itself is first (tier 0).
+    EXPECT_EQ(shape.cells[0], p);
+    EXPECT_EQ(shape.tiers[0], 0);
+    EXPECT_EQ(shape.cells.size(), shape.tiers.size());
+  }
+  EXPECT_THROW((void)c->shape(64), std::out_of_range);
+}
+
+TEST(Calibration, ShapesAreTierSorted) {
+  const auto c = cal();
+  for (unsigned p = 0; p < 64; ++p) {
+    const auto& shape = c->shape(p);
+    for (std::size_t i = 1; i < shape.tiers.size(); ++i)
+      EXPECT_LE(shape.tiers[i - 1], shape.tiers[i]);
+  }
+}
+
+TEST(Calibration, TierAttenuationsOrdered) {
+  const auto c = cal();
+  EXPECT_GT(c->tier_attenuation(0), 0.9);       // PoE sees nearly full drive
+  EXPECT_LT(c->tier_attenuation(1), c->tier_attenuation(0));
+  EXPECT_GT(c->tier_attenuation(1), 0.3);       // sneak arms ~half
+  EXPECT_THROW((void)c->tier_attenuation(3), std::out_of_range);
+}
+
+TEST(Calibration, PermsAreBijections) {
+  const auto c = cal();
+  for (unsigned code = 0; code < 32; ++code) {
+    for (unsigned tier = 0; tier < 3; ++tier) {
+      const auto& perm = c->perm(code, tier);
+      std::set<unsigned> image(perm.begin(), perm.end());
+      EXPECT_EQ(image.size(), 64u) << "code " << code << " tier " << tier;
+      const auto& inv = c->inv_perm(code, tier);
+      for (unsigned l = 0; l < 64; ++l) EXPECT_EQ(inv[perm[l]], l);
+    }
+  }
+}
+
+// Signed cyclic shift of a permutation table (the physics displacement).
+int signed_shift(const CipherCalibration::LevelPerm& perm) {
+  const int s = (static_cast<int>(perm[0]) - 0 + 64) % 64;
+  return s >= 32 ? s - 64 : s;
+}
+
+TEST(Calibration, PermsAreCyclicShifts) {
+  const auto c = cal();
+  for (unsigned code = 0; code < 32; ++code) {
+    for (unsigned tier = 0; tier < 3; ++tier) {
+      const auto& perm = c->perm(code, tier);
+      const unsigned s = (perm[0] + 64u - 0u) % 64;
+      for (unsigned l = 0; l < 64; ++l)
+        ASSERT_EQ(perm[l], (l + s) % 64) << "code " << code << " tier " << tier;
+    }
+  }
+}
+
+TEST(Calibration, PositivePulsesRaiseLevels) {
+  // +1 V pulses shift levels up (higher resistance), -1 V pulses shift
+  // them down, matching the TEAM polarity.
+  const auto c = cal();
+  for (unsigned code = 0; code < 16; ++code) {
+    EXPECT_GT(signed_shift(c->perm(code, 0)), 0) << "code " << code;
+    EXPECT_LT(signed_shift(c->perm(code + 16, 0)), 0) << "code " << code + 16;
+  }
+}
+
+TEST(Calibration, WiderPulsesMoveFurther) {
+  const auto c = cal();
+  // +1V tier-0: displacement grows monotonically with pulse width.
+  for (unsigned code = 1; code < 16; ++code) {
+    EXPECT_GE(signed_shift(c->perm(code, 0)), signed_shift(c->perm(code - 1, 0)))
+        << "code " << code;
+  }
+}
+
+TEST(Calibration, ArmTiersMoveLessThanThePoE) {
+  // The sneak arms see ~0.46 V against the PoE's ~0.99 V, so their
+  // displacement for the same pulse is smaller.
+  const auto c = cal();
+  for (unsigned code : {6u, 10u, 14u}) {
+    EXPECT_LT(signed_shift(c->perm(code, 1)), signed_shift(c->perm(code, 0)))
+        << "code " << code;
+  }
+}
+
+TEST(Calibration, DecryptWidthsPositiveAndHysteretic) {
+  const auto c = cal();
+  for (unsigned code = 8; code < 16; ++code) {  // wider +1V pulses
+    const double w = c->decrypt_width(code, 0);
+    EXPECT_GT(w, 0.0);
+    EXPECT_LT(w, 0.2e-6);
+  }
+  // Fig. 5: the decrypt width is shorter than the encrypt width for the
+  // 0.071 us-class pulse (k_on is faster than k_off).
+  const device::PulseLibrary lib;
+  const unsigned code = lib.nearest_code(1.0, 0.071e-6);
+  EXPECT_LT(c->decrypt_width(code, 0), lib.pulse(code).width);
+}
+
+TEST(Calibration, FingerprintMatchesParams) {
+  const xbar::CrossbarParams params;
+  const auto c = get_calibration(params);
+  EXPECT_EQ(c->fingerprint(), fingerprint_of(params));
+}
+
+TEST(Calibration, CacheReturnsSameInstance) {
+  const xbar::CrossbarParams params;
+  EXPECT_EQ(get_calibration(params).get(), get_calibration(params).get());
+}
+
+TEST(Calibration, DifferentDevicesDifferentFingerprints) {
+  // Sub-percent manufacturing variation always splits the fingerprint
+  // (which keys every per-pulse transform); the coarse integer shift
+  // tables may or may not move for such small deltas — the cross-device
+  // decryption failure is asserted end-to-end in spe_cipher_test.
+  const xbar::CrossbarParams nominal;
+  const auto a = get_calibration(nominal);
+  const auto b = get_calibration(with_device_variation(nominal, 1337));
+  EXPECT_NE(a->fingerprint(), b->fingerprint());
+}
+
+TEST(Calibration, MacroPerturbationChangesTables) {
+  // Process-corner-scale changes (the hardware-avalanche regime) do move
+  // the shift tables themselves.
+  const xbar::CrossbarParams nominal;
+  xbar::CrossbarParams corner = nominal;
+  corner.team.k_off *= 1.25;
+  corner.team.k_on *= 1.25;
+  const auto a = get_calibration(nominal);
+  const auto b = get_calibration(corner);
+  bool perms_differ = false;
+  for (unsigned code = 0; code < 32 && !perms_differ; ++code)
+    for (unsigned tier = 0; tier < 3 && !perms_differ; ++tier)
+      perms_differ = a->perm(code, tier) != b->perm(code, tier);
+  EXPECT_TRUE(perms_differ);
+}
+
+TEST(Fingerprint, StableUnderFloatingPointNoise) {
+  xbar::CrossbarParams p;
+  const auto fp = fingerprint_of(p);
+  p.team.r_on *= 1.0 + 1e-12;  // below the 1 ppm quantisation
+  EXPECT_EQ(fingerprint_of(p), fp);
+  p.team.r_on *= 1.05;  // a real 5% change
+  EXPECT_NE(fingerprint_of(p), fp);
+}
+
+}  // namespace
+}  // namespace spe::core

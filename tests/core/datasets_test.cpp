@@ -1,0 +1,92 @@
+#include "core/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nist/suite.hpp"
+
+namespace spe::core {
+namespace {
+
+DatasetConfig small_config() {
+  DatasetConfig cfg;
+  cfg.sequences = 2;
+  cfg.bits_per_sequence = 1u << 13;  // 8 kbit: fast smoke profile
+  return cfg;
+}
+
+TEST(Datasets, NamesAndEnumeration) {
+  EXPECT_EQ(all_datasets().size(), 9u);  // the nine Section-6.1 data sets
+  std::set<std::string> names;
+  for (Dataset d : all_datasets()) names.insert(dataset_name(d));
+  EXPECT_EQ(names.size(), 9u);
+}
+
+class DatasetParam : public ::testing::TestWithParam<Dataset> {};
+
+TEST_P(DatasetParam, ProducesRequestedShape) {
+  const auto cfg = small_config();
+  const auto sequences = generate_dataset(GetParam(), cfg);
+  ASSERT_EQ(sequences.size(), cfg.sequences);
+  for (const auto& seq : sequences) EXPECT_EQ(seq.size(), cfg.bits_per_sequence);
+}
+
+TEST_P(DatasetParam, IsDeterministicInSeed) {
+  const auto cfg = small_config();
+  const auto a = generate_dataset(GetParam(), cfg);
+  const auto b = generate_dataset(GetParam(), cfg);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(DatasetParam, SequencesAreDistinct) {
+  const auto cfg = small_config();
+  const auto sequences = generate_dataset(GetParam(), cfg);
+  EXPECT_NE(sequences[0], sequences[1]);
+}
+
+TEST_P(DatasetParam, BitsAreRoughlyBalanced) {
+  // Every Section-6.1 data set should look random; a crude balance check
+  // keeps this fast (the full NIST sweep lives in bench/table2_nist).
+  const auto cfg = small_config();
+  const auto sequences = generate_dataset(GetParam(), cfg);
+  for (const auto& seq : sequences) {
+    const double ones =
+        static_cast<double>(seq.popcount()) / static_cast<double>(seq.size());
+    EXPECT_NEAR(ones, 0.5, 0.05) << dataset_name(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNine, DatasetParam,
+                         ::testing::ValuesIn(all_datasets()),
+                         [](const ::testing::TestParamInfo<Dataset>& info) {
+                           std::string name = dataset_name(info.param);
+                           for (char& c : name)
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return name;
+                         });
+
+TEST(Datasets, RandomPtKeyPassesNistQuickProfile) {
+  DatasetConfig cfg;
+  cfg.sequences = 4;
+  cfg.bits_per_sequence = 1u << 14;
+  const auto sequences = generate_dataset(Dataset::RandomPlaintextKey, cfg);
+  const auto summary = nist::evaluate_dataset(sequences, 0.01);
+  // At 4 sequences the NIST proportion bound is 0, so allow the single
+  // statistically expected unlucky sequence per test.
+  for (std::size_t t = 0; t < summary.failures.size(); ++t)
+    EXPECT_LE(summary.failures[t], 1u) << summary.names[t];
+}
+
+TEST(Datasets, TruncatedScheduleFailsNist) {
+  // Section 6.1: "initial tests using SPE with fewer than 16 PoEs fail a
+  // large number of tests". Two pulses leave most plaintext in place.
+  DatasetConfig cfg;
+  cfg.sequences = 2;
+  cfg.bits_per_sequence = 1u << 14;
+  cfg.truncate_pulses = 2;
+  const auto sequences = generate_dataset(Dataset::PlaintextAvalanche, cfg);
+  const auto summary = nist::evaluate_dataset(sequences, 0.01);
+  EXPECT_FALSE(summary.all_accepted());
+}
+
+}  // namespace
+}  // namespace spe::core

@@ -1,0 +1,130 @@
+// Targeted tests of the cipher's diffusion machinery — the outside-digest
+// and in-pulse chain that model the crossbar's global resistive coupling
+// (DESIGN.md section 2.2). These pin down the mechanism behind the
+// avalanche results rather than just observing them statistically.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/spe_cipher.hpp"
+
+namespace spe::core {
+namespace {
+
+class DiffusionTest : public ::testing::Test {
+protected:
+  std::shared_ptr<const CipherCalibration> cal_ = get_calibration(xbar::CrossbarParams{});
+  SpeCipher cipher_{SpeKey{0xD1FF, 0x05E5}, cal_};
+
+  UnitLevels mid_levels() { return UnitLevels(64, 32); }
+};
+
+TEST_F(DiffusionTest, OutsideCellChangesCoveredCellsInOnePulse) {
+  // Flip a cell OUTSIDE the first pulse's polyomino; after just that one
+  // pulse, cells INSIDE the polyomino must already differ — the digest
+  // couples the whole array into every pulse (the sneak-network load).
+  const auto& first = cipher_.schedule().front();
+  const auto& shape = cal_->shape(first.poe_cell);
+  std::set<unsigned> covered(shape.cells.begin(), shape.cells.end());
+  unsigned outside = 0;
+  while (covered.contains(outside)) ++outside;
+
+  UnitLevels a = mid_levels();
+  UnitLevels b = mid_levels();
+  b[outside] = 17;
+
+  cipher_.encrypt_truncated(a, 1);
+  cipher_.encrypt_truncated(b, 1);
+  unsigned covered_diffs = 0;
+  for (unsigned cell : covered) covered_diffs += a[cell] != b[cell];
+  EXPECT_GT(covered_diffs, covered.size() / 2);
+}
+
+TEST_F(DiffusionTest, FirstCoveredCellDiffusesViaBackwardPass) {
+  // Flip the FIRST cell in the pulse's processing order: the forward chain
+  // cannot carry it backwards, but the second (reverse-order) pass must —
+  // every covered cell ends up affected after one pulse.
+  const auto& first = cipher_.schedule().front();
+  const auto& shape = cal_->shape(first.poe_cell);
+  UnitLevels a = mid_levels();
+  UnitLevels b = mid_levels();
+  b[shape.cells.front()] = 5;
+
+  cipher_.encrypt_truncated(a, 1);
+  cipher_.encrypt_truncated(b, 1);
+  unsigned diffs = 0;
+  for (auto cell : shape.cells) diffs += a[cell] != b[cell];
+  EXPECT_GT(diffs, static_cast<unsigned>(shape.cells.size() / 2));
+}
+
+TEST_F(DiffusionTest, TwoPulsesReachTheWholeArray) {
+  // After two pulses, a single-cell plaintext difference must have spread
+  // beyond the union of the two polyominoes (via the outside digest).
+  UnitLevels a = mid_levels();
+  UnitLevels b = mid_levels();
+  b[0] = 48;
+  cipher_.encrypt_truncated(a, 3);
+  cipher_.encrypt_truncated(b, 3);
+  unsigned diffs = 0;
+  for (unsigned i = 0; i < 64; ++i) diffs += a[i] != b[i];
+  EXPECT_GT(diffs, 20u);
+}
+
+TEST_F(DiffusionTest, PulsesDoNotCommute) {
+  // Apply pulse 0 then 1 vs 1 then 0 (via truncation of reordered
+  // schedules is not exposed, so emulate with decrypt_with_order): the
+  // Fig. 2b core — overlapping keyed transforms are non-commutative.
+  UnitLevels base = mid_levels();
+  UnitLevels encrypted = base;
+  cipher_.encrypt(encrypted);
+  // Decrypt with two orders that differ only in their first two steps.
+  std::vector<unsigned> order(cipher_.schedule().size());
+  for (unsigned i = 0; i < order.size(); ++i) order[i] = i;
+  UnitLevels ok = encrypted;
+  cipher_.decrypt_with_order(ok, order);
+  std::swap(order[0], order[1]);
+  UnitLevels swapped = encrypted;
+  cipher_.decrypt_with_order(swapped, order);
+  EXPECT_EQ(ok, base);
+  EXPECT_NE(swapped, base);
+}
+
+TEST_F(DiffusionTest, DigestIsOrderIndependentButValueSensitive) {
+  // Two arrays with the same multiset of outside values at the same cells
+  // produce the same pulse result; moving a value to a different outside
+  // cell changes it (the digest binds value AND position).
+  const auto& first = cipher_.schedule().front();
+  const auto& shape = cal_->shape(first.poe_cell);
+  std::set<unsigned> covered(shape.cells.begin(), shape.cells.end());
+  std::vector<unsigned> outside;
+  for (unsigned i = 0; i < 64 && outside.size() < 2; ++i)
+    if (!covered.contains(i)) outside.push_back(i);
+  ASSERT_EQ(outside.size(), 2u);
+
+  UnitLevels a = mid_levels();
+  a[outside[0]] = 10;
+  a[outside[1]] = 20;
+  UnitLevels b = mid_levels();
+  b[outside[0]] = 20;
+  b[outside[1]] = 10;  // swapped positions
+  cipher_.encrypt_truncated(a, 1);
+  cipher_.encrypt_truncated(b, 1);
+  bool any_covered_diff = false;
+  for (auto cell : covered) any_covered_diff |= a[cell] != b[cell];
+  EXPECT_TRUE(any_covered_diff);
+}
+
+TEST_F(DiffusionTest, TruncatedPrefixesAreConsistent) {
+  // encrypt_truncated(k) followed by the remaining pulses' inverse must
+  // undo exactly k pulses: decrypt_with_order over the prefix restores.
+  UnitLevels levels = mid_levels();
+  const UnitLevels original = levels;
+  cipher_.encrypt_truncated(levels, 5);
+  std::vector<unsigned> prefix = {0, 1, 2, 3, 4};
+  cipher_.decrypt_with_order(levels, prefix);
+  EXPECT_EQ(levels, original);
+}
+
+}  // namespace
+}  // namespace spe::core

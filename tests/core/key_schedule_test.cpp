@@ -1,0 +1,108 @@
+#include "core/key_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace spe::core {
+namespace {
+
+AddressLut default_lut() { return AddressLut(default_poes_8x8(), 8, 8); }
+
+TEST(DefaultPoes, SixteenDistinctCells) {
+  const auto& poes = default_poes_8x8();
+  EXPECT_EQ(poes.size(), 16u);
+  std::set<unsigned> unique(poes.begin(), poes.end());
+  EXPECT_EQ(unique.size(), 16u);
+  for (unsigned p : poes) EXPECT_LT(p, 64u);
+}
+
+TEST(AddressLut, Accessors) {
+  const AddressLut lut = default_lut();
+  EXPECT_EQ(lut.size(), 16u);
+  EXPECT_EQ(lut.cell(0), default_poes_8x8()[0]);
+  const auto poe = lut.poe(0);
+  EXPECT_EQ(poe.row * 8 + poe.col, lut.cell(0));
+  EXPECT_THROW((void)lut.cell(16), std::out_of_range);
+  EXPECT_THROW(AddressLut({64}, 8, 8), std::out_of_range);
+  EXPECT_THROW(AddressLut({}, 8, 8), std::invalid_argument);
+}
+
+TEST(AddressLut, PermutedOrderIsAPermutation) {
+  const AddressLut lut = default_lut();
+  util::CoupledLcg prng(0x1234);
+  const auto order = lut.permuted_order(prng);
+  ASSERT_EQ(order.size(), 16u);
+  std::set<unsigned> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), 16u);
+  EXPECT_EQ(*std::max_element(order.begin(), order.end()), 15u);
+}
+
+TEST(AddressLut, DifferentSeedsDifferentOrders) {
+  const AddressLut lut = default_lut();
+  util::CoupledLcg a(1), b(2);
+  EXPECT_NE(lut.permuted_order(a), lut.permuted_order(b));
+}
+
+TEST(VoltageLut, CodesAreFiveBits) {
+  VoltageLut lut;
+  util::CoupledLcg prng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(lut.next_code(prng), 32u);
+}
+
+TEST(KeySchedule, SixteenStepsUsingEveryPoEOnce) {
+  const SpeKey key{0x123456789AB, 0xBA987654321};
+  const KeySchedule schedule(key, default_lut(), VoltageLut{});
+  EXPECT_EQ(schedule.size(), 16u);
+  std::set<unsigned> cells;
+  for (const auto& step : schedule.steps()) {
+    cells.insert(step.poe_cell);
+    EXPECT_LT(step.pulse_code, 32u);
+  }
+  EXPECT_EQ(cells.size(), 16u);  // each PoE exactly once (Table 1 row 2)
+}
+
+TEST(KeySchedule, DeterministicInKey) {
+  const SpeKey key{42, 99};
+  const KeySchedule a(key, default_lut(), VoltageLut{});
+  const KeySchedule b(key, default_lut(), VoltageLut{});
+  ASSERT_EQ(a.size(), b.size());
+  for (unsigned i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.steps()[i].poe_cell, b.steps()[i].poe_cell);
+    EXPECT_EQ(a.steps()[i].pulse_code, b.steps()[i].pulse_code);
+  }
+}
+
+TEST(KeySchedule, AddressSeedControlsOrderOnly) {
+  // Changing the address seed permutes PoEs; the pulse-code stream (from
+  // the voltage seed) stays the same sequence.
+  const SpeKey k1{1, 7}, k2{2, 7};
+  const KeySchedule a(k1, default_lut(), VoltageLut{});
+  const KeySchedule b(k2, default_lut(), VoltageLut{});
+  std::vector<unsigned> codes_a, codes_b, poes_a, poes_b;
+  for (const auto& s : a.steps()) {
+    codes_a.push_back(s.pulse_code);
+    poes_a.push_back(s.poe_cell);
+  }
+  for (const auto& s : b.steps()) {
+    codes_b.push_back(s.pulse_code);
+    poes_b.push_back(s.poe_cell);
+  }
+  EXPECT_EQ(codes_a, codes_b);
+  EXPECT_NE(poes_a, poes_b);
+}
+
+TEST(KeySchedule, UnitIndexTweaksSequence) {
+  const SpeKey key{1234, 5678};
+  const KeySchedule u0(key, default_lut(), VoltageLut{}, 0);
+  const KeySchedule u1(key, default_lut(), VoltageLut{}, 1);
+  bool differs = false;
+  for (unsigned i = 0; i < u0.size(); ++i)
+    differs |= u0.steps()[i].poe_cell != u1.steps()[i].poe_cell ||
+               u0.steps()[i].pulse_code != u1.steps()[i].pulse_code;
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace spe::core

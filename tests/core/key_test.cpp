@@ -1,0 +1,83 @@
+#include "core/key.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spe::core {
+namespace {
+
+TEST(SpeKey, DefaultIsAllZero) {
+  const SpeKey k = SpeKey::all_zero();
+  EXPECT_EQ(k.address_seed, 0u);
+  EXPECT_EQ(k.voltage_seed, 0u);
+  for (auto b : k.to_bytes()) EXPECT_EQ(b, 0);
+}
+
+TEST(SpeKey, AllOneFills88Bits) {
+  const SpeKey k = SpeKey::all_one();
+  const auto bytes = k.to_bytes();
+  for (auto b : bytes) EXPECT_EQ(b, 0xFF);
+  EXPECT_EQ(k.address_seed, (std::uint64_t{1} << 44) - 1);
+}
+
+TEST(SpeKey, SerialisationRoundTrip) {
+  util::Xoshiro256ss rng(1);
+  for (int t = 0; t < 50; ++t) {
+    const SpeKey k = SpeKey::random(rng);
+    const auto bytes = k.to_bytes();
+    EXPECT_EQ(SpeKey::from_bytes(bytes), k);
+  }
+}
+
+TEST(SpeKey, RandomSeedsAreMasked) {
+  util::Xoshiro256ss rng(2);
+  for (int t = 0; t < 20; ++t) {
+    const SpeKey k = SpeKey::random(rng);
+    EXPECT_LT(k.address_seed, std::uint64_t{1} << 44);
+    EXPECT_LT(k.voltage_seed, std::uint64_t{1} << 44);
+  }
+}
+
+TEST(SpeKey, BitFlipTouchesExactlyOneBit) {
+  util::Xoshiro256ss rng(3);
+  const SpeKey k = SpeKey::random(rng);
+  for (unsigned i = 0; i < SpeKey::kBits; ++i) {
+    const SpeKey flipped = k.with_bit_flipped(i);
+    EXPECT_NE(flipped, k);
+    const auto a = k.to_bytes();
+    const auto b = flipped.to_bytes();
+    int diff_bits = 0;
+    for (unsigned j = 0; j < SpeKey::kBytes; ++j)
+      diff_bits += __builtin_popcount(a[j] ^ b[j]);
+    EXPECT_EQ(diff_bits, 1) << "bit " << i;
+    EXPECT_EQ(flipped.with_bit_flipped(i), k);  // involution
+  }
+  EXPECT_THROW((void)k.with_bit_flipped(88), std::out_of_range);
+}
+
+TEST(SpeKey, FirstBitIsAddressSeedMsb) {
+  const SpeKey k = SpeKey::all_zero().with_bit_flipped(0);
+  EXPECT_EQ(k.address_seed, std::uint64_t{1} << 43);
+  EXPECT_EQ(k.voltage_seed, 0u);
+  const SpeKey v = SpeKey::all_zero().with_bit_flipped(44);
+  EXPECT_EQ(v.voltage_seed, std::uint64_t{1} << 43);
+}
+
+TEST(SpeKey, WithBitsSet) {
+  const unsigned bits[] = {0, 44, 87};
+  const SpeKey k = SpeKey::with_bits_set(bits);
+  const auto bytes = k.to_bytes();
+  EXPECT_EQ(bytes[0], 0x80);
+  int total = 0;
+  for (auto b : bytes) total += __builtin_popcount(b);
+  EXPECT_EQ(total, 3);
+}
+
+TEST(SpeKey, HexIs22Chars) {
+  util::Xoshiro256ss rng(4);
+  const SpeKey k = SpeKey::random(rng);
+  EXPECT_EQ(k.to_hex().size(), 22u);
+  EXPECT_EQ(SpeKey::all_zero().to_hex(), "0000000000000000000000");
+}
+
+}  // namespace
+}  // namespace spe::core

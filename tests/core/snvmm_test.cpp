@@ -1,0 +1,86 @@
+#include "core/snvmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/mlc.hpp"
+
+namespace spe::core {
+namespace {
+
+TEST(Snvmm, DefaultConfigIsPaperShape) {
+  Snvmm nvmm;
+  EXPECT_EQ(nvmm.block_bytes(), 64u);                 // cache-block granularity
+  EXPECT_EQ(nvmm.config().units_per_block, 4u);       // four 8x8 crossbars
+  EXPECT_EQ(nvmm.config().base_params.cell_count(), 64u);
+  EXPECT_EQ(nvmm.block_count(), 0u);
+}
+
+TEST(Snvmm, DeviceVariationProducesDistinctChips) {
+  SnvmmConfig a, b;
+  a.device_seed = 1;
+  b.device_seed = 2;
+  Snvmm chip_a(a), chip_b(b);
+  EXPECT_NE(chip_a.fingerprint(), chip_b.fingerprint());
+  EXPECT_NE(chip_a.device_params().team.r_on, chip_b.device_params().team.r_on);
+  // Same seed -> same chip.
+  Snvmm chip_a2(a);
+  EXPECT_EQ(chip_a.fingerprint(), chip_a2.fingerprint());
+}
+
+TEST(Snvmm, BlockAllocationIsLazyAndZeroed) {
+  Snvmm nvmm;
+  EXPECT_FALSE(nvmm.has_block(0x40));
+  EXPECT_EQ(nvmm.find_block(0x40), nullptr);
+  auto& block = nvmm.block(0x40);
+  EXPECT_TRUE(nvmm.has_block(0x40));
+  EXPECT_EQ(block.levels.size(), 4u * 64u);
+  for (auto level : block.levels) EXPECT_EQ(level, 0);
+  EXPECT_FALSE(block.encrypted);
+  EXPECT_EQ(nvmm.block_count(), 1u);
+}
+
+TEST(Snvmm, ProbeOfUnwrittenBlockIsErasedPattern) {
+  Snvmm nvmm;
+  const auto probe = nvmm.probe_block(0x1234);
+  EXPECT_EQ(probe.size(), 64u);
+  // Level 0 = lowest resistance = logic "11" per the paper's polarity; but
+  // probe of a never-allocated block returns the all-zero erased image.
+  for (auto b : probe) EXPECT_EQ(b, 0);
+  EXPECT_EQ(nvmm.block_count(), 0u);  // probing must not allocate
+}
+
+TEST(Snvmm, ProbeQuantisesLevelsToLogicBits) {
+  Snvmm nvmm;
+  auto& block = nvmm.block(0);
+  // First four cells: one level in each band -> logic 11,10,01,00.
+  block.levels[0] = device::MlcCodec::level_for_symbol(0);
+  block.levels[1] = device::MlcCodec::level_for_symbol(1);
+  block.levels[2] = device::MlcCodec::level_for_symbol(2);
+  block.levels[3] = device::MlcCodec::level_for_symbol(3);
+  const auto probe = nvmm.probe_block(0);
+  EXPECT_EQ(probe[0], 0b11100100);  // 11 10 01 00 packed MSB-first
+}
+
+TEST(Snvmm, ProbeIgnoresSubBandDetail) {
+  // Levels within the same band probe identically: the attacker's 2-bit
+  // read-out cannot see the analog detail the cipher tracks.
+  Snvmm nvmm;
+  auto& block = nvmm.block(0);
+  block.levels[0] = 16;  // band 1, bottom
+  const auto a = nvmm.probe_block(0);
+  block.levels[0] = 31;  // band 1, top
+  const auto b = nvmm.probe_block(0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Snvmm, BlocksAreIndependent) {
+  Snvmm nvmm;
+  nvmm.block(0).levels[0] = 63;
+  nvmm.block(64).levels[0] = 1;
+  EXPECT_EQ(nvmm.block(0).levels[0], 63);
+  EXPECT_EQ(nvmm.block(64).levels[0], 1);
+  EXPECT_EQ(nvmm.block_count(), 2u);
+}
+
+}  // namespace
+}  // namespace spe::core

@@ -1,0 +1,152 @@
+#include "core/specu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spe::core {
+namespace {
+
+class SpecuTest : public ::testing::Test {
+protected:
+  SpecuTest() {
+    tpm_.provision(memory_.device_id(), kMeasurement, SpeKey{0x1357, 0x2468});
+  }
+
+  static constexpr std::uint64_t kMeasurement = 0xB007C0DE;
+
+  std::vector<std::uint8_t> pattern_block(std::uint8_t seed) {
+    std::vector<std::uint8_t> v(64);
+    for (unsigned i = 0; i < 64; ++i) v[i] = static_cast<std::uint8_t>(seed + i * 3);
+    return v;
+  }
+
+  Snvmm memory_;
+  Tpm tpm_;
+};
+
+TEST_F(SpecuTest, LockedUntilPowerOn) {
+  Specu specu(memory_, SpeMode::Parallel);
+  EXPECT_FALSE(specu.powered());
+  EXPECT_THROW(specu.write_block(0, pattern_block(1)), std::logic_error);
+  EXPECT_THROW((void)specu.read_block(0), std::logic_error);
+}
+
+TEST_F(SpecuTest, PowerOnRequiresCorrectMeasurement) {
+  Specu specu(memory_, SpeMode::Parallel);
+  EXPECT_FALSE(specu.power_on(tpm_, 0xBAD));
+  EXPECT_FALSE(specu.powered());
+  EXPECT_TRUE(specu.power_on(tpm_, kMeasurement));
+  EXPECT_TRUE(specu.powered());
+}
+
+TEST_F(SpecuTest, WriteReadRoundTrip) {
+  Specu specu(memory_, SpeMode::Parallel);
+  ASSERT_TRUE(specu.power_on(tpm_, kMeasurement));
+  const auto data = pattern_block(5);
+  specu.write_block(0x40, data);
+  EXPECT_EQ(specu.read_block(0x40), data);
+}
+
+TEST_F(SpecuTest, ParallelModeKeepsEverythingEncrypted) {
+  Specu specu(memory_, SpeMode::Parallel);
+  ASSERT_TRUE(specu.power_on(tpm_, kMeasurement));
+  for (std::uint64_t addr = 0; addr < 8; ++addr)
+    specu.write_block(addr, pattern_block(static_cast<std::uint8_t>(addr)));
+  for (std::uint64_t addr = 0; addr < 8; ++addr) (void)specu.read_block(addr);
+  EXPECT_EQ(specu.plaintext_blocks(), 0u);
+  EXPECT_DOUBLE_EQ(specu.encrypted_fraction(), 1.0);
+}
+
+TEST_F(SpecuTest, SerialModeLeavesReadBlocksPlaintext) {
+  Specu specu(memory_, SpeMode::Serial);
+  ASSERT_TRUE(specu.power_on(tpm_, kMeasurement));
+  for (std::uint64_t addr = 0; addr < 4; ++addr)
+    specu.write_block(addr, pattern_block(static_cast<std::uint8_t>(addr)));
+  EXPECT_EQ(specu.plaintext_blocks(), 0u);  // writes encrypt
+  (void)specu.read_block(0);
+  (void)specu.read_block(1);
+  EXPECT_EQ(specu.plaintext_blocks(), 2u);
+  EXPECT_DOUBLE_EQ(specu.encrypted_fraction(), 0.5);
+  // Background engine re-secures them.
+  EXPECT_EQ(specu.background_encrypt(8), 2u);
+  EXPECT_EQ(specu.plaintext_blocks(), 0u);
+  EXPECT_DOUBLE_EQ(specu.encrypted_fraction(), 1.0);
+}
+
+TEST_F(SpecuTest, SerialReadOfPlaintextBlockIsStable) {
+  Specu specu(memory_, SpeMode::Serial);
+  ASSERT_TRUE(specu.power_on(tpm_, kMeasurement));
+  const auto data = pattern_block(9);
+  specu.write_block(7, data);
+  EXPECT_EQ(specu.read_block(7), data);
+  EXPECT_EQ(specu.read_block(7), data);  // already plaintext: same result
+  EXPECT_EQ(specu.plaintext_blocks(), 1u);
+}
+
+TEST_F(SpecuTest, CiphertextInArrayDiffersFromPlaintext) {
+  Specu specu(memory_, SpeMode::Parallel);
+  ASSERT_TRUE(specu.power_on(tpm_, kMeasurement));
+  const auto data = pattern_block(3);
+  specu.write_block(0, data);
+  // What a physical probe of the array sees is NOT the plaintext.
+  EXPECT_NE(memory_.probe_block(0), data);
+}
+
+TEST_F(SpecuTest, PowerDownSecuresAndLocksKey) {
+  Specu specu(memory_, SpeMode::Serial);
+  ASSERT_TRUE(specu.power_on(tpm_, kMeasurement));
+  specu.write_block(0, pattern_block(1));
+  (void)specu.read_block(0);
+  ASSERT_EQ(specu.plaintext_blocks(), 1u);
+  EXPECT_EQ(specu.power_down(), 1u);
+  EXPECT_FALSE(specu.powered());
+  EXPECT_DOUBLE_EQ(specu.encrypted_fraction(), 1.0);
+  EXPECT_THROW((void)specu.read_block(0), std::logic_error);
+}
+
+TEST_F(SpecuTest, PowerCycleRecoversData) {
+  const auto data = pattern_block(0xAA);
+  {
+    Specu specu(memory_, SpeMode::Serial);
+    ASSERT_TRUE(specu.power_on(tpm_, kMeasurement));
+    specu.write_block(0x1000, data);
+    specu.power_down();
+  }
+  {
+    Specu specu(memory_, SpeMode::Serial);
+    ASSERT_TRUE(specu.power_on(tpm_, kMeasurement));
+    EXPECT_EQ(specu.read_block(0x1000), data);  // instant-on with decryption
+  }
+}
+
+TEST_F(SpecuTest, PowerLossAbandonsPlaintext) {
+  Specu specu(memory_, SpeMode::Serial);
+  ASSERT_TRUE(specu.power_on(tpm_, kMeasurement));
+  specu.write_block(0, pattern_block(1));
+  const auto data = specu.read_block(0);
+  EXPECT_EQ(specu.power_loss(), 1u);
+  // The plaintext is really sitting in the array for an attacker to probe.
+  EXPECT_EQ(memory_.probe_block(0), data);
+}
+
+TEST_F(SpecuTest, StatsCountOperations) {
+  Specu specu(memory_, SpeMode::Parallel);
+  ASSERT_TRUE(specu.power_on(tpm_, kMeasurement));
+  specu.write_block(0, pattern_block(1));
+  (void)specu.read_block(0);
+  const auto& stats = specu.stats();
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.reads, 1u);
+  // write: 4 unit-encrypts; read: 4 unit-decrypts + 4 re-encrypts.
+  EXPECT_EQ(stats.encrypt_ops, 8u);
+  EXPECT_EQ(stats.decrypt_ops, 4u);
+}
+
+TEST_F(SpecuTest, BadBlockSizeRejected) {
+  Specu specu(memory_, SpeMode::Parallel);
+  ASSERT_TRUE(specu.power_on(tpm_, kMeasurement));
+  EXPECT_THROW(specu.write_block(0, std::vector<std::uint8_t>(63)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spe::core

@@ -1,0 +1,49 @@
+#include "core/tpm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spe::core {
+namespace {
+
+TEST(Tpm, UnknownDeviceReleasesNothing) {
+  Tpm tpm;
+  EXPECT_FALSE(tpm.knows_device(1));
+  EXPECT_FALSE(tpm.authenticate_and_release(1, 0).has_value());
+}
+
+TEST(Tpm, ReleasesKeyOnMatchingMeasurement) {
+  Tpm tpm;
+  const SpeKey key{0xAAA, 0xBBB};
+  tpm.provision(7, 0xFEED, key);
+  EXPECT_TRUE(tpm.knows_device(7));
+  const auto released = tpm.authenticate_and_release(7, 0xFEED);
+  ASSERT_TRUE(released.has_value());
+  EXPECT_EQ(*released, key);
+}
+
+TEST(Tpm, WrongMeasurementIsRefused) {
+  Tpm tpm;
+  tpm.provision(7, 0xFEED, SpeKey{1, 2});
+  EXPECT_FALSE(tpm.authenticate_and_release(7, 0xDEAD).has_value());
+}
+
+TEST(Tpm, ReprovisionReplacesKey) {
+  Tpm tpm;
+  tpm.provision(7, 0xFEED, SpeKey{1, 2});
+  tpm.provision(7, 0xFEED, SpeKey{3, 4});
+  const auto released = tpm.authenticate_and_release(7, 0xFEED);
+  ASSERT_TRUE(released.has_value());
+  EXPECT_EQ(released->address_seed, 3u);
+}
+
+TEST(Tpm, DevicesAreIndependent) {
+  Tpm tpm;
+  tpm.provision(1, 0x11, SpeKey{10, 20});
+  tpm.provision(2, 0x22, SpeKey{30, 40});
+  EXPECT_EQ(tpm.authenticate_and_release(1, 0x11)->address_seed, 10u);
+  EXPECT_EQ(tpm.authenticate_and_release(2, 0x22)->address_seed, 30u);
+  EXPECT_FALSE(tpm.authenticate_and_release(1, 0x22).has_value());
+}
+
+}  // namespace
+}  // namespace spe::core

@@ -1,0 +1,92 @@
+#include "crypto/aes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/rng.hpp"
+
+namespace spe::crypto {
+namespace {
+
+using Block = std::array<std::uint8_t, 16>;
+using Key = std::array<std::uint8_t, 16>;
+
+TEST(Aes128, Fips197AppendixBVector) {
+  // FIPS-197 Appendix B: plaintext 3243f6a8885a308d313198a2e0370734,
+  // key 2b7e151628aed2a6abf7158809cf4f3c ->
+  // ciphertext 3925841d02dc09fbdc118597196a0b32.
+  const Key key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                   0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const Block pt = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                    0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const Block expected = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                          0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+  Aes128 aes(key);
+  Block ct{};
+  aes.encrypt_block(pt, ct);
+  EXPECT_EQ(ct, expected);
+}
+
+TEST(Aes128, Fips197AppendixCVector) {
+  // FIPS-197 Appendix C.1: PLAINTEXT 00112233445566778899aabbccddeeff,
+  // KEY 000102030405060708090a0b0c0d0e0f ->
+  // 69c4e0d86a7b0430d8cdb78070b4c55a.
+  Key key{};
+  for (int i = 0; i < 16; ++i) key[i] = static_cast<std::uint8_t>(i);
+  Block pt{};
+  for (int i = 0; i < 16; ++i)
+    pt[i] = static_cast<std::uint8_t>((i << 4) | i);
+  const Block expected = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                          0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  Aes128 aes(key);
+  Block ct{};
+  aes.encrypt_block(pt, ct);
+  EXPECT_EQ(ct, expected);
+}
+
+TEST(Aes128, DecryptInvertsEncrypt) {
+  util::Xoshiro256ss rng(1);
+  Key key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.below(256));
+  Aes128 aes(key);
+  for (int t = 0; t < 100; ++t) {
+    Block pt{}, ct{}, back{};
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.below(256));
+    aes.encrypt_block(pt, ct);
+    aes.decrypt_block(ct, back);
+    EXPECT_EQ(back, pt);
+    EXPECT_NE(ct, pt);
+  }
+}
+
+TEST(Aes128, InPlaceOverloadsMatch) {
+  const Key key = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  Aes128 aes(key);
+  Block a = {9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9};
+  Block b = a, out{};
+  aes.encrypt_block(b, out);
+  aes.encrypt_block(std::span<std::uint8_t, 16>(a));
+  EXPECT_EQ(a, out);
+  aes.decrypt_block(std::span<std::uint8_t, 16>(a));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Aes128, KeyAvalanche) {
+  // Flipping one key bit flips ~half the ciphertext bits.
+  Key key{};
+  Block pt{};
+  Aes128 a(key);
+  key[0] ^= 0x01;
+  Aes128 b(key);
+  Block ca{}, cb{};
+  a.encrypt_block(pt, ca);
+  b.encrypt_block(pt, cb);
+  int diff = 0;
+  for (int i = 0; i < 16; ++i) diff += __builtin_popcount(ca[i] ^ cb[i]);
+  EXPECT_GT(diff, 40);
+  EXPECT_LT(diff, 88);
+}
+
+}  // namespace
+}  // namespace spe::crypto

@@ -1,0 +1,95 @@
+#include "device/cell.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spe::device {
+namespace {
+
+Cell make_cell(double state = 0.5) { return Cell({}, {}, state); }
+
+TEST(Cell, SeriesResistanceDependsOnGate) {
+  Cell cell = make_cell();
+  cell.set_gate(true);
+  const double on = cell.series_resistance();
+  cell.set_gate(false);
+  const double off = cell.series_resistance();
+  EXPECT_LT(on, 200e3);
+  EXPECT_GT(off, 1e8);  // transistor leakage dominates
+}
+
+TEST(Cell, SubThresholdCellVoltageIsIgnored) {
+  Cell cell = make_cell();
+  cell.set_gate(true);
+  const double w0 = cell.memristor().state();
+  cell.apply_cell_voltage(0.40, 0.1e-6);  // below Vt = 0.45
+  EXPECT_EQ(cell.memristor().state(), w0);
+}
+
+TEST(Cell, AboveThresholdMovesState) {
+  Cell cell = make_cell();
+  cell.set_gate(true);
+  const double w0 = cell.memristor().state();
+  cell.apply_cell_voltage(1.0, 0.05e-6);
+  EXPECT_GT(cell.memristor().state(), w0);
+}
+
+TEST(Cell, TransistorDividerReducesDrive) {
+  // Same voltage, gate off: the 1e9-ohm series path starves the memristor.
+  Cell on = make_cell(), off = make_cell();
+  on.set_gate(true);
+  off.set_gate(false);
+  on.apply_cell_voltage(1.0, 0.05e-6);
+  off.apply_cell_voltage(1.0, 0.05e-6);
+  EXPECT_GT(on.memristor().state(), 0.5);
+  EXPECT_NEAR(off.memristor().state(), 0.5, 1e-6);
+}
+
+TEST(Cell, NegativePulsesMoveDown) {
+  Cell cell = make_cell(0.7);
+  cell.set_gate(true);
+  cell.apply_cell_voltage(-1.0, 0.02e-6);
+  EXPECT_LT(cell.memristor().state(), 0.7);
+}
+
+TEST(FindInversePulseWidth, RestoresOriginalState) {
+  Cell cell = make_cell(0.375);  // logic "10"
+  cell.set_gate(true);
+  const double start = cell.memristor().state();
+  cell.apply_cell_voltage(1.0, 0.071e-6);
+  ASSERT_GT(cell.memristor().state(), start + 0.1);
+
+  const double width = find_inverse_pulse_width(cell, -1.0, start);
+  // The cell state must be restored by the search (it probes in place).
+  const double encrypted = cell.memristor().state();
+  cell.apply_cell_voltage(-1.0, width);
+  EXPECT_NEAR(cell.memristor().state(), start, 5e-3);
+  EXPECT_GT(encrypted, start);
+}
+
+TEST(FindInversePulseWidth, Figure5HysteresisAsymmetry) {
+  // Paper Fig. 5: encrypt +1V/0.071us, decrypt -1V/~0.015us — the decrypt
+  // width must be several times shorter than the encrypt width.
+  Cell cell = make_cell(0.375);
+  cell.set_gate(true);
+  const double start = cell.memristor().state();
+  cell.apply_cell_voltage(1.0, 0.071e-6);
+  const double width = find_inverse_pulse_width(cell, -1.0, start);
+  EXPECT_LT(width, 0.03e-6);
+  EXPECT_GT(width, 0.005e-6);
+}
+
+TEST(FindInversePulseWidth, LeavesCellStateUntouched) {
+  Cell cell = make_cell(0.6);
+  cell.set_gate(true);
+  const double w0 = cell.memristor().state();
+  (void)find_inverse_pulse_width(cell, -1.0, 0.3);
+  EXPECT_EQ(cell.memristor().state(), w0);
+}
+
+TEST(FindInversePulseWidth, BadArgsThrow) {
+  Cell cell = make_cell();
+  EXPECT_THROW((void)find_inverse_pulse_width(cell, -1.0, 0.5, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spe::device

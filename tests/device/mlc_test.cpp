@@ -1,0 +1,64 @@
+#include "device/mlc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spe::device {
+namespace {
+
+TEST(MlcCodec, SymbolBandsPartitionTheStateSpace) {
+  MlcCodec codec;
+  EXPECT_EQ(codec.symbol_for_state(0.0), 0u);
+  EXPECT_EQ(codec.symbol_for_state(0.24), 0u);
+  EXPECT_EQ(codec.symbol_for_state(0.26), 1u);
+  EXPECT_EQ(codec.symbol_for_state(0.51), 2u);
+  EXPECT_EQ(codec.symbol_for_state(0.76), 3u);
+  EXPECT_EQ(codec.symbol_for_state(1.0), 3u);
+}
+
+TEST(MlcCodec, SymbolRoundTripThroughBandCentre) {
+  MlcCodec codec;
+  for (unsigned s = 0; s < MlcCodec::kSymbols; ++s)
+    EXPECT_EQ(codec.symbol_for_state(codec.state_for_symbol(s)), s);
+  EXPECT_THROW((void)codec.state_for_symbol(4), std::out_of_range);
+}
+
+TEST(MlcCodec, LevelRoundTrip) {
+  MlcCodec codec;
+  for (unsigned l = 0; l < MlcCodec::kInternalLevels; ++l)
+    EXPECT_EQ(codec.level_for_state(codec.state_for_level(l)), l);
+  EXPECT_THROW((void)codec.state_for_level(64), std::out_of_range);
+}
+
+TEST(MlcCodec, LevelsNestInsideSymbols) {
+  // The top two bits of the level are the read symbol.
+  for (unsigned l = 0; l < MlcCodec::kInternalLevels; ++l)
+    EXPECT_EQ(MlcCodec::symbol_for_level(l), l / 16);
+  for (unsigned s = 0; s < MlcCodec::kSymbols; ++s)
+    EXPECT_EQ(MlcCodec::symbol_for_level(MlcCodec::level_for_symbol(s)), s);
+}
+
+TEST(MlcCodec, PaperLogicPolarity) {
+  // "11" = lowest resistance (symbol 0), "00" = highest (symbol 3).
+  EXPECT_EQ(MlcCodec::logic_bits_for_symbol(0), 0b11u);
+  EXPECT_EQ(MlcCodec::logic_bits_for_symbol(3), 0b00u);
+  for (unsigned bits = 0; bits < 4; ++bits)
+    EXPECT_EQ(MlcCodec::logic_bits_for_symbol(MlcCodec::symbol_for_logic_bits(bits)), bits);
+}
+
+TEST(MlcCodec, HighestBandNearPaper172k) {
+  // Section 5.3: a cell encrypted to ~172 kOhm reads logic 00.
+  MlcCodec codec;
+  const double r = codec.resistance_for_symbol(3);
+  EXPECT_GT(r, 160e3);
+  EXPECT_LT(r, 200e3);
+  EXPECT_EQ(MlcCodec::logic_bits_for_symbol(3), 0b00u);
+}
+
+TEST(MlcCodec, MonotoneResistancePerSymbol) {
+  MlcCodec codec;
+  for (unsigned s = 1; s < MlcCodec::kSymbols; ++s)
+    EXPECT_GT(codec.resistance_for_symbol(s), codec.resistance_for_symbol(s - 1));
+}
+
+}  // namespace
+}  // namespace spe::device

@@ -1,0 +1,62 @@
+#include "device/pulse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spe::device {
+namespace {
+
+TEST(PulseLibrary, HasThirtyTwoPulses) {
+  PulseLibrary lib;
+  EXPECT_EQ(lib.size(), 32u);
+  EXPECT_EQ(lib.all().size(), 32u);
+}
+
+TEST(PulseLibrary, PolarityLayout) {
+  // Codes 0..15 are +1V, 16..31 are -1V (5-bit code = polarity * 16 + width).
+  PulseLibrary lib;
+  for (unsigned code = 0; code < 16; ++code) EXPECT_GT(lib.pulse(code).voltage, 0.0);
+  for (unsigned code = 16; code < 32; ++code) EXPECT_LT(lib.pulse(code).voltage, 0.0);
+}
+
+TEST(PulseLibrary, WidthsAreLogSpacedAndMonotone) {
+  PulseLibrary lib(0.01e-6, 0.1e-6);
+  for (unsigned i = 1; i < 16; ++i)
+    EXPECT_GT(lib.pulse(i).width, lib.pulse(i - 1).width);
+  EXPECT_NEAR(lib.pulse(0).width, 0.01e-6, 1e-12);
+  EXPECT_NEAR(lib.pulse(15).width, 0.1e-6, 1e-12);
+  // Log spacing: constant ratio between neighbours.
+  const double ratio = lib.pulse(1).width / lib.pulse(0).width;
+  for (unsigned i = 2; i < 16; ++i)
+    EXPECT_NEAR(lib.pulse(i).width / lib.pulse(i - 1).width, ratio, 1e-9);
+}
+
+TEST(PulseLibrary, CoversPaperFig2Widths) {
+  // Fig. 2a uses 0.04/0.07/0.1 us pulses — all within the library range.
+  PulseLibrary lib;
+  for (double w : {0.04e-6, 0.07e-6, 0.1e-6}) {
+    const unsigned code = lib.nearest_code(1.0, w);
+    EXPECT_NEAR(lib.pulse(code).width, w, 0.2 * w);
+  }
+}
+
+TEST(PulseLibrary, NearestCodeRespectsPolarity) {
+  PulseLibrary lib;
+  const unsigned pos = lib.nearest_code(1.0, 0.05e-6);
+  const unsigned neg = lib.nearest_code(-1.0, 0.05e-6);
+  EXPECT_LT(pos, 16u);
+  EXPECT_GE(neg, 16u);
+  EXPECT_NEAR(lib.pulse(pos).width, lib.pulse(neg).width, 1e-12);
+}
+
+TEST(PulseLibrary, RejectsBadRange) {
+  EXPECT_THROW(PulseLibrary(0.0, 0.1e-6), std::invalid_argument);
+  EXPECT_THROW(PulseLibrary(0.1e-6, 0.1e-6), std::invalid_argument);
+}
+
+TEST(PulseLibrary, OutOfRangeCodeThrows) {
+  PulseLibrary lib;
+  EXPECT_THROW((void)lib.pulse(32), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace spe::device

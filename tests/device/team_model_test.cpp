@@ -1,0 +1,111 @@
+#include "device/team_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spe::device {
+namespace {
+
+TEST(TeamParams, ResistanceMapIsLinearAndClamped) {
+  TeamParams p;
+  EXPECT_DOUBLE_EQ(p.resistance(0.0), p.r_on);
+  EXPECT_DOUBLE_EQ(p.resistance(1.0), p.r_off);
+  EXPECT_DOUBLE_EQ(p.resistance(0.5), 0.5 * (p.r_on + p.r_off));
+  EXPECT_DOUBLE_EQ(p.resistance(-1.0), p.r_on);
+  EXPECT_DOUBLE_EQ(p.resistance(2.0), p.r_off);
+}
+
+TEST(TeamParams, StateForResistanceInverts) {
+  TeamParams p;
+  for (double w : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_NEAR(p.state_for_resistance(p.resistance(w)), w, 1e-12);
+  }
+}
+
+TEST(TeamModel, SubThresholdVoltageDoesNotMove) {
+  TeamModel m({}, 0.5);
+  // i_off = 1 uA; at R = 105k, 0.05 V gives ~0.5 uA < threshold.
+  m.apply_voltage(0.05, 1e-6);
+  EXPECT_DOUBLE_EQ(m.state(), 0.5);
+}
+
+TEST(TeamModel, PositiveVoltageIncreasesResistance) {
+  TeamModel m({}, 0.4);
+  const double r0 = m.resistance();
+  m.apply_voltage(1.0, 0.05e-6);
+  EXPECT_GT(m.resistance(), r0);
+}
+
+TEST(TeamModel, NegativeVoltageDecreasesResistance) {
+  TeamModel m({}, 0.6);
+  const double r0 = m.resistance();
+  m.apply_voltage(-1.0, 0.05e-6);
+  EXPECT_LT(m.resistance(), r0);
+}
+
+TEST(TeamModel, StateStaysInBounds) {
+  TeamModel m({}, 0.5);
+  m.apply_voltage(1.0, 10e-6);  // very long pulse
+  EXPECT_LE(m.state(), 1.0);
+  EXPECT_GE(m.state(), 0.0);
+  m.apply_voltage(-1.0, 10e-6);
+  EXPECT_GE(m.state(), 0.0);
+}
+
+TEST(TeamModel, WindowPinsNearBoundary) {
+  TeamModel m({}, 0.999);
+  const double w0 = m.state();
+  m.apply_voltage(1.0, 0.1e-6);
+  // Inside the boundary window the drift is (almost) frozen.
+  EXPECT_NEAR(m.state(), w0, 5e-3);
+}
+
+TEST(TeamModel, LongerPulseMovesFurther) {
+  TeamModel a({}, 0.3), b({}, 0.3);
+  a.apply_voltage(1.0, 0.02e-6);
+  b.apply_voltage(1.0, 0.08e-6);
+  EXPECT_GT(b.state(), a.state());
+}
+
+TEST(TeamModel, HysteresisAsymmetry) {
+  // |k_on| > k_off: returning takes a shorter pulse than going.
+  TeamModel m({}, 0.375);
+  m.apply_voltage(1.0, 0.071e-6);
+  const double up = m.state() - 0.375;
+  ASSERT_GT(up, 0.1);
+  TeamModel back({}, m.state());
+  back.apply_voltage(-1.0, 0.015e-6);
+  const double down = m.state() - back.state();
+  // The 0.015 us reverse pulse undoes a comparable amount of motion.
+  EXPECT_GT(down, 0.5 * up);
+}
+
+TEST(TeamModel, Figure5Calibration) {
+  // The paper's Fig. 5: a logic-10 cell hit with +1 V for 0.071 us lands in
+  // the highest-resistance band (~172 kOhm, logic 00).
+  TeamParams p;
+  TeamModel m(p, 0.375);  // logic "10" band centre
+  m.apply_voltage(1.0, 0.071e-6);
+  EXPECT_GT(m.resistance(), 0.75 * p.r_off);  // top band
+}
+
+TEST(TeamModel, DwDtZeroBetweenThresholds) {
+  TeamModel m({}, 0.5);
+  EXPECT_EQ(m.dw_dt(0.5, 0.0), 0.0);
+  // Tiny positive voltage below i_off.
+  EXPECT_EQ(m.dw_dt(0.5, 0.02), 0.0);
+}
+
+TEST(TeamModel, RK4MatchesFineEuler) {
+  TeamModel rk({}, 0.4);
+  rk.apply_voltage(1.0, 0.05e-6, 100);
+  // Brute-force fine Euler for reference.
+  TeamModel ref({}, 0.4);
+  double w = 0.4;
+  const int steps = 200000;
+  const double h = 0.05e-6 / steps;
+  for (int i = 0; i < steps; ++i) w += h * ref.dw_dt(w, 1.0);
+  EXPECT_NEAR(rk.state(), w, 1e-4);
+}
+
+}  // namespace
+}  // namespace spe::device

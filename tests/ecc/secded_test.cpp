@@ -1,0 +1,120 @@
+#include "ecc/secded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace spe::ecc {
+namespace {
+
+TEST(Secded, CleanWordDecodesClean) {
+  util::Xoshiro256ss rng(1);
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t data = rng();
+    const auto r = decode({data, encode_check(data)});
+    EXPECT_EQ(r.status, DecodeStatus::Clean);
+    EXPECT_EQ(r.data, data);
+  }
+}
+
+class SingleBit : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SingleBit, EveryDataBitErrorIsCorrected) {
+  util::Xoshiro256ss rng(GetParam() + 100);
+  const std::uint64_t data = rng();
+  Codeword word{data, encode_check(data)};
+  word.data ^= std::uint64_t{1} << GetParam();
+  const auto r = decode(word);
+  EXPECT_EQ(r.status, DecodeStatus::CorrectedData);
+  EXPECT_EQ(r.data, data);
+  EXPECT_EQ(r.corrected_bit, static_cast<int>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, SingleBit,
+                         ::testing::Values(0u, 1u, 7u, 8u, 15u, 23u, 31u, 32u, 40u,
+                                           47u, 55u, 62u, 63u));
+
+TEST(Secded, ExhaustiveSingleDataBitSweep) {
+  const std::uint64_t data = 0xDEADBEEFCAFEF00Dull;
+  const std::uint8_t check = encode_check(data);
+  for (unsigned bit = 0; bit < 64; ++bit) {
+    const auto r = decode({data ^ (std::uint64_t{1} << bit), check});
+    ASSERT_EQ(r.status, DecodeStatus::CorrectedData) << "bit " << bit;
+    ASSERT_EQ(r.data, data) << "bit " << bit;
+  }
+}
+
+TEST(Secded, CheckBitErrorsAreRecognised) {
+  const std::uint64_t data = 0x0123456789ABCDEFull;
+  const std::uint8_t check = encode_check(data);
+  for (unsigned bit = 0; bit < 8; ++bit) {
+    const auto r = decode({data, static_cast<std::uint8_t>(check ^ (1u << bit))});
+    EXPECT_EQ(r.status, DecodeStatus::CorrectedCheck) << "check bit " << bit;
+    EXPECT_EQ(r.data, data);
+  }
+}
+
+TEST(Secded, DoubleDataErrorsAreDetectedNotMiscorrected) {
+  util::Xoshiro256ss rng(7);
+  for (int t = 0; t < 500; ++t) {
+    const std::uint64_t data = rng();
+    const std::uint8_t check = encode_check(data);
+    const unsigned a = static_cast<unsigned>(rng.below(64));
+    unsigned b = static_cast<unsigned>(rng.below(64));
+    while (b == a) b = static_cast<unsigned>(rng.below(64));
+    const auto r =
+        decode({data ^ (std::uint64_t{1} << a) ^ (std::uint64_t{1} << b), check});
+    EXPECT_EQ(r.status, DecodeStatus::DoubleError);
+  }
+}
+
+TEST(Secded, DataPlusCheckDoubleErrorDetected) {
+  const std::uint64_t data = 42;
+  const std::uint8_t check = encode_check(data);
+  const auto r = decode({data ^ 2u, static_cast<std::uint8_t>(check ^ 1u)});
+  EXPECT_EQ(r.status, DecodeStatus::DoubleError);
+}
+
+TEST(Secded, ProtectBlockValidatesSize) {
+  EXPECT_THROW((void)protect_block(std::vector<std::uint8_t>(63)), std::invalid_argument);
+}
+
+TEST(Secded, BlockRoundTrip) {
+  util::Xoshiro256ss rng(11);
+  std::vector<std::uint8_t> block(64);
+  for (auto& b : block) b = static_cast<std::uint8_t>(rng.below(256));
+  const auto stored = protect_block(block);
+  EXPECT_EQ(stored.checks.size(), 8u);
+  const auto recovered = recover_block(stored);
+  EXPECT_TRUE(recovered.ok);
+  EXPECT_EQ(recovered.corrected_words, 0u);
+  EXPECT_EQ(recovered.data, block);
+}
+
+TEST(Secded, BlockScatteredSingleErrorsAllCorrected) {
+  util::Xoshiro256ss rng(13);
+  std::vector<std::uint8_t> block(64);
+  for (auto& b : block) b = static_cast<std::uint8_t>(rng.below(256));
+  auto stored = protect_block(block);
+  // One bit flip in each of the eight words.
+  for (unsigned w = 0; w < 8; ++w) {
+    const unsigned bit = static_cast<unsigned>(rng.below(64));
+    stored.data[w * 8 + bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  const auto recovered = recover_block(stored);
+  EXPECT_TRUE(recovered.ok);
+  EXPECT_EQ(recovered.corrected_words, 8u);
+  EXPECT_EQ(recovered.data, block);
+}
+
+TEST(Secded, BlockDoubleErrorReported) {
+  std::vector<std::uint8_t> block(64, 0x5A);
+  auto stored = protect_block(block);
+  stored.data[0] ^= 0x03;  // two bits in word 0
+  const auto recovered = recover_block(stored);
+  EXPECT_FALSE(recovered.ok);
+  EXPECT_EQ(recovered.uncorrectable_words, 1u);
+}
+
+}  // namespace
+}  // namespace spe::ecc

@@ -1,0 +1,86 @@
+// Property test: on randomly generated small models, the branch-and-bound
+// solver must agree exactly with exhaustive enumeration — same optimum (or
+// same infeasibility verdict).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ilp/solver.hpp"
+#include "util/rng.hpp"
+
+namespace spe::ilp {
+namespace {
+
+struct BruteResult {
+  bool feasible = false;
+  double objective = 0.0;
+};
+
+BruteResult brute_force(const Model& model) {
+  BruteResult best;
+  const unsigned n = model.num_vars();
+  std::vector<std::uint8_t> x(n, 0);
+  for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
+    for (unsigned v = 0; v < n; ++v) x[v] = (bits >> v) & 1u;
+    if (!model.is_feasible(x)) continue;
+    const double obj = model.objective_value(x);
+    if (!best.feasible ||
+        (model.sense == Sense::Minimize ? obj < best.objective : obj > best.objective)) {
+      best.feasible = true;
+      best.objective = obj;
+    }
+  }
+  return best;
+}
+
+Model random_model(std::uint64_t seed) {
+  util::Xoshiro256ss rng(seed);
+  Model m;
+  m.sense = rng.below(2) ? Sense::Minimize : Sense::Maximize;
+  const unsigned vars = 6 + static_cast<unsigned>(rng.below(8));  // 6..13
+  for (unsigned v = 0; v < vars; ++v)
+    m.add_var(std::floor(rng.uniform(-5.0, 5.0) * 2.0) / 2.0);
+  const unsigned cons = 2 + static_cast<unsigned>(rng.below(6));
+  for (unsigned c = 0; c < cons; ++c) {
+    std::vector<Term> terms;
+    for (unsigned v = 0; v < vars; ++v) {
+      if (rng.below(3) == 0)
+        terms.push_back({v, std::floor(rng.uniform(-3.0, 3.0) * 2.0) / 2.0});
+    }
+    if (terms.empty()) terms.push_back({0, 1.0});
+    const double a = std::floor(rng.uniform(-4.0, 6.0));
+    const double b = a + std::floor(rng.uniform(0.0, 5.0));
+    switch (rng.below(3)) {
+      case 0: m.add_le(std::move(terms), b); break;
+      case 1: m.add_ge(std::move(terms), a); break;
+      default: m.add_range(std::move(terms), a, b); break;
+    }
+  }
+  return m;
+}
+
+class SolverProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverProperty, MatchesExhaustiveEnumeration) {
+  const Model model = random_model(GetParam());
+  const BruteResult truth = brute_force(model);
+
+  Solver solver;
+  const Solution sol = solver.solve(model);
+
+  if (!truth.feasible) {
+    EXPECT_EQ(sol.status, Solution::Status::Infeasible) << "seed " << GetParam();
+    return;
+  }
+  ASSERT_EQ(sol.status, Solution::Status::Optimal) << "seed " << GetParam();
+  EXPECT_NEAR(sol.objective, truth.objective, 1e-9) << "seed " << GetParam();
+  EXPECT_TRUE(model.is_feasible(sol.values));
+  EXPECT_NEAR(model.objective_value(sol.values), sol.objective, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModels, SolverProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace spe::ilp

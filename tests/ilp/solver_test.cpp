@@ -1,0 +1,141 @@
+#include "ilp/solver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spe::ilp {
+namespace {
+
+TEST(Model, BuildersValidate) {
+  Model m;
+  const unsigned x = m.add_var(1.0, "x");
+  EXPECT_EQ(x, 0u);
+  EXPECT_THROW(m.add_le({{5, 1.0}}, 1.0), std::out_of_range);
+  EXPECT_THROW(m.add_range({{x, 1.0}}, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Model, FeasibilityAndObjective) {
+  Model m;
+  const unsigned x = m.add_var(2.0);
+  const unsigned y = m.add_var(3.0);
+  m.add_le({{x, 1.0}, {y, 1.0}}, 1.0);
+  EXPECT_TRUE(m.is_feasible({1, 0}));
+  EXPECT_FALSE(m.is_feasible({1, 1}));
+  EXPECT_DOUBLE_EQ(m.objective_value({1, 1}), 5.0);
+  EXPECT_THROW((void)m.is_feasible({1}), std::invalid_argument);
+}
+
+TEST(Solver, EmptyModelIsTriviallyOptimal) {
+  Model m;
+  Solver solver;
+  const auto sol = solver.solve(m);
+  EXPECT_EQ(sol.status, Solution::Status::Optimal);
+}
+
+TEST(Solver, SimpleKnapsackMaximise) {
+  // max 5x + 4y + 3z  s.t.  2x + 3y + z <= 4  -> x=1, z=1, obj 8... but
+  // 2+1 = 3 <= 4, adding y exceeds. Optimal = x + z = 8.
+  Model m;
+  m.sense = Sense::Maximize;
+  const unsigned x = m.add_var(5.0), y = m.add_var(4.0), z = m.add_var(3.0);
+  m.add_le({{x, 2.0}, {y, 3.0}, {z, 1.0}}, 4.0);
+  Solver solver;
+  const auto sol = solver.solve(m);
+  ASSERT_EQ(sol.status, Solution::Status::Optimal);
+  EXPECT_DOUBLE_EQ(sol.objective, 8.0);
+  EXPECT_EQ(sol.values[x], 1);
+  EXPECT_EQ(sol.values[y], 0);
+  EXPECT_EQ(sol.values[z], 1);
+}
+
+TEST(Solver, MinimisationWithCover) {
+  // min x + y + z  s.t. x + y >= 1, y + z >= 1, x + z >= 1 -> 2 vars.
+  Model m;
+  const unsigned x = m.add_var(1.0), y = m.add_var(1.0), z = m.add_var(1.0);
+  m.add_ge({{x, 1.0}, {y, 1.0}}, 1.0);
+  m.add_ge({{y, 1.0}, {z, 1.0}}, 1.0);
+  m.add_ge({{x, 1.0}, {z, 1.0}}, 1.0);
+  Solver solver;
+  const auto sol = solver.solve(m);
+  ASSERT_EQ(sol.status, Solution::Status::Optimal);
+  EXPECT_DOUBLE_EQ(sol.objective, 2.0);
+}
+
+TEST(Solver, DetectsInfeasibility) {
+  Model m;
+  const unsigned x = m.add_var(1.0);
+  m.add_ge({{x, 1.0}}, 2.0);  // x in {0,1} can never reach 2
+  Solver solver;
+  EXPECT_EQ(solver.solve(m).status, Solution::Status::Infeasible);
+}
+
+TEST(Solver, EqualityConstraints) {
+  Model m;
+  m.sense = Sense::Maximize;
+  std::vector<Term> all;
+  for (int i = 0; i < 6; ++i) all.push_back({m.add_var(static_cast<double>(i)), 1.0});
+  m.add_eq(all, 3.0);
+  Solver solver;
+  const auto sol = solver.solve(m);
+  ASSERT_EQ(sol.status, Solution::Status::Optimal);
+  // Best three coefficients: 5 + 4 + 3.
+  EXPECT_DOUBLE_EQ(sol.objective, 12.0);
+}
+
+TEST(Solver, NegativeCoefficients) {
+  // min -2x + y  s.t.  x - y <= 0  (x implies y).
+  Model m;
+  const unsigned x = m.add_var(-2.0), y = m.add_var(1.0);
+  m.add_le({{x, 1.0}, {y, -1.0}}, 0.0);
+  Solver solver;
+  const auto sol = solver.solve(m);
+  ASSERT_EQ(sol.status, Solution::Status::Optimal);
+  EXPECT_DOUBLE_EQ(sol.objective, -1.0);  // x=1, y=1
+}
+
+TEST(Solver, TwoSidedRangeConstraint) {
+  // Exactly two of four variables.
+  Model m;
+  m.sense = Sense::Maximize;
+  std::vector<Term> all;
+  for (int i = 0; i < 4; ++i) all.push_back({m.add_var(1.0), 1.0});
+  m.add_range(all, 2.0, 2.0);
+  Solver solver;
+  const auto sol = solver.solve(m);
+  ASSERT_EQ(sol.status, Solution::Status::Optimal);
+  EXPECT_DOUBLE_EQ(sol.objective, 2.0);
+}
+
+TEST(Solver, NodeLimitReturnsBestEffort) {
+  // A model big enough that one node cannot finish; with a greedy start the
+  // solver must still return something sensible.
+  Model m;
+  m.sense = Sense::Maximize;
+  std::vector<Term> all;
+  for (int i = 0; i < 30; ++i) all.push_back({m.add_var(1.0), 1.0});
+  m.add_le(all, 15.0);
+  SolverOptions opt;
+  opt.node_limit = 1;
+  Solver solver(opt);
+  const auto sol = solver.solve(m);
+  EXPECT_TRUE(sol.status == Solution::Status::Feasible ||
+              sol.status == Solution::Status::NoSolution ||
+              sol.status == Solution::Status::Optimal);
+  if (sol.has_solution()) EXPECT_TRUE(m.is_feasible(sol.values));
+}
+
+TEST(Solver, SolutionSatisfiesModel) {
+  // Randomised-ish structured model; whatever comes out must be feasible.
+  Model m;
+  m.sense = Sense::Minimize;
+  std::vector<unsigned> vars;
+  for (int i = 0; i < 12; ++i) vars.push_back(m.add_var(1.0 + i % 3));
+  for (int i = 0; i + 3 < 12; i += 2)
+    m.add_ge({{vars[i], 1.0}, {vars[i + 1], 1.0}, {vars[i + 3], 1.0}}, 1.0);
+  Solver solver;
+  const auto sol = solver.solve(m);
+  ASSERT_TRUE(sol.has_solution());
+  EXPECT_TRUE(m.is_feasible(sol.values));
+}
+
+}  // namespace
+}  // namespace spe::ilp

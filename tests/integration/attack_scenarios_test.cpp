@@ -1,0 +1,123 @@
+// Threat-model walkthroughs (Section 3 attacks against Section 6 defences),
+// exercised against the real cipher rather than analytic formulas.
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include <numeric>
+
+#include "core/attacks.hpp"
+#include "core/spe_cipher.hpp"
+#include "util/stats.hpp"
+
+namespace spe {
+namespace {
+
+class AttackScenarios : public ::testing::Test {
+protected:
+  std::shared_ptr<const core::CipherCalibration> cal_ =
+      core::get_calibration(xbar::CrossbarParams{});
+  util::Xoshiro256ss rng_{17};
+
+  std::vector<std::uint8_t> random_pt() {
+    std::vector<std::uint8_t> v(16);
+    for (auto& b : v) b = static_cast<std::uint8_t>(rng_.below(256));
+    return v;
+  }
+};
+
+TEST_F(AttackScenarios, Attack1BruteForceKeyspaceIsAstronomical) {
+  const auto analysis = core::brute_force_analysis();
+  // The PoE-sequence space alone dwarfs any feasible search.
+  EXPECT_GT(analysis.log10_keyspace, 50.0);
+  EXPECT_GT(analysis.log10_years, 30.0);
+  // Even knowing the ILP's PoE set leaves an infeasible search.
+  EXPECT_GT(analysis.log10_years_known_ilp, 15.0);
+}
+
+TEST_F(AttackScenarios, Attack1KnownPlaintextGivesAmbiguousTransforms) {
+  const core::SpeCipher cipher(core::SpeKey{0xFACE, 0xCAFE}, cal_);
+  const auto report = core::known_plaintext_analysis(cipher);
+  // Section 6.2.2: overlapped polyominoes hide the per-PoE pulses.
+  EXPECT_EQ(report.single_covered_cells, 0u);
+  EXPECT_GT(report.mean_consistent_factorisations, 1.0);
+}
+
+TEST_F(AttackScenarios, Attack2ChosenPlaintextCiphertextsUncorrelated) {
+  // The attacker encrypts chosen plaintexts; across a batch, plaintext and
+  // ciphertext bits must be statistically independent.
+  const core::SpeCipher cipher(core::SpeKey{0xAB, 0xCD}, cal_);
+  std::vector<double> pt_bits, ct_bits;
+  std::vector<std::uint8_t> ct(16);
+  for (int t = 0; t < 400; ++t) {
+    const auto pt = random_pt();
+    cipher.encrypt_bytes(pt, ct);
+    for (int i = 0; i < 128; ++i) {
+      pt_bits.push_back((pt[i / 8] >> (7 - i % 8)) & 1);
+      ct_bits.push_back((ct[i / 8] >> (7 - i % 8)) & 1);
+    }
+  }
+  EXPECT_LT(std::fabs(util::pearson(pt_bits, ct_bits)), 0.02);
+}
+
+TEST_F(AttackScenarios, Attack2ChosenZeroPlaintextStillRandom) {
+  // Section 6.3.1: "even for an all-zero plaintext the ciphertext is
+  // sufficiently random".
+  const core::SpeCipher cipher(core::SpeKey{0x11, 0x22}, cal_);
+  std::vector<std::uint8_t> zero(16, 0), ct(16);
+  cipher.encrypt_bytes(zero, ct);
+  int ones = 0;
+  for (auto b : ct) ones += __builtin_popcount(b);
+  EXPECT_GT(ones, 36);  // ~64 expected of 128
+  EXPECT_LT(ones, 92);
+}
+
+TEST_F(AttackScenarios, Attack2InsertionAttackFindsNoLeverage) {
+  const core::SpeCipher cipher(core::SpeKey{0x77, 0x99}, cal_);
+  const auto report = core::insertion_attack(cipher, 400, 3);
+  EXPECT_NEAR(report.mean_flip_rate, 0.5, 0.04);
+  EXPECT_LT(report.max_bit_bias, 0.12);
+}
+
+TEST_F(AttackScenarios, Attack3ColdBootWindowIsTinyVsDram) {
+  // Worst case of Section 6.4: the entire 2 MB cache is dirty.
+  const auto report = core::cold_boot_analysis(2ull * 1024 * 1024);
+  EXPECT_LT(report.spe_window_seconds, 0.06);
+  EXPECT_LT(report.exposure_ratio, 0.02);  // orders below DRAM's 3.2 s
+}
+
+TEST_F(AttackScenarios, ReplayWithDifferentKeyNeverMatches) {
+  // Brute-force futility in miniature: no other key in a sampled set
+  // decrypts the block.
+  const core::SpeKey real{0x1234, 0x5678};
+  const core::SpeCipher enc(real, cal_);
+  const auto pt = random_pt();
+  core::UnitLevels levels = enc.levels_from_bytes(pt);
+  const core::UnitLevels original = levels;
+  enc.encrypt(levels);
+  for (int guess = 0; guess < 50; ++guess) {
+    const core::SpeKey wrong = core::SpeKey::random(rng_);
+    if (wrong == real) continue;
+    core::UnitLevels attempt = levels;
+    core::SpeCipher dec(wrong, cal_);
+    dec.decrypt(attempt);
+    EXPECT_NE(attempt, original);
+  }
+}
+
+TEST_F(AttackScenarios, PartialScheduleKnowledgeStillFails) {
+  // Even replaying 15 of 16 pulses in the right order (one missing) does
+  // not recover the plaintext — the chain desynchronises.
+  const core::SpeCipher cipher(core::SpeKey{0x2468, 0x1357}, cal_);
+  const auto pt = random_pt();
+  core::UnitLevels levels = cipher.levels_from_bytes(pt);
+  const core::UnitLevels original = levels;
+  cipher.encrypt(levels);
+  std::vector<unsigned> order(cipher.schedule().size() - 1);
+  std::iota(order.begin(), order.end(), 1u);  // drop step 0
+  cipher.decrypt_with_order(levels, order);
+  EXPECT_NE(levels, original);
+}
+
+}  // namespace
+}  // namespace spe

@@ -1,0 +1,138 @@
+// End-to-end system tests: TPM provisioning, SPECU operation over a real
+// SNVMM, instant-on power cycling, and the functional-vs-quantised
+// ciphertext view — the full Section 4 stack working together.
+
+#include <gtest/gtest.h>
+
+#include "core/attacks.hpp"
+#include "core/specu.hpp"
+#include "nist/suite.hpp"
+#include "util/rng.hpp"
+
+namespace spe {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+protected:
+  static constexpr std::uint64_t kMeasurement = 0x900D'B007;
+
+  EndToEnd() {
+    util::Xoshiro256ss rng(2026);
+    key_ = core::SpeKey::random(rng);
+    tpm_.provision(memory_.device_id(), kMeasurement, key_);
+  }
+
+  std::vector<std::uint8_t> block_of(std::string_view text) {
+    std::vector<std::uint8_t> v(64, ' ');
+    for (std::size_t i = 0; i < text.size() && i < 64; ++i)
+      v[i] = static_cast<std::uint8_t>(text[i]);
+    return v;
+  }
+
+  core::Snvmm memory_;
+  core::Tpm tpm_;
+  core::SpeKey key_;
+};
+
+TEST_F(EndToEnd, SecretsSurvivePowerCycleButStayUnreadable) {
+  const auto secret = block_of("password: hunter2 / key: 0xDEADBEEF");
+  {
+    core::Specu specu(memory_, core::SpeMode::Parallel);
+    ASSERT_TRUE(specu.power_on(tpm_, kMeasurement));
+    specu.write_block(0x100, secret);
+    EXPECT_EQ(specu.power_down(), 0u);  // parallel mode: nothing pending
+  }
+  // Attacker probes the powered-down NVMM: ciphertext only.
+  const auto probe = memory_.probe_block(0x100);
+  EXPECT_NE(probe, secret);
+  int matching = 0;
+  for (int i = 0; i < 64; ++i) matching += probe[i] == secret[i];
+  EXPECT_LT(matching, 16);  // no meaningful plaintext residue
+
+  // Legitimate power-up: instant-on, data decrypts in place.
+  core::Specu specu(memory_, core::SpeMode::Parallel);
+  ASSERT_TRUE(specu.power_on(tpm_, kMeasurement));
+  EXPECT_EQ(specu.read_block(0x100), secret);
+}
+
+TEST_F(EndToEnd, ManyBlocksManyCycles) {
+  core::Specu specu(memory_, core::SpeMode::Serial);
+  ASSERT_TRUE(specu.power_on(tpm_, kMeasurement));
+  util::Xoshiro256ss rng(7);
+  std::map<std::uint64_t, std::vector<std::uint8_t>> golden;
+  for (int b = 0; b < 24; ++b) {
+    std::vector<std::uint8_t> data(64);
+    for (auto& v : data) v = static_cast<std::uint8_t>(rng.below(256));
+    const std::uint64_t addr = rng.below(1u << 20);
+    golden[addr] = data;
+    specu.write_block(addr, data);
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& [addr, data] : golden) EXPECT_EQ(specu.read_block(addr), data);
+    specu.background_encrypt(1000);
+  }
+  specu.power_down();
+
+  core::Specu again(memory_, core::SpeMode::Serial);
+  ASSERT_TRUE(again.power_on(tpm_, kMeasurement));
+  for (const auto& [addr, data] : golden) EXPECT_EQ(again.read_block(addr), data);
+}
+
+TEST_F(EndToEnd, StolenNvmmIsUselessWithoutTpm) {
+  // Attack 1: the attacker steals the module. Even with a SPECU of their
+  // own, the TPM refuses the key for an unmeasured platform; and a guessed
+  // key produces garbage.
+  const auto secret = block_of("TOP SECRET");
+  {
+    core::Specu specu(memory_, core::SpeMode::Parallel);
+    ASSERT_TRUE(specu.power_on(tpm_, kMeasurement));
+    specu.write_block(0, secret);
+    specu.power_down();
+  }
+  core::Specu attacker(memory_, core::SpeMode::Parallel);
+  EXPECT_FALSE(attacker.power_on(tpm_, /*wrong measurement*/ 0x1337));
+
+  core::Tpm rogue_tpm;
+  util::Xoshiro256ss rng(999);
+  rogue_tpm.provision(memory_.device_id(), 0, core::SpeKey::random(rng));
+  ASSERT_TRUE(attacker.power_on(rogue_tpm, 0));
+  EXPECT_NE(attacker.read_block(0), secret);
+}
+
+TEST_F(EndToEnd, CiphertextInArrayLooksRandom) {
+  // Probe a large set of encrypted blocks and run the core NIST battery on
+  // the concatenated array image.
+  core::Specu specu(memory_, core::SpeMode::Parallel);
+  ASSERT_TRUE(specu.power_on(tpm_, kMeasurement));
+  util::Xoshiro256ss rng(5);
+  util::BitVector image;
+  for (int b = 0; b < 128; ++b) {
+    std::vector<std::uint8_t> data(64);
+    for (auto& v : data) v = static_cast<std::uint8_t>(rng.below(256));
+    specu.write_block(static_cast<std::uint64_t>(b) * 64, data);
+    image.append_bytes(specu.read_block(static_cast<std::uint64_t>(b) * 64).empty()
+                           ? std::vector<std::uint8_t>{}
+                           : memory_.probe_block(static_cast<std::uint64_t>(b) * 64));
+  }
+  EXPECT_TRUE(nist::frequency_test(image).passed(0.001));
+  EXPECT_TRUE(nist::runs_test(image).passed(0.001));
+  EXPECT_TRUE(nist::serial_test(image).passed(0.001));
+}
+
+TEST_F(EndToEnd, ColdBootWindowMatchesCacheState) {
+  core::Specu specu(memory_, core::SpeMode::Serial);
+  ASSERT_TRUE(specu.power_on(tpm_, kMeasurement));
+  for (std::uint64_t b = 0; b < 50; ++b)
+    specu.write_block(b, block_of("data"));
+  for (std::uint64_t b = 0; b < 50; ++b) (void)specu.read_block(b);
+  const auto pending = specu.plaintext_blocks();
+  ASSERT_EQ(pending, 50u);
+  const auto report = core::cold_boot_analysis(pending * 64);
+  EXPECT_EQ(report.dirty_blocks, 50u);
+  EXPECT_NEAR(report.spe_window_seconds, 50 * 1600e-9, 1e-12);
+  // Orderly power-down secures exactly those blocks.
+  EXPECT_EQ(specu.power_down(), 50u);
+}
+
+}  // namespace
+}  // namespace spe

@@ -1,0 +1,123 @@
+// Physics-tier <-> behavioural-tier consistency: the calibrated cipher
+// tables must reflect what the device/crossbar simulation actually does,
+// and a *physical* encryption pass (real PoE pulses through the nodal
+// solver) must corrupt read-out just as the behavioural model says.
+
+#include <gtest/gtest.h>
+
+#include "core/calibration.hpp"
+#include "core/key_schedule.hpp"
+#include "device/cell.hpp"
+#include "xbar/monte_carlo.hpp"
+#include "xbar/polyomino.hpp"
+
+namespace spe {
+namespace {
+
+TEST(PhysicsConsistency, ShapeMatchesFreshExtraction) {
+  // The calibration's stored shapes must equal polyominoes extracted from a
+  // fresh mid-state crossbar with the same parameters.
+  const xbar::CrossbarParams params;
+  const auto cal = core::get_calibration(params);
+  xbar::Crossbar xb(params);
+  for (unsigned i = 0; i < 64; ++i) xb.cell(i).memristor().set_state(0.5);
+
+  for (unsigned p : {0u, 7u, 27u, 36u, 63u}) {
+    const auto poly = xbar::extract_polyomino(
+        xb, {p / 8, p % 8}, 1.0);
+    const auto& shape = cal->shape(p);
+    unsigned shape_count = static_cast<unsigned>(shape.cells.size());
+    EXPECT_EQ(shape_count, poly.count()) << "PoE " << p;
+    for (std::uint16_t cell : shape.cells) EXPECT_TRUE(poly.covers(cell));
+  }
+}
+
+TEST(PhysicsConsistency, PermDirectionMatchesTeamDynamics) {
+  // For each pulse code, the table's direction of level motion at tier 0
+  // must match a direct TEAM integration from the band-1 centre.
+  const xbar::CrossbarParams params;
+  const auto cal = core::get_calibration(params);
+  const device::MlcCodec codec(params.team);
+  const unsigned start_level = device::MlcCodec::level_for_symbol(1);
+
+  for (unsigned code = 0; code < 32; ++code) {
+    const auto& pulse = cal->library().pulse(code);
+    device::Cell cell(params.team, params.transistor,
+                      codec.state_for_level(start_level));
+    cell.set_gate(true);
+    cell.apply_cell_voltage(pulse.voltage, pulse.width);
+    const int direct = static_cast<int>(codec.level_for_state(cell.memristor().state()));
+    const int direct_shift = direct - static_cast<int>(start_level);
+    // The table's cyclic shift is the MEAN displacement over all levels;
+    // compare it against the direct integration from the band-1 centre.
+    const int s = (static_cast<int>(cal->perm(code, 0)[0]) + 64) % 64;
+    const int table_shift = s >= 32 ? s - 64 : s;
+    if (direct_shift != 0) {
+      EXPECT_EQ(table_shift > 0, direct_shift > 0) << "code " << code;
+    }
+    // Mean-vs-pointwise displacement: generous but bounded agreement.
+    EXPECT_NEAR(table_shift, direct_shift, 12) << "code " << code;
+  }
+}
+
+TEST(PhysicsConsistency, PhysicalEncryptionScramblesReadout) {
+  // Run a REAL physical encryption: apply the key schedule's pulses through
+  // the sneak-path solver and confirm the quantised read-out changes for a
+  // large fraction of cells (the physical counterpart of encrypt()).
+  const xbar::CrossbarParams params;
+  const auto cal = core::get_calibration(params);
+  const core::SpeKey key{0xA5A5, 0x5A5A};
+  const core::AddressLut lut(core::default_poes_8x8(), 8, 8);
+  const core::KeySchedule schedule(key, lut, core::VoltageLut{});
+
+  xbar::Crossbar xb(params);
+  std::vector<unsigned> plaintext(64);
+  for (unsigned i = 0; i < 64; ++i) plaintext[i] = i % 4;
+  xb.load_symbols(plaintext);
+
+  for (const auto& step : schedule.steps()) {
+    const xbar::PoE poe{step.poe_cell / 8, step.poe_cell % 8};
+    (void)xbar::apply_poe_pulse(xb, poe, cal->library().pulse(step.pulse_code));
+  }
+  const auto ciphertext = xb.dump_symbols();
+  unsigned changed = 0;
+  for (unsigned i = 0; i < 64; ++i) changed += ciphertext[i] != plaintext[i];
+  EXPECT_GT(changed, 24u);  // the 16 polyominoes perturb most of the array
+}
+
+TEST(PhysicsConsistency, PhysicalDecryptWidthsRecoverSingleCell) {
+  // Fig. 5 end-to-end: encrypt a lone cell with a schedule pulse, then undo
+  // it with the calibration's decrypt width; the read symbol must return.
+  const xbar::CrossbarParams params;
+  const auto cal = core::get_calibration(params);
+  const device::MlcCodec codec(params.team);
+
+  for (unsigned code : {10u, 12u, 14u}) {  // wide +1V pulses
+    device::Cell cell(params.team, params.transistor, codec.state_for_symbol(1));
+    cell.set_gate(true);
+    const auto& pulse = cal->library().pulse(code);
+    cell.apply_cell_voltage(pulse.voltage, pulse.width);
+    const unsigned encrypted_symbol = codec.symbol_for_state(cell.memristor().state());
+    cell.apply_cell_voltage(-pulse.voltage, cal->decrypt_width(code, 0));
+    EXPECT_EQ(codec.symbol_for_state(cell.memristor().state()), 1u) << "code " << code;
+    // And the pulse really moved it before the undo.
+    EXPECT_NE(encrypted_symbol, 1u) << "code " << code;
+  }
+}
+
+TEST(PhysicsConsistency, HardwarePerturbationChangesBothTiers) {
+  // A macro parameter change alters the physical voltage map AND the
+  // behavioural tables — the two tiers stay in step (hardware avalanche).
+  const xbar::CrossbarParams nominal;
+  const auto perturbed = xbar::perturb_macro(nominal, 0.08);
+  EXPECT_NE(core::fingerprint_of(nominal), core::fingerprint_of(perturbed));
+  const auto cal_a = core::get_calibration(nominal);
+  const auto cal_b = core::get_calibration(perturbed);
+  bool differs = false;
+  for (unsigned code = 0; code < 32 && !differs; ++code)
+    differs = cal_a->perm(code, 1) != cal_b->perm(code, 1);
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace spe

@@ -1,0 +1,73 @@
+// Focused tests for the random-excursions pair (SP 800-22 2.14/2.15) —
+// applicability gating, cycle counting, and sensitivity.
+
+#include <gtest/gtest.h>
+
+#include "nist/suite.hpp"
+#include "util/rng.hpp"
+
+namespace spe::nist {
+namespace {
+
+util::BitVector random_bits(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256ss rng(seed);
+  util::BitVector v;
+  while (v.size() < n) v.append_bits(rng(), 64);
+  return v.slice(0, n);
+}
+
+TEST(Excursions, ShortWalksAreNotApplicable) {
+  // A 2^14-bit random walk has ~sqrt(2n/pi) ~ 100 crossings << 500.
+  const auto bits = random_bits(1u << 14, 3);
+  EXPECT_FALSE(random_excursions_test(bits).applicable);
+  EXPECT_FALSE(random_excursions_variant_test(bits).applicable);
+}
+
+TEST(Excursions, AlternatingSequenceIsApplicableAndDegenerate) {
+  // 0101...: the walk oscillates -1,0,-1,0..., giving n/2 cycles (applicable)
+  // but visiting only state -1 — wildly non-random visit counts.
+  util::BitVector v;
+  for (int i = 0; i < (1 << 13); ++i) v.push_back(i & 1);
+  const auto re = random_excursions_test(v);
+  ASSERT_TRUE(re.applicable);
+  EXPECT_FALSE(re.passed());
+  const auto rev = random_excursions_variant_test(v);
+  ASSERT_TRUE(rev.applicable);
+  EXPECT_FALSE(rev.passed());
+}
+
+TEST(Excursions, LongRandomWalkPasses) {
+  const auto bits = random_bits(1u << 20, 11);
+  const auto re = random_excursions_test(bits);
+  const auto rev = random_excursions_variant_test(bits);
+  if (re.applicable) {
+    EXPECT_EQ(re.p_values.size(), 8u);  // states -4..-1, 1..4
+    EXPECT_TRUE(re.passed(0.0005));
+  }
+  if (rev.applicable) {
+    EXPECT_EQ(rev.p_values.size(), 18u);  // states -9..9 minus 0
+    EXPECT_TRUE(rev.passed(0.0005));
+  }
+}
+
+TEST(Excursions, BiasedWalkFailsVariant) {
+  // A drifting walk (p=0.53 ones) rarely returns to zero relative to its
+  // excursions; where applicable, the variant statistic blows up.
+  util::Xoshiro256ss rng(17);
+  util::BitVector v;
+  for (int i = 0; i < (1 << 19); ++i) v.push_back(rng.uniform() < 0.53);
+  const auto rev = random_excursions_variant_test(v);
+  if (rev.applicable) EXPECT_FALSE(rev.passed());
+  // Either not applicable (too few returns) or failing: both expose bias.
+  const auto re = random_excursions_test(v);
+  if (re.applicable) EXPECT_FALSE(re.passed());
+}
+
+TEST(Excursions, NamesMatchTable2Rows) {
+  const auto bits = random_bits(1u << 12, 1);
+  EXPECT_EQ(random_excursions_test(bits).name, "Rnd. Ex.");
+  EXPECT_EQ(random_excursions_variant_test(bits).name, "REV");
+}
+
+}  // namespace
+}  // namespace spe::nist

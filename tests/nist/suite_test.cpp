@@ -1,0 +1,128 @@
+#include "nist/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace spe::nist {
+namespace {
+
+util::BitVector random_bits(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256ss rng(seed);
+  util::BitVector v;
+  while (v.size() < n) v.append_bits(rng(), 64);
+  return v.slice(0, n);
+}
+
+class SuiteRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SuiteRandom, RandomSequencePassesEverything) {
+  const auto bits = random_bits(1u << 16, GetParam());
+  for (const auto& result : run_all(bits)) {
+    EXPECT_TRUE(result.passed(0.001)) << result.name << " p=" << result.worst_p();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuiteRandom, ::testing::Values(1, 3, 4, 5, 6, 7, 8, 9));
+
+TEST(Suite, ConstantZeroFailsFrequency) {
+  util::BitVector zeros(1u << 14, false);
+  EXPECT_FALSE(frequency_test(zeros).passed());
+  EXPECT_FALSE(block_frequency_test(zeros).passed());
+  EXPECT_FALSE(cusum_test(zeros).passed());
+}
+
+TEST(Suite, AlternatingBitsFailRuns) {
+  util::BitVector v;
+  for (int i = 0; i < (1 << 14); ++i) v.push_back(i & 1);
+  // Perfectly balanced, so frequency passes; runs/serial/entropy must fail.
+  EXPECT_TRUE(frequency_test(v).passed());
+  EXPECT_FALSE(runs_test(v).passed());
+  EXPECT_FALSE(serial_test(v).passed());
+  EXPECT_FALSE(approximate_entropy_test(v).passed());
+  EXPECT_FALSE(linear_complexity_test(v).passed());
+}
+
+TEST(Suite, PeriodicPatternFailsSpectral) {
+  // Period-3 pattern has a strong spectral line.
+  util::BitVector v;
+  for (int i = 0; i < (1 << 14); ++i) v.push_back(i % 3 == 0);
+  EXPECT_FALSE(dft_test(v).passed());
+}
+
+TEST(Suite, LowComplexitySequenceFailsRank) {
+  // Rows repeat every 32 bits -> every 32x32 matrix has rank 1.
+  util::BitVector v;
+  for (int i = 0; i < (1 << 16); ++i) v.push_back((i % 32) < 16);
+  EXPECT_FALSE(matrix_rank_test(v).passed());
+}
+
+TEST(Suite, BiasedSequenceFailsTemplates) {
+  util::Xoshiro256ss rng(99);
+  util::BitVector v;
+  for (int i = 0; i < (1 << 16); ++i) v.push_back(rng.uniform() < 0.4);
+  EXPECT_FALSE(non_overlapping_template_test(v).passed());
+  EXPECT_FALSE(overlapping_template_test(v).passed());
+  EXPECT_FALSE(universal_test(v).passed());
+}
+
+TEST(Suite, ShortSequencesAreNotApplicable) {
+  util::BitVector v(64, false);
+  EXPECT_FALSE(frequency_test(v).applicable);
+  EXPECT_TRUE(frequency_test(v).passed());  // NA counts as pass
+  EXPECT_FALSE(matrix_rank_test(v).applicable);
+  EXPECT_FALSE(universal_test(v).applicable);
+  EXPECT_FALSE(linear_complexity_test(v).applicable);
+}
+
+TEST(Suite, RunAllReturnsFifteenInOrder) {
+  const auto bits = random_bits(1u << 14, 42);
+  const auto results = run_all(bits);
+  const auto names = test_names();
+  ASSERT_EQ(results.size(), 15u);
+  ASSERT_EQ(names.size(), 15u);
+  for (std::size_t i = 0; i < 15; ++i) EXPECT_EQ(results[i].name, names[i]);
+}
+
+TEST(Suite, EvaluateDatasetCountsFailures) {
+  std::vector<util::BitVector> sequences;
+  for (int s = 0; s < 4; ++s) sequences.push_back(random_bits(1u << 14, 100 + s));
+  sequences.push_back(util::BitVector(1u << 14, false));  // one broken sequence
+  const auto summary = evaluate_dataset(sequences);
+  EXPECT_EQ(summary.sequences, 5u);
+  // The constant sequence fails F-mono (row 0).
+  EXPECT_GE(summary.failures[0], 1u);
+  EXPECT_EQ(summary.names.size(), summary.failures.size());
+}
+
+TEST(Suite, AcceptanceBoundMatchesPaper) {
+  SuiteSummary s;
+  s.sequences = 150;
+  s.alpha = 0.01;
+  EXPECT_EQ(s.max_allowed(), 5u);  // "not more than 5 of 150"
+}
+
+TEST(TestResult, WorstPAndPassed) {
+  TestResult r{"x", {0.5, 0.02, 0.9}, true};
+  EXPECT_DOUBLE_EQ(r.worst_p(), 0.02);
+  EXPECT_TRUE(r.passed(0.01));
+  EXPECT_FALSE(r.passed(0.05));
+  TestResult na{"y", {}, false};
+  EXPECT_TRUE(na.passed(0.5));
+  EXPECT_DOUBLE_EQ(na.worst_p(), 1.0);
+}
+
+TEST(Suite, ExcursionTestsApplicableOnLongWalks) {
+  // A long random sequence eventually has J >= 500 zero crossings; use a
+  // million bits to make that overwhelmingly likely.
+  const auto bits = random_bits(1u << 20, 5);
+  const auto re = random_excursions_test(bits);
+  const auto rev = random_excursions_variant_test(bits);
+  if (re.applicable) EXPECT_EQ(re.p_values.size(), 8u);
+  if (rev.applicable) EXPECT_EQ(rev.p_values.size(), 18u);
+  EXPECT_TRUE(re.passed(0.0005));
+  EXPECT_TRUE(rev.passed(0.0005));
+}
+
+}  // namespace
+}  // namespace spe::nist

@@ -1,0 +1,92 @@
+#include "sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spe::sim {
+namespace {
+
+CacheConfig tiny_config() {
+  // 4 sets x 2 ways x 64B = 512B.
+  return CacheConfig{512, 2, 64, 1, "tiny"};
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(Cache(CacheConfig{512, 0, 64, 1, "x"}), std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{100, 3, 64, 1, "x"}), std::invalid_argument);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache cache(tiny_config());
+  EXPECT_FALSE(cache.access(0x1000, false).hit);
+  EXPECT_TRUE(cache.access(0x1000, false).hit);
+  EXPECT_TRUE(cache.access(0x1030, false).hit);  // same 64B line
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  Cache cache(tiny_config());
+  // Three lines mapping to the same set (stride = sets * line = 256B).
+  EXPECT_FALSE(cache.access(0x0000, false).hit);
+  EXPECT_FALSE(cache.access(0x0100, false).hit);
+  // Touch 0x0000 so 0x0100 becomes LRU.
+  EXPECT_TRUE(cache.access(0x0000, false).hit);
+  EXPECT_FALSE(cache.access(0x0200, false).hit);  // evicts 0x0100
+  EXPECT_TRUE(cache.access(0x0000, false).hit);
+  EXPECT_FALSE(cache.access(0x0100, false).hit);  // was evicted
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback) {
+  Cache cache(tiny_config());
+  (void)cache.access(0x0000, true);  // dirty
+  (void)cache.access(0x0100, false);
+  const auto result = cache.access(0x0200, false);  // evicts dirty 0x0000
+  EXPECT_TRUE(result.evicted_dirty);
+  EXPECT_EQ(result.writeback_addr, 0x0000u);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback) {
+  Cache cache(tiny_config());
+  (void)cache.access(0x0000, false);
+  (void)cache.access(0x0100, false);
+  EXPECT_FALSE(cache.access(0x0200, false).evicted_dirty);
+}
+
+TEST(Cache, WriteMarksExistingLineDirty) {
+  Cache cache(tiny_config());
+  (void)cache.access(0x0000, false);  // clean fill
+  (void)cache.access(0x0000, true);   // hit-write -> dirty
+  (void)cache.access(0x0100, false);
+  EXPECT_TRUE(cache.access(0x0200, false).evicted_dirty);
+}
+
+TEST(Cache, DirtyLineCount) {
+  Cache cache(tiny_config());
+  EXPECT_EQ(cache.dirty_lines(), 0u);
+  // Distinct sets (4 sets x 64B lines): no evictions involved.
+  (void)cache.access(0x0000, true);
+  (void)cache.access(0x0040, true);
+  (void)cache.access(0x0080, false);
+  EXPECT_EQ(cache.dirty_lines(), 2u);
+  cache.flush();
+  EXPECT_EQ(cache.dirty_lines(), 0u);
+}
+
+TEST(Cache, DistinctSetsDoNotConflict) {
+  Cache cache(tiny_config());
+  for (std::uint64_t line = 0; line < 4; ++line)
+    (void)cache.access(line * 64, false);
+  for (std::uint64_t line = 0; line < 4; ++line)
+    EXPECT_TRUE(cache.access(line * 64, false).hit);
+}
+
+TEST(Cache, PaperL2GeometryWorks) {
+  // 2MB, 16-way, 64B lines: 2048 sets.
+  Cache l2(CacheConfig{2 * 1024 * 1024, 16, 64, 16, "L2"});
+  for (std::uint64_t i = 0; i < 1000; ++i) (void)l2.access(i * 64, false);
+  for (std::uint64_t i = 0; i < 1000; ++i) EXPECT_TRUE(l2.access(i * 64, false).hit);
+}
+
+}  // namespace
+}  // namespace spe::sim

@@ -1,0 +1,101 @@
+#include "sim/schemes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spe::sim {
+namespace {
+
+using core::Scheme;
+
+TEST(Schemes, FactoryCoversEveryScheme) {
+  for (const auto& costs : core::scheme_costs()) {
+    const auto model = make_scheme(costs.scheme);
+    ASSERT_NE(model, nullptr) << core::scheme_name(costs.scheme);
+    EXPECT_EQ(model->scheme(), costs.scheme);
+  }
+}
+
+TEST(Schemes, NoneIsFree) {
+  const auto model = make_scheme(Scheme::None);
+  EXPECT_EQ(model->on_read(0, 0).critical_cycles, 0u);
+  EXPECT_EQ(model->on_write(0, 0).critical_cycles, 0u);
+}
+
+TEST(Schemes, AesChargesEveryRead) {
+  const auto model = make_scheme(Scheme::Aes);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(model->on_read(i, i * 64u).critical_cycles, 80u);
+  EXPECT_DOUBLE_EQ(model->encrypted_fraction(), 1.0);
+}
+
+TEST(Schemes, StreamCipherIsOneCycle) {
+  const auto model = make_scheme(Scheme::StreamCipher);
+  EXPECT_EQ(model->on_read(0, 0).critical_cycles, 1u);
+  EXPECT_DOUBLE_EQ(model->encrypted_fraction(), 1.0);
+}
+
+TEST(Schemes, SpeParallelAlwaysSixteenPlusBusy) {
+  const auto model = make_scheme(Scheme::SpeParallel);
+  const auto charge = model->on_read(0, 0);
+  EXPECT_EQ(charge.critical_cycles, 16u);
+  EXPECT_EQ(charge.bank_busy_cycles, 16u);
+  // Repeated reads pay every time (immediate re-encryption).
+  EXPECT_EQ(model->on_read(1, 0).critical_cycles, 16u);
+  EXPECT_DOUBLE_EQ(model->encrypted_fraction(), 1.0);
+}
+
+TEST(Schemes, SpeSerialPaysOncePerDecryption) {
+  const auto model = make_scheme(Scheme::SpeSerial);
+  EXPECT_EQ(model->on_read(0, 0x40).critical_cycles, 16u);
+  // Still plaintext on the second read: free.
+  EXPECT_EQ(model->on_read(1, 0x40).critical_cycles, 0u);
+  EXPECT_LT(model->encrypted_fraction(), 1.0);
+  // A write-back re-encrypts the block...
+  EXPECT_EQ(model->on_write(2, 0x40).bank_busy_cycles, 16u);
+  EXPECT_DOUBLE_EQ(model->encrypted_fraction(), 1.0);
+  // ...so the next read decrypts again.
+  EXPECT_EQ(model->on_read(3, 0x40).critical_cycles, 16u);
+}
+
+TEST(Schemes, SpeSerialBackgroundEngineReencrypts) {
+  const auto model = make_scheme(Scheme::SpeSerial);
+  (void)model->on_read(0, 0x40);
+  (void)model->on_read(0, 0x80);
+  EXPECT_LT(model->encrypted_fraction(), 1.0);
+  model->tick(10'000'000);  // long past the idle window
+  EXPECT_DOUBLE_EQ(model->encrypted_fraction(), 1.0);
+  EXPECT_EQ(model->on_read(10'000'001, 0x40).critical_cycles, 16u);
+}
+
+TEST(Schemes, INvmmFirstTouchFreeReTouchAfterInertnessPays) {
+  const auto model = make_scheme(Scheme::INvmm);
+  EXPECT_EQ(model->on_read(0, 0x1000).critical_cycles, 0u);  // first touch
+  EXPECT_EQ(model->on_read(100, 0x1000).critical_cycles, 0u);  // still live
+  // Let the page go inert and be encrypted by the background engine.
+  model->tick(10'000'000);
+  EXPECT_DOUBLE_EQ(model->encrypted_fraction(), 1.0);
+  EXPECT_EQ(model->on_read(10'000'001, 0x1000).critical_cycles, 80u);
+  EXPECT_LT(model->encrypted_fraction(), 1.0);
+}
+
+TEST(Schemes, INvmmPageGranularity) {
+  const auto model = make_scheme(Scheme::INvmm);
+  (void)model->on_read(0, 0x1000);
+  model->tick(10'000'000);
+  // Both blocks live in the same 4 KB page: one decrypt covers both.
+  EXPECT_EQ(model->on_read(10'000'001, 0x1000).critical_cycles, 80u);
+  EXPECT_EQ(model->on_read(10'000'002, 0x1040).critical_cycles, 0u);
+}
+
+TEST(Schemes, INvmmTracksFractionOverPages) {
+  const auto model = make_scheme(Scheme::INvmm);
+  (void)model->on_read(0, 0 * 4096);
+  (void)model->on_read(0, 1 * 4096);
+  (void)model->on_read(5'000'000, 2 * 4096);  // keeps page 2 fresh
+  model->tick(5'000'001);
+  // Pages 0 and 1 are inert-encrypted; page 2 is live.
+  EXPECT_NEAR(model->encrypted_fraction(), 2.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace spe::sim

@@ -1,0 +1,99 @@
+#include "sim/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+
+namespace spe::sim {
+namespace {
+
+SimConfig quick_config() {
+  SimConfig cfg;
+  cfg.instructions = 400'000;
+  return cfg;
+}
+
+TEST(Simulate, RunsToCompletion) {
+  const auto result = simulate(workload_by_name("hmmer"), core::Scheme::None, quick_config());
+  EXPECT_GE(result.instructions, 400'000u);
+  EXPECT_GT(result.cycles, result.instructions / 4);  // 4-issue bound
+  EXPECT_GT(result.ipc(), 0.0);
+  EXPECT_EQ(result.scheme, core::Scheme::None);
+  EXPECT_EQ(result.workload, "hmmer");
+}
+
+TEST(Simulate, DeterministicAcrossRuns) {
+  const auto a = simulate(workload_by_name("gcc"), core::Scheme::Aes, quick_config());
+  const auto b = simulate(workload_by_name("gcc"), core::Scheme::Aes, quick_config());
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.l2_misses, b.l2_misses);
+  EXPECT_EQ(a.mean_encrypted_fraction, b.mean_encrypted_fraction);
+}
+
+TEST(Simulate, MissesFlowDownTheHierarchy) {
+  const auto r = simulate(workload_by_name("mcf"), core::Scheme::None, quick_config());
+  EXPECT_GT(r.l1_misses, r.l2_misses);
+  EXPECT_GT(r.l2_misses, 0u);
+}
+
+TEST(Simulate, EncryptionAddsCycles) {
+  const SimConfig cfg = quick_config();
+  const auto& wl = workload_by_name("mcf");
+  const auto base = simulate(wl, core::Scheme::None, cfg);
+  const auto aes = simulate(wl, core::Scheme::Aes, cfg);
+  const auto spe_s = simulate(wl, core::Scheme::SpeSerial, cfg);
+  const auto spe_p = simulate(wl, core::Scheme::SpeParallel, cfg);
+  const auto stream = simulate(wl, core::Scheme::StreamCipher, cfg);
+
+  EXPECT_GT(aes.cycles, base.cycles);
+  EXPECT_GT(spe_p.cycles, base.cycles);
+  // Ordering of Table 3: AES slowest, stream cheapest, SPE in between.
+  EXPECT_GT(aes.overhead_vs(base), spe_p.overhead_vs(base));
+  EXPECT_GE(spe_p.overhead_vs(base), spe_s.overhead_vs(base) * 0.99);
+  EXPECT_LT(stream.overhead_vs(base), spe_s.overhead_vs(base));
+}
+
+TEST(Simulate, CoverageOrdering) {
+  // Longer run so the background engines reach steady state.
+  SimConfig cfg;
+  cfg.instructions = 1'500'000;
+  const auto& wl = workload_by_name("bzip2");
+  const auto aes = simulate(wl, core::Scheme::Aes, cfg);
+  const auto spe_p = simulate(wl, core::Scheme::SpeParallel, cfg);
+  const auto spe_s = simulate(wl, core::Scheme::SpeSerial, cfg);
+  EXPECT_DOUBLE_EQ(aes.mean_encrypted_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(spe_p.mean_encrypted_fraction, 1.0);
+  EXPECT_GT(spe_s.mean_encrypted_fraction, 0.8);
+  EXPECT_LT(spe_s.mean_encrypted_fraction, 1.0);
+}
+
+TEST(RunGrid, ShapeAndMetrics) {
+  SimConfig cfg;
+  cfg.instructions = 150'000;
+  const std::vector<core::Scheme> schemes = {core::Scheme::None, core::Scheme::Aes};
+  const auto grid = run_grid(schemes, cfg);
+  ASSERT_EQ(grid.size(), spec2006_suite().size());
+  for (const auto& row : grid) ASSERT_EQ(row.size(), 2u);
+
+  const auto base = grid_column(grid, 0);
+  const auto aes = grid_column(grid, 1);
+  EXPECT_GT(mean_overhead(aes, base), 0.0);
+  EXPECT_DOUBLE_EQ(mean_encrypted_fraction(aes), 1.0);
+}
+
+TEST(Simulate, ReportsDirtyCacheState) {
+  // The Section-6.4 cold-boot drain size: a running workload leaves dirty
+  // lines in both caches, bounded by their capacities.
+  const auto r = simulate(workload_by_name("bzip2"), core::Scheme::None, quick_config());
+  EXPECT_GT(r.dirty_l2_lines, 0u);
+  EXPECT_LE(r.dirty_l1_lines, 32u * 1024 / 64);
+  EXPECT_LE(r.dirty_l2_lines, 2u * 1024 * 1024 / 64);
+}
+
+TEST(Metrics, ValidateInputs) {
+  EXPECT_THROW((void)mean_overhead({}, {}), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(mean_encrypted_fraction({}), 1.0);
+}
+
+}  // namespace
+}  // namespace spe::sim

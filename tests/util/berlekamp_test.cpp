@@ -1,0 +1,70 @@
+#include "util/berlekamp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace spe::util {
+namespace {
+
+TEST(LinearComplexity, AllZerosIsZero) {
+  BitVector v(64, false);
+  EXPECT_EQ(linear_complexity(v, 0, 64), 0u);
+}
+
+TEST(LinearComplexity, SingleOneAtEnd) {
+  // 0...01: the shortest LFSR generating n-1 zeros then a one has length n.
+  BitVector v(8, false);
+  v.set(7, true);
+  EXPECT_EQ(linear_complexity(v, 0, 8), 8u);
+}
+
+TEST(LinearComplexity, AlternatingSequenceIsTwo) {
+  BitVector v = BitVector::from_string("10101010101010");
+  EXPECT_EQ(linear_complexity(v, 0, v.size()), 2u);
+}
+
+TEST(LinearComplexity, ConstantOnesIsOne) {
+  BitVector v(32, true);
+  EXPECT_EQ(linear_complexity(v, 0, 32), 1u);
+}
+
+TEST(LinearComplexity, NistWorkedExample) {
+  // SP 800-22 2.10: the 13-bit sequence 1101011110001 has L = 4.
+  BitVector v = BitVector::from_string("1101011110001");
+  EXPECT_EQ(linear_complexity(v, 0, v.size()), 4u);
+}
+
+TEST(LinearComplexity, KnownLfsrIsRecovered) {
+  // x^5 + x^2 + 1 LFSR: complexity of its output must be 5.
+  BitVector v;
+  unsigned state = 0b00001;
+  for (int i = 0; i < 64; ++i) {
+    v.push_back(state & 1u);
+    const unsigned fb = ((state >> 0) ^ (state >> 3)) & 1u;  // taps 5,2
+    state = (state >> 1) | (fb << 4);
+  }
+  EXPECT_EQ(linear_complexity(v, 0, v.size()), 5u);
+}
+
+TEST(LinearComplexity, RandomSequenceNearHalfLength) {
+  Xoshiro256ss rng(3);
+  BitVector v;
+  for (int w = 0; w < 8; ++w) v.append_bits(rng(), 64);
+  const auto L = linear_complexity(v, 0, v.size());
+  // E[L] ~ n/2 for random bits.
+  EXPECT_NEAR(static_cast<double>(L), 256.0, 8.0);
+}
+
+TEST(LinearComplexity, OffsetWindows) {
+  BitVector v = BitVector::from_string("0000" "10101010");
+  EXPECT_EQ(linear_complexity(v, 4, 8), 2u);
+}
+
+TEST(LinearComplexity, OutOfRangeThrows) {
+  BitVector v(16, false);
+  EXPECT_THROW((void)linear_complexity(v, 8, 16), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace spe::util

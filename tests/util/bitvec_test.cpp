@@ -1,0 +1,126 @@
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spe::util {
+namespace {
+
+TEST(BitVector, StartsEmpty) {
+  BitVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVector, ConstructsFilled) {
+  BitVector zeros(100, false);
+  EXPECT_EQ(zeros.size(), 100u);
+  EXPECT_EQ(zeros.popcount(), 0u);
+  BitVector ones(100, true);
+  EXPECT_EQ(ones.popcount(), 100u);
+}
+
+TEST(BitVector, FilledOnesDoNotLeakPaddingBits) {
+  // 70 bits spans two words; padding in the second word must stay clear.
+  BitVector ones(70, true);
+  EXPECT_EQ(ones.popcount(), 70u);
+  ones.push_back(false);
+  EXPECT_EQ(ones.popcount(), 70u);
+  EXPECT_FALSE(ones.get(70));
+}
+
+TEST(BitVector, PushAndGet) {
+  BitVector v;
+  v.push_back(true);
+  v.push_back(false);
+  v.push_back(true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_TRUE(v.get(2));
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(BitVector, SetOverwrites) {
+  BitVector v(10, false);
+  v.set(3, true);
+  EXPECT_TRUE(v.get(3));
+  v.set(3, false);
+  EXPECT_FALSE(v.get(3));
+}
+
+TEST(BitVector, OutOfRangeThrows) {
+  BitVector v(4, false);
+  EXPECT_THROW((void)v.get(4), std::out_of_range);
+  EXPECT_THROW(v.set(4, true), std::out_of_range);
+  EXPECT_THROW((void)v.slice(2, 3), std::out_of_range);
+  EXPECT_THROW((void)v.read_bits(2, 3), std::out_of_range);
+}
+
+TEST(BitVector, AppendBitsIsMsbFirst) {
+  BitVector v;
+  v.append_bits(0b1011, 4);
+  EXPECT_EQ(v.to_string(), "1011");
+}
+
+TEST(BitVector, AppendBytesMsbFirst) {
+  BitVector v;
+  const std::uint8_t bytes[] = {0xA5};
+  v.append_bytes(bytes);
+  EXPECT_EQ(v.to_string(), "10100101");
+}
+
+TEST(BitVector, RoundTripBytes) {
+  BitVector v;
+  const std::uint8_t bytes[] = {0xDE, 0xAD, 0xBE, 0xEF};
+  v.append_bytes(bytes);
+  const auto out = v.to_bytes();
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 0xDE);
+  EXPECT_EQ(out[3], 0xEF);
+}
+
+TEST(BitVector, ReadBits) {
+  BitVector v = BitVector::from_string("11010110");
+  EXPECT_EQ(v.read_bits(0, 4), 0b1101u);
+  EXPECT_EQ(v.read_bits(4, 4), 0b0110u);
+  EXPECT_EQ(v.read_bits(2, 3), 0b010u);
+}
+
+TEST(BitVector, SliceExtractsMiddle) {
+  BitVector v = BitVector::from_string("001110");
+  EXPECT_EQ(v.slice(2, 3).to_string(), "111");
+}
+
+TEST(BitVector, XorMatchesBitwise) {
+  BitVector a = BitVector::from_string("1100");
+  BitVector b = BitVector::from_string("1010");
+  a ^= b;
+  EXPECT_EQ(a.to_string(), "0110");
+}
+
+TEST(BitVector, XorSizeMismatchThrows) {
+  BitVector a(4, false), b(5, false);
+  EXPECT_THROW(a ^= b, std::invalid_argument);
+}
+
+TEST(BitVector, FromStringRejectsGarbage) {
+  EXPECT_THROW(BitVector::from_string("01x1"), std::invalid_argument);
+}
+
+TEST(BitVector, AppendVector) {
+  BitVector a = BitVector::from_string("10");
+  BitVector b = BitVector::from_string("01");
+  a.append(b);
+  EXPECT_EQ(a.to_string(), "1001");
+}
+
+TEST(BitVector, PopcountAcrossWords) {
+  BitVector v;
+  for (int i = 0; i < 130; ++i) v.push_back(i % 3 == 0);
+  std::size_t expected = 0;
+  for (int i = 0; i < 130; ++i) expected += i % 3 == 0;
+  EXPECT_EQ(v.popcount(), expected);
+}
+
+}  // namespace
+}  // namespace spe::util

@@ -1,0 +1,82 @@
+#include "util/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace spe::util {
+namespace {
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(6, {1.0, 0.0});
+  EXPECT_THROW(fft(data), std::invalid_argument);
+}
+
+TEST(Fft, DeltaTransformsToOnes) {
+  std::vector<std::complex<double>> data(8, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  fft(data);
+  for (const auto& v : data) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneConcentratesEnergy) {
+  const std::size_t n = 64;
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < n; ++i)
+    data[i] = {std::cos(2.0 * std::numbers::pi * 5.0 * i / n), 0.0};
+  fft(data);
+  EXPECT_NEAR(std::abs(data[5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - 5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[3]), 0.0, 1e-9);
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  const std::size_t n = 128;
+  std::vector<std::complex<double>> data(n), orig(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = {std::sin(0.1 * i) + 0.3 * std::cos(0.7 * i), 0.2 * std::sin(0.33 * i)};
+    orig[i] = data[i];
+  }
+  fft(data, false);
+  fft(data, true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real() / n, orig[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag() / n, orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  const std::size_t n = 256;
+  std::vector<std::complex<double>> data(n);
+  double time_energy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = {std::sin(0.3 * i), 0.0};
+    time_energy += std::norm(data[i]);
+  }
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& v : data) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-8);
+}
+
+TEST(RealMagnitudeSpectrum, SizeAndDc) {
+  std::vector<double> ones(16, 1.0);
+  const auto mags = real_magnitude_spectrum(ones);
+  ASSERT_EQ(mags.size(), 9u);
+  EXPECT_NEAR(mags[0], 16.0, 1e-12);
+  EXPECT_NEAR(mags[1], 0.0, 1e-12);
+}
+
+TEST(RealMagnitudeSpectrum, PadsWhenAsked) {
+  std::vector<double> sig(10, 1.0);
+  EXPECT_THROW((void)real_magnitude_spectrum(sig, false), std::invalid_argument);
+  const auto mags = real_magnitude_spectrum(sig, true);
+  EXPECT_EQ(mags.size(), 9u);  // padded to 16
+}
+
+}  // namespace
+}  // namespace spe::util

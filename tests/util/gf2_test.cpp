@@ -1,0 +1,89 @@
+#include "util/gf2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace spe::util {
+namespace {
+
+TEST(Gf2Matrix, RejectsBadShapes) {
+  EXPECT_THROW(Gf2Matrix(0, 4), std::invalid_argument);
+  EXPECT_THROW(Gf2Matrix(4, 65), std::invalid_argument);
+}
+
+TEST(Gf2Matrix, IdentityHasFullRank) {
+  for (unsigned n : {1u, 4u, 32u, 64u}) {
+    Gf2Matrix m(n, n);
+    for (unsigned i = 0; i < n; ++i) m.set(i, i, true);
+    EXPECT_EQ(m.rank(), n);
+  }
+}
+
+TEST(Gf2Matrix, ZeroMatrixHasRankZero) {
+  Gf2Matrix m(8, 8);
+  EXPECT_EQ(m.rank(), 0u);
+}
+
+TEST(Gf2Matrix, DuplicateRowsReduceRank) {
+  Gf2Matrix m(3, 3);
+  // rows: 110, 110, 001 -> rank 2
+  m.set(0, 0, true);
+  m.set(0, 1, true);
+  m.set(1, 0, true);
+  m.set(1, 1, true);
+  m.set(2, 2, true);
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(Gf2Matrix, LinearlyDependentCombination) {
+  Gf2Matrix m(3, 4);
+  // r0=1100, r1=0110, r2=1010 = r0^r1 -> rank 2
+  m.set(0, 0, true); m.set(0, 1, true);
+  m.set(1, 1, true); m.set(1, 2, true);
+  m.set(2, 0, true); m.set(2, 2, true);
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(Gf2Matrix, FromBitsRowMajor) {
+  BitVector bits = BitVector::from_string("10" "01");
+  const auto m = Gf2Matrix::from_bits(bits, 0, 2, 2);
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_FALSE(m.get(0, 1));
+  EXPECT_FALSE(m.get(1, 0));
+  EXPECT_TRUE(m.get(1, 1));
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(Gf2Matrix, RandomMatricesMatchAsymptoticRankDistribution) {
+  // For random 32x32 GF(2) matrices: P(full rank) ~ 0.2888.
+  Xoshiro256ss rng(11);
+  unsigned full = 0;
+  const unsigned trials = 2000;
+  for (unsigned t = 0; t < trials; ++t) {
+    BitVector bits;
+    for (int w = 0; w < 16; ++w) bits.append_bits(rng(), 64);
+    const auto m = Gf2Matrix::from_bits(bits, 0, 32, 32);
+    full += m.rank() == 32 ? 1 : 0;
+  }
+  const double frac = static_cast<double>(full) / trials;
+  EXPECT_NEAR(frac, 0.2888, 0.04);
+}
+
+TEST(Gf2Matrix, RankInvariantUnderRowSwap) {
+  Xoshiro256ss rng(13);
+  BitVector bits;
+  for (int w = 0; w < 4; ++w) bits.append_bits(rng(), 64);
+  auto m = Gf2Matrix::from_bits(bits, 0, 8, 8);
+  const unsigned r = m.rank();
+  // Swap rows 0 and 1 by hand.
+  for (unsigned c = 0; c < 8; ++c) {
+    const bool a = m.get(0, c), b = m.get(1, c);
+    m.set(0, c, b);
+    m.set(1, c, a);
+  }
+  EXPECT_EQ(m.rank(), r);
+}
+
+}  // namespace
+}  // namespace spe::util

@@ -1,0 +1,73 @@
+#include "util/mathfn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spe::util {
+namespace {
+
+TEST(Igam, MatchesClosedFormForIntegerA) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(igam(1.0, x), 1.0 - std::exp(-x), 1e-12) << "x=" << x;
+  }
+  // P(2, x) = 1 - e^-x (1 + x).
+  for (double x : {0.1, 1.0, 3.0, 8.0}) {
+    EXPECT_NEAR(igam(2.0, x), 1.0 - std::exp(-x) * (1.0 + x), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(Igamc, ComplementsIgam) {
+  for (double a : {0.5, 1.0, 2.5, 7.0}) {
+    for (double x : {0.05, 0.7, 2.0, 9.0}) {
+      EXPECT_NEAR(igam(a, x) + igamc(a, x), 1.0, 1e-12) << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(Igamc, HalfIntegerRelatesToErfc) {
+  // Q(1/2, x) = erfc(sqrt(x)).
+  for (double x : {0.2, 1.0, 4.0}) {
+    EXPECT_NEAR(igamc(0.5, x), std::erfc(std::sqrt(x)), 1e-12);
+  }
+}
+
+TEST(Igam, EdgeCases) {
+  EXPECT_EQ(igam(3.0, 0.0), 0.0);
+  EXPECT_EQ(igamc(3.0, 0.0), 1.0);
+  EXPECT_THROW((void)igam(0.0, 1.0), std::domain_error);
+  EXPECT_THROW((void)igamc(1.0, -1.0), std::domain_error);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(LogFactorial, SmallValuesExact) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(Log10Permutations, MatchesDirectComputation) {
+  // P(5, 2) = 20.
+  EXPECT_NEAR(log10_permutations(5, 2), std::log10(20.0), 1e-10);
+  // P(64, 16): the paper's PoE sequence count — must be astronomically large.
+  const double v = log10_permutations(64, 16);
+  EXPECT_GT(v, 27.0);
+  EXPECT_LT(v, 30.0);
+  EXPECT_THROW((void)log10_permutations(4, 5), std::domain_error);
+}
+
+TEST(Igamc, NistWorkedExample) {
+  // SP 800-22 block-frequency worked example: n=100, M=10, chi^2 = 7.2,
+  // p = igamc(5, 3.6) = 0.706438.
+  EXPECT_NEAR(igamc(5.0, 3.6), 0.706438, 1e-5);
+}
+
+}  // namespace
+}  // namespace spe::util

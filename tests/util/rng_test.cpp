@@ -1,0 +1,116 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace spe::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t s = 42;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Mix64, IsStateless) { EXPECT_EQ(mix64(7), mix64(7)); }
+
+TEST(Xoshiro, DeterministicBySeed) {
+  Xoshiro256ss a(1), b(1), c(2);
+  EXPECT_EQ(a(), b());
+  Xoshiro256ss a2(1);
+  EXPECT_NE(a2(), c());
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Xoshiro, BelowCoversRange) {
+  Xoshiro256ss rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256ss rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Xoshiro, NormalHasUnitVariance) {
+  Xoshiro256ss rng(6);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(CoupledLcg, DeterministicBySeed) {
+  CoupledLcg a(0x123), b(0x123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_raw(), b.next_raw());
+}
+
+TEST(CoupledLcg, SeedsAreMasked) {
+  // Seeds differing only above bit 43 are identical generators.
+  CoupledLcg a(0x123), b(0x123 | (std::uint64_t{1} << 50));
+  EXPECT_EQ(a.next_raw(), b.next_raw());
+}
+
+TEST(CoupledLcg, DistinctSeedsDiverge) {
+  CoupledLcg a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_bits(16) == b.next_bits(16);
+  EXPECT_LT(same, 4);
+}
+
+TEST(CoupledLcg, RawStaysWithin44Bits) {
+  CoupledLcg g(0xABCDEF);
+  for (int i = 0; i < 1000; ++i) EXPECT_LE(g.next_raw(), CoupledLcg::kMask);
+}
+
+TEST(CoupledLcg, BitsAreBalanced) {
+  CoupledLcg g(7);
+  std::uint64_t ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ones += __builtin_popcount(g.next_bits(16));
+  const double ratio = static_cast<double>(ones) / (16.0 * n);
+  EXPECT_NEAR(ratio, 0.5, 0.01);
+}
+
+TEST(CoupledLcg, BelowRespectsBound) {
+  CoupledLcg g(9);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(g.below(13), 13u);
+  EXPECT_EQ(g.below(1), 0u);
+}
+
+TEST(CoupledLcg, ZeroSeedStillRuns) {
+  CoupledLcg g(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(g.next_raw());
+  EXPECT_GT(seen.size(), 60u);
+}
+
+}  // namespace
+}  // namespace spe::util

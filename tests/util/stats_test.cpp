@@ -1,0 +1,65 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spe::util {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.14);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(MeanStddev, VectorHelpers) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(mean(xs), 2.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), 1.0, 1e-12);
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> yneg = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, yneg), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputsReturnZero) {
+  EXPECT_EQ(pearson({1.0}, {2.0}), 0.0);
+  EXPECT_EQ(pearson({1, 1, 1}, {2, 3, 4}), 0.0);
+}
+
+TEST(ChiSquare, MatchesHandComputation) {
+  const std::vector<double> obs = {12, 8};
+  const std::vector<double> exp = {10, 10};
+  EXPECT_NEAR(chi_square(obs, exp), 0.4 + 0.4, 1e-12);
+  EXPECT_THROW((void)chi_square({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)chi_square({1.0}, {0.0}), std::invalid_argument);
+}
+
+TEST(MaxAllowedFailures, NistTableValues) {
+  // The paper: "with a significance level of 0.01, not more than 5
+  // sequences (of 150) are allowed to fail a test."
+  EXPECT_EQ(max_allowed_failures(150, 0.01), 5u);
+  // SP 800-22 canonical: 1000 sequences at alpha 0.01 -> <= 19.
+  EXPECT_EQ(max_allowed_failures(1000, 0.01), 19u);
+  EXPECT_EQ(max_allowed_failures(0, 0.01), 0u);
+}
+
+}  // namespace
+}  // namespace spe::util

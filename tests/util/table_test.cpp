@@ -1,0 +1,38 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spe::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 2.5   |"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+  // Three cells rendered even though one was given.
+  const auto last_line = out.substr(out.rfind("| only"));
+  EXPECT_EQ(std::count(last_line.begin(), last_line.end(), '|'), 4);
+}
+
+TEST(Table, FmtFormatsPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Table, PctFormatsFractions) {
+  EXPECT_EQ(Table::pct(0.015, 1), "1.5%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace spe::util

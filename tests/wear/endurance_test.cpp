@@ -1,0 +1,73 @@
+#include "wear/endurance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spe::wear {
+namespace {
+
+TEST(EnduranceModel, RejectsEmpty) {
+  EXPECT_THROW(EnduranceModel(0), std::invalid_argument);
+}
+
+TEST(EnduranceModel, TracksWritesPerLine) {
+  EnduranceModel model(4, {10.0, 0.02});
+  model.record_write(0);
+  model.record_write(0);
+  model.record_write(3);
+  EXPECT_DOUBLE_EQ(model.wear(0), 2.0);
+  EXPECT_DOUBLE_EQ(model.wear(1), 0.0);
+  EXPECT_DOUBLE_EQ(model.wear(3), 1.0);
+  EXPECT_DOUBLE_EQ(model.max_wear(), 2.0);
+  EXPECT_THROW(model.record_write(4), std::out_of_range);
+}
+
+TEST(EnduranceModel, SpePulsesWearFractionally) {
+  // Section 5.2: SPE's pulses age cells far less than writes.
+  EnduranceModel model(2, {1e6, 0.02});
+  model.record_spe_encryption(0);  // 16 pulses x 0.02 = 0.32 write units
+  model.record_write(1);
+  EXPECT_NEAR(model.wear(0), 0.32, 1e-12);
+  EXPECT_LT(model.wear(0), model.wear(1));
+}
+
+TEST(EnduranceModel, FailureDetection) {
+  EnduranceModel model(2, {3.0, 0.02});
+  EXPECT_FALSE(model.any_failed());
+  for (int i = 0; i < 3; ++i) model.record_write(0);
+  EXPECT_TRUE(model.any_failed());
+  EXPECT_EQ(model.failed_lines(), 1u);
+}
+
+TEST(EnduranceModel, LifetimeFractionIdealWhenUniform) {
+  EnduranceModel model(4, {100.0, 0.02});
+  for (int round = 0; round < 50; ++round)
+    for (std::size_t l = 0; l < 4; ++l) model.record_write(l);
+  EXPECT_NEAR(model.lifetime_fraction(), 1.0, 1e-12);
+}
+
+TEST(EnduranceModel, LifetimeFractionCollapsesUnderHammering) {
+  EnduranceModel model(100, {100.0, 0.02});
+  for (int i = 0; i < 50; ++i) model.record_write(7);  // one hot line
+  // Peak carries everything: lifetime ~ 1/lines of ideal.
+  EXPECT_NEAR(model.lifetime_fraction(), 1.0 / 100.0, 1e-9);
+}
+
+TEST(BruteForceWear, AttackDestroysDeviceFirst) {
+  // Section 6.2.1: the attacker exhausts the memristors' endurance after a
+  // vanishing fraction of the key space.
+  const auto report = brute_force_wear();
+  EXPECT_GT(report.trials_until_failure, 1e7);
+  // Fraction of the 1e52 key space searched before the device dies:
+  EXPECT_LT(report.log10_keyspace_fraction_searched, -40.0);
+  EXPECT_LT(report.seconds_until_failure, 1e4);  // device dies within hours
+}
+
+TEST(BruteForceWear, BetterEnduranceHelpsOnlyLinearly) {
+  const auto pcm = brute_force_wear({1e8, 0.02});
+  const auto taox = brute_force_wear({1e10, 0.02});
+  EXPECT_NEAR(taox.trials_until_failure / pcm.trials_until_failure, 100.0, 1e-6);
+  EXPECT_LT(taox.log10_keyspace_fraction_searched, -38.0);
+}
+
+}  // namespace
+}  // namespace spe::wear

@@ -1,0 +1,176 @@
+#include "wear/start_gap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace spe::wear {
+namespace {
+
+TEST(StartGap, ValidatesArguments) {
+  EXPECT_THROW(StartGap(0), std::invalid_argument);
+  EXPECT_THROW(StartGap(8, 0), std::invalid_argument);
+  StartGap sg(8);
+  EXPECT_THROW((void)sg.physical_of(8), std::out_of_range);
+}
+
+TEST(StartGap, InitialMappingIsIdentity) {
+  StartGap sg(8);
+  for (std::size_t l = 0; l < 8; ++l) EXPECT_EQ(sg.physical_of(l), l);
+  EXPECT_EQ(sg.gap_position(), 8u);
+}
+
+TEST(StartGap, MappingIsAlwaysABijectionAvoidingTheGap) {
+  StartGap sg(16, 1);  // gap moves every write
+  for (int step = 0; step < 200; ++step) {
+    std::set<std::size_t> slots;
+    for (std::size_t l = 0; l < 16; ++l) {
+      const std::size_t p = sg.physical_of(l);
+      EXPECT_LT(p, 17u);
+      EXPECT_NE(p, sg.gap_position());
+      slots.insert(p);
+    }
+    EXPECT_EQ(slots.size(), 16u);
+    (void)sg.on_write();
+  }
+}
+
+TEST(StartGap, GapMovesEveryPsiWrites) {
+  StartGap sg(8, 4);
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(sg.on_write().has_value());
+  const auto move = sg.on_write();
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->from, 7u);
+  EXPECT_EQ(move->to, 8u);
+  EXPECT_EQ(sg.gap_position(), 7u);
+  EXPECT_EQ(sg.gap_moves(), 1u);
+}
+
+TEST(StartGap, FullRotationAdvancesStart) {
+  // After N+1 gap moves the Start register has advanced once and the gap is
+  // back at the top: line l sits at slot (l + 1) mod N.
+  const std::size_t n = 8;
+  StartGap sg(n, 1);
+  for (std::size_t m = 0; m < n + 1; ++m) (void)sg.on_write();
+  EXPECT_EQ(sg.start(), 1u);
+  EXPECT_EQ(sg.gap_position(), n);
+  for (std::size_t l = 0; l < n; ++l) {
+    EXPECT_EQ(sg.physical_of(l), (l + 1) % n) << "line " << l;
+  }
+}
+
+TEST(StartGap, EveryLineVisitsEveryDataSlotOverTime) {
+  // Wear-levelling property: across enough gap moves each logical line is
+  // hosted by many distinct physical slots.
+  const std::size_t n = 8;
+  StartGap sg(n, 1);
+  std::set<std::size_t> visited;
+  for (int m = 0; m < static_cast<int>(n * (n + 1)); ++m) {
+    visited.insert(sg.physical_of(3));
+    (void)sg.on_write();
+  }
+  EXPECT_GE(visited.size(), n);
+}
+
+TEST(AddressScrambler, IsABijection) {
+  for (std::size_t lines : {5u, 16u, 100u, 1000u}) {
+    AddressScrambler scrambler(lines, 0xFEEDFACE);
+    std::set<std::size_t> image;
+    for (std::size_t l = 0; l < lines; ++l) {
+      const std::size_t s = scrambler.scramble(l);
+      EXPECT_LT(s, lines);
+      EXPECT_EQ(scrambler.unscramble(s), l);
+      image.insert(s);
+    }
+    EXPECT_EQ(image.size(), lines);
+  }
+}
+
+TEST(AddressScrambler, KeysGiveDifferentPermutations) {
+  AddressScrambler a(64, 1), b(64, 2);
+  unsigned same = 0;
+  for (std::size_t l = 0; l < 64; ++l) same += a.scramble(l) == b.scramble(l);
+  EXPECT_LT(same, 10u);
+}
+
+TEST(AddressScrambler, ActuallyScrambles) {
+  AddressScrambler scrambler(256, 42);
+  unsigned fixed = 0;
+  for (std::size_t l = 0; l < 256; ++l) fixed += scrambler.scramble(l) == l;
+  EXPECT_LT(fixed, 16u);
+}
+
+class RegionTest : public ::testing::Test {
+protected:
+  static std::vector<std::uint8_t> line_data(std::size_t tag) {
+    std::vector<std::uint8_t> v(16);
+    for (std::size_t i = 0; i < v.size(); ++i)
+      v[i] = static_cast<std::uint8_t>(tag * 31 + i);
+    return v;
+  }
+};
+
+TEST_F(RegionTest, DataSurvivesHeavyRemapping) {
+  // The crucial invariant: reads return the latest write for every line, no
+  // matter how many gap moves have happened in between.
+  RandomizedStartGapRegion region(32, 16, /*key=*/7, /*interval=*/2);
+  util::Xoshiro256ss rng(3);
+  std::map<std::size_t, std::size_t> latest;  // line -> tag
+  std::size_t tag = 0;
+  for (int op = 0; op < 5000; ++op) {
+    const std::size_t line = rng.below(32);
+    region.write(line, line_data(++tag));
+    latest[line] = tag;
+    const std::size_t check = rng.below(32);
+    if (latest.contains(check))
+      ASSERT_EQ(region.read(check), line_data(latest[check])) << "op " << op;
+  }
+  EXPECT_GT(region.gap_moves(), 2000u);
+}
+
+TEST_F(RegionTest, RejectsBadLineSize) {
+  RandomizedStartGapRegion region(8, 16, 1);
+  EXPECT_THROW(region.write(0, std::vector<std::uint8_t>(15)), std::invalid_argument);
+}
+
+TEST_F(RegionTest, LevelsAdversarialHammering) {
+  // An attacker hammers ONE logical line. Without levelling all wear lands
+  // on one slot; Randomized Start-Gap spreads it across the region
+  // (ref [6]'s security argument).
+  RandomizedStartGapRegion region(64, 16, /*key=*/99, /*interval=*/8);
+  for (int w = 0; w < 64 * 300; ++w) region.write(13, line_data(w));
+
+  const auto& writes = region.physical_writes();
+  std::uint64_t total = 0, peak = 0;
+  unsigned touched = 0;
+  for (auto w : writes) {
+    total += w;
+    peak = std::max(peak, w);
+    touched += w > 0 ? 1 : 0;
+  }
+  // Wear must reach a large share of the slots, and the peak slot must
+  // carry far less than everything.
+  EXPECT_GT(touched, writes.size() / 2);
+  EXPECT_LT(static_cast<double>(peak) / static_cast<double>(total), 0.30);
+}
+
+TEST_F(RegionTest, UniformTrafficStaysNearIdeal) {
+  RandomizedStartGapRegion region(32, 16, 5, /*interval=*/16);
+  util::Xoshiro256ss rng(9);
+  for (int w = 0; w < 32 * 200; ++w)
+    region.write(rng.below(32), line_data(w));
+  const auto& writes = region.physical_writes();
+  std::uint64_t total = 0, peak = 0;
+  for (auto w : writes) {
+    total += w;
+    peak = std::max(peak, w);
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(writes.size());
+  EXPECT_LT(static_cast<double>(peak), 1.6 * mean);
+}
+
+}  // namespace
+}  // namespace spe::wear

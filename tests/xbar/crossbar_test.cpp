@@ -1,0 +1,76 @@
+#include "xbar/crossbar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spe::xbar {
+namespace {
+
+TEST(Crossbar, DefaultIs8x8) {
+  Crossbar xb;
+  EXPECT_EQ(xb.rows(), 8u);
+  EXPECT_EQ(xb.cols(), 8u);
+  EXPECT_EQ(xb.cell_count(), 64u);
+}
+
+TEST(Crossbar, RejectsEmptyGeometry) {
+  CrossbarParams p;
+  p.rows = 0;
+  EXPECT_THROW(Crossbar{p}, std::invalid_argument);
+}
+
+TEST(Crossbar, IndexRoundTrip) {
+  Crossbar xb;
+  for (unsigned flat = 0; flat < xb.cell_count(); ++flat) {
+    const CellIndex idx = xb.position_of(flat);
+    EXPECT_EQ(xb.index_of(idx), flat);
+  }
+  EXPECT_THROW((void)xb.index_of({8, 0}), std::out_of_range);
+  EXPECT_THROW((void)xb.position_of(64), std::out_of_range);
+}
+
+TEST(Crossbar, SelectRowGatesExactlyOneRow) {
+  Crossbar xb;
+  xb.select_row(3);
+  for (unsigned r = 0; r < 8; ++r)
+    for (unsigned c = 0; c < 8; ++c)
+      EXPECT_EQ(xb.cell({r, c}).gate_on(), r == 3);
+  EXPECT_THROW(xb.select_row(8), std::out_of_range);
+}
+
+TEST(Crossbar, SetAllGates) {
+  Crossbar xb;
+  xb.set_all_gates(true);
+  for (unsigned i = 0; i < xb.cell_count(); ++i) EXPECT_TRUE(xb.cell(i).gate_on());
+  xb.set_all_gates(false);
+  for (unsigned i = 0; i < xb.cell_count(); ++i) EXPECT_FALSE(xb.cell(i).gate_on());
+}
+
+TEST(Crossbar, SymbolWriteReadRoundTrip) {
+  Crossbar xb;
+  for (unsigned s = 0; s < 4; ++s) {
+    xb.write_symbol({2, 5}, s);
+    EXPECT_EQ(xb.read_symbol({2, 5}), s);
+  }
+}
+
+TEST(Crossbar, LoadDumpSymbols) {
+  Crossbar xb;
+  std::vector<unsigned> symbols(64);
+  for (unsigned i = 0; i < 64; ++i) symbols[i] = i % 4;
+  xb.load_symbols(symbols);
+  EXPECT_EQ(xb.dump_symbols(), symbols);
+  EXPECT_THROW(xb.load_symbols(std::vector<unsigned>(63)), std::invalid_argument);
+}
+
+TEST(Crossbar, NonSquareGeometry) {
+  CrossbarParams p;
+  p.rows = 4;
+  p.cols = 16;
+  Crossbar xb(p);
+  EXPECT_EQ(xb.cell_count(), 64u);
+  EXPECT_EQ(xb.position_of(17).row, 1u);
+  EXPECT_EQ(xb.position_of(17).col, 1u);
+}
+
+}  // namespace
+}  // namespace spe::xbar

@@ -1,0 +1,65 @@
+#include "xbar/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spe::xbar {
+namespace {
+
+std::vector<unsigned> uniform_symbols() { return std::vector<unsigned>(64, 1); }
+
+TEST(PerturbWires, StaysWithinBand) {
+  CrossbarParams nominal;
+  util::Xoshiro256ss rng(1);
+  for (int t = 0; t < 100; ++t) {
+    const auto p = perturb_wires(nominal, 0.05, rng);
+    EXPECT_NEAR(p.r_wire_row, nominal.r_wire_row, 0.05 * nominal.r_wire_row + 1e-9);
+    EXPECT_NEAR(p.r_wire_col, nominal.r_wire_col, 0.05 * nominal.r_wire_col + 1e-9);
+    EXPECT_NEAR(p.r_driver, nominal.r_driver, 0.05 * nominal.r_driver + 1e-9);
+  }
+}
+
+TEST(PerturbMacro, ShiftsParametersDifferentially) {
+  CrossbarParams nominal;
+  const auto p = perturb_macro(nominal, 0.10);
+  EXPECT_NEAR(p.team.r_on, 1.10 * nominal.team.r_on, 1e-6);
+  EXPECT_NEAR(p.team.r_off, 0.95 * nominal.team.r_off, 1e-6);
+  EXPECT_NEAR(p.r_wire_row, 1.20 * nominal.r_wire_row, 1e-9);
+  EXPECT_NEAR(p.transistor.v_threshold, 1.05 * nominal.transistor.v_threshold, 1e-9);
+  const auto m = perturb_macro(nominal, -0.05);
+  EXPECT_NEAR(m.team.i_off, 0.95 * nominal.team.i_off, 1e-15);
+  // The perturbation must NOT be a uniform rescale of every resistance
+  // (that would leave the DC voltage map unchanged).
+  EXPECT_NE(p.team.r_on / nominal.team.r_on, p.team.r_off / nominal.team.r_off);
+}
+
+TEST(PolyominoStability, WireVariationDoesNotChangeShape) {
+  // Section 5: "+/-5% wire resistance: no change in the shape of the
+  // polyomino". Wire resistances are ohms against kilo-ohm memristors, so
+  // the voltage map barely moves.
+  const CrossbarParams nominal;
+  const auto result = polyomino_stability(nominal, {3, 4}, 1.0, uniform_symbols(),
+                                          0.05, 24, /*seed=*/7);
+  EXPECT_EQ(result.trials, 24u);
+  EXPECT_EQ(result.shape_changes, 0u);
+  EXPECT_LT(result.mean_voltage_delta, 0.01);
+}
+
+TEST(PolyominoStability, MacroChangesDoChangeBehaviour) {
+  // Macro-level (hardware-avalanche) perturbations shift the voltage map
+  // measurably — the property the hardware-avalanche data set relies on.
+  const CrossbarParams nominal;
+  Crossbar base{nominal};
+  base.load_symbols(uniform_symbols());
+  const auto ref = extract_polyomino(base, {3, 4}, 1.0);
+
+  Crossbar perturbed{perturb_macro(nominal, 0.10)};
+  perturbed.load_symbols(uniform_symbols());
+  const auto poly = extract_polyomino(perturbed, {3, 4}, 1.0);
+
+  double dv = 0.0;
+  for (unsigned i = 0; i < 64; ++i) dv += std::abs(poly.voltages[i] - ref.voltages[i]);
+  EXPECT_GT(dv, 1e-4);
+}
+
+}  // namespace
+}  // namespace spe::xbar

@@ -1,0 +1,119 @@
+#include "xbar/nodal_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spe::xbar {
+namespace {
+
+TEST(SolveDense, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [3; 5] -> x = [0.8, 1.4]
+  const auto x = solve_dense({2, 1, 1, 3}, {3, 5});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(SolveDense, PivotsZeroDiagonal) {
+  // [0 1; 1 0] x = [2; 3] requires pivoting.
+  const auto x = solve_dense({0, 1, 1, 0}, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveDense, ThrowsOnSingular) {
+  EXPECT_THROW((void)solve_dense({1, 1, 1, 1}, {1, 2}), std::runtime_error);
+  EXPECT_THROW((void)solve_dense({1, 2, 3}, {1, 2}), std::invalid_argument);
+}
+
+TEST(SolveCrossbar, DriveSizesValidated) {
+  Crossbar xb;
+  std::vector<LineDrive> rows(8), cols(7);
+  EXPECT_THROW((void)solve_crossbar(xb, rows, cols), std::invalid_argument);
+}
+
+TEST(SolveCrossbar, AddressedCellSeesNearlyFullDrive) {
+  Crossbar xb;
+  xb.select_row(2);
+  std::vector<LineDrive> rows(8), cols(8);
+  rows[2] = LineDrive::driven(1.0);
+  cols[4] = LineDrive::driven(0.0);
+  const auto sol = solve_crossbar(xb, rows, cols);
+  // Normal mode: only row 2's transistors are on; the addressed cell gets
+  // almost the whole volt, and sneak *currents* are cut off (the floating
+  // node voltage of gated-off cells drops across the 1 GOhm transistor, so
+  // the current through them is nano-amp noise).
+  EXPECT_GT(sol.cell_voltage(2, 4), 0.9);
+  for (unsigned r = 0; r < 8; ++r) {
+    if (r == 2) continue;
+    const double sneak_current =
+        std::fabs(sol.cell_voltage(r, 4)) / xb.cell({r, 4}).series_resistance();
+    EXPECT_LT(sneak_current, 5e-9) << "row " << r;
+  }
+}
+
+TEST(SolveCrossbar, SneakModeSpreadsVoltage) {
+  Crossbar xb;
+  xb.set_all_gates(true);
+  std::vector<LineDrive> rows(8), cols(8);
+  rows[2] = LineDrive::driven(1.0);
+  cols[4] = LineDrive::driven(0.0);
+  const auto sol = solve_crossbar(xb, rows, cols);
+  // With all gates on, same-row and same-column neighbours see large
+  // sneak-path voltage shares (Fig. 3b).
+  EXPECT_GT(std::fabs(sol.cell_voltage(2, 0)), 0.3);
+  EXPECT_GT(std::fabs(sol.cell_voltage(6, 4)), 0.3);
+}
+
+TEST(SolveCrossbar, KirchhoffCurrentBalance) {
+  // The current injected by the row driver must equal the current absorbed
+  // by the grounded column driver (leakage is ~1e-12).
+  Crossbar xb;
+  xb.set_all_gates(true);
+  std::vector<LineDrive> rows(8), cols(8);
+  rows[3] = LineDrive::driven(1.0);
+  cols[5] = LineDrive::driven(0.0);
+  const auto sol = solve_crossbar(xb, rows, cols);
+  const double in = row_source_current(xb, sol, 3, rows[3]);
+  // Column sink current: via the driver resistance at the column node.
+  const double out = (sol.col_node(0, 5) - 0.0) / xb.params().r_driver;
+  EXPECT_NEAR(in, out, 1e-6 * std::max(1.0, std::fabs(in)));
+  EXPECT_GT(in, 0.0);
+}
+
+TEST(SolveCrossbar, SuperpositionScalesLinearly) {
+  // The network is linear for a fixed resistance state: doubling the drive
+  // doubles every node voltage.
+  Crossbar xb;
+  xb.set_all_gates(true);
+  std::vector<LineDrive> rows(8), cols(8);
+  cols[1] = LineDrive::driven(0.0);
+  rows[6] = LineDrive::driven(0.5);
+  const auto sol1 = solve_crossbar(xb, rows, cols);
+  rows[6] = LineDrive::driven(1.0);
+  const auto sol2 = solve_crossbar(xb, rows, cols);
+  for (unsigned r = 0; r < 8; ++r)
+    for (unsigned c = 0; c < 8; ++c)
+      EXPECT_NEAR(sol2.cell_voltage(r, c), 2.0 * sol1.cell_voltage(r, c), 1e-6);
+}
+
+TEST(SolveCrossbar, FloatingNetworkIsRegularised) {
+  // All lines floating: the leakage regularisation keeps the system
+  // solvable and everything sits at ~0 V.
+  Crossbar xb;
+  xb.set_all_gates(true);
+  std::vector<LineDrive> rows(8), cols(8);
+  const auto sol = solve_crossbar(xb, rows, cols);
+  EXPECT_NEAR(sol.row_node(0, 0), 0.0, 1e-6);
+}
+
+TEST(NodalSolution, AccessorsValidateRange) {
+  NodalSolution sol(2, 2, std::vector<double>(8, 0.0));
+  EXPECT_THROW((void)sol.row_node(2, 0), std::out_of_range);
+  EXPECT_THROW((void)sol.col_node(0, 2), std::out_of_range);
+  EXPECT_THROW(NodalSolution(2, 2, std::vector<double>(7, 0.0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spe::xbar

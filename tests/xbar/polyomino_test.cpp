@@ -1,0 +1,93 @@
+#include "xbar/polyomino.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace spe::xbar {
+namespace {
+
+std::vector<unsigned> random_symbols(std::uint64_t seed) {
+  util::Xoshiro256ss rng(seed);
+  std::vector<unsigned> s(64);
+  for (auto& v : s) v = static_cast<unsigned>(rng.below(4));
+  return s;
+}
+
+TEST(ExtractPolyomino, ContainsThePoE) {
+  Crossbar xb;
+  xb.load_symbols(random_symbols(1));
+  const auto poly = extract_polyomino(xb, {3, 4}, 1.0);
+  EXPECT_TRUE(poly.covers(3 * 8 + 4));
+  EXPECT_GE(poly.count(), 1u);
+}
+
+TEST(ExtractPolyomino, CoversMultipleCellsAtNominalVt) {
+  // Fig. 4: a 1 V PoE pulse covers a whole neighbourhood, not just the PoE.
+  Crossbar xb;
+  xb.load_symbols(std::vector<unsigned>(64, 1));
+  const auto poly = extract_polyomino(xb, {3, 4}, 1.0);
+  EXPECT_GE(poly.count(), 8u);
+  EXPECT_LE(poly.count(), 24u);
+}
+
+TEST(ExtractPolyomino, ShapeIsCrossLike) {
+  // Covered cells must share the PoE's row or column (sneak arms).
+  Crossbar xb;
+  xb.load_symbols(std::vector<unsigned>(64, 1));
+  const auto poly = extract_polyomino(xb, {3, 4}, 1.0);
+  for (unsigned flat = 0; flat < 64; ++flat) {
+    if (!poly.covers(flat)) continue;
+    const unsigned r = flat / 8, c = flat % 8;
+    EXPECT_TRUE(r == 3 || c == 4) << "cell (" << r << "," << c << ")";
+  }
+}
+
+TEST(ExtractPolyomino, DoesNotChangeState) {
+  Crossbar xb;
+  const auto symbols = random_symbols(2);
+  xb.load_symbols(symbols);
+  (void)extract_polyomino(xb, {2, 6}, 1.0);
+  EXPECT_EQ(xb.dump_symbols(), symbols);
+}
+
+TEST(ExtractPolyomino, DataDependentShape) {
+  // Section 5.2: "the cells affected are unique to each PoE based on ...
+  // the data stored in each cell". Find two data patterns with different
+  // polyomino shapes for the same PoE.
+  Crossbar xb;
+  bool found_difference = false;
+  std::vector<std::uint8_t> reference;
+  for (std::uint64_t seed = 0; seed < 8 && !found_difference; ++seed) {
+    xb.load_symbols(random_symbols(seed));
+    const auto poly = extract_polyomino(xb, {3, 4}, 1.0);
+    if (seed == 0)
+      reference = poly.mask;
+    else if (poly.mask != reference)
+      found_difference = true;
+  }
+  EXPECT_TRUE(found_difference);
+}
+
+TEST(ExtractPolyomino, VoltagesDecayAwayFromPoe) {
+  Crossbar xb;
+  xb.load_symbols(std::vector<unsigned>(64, 1));
+  const auto poly = extract_polyomino(xb, {3, 4}, 1.0);
+  const double at_poe = poly.voltages[3 * 8 + 4];
+  for (unsigned flat = 0; flat < 64; ++flat) {
+    if (flat == 3 * 8 + 4) continue;
+    EXPECT_LT(poly.voltages[flat], at_poe);
+  }
+}
+
+TEST(RenderPolyomino, MarksPoEAndCoveredCells) {
+  Crossbar xb;
+  xb.load_symbols(std::vector<unsigned>(64, 1));
+  const auto poly = extract_polyomino(xb, {3, 4}, 1.0);
+  const std::string art = render_polyomino(poly, 8, 8);
+  EXPECT_NE(art.find('['), std::string::npos);  // PoE marker
+  EXPECT_NE(art.find('.'), std::string::npos);  // untouched cells
+}
+
+}  // namespace
+}  // namespace spe::xbar

@@ -1,0 +1,112 @@
+#include "xbar/sneak_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace spe::xbar {
+namespace {
+
+std::vector<unsigned> random_symbols(std::uint64_t seed) {
+  util::Xoshiro256ss rng(seed);
+  std::vector<unsigned> s(64);
+  for (auto& v : s) v = static_cast<unsigned>(rng.below(4));
+  return s;
+}
+
+TEST(SolvePoe, ValidatesPoe) {
+  Crossbar xb;
+  EXPECT_THROW((void)solve_poe(xb, {8, 0}, 1.0), std::out_of_range);
+}
+
+TEST(SolvePoe, EnablesAllGates) {
+  Crossbar xb;
+  xb.set_all_gates(false);
+  (void)solve_poe(xb, {3, 4}, 1.0);
+  for (unsigned i = 0; i < 64; ++i) EXPECT_TRUE(xb.cell(i).gate_on());
+}
+
+TEST(SolvePoe, PoECellSeesNearFullVoltage) {
+  Crossbar xb;
+  xb.load_symbols(random_symbols(1));
+  const auto sol = solve_poe(xb, {3, 4}, 1.0);
+  EXPECT_GT(sol.cell_voltage(3, 4), 0.95);
+}
+
+TEST(SolvePoe, NegativePolarityMirrors) {
+  Crossbar xb;
+  xb.load_symbols(random_symbols(2));
+  const auto pos = solve_poe(xb, {2, 2}, 1.0);
+  const auto neg = solve_poe(xb, {2, 2}, -1.0);
+  for (unsigned r = 0; r < 8; ++r)
+    for (unsigned c = 0; c < 8; ++c)
+      EXPECT_NEAR(neg.cell_voltage(r, c), -pos.cell_voltage(r, c), 1e-9);
+}
+
+TEST(ApplyPoePulse, MovesPoECellAcrossBands) {
+  Crossbar xb;
+  xb.load_symbols(std::vector<unsigned>(64, 1));
+  const unsigned before = xb.read_symbol({3, 4});
+  apply_poe_pulse(xb, {3, 4}, {1.0, 0.071e-6});
+  EXPECT_GT(xb.read_symbol({3, 4}), before);
+}
+
+TEST(ApplyPoePulse, LeavesFarCellsUntouched) {
+  Crossbar xb;
+  xb.load_symbols(std::vector<unsigned>(64, 1));
+  const double w_before = xb.cell({0, 0}).memristor().state();
+  apply_poe_pulse(xb, {4, 4}, {1.0, 0.05e-6});
+  // (0,0) shares neither row nor column with the PoE: sub-threshold.
+  EXPECT_NEAR(xb.cell({0, 0}).memristor().state(), w_before, 1e-9);
+}
+
+TEST(ApplyPoePulse, AffectsSameColumnNeighbours) {
+  Crossbar xb;
+  xb.load_symbols(std::vector<unsigned>(64, 1));
+  const double w_before = xb.cell({0, 4}).memristor().state();
+  apply_poe_pulse(xb, {4, 4}, {1.0, 0.071e-6});
+  EXPECT_NE(xb.cell({0, 4}).memristor().state(), w_before);
+}
+
+TEST(ApplyPoePulse, DataDependentPerturbation) {
+  // The same pulse on different stored data perturbs neighbours by
+  // different amounts (the Section 5.3 data-dependence).
+  Crossbar a, b;
+  a.load_symbols(random_symbols(10));
+  b.load_symbols(random_symbols(11));
+  const double a0 = a.cell({1, 4}).memristor().state();
+  const double b0 = b.cell({1, 4}).memristor().state();
+  apply_poe_pulse(a, {4, 4}, {1.0, 0.071e-6});
+  apply_poe_pulse(b, {4, 4}, {1.0, 0.071e-6});
+  const double da = a.cell({1, 4}).memristor().state() - a0;
+  const double db = b.cell({1, 4}).memristor().state() - b0;
+  EXPECT_NE(da, db);
+}
+
+TEST(ApplyPoePulse, RejectsBadSubsteps) {
+  Crossbar xb;
+  EXPECT_THROW((void)apply_poe_pulse(xb, {0, 0}, {1.0, 1e-8}, 0), std::invalid_argument);
+}
+
+TEST(SolveNormalRead, AddressedRowOnly) {
+  Crossbar xb;
+  xb.load_symbols(random_symbols(3));
+  const auto sol = solve_normal_read(xb, 5, 2, 0.3);
+  EXPECT_GT(sol.cell_voltage(5, 2), 0.25);
+  // Non-addressed rows are gated off: the current through them (what would
+  // corrupt the read-out, Fig. 3a) is negligible against the ~uA read
+  // current of the addressed cell.
+  const double read_current =
+      sol.cell_voltage(5, 2) / xb.cell({5, 2}).series_resistance();
+  for (unsigned r = 0; r < 8; ++r) {
+    if (r == 5) continue;
+    const double sneak =
+        std::fabs(sol.cell_voltage(r, 2)) / xb.cell({r, 2}).series_resistance();
+    EXPECT_LT(sneak, 0.01 * read_current);
+  }
+}
+
+}  // namespace
+}  // namespace spe::xbar
