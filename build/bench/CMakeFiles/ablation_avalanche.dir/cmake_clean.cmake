@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_avalanche.dir/ablation_avalanche.cpp.o"
+  "CMakeFiles/ablation_avalanche.dir/ablation_avalanche.cpp.o.d"
+  "ablation_avalanche"
+  "ablation_avalanche.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_avalanche.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

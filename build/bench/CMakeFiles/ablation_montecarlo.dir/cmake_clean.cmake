@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_montecarlo.dir/ablation_montecarlo.cpp.o"
+  "CMakeFiles/ablation_montecarlo.dir/ablation_montecarlo.cpp.o.d"
+  "ablation_montecarlo"
+  "ablation_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

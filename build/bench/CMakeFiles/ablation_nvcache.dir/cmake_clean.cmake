@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nvcache.dir/ablation_nvcache.cpp.o"
+  "CMakeFiles/ablation_nvcache.dir/ablation_nvcache.cpp.o.d"
+  "ablation_nvcache"
+  "ablation_nvcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nvcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_nvcache.
+# This may be replaced when dependencies are built.

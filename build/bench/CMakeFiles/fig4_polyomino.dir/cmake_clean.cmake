@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_polyomino.dir/fig4_polyomino.cpp.o"
+  "CMakeFiles/fig4_polyomino.dir/fig4_polyomino.cpp.o.d"
+  "fig4_polyomino"
+  "fig4_polyomino.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_polyomino.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hysteresis.dir/fig5_hysteresis.cpp.o"
+  "CMakeFiles/fig5_hysteresis.dir/fig5_hysteresis.cpp.o.d"
+  "fig5_hysteresis"
+  "fig5_hysteresis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hysteresis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

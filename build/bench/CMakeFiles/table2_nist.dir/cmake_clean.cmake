@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_nist.dir/table2_nist.cpp.o"
+  "CMakeFiles/table2_nist.dir/table2_nist.cpp.o.d"
+  "table2_nist"
+  "table2_nist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_nist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_system_sim.dir/secure_system_sim.cpp.o"
+  "CMakeFiles/secure_system_sim.dir/secure_system_sim.cpp.o.d"
+  "secure_system_sim"
+  "secure_system_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_system_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/area_model.cpp" "src/CMakeFiles/spe_core.dir/core/area_model.cpp.o" "gcc" "src/CMakeFiles/spe_core.dir/core/area_model.cpp.o.d"
+  "/root/repo/src/core/attacks.cpp" "src/CMakeFiles/spe_core.dir/core/attacks.cpp.o" "gcc" "src/CMakeFiles/spe_core.dir/core/attacks.cpp.o.d"
+  "/root/repo/src/core/calibration.cpp" "src/CMakeFiles/spe_core.dir/core/calibration.cpp.o" "gcc" "src/CMakeFiles/spe_core.dir/core/calibration.cpp.o.d"
+  "/root/repo/src/core/datasets.cpp" "src/CMakeFiles/spe_core.dir/core/datasets.cpp.o" "gcc" "src/CMakeFiles/spe_core.dir/core/datasets.cpp.o.d"
+  "/root/repo/src/core/fingerprint.cpp" "src/CMakeFiles/spe_core.dir/core/fingerprint.cpp.o" "gcc" "src/CMakeFiles/spe_core.dir/core/fingerprint.cpp.o.d"
+  "/root/repo/src/core/key.cpp" "src/CMakeFiles/spe_core.dir/core/key.cpp.o" "gcc" "src/CMakeFiles/spe_core.dir/core/key.cpp.o.d"
+  "/root/repo/src/core/key_schedule.cpp" "src/CMakeFiles/spe_core.dir/core/key_schedule.cpp.o" "gcc" "src/CMakeFiles/spe_core.dir/core/key_schedule.cpp.o.d"
+  "/root/repo/src/core/lut.cpp" "src/CMakeFiles/spe_core.dir/core/lut.cpp.o" "gcc" "src/CMakeFiles/spe_core.dir/core/lut.cpp.o.d"
+  "/root/repo/src/core/snvmm.cpp" "src/CMakeFiles/spe_core.dir/core/snvmm.cpp.o" "gcc" "src/CMakeFiles/spe_core.dir/core/snvmm.cpp.o.d"
+  "/root/repo/src/core/snvmm_io.cpp" "src/CMakeFiles/spe_core.dir/core/snvmm_io.cpp.o" "gcc" "src/CMakeFiles/spe_core.dir/core/snvmm_io.cpp.o.d"
+  "/root/repo/src/core/spe_cipher.cpp" "src/CMakeFiles/spe_core.dir/core/spe_cipher.cpp.o" "gcc" "src/CMakeFiles/spe_core.dir/core/spe_cipher.cpp.o.d"
+  "/root/repo/src/core/specu.cpp" "src/CMakeFiles/spe_core.dir/core/specu.cpp.o" "gcc" "src/CMakeFiles/spe_core.dir/core/specu.cpp.o.d"
+  "/root/repo/src/core/tpm.cpp" "src/CMakeFiles/spe_core.dir/core/tpm.cpp.o" "gcc" "src/CMakeFiles/spe_core.dir/core/tpm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spe_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spe_xbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spe_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

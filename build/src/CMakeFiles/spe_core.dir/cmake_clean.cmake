@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spe_core.dir/core/area_model.cpp.o"
+  "CMakeFiles/spe_core.dir/core/area_model.cpp.o.d"
+  "CMakeFiles/spe_core.dir/core/attacks.cpp.o"
+  "CMakeFiles/spe_core.dir/core/attacks.cpp.o.d"
+  "CMakeFiles/spe_core.dir/core/calibration.cpp.o"
+  "CMakeFiles/spe_core.dir/core/calibration.cpp.o.d"
+  "CMakeFiles/spe_core.dir/core/datasets.cpp.o"
+  "CMakeFiles/spe_core.dir/core/datasets.cpp.o.d"
+  "CMakeFiles/spe_core.dir/core/fingerprint.cpp.o"
+  "CMakeFiles/spe_core.dir/core/fingerprint.cpp.o.d"
+  "CMakeFiles/spe_core.dir/core/key.cpp.o"
+  "CMakeFiles/spe_core.dir/core/key.cpp.o.d"
+  "CMakeFiles/spe_core.dir/core/key_schedule.cpp.o"
+  "CMakeFiles/spe_core.dir/core/key_schedule.cpp.o.d"
+  "CMakeFiles/spe_core.dir/core/lut.cpp.o"
+  "CMakeFiles/spe_core.dir/core/lut.cpp.o.d"
+  "CMakeFiles/spe_core.dir/core/snvmm.cpp.o"
+  "CMakeFiles/spe_core.dir/core/snvmm.cpp.o.d"
+  "CMakeFiles/spe_core.dir/core/snvmm_io.cpp.o"
+  "CMakeFiles/spe_core.dir/core/snvmm_io.cpp.o.d"
+  "CMakeFiles/spe_core.dir/core/spe_cipher.cpp.o"
+  "CMakeFiles/spe_core.dir/core/spe_cipher.cpp.o.d"
+  "CMakeFiles/spe_core.dir/core/specu.cpp.o"
+  "CMakeFiles/spe_core.dir/core/specu.cpp.o.d"
+  "CMakeFiles/spe_core.dir/core/tpm.cpp.o"
+  "CMakeFiles/spe_core.dir/core/tpm.cpp.o.d"
+  "libspe_core.a"
+  "libspe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

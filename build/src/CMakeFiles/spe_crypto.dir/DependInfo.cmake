@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/CMakeFiles/spe_crypto.dir/crypto/aes.cpp.o" "gcc" "src/CMakeFiles/spe_crypto.dir/crypto/aes.cpp.o.d"
+  "/root/repo/src/crypto/cipher.cpp" "src/CMakeFiles/spe_crypto.dir/crypto/cipher.cpp.o" "gcc" "src/CMakeFiles/spe_crypto.dir/crypto/cipher.cpp.o.d"
+  "/root/repo/src/crypto/stream_cipher.cpp" "src/CMakeFiles/spe_crypto.dir/crypto/stream_cipher.cpp.o" "gcc" "src/CMakeFiles/spe_crypto.dir/crypto/stream_cipher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spe_crypto.dir/crypto/aes.cpp.o"
+  "CMakeFiles/spe_crypto.dir/crypto/aes.cpp.o.d"
+  "CMakeFiles/spe_crypto.dir/crypto/cipher.cpp.o"
+  "CMakeFiles/spe_crypto.dir/crypto/cipher.cpp.o.d"
+  "CMakeFiles/spe_crypto.dir/crypto/stream_cipher.cpp.o"
+  "CMakeFiles/spe_crypto.dir/crypto/stream_cipher.cpp.o.d"
+  "libspe_crypto.a"
+  "libspe_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spe_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

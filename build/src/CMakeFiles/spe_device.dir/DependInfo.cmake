@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/cell.cpp" "src/CMakeFiles/spe_device.dir/device/cell.cpp.o" "gcc" "src/CMakeFiles/spe_device.dir/device/cell.cpp.o.d"
+  "/root/repo/src/device/mlc.cpp" "src/CMakeFiles/spe_device.dir/device/mlc.cpp.o" "gcc" "src/CMakeFiles/spe_device.dir/device/mlc.cpp.o.d"
+  "/root/repo/src/device/pulse.cpp" "src/CMakeFiles/spe_device.dir/device/pulse.cpp.o" "gcc" "src/CMakeFiles/spe_device.dir/device/pulse.cpp.o.d"
+  "/root/repo/src/device/team_model.cpp" "src/CMakeFiles/spe_device.dir/device/team_model.cpp.o" "gcc" "src/CMakeFiles/spe_device.dir/device/team_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spe_device.dir/device/cell.cpp.o"
+  "CMakeFiles/spe_device.dir/device/cell.cpp.o.d"
+  "CMakeFiles/spe_device.dir/device/mlc.cpp.o"
+  "CMakeFiles/spe_device.dir/device/mlc.cpp.o.d"
+  "CMakeFiles/spe_device.dir/device/pulse.cpp.o"
+  "CMakeFiles/spe_device.dir/device/pulse.cpp.o.d"
+  "CMakeFiles/spe_device.dir/device/team_model.cpp.o"
+  "CMakeFiles/spe_device.dir/device/team_model.cpp.o.d"
+  "libspe_device.a"
+  "libspe_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spe_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspe_device.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spe_ecc.dir/ecc/secded.cpp.o"
+  "CMakeFiles/spe_ecc.dir/ecc/secded.cpp.o.d"
+  "libspe_ecc.a"
+  "libspe_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spe_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

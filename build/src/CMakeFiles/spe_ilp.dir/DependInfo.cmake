@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ilp/model.cpp" "src/CMakeFiles/spe_ilp.dir/ilp/model.cpp.o" "gcc" "src/CMakeFiles/spe_ilp.dir/ilp/model.cpp.o.d"
+  "/root/repo/src/ilp/poe_placement.cpp" "src/CMakeFiles/spe_ilp.dir/ilp/poe_placement.cpp.o" "gcc" "src/CMakeFiles/spe_ilp.dir/ilp/poe_placement.cpp.o.d"
+  "/root/repo/src/ilp/solver.cpp" "src/CMakeFiles/spe_ilp.dir/ilp/solver.cpp.o" "gcc" "src/CMakeFiles/spe_ilp.dir/ilp/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spe_ilp.dir/ilp/model.cpp.o"
+  "CMakeFiles/spe_ilp.dir/ilp/model.cpp.o.d"
+  "CMakeFiles/spe_ilp.dir/ilp/poe_placement.cpp.o"
+  "CMakeFiles/spe_ilp.dir/ilp/poe_placement.cpp.o.d"
+  "CMakeFiles/spe_ilp.dir/ilp/solver.cpp.o"
+  "CMakeFiles/spe_ilp.dir/ilp/solver.cpp.o.d"
+  "libspe_ilp.a"
+  "libspe_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spe_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nist/complexity.cpp" "src/CMakeFiles/spe_nist.dir/nist/complexity.cpp.o" "gcc" "src/CMakeFiles/spe_nist.dir/nist/complexity.cpp.o.d"
+  "/root/repo/src/nist/cusum.cpp" "src/CMakeFiles/spe_nist.dir/nist/cusum.cpp.o" "gcc" "src/CMakeFiles/spe_nist.dir/nist/cusum.cpp.o.d"
+  "/root/repo/src/nist/dft.cpp" "src/CMakeFiles/spe_nist.dir/nist/dft.cpp.o" "gcc" "src/CMakeFiles/spe_nist.dir/nist/dft.cpp.o.d"
+  "/root/repo/src/nist/entropy.cpp" "src/CMakeFiles/spe_nist.dir/nist/entropy.cpp.o" "gcc" "src/CMakeFiles/spe_nist.dir/nist/entropy.cpp.o.d"
+  "/root/repo/src/nist/excursions.cpp" "src/CMakeFiles/spe_nist.dir/nist/excursions.cpp.o" "gcc" "src/CMakeFiles/spe_nist.dir/nist/excursions.cpp.o.d"
+  "/root/repo/src/nist/frequency.cpp" "src/CMakeFiles/spe_nist.dir/nist/frequency.cpp.o" "gcc" "src/CMakeFiles/spe_nist.dir/nist/frequency.cpp.o.d"
+  "/root/repo/src/nist/matrix_rank.cpp" "src/CMakeFiles/spe_nist.dir/nist/matrix_rank.cpp.o" "gcc" "src/CMakeFiles/spe_nist.dir/nist/matrix_rank.cpp.o.d"
+  "/root/repo/src/nist/runs.cpp" "src/CMakeFiles/spe_nist.dir/nist/runs.cpp.o" "gcc" "src/CMakeFiles/spe_nist.dir/nist/runs.cpp.o.d"
+  "/root/repo/src/nist/serial.cpp" "src/CMakeFiles/spe_nist.dir/nist/serial.cpp.o" "gcc" "src/CMakeFiles/spe_nist.dir/nist/serial.cpp.o.d"
+  "/root/repo/src/nist/suite.cpp" "src/CMakeFiles/spe_nist.dir/nist/suite.cpp.o" "gcc" "src/CMakeFiles/spe_nist.dir/nist/suite.cpp.o.d"
+  "/root/repo/src/nist/templates.cpp" "src/CMakeFiles/spe_nist.dir/nist/templates.cpp.o" "gcc" "src/CMakeFiles/spe_nist.dir/nist/templates.cpp.o.d"
+  "/root/repo/src/nist/universal.cpp" "src/CMakeFiles/spe_nist.dir/nist/universal.cpp.o" "gcc" "src/CMakeFiles/spe_nist.dir/nist/universal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spe_nist.dir/nist/complexity.cpp.o"
+  "CMakeFiles/spe_nist.dir/nist/complexity.cpp.o.d"
+  "CMakeFiles/spe_nist.dir/nist/cusum.cpp.o"
+  "CMakeFiles/spe_nist.dir/nist/cusum.cpp.o.d"
+  "CMakeFiles/spe_nist.dir/nist/dft.cpp.o"
+  "CMakeFiles/spe_nist.dir/nist/dft.cpp.o.d"
+  "CMakeFiles/spe_nist.dir/nist/entropy.cpp.o"
+  "CMakeFiles/spe_nist.dir/nist/entropy.cpp.o.d"
+  "CMakeFiles/spe_nist.dir/nist/excursions.cpp.o"
+  "CMakeFiles/spe_nist.dir/nist/excursions.cpp.o.d"
+  "CMakeFiles/spe_nist.dir/nist/frequency.cpp.o"
+  "CMakeFiles/spe_nist.dir/nist/frequency.cpp.o.d"
+  "CMakeFiles/spe_nist.dir/nist/matrix_rank.cpp.o"
+  "CMakeFiles/spe_nist.dir/nist/matrix_rank.cpp.o.d"
+  "CMakeFiles/spe_nist.dir/nist/runs.cpp.o"
+  "CMakeFiles/spe_nist.dir/nist/runs.cpp.o.d"
+  "CMakeFiles/spe_nist.dir/nist/serial.cpp.o"
+  "CMakeFiles/spe_nist.dir/nist/serial.cpp.o.d"
+  "CMakeFiles/spe_nist.dir/nist/suite.cpp.o"
+  "CMakeFiles/spe_nist.dir/nist/suite.cpp.o.d"
+  "CMakeFiles/spe_nist.dir/nist/templates.cpp.o"
+  "CMakeFiles/spe_nist.dir/nist/templates.cpp.o.d"
+  "CMakeFiles/spe_nist.dir/nist/universal.cpp.o"
+  "CMakeFiles/spe_nist.dir/nist/universal.cpp.o.d"
+  "libspe_nist.a"
+  "libspe_nist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spe_nist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

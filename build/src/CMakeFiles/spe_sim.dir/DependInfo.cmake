@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/CMakeFiles/spe_sim.dir/sim/cache.cpp.o" "gcc" "src/CMakeFiles/spe_sim.dir/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/cpu_model.cpp" "src/CMakeFiles/spe_sim.dir/sim/cpu_model.cpp.o" "gcc" "src/CMakeFiles/spe_sim.dir/sim/cpu_model.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/spe_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/spe_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/nvmm.cpp" "src/CMakeFiles/spe_sim.dir/sim/nvmm.cpp.o" "gcc" "src/CMakeFiles/spe_sim.dir/sim/nvmm.cpp.o.d"
+  "/root/repo/src/sim/schemes.cpp" "src/CMakeFiles/spe_sim.dir/sim/schemes.cpp.o" "gcc" "src/CMakeFiles/spe_sim.dir/sim/schemes.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/CMakeFiles/spe_sim.dir/sim/system.cpp.o" "gcc" "src/CMakeFiles/spe_sim.dir/sim/system.cpp.o.d"
+  "/root/repo/src/sim/workloads.cpp" "src/CMakeFiles/spe_sim.dir/sim/workloads.cpp.o" "gcc" "src/CMakeFiles/spe_sim.dir/sim/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spe_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spe_xbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spe_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spe_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spe_sim.dir/sim/cache.cpp.o"
+  "CMakeFiles/spe_sim.dir/sim/cache.cpp.o.d"
+  "CMakeFiles/spe_sim.dir/sim/cpu_model.cpp.o"
+  "CMakeFiles/spe_sim.dir/sim/cpu_model.cpp.o.d"
+  "CMakeFiles/spe_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/spe_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/spe_sim.dir/sim/nvmm.cpp.o"
+  "CMakeFiles/spe_sim.dir/sim/nvmm.cpp.o.d"
+  "CMakeFiles/spe_sim.dir/sim/schemes.cpp.o"
+  "CMakeFiles/spe_sim.dir/sim/schemes.cpp.o.d"
+  "CMakeFiles/spe_sim.dir/sim/system.cpp.o"
+  "CMakeFiles/spe_sim.dir/sim/system.cpp.o.d"
+  "CMakeFiles/spe_sim.dir/sim/workloads.cpp.o"
+  "CMakeFiles/spe_sim.dir/sim/workloads.cpp.o.d"
+  "libspe_sim.a"
+  "libspe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/berlekamp.cpp" "src/CMakeFiles/spe_util.dir/util/berlekamp.cpp.o" "gcc" "src/CMakeFiles/spe_util.dir/util/berlekamp.cpp.o.d"
+  "/root/repo/src/util/bitvec.cpp" "src/CMakeFiles/spe_util.dir/util/bitvec.cpp.o" "gcc" "src/CMakeFiles/spe_util.dir/util/bitvec.cpp.o.d"
+  "/root/repo/src/util/fft.cpp" "src/CMakeFiles/spe_util.dir/util/fft.cpp.o" "gcc" "src/CMakeFiles/spe_util.dir/util/fft.cpp.o.d"
+  "/root/repo/src/util/gf2.cpp" "src/CMakeFiles/spe_util.dir/util/gf2.cpp.o" "gcc" "src/CMakeFiles/spe_util.dir/util/gf2.cpp.o.d"
+  "/root/repo/src/util/mathfn.cpp" "src/CMakeFiles/spe_util.dir/util/mathfn.cpp.o" "gcc" "src/CMakeFiles/spe_util.dir/util/mathfn.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/spe_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/spe_util.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/spe_util.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/spe_util.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/spe_util.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/spe_util.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spe_util.dir/util/berlekamp.cpp.o"
+  "CMakeFiles/spe_util.dir/util/berlekamp.cpp.o.d"
+  "CMakeFiles/spe_util.dir/util/bitvec.cpp.o"
+  "CMakeFiles/spe_util.dir/util/bitvec.cpp.o.d"
+  "CMakeFiles/spe_util.dir/util/fft.cpp.o"
+  "CMakeFiles/spe_util.dir/util/fft.cpp.o.d"
+  "CMakeFiles/spe_util.dir/util/gf2.cpp.o"
+  "CMakeFiles/spe_util.dir/util/gf2.cpp.o.d"
+  "CMakeFiles/spe_util.dir/util/mathfn.cpp.o"
+  "CMakeFiles/spe_util.dir/util/mathfn.cpp.o.d"
+  "CMakeFiles/spe_util.dir/util/rng.cpp.o"
+  "CMakeFiles/spe_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/spe_util.dir/util/stats.cpp.o"
+  "CMakeFiles/spe_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/spe_util.dir/util/table.cpp.o"
+  "CMakeFiles/spe_util.dir/util/table.cpp.o.d"
+  "libspe_util.a"
+  "libspe_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spe_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

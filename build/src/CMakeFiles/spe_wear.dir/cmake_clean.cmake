@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spe_wear.dir/wear/endurance.cpp.o"
+  "CMakeFiles/spe_wear.dir/wear/endurance.cpp.o.d"
+  "CMakeFiles/spe_wear.dir/wear/start_gap.cpp.o"
+  "CMakeFiles/spe_wear.dir/wear/start_gap.cpp.o.d"
+  "libspe_wear.a"
+  "libspe_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spe_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xbar/crossbar.cpp" "src/CMakeFiles/spe_xbar.dir/xbar/crossbar.cpp.o" "gcc" "src/CMakeFiles/spe_xbar.dir/xbar/crossbar.cpp.o.d"
+  "/root/repo/src/xbar/monte_carlo.cpp" "src/CMakeFiles/spe_xbar.dir/xbar/monte_carlo.cpp.o" "gcc" "src/CMakeFiles/spe_xbar.dir/xbar/monte_carlo.cpp.o.d"
+  "/root/repo/src/xbar/nodal_solver.cpp" "src/CMakeFiles/spe_xbar.dir/xbar/nodal_solver.cpp.o" "gcc" "src/CMakeFiles/spe_xbar.dir/xbar/nodal_solver.cpp.o.d"
+  "/root/repo/src/xbar/polyomino.cpp" "src/CMakeFiles/spe_xbar.dir/xbar/polyomino.cpp.o" "gcc" "src/CMakeFiles/spe_xbar.dir/xbar/polyomino.cpp.o.d"
+  "/root/repo/src/xbar/sneak_path.cpp" "src/CMakeFiles/spe_xbar.dir/xbar/sneak_path.cpp.o" "gcc" "src/CMakeFiles/spe_xbar.dir/xbar/sneak_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spe_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

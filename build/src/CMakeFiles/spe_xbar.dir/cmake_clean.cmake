@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spe_xbar.dir/xbar/crossbar.cpp.o"
+  "CMakeFiles/spe_xbar.dir/xbar/crossbar.cpp.o.d"
+  "CMakeFiles/spe_xbar.dir/xbar/monte_carlo.cpp.o"
+  "CMakeFiles/spe_xbar.dir/xbar/monte_carlo.cpp.o.d"
+  "CMakeFiles/spe_xbar.dir/xbar/nodal_solver.cpp.o"
+  "CMakeFiles/spe_xbar.dir/xbar/nodal_solver.cpp.o.d"
+  "CMakeFiles/spe_xbar.dir/xbar/polyomino.cpp.o"
+  "CMakeFiles/spe_xbar.dir/xbar/polyomino.cpp.o.d"
+  "CMakeFiles/spe_xbar.dir/xbar/sneak_path.cpp.o"
+  "CMakeFiles/spe_xbar.dir/xbar/sneak_path.cpp.o.d"
+  "libspe_xbar.a"
+  "libspe_xbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spe_xbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/area_model_test.cpp" "tests/CMakeFiles/test_core.dir/core/area_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/area_model_test.cpp.o.d"
+  "/root/repo/tests/core/attacks_test.cpp" "tests/CMakeFiles/test_core.dir/core/attacks_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/attacks_test.cpp.o.d"
+  "/root/repo/tests/core/calibration_test.cpp" "tests/CMakeFiles/test_core.dir/core/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/calibration_test.cpp.o.d"
+  "/root/repo/tests/core/cipher_property_test.cpp" "tests/CMakeFiles/test_core.dir/core/cipher_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/cipher_property_test.cpp.o.d"
+  "/root/repo/tests/core/datasets_test.cpp" "tests/CMakeFiles/test_core.dir/core/datasets_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/datasets_test.cpp.o.d"
+  "/root/repo/tests/core/diffusion_test.cpp" "tests/CMakeFiles/test_core.dir/core/diffusion_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/diffusion_test.cpp.o.d"
+  "/root/repo/tests/core/key_schedule_test.cpp" "tests/CMakeFiles/test_core.dir/core/key_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/key_schedule_test.cpp.o.d"
+  "/root/repo/tests/core/key_test.cpp" "tests/CMakeFiles/test_core.dir/core/key_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/key_test.cpp.o.d"
+  "/root/repo/tests/core/snvmm_io_test.cpp" "tests/CMakeFiles/test_core.dir/core/snvmm_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/snvmm_io_test.cpp.o.d"
+  "/root/repo/tests/core/snvmm_test.cpp" "tests/CMakeFiles/test_core.dir/core/snvmm_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/snvmm_test.cpp.o.d"
+  "/root/repo/tests/core/spe_cipher_test.cpp" "tests/CMakeFiles/test_core.dir/core/spe_cipher_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/spe_cipher_test.cpp.o.d"
+  "/root/repo/tests/core/specu_test.cpp" "tests/CMakeFiles/test_core.dir/core/specu_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/specu_test.cpp.o.d"
+  "/root/repo/tests/core/tpm_test.cpp" "tests/CMakeFiles/test_core.dir/core/tpm_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/tpm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spe_nist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spe_xbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spe_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spe_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

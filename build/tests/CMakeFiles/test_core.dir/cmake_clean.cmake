@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/area_model_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/area_model_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/attacks_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/attacks_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/calibration_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/calibration_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/cipher_property_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/cipher_property_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/datasets_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/datasets_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/diffusion_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/diffusion_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/key_schedule_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/key_schedule_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/key_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/key_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/snvmm_io_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/snvmm_io_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/snvmm_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/snvmm_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/spe_cipher_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/spe_cipher_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/specu_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/specu_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/tpm_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/tpm_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

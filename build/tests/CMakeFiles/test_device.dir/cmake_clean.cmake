@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device.dir/device/cell_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/cell_test.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/mlc_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/mlc_test.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/pulse_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/pulse_test.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/team_model_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/team_model_test.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/team_property_test.cpp.o"
+  "CMakeFiles/test_device.dir/device/team_property_test.cpp.o.d"
+  "test_device"
+  "test_device.pdb"
+  "test_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

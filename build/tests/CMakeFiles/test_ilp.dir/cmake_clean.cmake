@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ilp.dir/ilp/poe_placement_test.cpp.o"
+  "CMakeFiles/test_ilp.dir/ilp/poe_placement_test.cpp.o.d"
+  "CMakeFiles/test_ilp.dir/ilp/solver_property_test.cpp.o"
+  "CMakeFiles/test_ilp.dir/ilp/solver_property_test.cpp.o.d"
+  "CMakeFiles/test_ilp.dir/ilp/solver_test.cpp.o"
+  "CMakeFiles/test_ilp.dir/ilp/solver_test.cpp.o.d"
+  "test_ilp"
+  "test_ilp.pdb"
+  "test_ilp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

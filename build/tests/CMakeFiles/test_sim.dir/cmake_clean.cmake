@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/bank_timing_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/bank_timing_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/cache_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/cache_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/nvmm_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/nvmm_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/schemes_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/schemes_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/system_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/system_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/workloads_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/workloads_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xbar/crossbar_test.cpp" "tests/CMakeFiles/test_xbar.dir/xbar/crossbar_test.cpp.o" "gcc" "tests/CMakeFiles/test_xbar.dir/xbar/crossbar_test.cpp.o.d"
+  "/root/repo/tests/xbar/monte_carlo_test.cpp" "tests/CMakeFiles/test_xbar.dir/xbar/monte_carlo_test.cpp.o" "gcc" "tests/CMakeFiles/test_xbar.dir/xbar/monte_carlo_test.cpp.o.d"
+  "/root/repo/tests/xbar/nodal_solver_test.cpp" "tests/CMakeFiles/test_xbar.dir/xbar/nodal_solver_test.cpp.o" "gcc" "tests/CMakeFiles/test_xbar.dir/xbar/nodal_solver_test.cpp.o.d"
+  "/root/repo/tests/xbar/polyomino_test.cpp" "tests/CMakeFiles/test_xbar.dir/xbar/polyomino_test.cpp.o" "gcc" "tests/CMakeFiles/test_xbar.dir/xbar/polyomino_test.cpp.o.d"
+  "/root/repo/tests/xbar/sneak_path_test.cpp" "tests/CMakeFiles/test_xbar.dir/xbar/sneak_path_test.cpp.o" "gcc" "tests/CMakeFiles/test_xbar.dir/xbar/sneak_path_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spe_xbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spe_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
