@@ -1,0 +1,164 @@
+// Concurrency baseline for the sharded SPE memory service (src/runtime):
+// replays a sim::workloads trace (block-granular, post-L2 traffic model:
+// every trace line is one NVMM block op) against MemoryService at several
+// worker-thread / shard configurations and prints an aggregate
+// throughput + latency table. Future PRs that touch the service or the
+// cipher hot path should keep the 4w/8s row >= 2x the 1w/1s row on
+// multi-core hosts.
+//
+// Overrides: SPE_SVC_OPS (trace length), SPE_SVC_WORKLOAD (suite name),
+//            SPE_SVC_WINDOW (max outstanding submissions per client).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runtime/memory_service.hpp"
+#include "sim/workloads.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using spe::runtime::MemoryService;
+using spe::runtime::ServiceConfig;
+using spe::runtime::ServiceStatsSnapshot;
+
+struct TraceOp {
+  std::uint64_t block = 0;
+  bool is_write = false;
+};
+
+// Block-granular trace: the service models the memory side of the L2
+// boundary, so consecutive touches to the same 64B line collapse into the
+// line's block address.
+std::vector<TraceOp> build_trace(const std::string& workload, unsigned ops) {
+  const spe::sim::WorkloadSpec& spec = spe::sim::workload_by_name(workload);
+  spe::sim::TraceGenerator gen(spec, /*seed=*/42);
+  // Skip the init sweep: steady-state traffic is what the table should rank.
+  while (gen.in_init_phase()) (void)gen.next();
+  std::vector<TraceOp> trace;
+  trace.reserve(ops);
+  while (trace.size() < ops) {
+    const spe::sim::MemAccess access = gen.next();
+    trace.push_back({access.addr >> 6, access.is_write});
+  }
+  return trace;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  double ops_per_sec = 0.0;
+  ServiceStatsSnapshot stats;
+};
+
+RunResult replay(const std::vector<TraceOp>& trace, unsigned workers, unsigned shards,
+                 std::size_t window) {
+  ServiceConfig cfg;
+  cfg.worker_threads = workers;
+  cfg.shards = shards;
+  cfg.queue_capacity = window * 2;
+  MemoryService service(cfg);
+  const unsigned block_bytes = service.block_bytes();
+  std::vector<std::uint8_t> payload(block_bytes, 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::deque<std::future<void>> writes;
+  std::deque<std::future<std::vector<std::uint8_t>>> reads;
+  for (const TraceOp& op : trace) {
+    if (op.is_write) {
+      for (unsigned i = 0; i < block_bytes; ++i)
+        payload[i] = static_cast<std::uint8_t>(op.block * 7 + i);
+      writes.push_back(service.submit_write(op.block, payload));
+    } else {
+      reads.push_back(service.submit_read(op.block));
+    }
+    // Bounded outstanding window: retire oldest first, like an MSHR file.
+    while (writes.size() + reads.size() >= window) {
+      if (!writes.empty()) {
+        writes.front().get();
+        writes.pop_front();
+      } else {
+        (void)reads.front().get();
+        reads.pop_front();
+      }
+    }
+  }
+  for (auto& f : writes) f.get();
+  for (auto& f : reads) (void)f.get();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  RunResult result;
+  result.stats = service.stats();
+  result.seconds = std::chrono::duration<double>(elapsed).count();
+  result.ops_per_sec =
+      static_cast<double>(result.stats.total_ops()) / result.seconds;
+  service.stop();
+  return result;
+}
+
+double us(std::chrono::nanoseconds ns) { return static_cast<double>(ns.count()) / 1000.0; }
+
+}  // namespace
+
+int main() {
+  const unsigned ops = std::max(1u, spe::benchutil::env_or("SPE_SVC_OPS", 2000));
+  const unsigned window = std::max(1u, spe::benchutil::env_or("SPE_SVC_WINDOW", 256));
+  const char* workload_env = std::getenv("SPE_SVC_WORKLOAD");
+  const std::string workload = workload_env && *workload_env ? workload_env : "bzip2";
+
+  spe::benchutil::banner(
+      "Sharded SPE memory service throughput (" + workload + ", " +
+          std::to_string(ops) + " block ops, window " + std::to_string(window) + ")",
+      "runtime concurrency baseline (not a paper figure)");
+
+  std::vector<TraceOp> trace;
+  try {
+    trace = build_trace(workload, ops);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "throughput_service: %s\n", e.what());
+    return 1;
+  }
+  unsigned trace_writes = 0;
+  for (const TraceOp& op : trace) trace_writes += op.is_write ? 1 : 0;
+  std::printf("trace: %zu ops (%u writes / %zu reads), steady-state phase\n\n",
+              trace.size(), trace_writes, trace.size() - trace_writes);
+
+  struct Config {
+    unsigned workers;
+    unsigned shards;
+  };
+  const std::vector<Config> configs = {{1, 1}, {1, 8}, {2, 8}, {4, 8}};
+
+  spe::util::Table table({"workers", "shards", "kops/s", "speedup", "rd p50us",
+                          "rd p95us", "rd p99us", "wr p50us", "wr p95us",
+                          "wr p99us", "coalesced", "hwm"});
+  double base_ops_per_sec = 0.0;
+  for (const Config& c : configs) {
+    const RunResult r = replay(trace, c.workers, c.shards, window);
+    if (base_ops_per_sec == 0.0) base_ops_per_sec = r.ops_per_sec;
+    const auto& rd = r.stats.totals.read_latency;
+    const auto& wr = r.stats.totals.write_latency;
+    table.add_row({std::to_string(c.workers), std::to_string(c.shards),
+                   spe::util::Table::fmt(r.ops_per_sec / 1000.0, 2),
+                   spe::util::Table::fmt(r.ops_per_sec / base_ops_per_sec, 2),
+                   spe::util::Table::fmt(us(rd.p50()), 1),
+                   spe::util::Table::fmt(us(rd.p95()), 1),
+                   spe::util::Table::fmt(us(rd.p99()), 1),
+                   spe::util::Table::fmt(us(wr.p50()), 1),
+                   spe::util::Table::fmt(us(wr.p95()), 1),
+                   spe::util::Table::fmt(us(wr.p99()), 1),
+                   std::to_string(r.stats.totals.writes_coalesced),
+                   std::to_string(r.stats.totals.queue_high_water)});
+  }
+  table.print();
+  std::printf(
+      "\nspeedup = aggregate block-op throughput vs the 1-worker/1-shard row.\n"
+      "Single-core hosts will show ~1x for the threaded rows (plus any\n"
+      "coalescing gain); the >=2x acceptance bar targets >=4-core hosts.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+#pragma once
+// Lock-free latency histogram: power-of-two nanosecond buckets with relaxed
+// atomic counters, so worker threads record on the hot path without ever
+// contending. Percentile queries read a snapshot of the counters; they are
+// approximate to within one bucket (~2x resolution), which is all a
+// p50/p95/p99 service report needs.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+
+namespace spe::runtime {
+
+class LatencyHistogram {
+public:
+  static constexpr unsigned kBuckets = 64;  ///< bucket b covers [2^(b-1), 2^b) ns
+
+  void record(std::chrono::nanoseconds latency) noexcept {
+    const auto ns = latency.count() < 0 ? std::uint64_t{0}
+                                        : static_cast<std::uint64_t>(latency.count());
+    buckets_[bucket_for(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::chrono::nanoseconds mean() const noexcept {
+    const auto n = count();
+    return std::chrono::nanoseconds(n ? sum_ns_.load(std::memory_order_relaxed) / n : 0);
+  }
+
+  /// Plain (non-atomic) copy of the counters for consistent-enough reporting.
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+
+    /// Upper edge of the bucket holding the q-quantile sample (q in [0,1]).
+    [[nodiscard]] std::chrono::nanoseconds quantile(double q) const noexcept {
+      if (count == 0) return std::chrono::nanoseconds(0);
+      if (q < 0.0) q = 0.0;
+      if (q > 1.0) q = 1.0;
+      auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count - 1)) + 1;
+      for (unsigned b = 0; b < kBuckets; ++b) {
+        if (rank <= buckets[b]) return std::chrono::nanoseconds(upper_edge_ns(b));
+        rank -= buckets[b];
+      }
+      return std::chrono::nanoseconds(upper_edge_ns(kBuckets - 1));
+    }
+
+    [[nodiscard]] std::chrono::nanoseconds p50() const noexcept { return quantile(0.50); }
+    [[nodiscard]] std::chrono::nanoseconds p95() const noexcept { return quantile(0.95); }
+    [[nodiscard]] std::chrono::nanoseconds p99() const noexcept { return quantile(0.99); }
+
+    [[nodiscard]] std::chrono::nanoseconds mean() const noexcept {
+      return std::chrono::nanoseconds(count ? sum_ns / count : 0);
+    }
+
+    Snapshot& operator+=(const Snapshot& other) noexcept {
+      for (unsigned b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+      count += other.count;
+      sum_ns += other.sum_ns;
+      return *this;
+    }
+  };
+
+  [[nodiscard]] Snapshot snapshot() const noexcept {
+    Snapshot s;
+    for (unsigned b = 0; b < kBuckets; ++b)
+      s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  [[nodiscard]] static unsigned bucket_for(std::uint64_t ns) noexcept {
+    return ns == 0 ? 0 : static_cast<unsigned>(std::bit_width(ns) - 1);
+  }
+
+  [[nodiscard]] static std::uint64_t upper_edge_ns(unsigned bucket) noexcept {
+    return bucket >= 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << (bucket + 1)) - 1;
+  }
+
+private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+}  // namespace spe::runtime

@@ -1,0 +1,166 @@
+#include "runtime/memory_service.hpp"
+
+#include <stdexcept>
+
+#include "core/key.hpp"
+#include "util/rng.hpp"
+
+namespace spe::runtime {
+
+namespace {
+// splitmix64 finaliser: decorrelates shard choice from address strides so a
+// sequential walk still spreads over all banks.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+MemoryService::MemoryService(ServiceConfig config) : config_(config) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.worker_threads == 0) config_.worker_threads = 1;
+  if (config_.worker_threads > config_.shards) config_.worker_threads = config_.shards;
+
+  util::Xoshiro256ss rng(config_.key_seed);
+  const core::SpeKey key = core::SpeKey::random(rng);
+
+  shards_.reserve(config_.shards);
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<BankShard>(s, config_));
+    tpm_.provision(shards_.back()->device_id(), config_.platform_measurement, key);
+    if (!shards_.back()->power_on(tpm_, config_.platform_measurement))
+      throw std::runtime_error("MemoryService: shard power-on handshake failed");
+  }
+
+  workers_.reserve(config_.worker_threads);
+  for (unsigned w = 0; w < config_.worker_threads; ++w)
+    workers_.push_back(std::make_unique<Worker>());
+  for (unsigned s = 0; s < config_.shards; ++s)
+    workers_[s % config_.worker_threads]->shards.push_back(shards_[s].get());
+  for (auto& worker : workers_)
+    worker->thread = std::thread([this, &w = *worker] { worker_loop(w); });
+
+  if (config_.scavenger_enabled && config_.mode == core::SpeMode::Serial)
+    scavenger_ = std::thread([this] { scavenger_loop(); });
+}
+
+MemoryService::~MemoryService() { stop(); }
+
+unsigned MemoryService::shard_of(std::uint64_t block_addr) const noexcept {
+  return static_cast<unsigned>(mix64(block_addr) % shards_.size());
+}
+
+std::future<std::vector<std::uint8_t>> MemoryService::submit_read(std::uint64_t block_addr) {
+  const unsigned s = shard_of(block_addr);
+  auto future = shards_[s]->queue().push_read(block_addr);
+  notify_worker(s);
+  return future;
+}
+
+std::future<void> MemoryService::submit_write(std::uint64_t block_addr,
+                                              std::span<const std::uint8_t> data) {
+  const unsigned s = shard_of(block_addr);
+  auto future =
+      shards_[s]->queue().push_write(block_addr, {data.begin(), data.end()});
+  notify_worker(s);
+  return future;
+}
+
+std::vector<std::uint8_t> MemoryService::read(std::uint64_t block_addr) {
+  return submit_read(block_addr).get();
+}
+
+void MemoryService::write(std::uint64_t block_addr, std::span<const std::uint8_t> data) {
+  submit_write(block_addr, data).get();
+}
+
+void MemoryService::notify_worker(unsigned shard) {
+  Worker& worker = *workers_[shard % workers_.size()];
+  {
+    // Empty critical section: pairs the push with the worker's predicate
+    // re-check so a wakeup between check and wait cannot be lost.
+    std::lock_guard lock(worker.mutex);
+  }
+  worker.cv.notify_one();
+}
+
+void MemoryService::worker_loop(Worker& worker) {
+  const auto pending = [&worker] {
+    for (BankShard* shard : worker.shards)
+      if (shard->queue().depth() > 0) return true;
+    return false;
+  };
+  for (;;) {
+    bool executed = false;
+    for (BankShard* shard : worker.shards) {
+      auto batch = shard->queue().drain();
+      if (!batch.empty()) {
+        shard->execute_batch(std::move(batch));
+        executed = true;
+      }
+    }
+    if (executed) continue;
+    std::unique_lock lock(worker.mutex);
+    worker.cv.wait(lock, [&] { return stopping_.load(std::memory_order_acquire) || pending(); });
+    if (stopping_.load(std::memory_order_acquire)) break;
+  }
+  // Queues are closed before stopping_ is set, so this final drain settles
+  // every outstanding future.
+  for (BankShard* shard : worker.shards) shard->execute_batch(shard->queue().drain());
+}
+
+void MemoryService::scavenger_loop() {
+  std::unique_lock lock(scavenger_mutex_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    lock.unlock();
+    for (auto& shard : shards_) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      shard->scavenge(config_.scavenger_blocks_per_pass);
+    }
+    lock.lock();
+    scavenger_cv_.wait_for(lock, config_.scavenger_interval,
+                           [this] { return stopping_.load(std::memory_order_acquire); });
+  }
+}
+
+void MemoryService::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& shard : shards_) shard->queue().close();
+  stopping_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard lock(worker->mutex);
+    }
+    worker->cv.notify_all();
+  }
+  {
+    std::lock_guard lock(scavenger_mutex_);
+  }
+  scavenger_cv_.notify_all();
+  for (auto& worker : workers_)
+    if (worker->thread.joinable()) worker->thread.join();
+  if (scavenger_.joinable()) scavenger_.join();
+}
+
+ServiceStatsSnapshot MemoryService::stats() const {
+  std::vector<ShardStatsSnapshot> rows;
+  rows.reserve(shards_.size());
+  for (const auto& shard : shards_) rows.push_back(shard->stats_snapshot());
+  return aggregate(std::move(rows));
+}
+
+double MemoryService::encrypted_fraction() const {
+  std::size_t resident = 0;
+  double encrypted = 0.0;
+  for (const auto& shard : shards_) {
+    const ShardStatsSnapshot snap = shard->stats_snapshot();
+    resident += snap.resident_blocks;
+    encrypted += static_cast<double>(snap.resident_blocks - snap.plaintext_blocks);
+  }
+  return resident == 0 ? 1.0 : encrypted / static_cast<double>(resident);
+}
+
+}  // namespace spe::runtime

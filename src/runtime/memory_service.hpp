@@ -1,0 +1,94 @@
+#pragma once
+// The sharded SPE memory service: N BankShards behind a fixed-size worker
+// pool plus one background re-encryption scavenger. Block addresses hash
+// onto shards; shard s is always served by worker s % worker_threads, so a
+// shard's requests execute in submission order on one thread while distinct
+// shards proceed in parallel. submit_read / submit_write return futures;
+// read / write are the blocking conveniences.
+//
+// Threading model
+//   producers (any thread) --push--> per-shard bounded queue --drain-->
+//   worker (one per shard group) --> Snvmm+Specu under the shard mutex
+//   scavenger (one thread) sweeps shards: Specu::background_encrypt
+//
+// The only cross-shard shared state is the TPM (read-only after
+// construction) and the calibration cache (internally synchronised).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/tpm.hpp"
+#include "runtime/service_config.hpp"
+#include "runtime/service_stats.hpp"
+#include "runtime/shard.hpp"
+
+namespace spe::runtime {
+
+class MemoryService {
+public:
+  /// Builds the shards, provisions and powers them from an internal TPM,
+  /// and starts the worker + scavenger threads. Throws std::runtime_error
+  /// if any shard fails the power-on handshake.
+  explicit MemoryService(ServiceConfig config = {});
+  ~MemoryService();
+
+  MemoryService(const MemoryService&) = delete;
+  MemoryService& operator=(const MemoryService&) = delete;
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+  [[nodiscard]] unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+  [[nodiscard]] unsigned block_bytes() const noexcept { return shards_[0]->block_bytes(); }
+  [[nodiscard]] unsigned shard_of(std::uint64_t block_addr) const noexcept;
+
+  /// Async API. The future resolves once the shard worker has executed the
+  /// operation (QueueFullError propagates out of submit itself under the
+  /// Reject policy or after stop()).
+  [[nodiscard]] std::future<std::vector<std::uint8_t>> submit_read(std::uint64_t block_addr);
+  [[nodiscard]] std::future<void> submit_write(std::uint64_t block_addr,
+                                               std::span<const std::uint8_t> data);
+
+  /// Blocking conveniences.
+  [[nodiscard]] std::vector<std::uint8_t> read(std::uint64_t block_addr);
+  void write(std::uint64_t block_addr, std::span<const std::uint8_t> data);
+
+  /// Drains every queue, fulfils outstanding futures, and joins all
+  /// threads. Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] ServiceStatsSnapshot stats() const;
+  /// Resident-weighted encrypted fraction across all shards (1.0 if empty).
+  [[nodiscard]] double encrypted_fraction() const;
+
+private:
+  struct Worker {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<BankShard*> shards;
+    std::thread thread;
+  };
+
+  void worker_loop(Worker& worker);
+  void scavenger_loop();
+  void notify_worker(unsigned shard);
+
+  ServiceConfig config_;
+  core::Tpm tpm_;
+  std::vector<std::unique_ptr<BankShard>> shards_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread scavenger_;
+  std::mutex scavenger_mutex_;
+  std::condition_variable scavenger_cv_;
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;  ///< stop() ran to completion (main-thread only)
+};
+
+}  // namespace spe::runtime

@@ -1,0 +1,64 @@
+#pragma once
+// Configuration for the sharded SPE memory service (src/runtime). The
+// service fronts N independent bank shards — each one Snvmm + Specu pair,
+// all provisioned from one TPM — behind a fixed-size worker pool, and runs
+// the paper's SPE-serial background engine (Section 4.1) as a scavenger
+// thread with a tunable duty cycle.
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/snvmm.hpp"
+#include "core/specu.hpp"
+
+namespace spe::runtime {
+
+/// What submit_read / submit_write do when the target shard's queue is at
+/// capacity.
+enum class BackpressurePolicy {
+  Block,   ///< producer waits until the worker drains a slot
+  Reject,  ///< submit throws QueueFullError immediately
+};
+
+/// Typed rejection raised under BackpressurePolicy::Reject (and by submits
+/// racing a shutdown).
+class QueueFullError : public std::runtime_error {
+public:
+  QueueFullError(unsigned shard, std::size_t depth)
+      : std::runtime_error("spe::runtime: shard " + std::to_string(shard) +
+                           " queue full (depth " + std::to_string(depth) + ")"),
+        shard_(shard),
+        depth_(depth) {}
+
+  [[nodiscard]] unsigned shard() const noexcept { return shard_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+private:
+  unsigned shard_;
+  std::size_t depth_;
+};
+
+struct ServiceConfig {
+  unsigned shards = 8;          ///< independent Snvmm+Specu bank pairs
+  unsigned worker_threads = 4;  ///< fixed pool; shard s is served by worker s % threads
+  std::size_t queue_capacity = 1024;  ///< per-shard bounded MPSC queue
+  BackpressurePolicy backpressure = BackpressurePolicy::Block;
+  bool coalesce_writes = true;  ///< merge queued same-block writes (latest wins)
+
+  core::SpeMode mode = core::SpeMode::Serial;
+  core::SnvmmConfig shard_memory = core::Snvmm::default_config();  ///< per-shard
+  std::uint64_t device_seed_base = 1;  ///< shard s gets device_seed_base + s
+  std::uint64_t key_seed = 0x5EC0DE;   ///< SpeKey derivation for TPM provisioning
+  std::uint64_t platform_measurement = 0xB007C0DE;
+
+  // SPE-serial scavenger (ignored in Parallel mode): every interval it
+  // sweeps the shards and re-encrypts up to blocks_per_pass plaintext
+  // blocks per shard.
+  bool scavenger_enabled = true;
+  std::chrono::microseconds scavenger_interval{500};
+  unsigned scavenger_blocks_per_pass = 4;
+};
+
+}  // namespace spe::runtime

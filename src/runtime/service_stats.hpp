@@ -1,0 +1,70 @@
+#pragma once
+// Per-shard observability for the memory service: operation counters, queue
+// depth high-water marks, and lock-free latency histograms for reads,
+// writes, and background (scavenger) encryptions. Counters are relaxed
+// atomics — the report is a statistical snapshot, not a barrier.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/latency_histogram.hpp"
+
+namespace spe::runtime {
+
+/// Live (atomic) per-shard counters, written by workers / producers /
+/// scavenger concurrently.
+struct ShardCounters {
+  std::atomic<std::uint64_t> reads_completed{0};
+  std::atomic<std::uint64_t> writes_completed{0};
+  std::atomic<std::uint64_t> writes_coalesced{0};  ///< futures satisfied by a merged write
+  std::atomic<std::uint64_t> rejected{0};          ///< Reject-policy bounces
+  std::atomic<std::uint64_t> background_encrypted{0};
+  std::atomic<std::uint64_t> queue_high_water{0};
+
+  LatencyHistogram read_latency;   ///< submit -> future fulfilled
+  LatencyHistogram write_latency;  ///< submit -> future fulfilled
+  LatencyHistogram background_latency;  ///< one scavenger block re-encryption
+
+  void note_queue_depth(std::size_t depth) noexcept {
+    auto d = static_cast<std::uint64_t>(depth);
+    auto cur = queue_high_water.load(std::memory_order_relaxed);
+    while (cur < d &&
+           !queue_high_water.compare_exchange_weak(cur, d, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// Plain copy of one shard's counters at a point in time.
+struct ShardStatsSnapshot {
+  unsigned shard = 0;
+  std::uint64_t reads_completed = 0;
+  std::uint64_t writes_completed = 0;
+  std::uint64_t writes_coalesced = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t background_encrypted = 0;
+  std::uint64_t queue_high_water = 0;
+  std::size_t plaintext_blocks = 0;  ///< SPE-serial exposure at snapshot time
+  std::size_t resident_blocks = 0;
+  LatencyHistogram::Snapshot read_latency;
+  LatencyHistogram::Snapshot write_latency;
+  LatencyHistogram::Snapshot background_latency;
+};
+
+/// Whole-service snapshot: per-shard rows plus aggregated totals.
+struct ServiceStatsSnapshot {
+  std::vector<ShardStatsSnapshot> shards;
+  ShardStatsSnapshot totals;  ///< shard field meaningless; histograms merged
+
+  [[nodiscard]] std::uint64_t total_ops() const noexcept {
+    return totals.reads_completed + totals.writes_completed;
+  }
+  /// Multi-line human-readable report (used by the bench driver and tests).
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] ShardStatsSnapshot snapshot_counters(unsigned shard, const ShardCounters& c);
+[[nodiscard]] ServiceStatsSnapshot aggregate(std::vector<ShardStatsSnapshot> shards);
+
+}  // namespace spe::runtime

@@ -1,0 +1,93 @@
+#include "runtime/shard.hpp"
+
+#include <chrono>
+#include <exception>
+
+namespace spe::runtime {
+
+namespace {
+core::SnvmmConfig shard_memory_config(unsigned id, const ServiceConfig& config) {
+  core::SnvmmConfig mem = config.shard_memory;
+  mem.device_seed = config.device_seed_base + id;  // distinct manufactured instance
+  return mem;
+}
+}  // namespace
+
+BankShard::BankShard(unsigned id, const ServiceConfig& config)
+    : id_(id),
+      queue_(id, config.queue_capacity, config.backpressure, config.coalesce_writes,
+             counters_),
+      memory_(shard_memory_config(id, config)),
+      specu_(memory_, config.mode) {}
+
+bool BankShard::power_on(const core::Tpm& tpm, std::uint64_t measurement) {
+  std::lock_guard lock(state_mutex_);
+  return specu_.power_on(tpm, measurement);
+}
+
+void BankShard::execute_batch(std::vector<Request> batch) {
+  std::lock_guard lock(state_mutex_);
+  for (Request& req : batch) {
+    // Stats are recorded before the promise is fulfilled so a client that
+    // returns from .get() and immediately snapshots sees its own op counted.
+    if (req.kind == Request::Kind::Read) {
+      try {
+        auto data = specu_.read_block(req.block_addr);
+        counters_.read_latency.record(std::chrono::steady_clock::now() - req.enqueued);
+        counters_.reads_completed.fetch_add(1, std::memory_order_relaxed);
+        req.read_promise.set_value(std::move(data));
+      } catch (...) {
+        req.read_promise.set_exception(std::current_exception());
+      }
+    } else {
+      try {
+        specu_.write_block(req.block_addr, req.data);
+        const auto done = std::chrono::steady_clock::now();
+        counters_.writes_completed.fetch_add(req.write_waiters.size(),
+                                             std::memory_order_relaxed);
+        for (Request::WriteWaiter& waiter : req.write_waiters) {
+          counters_.write_latency.record(done - waiter.enqueued);
+          waiter.promise.set_value();
+        }
+      } catch (...) {
+        for (Request::WriteWaiter& waiter : req.write_waiters)
+          waiter.promise.set_exception(std::current_exception());
+      }
+    }
+  }
+}
+
+unsigned BankShard::scavenge(unsigned max_blocks) {
+  unsigned secured = 0;
+  for (unsigned i = 0; i < max_blocks; ++i) {
+    // One block per lock acquisition so foreground requests never wait for
+    // a whole sweep (the paper's engine likewise steps between accesses).
+    std::lock_guard lock(state_mutex_);
+    const auto start = std::chrono::steady_clock::now();
+    if (specu_.background_encrypt(1) == 0) break;
+    counters_.background_latency.record(std::chrono::steady_clock::now() - start);
+    counters_.background_encrypted.fetch_add(1, std::memory_order_relaxed);
+    ++secured;
+  }
+  return secured;
+}
+
+ShardStatsSnapshot BankShard::stats_snapshot() const {
+  ShardStatsSnapshot snap = snapshot_counters(id_, counters_);
+  std::lock_guard lock(state_mutex_);
+  snap.plaintext_blocks = specu_.plaintext_blocks();
+  snap.resident_blocks = memory_.block_count();
+  return snap;
+}
+
+double BankShard::encrypted_fraction() const {
+  std::lock_guard lock(state_mutex_);
+  return specu_.encrypted_fraction();
+}
+
+core::Specu::Stats BankShard::specu_stats() const {
+  std::lock_guard lock(state_mutex_);
+  return specu_.stats();
+}
+
+}  // namespace spe::runtime

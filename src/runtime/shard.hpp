@@ -1,0 +1,59 @@
+#pragma once
+// One bank shard of the memory service: an independent Snvmm array with its
+// own SPECU, request queue, and counters. The state mutex serialises the
+// shard's array between its worker thread and the background scavenger —
+// shards never share crypto state, so there is no cross-shard locking.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/snvmm.hpp"
+#include "core/specu.hpp"
+#include "core/tpm.hpp"
+#include "runtime/request_queue.hpp"
+#include "runtime/service_config.hpp"
+#include "runtime/service_stats.hpp"
+
+namespace spe::runtime {
+
+class BankShard {
+public:
+  BankShard(unsigned id, const ServiceConfig& config);
+
+  BankShard(const BankShard&) = delete;
+  BankShard& operator=(const BankShard&) = delete;
+
+  [[nodiscard]] unsigned id() const noexcept { return id_; }
+  [[nodiscard]] std::uint64_t device_id() const noexcept { return memory_.device_id(); }
+  [[nodiscard]] unsigned block_bytes() const noexcept { return memory_.block_bytes(); }
+  [[nodiscard]] RequestQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] ShardCounters& counters() noexcept { return counters_; }
+
+  /// Power-on handshake against the service TPM. False = key withheld.
+  [[nodiscard]] bool power_on(const core::Tpm& tpm, std::uint64_t measurement);
+
+  /// Worker side: executes a drained batch in FIFO order under the state
+  /// lock, fulfilling every promise (value or exception).
+  void execute_batch(std::vector<Request> batch);
+
+  /// Scavenger side: re-encrypts up to `max_blocks` plaintext blocks,
+  /// timing each one into the background-latency histogram.
+  unsigned scavenge(unsigned max_blocks);
+
+  /// Counters plus under-lock occupancy (plaintext / resident blocks).
+  [[nodiscard]] ShardStatsSnapshot stats_snapshot() const;
+
+  [[nodiscard]] double encrypted_fraction() const;
+  [[nodiscard]] core::Specu::Stats specu_stats() const;
+
+private:
+  unsigned id_;
+  ShardCounters counters_;
+  RequestQueue queue_;
+  mutable std::mutex state_mutex_;  ///< guards memory_ + specu_
+  core::Snvmm memory_;
+  core::Specu specu_;
+};
+
+}  // namespace spe::runtime

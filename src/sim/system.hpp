@@ -44,8 +44,10 @@ struct SimResult {
   [[nodiscard]] double ipc() const {
     return cycles ? static_cast<double>(instructions) / static_cast<double>(cycles) : 0.0;
   }
-  /// Fig. 7 metric: relative slowdown versus an unprotected run.
+  /// Fig. 7 metric: relative slowdown versus an unprotected run (0.0 when
+  /// the baseline never ran, mirroring the ipc() guard).
   [[nodiscard]] double overhead_vs(const SimResult& baseline) const {
+    if (baseline.cycles == 0) return 0.0;
     return static_cast<double>(cycles) / static_cast<double>(baseline.cycles) - 1.0;
   }
 };

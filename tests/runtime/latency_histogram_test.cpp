@@ -1,0 +1,85 @@
+#include "runtime/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace spe::runtime {
+namespace {
+
+using std::chrono::nanoseconds;
+
+TEST(LatencyHistogram, BucketEdges) {
+  EXPECT_EQ(LatencyHistogram::bucket_for(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_for(1), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_for(2), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_for(3), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_for(4), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_for(1024), 10u);
+  EXPECT_EQ(LatencyHistogram::bucket_for(~std::uint64_t{0}), 63u);
+}
+
+TEST(LatencyHistogram, EmptyReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean().count(), 0);
+  EXPECT_EQ(h.snapshot().p50().count(), 0);
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotonicAndBracketSamples) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record(nanoseconds(100));    // bucket [64,128)
+  for (int i = 0; i < 9; ++i) h.record(nanoseconds(10'000));  // [8192,16384)
+  h.record(nanoseconds(1'000'000));                           // [2^19,2^20)
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_LE(s.p50().count(), s.p95().count());
+  EXPECT_LE(s.p95().count(), s.p99().count());
+  // p50 lands in the 100ns bucket; p95 and p99 (ranks 95 and 99 of 100) in
+  // the 10us bucket; only the max reaches the 1ms outlier.
+  EXPECT_GE(s.p50().count(), 100);
+  EXPECT_LT(s.p50().count(), 256);
+  EXPECT_GE(s.p95().count(), 10'000);
+  EXPECT_LT(s.p95().count(), 20'000);
+  EXPECT_GE(s.p99().count(), 10'000);
+  EXPECT_LT(s.p99().count(), 20'000);
+  EXPECT_GE(s.quantile(1.0).count(), 1'000'000);
+  EXPECT_EQ(s.mean().count(), (90 * 100 + 9 * 10'000 + 1'000'000) / 100);
+}
+
+TEST(LatencyHistogram, NegativeDurationClampsToZeroBucket) {
+  LatencyHistogram h;
+  h.record(nanoseconds(-5));
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.buckets[0], 1u);
+}
+
+TEST(LatencyHistogram, SnapshotMergeAccumulates) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record(nanoseconds(10));
+  b.record(nanoseconds(10));
+  b.record(nanoseconds(1000));
+  auto s = a.snapshot();
+  s += b.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum_ns, 1020u);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordingLosesNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.record(nanoseconds(1 + (i % 4096)));
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace spe::runtime
