@@ -117,15 +117,17 @@ std::vector<std::uint8_t> Specu::read_block(std::uint64_t block_addr) {
 }
 
 unsigned Specu::background_encrypt(unsigned max_blocks) {
-  if (!powered()) return 0;
   unsigned secured = 0;
-  while (secured < max_blocks && !plaintext_.empty()) {
-    const std::uint64_t addr = *plaintext_.begin();
-    plaintext_.erase(plaintext_.begin());
-    encrypt_block_in_place(memory_.block(addr));
-    ++secured;
-  }
+  while (secured < max_blocks && background_encrypt_one()) ++secured;
   return secured;
+}
+
+std::optional<std::uint64_t> Specu::background_encrypt_one() {
+  if (!powered() || plaintext_.empty()) return std::nullopt;
+  const std::uint64_t addr = *plaintext_.begin();
+  plaintext_.erase(plaintext_.begin());
+  encrypt_block_in_place(memory_.block(addr));
+  return addr;
 }
 
 double Specu::encrypted_fraction() const {

@@ -67,6 +67,11 @@ public:
   /// plaintext blocks; returns how many it secured.
   unsigned background_encrypt(unsigned max_blocks = 1);
 
+  /// One background re-encryption, reporting *which* block it secured so
+  /// callers tracking per-block metadata (the runtime's ECC shadows) can
+  /// refresh it; nullopt when nothing is pending or the key is gone.
+  [[nodiscard]] std::optional<std::uint64_t> background_encrypt_one();
+
   /// Blocks currently sitting in the array as plaintext.
   [[nodiscard]] std::size_t plaintext_blocks() const noexcept { return plaintext_.size(); }
   /// Fraction of resident blocks currently encrypted (1.0 for empty array).

@@ -13,7 +13,17 @@ double Cell::series_resistance() const noexcept {
   return memristor_.resistance() + rt;
 }
 
+void Cell::force_stuck(double state) noexcept {
+  memristor_.set_state(state);
+  stuck_ = true;
+}
+
+void Cell::program_state(double w) noexcept {
+  if (!stuck_) memristor_.set_state(w);
+}
+
 void Cell::apply_cell_voltage(double cell_voltage, double duration, int steps) {
+  if (stuck_) return;  // pinned defect: no pulse moves it
   if (std::abs(cell_voltage) < tparams_.v_threshold) return;  // sub-Vt: no write
   // Voltage divider across the series pair; the memristor resistance moves
   // during the pulse, so recompute the divider every step by delegating the

@@ -36,6 +36,16 @@ public:
   void set_gate(bool on) noexcept { gate_on_ = on; }
   [[nodiscard]] bool gate_on() const noexcept { return gate_on_; }
 
+  /// Fault hooks (spe_fault). A stuck cell's memristor is pinned at a fixed
+  /// state: programming and pulses leave it unchanged until clear_stuck().
+  void force_stuck(double state) noexcept;
+  void clear_stuck() noexcept { stuck_ = false; }
+  [[nodiscard]] bool stuck() const noexcept { return stuck_; }
+
+  /// Write-verify programming target (the NVMM controller path); respects
+  /// the stuck pin, unlike direct memristor().set_state().
+  void program_state(double w) noexcept;
+
   /// Total series resistance seen between the cell's row and column wires.
   [[nodiscard]] double series_resistance() const noexcept;
 
@@ -49,6 +59,7 @@ private:
   TeamModel memristor_;
   TransistorParams tparams_;
   bool gate_on_ = false;
+  bool stuck_ = false;
 };
 
 /// Finds, by bisection, the -polarity pulse width that returns `cell`'s

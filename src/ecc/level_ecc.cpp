@@ -1,0 +1,80 @@
+#include "ecc/level_ecc.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "ecc/secded.hpp"
+
+namespace spe::ecc {
+
+namespace {
+
+constexpr unsigned kCellsPerWord = 64;
+
+unsigned words_for(std::size_t cells) {
+  return static_cast<unsigned>((cells + kCellsPerWord - 1) / kCellsPerWord);
+}
+
+/// Gathers bit plane `p` of cells [64w, 64w+64) into one 64-bit word;
+/// missing cells (short final group) read as zero.
+std::uint64_t plane_word(std::span<const std::uint8_t> levels, unsigned p, unsigned w) {
+  std::uint64_t word = 0;
+  const std::size_t base = static_cast<std::size_t>(w) * kCellsPerWord;
+  const std::size_t end = std::min(levels.size(), base + kCellsPerWord);
+  for (std::size_t c = base; c < end; ++c)
+    word |= std::uint64_t{(levels[c] >> p) & 1u} << (c - base);
+  return word;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> level_checks(std::span<const std::uint8_t> levels) {
+  const unsigned words = words_for(levels.size());
+  std::vector<std::uint8_t> checks(static_cast<std::size_t>(kLevelBits) * words);
+  for (unsigned p = 0; p < kLevelBits; ++p)
+    for (unsigned w = 0; w < words; ++w)
+      checks[p * words + w] = encode_check(plane_word(levels, p, w));
+  return checks;
+}
+
+LevelDecodeResult verify_levels(std::span<std::uint8_t> levels,
+                                std::span<const std::uint8_t> checks) {
+  const unsigned words = words_for(levels.size());
+  if (checks.size() != static_cast<std::size_t>(kLevelBits) * words)
+    throw std::invalid_argument("verify_levels: check-byte size mismatch");
+
+  LevelDecodeResult result;
+  std::set<unsigned> touched;
+  for (unsigned p = 0; p < kLevelBits; ++p) {
+    for (unsigned w = 0; w < words; ++w) {
+      const DecodeResult word =
+          decode({plane_word(levels, p, w), checks[p * words + w]});
+      switch (word.status) {
+        case DecodeStatus::Clean:
+        case DecodeStatus::CorrectedCheck:  // stored check stale, data good
+          break;
+        case DecodeStatus::CorrectedData: {
+          const std::size_t cell =
+              static_cast<std::size_t>(w) * kCellsPerWord +
+              static_cast<unsigned>(word.corrected_bit);
+          if (cell >= levels.size()) {  // flip "corrected" into the padding
+            ++result.uncorrectable_words;
+            break;
+          }
+          levels[cell] ^= static_cast<std::uint8_t>(1u << p);
+          ++result.corrected_bits;
+          touched.insert(static_cast<unsigned>(cell));
+          break;
+        }
+        case DecodeStatus::DoubleError:
+          ++result.uncorrectable_words;
+          break;
+      }
+    }
+  }
+  result.corrected_cells = static_cast<unsigned>(touched.size());
+  result.ok = result.uncorrectable_words == 0;
+  return result;
+}
+
+}  // namespace spe::ecc

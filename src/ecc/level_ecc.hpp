@@ -1,0 +1,53 @@
+#pragma once
+// Bit-plane-interleaved SEC-DED over an array of 6-bit memristor cell
+// levels — the level-domain companion to the byte-domain (72,64) code in
+// secded.hpp. The SPE cipher's stored state is the *fine* level grid
+// (spe_cipher.hpp), and its diffusion means a single corrupted ciphertext
+// cell garbles the whole decrypted block, so correction must happen on the
+// levels themselves, before decryption.
+//
+// A naive byte layout cannot do that: a stuck-at or drifted cell changes
+// several bits of one level byte, and SEC-DED corrects only one bit per
+// codeword. Interleaving by bit plane fixes it — codeword (p, w) covers bit
+// p of cells [64w, 64w+64), so an *arbitrary* corruption of any single cell
+// in a 64-cell group flips at most one bit in each of its six plane words
+// and is fully corrected. This is the standard MLC trick of spreading one
+// cell's bits over independent codewords. Two faulty cells in the same
+// 64-cell group collide in any plane where their error bits overlap and are
+// detected (not corrected) as a SEC-DED double error; three or more can
+// miscorrect, as with any Hamming code.
+//
+// Overhead: 6 planes * ceil(cells/64) check bytes = 24 bytes per 256-cell
+// block (9.4% of the 256 level bytes). Levels must stay below 64 — bits 6
+// and 7 of the stored bytes are outside the planes and unprotected.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spe::ecc {
+
+/// Bits per cell level covered by the plane code (levels are 0..63).
+inline constexpr unsigned kLevelBits = 6;
+
+/// Check bytes for a level array, plane-major: checks[p * words + w] guards
+/// bit p of cells [64w, 64w+64). Size = kLevelBits * ceil(levels.size()/64).
+[[nodiscard]] std::vector<std::uint8_t> level_checks(
+    std::span<const std::uint8_t> levels);
+
+struct LevelDecodeResult {
+  bool ok = false;                 ///< every plane word clean or corrected
+  unsigned corrected_bits = 0;     ///< single-bit plane corrections applied
+  unsigned corrected_cells = 0;    ///< distinct cells those corrections touched
+  unsigned uncorrectable_words = 0;///< plane words with SEC-DED double errors
+};
+
+/// Verifies `levels` against `checks` (from level_checks over the pristine
+/// array), correcting every correctable plane word in place. `checks` size
+/// must match level_checks(levels).size(). When uncorrectable_words > 0 the
+/// array is left with all *correctable* planes fixed, but must be treated as
+/// lost — SEC-DED cannot localise the double errors.
+[[nodiscard]] LevelDecodeResult verify_levels(std::span<std::uint8_t> levels,
+                                              std::span<const std::uint8_t> checks);
+
+}  // namespace spe::ecc

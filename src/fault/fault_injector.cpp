@@ -1,0 +1,141 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace spe::fault {
+
+FaultInjector::FaultInjector(std::shared_ptr<const FaultPlan> plan,
+                             std::uint64_t device_id, bool enabled)
+    : plan_(std::move(plan)), device_id_(device_id), enabled_(enabled) {
+  if (!plan_) throw std::invalid_argument("FaultInjector: null plan");
+}
+
+std::uint32_t FaultInjector::remap_epoch(std::uint64_t block_addr) const {
+  const auto it = blocks_.find(block_addr);
+  return it == blocks_.end() ? 0 : it->second.epoch;
+}
+
+void FaultInjector::remap(std::uint64_t block_addr) { ++blocks_[block_addr].epoch; }
+
+void FaultInjector::corrupt_program(std::uint64_t block_addr,
+                                    std::span<std::uint8_t> levels) {
+  if (!enabled_) return;
+  BlockState& state = blocks_[block_addr];
+  const std::uint64_t program = state.programs++;
+  for (unsigned c = 0; c < levels.size(); ++c) {
+    const CellSite s = site(block_addr, state.epoch, c);
+    const FaultKind kind = plan_->persistent_fault(s);
+    if (kind != FaultKind::None) {
+      const std::uint8_t pin = FaultPlan::stuck_level(kind);
+      if (levels[c] != pin) {
+        levels[c] = pin;
+        ++counts_.stuck_hits;
+      }
+      continue;
+    }
+    if (plan_->pulse_dropped(s, program)) {
+      // The pulse never landed: the cell keeps a stale level, guaranteed to
+      // differ from the intended one so the failure is observable.
+      const auto stale = static_cast<std::uint8_t>(
+          (levels[c] + 1 +
+           util::mix64(s.block_addr ^ (std::uint64_t{c} << 32) ^ program) % 63) %
+          device::MlcCodec::kInternalLevels);
+      levels[c] = stale;
+      ++counts_.dropped_pulses;
+    }
+  }
+}
+
+void FaultInjector::corrupt_sense(std::uint64_t block_addr,
+                                  std::span<std::uint8_t> sensed) {
+  if (!enabled_) return;
+  BlockState& state = blocks_[block_addr];
+  const std::uint64_t sense = state.senses++;
+  for (unsigned c = 0; c < sensed.size(); ++c) {
+    const CellSite s = site(block_addr, state.epoch, c);
+    const FaultKind kind = plan_->persistent_fault(s);
+    if (kind != FaultKind::None) {
+      const std::uint8_t pin = FaultPlan::stuck_level(kind);
+      if (sensed[c] != pin) {
+        sensed[c] = pin;
+        ++counts_.stuck_hits;
+      }
+      continue;
+    }
+    unsigned bit = 0;
+    if (plan_->read_noise_flip(s, sense, bit)) {
+      sensed[c] ^= static_cast<std::uint8_t>(1u << bit);
+      ++counts_.noise_events;
+    }
+  }
+}
+
+void FaultInjector::age_block(std::uint64_t block_addr, std::span<std::uint8_t> levels) {
+  if (!enabled_) return;
+  BlockState& state = blocks_[block_addr];
+  const std::uint64_t tick = state.ticks++;
+  constexpr int kMaxLevel = device::MlcCodec::kInternalLevels - 1;
+  for (unsigned c = 0; c < levels.size(); ++c) {
+    const CellSite s = site(block_addr, state.epoch, c);
+    const FaultKind kind = plan_->persistent_fault(s);
+    if (kind != FaultKind::None) {
+      const std::uint8_t pin = FaultPlan::stuck_level(kind);
+      if (levels[c] != pin) {
+        levels[c] = pin;
+        ++counts_.stuck_hits;
+      }
+      continue;
+    }
+    const int delta = plan_->drift_delta(s, tick);
+    if (delta != 0) {
+      const int drifted = std::clamp(static_cast<int>(levels[c]) + delta, 0, kMaxLevel);
+      if (drifted != levels[c]) {
+        levels[c] = static_cast<std::uint8_t>(drifted);
+        ++counts_.drift_events;
+      }
+    }
+  }
+}
+
+unsigned FaultInjector::pin_unit(xbar::Crossbar& xbar, std::uint64_t block_addr,
+                                 unsigned unit) {
+  if (!enabled_) return 0;
+  const std::uint32_t epoch = remap_epoch(block_addr);
+  const unsigned cells = xbar.cell_count();
+  unsigned pinned = 0;
+  for (unsigned flat = 0; flat < cells; ++flat) {
+    const CellSite s = site(block_addr, epoch, unit * cells + flat);
+    const FaultKind kind = plan_->persistent_fault(s);
+    if (kind == FaultKind::None) continue;
+    const unsigned symbol =
+        kind == FaultKind::StuckAtLrs ? 0 : device::MlcCodec::kSymbols - 1;
+    xbar.cell(flat).force_stuck(xbar.codec().state_for_symbol(symbol));
+    ++pinned;
+  }
+  return pinned;
+}
+
+bool FaultInjector::program_symbol(xbar::Crossbar& xbar, unsigned flat, unsigned symbol,
+                                   std::uint64_t block_addr, unsigned unit) {
+  if (!enabled_) {
+    xbar.write_symbol(xbar.position_of(flat), symbol);
+    return true;
+  }
+  BlockState& state = blocks_[block_addr];
+  const CellSite s = site(block_addr, state.epoch, unit * xbar.cell_count() + flat);
+  if (plan_->pulse_dropped(s, state.programs++)) {
+    ++counts_.dropped_pulses;
+    return false;
+  }
+  if (xbar.cell(flat).stuck()) {
+    ++counts_.stuck_hits;
+    return false;
+  }
+  xbar.write_symbol(xbar.position_of(flat), symbol);
+  return true;
+}
+
+}  // namespace spe::fault

@@ -1,0 +1,109 @@
+#pragma once
+// Applies a FaultPlan to live state. One injector per bank shard (or per
+// crossbar under test): it carries the per-block event counters (senses,
+// programs, scrub ticks, remap epoch) that index into the plan's
+// deterministic schedule, so it must be externally serialised — in the
+// runtime it lives under the shard's state mutex.
+//
+// Two families of hooks:
+//  * level-domain (the runtime datapath, which stores fine levels in
+//    Snvmm::Block): corrupt_program / corrupt_sense / age_block;
+//  * physics-domain (spe_device / spe_xbar): pin_unit force-sticks the
+//    plan's defective cells in a real Crossbar, and program_symbol is the
+//    dropped-pulse-aware write-verify entry.
+//
+// A disabled injector is a strict no-op: it neither mutates state nor
+// advances event counters, so toggling it off and back on replays exactly
+// the schedule an always-enabled injector would have produced for the same
+// sequence of enabled calls.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "fault/fault_plan.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace spe::fault {
+
+class FaultInjector {
+public:
+  FaultInjector(std::shared_ptr<const FaultPlan> plan, std::uint64_t device_id,
+                bool enabled = true);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return *plan_; }
+  [[nodiscard]] std::uint64_t device_id() const noexcept { return device_id_; }
+
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Remap epoch of a block (0 until the first remap). Bumping it moves the
+  /// block to a spare physical location with fresh fault draws.
+  [[nodiscard]] std::uint32_t remap_epoch(std::uint64_t block_addr) const;
+  void remap(std::uint64_t block_addr);
+
+  // --- level-domain hooks (runtime datapath) ------------------------------
+
+  /// Write/program phase: corrupts freshly programmed levels in place
+  /// (stuck cells pin, dropped pulses leave stale levels). Advances the
+  /// block's program counter, so a retried write re-rolls the drops.
+  void corrupt_program(std::uint64_t block_addr, std::span<std::uint8_t> levels);
+
+  /// Read/sense phase: corrupts the *sensed copy* (stuck cells pin,
+  /// transient noise flips bits); the stored array is untouched. Advances
+  /// the block's sense counter, so a retried read re-rolls the noise.
+  void corrupt_sense(std::uint64_t block_addr, std::span<std::uint8_t> sensed);
+
+  /// Scrub/aging tick: accumulates drift into the stored levels and
+  /// re-pins stuck cells. Advances the block's tick counter.
+  void age_block(std::uint64_t block_addr, std::span<std::uint8_t> levels);
+
+  // --- physics-domain hooks (spe_device / spe_xbar) -----------------------
+
+  /// Force-sticks this plan's defective cells of one crossbar unit (cells
+  /// [unit * n, unit * n + n) in block-flat numbering) at their pinned
+  /// state. Returns how many cells were pinned.
+  unsigned pin_unit(xbar::Crossbar& xbar, std::uint64_t block_addr, unsigned unit);
+
+  /// Dropped-pulse-aware write-verify programming of one physical cell.
+  /// Returns false when the plan dropped this cell's pulse (the cell keeps
+  /// its previous state); stuck cells also refuse to move.
+  bool program_symbol(xbar::Crossbar& xbar, unsigned flat, unsigned symbol,
+                      std::uint64_t block_addr, unsigned unit);
+
+  /// Totals of faults actually materialised (a pinned cell whose level
+  /// already matched the pin, or a zero-rounded drift, does not count).
+  struct Counts {
+    std::uint64_t stuck_hits = 0;      ///< stuck-cell pins that changed a value
+    std::uint64_t drift_events = 0;    ///< nonzero drift deltas applied
+    std::uint64_t noise_events = 0;    ///< transient sense bit flips
+    std::uint64_t dropped_pulses = 0;  ///< programming pulses that failed
+
+    [[nodiscard]] std::uint64_t total() const noexcept {
+      return stuck_hits + drift_events + noise_events + dropped_pulses;
+    }
+  };
+  [[nodiscard]] const Counts& counts() const noexcept { return counts_; }
+
+private:
+  struct BlockState {
+    std::uint32_t epoch = 0;
+    std::uint64_t programs = 0;
+    std::uint64_t senses = 0;
+    std::uint64_t ticks = 0;
+  };
+
+  [[nodiscard]] CellSite site(std::uint64_t block_addr, std::uint32_t epoch,
+                              unsigned cell) const noexcept {
+    return {device_id_, block_addr, epoch, cell};
+  }
+
+  std::shared_ptr<const FaultPlan> plan_;
+  std::uint64_t device_id_;
+  bool enabled_;
+  std::unordered_map<std::uint64_t, BlockState> blocks_;
+  Counts counts_;
+};
+
+}  // namespace spe::fault

@@ -1,0 +1,99 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace spe::fault {
+
+namespace {
+
+// Stream tags keep the fault classes statistically independent even though
+// they hash the same sites.
+constexpr std::uint64_t kStuckTag = 0x57C4A5755EC7CE11ull;
+constexpr std::uint64_t kDriftTag = 0xD21F7A11DEADBEA7ull;
+constexpr std::uint64_t kNoiseTag = 0x9015EF7247A25EFFull;
+constexpr std::uint64_t kDropTag = 0xD20BBEDBA11AD099ull;
+
+double unit_interval(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(std::uint64_t seed, FaultModelConfig config)
+    : seed_(seed), config_(config) {}
+
+std::uint64_t FaultPlan::site_hash(std::uint64_t tag, const CellSite& site,
+                                   std::uint64_t event) const noexcept {
+  std::uint64_t h = util::mix64(seed_ ^ tag);
+  h = util::mix64(h ^ site.device_id);
+  h = util::mix64(h ^ site.block_addr);
+  h = util::mix64(h ^ ((std::uint64_t{site.remap_epoch} << 32) | site.cell));
+  return util::mix64(h ^ event);
+}
+
+FaultKind FaultPlan::persistent_fault(const CellSite& site) const noexcept {
+  const double u = unit_interval(site_hash(kStuckTag, site, 0));
+  if (u < config_.stuck_at_lrs_rate) return FaultKind::StuckAtLrs;
+  if (u < config_.stuck_at_lrs_rate + config_.stuck_at_hrs_rate)
+    return FaultKind::StuckAtHrs;
+  return FaultKind::None;
+}
+
+std::uint8_t FaultPlan::stuck_level(FaultKind kind) noexcept {
+  using Codec = device::MlcCodec;
+  switch (kind) {
+    case FaultKind::StuckAtLrs:
+      return static_cast<std::uint8_t>(Codec::level_for_symbol(0));
+    case FaultKind::StuckAtHrs:
+      return static_cast<std::uint8_t>(Codec::level_for_symbol(Codec::kSymbols - 1));
+    case FaultKind::None:
+      break;
+  }
+  return 0;
+}
+
+int FaultPlan::drift_delta(const CellSite& site, std::uint64_t tick) const noexcept {
+  if (config_.drift_sigma <= 0.0) return 0;
+  // Box-Muller from two independent hashes of the same (site, tick) event.
+  const double u1 = unit_interval(site_hash(kDriftTag, site, 2 * tick));
+  const double u2 = unit_interval(site_hash(kDriftTag, site, 2 * tick + 1));
+  const double z = std::sqrt(-2.0 * std::log(u1 + 1e-300)) *
+                   std::cos(2.0 * std::numbers::pi * u2);
+  const double d = std::nearbyint(config_.drift_sigma * z);
+  // Clamp to one read band either way — physical drift is slow; anything
+  // larger would be a stuck fault, not retention loss.
+  const double band = device::MlcCodec::kInternalLevels / device::MlcCodec::kSymbols;
+  return static_cast<int>(std::clamp(d, -band, band));
+}
+
+bool FaultPlan::read_noise_flip(const CellSite& site, std::uint64_t sense,
+                                unsigned& bit) const noexcept {
+  if (config_.read_noise_rate <= 0.0) return false;
+  const std::uint64_t h = site_hash(kNoiseTag, site, sense);
+  if (unit_interval(h) >= config_.read_noise_rate) return false;
+  bit = static_cast<unsigned>(h % 6);
+  return true;
+}
+
+bool FaultPlan::pulse_dropped(const CellSite& site, std::uint64_t program) const noexcept {
+  if (config_.dropped_pulse_rate <= 0.0) return false;
+  return unit_interval(site_hash(kDropTag, site, program)) < config_.dropped_pulse_rate;
+}
+
+std::vector<std::pair<unsigned, FaultKind>> FaultPlan::stuck_cells(
+    std::uint64_t device_id, std::uint64_t block_addr, std::uint32_t remap_epoch,
+    unsigned cell_count) const {
+  std::vector<std::pair<unsigned, FaultKind>> out;
+  for (unsigned c = 0; c < cell_count; ++c) {
+    const FaultKind kind =
+        persistent_fault({device_id, block_addr, remap_epoch, c});
+    if (kind != FaultKind::None) out.emplace_back(c, kind);
+  }
+  return out;
+}
+
+}  // namespace spe::fault

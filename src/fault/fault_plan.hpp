@@ -1,0 +1,98 @@
+#pragma once
+// Deterministic, seed-driven fault schedule for the SPE memory stack. A
+// FaultPlan is a pure function from (seed, fault site, event index) to a
+// fault decision: it holds no mutable state, so the same seed replays the
+// identical schedule regardless of thread timing or query order — the
+// property the reliability campaign and the determinism tests rely on.
+// Every decision is derived by hashing the site through independent mix64
+// streams (one tag per fault class) rather than by drawing from a
+// sequential RNG.
+//
+// Fault taxonomy (the threats related memristive-crossbar work treats as
+// first-class):
+//   * stuck-at-LRS / stuck-at-HRS — a cell permanently pinned to the lowest
+//     / highest resistance band; persistent per (device, block, remap
+//     epoch, cell). Bumping the remap epoch models relocating the block to
+//     a spare physical unit with a fresh set of manufacturing defects.
+//   * resistance drift — per scrub tick, a rounded Gaussian perturbation of
+//     the cell's stored fine level (retention loss between scrubs).
+//   * transient read noise — per sense, a single random bit flip of the
+//     cell's sensed level; the stored state is untouched, so a re-read
+//     usually clears it.
+//   * dropped programming pulse — per program operation, a cell's write
+//     pulse fails to land and the cell is left at a stale level.
+
+#include <cstdint>
+#include <vector>
+
+#include "device/mlc.hpp"
+
+namespace spe::fault {
+
+enum class FaultKind : std::uint8_t { None, StuckAtLrs, StuckAtHrs };
+
+/// Fault-class rates; all zero = fault-free plan.
+struct FaultModelConfig {
+  double stuck_at_lrs_rate = 0.0;    ///< per-cell manufacturing probability
+  double stuck_at_hrs_rate = 0.0;    ///< per-cell manufacturing probability
+  double drift_sigma = 0.0;          ///< levels of Gaussian drift per scrub tick
+  double read_noise_rate = 0.0;      ///< per-cell per-sense bit-flip probability
+  double dropped_pulse_rate = 0.0;   ///< per-cell per-program failure probability
+
+  [[nodiscard]] bool any() const noexcept {
+    return stuck_at_lrs_rate > 0.0 || stuck_at_hrs_rate > 0.0 || drift_sigma > 0.0 ||
+           read_noise_rate > 0.0 || dropped_pulse_rate > 0.0;
+  }
+};
+
+/// One physical cell of one block on one device. `cell` is the block-flat
+/// index (unit * cells_per_unit + cell_in_unit for multi-unit blocks).
+struct CellSite {
+  std::uint64_t device_id = 0;
+  std::uint64_t block_addr = 0;
+  std::uint32_t remap_epoch = 0;
+  std::uint32_t cell = 0;
+};
+
+class FaultPlan {
+public:
+  FaultPlan(std::uint64_t seed, FaultModelConfig config);
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const FaultModelConfig& config() const noexcept { return config_; }
+
+  /// Persistent (manufacturing) classification of a cell.
+  [[nodiscard]] FaultKind persistent_fault(const CellSite& site) const noexcept;
+
+  /// The fine level a stuck cell pins to: the band centre of the extreme
+  /// MLC symbol (symbol 0 = LRS, highest symbol = HRS).
+  [[nodiscard]] static std::uint8_t stuck_level(FaultKind kind) noexcept;
+
+  /// Rounded Gaussian drift (in fine levels) applied at scrub tick `tick`.
+  [[nodiscard]] int drift_delta(const CellSite& site, std::uint64_t tick) const noexcept;
+
+  /// Transient single-bit sense corruption at sense event `sense`. Returns
+  /// true and sets `bit` (0..5) when the read-out of this cell flips.
+  [[nodiscard]] bool read_noise_flip(const CellSite& site, std::uint64_t sense,
+                                     unsigned& bit) const noexcept;
+
+  /// Whether the cell's programming pulse is dropped during program event
+  /// `program` (write-verify catches it; a retry re-rolls with program+1).
+  [[nodiscard]] bool pulse_dropped(const CellSite& site,
+                                   std::uint64_t program) const noexcept;
+
+  /// Enumerates the stuck cells of one block — the replayable "fault
+  /// schedule" the determinism tests compare and the campaign reports.
+  [[nodiscard]] std::vector<std::pair<unsigned, FaultKind>> stuck_cells(
+      std::uint64_t device_id, std::uint64_t block_addr, std::uint32_t remap_epoch,
+      unsigned cell_count) const;
+
+private:
+  [[nodiscard]] std::uint64_t site_hash(std::uint64_t tag, const CellSite& site,
+                                        std::uint64_t event) const noexcept;
+
+  std::uint64_t seed_;
+  FaultModelConfig config_;
+};
+
+}  // namespace spe::fault

@@ -1,5 +1,6 @@
 #include "runtime/memory_service.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 #include "core/key.hpp"
@@ -26,9 +27,16 @@ MemoryService::MemoryService(ServiceConfig config) : config_(config) {
   util::Xoshiro256ss rng(config_.key_seed);
   const core::SpeKey key = core::SpeKey::random(rng);
 
+  // One plan shared by every shard: decisions are keyed by (device id,
+  // block, cell, epoch, event), so sharing costs nothing and keeps the
+  // whole service replayable from a single seed.
+  std::shared_ptr<const fault::FaultPlan> plan;
+  if (config_.fault_injection && config_.faults.any())
+    plan = std::make_shared<fault::FaultPlan>(config_.fault_seed, config_.faults);
+
   shards_.reserve(config_.shards);
   for (unsigned s = 0; s < config_.shards; ++s) {
-    shards_.push_back(std::make_unique<BankShard>(s, config_));
+    shards_.push_back(std::make_unique<BankShard>(s, config_, plan));
     tpm_.provision(shards_.back()->device_id(), config_.platform_measurement, key);
     if (!shards_.back()->power_on(tpm_, config_.platform_measurement))
       throw std::runtime_error("MemoryService: shard power-on handshake failed");
@@ -42,7 +50,12 @@ MemoryService::MemoryService(ServiceConfig config) : config_(config) {
   for (auto& worker : workers_)
     worker->thread = std::thread([this, &w = *worker] { worker_loop(w); });
 
-  if (config_.scavenger_enabled && config_.mode == core::SpeMode::Serial)
+  // The background thread runs when there is anything for it to do:
+  // re-encryption scavenging (serial mode) and/or the piggybacked scrub.
+  const bool wants_scavenge =
+      config_.scavenger_enabled && config_.mode == core::SpeMode::Serial;
+  const bool wants_scrub = config_.scrub_enabled && config_.ecc_enabled;
+  if (wants_scavenge || wants_scrub)
     scavenger_ = std::thread([this] { scavenger_loop(); });
 }
 
@@ -112,12 +125,16 @@ void MemoryService::worker_loop(Worker& worker) {
 }
 
 void MemoryService::scavenger_loop() {
+  const bool wants_scavenge =
+      config_.scavenger_enabled && config_.mode == core::SpeMode::Serial;
+  const bool wants_scrub = config_.scrub_enabled && config_.ecc_enabled;
   std::unique_lock lock(scavenger_mutex_);
   while (!stopping_.load(std::memory_order_acquire)) {
     lock.unlock();
     for (auto& shard : shards_) {
       if (stopping_.load(std::memory_order_acquire)) break;
-      shard->scavenge(config_.scavenger_blocks_per_pass);
+      if (wants_scavenge) shard->scavenge(config_.scavenger_blocks_per_pass);
+      if (wants_scrub) shard->scrub(config_.scrub_blocks_per_pass);
     }
     lock.lock();
     scavenger_cv_.wait_for(lock, config_.scavenger_interval,
@@ -150,6 +167,15 @@ ServiceStatsSnapshot MemoryService::stats() const {
   rows.reserve(shards_.size());
   for (const auto& shard : shards_) rows.push_back(shard->stats_snapshot());
   return aggregate(std::move(rows));
+}
+
+unsigned MemoryService::scrub_all() {
+  unsigned scrubbed = 0;
+  // scrub() caps one call at the shard's resident count, so a single
+  // max-bounded call is exactly one full pass.
+  for (auto& shard : shards_)
+    scrubbed += shard->scrub(std::numeric_limits<unsigned>::max());
+  return scrubbed;
 }
 
 double MemoryService::encrypted_fraction() const {

@@ -68,6 +68,16 @@ public:
   /// Resident-weighted encrypted fraction across all shards (1.0 if empty).
   [[nodiscard]] double encrypted_fraction() const;
 
+  /// Synchronous full scrub pass: every shard ages + SEC-DED-verifies each
+  /// of its resident blocks exactly once. Returns total blocks scrubbed.
+  /// Deterministic when the background scavenger/scrub thread is disabled —
+  /// this is what the fault campaign uses for replayable reports.
+  unsigned scrub_all();
+
+  /// Direct shard access for tests and the fault campaign (quiesce first —
+  /// callers must not race the shard's worker).
+  [[nodiscard]] BankShard& shard(unsigned idx) noexcept { return *shards_[idx]; }
+
 private:
   struct Worker {
     std::mutex mutex;

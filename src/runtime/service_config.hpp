@@ -12,6 +12,7 @@
 
 #include "core/snvmm.hpp"
 #include "core/specu.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace spe::runtime {
 
@@ -40,6 +41,45 @@ private:
   std::size_t depth_;
 };
 
+/// A read hit faults the SEC-DED planes could not correct, even after the
+/// bounded re-read retries; the block has been quarantined. A later write
+/// to the address remaps it to a spare physical location and lifts the
+/// quarantine.
+class UncorrectableFaultError : public std::runtime_error {
+public:
+  UncorrectableFaultError(unsigned shard, std::uint64_t block_addr)
+      : std::runtime_error("spe::runtime: uncorrectable fault in block " +
+                           std::to_string(block_addr) + " (shard " +
+                           std::to_string(shard) + "); block quarantined"),
+        shard_(shard),
+        block_addr_(block_addr) {}
+
+  [[nodiscard]] unsigned shard() const noexcept { return shard_; }
+  [[nodiscard]] std::uint64_t block_addr() const noexcept { return block_addr_; }
+
+private:
+  unsigned shard_;
+  std::uint64_t block_addr_;
+};
+
+/// Read of a block that is currently quarantined (fails fast, no sense).
+class QuarantinedBlockError : public std::runtime_error {
+public:
+  QuarantinedBlockError(unsigned shard, std::uint64_t block_addr)
+      : std::runtime_error("spe::runtime: block " + std::to_string(block_addr) +
+                           " (shard " + std::to_string(shard) +
+                           ") is quarantined; rewrite it to remap"),
+        shard_(shard),
+        block_addr_(block_addr) {}
+
+  [[nodiscard]] unsigned shard() const noexcept { return shard_; }
+  [[nodiscard]] std::uint64_t block_addr() const noexcept { return block_addr_; }
+
+private:
+  unsigned shard_;
+  std::uint64_t block_addr_;
+};
+
 struct ServiceConfig {
   unsigned shards = 8;          ///< independent Snvmm+Specu bank pairs
   unsigned worker_threads = 4;  ///< fixed pool; shard s is served by worker s % threads
@@ -59,6 +99,25 @@ struct ServiceConfig {
   bool scavenger_enabled = true;
   std::chrono::microseconds scavenger_interval{500};
   unsigned scavenger_blocks_per_pass = 4;
+
+  // --- resilience (SEC-DED plane code over stored levels, src/ecc) --------
+  bool ecc_enabled = true;       ///< verify+correct levels on every read
+  bool verify_writes = true;     ///< program-verify after each write, remap on failure
+  unsigned max_read_retries = 3;   ///< re-senses after an uncorrectable read
+  unsigned max_write_retries = 3;  ///< re-programs before remapping to a spare
+  /// Exponential backoff between retries: base << attempt.
+  std::chrono::microseconds retry_backoff_base{5};
+  /// Scrub pass (piggybacked on the scavenger thread): per interval, each
+  /// shard ages + ECC-verifies up to this many resident blocks in place.
+  bool scrub_enabled = true;
+  unsigned scrub_blocks_per_pass = 8;
+
+  // --- deterministic fault injection (src/fault) --------------------------
+  /// Off by default; when on, every shard gets a FaultInjector over one
+  /// shared FaultPlan(fault_seed, faults), keyed by the shard's device id.
+  bool fault_injection = false;
+  std::uint64_t fault_seed = 0xFA117;
+  fault::FaultModelConfig faults;
 };
 
 }  // namespace spe::runtime

@@ -13,6 +13,14 @@ ShardStatsSnapshot snapshot_counters(unsigned shard, const ShardCounters& c) {
   s.rejected = c.rejected.load(std::memory_order_relaxed);
   s.background_encrypted = c.background_encrypted.load(std::memory_order_relaxed);
   s.queue_high_water = c.queue_high_water.load(std::memory_order_relaxed);
+  s.faults_detected = c.faults_detected.load(std::memory_order_relaxed);
+  s.faults_corrected = c.faults_corrected.load(std::memory_order_relaxed);
+  s.faults_uncorrectable = c.faults_uncorrectable.load(std::memory_order_relaxed);
+  s.blocks_quarantined = c.blocks_quarantined.load(std::memory_order_relaxed);
+  s.read_retries = c.read_retries.load(std::memory_order_relaxed);
+  s.write_retries = c.write_retries.load(std::memory_order_relaxed);
+  s.blocks_remapped = c.blocks_remapped.load(std::memory_order_relaxed);
+  s.blocks_scrubbed = c.blocks_scrubbed.load(std::memory_order_relaxed);
   s.read_latency = c.read_latency.snapshot();
   s.write_latency = c.write_latency.snapshot();
   s.background_latency = c.background_latency.snapshot();
@@ -29,6 +37,16 @@ ServiceStatsSnapshot aggregate(std::vector<ShardStatsSnapshot> shards) {
     out.totals.background_encrypted += s.background_encrypted;
     if (s.queue_high_water > out.totals.queue_high_water)
       out.totals.queue_high_water = s.queue_high_water;
+    out.totals.faults_detected += s.faults_detected;
+    out.totals.faults_corrected += s.faults_corrected;
+    out.totals.faults_uncorrectable += s.faults_uncorrectable;
+    out.totals.blocks_quarantined += s.blocks_quarantined;
+    out.totals.read_retries += s.read_retries;
+    out.totals.write_retries += s.write_retries;
+    out.totals.blocks_remapped += s.blocks_remapped;
+    out.totals.blocks_scrubbed += s.blocks_scrubbed;
+    out.totals.injected_faults += s.injected_faults;
+    out.totals.quarantined_now += s.quarantined_now;
     out.totals.plaintext_blocks += s.plaintext_blocks;
     out.totals.resident_blocks += s.resident_blocks;
     out.totals.read_latency += s.read_latency;
@@ -62,6 +80,15 @@ std::string ServiceStatsSnapshot::to_string() const {
      << " queue_hwm=" << totals.queue_high_water
      << " plaintext=" << totals.plaintext_blocks << "/" << totals.resident_blocks
      << " blocks\n";
+  os << "  resilience: detected=" << totals.faults_detected
+     << " corrected=" << totals.faults_corrected
+     << " uncorrectable=" << totals.faults_uncorrectable
+     << " quarantined=" << totals.blocks_quarantined << " (now "
+     << totals.quarantined_now << ")"
+     << " remapped=" << totals.blocks_remapped
+     << " retries=r" << totals.read_retries << "/w" << totals.write_retries
+     << " scrubbed=" << totals.blocks_scrubbed
+     << " injected=" << totals.injected_faults << "\n";
   print_latency_row(os, "read ", totals.read_latency);
   print_latency_row(os, "write", totals.write_latency);
   print_latency_row(os, "bgenc", totals.background_latency);

@@ -23,6 +23,16 @@ struct ShardCounters {
   std::atomic<std::uint64_t> background_encrypted{0};
   std::atomic<std::uint64_t> queue_high_water{0};
 
+  // Resilience counters (PR 2): ECC verify outcomes, retries, quarantine.
+  std::atomic<std::uint64_t> faults_detected{0};   ///< verify events that found damage
+  std::atomic<std::uint64_t> faults_corrected{0};  ///< cells repaired by SEC-DED
+  std::atomic<std::uint64_t> faults_uncorrectable{0};  ///< ops/scrubs abandoned
+  std::atomic<std::uint64_t> blocks_quarantined{0};    ///< quarantine insertions
+  std::atomic<std::uint64_t> read_retries{0};          ///< extra sense attempts
+  std::atomic<std::uint64_t> write_retries{0};         ///< extra program attempts
+  std::atomic<std::uint64_t> blocks_remapped{0};       ///< spare-location remaps
+  std::atomic<std::uint64_t> blocks_scrubbed{0};       ///< scrub verifications run
+
   LatencyHistogram read_latency;   ///< submit -> future fulfilled
   LatencyHistogram write_latency;  ///< submit -> future fulfilled
   LatencyHistogram background_latency;  ///< one scavenger block re-encryption
@@ -45,6 +55,16 @@ struct ShardStatsSnapshot {
   std::uint64_t rejected = 0;
   std::uint64_t background_encrypted = 0;
   std::uint64_t queue_high_water = 0;
+  std::uint64_t faults_detected = 0;
+  std::uint64_t faults_corrected = 0;
+  std::uint64_t faults_uncorrectable = 0;
+  std::uint64_t blocks_quarantined = 0;
+  std::uint64_t read_retries = 0;
+  std::uint64_t write_retries = 0;
+  std::uint64_t blocks_remapped = 0;
+  std::uint64_t blocks_scrubbed = 0;
+  std::uint64_t injected_faults = 0;  ///< materialised by this shard's injector
+  std::size_t quarantined_now = 0;    ///< blocks currently quarantined
   std::size_t plaintext_blocks = 0;  ///< SPE-serial exposure at snapshot time
   std::size_t resident_blocks = 0;
   LatencyHistogram::Snapshot read_latency;

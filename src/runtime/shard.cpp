@@ -2,6 +2,9 @@
 
 #include <chrono>
 #include <exception>
+#include <thread>
+
+#include "ecc/level_ecc.hpp"
 
 namespace spe::runtime {
 
@@ -13,16 +16,125 @@ core::SnvmmConfig shard_memory_config(unsigned id, const ServiceConfig& config) 
 }
 }  // namespace
 
-BankShard::BankShard(unsigned id, const ServiceConfig& config)
+BankShard::BankShard(unsigned id, const ServiceConfig& config,
+                     std::shared_ptr<const fault::FaultPlan> fault_plan)
     : id_(id),
+      config_(config),
       queue_(id, config.queue_capacity, config.backpressure, config.coalesce_writes,
              counters_),
       memory_(shard_memory_config(id, config)),
-      specu_(memory_, config.mode) {}
+      specu_(memory_, config.mode) {
+  if (fault_plan)
+    injector_ = std::make_unique<fault::FaultInjector>(std::move(fault_plan),
+                                                       memory_.device_id());
+}
 
 bool BankShard::power_on(const core::Tpm& tpm, std::uint64_t measurement) {
   std::lock_guard lock(state_mutex_);
   return specu_.power_on(tpm, measurement);
+}
+
+void BankShard::backoff(unsigned attempt) const {
+  if (config_.retry_backoff_base.count() <= 0) return;
+  // Exponential: base, 2*base, 4*base ... for attempt 1, 2, 3 ...
+  const unsigned shift = attempt > 0 ? attempt - 1 : 0;
+  std::this_thread::sleep_for(config_.retry_backoff_base * (1u << std::min(shift, 10u)));
+}
+
+void BankShard::refresh_checks(std::uint64_t addr) {
+  checks_[addr] = ecc::level_checks(memory_.block(addr).levels);
+}
+
+void BankShard::quarantine(std::uint64_t addr) {
+  if (quarantined_.insert(addr).second)
+    counters_.blocks_quarantined.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool BankShard::verify_block(std::uint64_t addr, core::Snvmm::Block& block,
+                             const std::vector<std::uint8_t>& checks) {
+  for (unsigned attempt = 0; attempt <= config_.max_read_retries; ++attempt) {
+    if (attempt > 0) {
+      counters_.read_retries.fetch_add(1, std::memory_order_relaxed);
+      backoff(attempt);
+    }
+    // Sense a copy: transient noise lives only in the read-out, so a
+    // re-sense of the untouched array can succeed where the first failed.
+    std::vector<std::uint8_t> sensed = block.levels;
+    if (injector_ && injector_->enabled()) injector_->corrupt_sense(addr, sensed);
+    const ecc::LevelDecodeResult result = ecc::verify_levels(sensed, checks);
+    if (!result.ok || result.corrected_cells > 0)
+      counters_.faults_detected.fetch_add(1, std::memory_order_relaxed);
+    if (result.ok) {
+      counters_.faults_corrected.fetch_add(result.corrected_cells,
+                                           std::memory_order_relaxed);
+      // Scrub-on-read: the verified copy is the ground truth; writing it
+      // back heals drift accumulated in the array (stuck cells re-pin at
+      // the next sense and are re-corrected then).
+      block.levels = std::move(sensed);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> BankShard::read_block_guarded(std::uint64_t addr) {
+  if (quarantined_.contains(addr)) throw QuarantinedBlockError(id_, addr);
+  if (config_.ecc_enabled && memory_.has_block(addr)) {
+    const auto shadow = checks_.find(addr);
+    if (shadow != checks_.end() &&
+        !verify_block(addr, memory_.block(addr), shadow->second)) {
+      counters_.faults_uncorrectable.fetch_add(1, std::memory_order_relaxed);
+      quarantine(addr);
+      throw UncorrectableFaultError(id_, addr);
+    }
+  }
+  auto data = specu_.read_block(addr);
+  // The read changed the resting state (decrypted in serial mode,
+  // re-encrypted in parallel mode); re-shadow it.
+  if (config_.ecc_enabled) refresh_checks(addr);
+  return data;
+}
+
+void BankShard::write_block_guarded(std::uint64_t addr,
+                                    std::span<const std::uint8_t> data) {
+  // A rewrite lifts quarantine by remapping the block to a spare physical
+  // location (fresh fault draws under the bumped epoch).
+  if (quarantined_.erase(addr) > 0 && injector_) {
+    injector_->remap(addr);
+    counters_.blocks_remapped.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  for (unsigned round = 0;; ++round) {
+    for (unsigned attempt = 0; attempt <= config_.max_write_retries; ++attempt) {
+      if (attempt > 0) {
+        counters_.write_retries.fetch_add(1, std::memory_order_relaxed);
+        backoff(attempt);
+      }
+      specu_.write_block(addr, data);
+      core::Snvmm::Block& block = memory_.block(addr);
+      if (config_.ecc_enabled) refresh_checks(addr);
+      if (!injector_ || !injector_->enabled()) return;
+      injector_->corrupt_program(addr, block.levels);
+      if (!config_.ecc_enabled || !config_.verify_writes) return;  // faults stay latent
+      // Program-verify: correcting in place models re-programming the
+      // cells that missed their target.
+      const ecc::LevelDecodeResult result =
+          ecc::verify_levels(block.levels, checks_.at(addr));
+      if (!result.ok || result.corrected_cells > 0)
+        counters_.faults_detected.fetch_add(1, std::memory_order_relaxed);
+      if (result.ok) {
+        counters_.faults_corrected.fetch_add(result.corrected_cells,
+                                             std::memory_order_relaxed);
+        return;
+      }
+    }
+    if (round > 0 || !injector_) break;  // one remap round, then give up
+    injector_->remap(addr);
+    counters_.blocks_remapped.fetch_add(1, std::memory_order_relaxed);
+  }
+  counters_.faults_uncorrectable.fetch_add(1, std::memory_order_relaxed);
+  quarantine(addr);
+  throw UncorrectableFaultError(id_, addr);
 }
 
 void BankShard::execute_batch(std::vector<Request> batch) {
@@ -32,7 +144,7 @@ void BankShard::execute_batch(std::vector<Request> batch) {
     // returns from .get() and immediately snapshots sees its own op counted.
     if (req.kind == Request::Kind::Read) {
       try {
-        auto data = specu_.read_block(req.block_addr);
+        auto data = read_block_guarded(req.block_addr);
         counters_.read_latency.record(std::chrono::steady_clock::now() - req.enqueued);
         counters_.reads_completed.fetch_add(1, std::memory_order_relaxed);
         req.read_promise.set_value(std::move(data));
@@ -41,7 +153,7 @@ void BankShard::execute_batch(std::vector<Request> batch) {
       }
     } else {
       try {
-        specu_.write_block(req.block_addr, req.data);
+        write_block_guarded(req.block_addr, req.data);
         const auto done = std::chrono::steady_clock::now();
         counters_.writes_completed.fetch_add(req.write_waiters.size(),
                                              std::memory_order_relaxed);
@@ -64,7 +176,9 @@ unsigned BankShard::scavenge(unsigned max_blocks) {
     // a whole sweep (the paper's engine likewise steps between accesses).
     std::lock_guard lock(state_mutex_);
     const auto start = std::chrono::steady_clock::now();
-    if (specu_.background_encrypt(1) == 0) break;
+    const std::optional<std::uint64_t> addr = specu_.background_encrypt_one();
+    if (!addr) break;
+    if (config_.ecc_enabled) refresh_checks(*addr);
     counters_.background_latency.record(std::chrono::steady_clock::now() - start);
     counters_.background_encrypted.fetch_add(1, std::memory_order_relaxed);
     ++secured;
@@ -72,11 +186,51 @@ unsigned BankShard::scavenge(unsigned max_blocks) {
   return secured;
 }
 
+unsigned BankShard::scrub(unsigned max_blocks) {
+  std::lock_guard lock(state_mutex_);
+  if (!config_.ecc_enabled) return 0;
+  auto& blocks = memory_.blocks();
+  const std::size_t resident = blocks.size();
+  if (resident == 0) return 0;
+
+  unsigned scrubbed = 0;
+  auto it = blocks.lower_bound(scrub_cursor_);
+  const std::size_t visits = std::min<std::size_t>(max_blocks, resident);
+  for (std::size_t v = 0; v < visits; ++v) {
+    if (it == blocks.end()) it = blocks.begin();
+    const std::uint64_t addr = it->first;
+    core::Snvmm::Block& block = it->second;
+    ++it;
+    const auto shadow = checks_.find(addr);
+    if (quarantined_.contains(addr) || shadow == checks_.end()) continue;
+    // One scrub tick: time passes for this block (drift accumulates, stuck
+    // cells re-pin), then the code repairs what it can.
+    if (injector_ && injector_->enabled()) injector_->age_block(addr, block.levels);
+    const ecc::LevelDecodeResult result =
+        ecc::verify_levels(block.levels, shadow->second);
+    counters_.blocks_scrubbed.fetch_add(1, std::memory_order_relaxed);
+    ++scrubbed;
+    if (!result.ok || result.corrected_cells > 0)
+      counters_.faults_detected.fetch_add(1, std::memory_order_relaxed);
+    if (result.ok) {
+      counters_.faults_corrected.fetch_add(result.corrected_cells,
+                                           std::memory_order_relaxed);
+    } else {
+      counters_.faults_uncorrectable.fetch_add(1, std::memory_order_relaxed);
+      quarantine(addr);
+    }
+  }
+  scrub_cursor_ = it == blocks.end() ? 0 : it->first;
+  return scrubbed;
+}
+
 ShardStatsSnapshot BankShard::stats_snapshot() const {
   ShardStatsSnapshot snap = snapshot_counters(id_, counters_);
   std::lock_guard lock(state_mutex_);
   snap.plaintext_blocks = specu_.plaintext_blocks();
   snap.resident_blocks = memory_.block_count();
+  snap.quarantined_now = quarantined_.size();
+  snap.injected_faults = injector_ ? injector_->counts().total() : 0;
   return snap;
 }
 

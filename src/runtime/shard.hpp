@@ -1,16 +1,35 @@
 #pragma once
 // One bank shard of the memory service: an independent Snvmm array with its
-// own SPECU, request queue, and counters. The state mutex serialises the
-// shard's array between its worker thread and the background scavenger —
-// shards never share crypto state, so there is no cross-shard locking.
+// own SPECU, request queue, counters — and, since PR 2, its own resilience
+// machinery: a deterministic FaultInjector (optional), a SEC-DED plane-code
+// shadow of every resident block's stored levels, bounded retry with
+// exponential backoff, and a quarantine set for blocks the code cannot
+// recover. The state mutex serialises the shard's array between its worker
+// thread and the background scavenger — shards never share crypto or fault
+// state, so there is no cross-shard locking.
+//
+// Datapath with ECC enabled (the default):
+//   write: Specu programs+encrypts -> checks recomputed -> injector may
+//          corrupt the programmed levels -> program-verify (SEC-DED) ->
+//          correct / retry / remap-to-spare / quarantine.
+//   read:  sense a copy (injector may pin stuck cells + flip noise bits)
+//          -> SEC-DED verify -> corrected copy written back (scrub-on-read)
+//          -> retry with backoff when uncorrectable -> quarantine + throw
+//          UncorrectableFaultError when retries are exhausted -> Specu
+//          decrypts and the checks are refreshed for the new resting state.
+//   scrub: age the stored levels (drift + stuck pins), verify, correct.
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/snvmm.hpp"
 #include "core/specu.hpp"
 #include "core/tpm.hpp"
+#include "fault/fault_injector.hpp"
 #include "runtime/request_queue.hpp"
 #include "runtime/service_config.hpp"
 #include "runtime/service_stats.hpp"
@@ -19,7 +38,8 @@ namespace spe::runtime {
 
 class BankShard {
 public:
-  BankShard(unsigned id, const ServiceConfig& config);
+  BankShard(unsigned id, const ServiceConfig& config,
+            std::shared_ptr<const fault::FaultPlan> fault_plan = nullptr);
 
   BankShard(const BankShard&) = delete;
   BankShard& operator=(const BankShard&) = delete;
@@ -41,19 +61,46 @@ public:
   /// timing each one into the background-latency histogram.
   unsigned scavenge(unsigned max_blocks);
 
+  /// Scrubbing pass (piggybacked on the scavenger thread, also callable
+  /// synchronously): ages + SEC-DED-verifies up to `max_blocks` resident
+  /// blocks round-robin, correcting in place and quarantining what it
+  /// cannot fix. Returns the number of blocks scrubbed.
+  unsigned scrub(unsigned max_blocks);
+
   /// Counters plus under-lock occupancy (plaintext / resident blocks).
   [[nodiscard]] ShardStatsSnapshot stats_snapshot() const;
 
   [[nodiscard]] double encrypted_fraction() const;
   [[nodiscard]] core::Specu::Stats specu_stats() const;
 
+  /// The shard's injector (null when fault injection is off) — test access;
+  /// callers must not race the worker (quiesce first).
+  [[nodiscard]] fault::FaultInjector* injector() noexcept { return injector_.get(); }
+
 private:
+  // All private helpers assume state_mutex_ is held.
+  [[nodiscard]] std::vector<std::uint8_t> read_block_guarded(std::uint64_t addr);
+  void write_block_guarded(std::uint64_t addr, std::span<const std::uint8_t> data);
+  /// Sense + SEC-DED verify of a resident block against its shadow checks,
+  /// with bounded re-sense retries. Returns false when uncorrectable (the
+  /// caller quarantines); counts detected/corrected/retries.
+  [[nodiscard]] bool verify_block(std::uint64_t addr, core::Snvmm::Block& block,
+                                  const std::vector<std::uint8_t>& checks);
+  void refresh_checks(std::uint64_t addr);
+  void quarantine(std::uint64_t addr);
+  void backoff(unsigned attempt) const;
+
   unsigned id_;
+  ServiceConfig config_;
   ShardCounters counters_;
   RequestQueue queue_;
-  mutable std::mutex state_mutex_;  ///< guards memory_ + specu_
+  mutable std::mutex state_mutex_;  ///< guards memory_ + specu_ + resilience state
   core::Snvmm memory_;
   core::Specu specu_;
+  std::unique_ptr<fault::FaultInjector> injector_;  ///< null = no injection
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> checks_;
+  std::unordered_set<std::uint64_t> quarantined_;
+  std::uint64_t scrub_cursor_ = 0;  ///< round-robin resume point
 };
 
 }  // namespace spe::runtime

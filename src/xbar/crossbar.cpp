@@ -47,7 +47,7 @@ void Crossbar::select_row(unsigned row) {
 }
 
 void Crossbar::write_symbol(CellIndex idx, unsigned symbol) {
-  cell(idx).memristor().set_state(codec_.state_for_symbol(symbol));
+  cell(idx).program_state(codec_.state_for_symbol(symbol));
 }
 
 unsigned Crossbar::read_symbol(CellIndex idx) const {
@@ -58,7 +58,7 @@ void Crossbar::load_symbols(const std::vector<unsigned>& symbols) {
   if (symbols.size() != cell_count())
     throw std::invalid_argument("Crossbar::load_symbols: size mismatch");
   for (unsigned i = 0; i < cell_count(); ++i)
-    cells_[i].memristor().set_state(codec_.state_for_symbol(symbols[i]));
+    cells_[i].program_state(codec_.state_for_symbol(symbols[i]));
 }
 
 std::vector<unsigned> Crossbar::dump_symbols() const {

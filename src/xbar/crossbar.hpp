@@ -61,7 +61,8 @@ public:
 
   /// Idealised write-verify programming of one cell to an MLC symbol band
   /// centre (the NVMM controller's job; SPE never uses this during
-  /// encryption — it perturbs states through pulses only).
+  /// encryption — it perturbs states through pulses only). A cell pinned by
+  /// Cell::force_stuck() refuses to move — the spe_fault stuck-at hook.
   void write_symbol(CellIndex idx, unsigned symbol);
   [[nodiscard]] unsigned read_symbol(CellIndex idx) const;
 

@@ -1,0 +1,177 @@
+// FaultInjector device-layer effects (src/fault): stuck cells pin levels
+// and physical crossbar cells, dropped pulses leave stale levels / refuse
+// to program, sense noise corrupts only the read-out copy, aging drifts
+// stored levels — and a disabled injector is a strict no-op that does not
+// advance the event counters (enable/disable idempotence).
+
+#include "fault/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "xbar/crossbar.hpp"
+
+namespace {
+
+using spe::device::MlcCodec;
+using spe::fault::FaultInjector;
+using spe::fault::FaultModelConfig;
+using spe::fault::FaultPlan;
+
+constexpr std::uint64_t kDevice = 0xFEED;
+constexpr std::uint64_t kAddr = 42;
+
+std::shared_ptr<const FaultPlan> make_plan(std::uint64_t seed,
+                                           const FaultModelConfig& cfg) {
+  return std::make_shared<FaultPlan>(seed, cfg);
+}
+
+std::vector<std::uint8_t> ramp_levels(unsigned n) {
+  std::vector<std::uint8_t> levels(n);
+  for (unsigned i = 0; i < n; ++i) levels[i] = static_cast<std::uint8_t>(i % 64);
+  return levels;
+}
+
+TEST(FaultInjector, StuckCellsPinProgrammedLevels) {
+  FaultModelConfig cfg;
+  cfg.stuck_at_lrs_rate = 1.0;  // every cell stuck at LRS
+  FaultInjector inj(make_plan(1, cfg), kDevice);
+  auto levels = ramp_levels(256);
+  inj.corrupt_program(kAddr, levels);
+  const auto pin = static_cast<std::uint8_t>(MlcCodec::level_for_symbol(0));
+  for (unsigned c = 0; c < levels.size(); ++c) EXPECT_EQ(levels[c], pin) << c;
+  // Cells already at the pin don't count as materialised hits.
+  EXPECT_EQ(inj.counts().stuck_hits, 256u - 4u);  // ramp hits level 8 once per 64
+}
+
+TEST(FaultInjector, DroppedPulsesLeaveObservablyStaleLevels) {
+  FaultModelConfig cfg;
+  cfg.dropped_pulse_rate = 1.0;
+  FaultInjector inj(make_plan(2, cfg), kDevice);
+  const auto intended = ramp_levels(256);
+  auto levels = intended;
+  inj.corrupt_program(kAddr, levels);
+  EXPECT_EQ(inj.counts().dropped_pulses, 256u);
+  for (unsigned c = 0; c < levels.size(); ++c) {
+    EXPECT_NE(levels[c], intended[c]) << c;  // guaranteed observable
+    EXPECT_LT(levels[c], 64u) << c;
+  }
+}
+
+TEST(FaultInjector, SenseNoiseIsTransientSingleBit) {
+  FaultModelConfig cfg;
+  cfg.read_noise_rate = 0.25;
+  FaultInjector inj(make_plan(3, cfg), kDevice);
+  const auto stored = ramp_levels(256);
+  auto sensed = stored;
+  inj.corrupt_sense(kAddr, sensed);
+  unsigned flipped = 0;
+  for (unsigned c = 0; c < sensed.size(); ++c) {
+    if (sensed[c] == stored[c]) continue;
+    ++flipped;
+    const unsigned diff = sensed[c] ^ stored[c];
+    EXPECT_EQ(diff & (diff - 1), 0u) << c;  // exactly one bit
+    EXPECT_LT(sensed[c], 64u) << c;         // within the 6 level bits
+  }
+  EXPECT_EQ(flipped, inj.counts().noise_events);
+  EXPECT_GT(flipped, 0u);
+  // A later sense of the same block re-rolls: the noise is transient.
+  auto sensed2 = stored;
+  inj.corrupt_sense(kAddr, sensed2);
+  EXPECT_NE(sensed, sensed2);
+}
+
+TEST(FaultInjector, AgingDriftsStoredLevelsWithinRange) {
+  FaultModelConfig cfg;
+  cfg.drift_sigma = 3.0;
+  FaultInjector inj(make_plan(4, cfg), kDevice);
+  const auto before = ramp_levels(256);
+  auto levels = before;
+  inj.age_block(kAddr, levels);
+  EXPECT_GT(inj.counts().drift_events, 0u);
+  unsigned moved = 0;
+  for (unsigned c = 0; c < levels.size(); ++c) {
+    EXPECT_LT(levels[c], 64u) << c;
+    if (levels[c] != before[c]) ++moved;
+  }
+  EXPECT_EQ(moved, inj.counts().drift_events);
+}
+
+// Disabled injector: no mutation AND no counter advance. Interleaving
+// disabled calls must leave the schedule exactly where it was.
+TEST(FaultInjector, DisabledIsStrictNoOpWithoutCounterAdvance) {
+  FaultModelConfig cfg;
+  cfg.read_noise_rate = 0.5;
+  const auto plan = make_plan(5, cfg);
+  const auto stored = ramp_levels(256);
+
+  FaultInjector reference(plan, kDevice);
+  auto ref_sense0 = stored;
+  reference.corrupt_sense(kAddr, ref_sense0);
+
+  FaultInjector toggled(plan, kDevice, /*enabled=*/false);
+  auto untouched = stored;
+  toggled.corrupt_sense(kAddr, untouched);  // disabled: no-op
+  toggled.corrupt_sense(kAddr, untouched);
+  EXPECT_EQ(untouched, stored);
+  EXPECT_EQ(toggled.counts().total(), 0u);
+
+  toggled.set_enabled(true);
+  auto first_enabled = stored;
+  toggled.corrupt_sense(kAddr, first_enabled);
+  // The disabled calls did not consume sense events: the first enabled
+  // sense replays the reference injector's first sense exactly.
+  EXPECT_EQ(first_enabled, ref_sense0);
+}
+
+TEST(FaultInjector, PinUnitSticksPhysicalCells) {
+  FaultModelConfig cfg;
+  cfg.stuck_at_lrs_rate = 1.0;
+  FaultInjector inj(make_plan(6, cfg), kDevice);
+  spe::xbar::Crossbar xbar;
+  const unsigned pinned = inj.pin_unit(xbar, kAddr, /*unit=*/0);
+  EXPECT_EQ(pinned, xbar.cell_count());
+  for (unsigned flat = 0; flat < xbar.cell_count(); ++flat) {
+    EXPECT_TRUE(xbar.cell(flat).stuck());
+    // Idealised write-verify cannot move a stuck cell off its band.
+    xbar.write_symbol(xbar.position_of(flat), 3);
+    EXPECT_EQ(xbar.read_symbol(xbar.position_of(flat)), 0u) << flat;
+  }
+}
+
+TEST(FaultInjector, ProgramSymbolReportsDropsAndStuckRefusals) {
+  FaultModelConfig clean_cfg;
+  FaultInjector clean(make_plan(7, clean_cfg), kDevice);
+  spe::xbar::Crossbar xbar;
+  EXPECT_TRUE(clean.program_symbol(xbar, 0, 2, kAddr, 0));
+  EXPECT_EQ(xbar.read_symbol(xbar.position_of(0)), 2u);
+
+  FaultModelConfig drop_cfg;
+  drop_cfg.dropped_pulse_rate = 1.0;
+  FaultInjector dropper(make_plan(8, drop_cfg), kDevice);
+  EXPECT_FALSE(dropper.program_symbol(xbar, 0, 3, kAddr, 0));
+  EXPECT_EQ(xbar.read_symbol(xbar.position_of(0)), 2u);  // kept previous state
+  EXPECT_EQ(dropper.counts().dropped_pulses, 1u);
+}
+
+// After a remap the block lives on spare cells: fresh manufacturing draws.
+TEST(FaultInjector, RemapRerollsStuckPattern) {
+  FaultModelConfig cfg;
+  cfg.stuck_at_lrs_rate = 0.25;
+  cfg.stuck_at_hrs_rate = 0.25;
+  FaultInjector inj(make_plan(9, cfg), kDevice);
+  const auto clean = ramp_levels(256);
+  auto before = clean;
+  inj.corrupt_program(kAddr, before);
+  EXPECT_EQ(inj.remap_epoch(kAddr), 0u);
+  inj.remap(kAddr);
+  EXPECT_EQ(inj.remap_epoch(kAddr), 1u);
+  auto after = clean;
+  inj.corrupt_program(kAddr, after);
+  EXPECT_NE(before, after);
+}
+
+}  // namespace

