@@ -12,12 +12,19 @@
 // byte-identical reports. Exit status is the acceptance check: nonzero if
 // the ECC+scrub stack ever returned silently corrupted data.
 //
+// Each point also runs two deterministic crash probes (an interrupted
+// rewrite and an interrupted decrypting read, restored from kill-point
+// snapshots) and reports the journal-recovery classification — blocks
+// replayed forward, rolled back and torn-quarantined — alongside the
+// resilience counters.
+//
 // Overrides: SPE_FAULT_BLOCKS (working set per point), SPE_FAULT_SCRUBS
 //            (synchronous scrub passes between write and read),
 //            SPE_FAULT_SEED (FaultPlan seed).
 
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -45,6 +52,11 @@ struct Outcome {
   unsigned reads_ok = 0;       ///< returned data that matched what was written
   unsigned reads_silent = 0;   ///< returned data that did NOT match (uncorrected!)
   unsigned reads_failed = 0;   ///< threw Uncorrectable/Quarantined (unavailable)
+  // Crash-probe recovery classification (one interrupted write + one
+  // interrupted read, restored from their kill-point snapshots).
+  std::uint64_t replayed = 0;
+  std::uint64_t rolled_back = 0;
+  std::uint64_t torn = 0;
   ServiceStatsSnapshot stats;
 };
 
@@ -102,6 +114,46 @@ Outcome run_point(const FaultPoint& point, bool ecc, unsigned blocks,
     }
   }
   out.stats = service.stats();
+
+  // Crash probes: interrupt one rewrite mid-flight and one decrypting read
+  // mid-flight, restore a fresh service from each kill-point snapshot (plus
+  // the other shards' quiescent state), and fold the journal-recovery
+  // classification into the report. Snapshot capture and restore are both
+  // deterministic, so these columns replay byte-identically per seed.
+  std::vector<std::string> quiescent(service.shard_count());
+  for (unsigned s = 0; s < service.shard_count(); ++s) {
+    std::ostringstream o;
+    service.shard(s).save_state(o);
+    quiescent[s] = o.str();
+  }
+  const std::uint64_t probe_addr = 0;
+  const unsigned target = service.shard_of(probe_addr);
+  const auto probe = [&](auto&& op) {
+    std::vector<std::string> snaps;
+    service.shard(target).set_crash_hook(
+        [&snaps](unsigned, const std::string& blob) { snaps.push_back(blob); });
+    try {
+      op();
+    } catch (const std::exception&) {
+    }
+    service.shard(target).set_crash_hook(nullptr);
+    if (snaps.empty()) return;  // the op faulted before touching the journal
+    std::vector<std::string> blobs = quiescent;
+    blobs[target] = snaps[snaps.size() - snaps.size() / 4 - 1];  // late mid-op
+    std::ostringstream ck;
+    MemoryService::write_checkpoint(ck, blobs);
+    std::istringstream in(ck.str());
+    MemoryService restored(cfg, in);
+    const auto totals = restored.recovery_report().totals();
+    out.replayed += totals.replayed_forward;
+    out.rolled_back += totals.rolled_back;
+    out.torn += totals.torn_quarantined + totals.crc_quarantined;
+  };
+  // The write leaves probe_addr encrypted even in serial mode, so the read
+  // probe that follows is guaranteed a decrypt pulse sequence to interrupt.
+  probe([&] { service.write(probe_addr, payload_for(probe_addr, block_bytes)); });
+  probe([&] { (void)service.read(probe_addr); });
+
   service.stop();
   return out;
 }
@@ -138,7 +190,7 @@ int main() {
 
   spe::util::Table table({"point", "ecc", "avail%", "silent", "detected",
                           "corrected", "uncorr", "quar", "remap", "retries",
-                          "scrubbed", "injected"});
+                          "scrubbed", "injected", "replay", "rollbk", "torn"});
   unsigned ecc_silent_total = 0;
   unsigned noecc_corrupt_total = 0;
   for (const FaultPoint& p : points) {
@@ -161,7 +213,9 @@ int main() {
                      std::to_string(t.blocks_remapped),
                      std::to_string(t.read_retries + t.write_retries),
                      std::to_string(t.blocks_scrubbed),
-                     std::to_string(t.injected_faults)});
+                     std::to_string(t.injected_faults),
+                     std::to_string(o.replayed), std::to_string(o.rolled_back),
+                     std::to_string(o.torn)});
     }
   }
   table.print();

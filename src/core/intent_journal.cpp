@@ -1,0 +1,32 @@
+#include "core/intent_journal.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace spe::core {
+
+void IntentJournal::begin(JournalEntry entry) {
+  entries_[entry.block_addr] = std::move(entry);
+  notify();
+}
+
+void IntentJournal::advance(std::uint64_t block_addr) {
+  const auto it = entries_.find(block_addr);
+  if (it == entries_.end())
+    throw std::logic_error("IntentJournal::advance: no open intent for block " +
+                           std::to_string(block_addr));
+  ++it->second.progress;
+  notify();
+}
+
+void IntentJournal::commit(std::uint64_t block_addr) {
+  entries_.erase(block_addr);
+  notify();
+}
+
+const JournalEntry* IntentJournal::find(std::uint64_t block_addr) const {
+  const auto it = entries_.find(block_addr);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace spe::core

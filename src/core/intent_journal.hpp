@@ -1,0 +1,79 @@
+#pragma once
+// Per-device write-ahead intent journal for crash-consistent SPE.
+//
+// An SPE encrypt/decrypt is a multi-pulse, order-dependent analog sequence:
+// a power loss mid-sequence leaves a block neither encrypted nor decrypted,
+// internally consistent to ECC yet undecryptable even with the key. The
+// SPECU therefore records its intent in a small reserved region of the
+// non-volatile array BEFORE the first pulse and advances a progress index
+// as each PoE lands, so a post-crash scan can tell exactly how far every
+// in-flight sequence got:
+//
+//   Program  - write phase, plaintext band centres being programmed
+//              (progress counts units; interrupted = torn, the old data is
+//              already partially overwritten and no pulses can fix it)
+//   Encrypt  - PoE sequence being applied (progress counts pulses,
+//              unit-major; interrupted = resumable from the logged index)
+//   Decrypt  - reverse sequence being replayed (pre_image holds the
+//              encrypted levels as of the first pulse; interrupted = roll
+//              back to the pre-image)
+//
+// The journal itself lives in NVM (it is serialised inside the v2
+// snvmm_io image), so it survives exactly the crashes it describes. The
+// observer hook fires after every mutation — the kill-point crash campaign
+// uses it to snapshot the device at every journal step.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace spe::core {
+
+enum class JournalOp : std::uint8_t { Program = 1, Encrypt = 2, Decrypt = 3 };
+
+struct JournalEntry {
+  std::uint64_t block_addr = 0;
+  JournalOp op = JournalOp::Encrypt;
+  std::uint64_t epoch = 0;     ///< key-schedule epoch the pulses belong to
+  std::uint32_t progress = 0;  ///< steps applied so far
+  std::uint32_t total = 0;     ///< steps in the whole sequence
+  std::vector<std::uint8_t> pre_image;  ///< Decrypt: levels before step one
+};
+
+class IntentJournal {
+public:
+  /// Opens (or replaces) the intent record for entry.block_addr.
+  void begin(JournalEntry entry);
+
+  /// One more step of the open sequence has been applied to the array.
+  /// Throws std::logic_error if no intent is open for the address.
+  void advance(std::uint64_t block_addr);
+
+  /// The sequence completed; the intent record is erased.
+  /// Committing an address with no open intent is a no-op.
+  void commit(std::uint64_t block_addr);
+
+  [[nodiscard]] const JournalEntry* find(std::uint64_t block_addr) const;
+  [[nodiscard]] const std::map<std::uint64_t, JournalEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Kill-point hook: invoked after every begin/advance/commit, i.e. at
+  /// each state a power loss could freeze into the array. Not invoked by
+  /// clear() (that is deserialisation plumbing, not an operation step).
+  void set_observer(std::function<void()> observer) { observer_ = std::move(observer); }
+
+private:
+  void notify() const {
+    if (observer_) observer_();
+  }
+
+  std::map<std::uint64_t, JournalEntry> entries_;  ///< ordered: serialisation is deterministic
+  std::function<void()> observer_;
+};
+
+}  // namespace spe::core

@@ -13,6 +13,7 @@
 
 #include "core/calibration.hpp"
 #include "core/fingerprint.hpp"
+#include "core/intent_journal.hpp"
 
 namespace spe::core {
 
@@ -68,11 +69,18 @@ public:
   }
   [[nodiscard]] std::map<std::uint64_t, Block>& blocks() noexcept { return blocks_; }
 
+  /// The crash-consistency intent journal, modelled as a reserved region of
+  /// this non-volatile array: it survives power loss with the cell levels
+  /// and is serialised inside the v2 device image (core/snvmm_io).
+  [[nodiscard]] IntentJournal& journal() noexcept { return journal_; }
+  [[nodiscard]] const IntentJournal& journal() const noexcept { return journal_; }
+
 private:
   SnvmmConfig config_;
   xbar::CrossbarParams device_params_;
   DeviceFingerprint fingerprint_;
   std::map<std::uint64_t, Block> blocks_;
+  IntentJournal journal_;
 };
 
 }  // namespace spe::core

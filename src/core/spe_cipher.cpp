@@ -124,6 +124,22 @@ void SpeCipher::decrypt(UnitLevels& levels) const {
     apply_pulse(levels, steps[s], s, false);
 }
 
+void SpeCipher::encrypt_step(UnitLevels& levels, unsigned step) const {
+  if (levels.size() != cell_count())
+    throw std::invalid_argument("SpeCipher::encrypt_step: size");
+  if (step >= schedule_.steps().size())
+    throw std::out_of_range("SpeCipher::encrypt_step: step index");
+  apply_pulse(levels, schedule_.steps()[step], step, true);
+}
+
+void SpeCipher::decrypt_step(UnitLevels& levels, unsigned step) const {
+  if (levels.size() != cell_count())
+    throw std::invalid_argument("SpeCipher::decrypt_step: size");
+  if (step >= schedule_.steps().size())
+    throw std::out_of_range("SpeCipher::decrypt_step: step index");
+  apply_pulse(levels, schedule_.steps()[step], step, false);
+}
+
 void SpeCipher::encrypt_truncated(UnitLevels& levels, unsigned pulses) const {
   if (levels.size() != cell_count())
     throw std::invalid_argument("SpeCipher::encrypt_truncated: size");

@@ -53,6 +53,15 @@ public:
   void encrypt(UnitLevels& levels) const;
   void decrypt(UnitLevels& levels) const;
 
+  // --- resumable sequence cursor (crash consistency) -----------------------
+  // One encryption is schedule() applied as steps 0..N-1; one decryption is
+  // the inverses applied as steps N-1..0. These primitives expose a single
+  // step so the SPECU can advance its intent journal between pulses and
+  // recovery can resume an interrupted encryption from the logged index:
+  // encrypt == encrypt_step(0..N-1); decrypt == decrypt_step(N-1..0).
+  void encrypt_step(UnitLevels& levels, unsigned step) const;
+  void decrypt_step(UnitLevels& levels, unsigned step) const;
+
   /// Truncated encryption with only the first `pulses` steps — the PoE-count
   /// ablation of Section 6.1 ("fewer than 16 PoEs fail a large number of
   /// tests").

@@ -1,17 +1,27 @@
 #include "core/specu.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
 
 namespace spe::core {
 
 namespace {
 // Per-pulse ageing relative to a full write (Section 5.2 / wear module).
 constexpr double kSpePulseWear = 0.02;
+constexpr std::uint64_t kEpochInit = 0x243F6A8885A308D3ull;
 }  // namespace
 
 Specu::Specu(Snvmm& memory, SpeMode mode, std::vector<unsigned> poes)
     : memory_(memory), mode_(mode), poes_(std::move(poes)) {
   calibration_ = get_calibration(memory_.device_params());
+  // A restored image may carry plaintext resident blocks (SPE-serial resting
+  // state at the checkpoint); rebuild the pending set so power_down and the
+  // background engine keep securing them.
+  for (const auto& [addr, block] : std::as_const(memory_).blocks())
+    if (!block.encrypted) plaintext_.insert(addr);
 }
 
 bool Specu::power_on(const Tpm& tpm, std::uint64_t platform_measurement) {
@@ -20,6 +30,14 @@ bool Specu::power_on(const Tpm& tpm, std::uint64_t platform_measurement) {
   ciphers_.clear();
   for (unsigned unit = 0; unit < memory_.config().units_per_block; ++unit)
     ciphers_.push_back(std::make_unique<SpeCipher>(*key, calibration_, poes_, unit));
+  // Key-schedule epoch: fold every unit's pulse sequence into one digest so
+  // journal intents recorded now are bound to exactly these pulses.
+  std::uint64_t e = kEpochInit;
+  for (unsigned unit = 0; unit < ciphers_.size(); ++unit)
+    for (const PulseStep& step : ciphers_[unit]->schedule())
+      e = util::mix64(e ^ (std::uint64_t{unit} << 48) ^
+                      (std::uint64_t{step.poe_cell} << 16) ^ step.pulse_code);
+  epoch_ = e;
   return true;
 }
 
@@ -27,7 +45,9 @@ unsigned Specu::power_down() {
   if (!powered()) return 0;
   unsigned secured = 0;
   for (std::uint64_t addr : plaintext_) {
-    encrypt_block_in_place(memory_.block(addr));
+    Snvmm::Block& block = memory_.block(addr);
+    begin_intent(addr, JournalOp::Encrypt, 0, pulses_per_block());
+    encrypt_block_in_place(addr, block);
     ++secured;
   }
   plaintext_.clear();
@@ -43,31 +63,74 @@ unsigned Specu::power_loss() {
   return abandoned;
 }
 
-void Specu::encrypt_block_in_place(Snvmm::Block& block) {
-  const unsigned cells = calibration_->cell_count();
-  for (unsigned unit = 0; unit < ciphers_.size(); ++unit) {
-    UnitLevels levels(block.levels.begin() + unit * cells,
-                      block.levels.begin() + (unit + 1) * cells);
-    cipher(unit).encrypt(levels);
-    std::copy(levels.begin(), levels.end(), block.levels.begin() + unit * cells);
-    ++stats_.encrypt_ops;
-    // Section 5.2: each PoE pulse ages the cells by ~2% of a full write.
-    block.wear += kSpePulseWear * static_cast<double>(cipher(unit).schedule().size());
-  }
-  block.encrypted = true;
+unsigned Specu::schedule_length() const {
+  return ciphers_.empty() ? 0 : static_cast<unsigned>(ciphers_[0]->schedule().size());
 }
 
-void Specu::decrypt_block_in_place(Snvmm::Block& block) {
+std::uint32_t Specu::pulses_per_block() const noexcept {
+  return ciphers_.empty()
+             ? 0
+             : static_cast<std::uint32_t>(ciphers_.size() * ciphers_[0]->schedule().size());
+}
+
+void Specu::begin_intent(std::uint64_t addr, JournalOp op, std::uint32_t progress,
+                         std::uint32_t total, std::vector<std::uint8_t> pre_image) {
+  JournalEntry entry;
+  entry.block_addr = addr;
+  entry.op = op;
+  entry.epoch = epoch_;
+  entry.progress = progress;
+  entry.total = total;
+  entry.pre_image = std::move(pre_image);
+  memory_.journal().begin(std::move(entry));
+}
+
+void Specu::encrypt_block_in_place(std::uint64_t addr, Snvmm::Block& block,
+                                   std::uint32_t progress) {
   const unsigned cells = calibration_->cell_count();
+  const unsigned sched = schedule_length();
+  IntentJournal& journal = memory_.journal();
+  for (unsigned unit = progress / sched; unit < ciphers_.size(); ++unit) {
+    const unsigned first = unit == progress / sched ? progress % sched : 0;
+    UnitLevels levels(block.levels.begin() + unit * cells,
+                      block.levels.begin() + (unit + 1) * cells);
+    for (unsigned s = first; s < sched; ++s) {
+      // One PoE pulse, then the journal index — the array state between any
+      // two advances is exactly what a power loss there would leave behind.
+      cipher(unit).encrypt_step(levels, s);
+      std::copy(levels.begin(), levels.end(), block.levels.begin() + unit * cells);
+      journal.advance(addr);
+    }
+    ++stats_.encrypt_ops;
+    // Section 5.2: each PoE pulse ages the cells by ~2% of a full write.
+    block.wear += kSpePulseWear * static_cast<double>(sched - first);
+  }
+  block.encrypted = true;
+  journal.commit(addr);
+}
+
+void Specu::decrypt_block_in_place(std::uint64_t addr, Snvmm::Block& block) {
+  const unsigned cells = calibration_->cell_count();
+  const unsigned sched = schedule_length();
+  IntentJournal& journal = memory_.journal();
+  // The pre-image (the encrypted resting state) rides in the intent: an
+  // interrupted decrypt is rolled back, never resumed, because the paper's
+  // reverse replay has no mid-sequence resting states an ECC check could
+  // distinguish from garbage.
+  begin_intent(addr, JournalOp::Decrypt, 0, pulses_per_block(), block.levels);
   for (unsigned unit = 0; unit < ciphers_.size(); ++unit) {
     UnitLevels levels(block.levels.begin() + unit * cells,
                       block.levels.begin() + (unit + 1) * cells);
-    cipher(unit).decrypt(levels);
-    std::copy(levels.begin(), levels.end(), block.levels.begin() + unit * cells);
+    for (unsigned s = sched; s-- > 0;) {
+      cipher(unit).decrypt_step(levels, s);
+      std::copy(levels.begin(), levels.end(), block.levels.begin() + unit * cells);
+      journal.advance(addr);
+    }
     ++stats_.decrypt_ops;
-    block.wear += kSpePulseWear * static_cast<double>(cipher(unit).schedule().size());
+    block.wear += kSpePulseWear * static_cast<double>(sched);
   }
   block.encrypted = false;
+  journal.commit(addr);
 }
 
 void Specu::write_block(std::uint64_t block_addr, std::span<const std::uint8_t> data) {
@@ -76,6 +139,10 @@ void Specu::write_block(std::uint64_t block_addr, std::span<const std::uint8_t> 
     throw std::invalid_argument("Specu::write_block: bad block size");
 
   Snvmm::Block& block = memory_.block(block_addr);
+  const auto units = static_cast<std::uint32_t>(ciphers_.size());
+  // Intent first: once the first band centre lands the old contents are
+  // gone, so an interrupted write phase is torn by construction.
+  begin_intent(block_addr, JournalOp::Program, 0, units);
   block.wear += 1.0;  // full write: one RESET/SET-class cycle per cell
   const unsigned cells = calibration_->cell_count();
   const unsigned unit_bytes = cells / 4;
@@ -84,18 +151,21 @@ void Specu::write_block(std::uint64_t block_addr, std::span<const std::uint8_t> 
     const UnitLevels levels =
         cipher(unit).levels_from_bytes(data.subspan(unit * unit_bytes, unit_bytes));
     std::copy(levels.begin(), levels.end(), block.levels.begin() + unit * cells);
+    memory_.journal().advance(block_addr);
   }
   block.encrypted = false;
   plaintext_.erase(block_addr);
-  // Encryption phase (all transistors ON, PoE pulses applied).
-  encrypt_block_in_place(block);
+  // Encryption phase (all transistors ON, PoE pulses applied). Re-begins the
+  // intent as a resumable Encrypt: the plaintext is fully programmed now.
+  begin_intent(block_addr, JournalOp::Encrypt, 0, pulses_per_block());
+  encrypt_block_in_place(block_addr, block);
   ++stats_.writes;
 }
 
 std::vector<std::uint8_t> Specu::read_block(std::uint64_t block_addr) {
   if (!powered()) throw std::logic_error("Specu::read_block: not powered / no key");
   Snvmm::Block& block = memory_.block(block_addr);
-  if (block.encrypted) decrypt_block_in_place(block);
+  if (block.encrypted) decrypt_block_in_place(block_addr, block);
 
   const unsigned cells = calibration_->cell_count();
   const unsigned unit_bytes = cells / 4;
@@ -109,7 +179,8 @@ std::vector<std::uint8_t> Specu::read_block(std::uint64_t block_addr) {
   ++stats_.reads;
 
   if (mode_ == SpeMode::Parallel) {
-    encrypt_block_in_place(block);
+    begin_intent(block_addr, JournalOp::Encrypt, 0, pulses_per_block());
+    encrypt_block_in_place(block_addr, block);
   } else {
     plaintext_.insert(block_addr);
   }
@@ -126,8 +197,31 @@ std::optional<std::uint64_t> Specu::background_encrypt_one() {
   if (!powered() || plaintext_.empty()) return std::nullopt;
   const std::uint64_t addr = *plaintext_.begin();
   plaintext_.erase(plaintext_.begin());
-  encrypt_block_in_place(memory_.block(addr));
+  begin_intent(addr, JournalOp::Encrypt, 0, pulses_per_block());
+  encrypt_block_in_place(addr, memory_.block(addr));
   return addr;
+}
+
+void Specu::resume_encrypt(std::uint64_t block_addr, std::uint32_t progress) {
+  if (!powered()) throw std::logic_error("Specu::resume_encrypt: not powered / no key");
+  if (progress > pulses_per_block())
+    throw std::invalid_argument("Specu::resume_encrypt: progress past schedule end");
+  Snvmm::Block& block = memory_.block(block_addr);
+  begin_intent(block_addr, JournalOp::Encrypt, progress, pulses_per_block());
+  encrypt_block_in_place(block_addr, block, progress);
+  plaintext_.erase(block_addr);
+}
+
+void Specu::rollback_decrypt(std::uint64_t block_addr,
+                             std::span<const std::uint8_t> pre_image) {
+  if (!powered()) throw std::logic_error("Specu::rollback_decrypt: not powered / no key");
+  Snvmm::Block& block = memory_.block(block_addr);
+  if (pre_image.size() != block.levels.size())
+    throw std::invalid_argument("Specu::rollback_decrypt: pre-image size mismatch");
+  block.levels.assign(pre_image.begin(), pre_image.end());
+  block.encrypted = true;
+  plaintext_.erase(block_addr);
+  memory_.journal().commit(block_addr);
 }
 
 double Specu::encrypted_fraction() const {

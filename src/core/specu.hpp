@@ -54,6 +54,17 @@ public:
   [[nodiscard]] bool powered() const noexcept { return ciphers_.size() > 0; }
   [[nodiscard]] SpeMode mode() const noexcept { return mode_; }
 
+  /// Key-schedule epoch: a digest of the full per-unit pulse schedule the
+  /// current key derives. Journal intents are stamped with it; recovery
+  /// refuses to replay pulses recorded under a different schedule (a wrong
+  /// key would reconstruct wrong chains and corrupt silently). 0 until the
+  /// first successful power_on().
+  [[nodiscard]] std::uint64_t schedule_epoch() const noexcept { return epoch_; }
+
+  /// Pulses in one full block encryption (units x schedule length); the
+  /// `total` of Encrypt/Decrypt journal intents. 0 when not powered.
+  [[nodiscard]] std::uint32_t pulses_per_block() const noexcept;
+
   /// Cache-block write: stores plaintext and encrypts it (write phase +
   /// encryption phase, Section 4.1).
   void write_block(std::uint64_t block_addr, std::span<const std::uint8_t> data);
@@ -72,6 +83,21 @@ public:
   /// refresh it; nullopt when nothing is pending or the key is gone.
   [[nodiscard]] std::optional<std::uint64_t> background_encrypt_one();
 
+  // --- crash recovery primitives ------------------------------------------
+  // Building blocks for the runtime's journal-recovery state machine; both
+  // journal themselves, so a crash *during* recovery is itself recoverable.
+
+  /// Finishes an interrupted encryption from pulse index `progress`
+  /// (unit-major, as logged by the intent journal). The block ends fully
+  /// encrypted and is removed from the plaintext pending set.
+  void resume_encrypt(std::uint64_t block_addr, std::uint32_t progress);
+
+  /// Undoes an interrupted decryption by restoring the journaled pre-image:
+  /// the block returns to its encrypted resting state and the intent is
+  /// committed. The restore is a plain level copy (no pulses), the analog
+  /// equivalent of re-programming the saved ciphertext.
+  void rollback_decrypt(std::uint64_t block_addr, std::span<const std::uint8_t> pre_image);
+
   /// Blocks currently sitting in the array as plaintext.
   [[nodiscard]] std::size_t plaintext_blocks() const noexcept { return plaintext_.size(); }
   /// Fraction of resident blocks currently encrypted (1.0 for empty array).
@@ -87,8 +113,14 @@ public:
 
 private:
   [[nodiscard]] const SpeCipher& cipher(unsigned unit) const { return *ciphers_.at(unit); }
-  void encrypt_block_in_place(Snvmm::Block& block);
-  void decrypt_block_in_place(Snvmm::Block& block);
+  [[nodiscard]] unsigned schedule_length() const;
+  void begin_intent(std::uint64_t addr, JournalOp op, std::uint32_t progress,
+                    std::uint32_t total, std::vector<std::uint8_t> pre_image = {});
+  /// Applies pulses [progress, pulses_per_block()) forward; commits the
+  /// open Encrypt intent. Caller must have begun the intent.
+  void encrypt_block_in_place(std::uint64_t addr, Snvmm::Block& block,
+                              std::uint32_t progress = 0);
+  void decrypt_block_in_place(std::uint64_t addr, Snvmm::Block& block);
 
   Snvmm& memory_;
   SpeMode mode_;
@@ -96,6 +128,7 @@ private:
   std::shared_ptr<const CipherCalibration> calibration_;
   std::vector<std::unique_ptr<SpeCipher>> ciphers_;  ///< one per unit index
   std::set<std::uint64_t> plaintext_;                ///< serial-mode pending set
+  std::uint64_t epoch_ = 0;                          ///< key-schedule digest
   Stats stats_;
 };
 

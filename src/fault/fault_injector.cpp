@@ -20,6 +20,17 @@ std::uint32_t FaultInjector::remap_epoch(std::uint64_t block_addr) const {
 
 void FaultInjector::remap(std::uint64_t block_addr) { ++blocks_[block_addr].epoch; }
 
+std::map<std::uint64_t, std::uint32_t> FaultInjector::remap_table() const {
+  std::map<std::uint64_t, std::uint32_t> table;
+  for (const auto& [addr, state] : blocks_)
+    if (state.epoch != 0) table.emplace(addr, state.epoch);
+  return table;
+}
+
+void FaultInjector::set_remap_epoch(std::uint64_t block_addr, std::uint32_t epoch) {
+  blocks_[block_addr].epoch = epoch;
+}
+
 void FaultInjector::corrupt_program(std::uint64_t block_addr,
                                     std::span<std::uint8_t> levels) {
   if (!enabled_) return;

@@ -18,6 +18,7 @@
 // sequence of enabled calls.
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -42,6 +43,13 @@ public:
   /// block to a spare physical location with fresh fault draws.
   [[nodiscard]] std::uint32_t remap_epoch(std::uint64_t block_addr) const;
   void remap(std::uint64_t block_addr);
+
+  /// The spare-remap table: every block with a nonzero remap epoch, in
+  /// address order (deterministic, for checkpoint serialisation).
+  [[nodiscard]] std::map<std::uint64_t, std::uint32_t> remap_table() const;
+  /// Restores one remap entry from a checkpoint (the event counters restart
+  /// at zero: fresh draws for the spare location, matching a fresh remap).
+  void set_remap_epoch(std::uint64_t block_addr, std::uint32_t epoch);
 
   // --- level-domain hooks (runtime datapath) ------------------------------
 

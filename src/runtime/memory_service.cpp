@@ -1,6 +1,9 @@
 #include "runtime/memory_service.hpp"
 
+#include <cstring>
+#include <fstream>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/key.hpp"
@@ -17,31 +20,107 @@ std::uint64_t mix64(std::uint64_t x) noexcept {
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
   return x ^ (x >> 31);
 }
+
+constexpr char kCheckpointMagic[8] = {'S', 'P', 'E', 'S', 'V', 'C', 'K', '1'};
+
+ServiceConfig normalized(ServiceConfig config) {
+  if (config.shards == 0) config.shards = 1;
+  if (config.worker_threads == 0) config.worker_threads = 1;
+  if (config.worker_threads > config.shards) config.worker_threads = config.shards;
+  return config;
+}
+
+// One plan shared by every shard: decisions are keyed by (device id,
+// block, cell, epoch, event), so sharing costs nothing and keeps the
+// whole service replayable from a single seed.
+std::shared_ptr<const fault::FaultPlan> make_plan(const ServiceConfig& config) {
+  if (config.fault_injection && config.faults.any())
+    return std::make_shared<fault::FaultPlan>(config.fault_seed, config.faults);
+  return nullptr;
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out.write(buf, 8);
+}
+
+std::uint64_t read_u64(std::istream& in, const char* what) {
+  char buf[8];
+  in.read(buf, 8);
+  if (static_cast<std::size_t>(in.gcount()) != 8 || !in)
+    throw std::runtime_error(std::string("service checkpoint: truncated while reading ") +
+                             what);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
+  return v;
+}
 }  // namespace
 
-MemoryService::MemoryService(ServiceConfig config) : config_(config) {
-  if (config_.shards == 0) config_.shards = 1;
-  if (config_.worker_threads == 0) config_.worker_threads = 1;
-  if (config_.worker_threads > config_.shards) config_.worker_threads = config_.shards;
+MemoryService::MemoryService(ServiceConfig config) : config_(normalized(config)) {
+  const auto plan = make_plan(config_);
+  shards_.reserve(config_.shards);
+  for (unsigned s = 0; s < config_.shards; ++s)
+    shards_.push_back(std::make_unique<BankShard>(s, config_, plan));
+  provision_and_power();
+  start_threads();
+}
 
-  util::Xoshiro256ss rng(config_.key_seed);
-  const core::SpeKey key = core::SpeKey::random(rng);
+MemoryService::MemoryService(ServiceConfig config, std::istream& checkpoint)
+    : config_(normalized(config)) {
+  init_from_checkpoint(checkpoint);
+}
 
-  // One plan shared by every shard: decisions are keyed by (device id,
-  // block, cell, epoch, event), so sharing costs nothing and keeps the
-  // whole service replayable from a single seed.
-  std::shared_ptr<const fault::FaultPlan> plan;
-  if (config_.fault_injection && config_.faults.any())
-    plan = std::make_shared<fault::FaultPlan>(config_.fault_seed, config_.faults);
+MemoryService::MemoryService(ServiceConfig config, const std::string& checkpoint_path)
+    : config_(normalized(config)) {
+  std::ifstream in(checkpoint_path, std::ios::binary);
+  if (!in) throw std::runtime_error("service checkpoint: cannot open " + checkpoint_path);
+  init_from_checkpoint(in);
+}
 
+void MemoryService::init_from_checkpoint(std::istream& checkpoint) {
+  char magic[sizeof(kCheckpointMagic)];
+  checkpoint.read(magic, sizeof(magic));
+  if (static_cast<std::size_t>(checkpoint.gcount()) != sizeof(magic) ||
+      std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0)
+    throw std::runtime_error("service checkpoint: bad magic");
+  const std::uint64_t shard_count = read_u64(checkpoint, "shard count");
+  if (shard_count != config_.shards)
+    throw std::runtime_error("service checkpoint: shard count mismatch (checkpoint has " +
+                             std::to_string(shard_count) + ", config wants " +
+                             std::to_string(config_.shards) + ")");
+
+  const auto plan = make_plan(config_);
   shards_.reserve(config_.shards);
   for (unsigned s = 0; s < config_.shards; ++s) {
-    shards_.push_back(std::make_unique<BankShard>(s, config_, plan));
-    tpm_.provision(shards_.back()->device_id(), config_.platform_measurement, key);
-    if (!shards_.back()->power_on(tpm_, config_.platform_measurement))
+    const std::uint64_t length = read_u64(checkpoint, "shard blob length");
+    std::string blob(length, '\0');
+    checkpoint.read(blob.data(), static_cast<std::streamsize>(length));
+    if (static_cast<std::uint64_t>(checkpoint.gcount()) != length)
+      throw std::runtime_error("service checkpoint: truncated while reading shard blob");
+    std::istringstream in(blob);
+    shards_.push_back(std::make_unique<BankShard>(s, config_, plan, in));
+  }
+  provision_and_power();
+  // Journal recovery before any worker can touch the shards: replay or roll
+  // back what the crash caught mid-flight, quarantine what is torn.
+  recovery_report_.shards.reserve(config_.shards);
+  for (auto& shard : shards_) recovery_report_.shards.push_back(shard->recover());
+  start_threads();
+}
+
+void MemoryService::provision_and_power() {
+  util::Xoshiro256ss rng(config_.key_seed);
+  const core::SpeKey key = core::SpeKey::random(rng);
+  for (auto& shard : shards_) {
+    tpm_.provision(shard->device_id(), config_.platform_measurement, key);
+    if (!shard->power_on(tpm_, config_.platform_measurement))
       throw std::runtime_error("MemoryService: shard power-on handshake failed");
   }
+}
 
+void MemoryService::start_threads() {
   workers_.reserve(config_.worker_threads);
   for (unsigned w = 0; w < config_.worker_threads; ++w)
     workers_.push_back(std::make_unique<Worker>());
@@ -160,6 +239,50 @@ void MemoryService::stop() {
   for (auto& worker : workers_)
     if (worker->thread.joinable()) worker->thread.join();
   if (scavenger_.joinable()) scavenger_.join();
+
+  // Backstop for shutdown races: anything still queued after the workers'
+  // final drain fails with the typed stop error instead of surfacing as a
+  // std::future_error from an abandoned promise.
+  for (auto& shard : shards_) {
+    for (Request& req : shard->queue().drain()) {
+      const auto error =
+          std::make_exception_ptr(ServiceStoppedError(shard->id()));
+      if (req.kind == Request::Kind::Read) {
+        req.read_promise.set_exception(error);
+      } else {
+        for (Request::WriteWaiter& waiter : req.write_waiters)
+          waiter.promise.set_exception(error);
+      }
+    }
+  }
+}
+
+void MemoryService::checkpoint(std::ostream& out) const {
+  std::vector<std::string> blobs;
+  blobs.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::ostringstream blob;
+    shard->save_state(blob);
+    blobs.push_back(std::move(blob).str());
+  }
+  write_checkpoint(out, blobs);
+}
+
+void MemoryService::checkpoint_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("service checkpoint: cannot open " + path);
+  checkpoint(out);
+}
+
+void MemoryService::write_checkpoint(std::ostream& out,
+                                     std::span<const std::string> shard_blobs) {
+  out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+  write_u64(out, shard_blobs.size());
+  for (const std::string& blob : shard_blobs) {
+    write_u64(out, blob.size());
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+  if (!out) throw std::runtime_error("service checkpoint: write failure");
 }
 
 ServiceStatsSnapshot MemoryService::stats() const {

@@ -18,13 +18,16 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/tpm.hpp"
+#include "runtime/recovery.hpp"
 #include "runtime/service_config.hpp"
 #include "runtime/service_stats.hpp"
 #include "runtime/shard.hpp"
@@ -37,6 +40,15 @@ public:
   /// and starts the worker + scavenger threads. Throws std::runtime_error
   /// if any shard fails the power-on handshake.
   explicit MemoryService(ServiceConfig config = {});
+
+  /// Restore constructors: rebuild the whole fleet from a checkpoint()
+  /// stream/file, power the shards back on, run journal recovery on each
+  /// (see recovery_report()), and only then start the worker + scavenger
+  /// threads. `config` must describe the same fleet shape (shard count,
+  /// seeds) the checkpoint was taken from.
+  MemoryService(ServiceConfig config, std::istream& checkpoint);
+  MemoryService(ServiceConfig config, const std::string& checkpoint_path);
+
   ~MemoryService();
 
   MemoryService(const MemoryService&) = delete;
@@ -61,8 +73,32 @@ public:
   void write(std::uint64_t block_addr, std::span<const std::uint8_t> data);
 
   /// Drains every queue, fulfils outstanding futures, and joins all
-  /// threads. Idempotent; the destructor calls it.
+  /// threads; any request still queued after the final drain (shutdown
+  /// races) fails with ServiceStoppedError rather than a broken promise.
+  /// Idempotent; the destructor calls it.
   void stop();
+
+  // --- crash consistency ----------------------------------------------------
+
+  /// Serialises every shard's durable state (v2 image incl. the intent
+  /// journal, quarantine map, remap table) into one checkpoint stream. Safe
+  /// against concurrent workers (per-shard locking), but for a quiescent
+  /// point-in-time image settle outstanding futures first.
+  void checkpoint(std::ostream& out) const;
+  void checkpoint_file(const std::string& path) const;
+
+  /// Assembles a checkpoint stream from pre-serialised per-shard blobs
+  /// (each one BankShard::save_state output). The crash campaign uses this
+  /// to combine one shard's mid-operation kill-point blob with the other
+  /// shards' last-quiescent blobs.
+  static void write_checkpoint(std::ostream& out,
+                               std::span<const std::string> shard_blobs);
+
+  /// Outcome of the journal recovery a restore constructor ran; empty
+  /// shards vector for a service that was built fresh.
+  [[nodiscard]] const RecoveryReport& recovery_report() const noexcept {
+    return recovery_report_;
+  }
 
   [[nodiscard]] ServiceStatsSnapshot stats() const;
   /// Resident-weighted encrypted fraction across all shards (1.0 if empty).
@@ -89,8 +125,17 @@ private:
   void worker_loop(Worker& worker);
   void scavenger_loop();
   void notify_worker(unsigned shard);
+  /// Shared constructor tails: TPM provisioning + power-on handshake for
+  /// every shard, then (after the restore path has run journal recovery)
+  /// worker/scavenger thread startup.
+  void provision_and_power();
+  void start_threads();
+  /// Restore-constructor body: parse the checkpoint, rebuild + power the
+  /// shards, run journal recovery, start the threads.
+  void init_from_checkpoint(std::istream& checkpoint);
 
   ServiceConfig config_;
+  RecoveryReport recovery_report_;
   core::Tpm tpm_;
   std::vector<std::unique_ptr<BankShard>> shards_;
   std::vector<std::unique_ptr<Worker>> workers_;

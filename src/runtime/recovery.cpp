@@ -1,0 +1,42 @@
+#include "runtime/recovery.hpp"
+
+#include <sstream>
+
+namespace spe::runtime {
+
+ShardRecovery RecoveryReport::totals() const {
+  ShardRecovery t;
+  for (const ShardRecovery& s : shards) {
+    t.journal_entries += s.journal_entries;
+    t.clean_blocks += s.clean_blocks;
+    t.replayed_forward += s.replayed_forward;
+    t.rolled_back += s.rolled_back;
+    t.torn_quarantined += s.torn_quarantined;
+    t.crc_quarantined += s.crc_quarantined;
+  }
+  return t;
+}
+
+bool RecoveryReport::clean() const {
+  for (const ShardRecovery& s : shards)
+    if (!s.clean()) return false;
+  return true;
+}
+
+std::string RecoveryReport::to_string() const {
+  std::ostringstream out;
+  const ShardRecovery t = totals();
+  out << "recovery: " << t.journal_entries << " open intents over " << shards.size()
+      << " shards: " << t.replayed_forward << " replayed forward, " << t.rolled_back
+      << " rolled back, " << t.torn_quarantined << " torn, " << t.crc_quarantined
+      << " CRC-quarantined, " << t.clean_blocks << " clean\n";
+  for (const ShardRecovery& s : shards) {
+    if (s.clean() && s.journal_entries == 0) continue;
+    out << "  shard " << s.shard << ": intents=" << s.journal_entries
+        << " replay=" << s.replayed_forward << " rollback=" << s.rolled_back
+        << " torn=" << s.torn_quarantined << " crc=" << s.crc_quarantined << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace spe::runtime

@@ -1,0 +1,53 @@
+#pragma once
+// Recovery accounting for the crash-consistency machinery. When a
+// MemoryService is restored from a checkpoint, each shard scans its intent
+// journal (which lives in the non-volatile array and so survived the
+// crash) and classifies every open intent:
+//
+//   replay-forward   Encrypt interrupted mid-sequence: resume the pulses
+//                    from the logged index (the plaintext was fully
+//                    programmed before encryption began).
+//   roll-back        Decrypt interrupted: restore the journaled pre-image
+//                    (the encrypted resting state); nothing was lost.
+//   torn             Program interrupted (the old contents are gone and
+//                    the new ones incomplete) or the intent was journaled
+//                    under a different key-schedule epoch: the data is
+//                    unrecoverable and the block is quarantined — reads
+//                    throw TornBlockError until a rewrite remaps it.
+//
+// Blocks whose image record failed its CRC are quarantined too (counted
+// separately). Everything else is clean.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spe::runtime {
+
+/// One shard's recovery outcome.
+struct ShardRecovery {
+  unsigned shard = 0;
+  std::uint64_t journal_entries = 0;   ///< open intents found at restore
+  std::uint64_t clean_blocks = 0;      ///< resident blocks with no open intent
+  std::uint64_t replayed_forward = 0;  ///< encrypts resumed from the logged pulse
+  std::uint64_t rolled_back = 0;       ///< decrypts undone from the pre-image
+  std::uint64_t torn_quarantined = 0;  ///< unrecoverable intents -> TornBlockError
+  std::uint64_t crc_quarantined = 0;   ///< image CRC failures -> quarantine
+
+  [[nodiscard]] bool clean() const noexcept {
+    return replayed_forward == 0 && rolled_back == 0 && torn_quarantined == 0 &&
+           crc_quarantined == 0;
+  }
+};
+
+/// Whole-service recovery outcome, one row per shard plus totals.
+struct RecoveryReport {
+  std::vector<ShardRecovery> shards;
+
+  [[nodiscard]] ShardRecovery totals() const;
+  [[nodiscard]] bool clean() const;
+  /// Human-readable multi-line summary (deterministic field order).
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace spe::runtime

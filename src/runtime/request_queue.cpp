@@ -14,14 +14,14 @@ RequestQueue::RequestQueue(unsigned shard_id, std::size_t capacity,
       counters_(counters) {}
 
 void RequestQueue::admit(std::unique_lock<std::mutex>& lock) {
-  if (closed()) throw QueueFullError(shard_id_, pending_.size());
+  if (closed()) throw ServiceStoppedError(shard_id_);
   if (pending_.size() < capacity_) return;
   if (policy_ == BackpressurePolicy::Reject) {
     counters_.rejected.fetch_add(1, std::memory_order_relaxed);
     throw QueueFullError(shard_id_, pending_.size());
   }
   not_full_.wait(lock, [this] { return closed() || pending_.size() < capacity_; });
-  if (closed()) throw QueueFullError(shard_id_, pending_.size());
+  if (closed()) throw ServiceStoppedError(shard_id_);
 }
 
 std::future<std::vector<std::uint8_t>> RequestQueue::push_read(std::uint64_t block_addr) {

@@ -43,8 +43,8 @@ public:
   RequestQueue(unsigned shard_id, std::size_t capacity, BackpressurePolicy policy,
                bool coalesce_writes, ShardCounters& counters);
 
-  /// Producer side. Throws QueueFullError when the Reject policy bounces the
-  /// request or the queue has been closed for shutdown.
+  /// Producer side. Throws QueueFullError when the Reject policy bounces
+  /// the request, ServiceStoppedError once the queue is closed.
   [[nodiscard]] std::future<std::vector<std::uint8_t>> push_read(std::uint64_t block_addr);
   [[nodiscard]] std::future<void> push_write(std::uint64_t block_addr,
                                              std::vector<std::uint8_t> data);
@@ -57,8 +57,9 @@ public:
     return depth_.load(std::memory_order_acquire);
   }
 
-  /// Shutdown: wakes blocked producers (they throw QueueFullError) and makes
-  /// all later pushes throw. Already-queued requests stay drainable.
+  /// Shutdown: wakes blocked producers (they throw ServiceStoppedError) and
+  /// makes all later pushes throw it. Already-queued requests stay
+  /// drainable.
   void close();
 
   [[nodiscard]] bool closed() const noexcept {

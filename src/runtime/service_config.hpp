@@ -23,8 +23,9 @@ enum class BackpressurePolicy {
   Reject,  ///< submit throws QueueFullError immediately
 };
 
-/// Typed rejection raised under BackpressurePolicy::Reject (and by submits
-/// racing a shutdown).
+/// Typed rejection raised under BackpressurePolicy::Reject when the target
+/// shard's queue is at capacity. (Submits racing a shutdown get
+/// ServiceStoppedError instead.)
 class QueueFullError : public std::runtime_error {
 public:
   QueueFullError(unsigned shard, std::size_t depth)
@@ -39,6 +40,23 @@ public:
 private:
   unsigned shard_;
   std::size_t depth_;
+};
+
+/// The service has been stopped (or is stopping). Raised by submits that
+/// race or follow stop(), and set on any still-queued futures the shutdown
+/// drained — a client blocked on .get() across a stop() sees this typed
+/// error rather than a std::future_error from a broken promise.
+class ServiceStoppedError : public std::runtime_error {
+public:
+  explicit ServiceStoppedError(unsigned shard)
+      : std::runtime_error("spe::runtime: service stopped (shard " +
+                           std::to_string(shard) + "); request not executed"),
+        shard_(shard) {}
+
+  [[nodiscard]] unsigned shard() const noexcept { return shard_; }
+
+private:
+  unsigned shard_;
 };
 
 /// A read hit faults the SEC-DED planes could not correct, even after the
@@ -69,6 +87,27 @@ public:
       : std::runtime_error("spe::runtime: block " + std::to_string(block_addr) +
                            " (shard " + std::to_string(shard) +
                            ") is quarantined; rewrite it to remap"),
+        shard_(shard),
+        block_addr_(block_addr) {}
+
+  [[nodiscard]] unsigned shard() const noexcept { return shard_; }
+  [[nodiscard]] std::uint64_t block_addr() const noexcept { return block_addr_; }
+
+private:
+  unsigned shard_;
+  std::uint64_t block_addr_;
+};
+
+/// Read of a block that was caught mid-operation by a crash and could not
+/// be replayed forward or rolled back (e.g. interrupted during the write
+/// phase, or journaled under a different key-schedule epoch). The data is
+/// unrecoverable; like a fault quarantine, a rewrite remaps and lifts it.
+class TornBlockError : public std::runtime_error {
+public:
+  TornBlockError(unsigned shard, std::uint64_t block_addr)
+      : std::runtime_error("spe::runtime: block " + std::to_string(block_addr) +
+                           " (shard " + std::to_string(shard) +
+                           ") was torn by a crash; rewrite it to remap"),
         shard_(shard),
         block_addr_(block_addr) {}
 

@@ -2,7 +2,12 @@
 
 #include <chrono>
 #include <exception>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "ecc/level_ecc.hpp"
 
@@ -13,6 +18,23 @@ core::SnvmmConfig shard_memory_config(unsigned id, const ServiceConfig& config) 
   core::SnvmmConfig mem = config.shard_memory;
   mem.device_seed = config.device_seed_base + id;  // distinct manufactured instance
   return mem;
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out.write(buf, 8);
+}
+
+std::uint64_t read_u64(std::istream& in, const char* what) {
+  char buf[8];
+  in.read(buf, 8);
+  if (static_cast<std::size_t>(in.gcount()) != 8 || !in)
+    throw std::runtime_error(std::string("shard state: truncated while reading ") + what);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
+  return v;
 }
 }  // namespace
 
@@ -29,9 +51,173 @@ BankShard::BankShard(unsigned id, const ServiceConfig& config,
                                                        memory_.device_id());
 }
 
+BankShard::BankShard(unsigned id, const ServiceConfig& config,
+                     std::shared_ptr<const fault::FaultPlan> fault_plan,
+                     std::istream& in)
+    : BankShard(id, config, std::move(fault_plan), read_state(in)) {}
+
+BankShard::BankShard(unsigned id, const ServiceConfig& config,
+                     std::shared_ptr<const fault::FaultPlan> fault_plan,
+                     RestoredState state)
+    : id_(id),
+      config_(config),
+      queue_(id, config.queue_capacity, config.backpressure, config.coalesce_writes,
+             counters_),
+      memory_(std::move(state.image.nvmm)),
+      specu_(memory_, config.mode) {
+  if (memory_.device_id() != config.device_seed_base + id)
+    throw std::runtime_error(
+        "shard state: device seed mismatch (checkpoint is for a different "
+        "shard or fleet)");
+  if (fault_plan) {
+    injector_ = std::make_unique<fault::FaultInjector>(std::move(fault_plan),
+                                                       memory_.device_id());
+    for (const auto& [addr, epoch] : state.remap_table)
+      injector_->set_remap_epoch(addr, epoch);
+  }
+  // Restored quarantines are resident state, not new events: bypass the
+  // quarantine counter (it counts what happens in *this* process).
+  quarantined_ = std::move(state.quarantined);
+  restored_crc_corrupt_ = std::move(state.image.corrupt_blocks);
+  scrub_cursor_ = state.scrub_cursor;
+}
+
+BankShard::RestoredState BankShard::read_state(std::istream& in) {
+  RestoredState state{core::load_image_checked(in), {}, {}, 0};
+  const std::uint64_t quarantined = read_u64(in, "quarantine count");
+  for (std::uint64_t i = 0; i < quarantined; ++i) {
+    const std::uint64_t addr = read_u64(in, "quarantine address");
+    const std::uint64_t reason = read_u64(in, "quarantine reason");
+    if (reason != static_cast<std::uint64_t>(QuarantineReason::Uncorrectable) &&
+        reason != static_cast<std::uint64_t>(QuarantineReason::Torn))
+      throw std::runtime_error("shard state: unknown quarantine reason");
+    state.quarantined.emplace(addr, static_cast<QuarantineReason>(reason));
+  }
+  const std::uint64_t remaps = read_u64(in, "remap table size");
+  for (std::uint64_t i = 0; i < remaps; ++i) {
+    const std::uint64_t addr = read_u64(in, "remap address");
+    const std::uint64_t epoch = read_u64(in, "remap epoch");
+    state.remap_table.emplace_back(addr, static_cast<std::uint32_t>(epoch));
+  }
+  state.scrub_cursor = read_u64(in, "scrub cursor");
+  return state;
+}
+
+void BankShard::save_state_locked(std::ostream& out) const {
+  core::save_image(memory_, out);
+  // Quarantine map in address order so identical state yields identical
+  // bytes (the crash campaign diffs blobs).
+  const std::map<std::uint64_t, QuarantineReason> ordered(quarantined_.begin(),
+                                                          quarantined_.end());
+  write_u64(out, ordered.size());
+  for (const auto& [addr, reason] : ordered) {
+    write_u64(out, addr);
+    write_u64(out, static_cast<std::uint64_t>(reason));
+  }
+  const auto remaps =
+      injector_ ? injector_->remap_table() : std::map<std::uint64_t, std::uint32_t>{};
+  write_u64(out, remaps.size());
+  for (const auto& [addr, epoch] : remaps) {
+    write_u64(out, addr);
+    write_u64(out, epoch);
+  }
+  write_u64(out, scrub_cursor_);
+  if (!out) throw std::runtime_error("shard state: write failure");
+}
+
+void BankShard::save_state(std::ostream& out) const {
+  std::lock_guard lock(state_mutex_);
+  save_state_locked(out);
+}
+
+void BankShard::set_crash_hook(std::function<void(unsigned, const std::string&)> hook) {
+  std::lock_guard lock(state_mutex_);
+  crash_hook_ = std::move(hook);
+  if (crash_hook_) {
+    // The observer fires inside Specu operations, i.e. on the worker thread
+    // with state_mutex_ already held — hence the _locked serialiser.
+    memory_.journal().set_observer([this] {
+      std::ostringstream blob;
+      save_state_locked(blob);
+      crash_hook_(id_, blob.str());
+    });
+  } else {
+    memory_.journal().set_observer(nullptr);
+  }
+}
+
 bool BankShard::power_on(const core::Tpm& tpm, std::uint64_t measurement) {
   std::lock_guard lock(state_mutex_);
   return specu_.power_on(tpm, measurement);
+}
+
+ShardRecovery BankShard::recover() {
+  std::lock_guard lock(state_mutex_);
+  if (!specu_.powered())
+    throw std::logic_error("BankShard::recover: power the shard on first");
+
+  ShardRecovery rec;
+  rec.shard = id_;
+  rec.journal_entries = memory_.journal().size();
+  std::set<std::uint64_t> touched;
+
+  // Blocks whose image record failed its CRC: quarantine, and drop any
+  // intent pointing at them (replaying pulses over corrupt levels would
+  // only launder the corruption).
+  for (std::uint64_t addr : restored_crc_corrupt_) {
+    if (touched.insert(addr).second) ++rec.crc_quarantined;
+    quarantine(addr, QuarantineReason::Uncorrectable);
+    memory_.journal().commit(addr);
+  }
+  restored_crc_corrupt_.clear();
+
+  const auto entries = memory_.journal().entries();  // copy: applying mutates
+  for (const auto& [addr, entry] : entries) {
+    touched.insert(addr);
+    const bool resident = memory_.has_block(addr);
+    const bool epoch_ok = entry.epoch == specu_.schedule_epoch();
+    const bool program_complete =
+        entry.op == core::JournalOp::Program && entry.progress == entry.total;
+    if (!resident || !epoch_ok ||
+        (entry.op == core::JournalOp::Program && !program_complete)) {
+      // Unrecoverable: the block vanished, the pulses were journaled under
+      // a different key schedule, or the crash landed mid-write-phase (old
+      // contents overwritten, new ones incomplete).
+      quarantine(addr, QuarantineReason::Torn);
+      memory_.journal().commit(addr);
+      ++rec.torn_quarantined;
+      continue;
+    }
+    switch (entry.op) {
+      case core::JournalOp::Encrypt:
+        specu_.resume_encrypt(addr, entry.progress);
+        ++rec.replayed_forward;
+        break;
+      case core::JournalOp::Program:
+        // Write phase finished, encryption never started: the plaintext is
+        // fully programmed, so encrypt it from pulse 0.
+        specu_.resume_encrypt(addr, 0);
+        ++rec.replayed_forward;
+        break;
+      case core::JournalOp::Decrypt:
+        specu_.rollback_decrypt(addr, entry.pre_image);
+        ++rec.rolled_back;
+        break;
+    }
+  }
+
+  // The SEC-DED shadows are volatile (derived state); rebuild them for the
+  // post-recovery resting levels of every surviving block.
+  if (config_.ecc_enabled) {
+    for (const auto& [addr, block] : memory_.blocks())
+      if (!quarantined_.contains(addr)) refresh_checks(addr);
+  }
+  const std::size_t resident = memory_.block_count();
+  std::size_t touched_resident = 0;
+  for (std::uint64_t addr : touched)
+    if (memory_.has_block(addr)) ++touched_resident;
+  rec.clean_blocks = resident - touched_resident;
+  return rec;
 }
 
 void BankShard::backoff(unsigned attempt) const {
@@ -45,9 +231,15 @@ void BankShard::refresh_checks(std::uint64_t addr) {
   checks_[addr] = ecc::level_checks(memory_.block(addr).levels);
 }
 
-void BankShard::quarantine(std::uint64_t addr) {
-  if (quarantined_.insert(addr).second)
+void BankShard::quarantine(std::uint64_t addr, QuarantineReason reason) {
+  if (quarantined_.emplace(addr, reason).second)
     counters_.blocks_quarantined.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<QuarantineReason> BankShard::quarantine_reason(std::uint64_t addr) const {
+  std::lock_guard lock(state_mutex_);
+  const auto it = quarantined_.find(addr);
+  return it == quarantined_.end() ? std::nullopt : std::optional(it->second);
 }
 
 bool BankShard::verify_block(std::uint64_t addr, core::Snvmm::Block& block,
@@ -78,13 +270,16 @@ bool BankShard::verify_block(std::uint64_t addr, core::Snvmm::Block& block,
 }
 
 std::vector<std::uint8_t> BankShard::read_block_guarded(std::uint64_t addr) {
-  if (quarantined_.contains(addr)) throw QuarantinedBlockError(id_, addr);
+  if (const auto it = quarantined_.find(addr); it != quarantined_.end()) {
+    if (it->second == QuarantineReason::Torn) throw TornBlockError(id_, addr);
+    throw QuarantinedBlockError(id_, addr);
+  }
   if (config_.ecc_enabled && memory_.has_block(addr)) {
     const auto shadow = checks_.find(addr);
     if (shadow != checks_.end() &&
         !verify_block(addr, memory_.block(addr), shadow->second)) {
       counters_.faults_uncorrectable.fetch_add(1, std::memory_order_relaxed);
-      quarantine(addr);
+      quarantine(addr, QuarantineReason::Uncorrectable);
       throw UncorrectableFaultError(id_, addr);
     }
   }
@@ -97,8 +292,9 @@ std::vector<std::uint8_t> BankShard::read_block_guarded(std::uint64_t addr) {
 
 void BankShard::write_block_guarded(std::uint64_t addr,
                                     std::span<const std::uint8_t> data) {
-  // A rewrite lifts quarantine by remapping the block to a spare physical
-  // location (fresh fault draws under the bumped epoch).
+  // A rewrite lifts quarantine (fault-induced or torn) by remapping the
+  // block to a spare physical location (fresh fault draws under the bumped
+  // epoch).
   if (quarantined_.erase(addr) > 0 && injector_) {
     injector_->remap(addr);
     counters_.blocks_remapped.fetch_add(1, std::memory_order_relaxed);
@@ -133,7 +329,7 @@ void BankShard::write_block_guarded(std::uint64_t addr,
     counters_.blocks_remapped.fetch_add(1, std::memory_order_relaxed);
   }
   counters_.faults_uncorrectable.fetch_add(1, std::memory_order_relaxed);
-  quarantine(addr);
+  quarantine(addr, QuarantineReason::Uncorrectable);
   throw UncorrectableFaultError(id_, addr);
 }
 
@@ -217,7 +413,7 @@ unsigned BankShard::scrub(unsigned max_blocks) {
                                            std::memory_order_relaxed);
     } else {
       counters_.faults_uncorrectable.fetch_add(1, std::memory_order_relaxed);
-      quarantine(addr);
+      quarantine(addr, QuarantineReason::Uncorrectable);
     }
   }
   scrub_cursor_ = it == blocks.end() ? 0 : it->first;

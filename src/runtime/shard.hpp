@@ -18,28 +18,55 @@
 //          UncorrectableFaultError when retries are exhausted -> Specu
 //          decrypts and the checks are refreshed for the new resting state.
 //   scrub: age the stored levels (drift + stuck pins), verify, correct.
+//
+// Crash consistency (this PR): every Specu pulse sequence advances an
+// intent journal that lives inside the Snvmm (it is non-volatile, so it
+// survives a crash with the cell levels). save_state() serialises the
+// shard's durable state — the v2 device image (levels + journal) plus the
+// quarantine map, spare-remap table and scrub cursor — and the restore
+// constructor plus recover() rebuild a shard from such a blob, replaying
+// or rolling back whatever the journal caught mid-flight.
 
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/snvmm.hpp"
+#include "core/snvmm_io.hpp"
 #include "core/specu.hpp"
 #include "core/tpm.hpp"
 #include "fault/fault_injector.hpp"
+#include "runtime/recovery.hpp"
 #include "runtime/request_queue.hpp"
 #include "runtime/service_config.hpp"
 #include "runtime/service_stats.hpp"
 
 namespace spe::runtime {
 
+/// Why a block is quarantined; selects the typed error a read raises.
+enum class QuarantineReason : std::uint8_t {
+  Uncorrectable = 1,  ///< SEC-DED gave up (or the image record failed CRC)
+  Torn = 2,           ///< crash caught the block mid-operation, unrecoverable
+};
+
 class BankShard {
 public:
   BankShard(unsigned id, const ServiceConfig& config,
             std::shared_ptr<const fault::FaultPlan> fault_plan = nullptr);
+
+  /// Restore constructor: rebuilds the shard's durable state from a blob
+  /// written by save_state(). The image's device seed must match what
+  /// `config` derives for this shard id (the checkpoint belongs to the same
+  /// fleet). Journal recovery is NOT run here — power the shard on first,
+  /// then call recover().
+  BankShard(unsigned id, const ServiceConfig& config,
+            std::shared_ptr<const fault::FaultPlan> fault_plan, std::istream& in);
 
   BankShard(const BankShard&) = delete;
   BankShard& operator=(const BankShard&) = delete;
@@ -67,18 +94,56 @@ public:
   /// cannot fix. Returns the number of blocks scrubbed.
   unsigned scrub(unsigned max_blocks);
 
+  // --- crash consistency ----------------------------------------------------
+
+  /// Serialises the shard's durable state (v2 device image incl. the intent
+  /// journal, quarantine map, spare-remap table, scrub cursor). Safe to call
+  /// concurrently with the worker: takes the state lock.
+  void save_state(std::ostream& out) const;
+
+  /// Kill-point hook: when set, it is invoked after EVERY intent-journal
+  /// transition (begin / pulse advance / commit) with this shard's id and a
+  /// save_state() blob of the exact mid-operation durable state — what a
+  /// power loss at that instant would leave in the array. Runs on the worker
+  /// thread with the state lock held; the hook must not call back into the
+  /// shard. Pass nullptr to clear.
+  void set_crash_hook(std::function<void(unsigned, const std::string&)> hook);
+
+  /// Journal recovery after a restore + power_on: classifies every open
+  /// intent (replay-forward / roll-back / torn-quarantine), quarantines
+  /// CRC-corrupt blocks, and rebuilds the SEC-DED shadows of the surviving
+  /// resident blocks. Idempotent (the journal is drained as it is applied).
+  ShardRecovery recover();
+
   /// Counters plus under-lock occupancy (plaintext / resident blocks).
   [[nodiscard]] ShardStatsSnapshot stats_snapshot() const;
 
   [[nodiscard]] double encrypted_fraction() const;
   [[nodiscard]] core::Specu::Stats specu_stats() const;
 
+  /// Quarantine state of a block (test access; quiesce first).
+  [[nodiscard]] std::optional<QuarantineReason> quarantine_reason(
+      std::uint64_t addr) const;
+
   /// The shard's injector (null when fault injection is off) — test access;
   /// callers must not race the worker (quiesce first).
   [[nodiscard]] fault::FaultInjector* injector() noexcept { return injector_.get(); }
 
 private:
+  /// Durable state parsed off a save_state() blob, staged so the restore
+  /// constructor can initialise members in declaration order.
+  struct RestoredState {
+    core::ImageLoadResult image;
+    std::unordered_map<std::uint64_t, QuarantineReason> quarantined;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> remap_table;
+    std::uint64_t scrub_cursor = 0;
+  };
+  [[nodiscard]] static RestoredState read_state(std::istream& in);
+  BankShard(unsigned id, const ServiceConfig& config,
+            std::shared_ptr<const fault::FaultPlan> fault_plan, RestoredState state);
+
   // All private helpers assume state_mutex_ is held.
+  void save_state_locked(std::ostream& out) const;
   [[nodiscard]] std::vector<std::uint8_t> read_block_guarded(std::uint64_t addr);
   void write_block_guarded(std::uint64_t addr, std::span<const std::uint8_t> data);
   /// Sense + SEC-DED verify of a resident block against its shadow checks,
@@ -87,7 +152,7 @@ private:
   [[nodiscard]] bool verify_block(std::uint64_t addr, core::Snvmm::Block& block,
                                   const std::vector<std::uint8_t>& checks);
   void refresh_checks(std::uint64_t addr);
-  void quarantine(std::uint64_t addr);
+  void quarantine(std::uint64_t addr, QuarantineReason reason);
   void backoff(unsigned attempt) const;
 
   unsigned id_;
@@ -99,7 +164,9 @@ private:
   core::Specu specu_;
   std::unique_ptr<fault::FaultInjector> injector_;  ///< null = no injection
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> checks_;
-  std::unordered_set<std::uint64_t> quarantined_;
+  std::unordered_map<std::uint64_t, QuarantineReason> quarantined_;
+  std::vector<std::uint64_t> restored_crc_corrupt_;  ///< consumed by recover()
+  std::function<void(unsigned, const std::string&)> crash_hook_;
   std::uint64_t scrub_cursor_ = 0;  ///< round-robin resume point
 };
 

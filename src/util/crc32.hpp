@@ -1,0 +1,15 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over byte ranges.
+// Used by the versioned NVMM image format (core/snvmm_io v2) to detect
+// per-block and journal-entry corruption on load. Incremental: feed the
+// previous return value back as `seed` to extend a running checksum.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spe::util {
+
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len,
+                                  std::uint32_t seed = 0) noexcept;
+
+}  // namespace spe::util

@@ -210,11 +210,48 @@ TEST(MemoryService, StopIsIdempotentAndSubmitsAfterStopThrow) {
   service.write(1, tagged_block(1, 0, service.block_bytes()));
   service.stop();
   service.stop();
-  EXPECT_THROW((void)service.submit_read(1), QueueFullError);
+  EXPECT_THROW((void)service.submit_read(1), ServiceStoppedError);
   EXPECT_THROW(service.write(1, tagged_block(1, 1, service.block_bytes())),
-               QueueFullError);
+               ServiceStoppedError);
   // Stats remain readable after shutdown.
   EXPECT_EQ(service.stats().totals.writes_completed, 1u);
+}
+
+// Shutdown racing live traffic: every future obtained before stop() must
+// settle — either with its value or with the typed ServiceStoppedError —
+// and never with a std::future_error from an abandoned promise.
+TEST(MemoryService, RacingShutdownSettlesEveryFutureTyped) {
+  for (unsigned round = 0; round < 4; ++round) {
+    ServiceConfig cfg = small_config();
+    cfg.queue_capacity = 8;
+    MemoryService service(cfg);
+    std::atomic<bool> go{false};
+    std::atomic<unsigned> completed{0}, stopped{0}, broken{0};
+    std::vector<std::thread> clients;
+    for (unsigned c = 0; c < 4; ++c)
+      clients.emplace_back([&, c] {
+        while (!go.load()) std::this_thread::yield();
+        for (unsigned i = 0; i < 64; ++i) {
+          const std::uint64_t addr = c * 64 + i;
+          try {
+            auto f = service.submit_write(
+                addr, tagged_block(addr, i, service.block_bytes()));
+            f.get();
+            completed.fetch_add(1);
+          } catch (const ServiceStoppedError&) {
+            stopped.fetch_add(1);
+          } catch (const std::future_error&) {
+            broken.fetch_add(1);
+          }
+        }
+      });
+    go.store(true);
+    std::this_thread::sleep_for(std::chrono::microseconds(200 * round));
+    service.stop();
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(broken.load(), 0u) << "round " << round;
+    EXPECT_EQ(completed.load() + stopped.load(), 4u * 64u) << "round " << round;
+  }
 }
 
 TEST(MemoryService, LatencyHistogramsPopulate) {

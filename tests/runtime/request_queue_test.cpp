@@ -98,24 +98,32 @@ TEST(RequestQueue, DrainResetsCoalescingWindow) {
   EXPECT_EQ(q.drain().size(), 1u);
 }
 
-TEST(RequestQueue, CloseWakesBlockedProducerWithError) {
+TEST(RequestQueue, CloseWakesBlockedProducerWithStoppedError) {
   ShardCounters counters;
-  RequestQueue q(0, 1, BackpressurePolicy::Block, /*coalesce=*/false, counters);
+  RequestQueue q(4, 1, BackpressurePolicy::Block, /*coalesce=*/false, counters);
   auto f1 = q.push_write(1, payload(1));
   std::atomic<bool> threw{false};
   std::thread producer([&] {
     try {
       auto f2 = q.push_write(2, payload(2));
-    } catch (const QueueFullError&) {
-      threw.store(true);
+    } catch (const ServiceStoppedError& e) {
+      if (e.shard() == 4u) threw.store(true);
     }
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   q.close();
   producer.join();
   EXPECT_TRUE(threw.load());
-  EXPECT_THROW((void)q.push_read(9), QueueFullError);
+  EXPECT_THROW((void)q.push_read(9), ServiceStoppedError);
   EXPECT_EQ(q.drain().size(), 1u);  // queued work survives close for the final drain
+}
+
+TEST(RequestQueue, CloseDoesNotCountAsQueueRejection) {
+  ShardCounters counters;
+  RequestQueue q(0, 4, BackpressurePolicy::Reject, /*coalesce=*/false, counters);
+  q.close();
+  EXPECT_THROW((void)q.push_write(1, payload(1)), ServiceStoppedError);
+  EXPECT_EQ(counters.rejected.load(), 0u);  // stopped, not backpressured
 }
 
 TEST(RequestQueue, TracksQueueHighWaterMark) {
