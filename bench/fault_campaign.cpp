@@ -20,10 +20,14 @@
 //
 // Overrides: SPE_FAULT_BLOCKS (working set per point), SPE_FAULT_SCRUBS
 //            (synchronous scrub passes between write and read),
-//            SPE_FAULT_SEED (FaultPlan seed).
+//            SPE_FAULT_SEED (FaultPlan seed), SPE_METRICS_OUT (when set,
+//            the last point's metrics export is written there — stdout
+//            stays byte-identical either way).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -58,6 +62,7 @@ struct Outcome {
   std::uint64_t rolled_back = 0;
   std::uint64_t torn = 0;
   ServiceStatsSnapshot stats;
+  std::string metrics;  ///< Prometheus export taken before shutdown
 };
 
 std::vector<std::uint8_t> payload_for(std::uint64_t block, unsigned bytes) {
@@ -154,6 +159,7 @@ Outcome run_point(const FaultPoint& point, bool ecc, unsigned blocks,
   probe([&] { service.write(probe_addr, payload_for(probe_addr, block_bytes)); });
   probe([&] { (void)service.read(probe_addr); });
 
+  out.metrics = service.export_metrics();
   service.stop();
   return out;
 }
@@ -193,9 +199,11 @@ int main() {
                           "scrubbed", "injected", "replay", "rollbk", "torn"});
   unsigned ecc_silent_total = 0;
   unsigned noecc_corrupt_total = 0;
+  std::string last_metrics;
   for (const FaultPoint& p : points) {
     for (const bool ecc : {true, false}) {
       const Outcome o = run_point(p, ecc, blocks, scrubs, seed);
+      last_metrics = o.metrics;
       const auto& t = o.stats.totals;
       const double reads =
           static_cast<double>(o.reads_ok + o.reads_silent + o.reads_failed);
@@ -230,6 +238,17 @@ int main() {
               ecc_silent_total);
   std::printf("ECC-off silent corruption events:   %u (expected: > 0)\n",
               noecc_corrupt_total);
+  // File-only (and a stderr note): the campaign's stdout is diffed for
+  // byte-identical replay, and metrics include timing histograms.
+  if (const char* path = std::getenv("SPE_METRICS_OUT"); path && *path) {
+    std::ofstream metrics_out(path, std::ios::trunc);
+    if (metrics_out) {
+      metrics_out << last_metrics;
+      std::fprintf(stderr, "fault_campaign: metrics written to %s\n", path);
+    } else {
+      std::fprintf(stderr, "fault_campaign: cannot write %s\n", path);
+    }
+  }
   if (ecc_silent_total > 0) {
     std::fprintf(stderr, "fault_campaign: FAIL — ECC stack returned corrupt data\n");
     return 1;

@@ -6,18 +6,31 @@
 // cipher hot path should keep the 4w/8s row >= 2x the 1w/1s row on
 // multi-core hosts.
 //
+// `--smoke` instead runs the tracing-overhead gate: the same replay with
+// the Tracer off vs on (alternating, min of 3 each), failing if tracing
+// costs more than SPE_OBS_MAX_OVERHEAD percent (default 5) — the CI bound
+// on span instrumentation in the datapath.
+//
+// Either mode dumps the final run's metrics export at exit: to the file
+// named by SPE_METRICS_OUT when set, otherwise to stdout (table mode only).
+//
 // Overrides: SPE_SVC_OPS (trace length), SPE_SVC_WORKLOAD (suite name),
-//            SPE_SVC_WINDOW (max outstanding submissions per client).
+//            SPE_SVC_WINDOW (max outstanding submissions per client),
+//            SPE_OBS_MAX_OVERHEAD (--smoke gate, percent),
+//            SPE_METRICS_OUT (metrics dump path).
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <deque>
+#include <fstream>
 #include <future>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/trace.hpp"
 #include "runtime/memory_service.hpp"
 #include "sim/workloads.hpp"
 #include "util/table.hpp"
@@ -54,14 +67,17 @@ struct RunResult {
   double seconds = 0.0;
   double ops_per_sec = 0.0;
   ServiceStatsSnapshot stats;
+  std::string metrics;  ///< Prometheus export taken before shutdown
 };
 
 RunResult replay(const std::vector<TraceOp>& trace, unsigned workers, unsigned shards,
-                 std::size_t window) {
+                 std::size_t window, bool tracing = false) {
   ServiceConfig cfg;
   cfg.worker_threads = workers;
   cfg.shards = shards;
   cfg.queue_capacity = window * 2;
+  cfg.obs.trace = tracing;
+  if (!tracing) spe::obs::Tracer::instance().disable();
   MemoryService service(cfg);
   const unsigned block_bytes = service.block_bytes();
   std::vector<std::uint8_t> payload(block_bytes, 0);
@@ -97,19 +113,75 @@ RunResult replay(const std::vector<TraceOp>& trace, unsigned workers, unsigned s
   result.seconds = std::chrono::duration<double>(elapsed).count();
   result.ops_per_sec =
       static_cast<double>(result.stats.total_ops()) / result.seconds;
+  result.metrics = service.export_metrics();
   service.stop();
   return result;
 }
 
 double us(std::chrono::nanoseconds ns) { return static_cast<double>(ns.count()) / 1000.0; }
 
+void dump_metrics(const std::string& metrics, bool to_stdout) {
+  if (const char* path = std::getenv("SPE_METRICS_OUT"); path && *path) {
+    std::ofstream out(path, std::ios::trunc);
+    if (out) {
+      out << metrics;
+      std::printf("\nmetrics written to %s\n", path);
+      return;
+    }
+    std::fprintf(stderr, "throughput_service: cannot write %s\n", path);
+  }
+  if (to_stdout) std::printf("\n--- metrics export (Prometheus text) ---\n%s", metrics.c_str());
+}
+
+/// Tracing-overhead gate (CI): off/on replays alternate so drift hits both
+/// sides; min-of-N filters scheduler noise. Returns the process exit code.
+int run_smoke(const std::vector<TraceOp>& trace, unsigned window) {
+  const unsigned max_overhead_pct =
+      std::max(1u, spe::benchutil::env_or("SPE_OBS_MAX_OVERHEAD", 5));
+  constexpr int kRounds = 3;
+  double min_off = 0.0, min_on = 0.0;
+  std::string metrics;
+  for (int round = 0; round < kRounds; ++round) {
+    const RunResult off = replay(trace, 2, 4, window, /*tracing=*/false);
+    const RunResult on = replay(trace, 2, 4, window, /*tracing=*/true);
+    if (round == 0 || off.seconds < min_off) min_off = off.seconds;
+    if (round == 0 || on.seconds < min_on) min_on = on.seconds;
+    metrics = on.metrics;
+  }
+  spe::obs::Tracer::instance().disable();
+  const double overhead_pct =
+      min_on <= min_off ? 0.0 : (min_on - min_off) / min_off * 100.0;
+  std::printf("tracing overhead: off=%.1fms on=%.1fms -> %.2f%% (limit %u%%)\n",
+              min_off * 1000.0, min_on * 1000.0, overhead_pct, max_overhead_pct);
+  dump_metrics(metrics, /*to_stdout=*/false);
+  if (overhead_pct > static_cast<double>(max_overhead_pct)) {
+    std::fprintf(stderr, "throughput_service --smoke: tracing overhead %.2f%% exceeds %u%%\n",
+                 overhead_pct, max_overhead_pct);
+    return 1;
+  }
+  std::printf("smoke OK\n");
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   const unsigned ops = std::max(1u, spe::benchutil::env_or("SPE_SVC_OPS", 2000));
   const unsigned window = std::max(1u, spe::benchutil::env_or("SPE_SVC_WINDOW", 256));
   const char* workload_env = std::getenv("SPE_SVC_WORKLOAD");
   const std::string workload = workload_env && *workload_env ? workload_env : "bzip2";
+
+  if (smoke) {
+    std::printf("throughput_service --smoke: %s, %u block ops, window %u\n",
+                workload.c_str(), ops, window);
+    try {
+      return run_smoke(build_trace(workload, ops), window);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "throughput_service: %s\n", e.what());
+      return 1;
+    }
+  }
 
   spe::benchutil::banner(
       "Sharded SPE memory service throughput (" + workload + ", " +
@@ -138,8 +210,10 @@ int main() {
                           "rd p95us", "rd p99us", "wr p50us", "wr p95us",
                           "wr p99us", "coalesced", "hwm"});
   double base_ops_per_sec = 0.0;
+  std::string last_metrics;
   for (const Config& c : configs) {
     const RunResult r = replay(trace, c.workers, c.shards, window);
+    last_metrics = r.metrics;
     if (base_ops_per_sec == 0.0) base_ops_per_sec = r.ops_per_sec;
     const auto& rd = r.stats.totals.read_latency;
     const auto& wr = r.stats.totals.write_latency;
@@ -160,5 +234,6 @@ int main() {
       "\nspeedup = aggregate block-op throughput vs the 1-worker/1-shard row.\n"
       "Single-core hosts will show ~1x for the threaded rows (plus any\n"
       "coalescing gain); the >=2x acceptance bar targets >=4-core hosts.\n");
+  dump_metrics(last_metrics, /*to_stdout=*/true);
   return 0;
 }

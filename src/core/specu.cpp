@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace spe::core {
@@ -89,6 +90,9 @@ void Specu::encrypt_block_in_place(std::uint64_t addr, Snvmm::Block& block,
                                    std::uint32_t progress) {
   const unsigned cells = calibration_->cell_count();
   const unsigned sched = schedule_length();
+  obs::Span span("specu.encrypt", addr);
+  span.set_a1(pulses_per_block() - progress);  // pulses this span applies
+  stats_.encrypt_pulses += pulses_per_block() - progress;
   IntentJournal& journal = memory_.journal();
   for (unsigned unit = progress / sched; unit < ciphers_.size(); ++unit) {
     const unsigned first = unit == progress / sched ? progress % sched : 0;
@@ -112,6 +116,9 @@ void Specu::encrypt_block_in_place(std::uint64_t addr, Snvmm::Block& block,
 void Specu::decrypt_block_in_place(std::uint64_t addr, Snvmm::Block& block) {
   const unsigned cells = calibration_->cell_count();
   const unsigned sched = schedule_length();
+  obs::Span span("specu.decrypt", addr);
+  span.set_a1(pulses_per_block());
+  stats_.decrypt_pulses += pulses_per_block();
   IntentJournal& journal = memory_.journal();
   // The pre-image (the encrypted resting state) rides in the intent: an
   // interrupted decrypt is rolled back, never resumed, because the paper's
@@ -138,6 +145,7 @@ void Specu::write_block(std::uint64_t block_addr, std::span<const std::uint8_t> 
   if (data.size() != memory_.block_bytes())
     throw std::invalid_argument("Specu::write_block: bad block size");
 
+  obs::Span span("specu.write", block_addr);
   Snvmm::Block& block = memory_.block(block_addr);
   const auto units = static_cast<std::uint32_t>(ciphers_.size());
   // Intent first: once the first band centre lands the old contents are
@@ -164,6 +172,7 @@ void Specu::write_block(std::uint64_t block_addr, std::span<const std::uint8_t> 
 
 std::vector<std::uint8_t> Specu::read_block(std::uint64_t block_addr) {
   if (!powered()) throw std::logic_error("Specu::read_block: not powered / no key");
+  obs::Span span("specu.read", block_addr);
   Snvmm::Block& block = memory_.block(block_addr);
   if (block.encrypted) decrypt_block_in_place(block_addr, block);
 

@@ -108,6 +108,8 @@ public:
     std::uint64_t writes = 0;
     std::uint64_t decrypt_ops = 0;   ///< per crossbar-unit decryptions
     std::uint64_t encrypt_ops = 0;   ///< per crossbar-unit encryptions
+    std::uint64_t encrypt_pulses = 0;  ///< PoE pulses applied encrypting
+    std::uint64_t decrypt_pulses = 0;  ///< reverse pulses applied decrypting
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

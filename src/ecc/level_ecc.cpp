@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ecc/secded.hpp"
+#include "obs/trace.hpp"
 
 namespace spe::ecc {
 
@@ -43,6 +44,7 @@ LevelDecodeResult verify_levels(std::span<std::uint8_t> levels,
   if (checks.size() != static_cast<std::size_t>(kLevelBits) * words)
     throw std::invalid_argument("verify_levels: check-byte size mismatch");
 
+  obs::Span span("ecc.verify", levels.size());
   LevelDecodeResult result;
   std::set<unsigned> touched;
   for (unsigned p = 0; p < kLevelBits; ++p) {
@@ -74,6 +76,7 @@ LevelDecodeResult verify_levels(std::span<std::uint8_t> levels,
   }
   result.corrected_cells = static_cast<unsigned>(touched.size());
   result.ok = result.uncorrectable_words == 0;
+  span.set_a1(result.corrected_cells);
   return result;
 }
 

@@ -1,0 +1,166 @@
+#pragma once
+// Named metrics for the SPE stack: monotonic counters, gauges, and
+// power-of-two histograms behind a registry with deterministic (sorted)
+// Prometheus-text and JSON export. Instruments are created once and live
+// for the registry's lifetime — callers cache the returned reference, so
+// the hot path is one relaxed atomic RMW with no map lookup.
+//
+// Labels ride inside the metric name ("spe_reads_total{shard=\"0\"}"): the
+// registry sorts full names, and the Prometheus writer emits one HELP/TYPE
+// header per family (the name up to '{'). The process-global registry
+// (MetricsRegistry::global()) collects cross-layer counters (crossbar
+// solves, journal transitions) that have no per-service home; the runtime's
+// MemoryService::export_metrics() builds a fresh registry per call from its
+// stats snapshot and merges those globals in.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spe::obs {
+
+/// Monotonic counter. add() of a delta only — no decrement exists, so a
+/// sampled value can never go backwards (tests/obs/metrics_test pins this).
+class Counter {
+public:
+  void add(std::uint64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time gauge (double, so fractions export losslessly).
+class Gauge {
+public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Lock-free histogram over the same power-of-two bucket layout as the
+/// runtime's LatencyHistogram (bucket b covers [2^(b-1), 2^b)), so latency
+/// snapshots transplant bucket-for-bucket.
+class Histogram {
+public:
+  static constexpr unsigned kBuckets = 64;
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_for(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Bulk merge of a pre-bucketed snapshot (e.g. LatencyHistogram::Snapshot
+  /// fields) — bucket layouts must match.
+  void merge_buckets(std::span<const std::uint64_t, kBuckets> buckets,
+                     std::uint64_t count, std::uint64_t sum) noexcept {
+    for (unsigned b = 0; b < kBuckets; ++b)
+      buckets_[b].fetch_add(buckets[b], std::memory_order_relaxed);
+    count_.fetch_add(count, std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+
+    Snapshot& operator+=(const Snapshot& other) noexcept {
+      for (unsigned b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+      count += other.count;
+      sum += other.sum;
+      return *this;
+    }
+    [[nodiscard]] friend Snapshot operator+(Snapshot a, const Snapshot& b) noexcept {
+      a += b;
+      return a;
+    }
+    [[nodiscard]] bool operator==(const Snapshot&) const noexcept = default;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const noexcept {
+    Snapshot s;
+    for (unsigned b = 0; b < kBuckets; ++b)
+      s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  [[nodiscard]] static unsigned bucket_for(std::uint64_t v) noexcept {
+    return v == 0 ? 0 : static_cast<unsigned>(std::bit_width(v) - 1);
+  }
+  [[nodiscard]] static std::uint64_t upper_edge(unsigned bucket) noexcept {
+    return bucket >= 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << (bucket + 1)) - 1;
+  }
+
+private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+enum class MetricsFormat { Prometheus, Json };
+
+class MetricsRegistry {
+public:
+  /// Finds or creates the named instrument. The reference stays valid for
+  /// the registry's lifetime (instruments are never removed). A name may be
+  /// "family{label=\"v\"}"; help is taken from the first registration of
+  /// the family. Throws std::logic_error if the name already exists with a
+  /// different instrument type.
+  [[nodiscard]] Counter& counter(const std::string& name, const std::string& help = "");
+  [[nodiscard]] Gauge& gauge(const std::string& name, const std::string& help = "");
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     const std::string& help = "");
+
+  /// Deterministic (name-sorted) export.
+  void write_prometheus(std::ostream& out) const;
+  void write_json(std::ostream& out) const;
+  void write(std::ostream& out, MetricsFormat format) const;
+  [[nodiscard]] std::string render(MetricsFormat format) const;
+
+  /// Sorted full metric names (test hook).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Folds this registry's current values into `dest`: counter values are
+  /// added, gauges overwrite, histogram snapshots merge bucket-for-bucket.
+  /// MemoryService::export_metrics uses this to absorb the process-global
+  /// registry into its per-call export registry.
+  void merge_into(MetricsRegistry& dest) const;
+
+  /// Process-wide registry for cross-layer counters (xbar solves, journal
+  /// transitions). Instruments here accumulate for the process lifetime.
+  static MetricsRegistry& global();
+
+private:
+  enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& entry(const std::string& name, const std::string& help, Kind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  ///< sorted => deterministic export
+};
+
+}  // namespace spe::obs

@@ -1,0 +1,177 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+namespace spe::obs {
+
+namespace {
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(TraceConfig config) {
+  std::lock_guard lock(registry_mutex_);
+  buffer_events_ = config.buffer_events == 0 ? 1 : config.buffer_events;
+  deterministic_.store(config.deterministic, std::memory_order_relaxed);
+  trace_pulses_.store(config.trace_pulses, std::memory_order_relaxed);
+  tick_.store(0, std::memory_order_relaxed);
+  wall_epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
+  // A generation bump logically empties every ring: owner threads re-home
+  // their buffer on the next record, so no cross-thread slot mutation here.
+  generation_.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_release); }
+
+std::uint64_t Tracer::now() noexcept {
+  if (deterministic_.load(std::memory_order_relaxed))
+    return tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return steady_ns() - wall_epoch_ns_.load(std::memory_order_relaxed);
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() noexcept {
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  if (!buffer) {
+    buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard lock(registry_mutex_);
+    buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+    buffer->slots.resize(buffer_events_);
+    buffer->generation.store(generation_.load(std::memory_order_acquire),
+                             std::memory_order_release);
+    buffers_.push_back(buffer);
+  }
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (buffer->generation.load(std::memory_order_relaxed) != gen) {
+    // New session since this thread last recorded: restart the ring. Only
+    // the owner thread mutates size/slots, so this is race-free; collect()
+    // skips buffers whose generation lags.
+    buffer->size.store(0, std::memory_order_relaxed);
+    buffer->dropped.store(0, std::memory_order_relaxed);
+    {
+      std::lock_guard lock(registry_mutex_);
+      if (buffer->slots.size() != buffer_events_) buffer->slots.resize(buffer_events_);
+    }
+    buffer->generation.store(gen, std::memory_order_release);
+  }
+  return *buffer;
+}
+
+void Tracer::record(const char* name, std::uint64_t start, std::uint64_t end,
+                    std::uint64_t a0, std::uint64_t a1, std::uint16_t depth) noexcept {
+  ThreadBuffer& buffer = local_buffer();
+  const std::size_t i = buffer.size.load(std::memory_order_relaxed);
+  if (i >= buffer.slots.size()) {
+    buffer.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent& e = buffer.slots[i];
+  e.name = name;
+  e.start = start;
+  e.end = end;
+  e.a0 = a0;
+  e.a1 = a1;
+  e.tid = buffer.tid;
+  e.shard = buffer.shard;
+  e.depth = depth;
+  buffer.size.store(i + 1, std::memory_order_release);  // publish the slot
+}
+
+void Tracer::instant(const char* name, std::uint64_t a0, std::uint64_t a1) noexcept {
+  if (!enabled()) return;
+  const std::uint64_t t = now();
+  record(name, t, t, a0, a1, local_buffer().depth);
+}
+
+std::vector<TraceEvent> Tracer::collect() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard lock(registry_mutex_);
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    for (const auto& buffer : buffers_) {
+      if (buffer->generation.load(std::memory_order_acquire) != gen) continue;
+      const std::size_t n = buffer->size.load(std::memory_order_acquire);
+      events.insert(events.end(), buffer->slots.begin(), buffer->slots.begin() + n);
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.end != b.end) return a.end > b.end;  // enclosing span first
+    return a.tid < b.tid;
+  });
+  return events;
+}
+
+void Tracer::write_jsonl(std::ostream& out) const {
+  for (const TraceEvent& e : collect()) {
+    out << "{\"name\":\"" << e.name << "\",\"ts\":" << e.start
+        << ",\"dur\":" << (e.end - e.start) << ",\"tid\":" << e.tid
+        << ",\"shard\":" << e.shard << ",\"addr\":" << e.a0 << ",\"n\":" << e.a1
+        << ",\"depth\":" << e.depth << "}\n";
+  }
+}
+
+std::string Tracer::jsonl() const {
+  std::ostringstream os;
+  write_jsonl(os);
+  return os.str();
+}
+
+std::uint64_t Tracer::dropped() const noexcept {
+  std::uint64_t total = 0;
+  std::lock_guard lock(registry_mutex_);
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  for (const auto& buffer : buffers_)
+    if (buffer->generation.load(std::memory_order_acquire) == gen)
+      total += buffer->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint16_t Tracer::thread_depth() noexcept {
+  return instance().local_buffer().depth;
+}
+
+Span::Span(const char* name, std::uint64_t a0) noexcept : name_(name), a0_(a0) {
+  Tracer& tracer = Tracer::instance();
+  if (!tracer.enabled()) return;
+  Tracer::ThreadBuffer& buffer = tracer.local_buffer();
+  depth_ = buffer.depth++;
+  start_ = tracer.now();
+  active_ = true;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::instance();
+  Tracer::ThreadBuffer& buffer = tracer.local_buffer();
+  --buffer.depth;
+  // A span straddling disable() still closes its depth but records only if
+  // tracing is still on (the session it started in may have been collected).
+  if (tracer.enabled()) tracer.record(name_, start_, tracer.now(), a0_, a1_, depth_);
+}
+
+ShardScope::ShardScope(unsigned shard) noexcept {
+  Tracer::ThreadBuffer& buffer = Tracer::instance().local_buffer();
+  prev_ = buffer.shard;
+  buffer.shard = static_cast<std::int32_t>(shard);
+}
+
+ShardScope::~ShardScope() { Tracer::instance().local_buffer().shard = prev_; }
+
+std::int32_t ShardScope::current() noexcept {
+  return Tracer::instance().local_buffer().shard;
+}
+
+}  // namespace spe::obs

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/key.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace spe::runtime {
@@ -111,6 +112,16 @@ void MemoryService::init_from_checkpoint(std::istream& checkpoint) {
 }
 
 void MemoryService::provision_and_power() {
+  // Before recovery and thread startup so restore-path recovery spans land
+  // in the session. Tracing is process-global; the last service to start
+  // with obs.trace set owns the session.
+  if (config_.obs.trace) {
+    obs::TraceConfig trace;
+    trace.deterministic = config_.obs.deterministic_trace;
+    trace.trace_pulses = config_.obs.trace_pulses;
+    trace.buffer_events = config_.obs.trace_buffer_events;
+    obs::Tracer::instance().enable(trace);
+  }
   util::Xoshiro256ss rng(config_.key_seed);
   const core::SpeKey key = core::SpeKey::random(rng);
   for (auto& shard : shards_) {
@@ -146,6 +157,10 @@ unsigned MemoryService::shard_of(std::uint64_t block_addr) const noexcept {
 
 std::future<std::vector<std::uint8_t>> MemoryService::submit_read(std::uint64_t block_addr) {
   const unsigned s = shard_of(block_addr);
+  // Instant, stamped before the push: once the request is queued a worker
+  // can execute it immediately, so a span closing after the push would
+  // interleave its end tick with the worker's events.
+  obs::Tracer::instance().instant("svc.submit", block_addr, s);
   auto future = shards_[s]->queue().push_read(block_addr);
   notify_worker(s);
   return future;
@@ -154,6 +169,7 @@ std::future<std::vector<std::uint8_t>> MemoryService::submit_read(std::uint64_t 
 std::future<void> MemoryService::submit_write(std::uint64_t block_addr,
                                               std::span<const std::uint8_t> data) {
   const unsigned s = shard_of(block_addr);
+  obs::Tracer::instance().instant("svc.submit", block_addr, s);
   auto future =
       shards_[s]->queue().push_write(block_addr, {data.begin(), data.end()});
   notify_worker(s);
@@ -166,6 +182,30 @@ std::vector<std::uint8_t> MemoryService::read(std::uint64_t block_addr) {
 
 void MemoryService::write(std::uint64_t block_addr, std::span<const std::uint8_t> data) {
   submit_write(block_addr, data).get();
+}
+
+MemoryService::TracedRead MemoryService::read_traced(std::uint64_t block_addr) {
+  const unsigned s = shard_of(block_addr);
+  auto summary = std::make_shared<OpSummary>();
+  obs::Tracer::instance().instant("svc.submit", block_addr, s);
+  auto future = shards_[s]->queue().push_read(block_addr, summary);
+  notify_worker(s);
+  TracedRead out;
+  out.data = future.get();
+  out.summary = *summary;  // filled before the promise resolved
+  return out;
+}
+
+OpSummary MemoryService::write_traced(std::uint64_t block_addr,
+                                      std::span<const std::uint8_t> data) {
+  const unsigned s = shard_of(block_addr);
+  auto summary = std::make_shared<OpSummary>();
+  obs::Tracer::instance().instant("svc.submit", block_addr, s);
+  auto future =
+      shards_[s]->queue().push_write(block_addr, {data.begin(), data.end()}, summary);
+  notify_worker(s);
+  future.get();
+  return *summary;
 }
 
 void MemoryService::notify_worker(unsigned shard) {
@@ -299,6 +339,123 @@ unsigned MemoryService::scrub_all() {
   for (auto& shard : shards_)
     scrubbed += shard->scrub(std::numeric_limits<unsigned>::max());
   return scrubbed;
+}
+
+void MemoryService::fill_metrics(obs::MetricsRegistry& registry) const {
+  const ServiceStatsSnapshot snap = stats();
+  const auto counter = [&registry](const std::string& name, const std::string& help,
+                                   std::uint64_t v) { registry.counter(name, help).add(v); };
+  const auto latency = [&registry](const std::string& name, const std::string& help,
+                                   const LatencyHistogram::Snapshot& h) {
+    registry.histogram(name, help).merge_buckets(h.buckets, h.count, h.sum_ns);
+  };
+
+  counter("spe_reads_total", "completed read operations", snap.totals.reads_completed);
+  counter("spe_writes_total", "completed write operations (all waiters)",
+          snap.totals.writes_completed);
+  counter("spe_writes_coalesced_total", "write futures satisfied by a merged write",
+          snap.totals.writes_coalesced);
+  counter("spe_requests_rejected_total", "Reject-policy queue bounces",
+          snap.totals.rejected);
+  counter("spe_background_encrypted_total", "blocks re-encrypted by the scavenger",
+          snap.totals.background_encrypted);
+  counter("spe_faults_detected_total", "ECC verify events that found damage",
+          snap.totals.faults_detected);
+  counter("spe_faults_corrected_total", "cells repaired by SEC-DED",
+          snap.totals.faults_corrected);
+  counter("spe_faults_uncorrectable_total", "ops or scrubs abandoned as uncorrectable",
+          snap.totals.faults_uncorrectable);
+  counter("spe_blocks_quarantined_total", "quarantine insertions",
+          snap.totals.blocks_quarantined);
+  counter("spe_blocks_remapped_total", "spare-location remaps",
+          snap.totals.blocks_remapped);
+  counter("spe_blocks_scrubbed_total", "scrub verifications run",
+          snap.totals.blocks_scrubbed);
+  counter("spe_read_retries_total", "extra sense attempts after a failed verify",
+          snap.totals.read_retries);
+  counter("spe_write_retries_total", "extra program attempts after a failed verify",
+          snap.totals.write_retries);
+  counter("spe_injected_faults_total", "faults materialised by the injectors",
+          snap.totals.injected_faults);
+  counter("spe_slow_ops_total", "ops over ObsConfig::slow_op_threshold",
+          snap.totals.slow_ops);
+  counter("spe_trace_events_dropped_total", "trace events dropped by full rings",
+          obs::Tracer::instance().dropped());
+
+  core::Specu::Stats crypto;
+  for (const auto& shard : shards_) {
+    const core::Specu::Stats s = shard->specu_stats();
+    crypto.reads += s.reads;
+    crypto.writes += s.writes;
+    crypto.encrypt_ops += s.encrypt_ops;
+    crypto.decrypt_ops += s.decrypt_ops;
+    crypto.encrypt_pulses += s.encrypt_pulses;
+    crypto.decrypt_pulses += s.decrypt_pulses;
+  }
+  counter("spe_encrypt_ops_total", "per crossbar-unit encryptions",
+          crypto.encrypt_ops);
+  counter("spe_decrypt_ops_total", "per crossbar-unit decryptions",
+          crypto.decrypt_ops);
+  counter("spe_encrypt_pulses_total", "PoE pulses applied encrypting",
+          crypto.encrypt_pulses);
+  counter("spe_decrypt_pulses_total", "reverse pulses applied decrypting",
+          crypto.decrypt_pulses);
+
+  std::size_t queue_depth = 0;
+  for (const auto& shard : shards_) queue_depth += shard->queue().depth();
+  registry.gauge("spe_queue_depth", "requests currently queued across shards")
+      .set(static_cast<double>(queue_depth));
+  registry.gauge("spe_queue_high_water", "deepest per-shard queue observed")
+      .set(static_cast<double>(snap.totals.queue_high_water));
+  registry.gauge("spe_plaintext_blocks", "blocks resting decrypted (SPE-serial window)")
+      .set(static_cast<double>(snap.totals.plaintext_blocks));
+  registry.gauge("spe_resident_blocks", "blocks resident across shards")
+      .set(static_cast<double>(snap.totals.resident_blocks));
+  registry.gauge("spe_quarantined_blocks", "blocks currently quarantined")
+      .set(static_cast<double>(snap.totals.quarantined_now));
+  const double resident = static_cast<double>(snap.totals.resident_blocks);
+  registry.gauge("spe_encrypted_fraction", "fraction of resident blocks encrypted")
+      .set(resident == 0.0
+               ? 1.0
+               : (resident - static_cast<double>(snap.totals.plaintext_blocks)) /
+                     resident);
+  registry.gauge("spe_shards", "bank shards in the service")
+      .set(static_cast<double>(shards_.size()));
+
+  latency("spe_read_latency_ns", "submit to future-fulfilled read latency",
+          snap.totals.read_latency);
+  latency("spe_write_latency_ns", "submit to future-fulfilled write latency",
+          snap.totals.write_latency);
+  latency("spe_background_latency_ns", "one scavenger block re-encryption",
+          snap.totals.background_latency);
+
+  for (const ShardStatsSnapshot& s : snap.shards) {
+    const std::string label = "{shard=\"" + std::to_string(s.shard) + "\"}";
+    counter("spe_reads_total" + label, "", s.reads_completed);
+    counter("spe_writes_total" + label, "", s.writes_completed);
+    counter("spe_faults_detected_total" + label, "", s.faults_detected);
+    registry.gauge("spe_queue_depth" + label, "")
+        .set(static_cast<double>(shards_[s.shard]->queue().depth()));
+  }
+
+  // Cross-layer counters that accumulate below the runtime (journal
+  // transitions, crossbar solves, recovery classifications).
+  obs::MetricsRegistry::global().merge_into(registry);
+}
+
+std::string MemoryService::export_metrics(obs::MetricsFormat format) const {
+  obs::MetricsRegistry registry;
+  fill_metrics(registry);
+  return registry.render(format);
+}
+
+std::vector<OpSummary> MemoryService::slow_ops() const {
+  std::vector<OpSummary> out;
+  for (const auto& shard : shards_) {
+    auto rows = shard->slow_ops();
+    out.insert(out.end(), rows.begin(), rows.end());
+  }
+  return out;
 }
 
 double MemoryService::encrypted_fraction() const {

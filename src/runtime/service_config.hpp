@@ -119,6 +119,24 @@ private:
   std::uint64_t block_addr_;
 };
 
+/// Observability knobs (src/obs wiring). Tracing is process-global — a
+/// service whose config asks for it enables the global Tracer at
+/// construction (restarting the trace session); metrics export needs no
+/// opt-in.
+struct ObsConfig {
+  bool trace = false;               ///< enable the global Tracer at service start
+  bool deterministic_trace = false; ///< logical ticks (golden-trace mode)
+  bool trace_pulses = false;        ///< per-pulse journal.advance instants
+  std::size_t trace_buffer_events = std::size_t{1} << 16;  ///< per-thread ring
+
+  /// Execute-time threshold for slow-op accounting; 0 disables. Slow ops
+  /// are counted (spe_slow_ops_total), kept in a per-shard ring
+  /// (MemoryService::slow_ops()) and optionally logged to stderr.
+  std::chrono::nanoseconds slow_op_threshold{0};
+  bool log_slow_ops = false;
+  std::size_t slow_op_capacity = 64;  ///< per-shard slow-op ring size
+};
+
 struct ServiceConfig {
   unsigned shards = 8;          ///< independent Snvmm+Specu bank pairs
   unsigned worker_threads = 4;  ///< fixed pool; shard s is served by worker s % threads
@@ -157,6 +175,9 @@ struct ServiceConfig {
   bool fault_injection = false;
   std::uint64_t fault_seed = 0xFA117;
   fault::FaultModelConfig faults;
+
+  // --- observability (src/obs: tracing, metrics, slow-op accounting) ------
+  ObsConfig obs;
 };
 
 }  // namespace spe::runtime

@@ -1,8 +1,17 @@
 #include "runtime/service_stats.hpp"
 
+#include <limits>
 #include <sstream>
 
 namespace spe::runtime {
+
+namespace {
+/// a += b, clamping at the type's max (totals must stay monotonic, never wrap).
+template <typename T>
+void sat_add(T& a, T b) noexcept {
+  a = b > std::numeric_limits<T>::max() - a ? std::numeric_limits<T>::max() : a + b;
+}
+}  // namespace
 
 ShardStatsSnapshot snapshot_counters(unsigned shard, const ShardCounters& c) {
   ShardStatsSnapshot s;
@@ -21,6 +30,7 @@ ShardStatsSnapshot snapshot_counters(unsigned shard, const ShardCounters& c) {
   s.write_retries = c.write_retries.load(std::memory_order_relaxed);
   s.blocks_remapped = c.blocks_remapped.load(std::memory_order_relaxed);
   s.blocks_scrubbed = c.blocks_scrubbed.load(std::memory_order_relaxed);
+  s.slow_ops = c.slow_ops.load(std::memory_order_relaxed);
   s.read_latency = c.read_latency.snapshot();
   s.write_latency = c.write_latency.snapshot();
   s.background_latency = c.background_latency.snapshot();
@@ -30,25 +40,26 @@ ShardStatsSnapshot snapshot_counters(unsigned shard, const ShardCounters& c) {
 ServiceStatsSnapshot aggregate(std::vector<ShardStatsSnapshot> shards) {
   ServiceStatsSnapshot out;
   for (const ShardStatsSnapshot& s : shards) {
-    out.totals.reads_completed += s.reads_completed;
-    out.totals.writes_completed += s.writes_completed;
-    out.totals.writes_coalesced += s.writes_coalesced;
-    out.totals.rejected += s.rejected;
-    out.totals.background_encrypted += s.background_encrypted;
+    sat_add(out.totals.reads_completed, s.reads_completed);
+    sat_add(out.totals.writes_completed, s.writes_completed);
+    sat_add(out.totals.writes_coalesced, s.writes_coalesced);
+    sat_add(out.totals.rejected, s.rejected);
+    sat_add(out.totals.background_encrypted, s.background_encrypted);
     if (s.queue_high_water > out.totals.queue_high_water)
       out.totals.queue_high_water = s.queue_high_water;
-    out.totals.faults_detected += s.faults_detected;
-    out.totals.faults_corrected += s.faults_corrected;
-    out.totals.faults_uncorrectable += s.faults_uncorrectable;
-    out.totals.blocks_quarantined += s.blocks_quarantined;
-    out.totals.read_retries += s.read_retries;
-    out.totals.write_retries += s.write_retries;
-    out.totals.blocks_remapped += s.blocks_remapped;
-    out.totals.blocks_scrubbed += s.blocks_scrubbed;
-    out.totals.injected_faults += s.injected_faults;
-    out.totals.quarantined_now += s.quarantined_now;
-    out.totals.plaintext_blocks += s.plaintext_blocks;
-    out.totals.resident_blocks += s.resident_blocks;
+    sat_add(out.totals.faults_detected, s.faults_detected);
+    sat_add(out.totals.faults_corrected, s.faults_corrected);
+    sat_add(out.totals.faults_uncorrectable, s.faults_uncorrectable);
+    sat_add(out.totals.blocks_quarantined, s.blocks_quarantined);
+    sat_add(out.totals.read_retries, s.read_retries);
+    sat_add(out.totals.write_retries, s.write_retries);
+    sat_add(out.totals.blocks_remapped, s.blocks_remapped);
+    sat_add(out.totals.blocks_scrubbed, s.blocks_scrubbed);
+    sat_add(out.totals.slow_ops, s.slow_ops);
+    sat_add(out.totals.injected_faults, s.injected_faults);
+    sat_add(out.totals.quarantined_now, s.quarantined_now);
+    sat_add(out.totals.plaintext_blocks, s.plaintext_blocks);
+    sat_add(out.totals.resident_blocks, s.resident_blocks);
     out.totals.read_latency += s.read_latency;
     out.totals.write_latency += s.write_latency;
     out.totals.background_latency += s.background_latency;
@@ -88,7 +99,8 @@ std::string ServiceStatsSnapshot::to_string() const {
      << " remapped=" << totals.blocks_remapped
      << " retries=r" << totals.read_retries << "/w" << totals.write_retries
      << " scrubbed=" << totals.blocks_scrubbed
-     << " injected=" << totals.injected_faults << "\n";
+     << " injected=" << totals.injected_faults
+     << " slow=" << totals.slow_ops << "\n";
   print_latency_row(os, "read ", totals.read_latency);
   print_latency_row(os, "write", totals.write_latency);
   print_latency_row(os, "bgenc", totals.background_latency);

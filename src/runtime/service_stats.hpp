@@ -3,8 +3,19 @@
 // depth high-water marks, and lock-free latency histograms for reads,
 // writes, and background (scavenger) encryptions. Counters are relaxed
 // atomics — the report is a statistical snapshot, not a barrier.
+//
+// Relaxed-consistency contract: a snapshot reads each counter with its own
+// relaxed load, so counters within one snapshot are NOT mutually consistent
+// (e.g. faults_detected may momentarily exceed reads_completed's view of
+// the same op), and a whole-service snapshot visits shards one at a time.
+// What IS guaranteed: every counter is monotonic non-decreasing, and atomic
+// coherence makes each field — and therefore every aggregated total — never
+// go backwards across successive snapshots (pinned by
+// tests/runtime/service_stats_test.cpp). Aggregated totals saturate at
+// uint64 max instead of wrapping.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -32,6 +43,8 @@ struct ShardCounters {
   std::atomic<std::uint64_t> write_retries{0};         ///< extra program attempts
   std::atomic<std::uint64_t> blocks_remapped{0};       ///< spare-location remaps
   std::atomic<std::uint64_t> blocks_scrubbed{0};       ///< scrub verifications run
+
+  std::atomic<std::uint64_t> slow_ops{0};  ///< ops over ObsConfig::slow_op_threshold
 
   LatencyHistogram read_latency;   ///< submit -> future fulfilled
   LatencyHistogram write_latency;  ///< submit -> future fulfilled
@@ -63,6 +76,7 @@ struct ShardStatsSnapshot {
   std::uint64_t write_retries = 0;
   std::uint64_t blocks_remapped = 0;
   std::uint64_t blocks_scrubbed = 0;
+  std::uint64_t slow_ops = 0;
   std::uint64_t injected_faults = 0;  ///< materialised by this shard's injector
   std::size_t quarantined_now = 0;    ///< blocks currently quarantined
   std::size_t plaintext_blocks = 0;  ///< SPE-serial exposure at snapshot time
@@ -85,6 +99,26 @@ struct ServiceStatsSnapshot {
 };
 
 [[nodiscard]] ShardStatsSnapshot snapshot_counters(unsigned shard, const ShardCounters& c);
+/// Sums per-shard rows into totals (queue_high_water takes the max).
+/// Counter totals saturate at uint64 max rather than wrapping, preserving
+/// the never-goes-backwards guarantee near overflow.
 [[nodiscard]] ServiceStatsSnapshot aggregate(std::vector<ShardStatsSnapshot> shards);
+
+/// Per-operation span summary, surfaced opt-in on the read/write result
+/// path (MemoryService::read_traced / write_traced) and kept for ops that
+/// cross the slow-op threshold. Pulse / correction / retry figures are
+/// deltas of the shard's counters across the op's execution; on a shard
+/// executing concurrently with the scavenger they are attributions, not
+/// exact isolates.
+struct OpSummary {
+  std::uint64_t block_addr = 0;
+  unsigned shard = 0;
+  bool is_write = false;
+  std::chrono::nanoseconds queue_ns{0};    ///< submit -> execution start
+  std::chrono::nanoseconds execute_ns{0};  ///< shard execution (lock held)
+  std::uint64_t pulses = 0;                ///< SPE pulses the op applied
+  std::uint64_t cells_corrected = 0;       ///< SEC-DED corrections during the op
+  std::uint64_t retries = 0;               ///< read re-senses + write re-programs
+};
 
 }  // namespace spe::runtime

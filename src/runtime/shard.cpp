@@ -1,6 +1,7 @@
 #include "runtime/shard.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <map>
 #include <set>
@@ -10,6 +11,8 @@
 #include <utility>
 
 #include "ecc/level_ecc.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace spe::runtime {
 
@@ -155,6 +158,8 @@ ShardRecovery BankShard::recover() {
   std::lock_guard lock(state_mutex_);
   if (!specu_.powered())
     throw std::logic_error("BankShard::recover: power the shard on first");
+  obs::ShardScope shard_scope(id_);
+  obs::Span span("shard.recover", memory_.journal().size());
 
   ShardRecovery rec;
   rec.shard = id_;
@@ -217,6 +222,21 @@ ShardRecovery BankShard::recover() {
   for (std::uint64_t addr : touched)
     if (memory_.has_block(addr)) ++touched_resident;
   rec.clean_blocks = resident - touched_resident;
+
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& replayed = registry.counter(
+      "spe_recovery_replayed_forward_total", "journal intents replayed forward");
+  static obs::Counter& rolled = registry.counter(
+      "spe_recovery_rolled_back_total", "journal intents rolled back to pre-image");
+  static obs::Counter& torn = registry.counter(
+      "spe_recovery_torn_quarantined_total", "blocks torn by a crash and quarantined");
+  static obs::Counter& crc = registry.counter(
+      "spe_recovery_crc_quarantined_total", "image records failing CRC at restore");
+  replayed.add(rec.replayed_forward);
+  rolled.add(rec.rolled_back);
+  torn.add(rec.torn_quarantined);
+  crc.add(rec.crc_quarantined);
+  span.set_a1(rec.replayed_forward + rec.rolled_back + rec.torn_quarantined);
   return rec;
 }
 
@@ -247,6 +267,7 @@ bool BankShard::verify_block(std::uint64_t addr, core::Snvmm::Block& block,
   for (unsigned attempt = 0; attempt <= config_.max_read_retries; ++attempt) {
     if (attempt > 0) {
       counters_.read_retries.fetch_add(1, std::memory_order_relaxed);
+      obs::Tracer::instance().instant("ecc.retry", addr, attempt);
       backoff(attempt);
     }
     // Sense a copy: transient noise lives only in the read-out, so a
@@ -304,6 +325,7 @@ void BankShard::write_block_guarded(std::uint64_t addr,
     for (unsigned attempt = 0; attempt <= config_.max_write_retries; ++attempt) {
       if (attempt > 0) {
         counters_.write_retries.fetch_add(1, std::memory_order_relaxed);
+        obs::Tracer::instance().instant("ecc.retry", addr, attempt);
         backoff(attempt);
       }
       specu_.write_block(addr, data);
@@ -335,26 +357,86 @@ void BankShard::write_block_guarded(std::uint64_t addr,
 
 void BankShard::execute_batch(std::vector<Request> batch) {
   std::lock_guard lock(state_mutex_);
+  obs::ShardScope shard_scope(id_);
   for (Request& req : batch) {
+    // Summaries are built from counter deltas across the op, so the
+    // baselines are only sampled when someone will read the result (a
+    // traced submit or an armed slow-op threshold).
+    const bool slow_armed = config_.obs.slow_op_threshold.count() > 0;
+    bool want_summary = slow_armed || req.summary != nullptr;
+    for (const Request::WriteWaiter& waiter : req.write_waiters)
+      want_summary = want_summary || waiter.summary != nullptr;
+    const auto exec_start = std::chrono::steady_clock::now();
+    core::Specu::Stats pre_specu;
+    std::uint64_t pre_corrected = 0;
+    std::uint64_t pre_retries = 0;
+    if (want_summary) {
+      pre_specu = specu_.stats();
+      pre_corrected = counters_.faults_corrected.load(std::memory_order_relaxed);
+      pre_retries = counters_.read_retries.load(std::memory_order_relaxed) +
+                    counters_.write_retries.load(std::memory_order_relaxed);
+    }
+    const auto summarize = [&](bool is_write,
+                               std::chrono::steady_clock::time_point done) {
+      OpSummary s;
+      s.block_addr = req.block_addr;
+      s.shard = id_;
+      s.is_write = is_write;
+      s.execute_ns = done - exec_start;
+      const core::Specu::Stats post = specu_.stats();
+      s.pulses = (post.encrypt_pulses + post.decrypt_pulses) -
+                 (pre_specu.encrypt_pulses + pre_specu.decrypt_pulses);
+      s.cells_corrected =
+          counters_.faults_corrected.load(std::memory_order_relaxed) - pre_corrected;
+      s.retries = counters_.read_retries.load(std::memory_order_relaxed) +
+                  counters_.write_retries.load(std::memory_order_relaxed) - pre_retries;
+      return s;
+    };
     // Stats are recorded before the promise is fulfilled so a client that
     // returns from .get() and immediately snapshots sees its own op counted.
+    // Spans close (and record their tick) before set_value too, keeping a
+    // blocking client's next submit strictly after this op's worker events.
     if (req.kind == Request::Kind::Read) {
       try {
-        auto data = read_block_guarded(req.block_addr);
-        counters_.read_latency.record(std::chrono::steady_clock::now() - req.enqueued);
+        std::vector<std::uint8_t> data;
+        {
+          obs::Span span("shard.read", req.block_addr);
+          data = read_block_guarded(req.block_addr);
+        }
+        const auto done = std::chrono::steady_clock::now();
+        counters_.read_latency.record(done - req.enqueued);
         counters_.reads_completed.fetch_add(1, std::memory_order_relaxed);
+        if (want_summary) {
+          OpSummary s = summarize(false, done);
+          s.queue_ns = exec_start - req.enqueued;
+          if (req.summary) *req.summary = s;
+          note_slow_op(s);
+        }
         req.read_promise.set_value(std::move(data));
       } catch (...) {
         req.read_promise.set_exception(std::current_exception());
       }
     } else {
       try {
-        write_block_guarded(req.block_addr, req.data);
+        {
+          obs::Span span("shard.write", req.block_addr);
+          write_block_guarded(req.block_addr, req.data);
+        }
         const auto done = std::chrono::steady_clock::now();
         counters_.writes_completed.fetch_add(req.write_waiters.size(),
                                              std::memory_order_relaxed);
+        OpSummary s;
+        if (want_summary) {
+          s = summarize(true, done);
+          s.queue_ns = exec_start - req.write_waiters.front().enqueued;
+          note_slow_op(s);
+        }
         for (Request::WriteWaiter& waiter : req.write_waiters) {
           counters_.write_latency.record(done - waiter.enqueued);
+          if (waiter.summary) {
+            s.queue_ns = exec_start - waiter.enqueued;
+            *waiter.summary = s;
+          }
           waiter.promise.set_value();
         }
       } catch (...) {
@@ -365,15 +447,47 @@ void BankShard::execute_batch(std::vector<Request> batch) {
   }
 }
 
+void BankShard::note_slow_op(const OpSummary& summary) {
+  if (config_.obs.slow_op_threshold.count() <= 0 ||
+      summary.execute_ns < config_.obs.slow_op_threshold)
+    return;
+  counters_.slow_ops.fetch_add(1, std::memory_order_relaxed);
+  if (config_.obs.slow_op_capacity > 0) {
+    std::lock_guard lock(slow_mutex_);
+    if (slow_ring_.size() >= config_.obs.slow_op_capacity) slow_ring_.pop_front();
+    slow_ring_.push_back(summary);
+  }
+  if (config_.obs.log_slow_ops) {
+    std::fprintf(stderr,
+                 "[spe] slow %s shard=%u block=%llu exec=%.1fus queue=%.1fus "
+                 "pulses=%llu corrected=%llu retries=%llu\n",
+                 summary.is_write ? "write" : "read", id_,
+                 static_cast<unsigned long long>(summary.block_addr),
+                 static_cast<double>(summary.execute_ns.count()) / 1000.0,
+                 static_cast<double>(summary.queue_ns.count()) / 1000.0,
+                 static_cast<unsigned long long>(summary.pulses),
+                 static_cast<unsigned long long>(summary.cells_corrected),
+                 static_cast<unsigned long long>(summary.retries));
+  }
+}
+
+std::vector<OpSummary> BankShard::slow_ops() const {
+  std::lock_guard lock(slow_mutex_);
+  return {slow_ring_.begin(), slow_ring_.end()};
+}
+
 unsigned BankShard::scavenge(unsigned max_blocks) {
   unsigned secured = 0;
   for (unsigned i = 0; i < max_blocks; ++i) {
     // One block per lock acquisition so foreground requests never wait for
     // a whole sweep (the paper's engine likewise steps between accesses).
     std::lock_guard lock(state_mutex_);
+    obs::ShardScope shard_scope(id_);
+    obs::Span span("shard.scavenge");
     const auto start = std::chrono::steady_clock::now();
     const std::optional<std::uint64_t> addr = specu_.background_encrypt_one();
     if (!addr) break;
+    span.set_a1(1);
     if (config_.ecc_enabled) refresh_checks(*addr);
     counters_.background_latency.record(std::chrono::steady_clock::now() - start);
     counters_.background_encrypted.fetch_add(1, std::memory_order_relaxed);
@@ -388,6 +502,8 @@ unsigned BankShard::scrub(unsigned max_blocks) {
   auto& blocks = memory_.blocks();
   const std::size_t resident = blocks.size();
   if (resident == 0) return 0;
+  obs::ShardScope shard_scope(id_);
+  obs::Span span("shard.scrub", scrub_cursor_);
 
   unsigned scrubbed = 0;
   auto it = blocks.lower_bound(scrub_cursor_);
@@ -417,6 +533,7 @@ unsigned BankShard::scrub(unsigned max_blocks) {
     }
   }
   scrub_cursor_ = it == blocks.end() ? 0 : it->first;
+  span.set_a1(scrubbed);
   return scrubbed;
 }
 

@@ -28,6 +28,7 @@
 // or rolling back whatever the journal caught mid-flight.
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <iosfwd>
 #include <memory>
@@ -118,6 +119,11 @@ public:
   /// Counters plus under-lock occupancy (plaintext / resident blocks).
   [[nodiscard]] ShardStatsSnapshot stats_snapshot() const;
 
+  /// The most recent ops whose execute time crossed
+  /// ObsConfig::slow_op_threshold (bounded ring, oldest dropped). Empty
+  /// when the threshold is 0.
+  [[nodiscard]] std::vector<OpSummary> slow_ops() const;
+
   [[nodiscard]] double encrypted_fraction() const;
   [[nodiscard]] core::Specu::Stats specu_stats() const;
 
@@ -154,6 +160,9 @@ private:
   void refresh_checks(std::uint64_t addr);
   void quarantine(std::uint64_t addr, QuarantineReason reason);
   void backoff(unsigned attempt) const;
+  /// Slow-op accounting for one executed request: counter, bounded ring,
+  /// optional stderr line. Takes slow_mutex_ (not state_mutex_).
+  void note_slow_op(const OpSummary& summary);
 
   unsigned id_;
   ServiceConfig config_;
@@ -168,6 +177,9 @@ private:
   std::vector<std::uint64_t> restored_crc_corrupt_;  ///< consumed by recover()
   std::function<void(unsigned, const std::string&)> crash_hook_;
   std::uint64_t scrub_cursor_ = 0;  ///< round-robin resume point
+
+  mutable std::mutex slow_mutex_;  ///< guards slow_ring_ (worker vs slow_ops())
+  std::deque<OpSummary> slow_ring_;
 };
 
 }  // namespace spe::runtime

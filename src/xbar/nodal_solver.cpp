@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace spe::xbar {
 
 namespace {
@@ -77,6 +80,11 @@ NodalSolution solve_crossbar(const Crossbar& xbar, const std::vector<LineDrive>&
   const unsigned cols = xbar.cols();
   if (row_drives.size() != rows || col_drives.size() != cols)
     throw std::invalid_argument("solve_crossbar: drive vector size mismatch");
+
+  static obs::Counter& solves = obs::MetricsRegistry::global().counter(
+      "spe_xbar_solves_total", "dense nodal crossbar DC solves");
+  solves.add(1);
+  obs::Span span("xbar.solve", static_cast<std::uint64_t>(rows) * cols);
 
   const std::size_t n = static_cast<std::size_t>(2) * rows * cols;
   std::vector<double> g(n * n, 0.0);

@@ -1,0 +1,151 @@
+// Golden-trace regression: a fixed seeded workload against a fully
+// serialised MemoryService (1 shard, 1 worker, background threads off,
+// blocking submits) in deterministic-trace mode must yield byte-identical
+// JSONL run-over-run, and that JSONL must match the checked-in golden file.
+//
+// Thread ids are the only run-dependent field (each service run spawns a
+// fresh worker thread, which registers a new ring), so the trace is
+// normalised by remapping tids in order of first appearance before any
+// comparison.
+//
+// To update the golden after an intentional instrumentation change:
+//   SPE_OBS_UPDATE_GOLDEN=1 ./build/tests/test_obs --gtest_filter='GoldenTrace.*'
+// then review the diff of tests/obs/golden_trace.jsonl (DESIGN.md §9).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "runtime/memory_service.hpp"
+
+namespace spe::runtime {
+namespace {
+
+ServiceConfig golden_config() {
+  ServiceConfig cfg;
+  // Every knob that could interleave ticks is pinned: one shard served by
+  // one worker, no scavenger/scrub thread, zero retry backoff.
+  cfg.shards = 1;
+  cfg.worker_threads = 1;
+  cfg.scavenger_enabled = false;
+  cfg.scrub_enabled = false;
+  cfg.retry_backoff_base = std::chrono::microseconds{0};
+  cfg.obs.trace = true;
+  cfg.obs.deterministic_trace = true;
+  cfg.obs.trace_pulses = true;  // per-pulse journal.advance instants too
+  return cfg;
+}
+
+std::vector<std::uint8_t> payload_for(std::uint64_t block, unsigned bytes) {
+  std::vector<std::uint8_t> data(bytes);
+  for (unsigned i = 0; i < bytes; ++i)
+    data[i] = static_cast<std::uint8_t>(block * 31 + i * 7 + 1);
+  return data;
+}
+
+/// Remaps "tid":N values in order of first appearance, so run 1's worker
+/// (registered second, say tid 1) and run 2's fresh worker (tid 3) both
+/// normalise to the same id.
+std::string normalize_tids(const std::string& jsonl) {
+  std::map<std::string, unsigned> remap;
+  std::string out;
+  out.reserve(jsonl.size());
+  std::size_t pos = 0;
+  const std::string key = "\"tid\":";
+  while (pos < jsonl.size()) {
+    const std::size_t at = jsonl.find(key, pos);
+    if (at == std::string::npos) {
+      out.append(jsonl, pos, std::string::npos);
+      break;
+    }
+    const std::size_t digits = at + key.size();
+    std::size_t end = digits;
+    while (end < jsonl.size() && std::isdigit(static_cast<unsigned char>(jsonl[end])))
+      ++end;
+    const std::string tid = jsonl.substr(digits, end - digits);
+    const auto [it, inserted] =
+        remap.emplace(tid, static_cast<unsigned>(remap.size()));
+    out.append(jsonl, pos, digits - pos);
+    out.append(std::to_string(it->second));
+    pos = end;
+  }
+  return out;
+}
+
+/// The fixed workload: a handful of blocking writes and reads, including a
+/// repeat read (serial-mode plaintext hit) and a rewrite (re-encrypt).
+std::string run_traced_workload() {
+  MemoryService service(golden_config());
+  const unsigned bytes = service.block_bytes();
+  for (std::uint64_t b = 0; b < 3; ++b) service.write(b, payload_for(b, bytes));
+  (void)service.read(1);
+  (void)service.read(1);  // plaintext re-read: no decrypt pulses this time
+  service.write(1, payload_for(9, bytes));
+  (void)service.read(2);
+  (void)service.read(0);
+  const std::string jsonl = obs::Tracer::instance().jsonl();
+  service.stop();
+  obs::Tracer::instance().disable();
+  return normalize_tids(jsonl);
+}
+
+class GoldenTrace : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    // Throwaway run to warm every process-global lazy cache (cipher
+    // calibration, solver scratch): a cold first run would trace extra
+    // xbar.solve spans the second run does not repeat.
+    ServiceConfig cfg = golden_config();
+    cfg.obs.trace = false;
+    obs::Tracer::instance().disable();
+    MemoryService warmup(cfg);
+    warmup.write(0, std::vector<std::uint8_t>(warmup.block_bytes(), 0));
+    (void)warmup.read(0);
+  }
+};
+
+TEST_F(GoldenTrace, DeterministicModeIsByteReproducible) {
+  const std::string first = run_traced_workload();
+  const std::string second = run_traced_workload();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second) << "same seed, same config -> same trace bytes";
+}
+
+TEST_F(GoldenTrace, TraceContainsTheDocumentedSpanTaxonomy) {
+  const std::string trace = run_traced_workload();
+  for (const char* name :
+       {"\"svc.submit\"", "\"shard.read\"", "\"shard.write\"", "\"specu.read\"",
+        "\"specu.write\"", "\"specu.encrypt\"", "\"specu.decrypt\"", "\"ecc.verify\"",
+        "\"journal.begin\"", "\"journal.advance\"", "\"journal.commit\""})
+    EXPECT_NE(trace.find(name), std::string::npos) << name << " missing from trace";
+}
+
+TEST_F(GoldenTrace, MatchesCheckedInGolden) {
+  const std::string trace = run_traced_workload();
+  const char* update = std::getenv("SPE_OBS_UPDATE_GOLDEN");
+  if (update && *update && *update != '0') {
+    std::ofstream out(SPE_GOLDEN_TRACE_PATH, std::ios::trunc | std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << SPE_GOLDEN_TRACE_PATH;
+    out << trace;
+    GTEST_SKIP() << "golden updated at " << SPE_GOLDEN_TRACE_PATH
+                 << " — review and commit the diff";
+  }
+  std::ifstream in(SPE_GOLDEN_TRACE_PATH, std::ios::binary);
+  ASSERT_TRUE(in) << "golden file missing; regenerate with SPE_OBS_UPDATE_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(trace, golden.str())
+      << "trace diverged from tests/obs/golden_trace.jsonl; if the "
+         "instrumentation change is intentional, regenerate with "
+         "SPE_OBS_UPDATE_GOLDEN=1 and commit the new golden (DESIGN.md §9)";
+}
+
+}  // namespace
+}  // namespace spe::runtime

@@ -1,0 +1,203 @@
+// MetricsRegistry property tests: counter monotonicity under concurrency,
+// histogram merge associativity, registry aggregation invariants, and the
+// deterministic Prometheus/JSON export formats (DESIGN.md §9).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace spe::obs {
+namespace {
+
+TEST(Counter, ConcurrentAddsSumExactly) {
+  Counter c;
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kAdds = 20000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kAdds; ++i) c.add(1);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kAdds);
+}
+
+TEST(Counter, SampledValueNeverGoesBackwards) {
+  Counter c;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) c.add(3);
+  });
+  std::uint64_t last = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t v = c.value();
+    ASSERT_GE(v, last);
+    last = v;
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(Gauge, SetOverwrites) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(0.994);
+  EXPECT_DOUBLE_EQ(g.value(), 0.994);
+  g.set(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), -1.5);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket b covers [2^(b-1), 2^b): the same power-of-two layout as the
+  // runtime's LatencyHistogram.
+  EXPECT_EQ(Histogram::bucket_for(0), 0u);
+  EXPECT_EQ(Histogram::bucket_for(1), 0u);
+  EXPECT_EQ(Histogram::bucket_for(2), 1u);
+  EXPECT_EQ(Histogram::bucket_for(3), 1u);
+  EXPECT_EQ(Histogram::bucket_for(4), 2u);
+  EXPECT_EQ(Histogram::bucket_for(1023), 9u);
+  EXPECT_EQ(Histogram::bucket_for(1024), 10u);
+  EXPECT_EQ(Histogram::bucket_for(~std::uint64_t{0}), 63u);
+  EXPECT_EQ(Histogram::upper_edge(0), 1u);
+  EXPECT_EQ(Histogram::upper_edge(1), 3u);
+  EXPECT_EQ(Histogram::upper_edge(10), 2047u);
+  EXPECT_EQ(Histogram::upper_edge(63), ~std::uint64_t{0});
+}
+
+Histogram::Snapshot sample(std::uint64_t seed, unsigned n) {
+  Histogram h;
+  std::uint64_t x = seed;
+  for (unsigned i = 0; i < n; ++i) {
+    // xorshift64: arbitrary but reproducible values across the full range.
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    h.record(x >> (x % 48));
+  }
+  return h.snapshot();
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  const Histogram::Snapshot a = sample(1, 500);
+  const Histogram::Snapshot b = sample(2, 300);
+  const Histogram::Snapshot c = sample(3, 700);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a + b, b + a);
+  const Histogram::Snapshot zero;
+  EXPECT_EQ(a + zero, a);
+}
+
+TEST(Histogram, MergeBucketsMatchesIndividualRecords) {
+  Histogram individual;
+  Histogram merged;
+  Histogram source;
+  for (std::uint64_t v : {0u, 1u, 2u, 100u, 4096u, 1u << 30}) {
+    individual.record(v);
+    source.record(v);
+  }
+  const Histogram::Snapshot s = source.snapshot();
+  merged.merge_buckets(s.buckets, s.count, s.sum);
+  EXPECT_EQ(merged.snapshot(), individual.snapshot());
+}
+
+TEST(MetricsRegistry, AggregateOfShardsEqualsSumOfShardSnapshots) {
+  // The per-shard labelled counters and the unlabelled total are registered
+  // independently; the invariant the exporter relies on is that the total
+  // equals the sum over shards when both are fed the same figures.
+  MetricsRegistry registry;
+  const std::uint64_t per_shard[] = {7, 0, 191, 23};
+  std::uint64_t sum = 0;
+  for (unsigned s = 0; s < 4; ++s) {
+    registry.counter("spe_reads_total{shard=\"" + std::to_string(s) + "\"}")
+        .add(per_shard[s]);
+    sum += per_shard[s];
+  }
+  registry.counter("spe_reads_total", "total").add(sum);
+  std::uint64_t labelled = 0;
+  for (unsigned s = 0; s < 4; ++s)
+    labelled +=
+        registry.counter("spe_reads_total{shard=\"" + std::to_string(s) + "\"}").value();
+  EXPECT_EQ(labelled, registry.counter("spe_reads_total").value());
+}
+
+TEST(MetricsRegistry, TypeMismatchThrows) {
+  MetricsRegistry registry;
+  (void)registry.counter("spe_reads_total");
+  EXPECT_THROW((void)registry.gauge("spe_reads_total"), std::logic_error);
+  EXPECT_THROW((void)registry.histogram("spe_reads_total"), std::logic_error);
+  (void)registry.gauge("spe_queue_depth");
+  EXPECT_THROW((void)registry.counter("spe_queue_depth"), std::logic_error);
+}
+
+TEST(MetricsRegistry, PrometheusExportIsSortedWithOneHeaderPerFamily) {
+  MetricsRegistry registry;
+  registry.counter("spe_reads_total{shard=\"1\"}").add(5);
+  registry.counter("spe_reads_total{shard=\"0\"}", "completed reads").add(2);
+  registry.counter("spe_reads_total", "completed reads").add(7);
+  registry.gauge("spe_queue_depth", "queued requests").set(3);
+  const std::string text = registry.render(MetricsFormat::Prometheus);
+  // One TYPE header for the whole spe_reads_total family, bare name first
+  // (map order), then the labelled variants sorted.
+  EXPECT_NE(text.find("# TYPE spe_reads_total counter"), std::string::npos);
+  EXPECT_EQ(text.find("# TYPE spe_reads_total counter"),
+            text.rfind("# TYPE spe_reads_total counter"));
+  EXPECT_NE(text.find("spe_reads_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("spe_reads_total{shard=\"0\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("spe_reads_total{shard=\"1\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE spe_queue_depth gauge"), std::string::npos);
+  EXPECT_LT(text.find("spe_queue_depth"), text.find("spe_reads_total"));
+}
+
+TEST(MetricsRegistry, HistogramExportsCumulativeBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("spe_read_latency_ns", "read latency");
+  h.record(1);    // bucket 0, le=1
+  h.record(3);    // bucket 1, le=3
+  h.record(3);    // bucket 1
+  h.record(100);  // bucket 6, le=127
+  const std::string text = registry.render(MetricsFormat::Prometheus);
+  EXPECT_NE(text.find("spe_read_latency_ns_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("spe_read_latency_ns_bucket{le=\"3\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("spe_read_latency_ns_bucket{le=\"127\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("spe_read_latency_ns_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("spe_read_latency_ns_sum 107\n"), std::string::npos);
+  EXPECT_NE(text.find("spe_read_latency_ns_count 4\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonExportIsOneSortedObject) {
+  MetricsRegistry registry;
+  registry.counter("spe_writes_total").add(11);
+  registry.gauge("spe_encrypted_fraction").set(0.5);
+  registry.histogram("spe_write_latency_ns").record(2);
+  const std::string json = registry.render(MetricsFormat::Json);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"spe_writes_total\": 11"), std::string::npos);
+  EXPECT_NE(json.find("\"spe_encrypted_fraction\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"spe_write_latency_ns\": {\"count\": 1, \"sum\": 2"),
+            std::string::npos);
+  // Sorted keys: fraction before latency before writes.
+  EXPECT_LT(json.find("spe_encrypted_fraction"), json.find("spe_write_latency_ns"));
+  EXPECT_LT(json.find("spe_write_latency_ns"), json.find("spe_writes_total"));
+}
+
+TEST(MetricsRegistry, MergeIntoCopiesEveryInstrumentKind) {
+  MetricsRegistry src;
+  src.counter("spe_journal_begin_total", "begins").add(9);
+  src.gauge("spe_shards").set(4);
+  src.histogram("spe_read_latency_ns").record(100);
+  MetricsRegistry dest;
+  dest.counter("spe_journal_begin_total").add(1);  // merge adds, not overwrites
+  src.merge_into(dest);
+  EXPECT_EQ(dest.counter("spe_journal_begin_total").value(), 10u);
+  EXPECT_DOUBLE_EQ(dest.gauge("spe_shards").value(), 4.0);
+  EXPECT_EQ(dest.histogram("spe_read_latency_ns").snapshot().count, 1u);
+  EXPECT_EQ(dest.names().size(), 3u);
+}
+
+}  // namespace
+}  // namespace spe::obs

@@ -1,0 +1,189 @@
+// Tracer property tests: span nesting discipline per thread under
+// concurrent load (the TSan job runs these), deterministic-tick uniqueness,
+// drop-new accounting on full rings, and shard attribution via ShardScope.
+//
+// Tests re-enable() the global Tracer, so each starts a fresh session; the
+// singleton is shared with any other test in the binary that traces, which
+// is why every test here begins with its own enable().
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace spe::obs {
+namespace {
+
+TraceConfig deterministic_config() {
+  TraceConfig config;
+  config.deterministic = true;
+  return config;
+}
+
+TEST(Trace, SpanRecordsNameArgsAndDuration) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable(deterministic_config());
+  {
+    Span span("unit.outer", 42);
+    span.set_a1(7);
+    span.add_a1(1);
+  }
+  tracer.instant("unit.mark", 5, 6);
+  tracer.disable();
+  const std::vector<TraceEvent> events = tracer.collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "unit.outer");
+  EXPECT_EQ(events[0].a0, 42u);
+  EXPECT_EQ(events[0].a1, 8u);
+  EXPECT_LT(events[0].start, events[0].end);
+  EXPECT_FALSE(events[0].instant());
+  EXPECT_STREQ(events[1].name, "unit.mark");
+  EXPECT_TRUE(events[1].instant());
+  EXPECT_EQ(events[1].shard, -1);
+}
+
+TEST(Trace, DeterministicTicksAreGloballyUnique) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable(deterministic_config());
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kSpans = 500;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([t] {
+      for (unsigned i = 0; i < kSpans; ++i) Span span("unit.work", t * kSpans + i);
+    });
+  for (auto& t : threads) t.join();
+  tracer.disable();
+  const std::vector<TraceEvent> events = tracer.collect();
+  ASSERT_EQ(events.size(), kThreads * kSpans);
+  std::set<std::uint64_t> stamps;
+  for (const TraceEvent& e : events) {
+    EXPECT_TRUE(stamps.insert(e.start).second) << "duplicate tick " << e.start;
+    EXPECT_TRUE(stamps.insert(e.end).second) << "duplicate tick " << e.end;
+  }
+  // collect() is sorted by start and deterministic ticks are unique, so the
+  // order is strictly increasing.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LT(events[i - 1].start, events[i].start);
+}
+
+TEST(Trace, SpansAreStrictlyNestedPerThreadUnderConcurrentLoad) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable(deterministic_config());
+  constexpr unsigned kThreads = 6;
+  constexpr unsigned kRounds = 200;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([] {
+      for (unsigned i = 0; i < kRounds; ++i) {
+        Span outer("unit.outer", i);
+        {
+          Span mid("unit.mid", i);
+          Span inner("unit.inner", i);
+        }
+        Span again("unit.mid", i);
+      }
+    });
+  for (auto& t : threads) t.join();
+  tracer.disable();
+  EXPECT_EQ(Tracer::thread_depth(), 0u);
+
+  std::map<std::uint32_t, std::vector<TraceEvent>> by_tid;
+  for (const TraceEvent& e : tracer.collect()) by_tid[e.tid].push_back(e);
+  ASSERT_GE(by_tid.size(), kThreads);
+  for (const auto& [tid, events] : by_tid) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_LT(events[i].start, events[i].end);
+      for (std::size_t j = i + 1; j < events.size(); ++j) {
+        const TraceEvent& a = events[i];
+        const TraceEvent& b = events[j];
+        // Any two spans on one thread are either disjoint or one strictly
+        // contains the other — RAII scopes cannot partially overlap.
+        const bool disjoint = a.end < b.start || b.end < a.start;
+        const bool a_in_b = b.start < a.start && a.end < b.end;
+        const bool b_in_a = a.start < b.start && b.end < a.end;
+        ASSERT_TRUE(disjoint || a_in_b || b_in_a)
+            << a.name << " [" << a.start << "," << a.end << ") vs " << b.name
+            << " [" << b.start << "," << b.end << ") on tid " << tid;
+        // Containment must agree with the recorded nesting depth.
+        if (a_in_b) {
+          ASSERT_GT(a.depth, b.depth);
+        }
+        if (b_in_a) {
+          ASSERT_GT(b.depth, a.depth);
+        }
+      }
+    }
+  }
+}
+
+TEST(Trace, FullRingDropsNewAndCountsThem) {
+  Tracer& tracer = Tracer::instance();
+  TraceConfig config = deterministic_config();
+  config.buffer_events = 8;
+  tracer.enable(config);
+  for (unsigned i = 0; i < 20; ++i) tracer.instant("unit.flood", i);
+  tracer.disable();
+  const std::vector<TraceEvent> events = tracer.collect();
+  EXPECT_EQ(events.size(), 8u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  // The survivors are the oldest events (drop-new, never overwrite).
+  for (unsigned i = 0; i < events.size(); ++i) EXPECT_EQ(events[i].a0, i);
+}
+
+TEST(Trace, ShardScopeAttributesAndNests) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable(deterministic_config());
+  EXPECT_EQ(ShardScope::current(), -1);
+  {
+    ShardScope outer(3);
+    EXPECT_EQ(ShardScope::current(), 3);
+    tracer.instant("unit.in3");
+    {
+      ShardScope inner(5);
+      tracer.instant("unit.in5");
+    }
+    tracer.instant("unit.back3");
+  }
+  tracer.instant("unit.outside");
+  tracer.disable();
+  EXPECT_EQ(ShardScope::current(), -1);
+  const std::vector<TraceEvent> events = tracer.collect();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].shard, 3);
+  EXPECT_EQ(events[1].shard, 5);
+  EXPECT_EQ(events[2].shard, 3);
+  EXPECT_EQ(events[3].shard, -1);
+}
+
+TEST(Trace, DisabledTracingRecordsNothing) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable(deterministic_config());
+  tracer.disable();
+  {
+    Span span("unit.ghost");
+    EXPECT_FALSE(span.active());
+  }
+  tracer.instant("unit.ghost");
+  EXPECT_TRUE(tracer.collect().empty());
+}
+
+TEST(Trace, JsonlUsesFixedKeyOrder) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable(deterministic_config());
+  tracer.instant("unit.line", 9, 2);
+  tracer.disable();
+  const std::string jsonl = tracer.jsonl();
+  const std::uint32_t tid = tracer.collect().at(0).tid;
+  EXPECT_EQ(jsonl, "{\"name\":\"unit.line\",\"ts\":1,\"dur\":0,\"tid\":" +
+                       std::to_string(tid) +
+                       ",\"shard\":-1,\"addr\":9,\"n\":2,\"depth\":0}\n");
+}
+
+}  // namespace
+}  // namespace spe::obs
