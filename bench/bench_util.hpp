@@ -1,9 +1,12 @@
 #pragma once
-// Shared helpers for the table/figure reproduction harnesses.
+// Shared helpers for the table/figure reproduction harnesses and the
+// serving-layer binaries (spe_server, loadgen): env overrides, a banner,
+// and one tiny argv parser so every bench spells flags the same way.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace spe::benchutil {
 
@@ -22,5 +25,73 @@ inline void banner(const std::string& title, const std::string& paper_ref) {
   std::printf("Reproduces: %s\n", paper_ref.c_str());
   std::printf("================================================================\n\n");
 }
+
+/// Minimal argv parser shared by the bench binaries. Supports boolean
+/// `--name` flags and `--name value` / `--name=value` options; unknown
+/// tokens are collected so a bench can reject typos with a one-line error.
+///
+///   Args args(argc, argv);
+///   const bool smoke = args.flag("smoke");
+///   const unsigned ops = args.uns("ops", env_or("SPE_SVC_OPS", 2000));
+///   if (!args.ok(stderr)) return 2;
+class Args {
+public:
+  Args(int argc, char** argv) {
+    tokens_.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+    for (int i = 1; i < argc; ++i) tokens_.emplace_back(argv[i]);
+    used_.assign(tokens_.size(), false);
+  }
+
+  /// True when `--name` appears (as a bare flag).
+  [[nodiscard]] bool flag(const std::string& name) {
+    const std::string key = "--" + name;
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i] == key) {
+        used_[i] = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Value of `--name value` or `--name=value`, else `fallback`.
+  [[nodiscard]] std::string str(const std::string& name, std::string fallback) {
+    const std::string key = "--" + name;
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i].rfind(key + "=", 0) == 0) {
+        used_[i] = true;
+        return tokens_[i].substr(key.size() + 1);
+      }
+      if (tokens_[i] == key && i + 1 < tokens_.size()) {
+        used_[i] = used_[i + 1] = true;
+        return tokens_[i + 1];
+      }
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] unsigned uns(const std::string& name, unsigned fallback) {
+    const std::string v = str(name, "");
+    if (v.empty()) return fallback;
+    return static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
+  }
+
+  /// After all lookups: prints one line per unrecognised token to `err` and
+  /// returns false if any exist. Call last so every valid flag is marked.
+  [[nodiscard]] bool ok(std::FILE* err) const {
+    bool clean = true;
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (!used_[i]) {
+        std::fprintf(err, "unknown argument: %s\n", tokens_[i].c_str());
+        clean = false;
+      }
+    }
+    return clean;
+  }
+
+private:
+  std::vector<std::string> tokens_;
+  std::vector<bool> used_;
+};
 
 }  // namespace spe::benchutil

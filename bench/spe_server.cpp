@@ -1,0 +1,92 @@
+// Standalone SPE memory server: MemoryService behind the spe_net TCP
+// wire protocol. Pairs with `loadgen` for the serving-layer quick start:
+//
+//   ./bench/spe_server --port 48571 &
+//   ./bench/loadgen --port 48571 --connections 4 --depth 8 --seconds 2
+//
+// Flags: --port P (0 = ephemeral; the bound port is always printed),
+//        --port-file PATH (write the bound port, for scripts racing an
+//        ephemeral pick), --shards N, --workers N, --queue N,
+//        --max-conns N, --completion-threads N, --reject (queue
+//        backpressure rejects with Overloaded instead of blocking).
+// SIGINT/SIGTERM trigger the graceful drain-then-stop path.
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "net/server.hpp"
+#include "runtime/memory_service.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void on_signal(int) { g_stop_requested = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spe::benchutil::Args args(argc, argv);
+  spe::net::ServerConfig server_cfg;
+  server_cfg.port = static_cast<std::uint16_t>(args.uns("port", 0));
+  server_cfg.max_connections = args.uns("max-conns", server_cfg.max_connections);
+  server_cfg.completion_threads =
+      args.uns("completion-threads", server_cfg.completion_threads);
+
+  spe::runtime::ServiceConfig service_cfg;
+  service_cfg.shards = std::max(1u, args.uns("shards", service_cfg.shards));
+  service_cfg.worker_threads =
+      std::max(1u, args.uns("workers", service_cfg.worker_threads));
+  service_cfg.queue_capacity = std::max(
+      1u, args.uns("queue", static_cast<unsigned>(service_cfg.queue_capacity)));
+  if (args.flag("reject"))
+    service_cfg.backpressure = spe::runtime::BackpressurePolicy::Reject;
+
+  const std::string port_file = args.str("port-file", "");
+  if (!args.ok(stderr)) return 2;
+
+  try {
+    spe::runtime::MemoryService service(service_cfg);
+    spe::net::Server server(service, server_cfg);
+    const std::uint16_t port = server.start();
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::printf("spe_server: listening on %s:%u (%u shards, %u workers, %u B blocks)\n",
+                server_cfg.bind_address.c_str(), port, service.shard_count(),
+                service_cfg.worker_threads, service.block_bytes());
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+      std::ofstream out(port_file, std::ios::trunc);
+      out << port << '\n';
+      if (!out) {
+        std::fprintf(stderr, "spe_server: cannot write %s\n", port_file.c_str());
+        return 1;
+      }
+    }
+
+    while (g_stop_requested == 0 && server.running())
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::printf("spe_server: draining...\n");
+    std::fflush(stdout);
+    server.stop();
+    const spe::net::ServerCountersSnapshot c = server.counters();
+    service.stop();
+    std::printf("spe_server: stopped (%llu conns, %llu frames rx, %llu completed, "
+                "%llu protocol errors)\n",
+                static_cast<unsigned long long>(c.connections_accepted),
+                static_cast<unsigned long long>(c.frames_rx),
+                static_cast<unsigned long long>(c.requests_completed),
+                static_cast<unsigned long long>(c.protocol_errors));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "spe_server: %s\n", e.what());
+    return 1;
+  }
+}

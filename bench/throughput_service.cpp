@@ -14,15 +14,20 @@
 // Either mode dumps the final run's metrics export at exit: to the file
 // named by SPE_METRICS_OUT when set, otherwise to stdout (table mode only).
 //
+// Flags: --smoke, --ops N, --window N, --workload NAME (each flag falls
+// back to its environment override when absent).
 // Overrides: SPE_SVC_OPS (trace length), SPE_SVC_WORKLOAD (suite name),
 //            SPE_SVC_WINDOW (max outstanding submissions per client),
 //            SPE_OBS_MAX_OVERHEAD (--smoke gate, percent),
 //            SPE_METRICS_OUT (metrics dump path).
+//
+// The --smoke gate verdict never depends on the metrics dump: a failed
+// gate prints exactly one "SMOKE FAIL: <reason>" line on stderr and exits
+// nonzero whether or not SPE_METRICS_OUT is set or writable.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <deque>
 #include <fstream>
 #include <future>
@@ -135,6 +140,8 @@ void dump_metrics(const std::string& metrics, bool to_stdout) {
 
 /// Tracing-overhead gate (CI): off/on replays alternate so drift hits both
 /// sides; min-of-N filters scheduler noise. Returns the process exit code.
+/// The pass/fail verdict is computed before any metrics dump so a missing
+/// or unwritable SPE_METRICS_OUT cannot mask (or cause) a gate failure.
 int run_smoke(const std::vector<TraceOp>& trace, unsigned window) {
   const unsigned max_overhead_pct =
       std::max(1u, spe::benchutil::env_or("SPE_OBS_MAX_OVERHEAD", 5));
@@ -153,12 +160,13 @@ int run_smoke(const std::vector<TraceOp>& trace, unsigned window) {
       min_on <= min_off ? 0.0 : (min_on - min_off) / min_off * 100.0;
   std::printf("tracing overhead: off=%.1fms on=%.1fms -> %.2f%% (limit %u%%)\n",
               min_off * 1000.0, min_on * 1000.0, overhead_pct, max_overhead_pct);
-  dump_metrics(metrics, /*to_stdout=*/false);
-  if (overhead_pct > static_cast<double>(max_overhead_pct)) {
-    std::fprintf(stderr, "throughput_service --smoke: tracing overhead %.2f%% exceeds %u%%\n",
+  const bool failed = overhead_pct > static_cast<double>(max_overhead_pct);
+  if (failed) {
+    std::fprintf(stderr, "SMOKE FAIL: tracing overhead %.2f%% exceeds limit %u%%\n",
                  overhead_pct, max_overhead_pct);
-    return 1;
   }
+  dump_metrics(metrics, /*to_stdout=*/false);
+  if (failed) return 1;
   std::printf("smoke OK\n");
   return 0;
 }
@@ -166,11 +174,16 @@ int run_smoke(const std::vector<TraceOp>& trace, unsigned window) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
-  const unsigned ops = std::max(1u, spe::benchutil::env_or("SPE_SVC_OPS", 2000));
-  const unsigned window = std::max(1u, spe::benchutil::env_or("SPE_SVC_WINDOW", 256));
+  spe::benchutil::Args args(argc, argv);
+  const bool smoke = args.flag("smoke");
+  const unsigned ops =
+      std::max(1u, args.uns("ops", spe::benchutil::env_or("SPE_SVC_OPS", 2000)));
+  const unsigned window =
+      std::max(1u, args.uns("window", spe::benchutil::env_or("SPE_SVC_WINDOW", 256)));
   const char* workload_env = std::getenv("SPE_SVC_WORKLOAD");
-  const std::string workload = workload_env && *workload_env ? workload_env : "bzip2";
+  const std::string workload = args.str(
+      "workload", workload_env && *workload_env ? workload_env : "bzip2");
+  if (!args.ok(stderr)) return 2;
 
   if (smoke) {
     std::printf("throughput_service --smoke: %s, %u block ops, window %u\n",
@@ -178,7 +191,7 @@ int main(int argc, char** argv) {
     try {
       return run_smoke(build_trace(workload, ops), window);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "throughput_service: %s\n", e.what());
+      std::fprintf(stderr, "SMOKE FAIL: %s\n", e.what());
       return 1;
     }
   }

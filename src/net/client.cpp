@@ -1,0 +1,204 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+namespace spe::net {
+
+Client::Client(ClientConfig config)
+    : config_(std::move(config)), decoder_(config_.max_frame_bytes) {}
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : config_(std::move(other.config_)),
+      fd_(other.fd_),
+      next_id_(other.next_id_),
+      decoder_(std::move(other.decoder_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    config_ = std::move(other.config_);
+    fd_ = other.fd_;
+    next_id_ = other.next_id_;
+    decoder_ = std::move(other.decoder_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = FrameDecoder(config_.max_frame_bytes);
+}
+
+void Client::connect() {
+  if (connected()) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1)
+    throw ConnectError("spe::net: bad host address " + config_.host);
+
+  int last_errno = 0;
+  for (unsigned attempt = 0; attempt <= config_.connect_retries; ++attempt) {
+    if (attempt > 0) std::this_thread::sleep_for(config_.connect_retry_backoff);
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      fd_ = fd;
+      return;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  throw ConnectError("spe::net: cannot connect to " + config_.host + ":" +
+                     std::to_string(config_.port) + ": " +
+                     std::strerror(last_errno));
+}
+
+std::uint64_t Client::send_frame(const Frame& frame) {
+  if (!connected()) throw ConnectError("spe::net: not connected");
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const int err = errno;
+    close();
+    throw ProtocolError(std::string("spe::net: send failed: ") +
+                        std::strerror(err));
+  }
+  return frame.request_id;
+}
+
+Frame Client::recv_response() {
+  if (!connected()) throw ConnectError("spe::net: not connected");
+  const auto deadline = std::chrono::steady_clock::now() + config_.io_deadline;
+  const bool has_deadline = config_.io_deadline.count() > 0;
+  Frame frame;
+  for (;;) {
+    const DecodeStatus status = decoder_.next(frame);
+    if (status == DecodeStatus::Ok) return frame;
+    if (status == DecodeStatus::Error) {
+      const WireErrorCode code = decoder_.error();
+      close();
+      throw ProtocolError(std::string("spe::net: bad response stream: ") +
+                          to_string(code));
+    }
+    // NeedMore: wait for readable within the deadline, then pull bytes.
+    int timeout_ms = -1;
+    if (has_deadline) {
+      const auto left = deadline - std::chrono::steady_clock::now();
+      timeout_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(left).count());
+      if (timeout_ms <= 0) throw TimeoutError("spe::net: response deadline expired");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) throw TimeoutError("spe::net: response deadline expired");
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      close();
+      throw ProtocolError(std::string("spe::net: poll failed: ") +
+                          std::strerror(err));
+    }
+    std::uint8_t buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+      continue;
+    close();
+    throw ProtocolError("spe::net: connection closed by peer");
+  }
+}
+
+std::uint64_t Client::send_read(std::uint64_t block_addr) {
+  return send_frame(make_read_request(next_id_++, block_addr));
+}
+
+std::uint64_t Client::send_write(std::uint64_t block_addr,
+                                 std::span<const std::uint8_t> data) {
+  return send_frame(make_write_request(next_id_++, block_addr, data));
+}
+
+std::uint64_t Client::send_ping(std::span<const std::uint8_t> echo) {
+  return send_frame(make_ping(next_id_++, echo));
+}
+
+std::uint64_t Client::send_scrub() {
+  return send_frame(make_scrub_request(next_id_++));
+}
+
+std::uint64_t Client::send_metrics(obs::MetricsFormat format) {
+  return send_frame(make_metrics_request(next_id_++, format));
+}
+
+Frame Client::await(std::uint64_t id) {
+  Frame frame = recv_response();
+  if (frame.request_id != id) {
+    close();
+    throw ProtocolError("spe::net: response id mismatch (pipelining mixed with "
+                        "blocking RPCs?)");
+  }
+  if (frame.status != Status::Ok)
+    throw RemoteError(frame.status,
+                      std::string(frame.payload.begin(), frame.payload.end()));
+  return frame;
+}
+
+std::vector<std::uint8_t> Client::read_block(std::uint64_t block_addr) {
+  return await(send_read(block_addr)).payload;
+}
+
+void Client::write_block(std::uint64_t block_addr,
+                         std::span<const std::uint8_t> data) {
+  (void)await(send_write(block_addr, data));
+}
+
+std::uint64_t Client::scrub() {
+  const Frame frame = await(send_scrub());
+  std::uint64_t blocks = 0;
+  WireErrorCode err = WireErrorCode::None;
+  if (!parse_scrub_response(frame, blocks, err))
+    throw ProtocolError(std::string("spe::net: bad scrub response: ") +
+                        to_string(err));
+  return blocks;
+}
+
+std::string Client::metrics(obs::MetricsFormat format) {
+  const Frame frame = await(send_metrics(format));
+  return {frame.payload.begin(), frame.payload.end()};
+}
+
+void Client::ping() { (void)await(send_ping()); }
+
+}  // namespace spe::net

@@ -1,0 +1,118 @@
+#pragma once
+// Blocking TCP client for the SPE wire protocol (src/net). One socket, one
+// owner thread: the convenience RPCs (read_block / write_block / scrub /
+// metrics / ping) send a frame and wait for its response; the pipelined
+// send_* / recv_response pair is what the load generator uses to keep
+// `depth` requests outstanding per connection.
+//
+// connect() retries with linear backoff (a freshly exec'd server may not be
+// listening yet); every receive honours io_deadline via poll(). All
+// failures are typed: ConnectError, TimeoutError, ProtocolError (malformed
+// or unexpected bytes, peer close), and RemoteError carrying the response
+// Status plus the server's reason string.
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+
+namespace spe::net {
+
+class NetError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+class ConnectError : public NetError {
+public:
+  using NetError::NetError;
+};
+
+class TimeoutError : public NetError {
+public:
+  using NetError::NetError;
+};
+
+class ProtocolError : public NetError {
+public:
+  using NetError::NetError;
+};
+
+/// The server answered with a non-Ok status; the payload (reason) rides in
+/// what().
+class RemoteError : public NetError {
+public:
+  RemoteError(Status status, const std::string& reason)
+      : NetError(std::string("spe::net: remote error: ") + to_string(status) +
+                 (reason.empty() ? "" : " (" + reason + ")")),
+        status_(status) {}
+
+  [[nodiscard]] Status status() const noexcept { return status_; }
+
+private:
+  Status status_;
+};
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  unsigned connect_retries = 20;
+  std::chrono::milliseconds connect_retry_backoff{50};
+  std::chrono::milliseconds io_deadline{5'000};  ///< 0 = block forever
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class Client {
+public:
+  explicit Client(ClientConfig config);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  /// Movable: the moved-from client is disconnected and reusable only via
+  /// connect().
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects (with retry/backoff). Throws ConnectError when every attempt
+  /// fails. No-op when already connected.
+  void connect();
+  void close() noexcept;
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  // --- pipelined API (load generator) --------------------------------------
+  // Each send returns the request id; responses arrive via recv_response()
+  // in server completion order (which is NOT submission order across
+  // shards) — match on Frame::request_id.
+  std::uint64_t send_read(std::uint64_t block_addr);
+  std::uint64_t send_write(std::uint64_t block_addr, std::span<const std::uint8_t> data);
+  std::uint64_t send_ping(std::span<const std::uint8_t> echo = {});
+  std::uint64_t send_scrub();
+  std::uint64_t send_metrics(obs::MetricsFormat format = obs::MetricsFormat::Prometheus);
+  [[nodiscard]] Frame recv_response();
+
+  // --- blocking RPC conveniences (single outstanding request) --------------
+  [[nodiscard]] std::vector<std::uint8_t> read_block(std::uint64_t block_addr);
+  void write_block(std::uint64_t block_addr, std::span<const std::uint8_t> data);
+  std::uint64_t scrub();
+  [[nodiscard]] std::string metrics(
+      obs::MetricsFormat format = obs::MetricsFormat::Prometheus);
+  void ping();
+
+private:
+  std::uint64_t send_frame(const Frame& frame);
+  /// recv_response() that must match `id` (convenience RPC path).
+  Frame await(std::uint64_t id);
+
+  ClientConfig config_;
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace spe::net

@@ -1,0 +1,631 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+#include "runtime/service_config.hpp"
+
+namespace spe::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string("spe::net::Server: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+Server::Server(runtime::MemoryService& service, ServerConfig config)
+    : service_(service), config_(std::move(config)) {
+  if (config_.completion_threads == 0) config_.completion_threads = 1;
+}
+
+Server::~Server() { stop(); }
+
+std::uint16_t Server::start() {
+  if (started_.exchange(true, std::memory_order_acq_rel)) return port_;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("spe::net::Server: bad bind address " +
+                             config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, config_.listen_backlog) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = err;
+    throw_errno("bind/listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    throw_errno("getsockname");
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) throw_errno("epoll_create1/eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0)
+    throw_errno("epoll_ctl(listen)");
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0)
+    throw_errno("epoll_ctl(wake)");
+
+  completion_threads_.reserve(config_.completion_threads);
+  for (unsigned i = 0; i < config_.completion_threads; ++i)
+    completion_threads_.emplace_back([this] { completion_loop(); });
+  event_thread_ = std::thread([this] { event_loop(); });
+  return port_;
+}
+
+void Server::wake() noexcept {
+  const std::uint64_t v = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &v, sizeof v);
+}
+
+void Server::stop() {
+  if (stop_started_.exchange(true, std::memory_order_acq_rel)) {
+    // Another thread is (or was) stopping: wait until it finishes so every
+    // caller returns to a fully-stopped server.
+    std::unique_lock lock(stop_mutex_);
+    stop_cv_.wait(lock, [this] { return stop_done_; });
+    return;
+  }
+  if (started_.load(std::memory_order_acquire)) {
+    // Phase 1: stop accepting, answer fresh frames with Stopped.
+    draining_.store(true, std::memory_order_release);
+    wake();
+    // Phase 2: bounded wait for in-flight requests to answer.
+    {
+      std::unique_lock lock(drain_mutex_);
+      drain_cv_.wait_for(lock, config_.drain_timeout, [this] {
+        return pending_count_.load(std::memory_order_acquire) == 0;
+      });
+    }
+    // Phase 3: completion threads finish the queue (each item bounded by
+    // request_timeout) and exit; then the loop flushes and closes.
+    {
+      std::lock_guard lock(completion_mutex_);
+      completions_quit_ = true;
+    }
+    completion_cv_.notify_all();
+    for (auto& t : completion_threads_) {
+      if (t.joinable()) t.join();
+    }
+    quit_.store(true, std::memory_order_release);
+    wake();
+    if (event_thread_.joinable()) event_thread_.join();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  }
+  {
+    std::lock_guard lock(stop_mutex_);
+    stop_done_ = true;
+  }
+  stop_done_flag_.store(true, std::memory_order_release);
+  stop_cv_.notify_all();
+}
+
+void Server::event_loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  auto last_sweep = Clock::now();
+  while (!quit_.load(std::memory_order_acquire)) {
+    // Drop the listen socket the moment a drain starts.
+    if (draining_.load(std::memory_order_acquire) && listen_fd_ >= 0) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout_ms=*/100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        std::uint64_t v;
+        while (::read(wake_fd_, &v, sizeof v) > 0) {
+        }
+        continue;
+      }
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      const std::shared_ptr<Conn> conn = it->second;  // handlers may erase
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        close_conn(conn);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) conn_readable(conn);
+      if (!conn->dead.load(std::memory_order_acquire) &&
+          (events[i].events & EPOLLOUT))
+        flush(conn);
+    }
+    // Connections the completion threads appended responses to.
+    std::vector<std::shared_ptr<Conn>> dirty;
+    {
+      std::lock_guard lock(dirty_mutex_);
+      dirty.swap(dirty_);
+    }
+    for (const auto& conn : dirty)
+      if (!conn->dead.load(std::memory_order_acquire)) flush(conn);
+    const auto now = Clock::now();
+    if (now - last_sweep >= std::chrono::milliseconds(250)) {
+      sweep_idle(now);
+      last_sweep = now;
+    }
+  }
+  // Shutdown: one best-effort flush of everything delivered, then close.
+  std::vector<std::shared_ptr<Conn>> remaining;
+  remaining.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) remaining.push_back(conn);
+  for (const auto& conn : remaining) {
+    flush(conn);
+    close_conn(conn);
+  }
+  conns_.clear();
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient failure: epoll will re-report
+    }
+    if (draining_.load(std::memory_order_acquire) ||
+        conns_.size() >= config_.max_connections) {
+      counters_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->id = ++next_conn_id_;
+    conn->decoder = FrameDecoder(config_.max_frame_bytes);
+    conn->last_activity = Clock::now();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    obs::Tracer::instance().instant("net.accept", conn->id, fd);
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void Server::conn_readable(const std::shared_ptr<Conn>& conn) {
+  std::uint8_t buf[64 * 1024];
+  bool peer_closed = false;
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      counters_.bytes_rx.fetch_add(static_cast<std::uint64_t>(n),
+                                   std::memory_order_relaxed);
+      conn->decoder.feed(buf, static_cast<std::size_t>(n));
+      conn->last_activity = Clock::now();
+      if (static_cast<std::size_t>(n) < sizeof buf) break;
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    peer_closed = true;
+    break;
+  }
+  Frame frame;
+  for (;;) {
+    const DecodeStatus status = conn->decoder.next(frame);
+    if (status == DecodeStatus::NeedMore) break;
+    if (status == DecodeStatus::Error) {
+      // Poisoned stream: one best-effort reason frame, then close after
+      // whatever is already buffered flushes.
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      respond_now(conn, make_error_response(Opcode::Ping, Status::BadRequest, 0,
+                                            to_string(conn->decoder.error())));
+      conn->closing = true;
+      break;
+    }
+    counters_.frames_rx.fetch_add(1, std::memory_order_relaxed);
+    handle_frame(conn, std::move(frame));
+    if (conn->dead.load(std::memory_order_acquire)) return;
+  }
+  if (peer_closed) {
+    // A killed client may leave responses in flight; completion threads see
+    // the dead flag and drop them.
+    close_conn(conn);
+    return;
+  }
+  if (conn->closing) flush(conn);
+}
+
+void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame&& frame) {
+  obs::Tracer::instance().instant("net.request",
+                                  static_cast<std::uint64_t>(frame.opcode),
+                                  frame.request_id);
+  switch (frame.opcode) {
+    case Opcode::Ping: {
+      Frame resp;
+      resp.opcode = Opcode::Ping;
+      resp.request_id = frame.request_id;
+      resp.payload = std::move(frame.payload);
+      respond_now(conn, resp);
+      return;
+    }
+    case Opcode::Metrics: {
+      obs::MetricsFormat format = obs::MetricsFormat::Prometheus;
+      WireErrorCode err = WireErrorCode::None;
+      if (!parse_metrics_request(frame, format, err)) {
+        counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        respond_now(conn, make_error_response(Opcode::Metrics, Status::BadRequest,
+                                              frame.request_id, to_string(err)));
+        return;
+      }
+      const std::string text = export_metrics(format);
+      Frame resp;
+      resp.opcode = Opcode::Metrics;
+      resp.request_id = frame.request_id;
+      resp.payload.assign(text.begin(), text.end());
+      respond_now(conn, resp);
+      return;
+    }
+    case Opcode::Read:
+    case Opcode::Write:
+    case Opcode::Scrub:
+      submit_request(conn, std::move(frame));
+      return;
+  }
+}
+
+void Server::submit_request(const std::shared_ptr<Conn>& conn, Frame&& frame) {
+  const Opcode op = frame.opcode;
+  const std::uint64_t id = frame.request_id;
+  if (draining_.load(std::memory_order_acquire)) {
+    respond_now(conn, make_error_response(op, Status::Stopped, id,
+                                          "server draining"));
+    return;
+  }
+  if (conn->inflight.load(std::memory_order_acquire) >=
+      static_cast<int>(config_.max_inflight_per_conn)) {
+    counters_.overload_rejected.fetch_add(1, std::memory_order_relaxed);
+    respond_now(conn, make_error_response(op, Status::Overloaded, id,
+                                          "per-connection in-flight cap"));
+    return;
+  }
+  Pending pending;
+  pending.conn = conn;
+  pending.request_id = id;
+  pending.received = Clock::now();
+  try {
+    switch (op) {
+      case Opcode::Read: {
+        std::uint64_t addr = 0;
+        WireErrorCode err = WireErrorCode::None;
+        if (!parse_read_request(frame, addr, err)) {
+          counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          respond_now(conn, make_error_response(op, Status::BadRequest, id,
+                                                to_string(err)));
+          return;
+        }
+        pending.kind = Pending::Kind::Read;
+        pending.read_future = service_.submit_read(addr);
+        break;
+      }
+      case Opcode::Write: {
+        std::uint64_t addr = 0;
+        std::span<const std::uint8_t> data;
+        WireErrorCode err = WireErrorCode::None;
+        if (!parse_write_request(frame, addr, data, err) ||
+            data.size() != service_.block_bytes()) {
+          counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          respond_now(conn, make_error_response(
+                                op, Status::BadRequest, id,
+                                "write payload must be exactly one block"));
+          return;
+        }
+        pending.kind = Pending::Kind::Write;
+        pending.write_future = service_.submit_write(addr, data);
+        break;
+      }
+      default:
+        pending.kind = Pending::Kind::Scrub;
+        break;
+    }
+  } catch (const runtime::QueueFullError& e) {
+    counters_.overload_rejected.fetch_add(1, std::memory_order_relaxed);
+    respond_now(conn, make_error_response(op, Status::Overloaded, id, e.what()));
+    return;
+  } catch (const runtime::ServiceStoppedError& e) {
+    respond_now(conn, make_error_response(op, Status::Stopped, id, e.what()));
+    return;
+  } catch (const std::exception& e) {
+    respond_now(conn, make_error_response(op, Status::Internal, id, e.what()));
+    return;
+  }
+  conn->inflight.fetch_add(1, std::memory_order_acq_rel);
+  pending_count_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard lock(completion_mutex_);
+    completion_queue_.push_back(std::move(pending));
+  }
+  completion_cv_.notify_one();
+}
+
+void Server::completion_loop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock lock(completion_mutex_);
+      completion_cv_.wait(lock, [this] {
+        return completions_quit_ || !completion_queue_.empty();
+      });
+      if (completion_queue_.empty()) {
+        if (completions_quit_) return;
+        continue;
+      }
+      pending = std::move(completion_queue_.front());
+      completion_queue_.pop_front();
+    }
+    const Frame response = complete(pending);
+    counters_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+    counters_.request_latency.record(Clock::now() - pending.received);
+    pending.conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    deliver(pending.conn, response);
+    if (pending_count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(drain_mutex_);  // pairs with the stop() waiter
+      drain_cv_.notify_all();
+    }
+  }
+}
+
+Frame Server::complete(Pending& pending) {
+  const bool has_deadline = config_.request_timeout.count() > 0;
+  const auto deadline = pending.received + config_.request_timeout;
+  Frame resp;
+  resp.request_id = pending.request_id;
+  switch (pending.kind) {
+    case Pending::Kind::Read: resp.opcode = Opcode::Read; break;
+    case Pending::Kind::Write: resp.opcode = Opcode::Write; break;
+    case Pending::Kind::Scrub: resp.opcode = Opcode::Scrub; break;
+  }
+  try {
+    switch (pending.kind) {
+      case Pending::Kind::Read:
+        if (has_deadline &&
+            pending.read_future.wait_until(deadline) != std::future_status::ready) {
+          counters_.request_timeouts.fetch_add(1, std::memory_order_relaxed);
+          return make_error_response(resp.opcode, Status::Timeout,
+                                     pending.request_id, "read deadline expired");
+        }
+        resp.payload = pending.read_future.get();
+        return resp;
+      case Pending::Kind::Write:
+        if (has_deadline &&
+            pending.write_future.wait_until(deadline) != std::future_status::ready) {
+          counters_.request_timeouts.fetch_add(1, std::memory_order_relaxed);
+          return make_error_response(resp.opcode, Status::Timeout,
+                                     pending.request_id, "write deadline expired");
+        }
+        pending.write_future.get();
+        return resp;
+      case Pending::Kind::Scrub:
+        return make_scrub_response(pending.request_id, service_.scrub_all());
+    }
+  } catch (const runtime::UncorrectableFaultError& e) {
+    return make_error_response(resp.opcode, Status::Uncorrectable,
+                               pending.request_id, e.what());
+  } catch (const runtime::QuarantinedBlockError& e) {
+    return make_error_response(resp.opcode, Status::Quarantined,
+                               pending.request_id, e.what());
+  } catch (const runtime::TornBlockError& e) {
+    return make_error_response(resp.opcode, Status::Torn, pending.request_id,
+                               e.what());
+  } catch (const runtime::ServiceStoppedError& e) {
+    return make_error_response(resp.opcode, Status::Stopped, pending.request_id,
+                               e.what());
+  } catch (const std::exception& e) {
+    return make_error_response(resp.opcode, Status::Internal, pending.request_id,
+                               e.what());
+  }
+  return make_error_response(resp.opcode, Status::Internal, pending.request_id,
+                             "unreachable");
+}
+
+void Server::respond_now(const std::shared_ptr<Conn>& conn, const Frame& frame) {
+  {
+    std::lock_guard lock(conn->out_mutex);
+    append_frame(conn->out, frame);
+  }
+  counters_.frames_tx.fetch_add(1, std::memory_order_relaxed);
+  flush(conn);
+}
+
+void Server::deliver(const std::shared_ptr<Conn>& conn, const Frame& frame) {
+  if (conn->dead.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard lock(conn->out_mutex);
+    append_frame(conn->out, frame);
+  }
+  counters_.frames_tx.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(dirty_mutex_);
+    dirty_.push_back(conn);
+  }
+  wake();
+}
+
+void Server::flush(const std::shared_ptr<Conn>& conn) {
+  if (conn->dead.load(std::memory_order_acquire)) return;
+  obs::Span span("net.flush", conn->id);
+  bool flushed_all = false;
+  bool io_error = false;
+  {
+    std::lock_guard lock(conn->out_mutex);
+    while (conn->out_off < conn->out.size()) {
+      const ssize_t n = ::send(conn->fd, conn->out.data() + conn->out_off,
+                               conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_off += static_cast<std::size_t>(n);
+        counters_.bytes_tx.fetch_add(static_cast<std::uint64_t>(n),
+                                     std::memory_order_relaxed);
+        span.add_a1(static_cast<std::uint64_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      io_error = true;
+      break;
+    }
+    if (conn->out_off == conn->out.size()) {
+      conn->out.clear();
+      conn->out_off = 0;
+      flushed_all = true;
+    }
+  }
+  if (io_error) {
+    close_conn(conn);
+    return;
+  }
+  set_want_write(*conn, !flushed_all);
+  if (flushed_all && conn->closing &&
+      conn->inflight.load(std::memory_order_acquire) == 0)
+    close_conn(conn);
+}
+
+void Server::set_want_write(Conn& conn, bool want) {
+  if (conn.want_write == want) return;
+  epoll_event ev{};
+  ev.events = want ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  ev.data.fd = conn.fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0)
+    conn.want_write = want;
+}
+
+void Server::close_conn(const std::shared_ptr<Conn>& conn) {
+  if (conn->dead.exchange(true, std::memory_order_acq_rel)) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
+  counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::sweep_idle(Clock::time_point now) {
+  if (config_.idle_timeout.count() == 0) return;
+  std::vector<std::shared_ptr<Conn>> victims;
+  for (const auto& [fd, conn] : conns_) {
+    // In-flight requests still count as activity (their completions refresh
+    // nothing); unread output does not — a peer that never reads is idle.
+    if (conn->inflight.load(std::memory_order_acquire) == 0 &&
+        now - conn->last_activity >= config_.idle_timeout)
+      victims.push_back(conn);
+  }
+  for (const auto& conn : victims) {
+    counters_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+    close_conn(conn);
+  }
+}
+
+ServerCountersSnapshot Server::counters() const {
+  ServerCountersSnapshot s;
+  const auto get = [](const std::atomic<std::uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  s.connections_accepted = get(counters_.connections_accepted);
+  s.connections_rejected = get(counters_.connections_rejected);
+  s.connections_active = get(counters_.connections_active);
+  s.frames_rx = get(counters_.frames_rx);
+  s.frames_tx = get(counters_.frames_tx);
+  s.bytes_rx = get(counters_.bytes_rx);
+  s.bytes_tx = get(counters_.bytes_tx);
+  s.protocol_errors = get(counters_.protocol_errors);
+  s.overload_rejected = get(counters_.overload_rejected);
+  s.request_timeouts = get(counters_.request_timeouts);
+  s.idle_closed = get(counters_.idle_closed);
+  s.requests_completed = get(counters_.requests_completed);
+  s.request_latency = counters_.request_latency.snapshot();
+  return s;
+}
+
+void Server::fill_metrics(obs::MetricsRegistry& registry) const {
+  const ServerCountersSnapshot s = counters();
+  const auto counter = [&registry](const std::string& name, const std::string& help,
+                                   std::uint64_t v) { registry.counter(name, help).add(v); };
+  counter("spe_net_connections_accepted_total", "TCP connections accepted",
+          s.connections_accepted);
+  counter("spe_net_connections_rejected_total",
+          "accepts refused over max_connections", s.connections_rejected);
+  counter("spe_net_frames_rx_total", "wire frames received", s.frames_rx);
+  counter("spe_net_frames_tx_total", "wire frames sent", s.frames_tx);
+  counter("spe_net_bytes_rx_total", "payload+header bytes received", s.bytes_rx);
+  counter("spe_net_bytes_tx_total", "payload+header bytes sent", s.bytes_tx);
+  counter("spe_net_protocol_errors_total",
+          "malformed frames / payloads (connection closed)", s.protocol_errors);
+  counter("spe_net_overload_rejected_total",
+          "requests answered Overloaded (in-flight cap or queue backpressure)",
+          s.overload_rejected);
+  counter("spe_net_request_timeouts_total",
+          "requests answered Timeout past the server deadline", s.request_timeouts);
+  counter("spe_net_idle_closed_total", "connections closed by the idle sweep",
+          s.idle_closed);
+  counter("spe_net_requests_completed_total",
+          "responses encoded by the completion threads", s.requests_completed);
+  registry.gauge("spe_net_connections_active", "connections currently open")
+      .set(static_cast<double>(s.connections_active));
+  registry
+      .histogram("spe_net_request_latency_ns",
+                 "frame receive to response encode, server side")
+      .merge_buckets(s.request_latency.buckets, s.request_latency.count,
+                     s.request_latency.sum_ns);
+}
+
+std::string Server::export_metrics(obs::MetricsFormat format) const {
+  obs::MetricsRegistry registry;
+  service_.fill_metrics(registry);
+  fill_metrics(registry);
+  return registry.render(format);
+}
+
+}  // namespace spe::net

@@ -1,0 +1,217 @@
+#pragma once
+// Epoll-based non-blocking TCP server fronting a MemoryService (src/net).
+//
+// Threading model
+//   event-loop thread    accept, read + incremental frame decode, response
+//                        flush, idle sweeps, epoll re-arming. Owns every fd
+//                        and the connection registry — no other thread
+//                        touches a socket.
+//   completion threads   wait on the MemoryService futures the event loop
+//                        submitted, map the runtime error taxonomy onto
+//                        wire Status codes, encode the response, append it
+//                        to the connection's output buffer, and wake the
+//                        event loop through an eventfd.
+//
+// The only cross-thread state is each connection's output buffer (mutex),
+// its in-flight counter / dead flag (atomics), the completion queue, and
+// the dirty-connection list — everything else stays on the event loop.
+//
+// Admission control and lifecycle:
+//   * max_connections: accepts over the cap are closed immediately.
+//   * max_inflight_per_conn: a connection with that many unanswered
+//     READ/WRITE/SCRUB frames gets Status::Overloaded (so does a submit
+//     bounced by queue backpressure — QueueFullError maps to Overloaded).
+//   * max_frame_bytes, protocol errors: one best-effort error frame, then
+//     the connection closes (the decoder is poisoned anyway).
+//   * idle_timeout: connections with no traffic and nothing in flight are
+//     closed by the sweep.
+//   * request_timeout: a future still unready past the deadline answers
+//     Status::Timeout (the shard still executes the op; only the response
+//     is abandoned).
+//   * stop(): graceful drain-then-stop — stop accepting, answer queued
+//     frames with Status::Stopped, wait (bounded by drain_timeout) for
+//     in-flight completions to flush, then close everything and join.
+//     Idempotent and safe to call from several threads.
+//
+// Observability: net.accept / net.request instants and a net.flush span on
+// the event loop, spe_net_* counters + a request latency histogram merged
+// into the service's metric export by export_metrics() (what the METRICS
+// opcode returns).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/latency_histogram.hpp"
+#include "runtime/memory_service.hpp"
+
+namespace spe::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; start() returns the kernel's pick
+  int listen_backlog = 64;
+  unsigned max_connections = 64;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  unsigned max_inflight_per_conn = 64;  ///< 0 rejects every request (test hook)
+  unsigned completion_threads = 2;
+  std::chrono::milliseconds idle_timeout{30'000};    ///< 0 disables
+  std::chrono::milliseconds request_timeout{5'000};  ///< 0 disables
+  std::chrono::milliseconds drain_timeout{5'000};    ///< stop() in-flight bound
+};
+
+/// Plain copy of the server's counters at a point in time.
+struct ServerCountersSnapshot {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  ///< over max_connections
+  std::uint64_t connections_active = 0;
+  std::uint64_t frames_rx = 0;
+  std::uint64_t frames_tx = 0;
+  std::uint64_t bytes_rx = 0;
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t overload_rejected = 0;
+  std::uint64_t request_timeouts = 0;
+  std::uint64_t idle_closed = 0;
+  std::uint64_t requests_completed = 0;  ///< responses encoded (any status)
+  runtime::LatencyHistogram::Snapshot request_latency;  ///< frame rx -> response encoded
+};
+
+class Server {
+public:
+  /// The service must outlive the server.
+  explicit Server(runtime::MemoryService& service, ServerConfig config = {});
+  ~Server();  ///< stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the event-loop + completion threads.
+  /// Returns the bound port. Throws std::runtime_error on socket failure.
+  std::uint16_t start();
+
+  /// Graceful drain-then-stop (see file comment). Idempotent; concurrent
+  /// callers block until the first one finishes.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool running() const noexcept {
+    return started_.load(std::memory_order_acquire) &&
+           !stop_done_flag_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] ServerCountersSnapshot counters() const;
+
+  /// spe_net_* counters/gauges/histogram into `registry`.
+  void fill_metrics(obs::MetricsRegistry& registry) const;
+
+  /// Service metrics + net metrics in one deterministic export — the body
+  /// of a METRICS response.
+  [[nodiscard]] std::string export_metrics(
+      obs::MetricsFormat format = obs::MetricsFormat::Prometheus) const;
+
+private:
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;  ///< accept sequence number (log/trace handle)
+    FrameDecoder decoder;
+    std::mutex out_mutex;                ///< guards out/out_off (completion threads)
+    std::vector<std::uint8_t> out;
+    std::size_t out_off = 0;
+    std::atomic<int> inflight{0};
+    std::atomic<bool> dead{false};
+    bool want_write = false;   ///< event loop: EPOLLOUT armed
+    bool closing = false;      ///< event loop: close once flushed + drained
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  struct Pending {
+    enum class Kind : std::uint8_t { Read, Write, Scrub } kind = Kind::Read;
+    std::shared_ptr<Conn> conn;
+    std::uint64_t request_id = 0;
+    std::chrono::steady_clock::time_point received;
+    std::future<std::vector<std::uint8_t>> read_future;
+    std::future<void> write_future;
+  };
+
+  struct Counters {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connections_rejected{0};
+    std::atomic<std::uint64_t> connections_active{0};
+    std::atomic<std::uint64_t> frames_rx{0};
+    std::atomic<std::uint64_t> frames_tx{0};
+    std::atomic<std::uint64_t> bytes_rx{0};
+    std::atomic<std::uint64_t> bytes_tx{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> overload_rejected{0};
+    std::atomic<std::uint64_t> request_timeouts{0};
+    std::atomic<std::uint64_t> idle_closed{0};
+    std::atomic<std::uint64_t> requests_completed{0};
+    runtime::LatencyHistogram request_latency;
+  };
+
+  void event_loop();
+  void completion_loop();
+  void accept_ready();
+  void conn_readable(const std::shared_ptr<Conn>& conn);
+  void handle_frame(const std::shared_ptr<Conn>& conn, Frame&& frame);
+  void submit_request(const std::shared_ptr<Conn>& conn, Frame&& frame);
+  /// Event-loop side: enqueue a response and try to flush immediately.
+  void respond_now(const std::shared_ptr<Conn>& conn, const Frame& frame);
+  /// Completion-thread side: enqueue a response and wake the event loop.
+  void deliver(const std::shared_ptr<Conn>& conn, const Frame& frame);
+  [[nodiscard]] Frame complete(Pending& pending);
+  void flush(const std::shared_ptr<Conn>& conn);
+  void set_want_write(Conn& conn, bool want);
+  void close_conn(const std::shared_ptr<Conn>& conn);
+  void sweep_idle(std::chrono::steady_clock::time_point now);
+  void wake() noexcept;
+
+  runtime::MemoryService& service_;
+  ServerConfig config_;
+  Counters counters_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t next_conn_id_ = 0;
+
+  std::thread event_thread_;
+  std::vector<std::thread> completion_threads_;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;  ///< event loop only
+
+  std::mutex completion_mutex_;
+  std::condition_variable completion_cv_;
+  std::deque<Pending> completion_queue_;
+  bool completions_quit_ = false;
+
+  std::mutex dirty_mutex_;
+  std::vector<std::shared_ptr<Conn>> dirty_;  ///< conns with fresh output
+
+  std::atomic<std::size_t> pending_count_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> quit_{false};
+  std::atomic<bool> stop_started_{false};
+  std::atomic<bool> stop_done_flag_{false};
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_done_ = false;
+};
+
+}  // namespace spe::net

@@ -1,0 +1,269 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+#include <string_view>
+
+#include "util/crc32.hpp"
+
+namespace spe::net {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+bool opcode_valid(std::uint8_t raw) noexcept {
+  return raw >= static_cast<std::uint8_t>(Opcode::Ping) &&
+         raw <= static_cast<std::uint8_t>(Opcode::Metrics);
+}
+
+const char* to_string(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::Ping: return "PING";
+    case Opcode::Read: return "READ";
+    case Opcode::Write: return "WRITE";
+    case Opcode::Scrub: return "SCRUB";
+    case Opcode::Metrics: return "METRICS";
+  }
+  return "?";
+}
+
+bool status_valid(std::uint8_t raw) noexcept {
+  return raw <= static_cast<std::uint8_t>(Status::Internal);
+}
+
+const char* to_string(Status status) noexcept {
+  switch (status) {
+    case Status::Ok: return "ok";
+    case Status::BadRequest: return "bad request";
+    case Status::Overloaded: return "overloaded";
+    case Status::Stopped: return "service stopped";
+    case Status::Uncorrectable: return "uncorrectable fault";
+    case Status::Quarantined: return "block quarantined";
+    case Status::Torn: return "block torn";
+    case Status::Timeout: return "request timeout";
+    case Status::Internal: return "internal error";
+  }
+  return "?";
+}
+
+const char* to_string(WireErrorCode code) noexcept {
+  switch (code) {
+    case WireErrorCode::None: return "none";
+    case WireErrorCode::BadMagic: return "bad magic";
+    case WireErrorCode::BadVersion: return "unsupported version";
+    case WireErrorCode::BadOpcode: return "unknown opcode";
+    case WireErrorCode::BadStatus: return "unknown status";
+    case WireErrorCode::ReservedNonzero: return "reserved byte nonzero";
+    case WireErrorCode::FrameTooLarge: return "frame exceeds size limit";
+    case WireErrorCode::CrcMismatch: return "payload CRC mismatch";
+    case WireErrorCode::TruncatedPayload: return "truncated frame";
+    case WireErrorCode::BadPayload: return "malformed payload";
+  }
+  return "?";
+}
+
+void append_frame(std::vector<std::uint8_t>& out, const Frame& frame) {
+  out.reserve(out.size() + kHeaderBytes + frame.payload.size());
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(frame.opcode));
+  out.push_back(static_cast<std::uint8_t>(frame.status));
+  out.push_back(0);  // reserved
+  put_u64(out, frame.request_id);
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  put_u32(out, util::crc32(frame.payload.data(), frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  append_frame(out, frame);
+  return out;
+}
+
+Frame make_ping(std::uint64_t id, std::span<const std::uint8_t> echo) {
+  Frame f;
+  f.opcode = Opcode::Ping;
+  f.request_id = id;
+  f.payload.assign(echo.begin(), echo.end());
+  return f;
+}
+
+Frame make_read_request(std::uint64_t id, std::uint64_t block_addr) {
+  Frame f;
+  f.opcode = Opcode::Read;
+  f.request_id = id;
+  put_u64(f.payload, block_addr);
+  return f;
+}
+
+Frame make_write_request(std::uint64_t id, std::uint64_t block_addr,
+                         std::span<const std::uint8_t> data) {
+  Frame f;
+  f.opcode = Opcode::Write;
+  f.request_id = id;
+  f.payload.reserve(8 + data.size());
+  put_u64(f.payload, block_addr);
+  f.payload.insert(f.payload.end(), data.begin(), data.end());
+  return f;
+}
+
+Frame make_scrub_request(std::uint64_t id) {
+  Frame f;
+  f.opcode = Opcode::Scrub;
+  f.request_id = id;
+  return f;
+}
+
+Frame make_scrub_response(std::uint64_t id, std::uint64_t blocks) {
+  Frame f;
+  f.opcode = Opcode::Scrub;
+  f.request_id = id;
+  put_u64(f.payload, blocks);
+  return f;
+}
+
+Frame make_metrics_request(std::uint64_t id, obs::MetricsFormat format) {
+  Frame f;
+  f.opcode = Opcode::Metrics;
+  f.request_id = id;
+  f.payload.push_back(format == obs::MetricsFormat::Json ? 1 : 0);
+  return f;
+}
+
+Frame make_error_response(Opcode op, Status status, std::uint64_t id,
+                          std::string_view reason) {
+  Frame f;
+  f.opcode = op;
+  f.status = status;
+  f.request_id = id;
+  f.payload.assign(reason.begin(), reason.end());
+  return f;
+}
+
+bool parse_read_request(const Frame& frame, std::uint64_t& block_addr,
+                        WireErrorCode& error) noexcept {
+  if (frame.payload.size() != 8) {
+    error = WireErrorCode::BadPayload;
+    return false;
+  }
+  block_addr = get_u64(frame.payload.data());
+  return true;
+}
+
+bool parse_write_request(const Frame& frame, std::uint64_t& block_addr,
+                         std::span<const std::uint8_t>& data,
+                         WireErrorCode& error) noexcept {
+  if (frame.payload.size() < 8) {
+    error = WireErrorCode::BadPayload;
+    return false;
+  }
+  block_addr = get_u64(frame.payload.data());
+  data = std::span<const std::uint8_t>(frame.payload).subspan(8);
+  return true;
+}
+
+bool parse_metrics_request(const Frame& frame, obs::MetricsFormat& format,
+                           WireErrorCode& error) noexcept {
+  if (frame.payload.empty()) {
+    format = obs::MetricsFormat::Prometheus;
+    return true;
+  }
+  if (frame.payload.size() != 1 || frame.payload[0] > 1) {
+    error = WireErrorCode::BadPayload;
+    return false;
+  }
+  format = frame.payload[0] == 1 ? obs::MetricsFormat::Json
+                                 : obs::MetricsFormat::Prometheus;
+  return true;
+}
+
+bool parse_scrub_response(const Frame& frame, std::uint64_t& blocks,
+                          WireErrorCode& error) noexcept {
+  if (frame.payload.size() != 8) {
+    error = WireErrorCode::BadPayload;
+    return false;
+  }
+  blocks = get_u64(frame.payload.data());
+  return true;
+}
+
+void FrameDecoder::feed(const void* data, std::size_t len) {
+  if (error_ != WireErrorCode::None || len == 0) return;
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (off_ > 0 && off_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+    off_ = 0;
+  }
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), bytes, bytes + len);
+}
+
+DecodeStatus FrameDecoder::fail(WireErrorCode code) noexcept {
+  error_ = code;
+  return DecodeStatus::Error;
+}
+
+DecodeStatus FrameDecoder::next(Frame& out) {
+  if (error_ != WireErrorCode::None) return DecodeStatus::Error;
+  const std::size_t avail = buf_.size() - off_;
+  // Fail fast on a bad prologue: the magic and version are checkable before
+  // the full header arrives, so a client speaking the wrong protocol is cut
+  // off on its first bytes.
+  const std::uint8_t* p = buf_.data() + off_;
+  for (std::size_t i = 0; i < avail && i < 4; ++i)
+    if (p[i] != kMagic[i]) return fail(WireErrorCode::BadMagic);
+  if (avail >= 5 && p[4] != kWireVersion) return fail(WireErrorCode::BadVersion);
+  if (avail < kHeaderBytes) return DecodeStatus::NeedMore;
+
+  if (!opcode_valid(p[5])) return fail(WireErrorCode::BadOpcode);
+  if (!status_valid(p[6])) return fail(WireErrorCode::BadStatus);
+  if (p[7] != 0) return fail(WireErrorCode::ReservedNonzero);
+  const std::uint64_t request_id = get_u64(p + 8);
+  const std::uint32_t payload_len = get_u32(p + 16);
+  const std::uint32_t crc = get_u32(p + 20);
+  if (payload_len > max_frame_bytes_) return fail(WireErrorCode::FrameTooLarge);
+  if (avail < kHeaderBytes + payload_len) return DecodeStatus::NeedMore;
+
+  const std::uint8_t* payload = p + kHeaderBytes;
+  if (util::crc32(payload, payload_len) != crc) return fail(WireErrorCode::CrcMismatch);
+
+  out.opcode = static_cast<Opcode>(p[5]);
+  out.status = static_cast<Status>(p[6]);
+  out.request_id = request_id;
+  out.payload.assign(payload, payload + payload_len);
+  off_ += kHeaderBytes + payload_len;
+  if (off_ == buf_.size()) {
+    buf_.clear();
+    off_ = 0;
+  }
+  return DecodeStatus::Ok;
+}
+
+WireErrorCode FrameDecoder::finish() const noexcept {
+  if (error_ != WireErrorCode::None) return error_;
+  return buffered() == 0 ? WireErrorCode::None : WireErrorCode::TruncatedPayload;
+}
+
+}  // namespace spe::net

@@ -1,0 +1,179 @@
+#pragma once
+// Versioned length-prefixed binary wire protocol for the SPE memory service
+// (src/net, "spe_net"). One frame shape serves both directions: requests
+// carry status Ok, responses echo the request id and report the outcome in
+// the status byte. The payload is covered by a CRC32 (same IEEE polynomial
+// as the snvmm_io v2 image format), so a bit flipped anywhere between
+// encode and decode surfaces as a typed CrcMismatch — never as silently
+// corrupt block data.
+//
+// Frame layout (little-endian, 24-byte header + payload):
+//
+//   offset size field
+//        0    4 magic "SPW1"
+//        4    1 version (kWireVersion)
+//        5    1 opcode (Opcode)
+//        6    1 status (Status; Ok on requests)
+//        7    1 reserved, must be zero
+//        8    8 request id (echoed verbatim in the response)
+//       16    4 payload length in bytes
+//       20    4 CRC32 over the payload bytes
+//       24    n payload
+//
+// Payloads by opcode:
+//   PING     request: arbitrary bytes      response: echoed bytes
+//   READ     request: u64 block address    response: block data
+//   WRITE    request: u64 address + data   response: empty
+//   SCRUB    request: empty                response: u64 blocks scrubbed
+//   METRICS  request: u8 format (0=Prometheus, 1=JSON), or empty for
+//            Prometheus                    response: rendered export text
+//   any error response: human-readable reason string
+//
+// Decoding is incremental and truncation-safe: FrameDecoder::feed() buffers
+// arbitrary byte chunks and next() yields complete frames, NeedMore while a
+// frame is still partial, or a typed WireErrorCode — malformed input can
+// never throw or read out of bounds, it only poisons the stream (every
+// later next() repeats the same error, which is what a server wants before
+// closing the connection).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace spe::net {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 24;
+inline constexpr std::uint8_t kMagic[4] = {'S', 'P', 'W', '1'};
+inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;
+
+enum class Opcode : std::uint8_t {
+  Ping = 1,
+  Read = 2,
+  Write = 3,
+  Scrub = 4,
+  Metrics = 5,
+};
+[[nodiscard]] bool opcode_valid(std::uint8_t raw) noexcept;
+[[nodiscard]] const char* to_string(Opcode op) noexcept;
+
+/// Response outcome, mapped from the runtime error taxonomy
+/// (service_config.hpp) plus the server's own admission decisions.
+enum class Status : std::uint8_t {
+  Ok = 0,
+  BadRequest = 1,     ///< malformed payload for the opcode
+  Overloaded = 2,     ///< queue backpressure or per-connection in-flight cap
+  Stopped = 3,        ///< service stopping / stopped (ServiceStoppedError)
+  Uncorrectable = 4,  ///< UncorrectableFaultError: block quarantined
+  Quarantined = 5,    ///< QuarantinedBlockError: rewrite to remap
+  Torn = 6,           ///< TornBlockError: crash-torn block
+  Timeout = 7,        ///< server-side request deadline expired
+  Internal = 8,       ///< anything else; payload carries the reason
+};
+[[nodiscard]] bool status_valid(std::uint8_t raw) noexcept;
+[[nodiscard]] const char* to_string(Status status) noexcept;
+
+/// Every way a byte stream can fail to decode. None is the "no error yet"
+/// sentinel used by FrameDecoder::error().
+enum class WireErrorCode : std::uint8_t {
+  None = 0,
+  BadMagic,         ///< first four bytes are not "SPW1"
+  BadVersion,       ///< version byte != kWireVersion
+  BadOpcode,        ///< opcode byte outside the enum
+  BadStatus,        ///< status byte outside the enum
+  ReservedNonzero,  ///< reserved header byte set
+  FrameTooLarge,    ///< declared payload length over the decoder's cap
+  CrcMismatch,      ///< payload CRC32 does not match the header
+  TruncatedPayload, ///< stream ended mid-frame (finish())
+  BadPayload,       ///< frame-level payload malformed for its opcode
+};
+[[nodiscard]] const char* to_string(WireErrorCode code) noexcept;
+
+/// One decoded (or to-be-encoded) frame.
+struct Frame {
+  Opcode opcode = Opcode::Ping;
+  Status status = Status::Ok;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialises header + payload + CRC; appends to `out` (the server's
+/// per-connection output buffer) without clearing it.
+void append_frame(std::vector<std::uint8_t>& out, const Frame& frame);
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+// --- typed request/response builders ---------------------------------------
+
+[[nodiscard]] Frame make_ping(std::uint64_t id,
+                              std::span<const std::uint8_t> echo = {});
+[[nodiscard]] Frame make_read_request(std::uint64_t id, std::uint64_t block_addr);
+[[nodiscard]] Frame make_write_request(std::uint64_t id, std::uint64_t block_addr,
+                                       std::span<const std::uint8_t> data);
+[[nodiscard]] Frame make_scrub_request(std::uint64_t id);
+[[nodiscard]] Frame make_scrub_response(std::uint64_t id, std::uint64_t blocks);
+[[nodiscard]] Frame make_metrics_request(
+    std::uint64_t id, obs::MetricsFormat format = obs::MetricsFormat::Prometheus);
+/// Error response: status + the reason string as payload.
+[[nodiscard]] Frame make_error_response(Opcode op, Status status, std::uint64_t id,
+                                        std::string_view reason);
+
+// --- typed payload parsers --------------------------------------------------
+// Return false and set `error` (BadPayload) instead of throwing: the server
+// maps a false return to a BadRequest response, the tests assert no parser
+// can crash on arbitrary bytes.
+
+[[nodiscard]] bool parse_read_request(const Frame& frame, std::uint64_t& block_addr,
+                                      WireErrorCode& error) noexcept;
+/// `data` aliases frame.payload — valid while the frame lives.
+[[nodiscard]] bool parse_write_request(const Frame& frame, std::uint64_t& block_addr,
+                                       std::span<const std::uint8_t>& data,
+                                       WireErrorCode& error) noexcept;
+[[nodiscard]] bool parse_metrics_request(const Frame& frame, obs::MetricsFormat& format,
+                                         WireErrorCode& error) noexcept;
+[[nodiscard]] bool parse_scrub_response(const Frame& frame, std::uint64_t& blocks,
+                                        WireErrorCode& error) noexcept;
+
+enum class DecodeStatus : std::uint8_t {
+  Ok,        ///< a complete frame was produced
+  NeedMore,  ///< buffered bytes end mid-frame; feed() more
+  Error,     ///< stream malformed; error() names why; decoder is poisoned
+};
+
+/// Incremental frame parser over a byte stream. feed() arbitrary chunks,
+/// next() until NeedMore; after the peer closes, finish() distinguishes a
+/// clean frame boundary from a truncated tail.
+class FrameDecoder {
+public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(const void* data, std::size_t len);
+  void feed(std::span<const std::uint8_t> bytes) { feed(bytes.data(), bytes.size()); }
+
+  /// Pops the next complete frame into `out`. Once Error is returned the
+  /// decoder stays poisoned (same code forever) — close the connection.
+  [[nodiscard]] DecodeStatus next(Frame& out);
+
+  /// After end-of-stream: None if the buffer sits on a frame boundary,
+  /// TruncatedPayload if bytes of an incomplete frame remain, or the
+  /// poisoning error.
+  [[nodiscard]] WireErrorCode finish() const noexcept;
+
+  [[nodiscard]] WireErrorCode error() const noexcept { return error_; }
+  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - off_; }
+  [[nodiscard]] std::size_t max_frame_bytes() const noexcept { return max_frame_bytes_; }
+
+private:
+  [[nodiscard]] DecodeStatus fail(WireErrorCode code) noexcept;
+
+  std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t off_ = 0;  ///< consumed prefix of buf_ (compacted lazily)
+  WireErrorCode error_ = WireErrorCode::None;
+};
+
+}  // namespace spe::net

@@ -262,8 +262,13 @@ void MemoryService::scavenger_loop() {
 }
 
 void MemoryService::stop() {
-  if (stopped_) return;
-  stopped_ = true;
+  if (stop_started_.exchange(true, std::memory_order_acq_rel)) {
+    // Lost the race: wait for the winning caller to finish so every stop()
+    // returns to a fully-stopped service (double-stop used to be unguarded).
+    std::unique_lock lock(stop_mutex_);
+    stop_cv_.wait(lock, [this] { return stop_done_; });
+    return;
+  }
   for (auto& shard : shards_) shard->queue().close();
   stopping_.store(true, std::memory_order_release);
   for (auto& worker : workers_) {
@@ -295,6 +300,12 @@ void MemoryService::stop() {
       }
     }
   }
+
+  {
+    std::lock_guard lock(stop_mutex_);
+    stop_done_ = true;
+  }
+  stop_cv_.notify_all();
 }
 
 void MemoryService::checkpoint(std::ostream& out) const {

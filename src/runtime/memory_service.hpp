@@ -87,7 +87,9 @@ public:
   /// Drains every queue, fulfils outstanding futures, and joins all
   /// threads; any request still queued after the final drain (shutdown
   /// races) fails with ServiceStoppedError rather than a broken promise.
-  /// Idempotent; the destructor calls it.
+  /// Idempotent and safe to call from several threads at once: exactly one
+  /// caller runs the shutdown, the rest block until it completes. The
+  /// destructor calls it.
   void stop();
 
   // --- crash consistency ----------------------------------------------------
@@ -171,7 +173,10 @@ private:
   std::mutex scavenger_mutex_;
   std::condition_variable scavenger_cv_;
   std::atomic<bool> stopping_{false};
-  bool stopped_ = false;  ///< stop() ran to completion (main-thread only)
+  std::atomic<bool> stop_started_{false};  ///< one thread won the stop() race
+  std::mutex stop_mutex_;                  ///< guards stop_done_
+  std::condition_variable stop_cv_;
+  bool stop_done_ = false;  ///< the winning stop() ran to completion
 };
 
 }  // namespace spe::runtime

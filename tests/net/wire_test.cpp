@@ -1,0 +1,266 @@
+// Wire codec tests (src/net/wire): encode/decode round-trip properties over
+// randomized frames and chunkings, plus a corpus of truncated and
+// bit-flipped frames asserting every malformed stream surfaces as a typed
+// WireErrorCode — never a crash, never silently corrupt data. Run under
+// ASan in CI (ctest -L net).
+
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace spe::net {
+namespace {
+
+Frame random_frame(std::mt19937_64& rng) {
+  static constexpr Opcode kOps[] = {Opcode::Ping, Opcode::Read, Opcode::Write,
+                                    Opcode::Scrub, Opcode::Metrics};
+  Frame f;
+  f.opcode = kOps[rng() % std::size(kOps)];
+  f.status = static_cast<Status>(rng() % 9);
+  f.request_id = rng();
+  f.payload.resize(rng() % 1500);
+  for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng());
+  return f;
+}
+
+bool frames_equal(const Frame& a, const Frame& b) {
+  return a.opcode == b.opcode && a.status == b.status &&
+         a.request_id == b.request_id && a.payload == b.payload;
+}
+
+TEST(WireCodec, RoundTripRandomFramesAndChunkings) {
+  std::mt19937_64 rng(0xC0DEC);
+  for (int iter = 0; iter < 200; ++iter) {
+    const unsigned frame_count = 1 + rng() % 5;
+    std::vector<Frame> sent;
+    std::vector<std::uint8_t> stream;
+    for (unsigned i = 0; i < frame_count; ++i) {
+      sent.push_back(random_frame(rng));
+      append_frame(stream, sent.back());
+    }
+
+    // Feed the stream in random-sized chunks (1..97 bytes) so every header/
+    // payload boundary gets split at some iteration.
+    FrameDecoder decoder;
+    std::vector<Frame> got;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t chunk = std::min<std::size_t>(1 + rng() % 97, stream.size() - pos);
+      decoder.feed(stream.data() + pos, chunk);
+      pos += chunk;
+      Frame f;
+      while (decoder.next(f) == DecodeStatus::Ok) got.push_back(f);
+      ASSERT_EQ(decoder.error(), WireErrorCode::None);
+    }
+
+    ASSERT_EQ(got.size(), sent.size());
+    for (std::size_t i = 0; i < sent.size(); ++i)
+      EXPECT_TRUE(frames_equal(sent[i], got[i])) << "frame " << i;
+    EXPECT_EQ(decoder.finish(), WireErrorCode::None);
+    EXPECT_EQ(decoder.buffered(), 0u);
+  }
+}
+
+TEST(WireCodec, EveryTruncationPointReportsTruncatedNeverCrashes) {
+  std::vector<std::uint8_t> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i);
+  const std::vector<std::uint8_t> stream =
+      encode_frame(make_write_request(0xAB, 7, data));
+
+  for (std::size_t cut = 0; cut < stream.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.feed(stream.data(), cut);
+    Frame f;
+    ASSERT_EQ(decoder.next(f), DecodeStatus::NeedMore) << "cut at " << cut;
+    EXPECT_EQ(decoder.finish(),
+              cut == 0 ? WireErrorCode::None : WireErrorCode::TruncatedPayload)
+        << "cut at " << cut;
+  }
+}
+
+// Flip every single bit of an encoded frame and assert the decoder either
+// reports the typed error that region implies, or (for fields the CRC does
+// not cover, like the request id) decodes a frame that differs exactly
+// there. No flip may crash, hang, or yield the original frame.
+TEST(WireCodec, BitFlipCorpusYieldsTypedErrors) {
+  const std::uint64_t addr = 0x1122334455667788ULL;
+  std::vector<std::uint8_t> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 37 + 1);
+  const Frame original = make_write_request(0x0101, addr, data);
+  const std::vector<std::uint8_t> stream = encode_frame(original);
+
+  for (std::size_t byte = 0; byte < stream.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> flipped = stream;
+      flipped[byte] ^= static_cast<std::uint8_t>(1 << bit);
+
+      FrameDecoder decoder;
+      decoder.feed(flipped.data(), flipped.size());
+      Frame f;
+      const DecodeStatus status = decoder.next(f);
+      SCOPED_TRACE("byte " + std::to_string(byte) + " bit " + std::to_string(bit));
+
+      if (byte < 4) {  // magic
+        ASSERT_EQ(status, DecodeStatus::Error);
+        EXPECT_EQ(decoder.error(), WireErrorCode::BadMagic);
+      } else if (byte == 4) {  // version
+        ASSERT_EQ(status, DecodeStatus::Error);
+        EXPECT_EQ(decoder.error(), WireErrorCode::BadVersion);
+      } else if (byte == 5) {  // opcode: either another valid opcode or typed
+        if (status == DecodeStatus::Ok) {
+          EXPECT_NE(f.opcode, original.opcode);
+          EXPECT_EQ(f.payload, original.payload);
+        } else {
+          ASSERT_EQ(status, DecodeStatus::Error);
+          EXPECT_EQ(decoder.error(), WireErrorCode::BadOpcode);
+        }
+      } else if (byte == 6) {  // status byte
+        if (status == DecodeStatus::Ok) {
+          EXPECT_NE(f.status, original.status);
+          EXPECT_EQ(f.payload, original.payload);
+        } else {
+          ASSERT_EQ(status, DecodeStatus::Error);
+          EXPECT_EQ(decoder.error(), WireErrorCode::BadStatus);
+        }
+      } else if (byte == 7) {  // reserved
+        ASSERT_EQ(status, DecodeStatus::Error);
+        EXPECT_EQ(decoder.error(), WireErrorCode::ReservedNonzero);
+      } else if (byte < 16) {  // request id: not CRC-covered, decodes Ok
+        ASSERT_EQ(status, DecodeStatus::Ok);
+        EXPECT_NE(f.request_id, original.request_id);
+        EXPECT_EQ(f.payload, original.payload);
+      } else if (byte < 20) {  // payload length
+        // Shorter: CRC over the wrong span mismatches. Longer: the stream
+        // ends mid-payload (or trips the size cap). Never a clean decode.
+        if (status == DecodeStatus::Error) {
+          EXPECT_TRUE(decoder.error() == WireErrorCode::CrcMismatch ||
+                      decoder.error() == WireErrorCode::FrameTooLarge);
+        } else {
+          ASSERT_EQ(status, DecodeStatus::NeedMore);
+          EXPECT_EQ(decoder.finish(), WireErrorCode::TruncatedPayload);
+        }
+      } else if (byte < 24) {  // CRC field
+        ASSERT_EQ(status, DecodeStatus::Error);
+        EXPECT_EQ(decoder.error(), WireErrorCode::CrcMismatch);
+      } else {  // payload: every flip is caught by the CRC
+        ASSERT_EQ(status, DecodeStatus::Error);
+        EXPECT_EQ(decoder.error(), WireErrorCode::CrcMismatch);
+      }
+    }
+  }
+}
+
+TEST(WireCodec, FrameOverSizeCapIsTyped) {
+  FrameDecoder decoder(/*max_frame_bytes=*/128);
+  Frame big = make_ping(1);
+  big.payload.assign(1024, 0x5A);
+  const std::vector<std::uint8_t> stream = encode_frame(big);
+  decoder.feed(stream.data(), stream.size());
+  Frame f;
+  ASSERT_EQ(decoder.next(f), DecodeStatus::Error);
+  EXPECT_EQ(decoder.error(), WireErrorCode::FrameTooLarge);
+}
+
+TEST(WireCodec, PoisonedDecoderStaysPoisoned) {
+  FrameDecoder decoder;
+  const char garbage[] = "XXXXnot a frame";
+  decoder.feed(garbage, sizeof garbage);
+  Frame f;
+  ASSERT_EQ(decoder.next(f), DecodeStatus::Error);
+  EXPECT_EQ(decoder.error(), WireErrorCode::BadMagic);
+
+  // A perfectly valid frame fed afterwards must not resurrect the stream.
+  const std::vector<std::uint8_t> good = encode_frame(make_ping(9));
+  decoder.feed(good.data(), good.size());
+  ASSERT_EQ(decoder.next(f), DecodeStatus::Error);
+  EXPECT_EQ(decoder.error(), WireErrorCode::BadMagic);
+  EXPECT_EQ(decoder.finish(), WireErrorCode::BadMagic);
+}
+
+TEST(WireCodec, BackToBackFramesInOneFeed) {
+  std::vector<std::uint8_t> stream;
+  append_frame(stream, make_read_request(1, 10));
+  append_frame(stream, make_scrub_request(2));
+  append_frame(stream, make_ping(3));
+  FrameDecoder decoder;
+  decoder.feed(stream.data(), stream.size());
+  Frame f;
+  ASSERT_EQ(decoder.next(f), DecodeStatus::Ok);
+  EXPECT_EQ(f.opcode, Opcode::Read);
+  EXPECT_EQ(f.request_id, 1u);
+  ASSERT_EQ(decoder.next(f), DecodeStatus::Ok);
+  EXPECT_EQ(f.opcode, Opcode::Scrub);
+  ASSERT_EQ(decoder.next(f), DecodeStatus::Ok);
+  EXPECT_EQ(f.opcode, Opcode::Ping);
+  EXPECT_EQ(decoder.next(f), DecodeStatus::NeedMore);
+  EXPECT_EQ(decoder.finish(), WireErrorCode::None);
+}
+
+TEST(WireParsers, TypedBuildersRoundTripThroughParsers) {
+  WireErrorCode err = WireErrorCode::None;
+
+  std::uint64_t addr = 0;
+  ASSERT_TRUE(parse_read_request(make_read_request(5, 0xDEAD), addr, err));
+  EXPECT_EQ(addr, 0xDEADu);
+
+  std::vector<std::uint8_t> data = {1, 2, 3, 4};
+  std::span<const std::uint8_t> span;
+  const Frame wr = make_write_request(6, 77, data);
+  ASSERT_TRUE(parse_write_request(wr, addr, span, err));
+  EXPECT_EQ(addr, 77u);
+  EXPECT_TRUE(std::equal(span.begin(), span.end(), data.begin(), data.end()));
+
+  obs::MetricsFormat format = obs::MetricsFormat::Prometheus;
+  ASSERT_TRUE(parse_metrics_request(
+      make_metrics_request(7, obs::MetricsFormat::Json), format, err));
+  EXPECT_EQ(format, obs::MetricsFormat::Json);
+
+  std::uint64_t blocks = 0;
+  ASSERT_TRUE(parse_scrub_response(make_scrub_response(8, 42), blocks, err));
+  EXPECT_EQ(blocks, 42u);
+}
+
+TEST(WireParsers, MalformedPayloadsAreTypedNotFatal) {
+  WireErrorCode err = WireErrorCode::None;
+  std::uint64_t u64 = 0;
+  std::span<const std::uint8_t> span;
+  obs::MetricsFormat format = obs::MetricsFormat::Prometheus;
+
+  Frame f;
+  f.opcode = Opcode::Read;  // READ payload must be exactly 8 bytes
+  f.payload = {1, 2, 3};
+  EXPECT_FALSE(parse_read_request(f, u64, err));
+  EXPECT_EQ(err, WireErrorCode::BadPayload);
+
+  f.opcode = Opcode::Write;  // WRITE payload needs at least the address
+  f.payload = {1, 2, 3};
+  err = WireErrorCode::None;
+  EXPECT_FALSE(parse_write_request(f, u64, span, err));
+  EXPECT_EQ(err, WireErrorCode::BadPayload);
+
+  f.opcode = Opcode::Metrics;  // format byte must be 0 or 1
+  f.payload = {9};
+  err = WireErrorCode::None;
+  EXPECT_FALSE(parse_metrics_request(f, format, err));
+  EXPECT_EQ(err, WireErrorCode::BadPayload);
+
+  // Empty METRICS request defaults to Prometheus.
+  f.payload.clear();
+  err = WireErrorCode::None;
+  EXPECT_TRUE(parse_metrics_request(f, format, err));
+  EXPECT_EQ(format, obs::MetricsFormat::Prometheus);
+
+  f.opcode = Opcode::Scrub;
+  f.payload = {0, 0};
+  err = WireErrorCode::None;
+  EXPECT_FALSE(parse_scrub_response(f, u64, err));
+  EXPECT_EQ(err, WireErrorCode::BadPayload);
+}
+
+}  // namespace
+}  // namespace spe::net

@@ -217,6 +217,30 @@ TEST(MemoryService, StopIsIdempotentAndSubmitsAfterStopThrow) {
   EXPECT_EQ(service.stats().totals.writes_completed, 1u);
 }
 
+// Two threads racing into stop(): exactly one runs the shutdown, the other
+// must block until it is fully done — not return early, not double-join.
+// Regression test for the concurrent-stop contract (the net server calls
+// stop() from its own threads while a destructor may race it).
+TEST(MemoryService, ConcurrentStopFromTwoThreadsIsSafe) {
+  for (unsigned round = 0; round < 8; ++round) {
+    MemoryService service(small_config());
+    service.write(1, tagged_block(1, 0, service.block_bytes()));
+    std::atomic<bool> go{false};
+    auto stopper = [&] {
+      while (!go.load()) std::this_thread::yield();
+      service.stop();
+      // Whoever returns first, the shutdown must already be complete.
+      EXPECT_THROW((void)service.submit_read(1), ServiceStoppedError);
+    };
+    std::thread a(stopper);
+    std::thread b(stopper);
+    go.store(true);
+    a.join();
+    b.join();
+    EXPECT_EQ(service.stats().totals.writes_completed, 1u) << "round " << round;
+  }
+}
+
 // Shutdown racing live traffic: every future obtained before stop() must
 // settle — either with its value or with the typed ServiceStoppedError —
 // and never with a std::future_error from an abandoned promise.
