@@ -1,0 +1,82 @@
+#pragma once
+// BENCH_throughput.json emission + baseline comparison, shared by loadgen
+// and throughput_service. The file is a single flat JSON object so CI can
+// diff runs and the repo can check in a reference point:
+//
+//   {"source": "loadgen", "ops": 120000, "ops_per_sec": 61234.5,
+//    "p50_us": 71.0, "p95_us": 180.2, "p99_us": 411.9}
+//
+// write_throughput_json() first reads any existing file at the same path
+// (the checked-in baseline or the previous run) and prints a one-line
+// throughput delta, then overwrites it with the new numbers. Parsing is a
+// deliberately tiny key scanner — the format is exactly what we write, and
+// a malformed baseline only suppresses the delta line, never the write.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace spe::benchutil {
+
+struct ThroughputReport {
+  std::string source;  ///< which harness produced it ("loadgen", ...)
+  std::uint64_t ops = 0;
+  double ops_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Scans `text` for `"key": <number>`; false when absent/malformed.
+inline bool json_number(const std::string& text, const std::string& key,
+                        double& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const char* start = text.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  out = v;
+  return true;
+}
+
+/// Prints the delta against the previous file (if readable), then writes
+/// the new report. Returns false when the file cannot be written.
+inline bool write_throughput_json(const std::string& path,
+                                  const ThroughputReport& report) {
+  {
+    std::ifstream in(path);
+    std::stringstream buf;
+    if (in) buf << in.rdbuf();
+    double prev_ops_per_sec = 0.0, prev_p99 = 0.0;
+    if (json_number(buf.str(), "ops_per_sec", prev_ops_per_sec) &&
+        prev_ops_per_sec > 0.0) {
+      const double pct =
+          (report.ops_per_sec - prev_ops_per_sec) / prev_ops_per_sec * 100.0;
+      std::printf("bench delta vs %s: %.1f -> %.1f kops/s (%+.1f%%)",
+                  path.c_str(), prev_ops_per_sec / 1000.0,
+                  report.ops_per_sec / 1000.0, pct);
+      if (json_number(buf.str(), "p99_us", prev_p99) && prev_p99 > 0.0)
+        std::printf(", p99 %.1f -> %.1f us", prev_p99, report.p99_us);
+      std::printf("\n");
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
+    return false;
+  }
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "{\"source\": \"%s\", \"ops\": %llu, \"ops_per_sec\": %.1f, "
+                "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f}\n",
+                report.source.c_str(),
+                static_cast<unsigned long long>(report.ops), report.ops_per_sec,
+                report.p50_us, report.p95_us, report.p99_us);
+  out << line;
+  return static_cast<bool>(out);
+}
+
+}  // namespace spe::benchutil

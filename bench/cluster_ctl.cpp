@@ -1,0 +1,250 @@
+// Cluster admin plane for the SPE serving fleet. Drives the FREEZE / PULL /
+// ADOPT migration protocol (src/cluster/migration.hpp) from outside the
+// cluster: membership changes are computed as a ring diff, the affected
+// address ranges are migrated, and only then is the new epoch proposed to
+// every node. Restartable by design — every step is idempotent, so a ctl
+// run that dies (or a node that gets kill -9'd mid-pull and restarted) is
+// retried by simply running the same command again.
+//
+//   cluster_ctl --seed H:P --status
+//       fetch and print the topology the seed node serves
+//   cluster_ctl --seed H:P --checkpoint
+//       ask every member to write its service checkpoint NOW (makes client
+//       writes durable ahead of a planned kill or migration)
+//   cluster_ctl --seed H:P --join "d=H:P[*w]" [--blocks N]
+//       add (or re-weight) a node: diff ring ownership over the first N
+//       block addresses (default 4096), freeze+pull the moving ranges,
+//       propose the epoch+1 topology
+//   cluster_ctl --seed H:P --leave NAME [--blocks N]
+//       remove a node the same way; the leaver keeps running and bounces
+//       MOVED until the pulls drain it, so run it BEFORE stopping the
+//       process
+//
+// --io-deadline-ms M (default 60000) bounds each RPC; Pull is synchronous
+// on the destination and copies the whole range inside one request.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/cluster_client.hpp"
+#include "cluster/migration.hpp"
+#include "net/wire.hpp"
+
+namespace {
+
+using spe::cluster::ClusterTopology;
+using spe::cluster::MigrateSpec;
+using spe::cluster::NodeInfo;
+
+/// Addresses per MIGRATE_RANGE RPC: well under kMaxMigrateAddrs and the
+/// journal's 1 MiB record cap (each address is 8 bytes in both).
+constexpr std::size_t kChunk = 8192;
+
+void print_topology(const ClusterTopology& topo) {
+  std::printf("cluster_ctl: epoch %llu, %zu nodes\n",
+              static_cast<unsigned long long>(topo.epoch), topo.nodes.size());
+  for (const NodeInfo& node : topo.nodes)
+    std::printf("  %-12s %s weight %u\n", node.name.c_str(),
+                node.endpoint().c_str(), node.weight);
+}
+
+/// Sends one MIGRATE_RANGE and reports (migrated, skipped) on success;
+/// false (with a printed reason) on refusal or transport failure.
+bool migrate_rpc(spe::cluster::ClusterClient& client, const NodeInfo& target,
+                 const MigrateSpec& spec, const char* what,
+                 std::uint64_t& migrated, std::uint64_t& skipped) {
+  try {
+    spe::net::Client& raw = client.node_client(target);
+    const spe::net::Frame reply = raw.call(
+        spe::net::make_migrate_request(0, spe::cluster::encode_migrate_spec(spec)));
+    if (reply.status != spe::net::Status::Ok) {
+      std::fprintf(stderr, "cluster_ctl: %s refused by %s: %s %.*s\n", what,
+                   target.name.c_str(), spe::net::to_string(reply.status),
+                   static_cast<int>(reply.payload.size()),
+                   reinterpret_cast<const char*>(reply.payload.data()));
+      return false;
+    }
+    std::uint64_t failed = 0;
+    spe::net::WireErrorCode err = spe::net::WireErrorCode::None;
+    if (!spe::net::parse_migrate_response(reply, migrated, skipped, failed, err)) {
+      std::fprintf(stderr, "cluster_ctl: malformed %s response from %s\n", what,
+                   target.name.c_str());
+      return false;
+    }
+    if (failed > 0) {
+      std::fprintf(stderr, "cluster_ctl: %s on %s reported %llu failures\n",
+                   what, target.name.c_str(),
+                   static_cast<unsigned long long>(failed));
+      return false;
+    }
+    return true;
+  } catch (const spe::net::NetError& e) {
+    std::fprintf(stderr, "cluster_ctl: %s to %s failed: %s\n", what,
+                 target.name.c_str(), e.what());
+    return false;
+  }
+}
+
+/// Migrates ownership from the current topology to `target` and proposes
+/// it. The diff is computed over block addresses [0, blocks).
+bool apply_target_topology(spe::cluster::ClusterClient& client,
+                           const ClusterTopology& current,
+                           const ClusterTopology& target, std::uint64_t blocks) {
+  const spe::cluster::HashRing before = current.ring();
+  const spe::cluster::HashRing after = target.ring();
+
+  // (source node, destination node) -> moving addresses
+  std::map<std::pair<std::string, std::string>, std::vector<std::uint64_t>> moving;
+  for (std::uint64_t addr = 0; addr < blocks; ++addr) {
+    const std::string& src = before.owner(addr);
+    const std::string& dst = after.owner(addr);
+    if (src != dst) moving[{src, dst}].push_back(addr);
+  }
+
+  std::uint64_t total_pulled = 0;
+  std::uint64_t total_skipped = 0;
+  for (const auto& [pair, addrs] : moving) {
+    const NodeInfo* src = current.find(pair.first);
+    const NodeInfo* dst = target.find(pair.second);
+    if (src == nullptr || dst == nullptr) {
+      std::fprintf(stderr, "cluster_ctl: internal: unknown node in diff %s -> %s\n",
+                   pair.first.c_str(), pair.second.c_str());
+      return false;
+    }
+    std::printf("cluster_ctl: moving %zu blocks %s -> %s\n", addrs.size(),
+                src->name.c_str(), dst->name.c_str());
+    for (std::size_t off = 0; off < addrs.size(); off += kChunk) {
+      const std::size_t end = std::min(off + kChunk, addrs.size());
+      const std::vector<std::uint64_t> chunk(addrs.begin() + static_cast<std::ptrdiff_t>(off),
+                                             addrs.begin() + static_cast<std::ptrdiff_t>(end));
+      std::uint64_t n = 0, skipped = 0;
+      MigrateSpec freeze{MigrateSpec::Mode::Freeze, target.epoch, *dst, chunk};
+      if (!migrate_rpc(client, *src, freeze, "freeze", n, skipped)) return false;
+      MigrateSpec pull{MigrateSpec::Mode::Pull, target.epoch, *src, chunk};
+      if (!migrate_rpc(client, *dst, pull, "pull", n, skipped)) return false;
+      total_pulled += n;
+      total_skipped += skipped;
+    }
+  }
+  std::printf("cluster_ctl: migration done: %llu blocks pulled, %llu absent on source\n",
+              static_cast<unsigned long long>(total_pulled),
+              static_cast<unsigned long long>(total_skipped));
+
+  const unsigned acked = client.propose_topology(target);
+  std::printf("cluster_ctl: proposed epoch %llu, %u nodes acked\n",
+              static_cast<unsigned long long>(target.epoch), acked);
+  if (acked == 0) {
+    std::fprintf(stderr, "cluster_ctl: no node adopted the new topology\n");
+    return false;
+  }
+  if (acked < target.nodes.size())
+    std::fprintf(stderr,
+                 "cluster_ctl: warning: only %u/%zu members acked; stragglers "
+                 "will learn the epoch from the next proposal or restart\n",
+                 acked, target.nodes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spe::benchutil::Args args(argc, argv);
+  const std::string seed_spec = args.str("seed", "");
+  const bool status = args.flag("status");
+  const bool checkpoint = args.flag("checkpoint");
+  const std::string join_spec = args.str("join", "");
+  const std::string leave_name = args.str("leave", "");
+  const std::uint64_t blocks = std::max(1u, args.uns("blocks", 4096));
+  const unsigned io_deadline_ms = args.uns("io-deadline-ms", 60'000);
+  if (!args.ok(stderr)) return 2;
+
+  const unsigned commands = static_cast<unsigned>(status) +
+                            static_cast<unsigned>(checkpoint) +
+                            static_cast<unsigned>(!join_spec.empty()) +
+                            static_cast<unsigned>(!leave_name.empty());
+  if (seed_spec.empty() || commands != 1) {
+    std::fprintf(stderr,
+                 "usage: cluster_ctl --seed HOST:PORT "
+                 "(--status | --checkpoint | --join \"name=h:p[*w]\" | --leave NAME) "
+                 "[--blocks N] [--io-deadline-ms M]\n");
+    return 2;
+  }
+
+  NodeInfo seed;
+  if (!spe::cluster::parse_node_spec("seed=" + seed_spec, seed)) {
+    std::fprintf(stderr, "cluster_ctl: malformed --seed '%s'\n", seed_spec.c_str());
+    return 2;
+  }
+
+  try {
+    spe::cluster::ClusterClientConfig ccfg;
+    ccfg.seeds = {seed};
+    ccfg.net.io_deadline = std::chrono::milliseconds(io_deadline_ms);
+    spe::cluster::ClusterClient client(ccfg);
+    client.connect();
+    const ClusterTopology current = client.topology();
+
+    if (status) {
+      print_topology(current);
+      return 0;
+    }
+
+    if (checkpoint) {
+      bool all_ok = true;
+      for (const NodeInfo& node : current.nodes) {
+        std::uint64_t n = 0, skipped = 0;
+        MigrateSpec spec{MigrateSpec::Mode::Checkpoint, current.epoch, node, {}};
+        if (migrate_rpc(client, node, spec, "checkpoint", n, skipped))
+          std::printf("cluster_ctl: %s checkpointed\n", node.name.c_str());
+        else
+          all_ok = false;
+      }
+      return all_ok ? 0 : 1;
+    }
+
+    ClusterTopology target = current;
+    target.epoch = current.epoch + 1;
+    if (!join_spec.empty()) {
+      NodeInfo joining;
+      if (!spe::cluster::parse_node_spec(join_spec, joining)) {
+        std::fprintf(stderr, "cluster_ctl: malformed --join '%s'\n", join_spec.c_str());
+        return 2;
+      }
+      bool replaced = false;
+      for (NodeInfo& node : target.nodes)
+        if (node.name == joining.name) {
+          node = joining;  // re-weight / re-address an existing member
+          replaced = true;
+        }
+      if (!replaced) target.nodes.push_back(joining);
+      std::printf("cluster_ctl: %s %s at weight %u\n",
+                  replaced ? "re-weighting" : "joining", joining.name.c_str(),
+                  joining.weight);
+    } else {
+      const std::size_t before = target.nodes.size();
+      std::erase_if(target.nodes,
+                    [&](const NodeInfo& n) { return n.name == leave_name; });
+      if (target.nodes.size() == before) {
+        std::fprintf(stderr, "cluster_ctl: '%s' is not a member\n", leave_name.c_str());
+        return 2;
+      }
+      if (target.nodes.empty()) {
+        std::fprintf(stderr, "cluster_ctl: refusing to remove the last node\n");
+        return 2;
+      }
+      std::printf("cluster_ctl: removing %s\n", leave_name.c_str());
+    }
+
+    if (!apply_target_topology(client, current, target, blocks)) return 1;
+    print_topology(client.topology());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cluster_ctl: %s\n", e.what());
+    return 1;
+  }
+}

@@ -17,12 +17,25 @@
 // `--ops N` total operations or `--seconds S`, whichever is given
 // (`--seconds` wins when both are).
 //
-// Flags: --host H --port P --connections N --depth D --ops N | --seconds S
+// Cluster mode: `--cluster-seeds "a=h:p,b=h:p,..."` replaces --host/--port
+// and routes every operation through a ClusterClient (consistent-hash
+// owner selection, MOVED chasing, failover) — one synchronous operation at
+// a time per connection, since correctness under membership churn is the
+// point, not peak throughput. `--verify-only` skips the warm-up and instead
+// reads every stripe address ONCE, expecting the version-1 image a previous
+// `--write-pct 0` run with the same seed/stripe left behind — this is how
+// the cluster smoke proves data survived a migration + kill -9.
+//
+// Flags: --host H --port P | --cluster-seeds SPEC
+//        --connections N --depth D --ops N | --seconds S
 //        --write-pct P (default 50) --stripe N (addresses per connection,
 //        default 256) --seed S --rate R --metrics (scrape METRICS at exit)
+//        --verify-only (cluster mode) --json PATH (write BENCH_throughput
+//        style report; prints a delta line against the previous file)
 //
-// Exit status is nonzero on any corruption, protocol error, or non-Ok
-// response — the CI loopback smoke relies on this.
+// Exit status is nonzero on any corruption, protocol error, non-Ok
+// response, worker failure, or a run that completed ZERO operations — the
+// CI loopback smoke gates on it, and a silently idle run must not pass.
 
 #include <algorithm>
 #include <chrono>
@@ -33,7 +46,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "bench_util.hpp"
+#include "cluster/cluster_client.hpp"
 #include "net/client.hpp"
 #include "runtime/latency_histogram.hpp"
 
@@ -66,6 +81,8 @@ std::vector<std::uint8_t> expected_payload(std::uint64_t seed, std::uint64_t add
 struct WorkerConfig {
   std::string host;
   std::uint16_t port = 0;
+  std::vector<spe::cluster::NodeInfo> seeds;  ///< non-empty = cluster mode
+  bool verify_only = false;
   unsigned index = 0;       ///< connection number (stripe selector)
   unsigned depth = 8;
   unsigned stripe = 256;    ///< addresses owned by this connection
@@ -83,7 +100,7 @@ struct WorkerStats {
   std::uint64_t bad_status = 0;    ///< any non-Ok response
   std::uint64_t unknown_ids = 0;   ///< response id we never sent
   LatencyHistogram::Snapshot latency;
-  std::string error;               ///< first fatal exception, empty = clean
+  std::string error;               ///< fatal exception, empty = clean
 };
 
 struct Inflight {
@@ -208,6 +225,76 @@ WorkerStats run_worker(const WorkerConfig& cfg) {
   return stats;
 }
 
+/// Cluster-mode connection: one synchronous operation at a time through a
+/// ClusterClient. The client chases MOVED bounces and fails over dead
+/// nodes internally, so any exception that escapes is a real failure.
+WorkerStats run_cluster_worker(const WorkerConfig& cfg) {
+  WorkerStats stats;
+  LatencyHistogram latency;
+  try {
+    spe::cluster::ClusterClientConfig ccfg;
+    ccfg.seeds = cfg.seeds;
+    // Widen the MOVED budget: during a pull the frozen blocks ping-pong
+    // between source and destination until the whole batch commits.
+    ccfg.op_retries = 64;
+    spe::cluster::ClusterClient client(ccfg);
+    client.connect();
+
+    const std::uint64_t base = std::uint64_t{cfg.index} * cfg.stripe;
+    const unsigned block_bytes = 64;
+
+    if (cfg.verify_only) {
+      // No warm-up: expect the version-1 image a previous --write-pct 0 run
+      // with the same seed/stripe committed. Detects any block lost or
+      // corrupted across the migrations / kills that happened in between.
+      for (unsigned i = 0; i < cfg.stripe; ++i) {
+        const std::uint64_t addr = base + i;
+        const auto sent = Clock::now();
+        const std::vector<std::uint8_t> data = client.read_block(addr);
+        latency.record(Clock::now() - sent);
+        ++stats.reads;
+        if (data != expected_payload(cfg.seed, addr, 1, block_bytes))
+          ++stats.corruptions;
+      }
+    } else {
+      std::unordered_map<std::uint64_t, std::uint64_t> committed;
+      for (unsigned i = 0; i < cfg.stripe; ++i) {
+        const std::uint64_t addr = base + i;
+        client.write_block(addr, expected_payload(cfg.seed, addr, 1, block_bytes));
+        committed[addr] = 1;
+      }
+      std::uint64_t rng = splitmix64(cfg.seed ^ (0xC0FFEEULL + cfg.index));
+      std::uint64_t done = 0;
+      const bool quota_bound = cfg.ops_quota > 0;
+      while ((!quota_bound || done < cfg.ops_quota) &&
+             Clock::now() < cfg.deadline) {
+        rng = splitmix64(rng);
+        const std::uint64_t addr = base + rng % cfg.stripe;
+        const bool is_write = splitmix64(rng) % 100 < cfg.write_pct;
+        const auto sent = Clock::now();
+        if (is_write) {
+          const std::uint64_t version = committed[addr] + 1;
+          client.write_block(
+              addr, expected_payload(cfg.seed, addr, version, block_bytes));
+          committed[addr] = version;
+          ++stats.writes;
+        } else {
+          const std::vector<std::uint8_t> data = client.read_block(addr);
+          ++stats.reads;
+          if (data != expected_payload(cfg.seed, addr, committed[addr], block_bytes))
+            ++stats.corruptions;
+        }
+        latency.record(Clock::now() - sent);
+        ++done;
+      }
+    }
+  } catch (const std::exception& e) {
+    stats.error = e.what();
+  }
+  stats.latency = latency.snapshot();
+  return stats;
+}
+
 double us(std::chrono::nanoseconds ns) { return static_cast<double>(ns.count()) / 1000.0; }
 
 }  // namespace
@@ -216,6 +303,8 @@ int main(int argc, char** argv) {
   spe::benchutil::Args args(argc, argv);
   const std::string host = args.str("host", "127.0.0.1");
   const auto port = static_cast<std::uint16_t>(args.uns("port", 0));
+  const std::string cluster_seeds = args.str("cluster-seeds", "");
+  const bool verify_only = args.flag("verify-only");
   const unsigned connections = std::max(1u, args.uns("connections", 4));
   const unsigned depth = std::max(1u, args.uns("depth", 8));
   const unsigned total_ops = args.uns("ops", 0);
@@ -225,21 +314,43 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.uns("seed", 1);
   const unsigned rate = args.uns("rate", 0);
   const bool scrape_metrics = args.flag("metrics");
+  const std::string json_path = args.str("json", "");
   if (!args.ok(stderr)) return 2;
-  if (port == 0) {
-    std::fprintf(stderr, "loadgen: --port is required\n");
+
+  const bool cluster = !cluster_seeds.empty();
+  std::vector<spe::cluster::NodeInfo> seeds;
+  if (cluster) {
+    spe::cluster::ClusterTopology seed_topo;
+    if (!spe::cluster::parse_topology_spec(cluster_seeds, 0, seed_topo)) {
+      std::fprintf(stderr, "loadgen: malformed --cluster-seeds '%s'\n",
+                   cluster_seeds.c_str());
+      return 2;
+    }
+    seeds = std::move(seed_topo.nodes);
+  } else if (port == 0) {
+    std::fprintf(stderr, "loadgen: --port or --cluster-seeds is required\n");
     return 2;
   }
-  if (total_ops == 0 && seconds == 0) {
+  if (verify_only && !cluster) {
+    std::fprintf(stderr, "loadgen: --verify-only needs --cluster-seeds\n");
+    return 2;
+  }
+  if (!verify_only && total_ops == 0 && seconds == 0) {
     std::fprintf(stderr, "loadgen: give --ops N or --seconds S\n");
     return 2;
   }
 
-  std::printf("loadgen: %s:%u, %u conns x depth %u, %u%% writes, stripe %u, seed %llu, %s\n",
-              host.c_str(), port, connections, depth, write_pct, stripe,
-              static_cast<unsigned long long>(seed),
-              rate > 0 ? ("open loop @" + std::to_string(rate) + " ops/s/conn").c_str()
-                       : "closed loop");
+  if (cluster)
+    std::printf("loadgen: cluster [%s], %u conns, %u%% writes, stripe %u, seed %llu%s\n",
+                cluster_seeds.c_str(), connections, write_pct, stripe,
+                static_cast<unsigned long long>(seed),
+                verify_only ? ", verify-only" : "");
+  else
+    std::printf("loadgen: %s:%u, %u conns x depth %u, %u%% writes, stripe %u, seed %llu, %s\n",
+                host.c_str(), port, connections, depth, write_pct, stripe,
+                static_cast<unsigned long long>(seed),
+                rate > 0 ? ("open loop @" + std::to_string(rate) + " ops/s/conn").c_str()
+                         : "closed loop");
 
   std::vector<WorkerConfig> cfgs(connections);
   std::vector<WorkerStats> stats(connections);
@@ -249,6 +360,8 @@ int main(int argc, char** argv) {
   for (unsigned c = 0; c < connections; ++c) {
     cfgs[c] = WorkerConfig{.host = host,
                            .port = port,
+                           .seeds = seeds,
+                           .verify_only = verify_only,
                            .index = c,
                            .depth = depth,
                            .stripe = stripe,
@@ -265,21 +378,28 @@ int main(int argc, char** argv) {
   std::vector<std::thread> threads;
   threads.reserve(connections);
   for (unsigned c = 0; c < connections; ++c)
-    threads.emplace_back([&, c] { stats[c] = run_worker(cfgs[c]); });
+    threads.emplace_back([&, c, cluster] {
+      stats[c] = cluster ? run_cluster_worker(cfgs[c]) : run_worker(cfgs[c]);
+    });
   for (auto& t : threads) t.join();
   const double elapsed =
       std::chrono::duration<double>(Clock::now() - start).count();
 
   WorkerStats total;
   LatencyHistogram::Snapshot merged;
-  for (const WorkerStats& s : stats) {
+  unsigned failed_workers = 0;
+  for (unsigned c = 0; c < connections; ++c) {
+    const WorkerStats& s = stats[c];
     total.reads += s.reads;
     total.writes += s.writes;
     total.corruptions += s.corruptions;
     total.bad_status += s.bad_status;
     total.unknown_ids += s.unknown_ids;
     merged += s.latency;
-    if (total.error.empty() && !s.error.empty()) total.error = s.error;
+    if (!s.error.empty()) {
+      ++failed_workers;
+      std::fprintf(stderr, "loadgen: worker %u failed: %s\n", c, s.error.c_str());
+    }
   }
   const std::uint64_t ops = total.reads + total.writes;
 
@@ -295,7 +415,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total.bad_status),
               static_cast<unsigned long long>(total.unknown_ids));
 
-  if (scrape_metrics) {
+  if (scrape_metrics && !cluster) {
     try {
       spe::net::Client client({.host = host, .port = port});
       client.connect();
@@ -307,16 +427,30 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!total.error.empty()) {
-    std::fprintf(stderr, "loadgen FAIL: %s\n", total.error.c_str());
-    return 1;
-  }
-  if (total.corruptions > 0 || total.bad_status > 0 || total.unknown_ids > 0) {
-    std::fprintf(stderr, "loadgen FAIL: corruption=%llu bad_status=%llu unknown_ids=%llu\n",
+  // Consolidated verdict. Every failure path is reported above; a run that
+  // completed nothing is a failure too — "no ops, no errors" must not read
+  // as success to CI.
+  const bool failed = failed_workers > 0 || total.corruptions > 0 ||
+                      total.bad_status > 0 || total.unknown_ids > 0 || ops == 0;
+  if (failed) {
+    std::fprintf(stderr,
+                 "loadgen FAIL: ops=%llu failed_workers=%u corruption=%llu "
+                 "bad_status=%llu unknown_ids=%llu\n",
+                 static_cast<unsigned long long>(ops), failed_workers,
                  static_cast<unsigned long long>(total.corruptions),
                  static_cast<unsigned long long>(total.bad_status),
                  static_cast<unsigned long long>(total.unknown_ids));
     return 1;
+  }
+  if (!json_path.empty()) {
+    spe::benchutil::ThroughputReport report;
+    report.source = cluster ? "loadgen-cluster" : "loadgen";
+    report.ops = ops;
+    report.ops_per_sec = static_cast<double>(ops) / elapsed;
+    report.p50_us = us(merged.p50());
+    report.p95_us = us(merged.p95());
+    report.p99_us = us(merged.p99());
+    if (!spe::benchutil::write_throughput_json(json_path, report)) return 1;
   }
   std::printf("loadgen OK\n");
   return 0;

@@ -9,14 +9,27 @@
 //        ephemeral pick), --shards N, --workers N, --queue N,
 //        --max-conns N, --completion-threads N, --reject (queue
 //        backpressure rejects with Overloaded instead of blocking).
+//
+// Cluster mode (see DESIGN.md section 11 and scripts/cluster_smoke.sh):
+//        --cluster                       enable the ClusterCoordinator
+//        --cluster-name NAME             this node's ring identity
+//        --cluster-nodes SPEC            "a=h:p[*w],b=h:p,..." initial members
+//        --cluster-epoch E               epoch of that initial topology
+//        --journal PATH                  migration journal (crash recovery)
+//        --checkpoint PATH               service checkpoint; restored at boot
+//                                        when the file already exists
+//
 // SIGINT/SIGTERM trigger the graceful drain-then-stop path.
 
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <thread>
 
 #include "bench_util.hpp"
+#include "cluster/coordinator.hpp"
 #include "net/server.hpp"
 #include "runtime/memory_service.hpp"
 
@@ -46,11 +59,57 @@ int main(int argc, char** argv) {
     service_cfg.backpressure = spe::runtime::BackpressurePolicy::Reject;
 
   const std::string port_file = args.str("port-file", "");
+  const bool cluster = args.flag("cluster");
+  const std::string cluster_name = args.str("cluster-name", "");
+  const std::string cluster_nodes = args.str("cluster-nodes", "");
+  const std::uint64_t cluster_epoch = args.uns("cluster-epoch", 1);
+  const std::string journal_path = args.str("journal", "");
+  const std::string checkpoint_path = args.str("checkpoint", "");
   if (!args.ok(stderr)) return 2;
+  if (cluster && (cluster_name.empty() || cluster_nodes.empty())) {
+    std::fprintf(stderr,
+                 "spe_server: --cluster needs --cluster-name and --cluster-nodes\n");
+    return 2;
+  }
 
   try {
-    spe::runtime::MemoryService service(service_cfg);
-    spe::net::Server server(service, server_cfg);
+    // A node restarting after a kill comes back with the blocks it had
+    // checkpointed; the migration journal replay then restores the
+    // frozen/committed overlays on top.
+    std::unique_ptr<spe::runtime::MemoryService> service;
+    if (!checkpoint_path.empty() && std::ifstream(checkpoint_path).good()) {
+      service = std::make_unique<spe::runtime::MemoryService>(service_cfg,
+                                                              checkpoint_path);
+      std::printf("spe_server: restored service from %s\n", checkpoint_path.c_str());
+    } else {
+      service = std::make_unique<spe::runtime::MemoryService>(service_cfg);
+    }
+
+    spe::net::Server server(*service, server_cfg);
+
+    std::optional<spe::cluster::ClusterCoordinator> coordinator;
+    if (cluster) {
+      spe::cluster::ClusterTopology topology;
+      if (!spe::cluster::parse_topology_spec(cluster_nodes, cluster_epoch, topology)) {
+        std::fprintf(stderr, "spe_server: malformed --cluster-nodes '%s'\n",
+                     cluster_nodes.c_str());
+        return 2;
+      }
+      spe::cluster::CoordinatorConfig coord_cfg;
+      coord_cfg.node_name = cluster_name;
+      coord_cfg.journal_path = journal_path;
+      coord_cfg.checkpoint_path = checkpoint_path;
+      coordinator.emplace(*service, std::move(topology), coord_cfg);
+      const spe::cluster::MigrationRecovery recovery = coordinator->recover();
+      if (recovery.records > 0)
+        std::printf("spe_server: journal replay: %zu records, %zu forward, "
+                    "%zu rolled back, %zu frozen%s\n",
+                    recovery.records, recovery.forward.size(),
+                    recovery.rollback.size(), recovery.frozen.size(),
+                    recovery.truncated_bytes > 0 ? " (torn tail truncated)" : "");
+      server.set_cluster_handler(&*coordinator);
+    }
+
     const std::uint16_t port = server.start();
 
     std::signal(SIGINT, on_signal);
@@ -58,8 +117,13 @@ int main(int argc, char** argv) {
     std::signal(SIGPIPE, SIG_IGN);
 
     std::printf("spe_server: listening on %s:%u (%u shards, %u workers, %u B blocks)\n",
-                server_cfg.bind_address.c_str(), port, service.shard_count(),
-                service_cfg.worker_threads, service.block_bytes());
+                server_cfg.bind_address.c_str(), port, service->shard_count(),
+                service_cfg.worker_threads, service->block_bytes());
+    if (cluster)
+      std::printf("spe_server: cluster node '%s' at epoch %llu (%zu members)\n",
+                  cluster_name.c_str(),
+                  static_cast<unsigned long long>(coordinator->topology().epoch),
+                  coordinator->topology().nodes.size());
     std::fflush(stdout);
     if (!port_file.empty()) {
       std::ofstream out(port_file, std::ios::trunc);
@@ -77,7 +141,7 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     server.stop();
     const spe::net::ServerCountersSnapshot c = server.counters();
-    service.stop();
+    service->stop();
     std::printf("spe_server: stopped (%llu conns, %llu frames rx, %llu completed, "
                 "%llu protocol errors)\n",
                 static_cast<unsigned long long>(c.connections_accepted),

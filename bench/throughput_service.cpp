@@ -15,7 +15,9 @@
 // named by SPE_METRICS_OUT when set, otherwise to stdout (table mode only).
 //
 // Flags: --smoke, --ops N, --window N, --workload NAME (each flag falls
-// back to its environment override when absent).
+// back to its environment override when absent), --json PATH (table mode:
+// write the best-config row as a BENCH_throughput.json report and print a
+// delta line against the previous file at that path).
 // Overrides: SPE_SVC_OPS (trace length), SPE_SVC_WORKLOAD (suite name),
 //            SPE_SVC_WINDOW (max outstanding submissions per client),
 //            SPE_OBS_MAX_OVERHEAD (--smoke gate, percent),
@@ -34,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "bench_util.hpp"
 #include "obs/trace.hpp"
 #include "runtime/memory_service.hpp"
@@ -183,6 +186,7 @@ int main(int argc, char** argv) {
   const char* workload_env = std::getenv("SPE_SVC_WORKLOAD");
   const std::string workload = args.str(
       "workload", workload_env && *workload_env ? workload_env : "bzip2");
+  const std::string json_path = args.str("json", "");
   if (!args.ok(stderr)) return 2;
 
   if (smoke) {
@@ -224,9 +228,19 @@ int main(int argc, char** argv) {
                           "wr p99us", "coalesced", "hwm"});
   double base_ops_per_sec = 0.0;
   std::string last_metrics;
+  spe::benchutil::ThroughputReport best;
   for (const Config& c : configs) {
     const RunResult r = replay(trace, c.workers, c.shards, window);
     last_metrics = r.metrics;
+    if (r.ops_per_sec > best.ops_per_sec) {
+      best.source = "throughput_service " + std::to_string(c.workers) + "w/" +
+                    std::to_string(c.shards) + "s";
+      best.ops = r.stats.total_ops();
+      best.ops_per_sec = r.ops_per_sec;
+      best.p50_us = us(r.stats.totals.read_latency.p50());
+      best.p95_us = us(r.stats.totals.read_latency.p95());
+      best.p99_us = us(r.stats.totals.read_latency.p99());
+    }
     if (base_ops_per_sec == 0.0) base_ops_per_sec = r.ops_per_sec;
     const auto& rd = r.stats.totals.read_latency;
     const auto& wr = r.stats.totals.write_latency;
@@ -248,5 +262,8 @@ int main(int argc, char** argv) {
       "Single-core hosts will show ~1x for the threaded rows (plus any\n"
       "coalescing gain); the >=2x acceptance bar targets >=4-core hosts.\n");
   dump_metrics(last_metrics, /*to_stdout=*/true);
+  if (!json_path.empty() &&
+      !spe::benchutil::write_throughput_json(json_path, best))
+    return 1;
   return 0;
 }

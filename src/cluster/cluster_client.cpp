@@ -1,0 +1,158 @@
+#include "cluster/cluster_client.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace spe::cluster {
+
+using net::Frame;
+using net::Opcode;
+using net::Status;
+
+ClusterClient::ClusterClient(ClusterClientConfig config)
+    : config_(std::move(config)) {
+  if (config_.seeds.empty())
+    throw std::invalid_argument("spe::cluster: ClusterClient needs >= 1 seed");
+}
+
+net::Client& ClusterClient::node_client(const NodeInfo& node) {
+  const std::string key = node.endpoint();
+  auto it = pool_.find(key);
+  if (it == pool_.end()) {
+    net::ClientConfig cfg = config_.net;
+    cfg.host = node.host;
+    cfg.port = node.port;
+    it = pool_.emplace(key, net::Client(std::move(cfg))).first;
+  }
+  it->second.connect();  // no-op when already connected
+  return it->second;
+}
+
+void ClusterClient::drop_client(const NodeInfo& node) {
+  pool_.erase(node.endpoint());
+}
+
+bool ClusterClient::try_fetch_topology(const NodeInfo& node) {
+  try {
+    net::Client& client = node_client(node);
+    const Frame reply = client.call(net::make_topology_request(0));
+    if (reply.status != Status::Ok) return false;
+    ClusterTopology fetched;
+    if (!decode_topology(reply.payload, fetched)) return false;
+    topology_ = std::move(fetched);
+    ring_ = topology_.ring();
+    ++stats_.topology_refreshes;
+    return true;
+  } catch (const net::NetError&) {
+    drop_client(node);
+    return false;
+  }
+}
+
+void ClusterClient::connect() {
+  for (const NodeInfo& seed : config_.seeds)
+    if (try_fetch_topology(seed)) return;
+  throw net::ConnectError("spe::cluster: no seed answered a topology fetch");
+}
+
+std::uint64_t ClusterClient::refresh_topology() {
+  // Current members first (the freshest view lives there), then the seeds.
+  std::vector<NodeInfo> candidates = topology_.nodes;
+  for (const NodeInfo& seed : config_.seeds) {
+    const auto same = [&seed](const NodeInfo& n) {
+      return n.endpoint() == seed.endpoint();
+    };
+    if (std::none_of(candidates.begin(), candidates.end(), same))
+      candidates.push_back(seed);
+  }
+  for (const NodeInfo& node : candidates)
+    if (try_fetch_topology(node)) return topology_.epoch;
+  throw net::ConnectError("spe::cluster: no member answered a topology fetch");
+}
+
+unsigned ClusterClient::propose_topology(const ClusterTopology& proposed) {
+  const std::vector<std::uint8_t> bytes = encode_topology(proposed);
+  std::vector<NodeInfo> targets = topology_.nodes;
+  for (const NodeInfo& node : proposed.nodes) {
+    const auto same = [&node](const NodeInfo& n) {
+      return n.endpoint() == node.endpoint();
+    };
+    if (std::none_of(targets.begin(), targets.end(), same))
+      targets.push_back(node);
+  }
+  unsigned acked = 0;
+  for (const NodeInfo& node : targets) {
+    try {
+      net::Client& client = node_client(node);
+      const Frame reply = client.call(net::make_topology_request(0, bytes));
+      if (reply.status == Status::Ok) ++acked;
+    } catch (const net::NetError&) {
+      drop_client(node);
+    }
+  }
+  if (acked > 0) {
+    topology_ = proposed;
+    ring_ = topology_.ring();
+  }
+  return acked;
+}
+
+Frame ClusterClient::route_call(std::uint64_t addr, const Frame& request) {
+  if (topology_.nodes.empty()) connect();
+  NodeInfo target = topology_.owner(addr);
+  bool directed = false;  // true: `target` came from a MOVED payload
+  std::chrono::milliseconds backoff = config_.moved_backoff;
+  for (unsigned attempt = 0; attempt <= config_.op_retries; ++attempt) {
+    Frame reply;
+    try {
+      reply = node_client(target).call(request);
+    } catch (const net::NetError&) {
+      // Owner unreachable (crashed node, dropped connection): learn the
+      // membership that exists now and re-route.
+      drop_client(target);
+      ++stats_.failovers;
+      refresh_topology();
+      target = topology_.owner(addr);
+      directed = false;
+      continue;
+    }
+    if (reply.status != Status::Moved) return reply;
+    // Bounced: the payload names where the address lives. During an
+    // in-flight migration source and destination can both bounce until the
+    // copy commits — back off so the budget spans the copy window.
+    ++stats_.moved_redirects;
+    NodeInfo owner;
+    if (!decode_node(reply.payload, owner))
+      throw net::ProtocolError("spe::cluster: malformed MOVED payload");
+    if (directed && owner.endpoint() == target.endpoint()) {
+      // Self-referential bounce would spin; treat as transient and refresh.
+      refresh_topology();
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, config_.moved_backoff_max);
+    target = std::move(owner);
+    directed = true;
+  }
+  throw ClusterRoutingError(
+      "spe::cluster: retry budget exhausted chasing MOVED for addr " +
+      std::to_string(addr));
+}
+
+std::vector<std::uint8_t> ClusterClient::read_block(std::uint64_t addr) {
+  const Frame reply = route_call(addr, net::make_read_request(0, addr));
+  if (reply.status != Status::Ok)
+    throw net::RemoteError(reply.status,
+                           std::string(reply.payload.begin(), reply.payload.end()));
+  return reply.payload;
+}
+
+void ClusterClient::write_block(std::uint64_t addr,
+                                std::span<const std::uint8_t> data) {
+  const Frame reply = route_call(addr, net::make_write_request(0, addr, data));
+  if (reply.status != Status::Ok)
+    throw net::RemoteError(reply.status,
+                           std::string(reply.payload.begin(), reply.payload.end()));
+}
+
+}  // namespace spe::cluster

@@ -1,0 +1,101 @@
+#pragma once
+// Cluster-aware SPE client (src/cluster). Wraps one net::Client per node
+// behind the same read_block / write_block surface as the single-node
+// client, adding:
+//
+//   topology discovery   connect() fetches the epoch-stamped member list
+//                        from the first reachable seed; refresh_topology()
+//                        re-fetches on demand (and automatically after
+//                        routing trouble).
+//   consistent routing   every operation is first sent to the ring owner
+//                        under the cached topology — in the steady state
+//                        that is one hop, no proxying.
+//   MOVED chasing        a Status::Moved response carries the owning node;
+//                        the client retries there after an exponential
+//                        backoff (migration commits a block within a bounded
+//                        copy window, so the backoff budget outlasts any
+//                        single in-flight block). The retry budget is
+//                        bounded; exhaustion throws ClusterRoutingError
+//                        rather than spinning on a ping-ponging address.
+//   failover             a node that cannot be reached is skipped: the
+//                        topology is refreshed from any other member and
+//                        the operation retries against the new owner.
+//
+// Single-owner-thread, like net::Client. Run one ClusterClient per worker.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.hpp"
+#include "net/client.hpp"
+
+namespace spe::cluster {
+
+/// The MOVED/failover retry budget ran out without landing on an owner.
+class ClusterRoutingError : public net::NetError {
+public:
+  using NetError::NetError;
+};
+
+struct ClusterClientConfig {
+  std::vector<NodeInfo> seeds;  ///< any member works; all are tried in order
+  unsigned op_retries = 16;     ///< MOVED bounces + failovers per operation
+  /// First retry delay after a MOVED bounce; doubled per bounce up to
+  /// moved_backoff_max. Total budget (~16 doublings of 5ms capped at 250ms)
+  /// comfortably outlasts one block's freeze->commit window.
+  std::chrono::milliseconds moved_backoff{5};
+  std::chrono::milliseconds moved_backoff_max{250};
+  net::ClientConfig net;  ///< template for per-node sockets (host/port overridden)
+};
+
+class ClusterClient {
+public:
+  explicit ClusterClient(ClusterClientConfig config);
+
+  /// Fetches the topology from the first reachable seed. Throws
+  /// net::ConnectError when no seed answers.
+  void connect();
+
+  [[nodiscard]] std::vector<std::uint8_t> read_block(std::uint64_t addr);
+  void write_block(std::uint64_t addr, std::span<const std::uint8_t> data);
+
+  /// Re-fetches the topology from any reachable member (seeds included) and
+  /// returns the new epoch. Throws net::ConnectError when nobody answers.
+  std::uint64_t refresh_topology();
+
+  /// Pushes `proposed` to every member of the CURRENT cached topology plus
+  /// every seed (idempotent on nodes already at that epoch). Returns how
+  /// many nodes acknowledged. The admin plane (cluster_ctl) uses this.
+  unsigned propose_topology(const ClusterTopology& proposed);
+
+  [[nodiscard]] const ClusterTopology& topology() const noexcept {
+    return topology_;
+  }
+
+  struct Stats {
+    std::uint64_t moved_redirects = 0;
+    std::uint64_t failovers = 0;  ///< unreachable owner, rerouted
+    std::uint64_t topology_refreshes = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Direct access to the pooled connection for `node` (admin plane: freeze
+  /// / pull / unfreeze RPCs go to specific nodes, not ring owners).
+  [[nodiscard]] net::Client& node_client(const NodeInfo& node);
+
+private:
+  [[nodiscard]] net::Frame route_call(std::uint64_t addr, const net::Frame& request);
+  [[nodiscard]] bool try_fetch_topology(const NodeInfo& node);
+  void drop_client(const NodeInfo& node);
+
+  ClusterClientConfig config_;
+  ClusterTopology topology_;
+  HashRing ring_;
+  std::map<std::string, net::Client> pool_;  ///< endpoint -> connection
+  Stats stats_;
+};
+
+}  // namespace spe::cluster

@@ -1,0 +1,336 @@
+#include "cluster/migration.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/crc32.hpp"
+
+namespace spe::cluster {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'P', 'E', 'M', 'J', 'R', 'N', '1'};
+constexpr std::size_t kMaxRecordBytes = std::size_t{1} << 20;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+bool take_u32(std::span<const std::uint8_t>& in, std::uint32_t& v) {
+  if (in.size() < 4) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  in = in.subspan(4);
+  return true;
+}
+
+bool take_u64(std::span<const std::uint8_t>& in, std::uint64_t& v) {
+  if (in.size() < 8) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  in = in.subspan(8);
+  return true;
+}
+
+bool take_addrs(std::span<const std::uint8_t>& in, std::vector<std::uint64_t>& out) {
+  std::uint32_t count = 0;
+  if (!take_u32(in, count) || count > kMaxMigrateAddrs) return false;
+  out.clear();
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint64_t addr = 0;
+    if (!take_u64(in, addr)) return false;
+    out.push_back(addr);
+  }
+  return true;
+}
+
+void put_addrs(std::vector<std::uint8_t>& out, std::span<const std::uint64_t> addrs) {
+  put_u32(out, static_cast<std::uint32_t>(addrs.size()));
+  for (const std::uint64_t a : addrs) put_u64(out, a);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_migrate_spec(const MigrateSpec& spec) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(spec.mode));
+  put_u64(out, spec.epoch);
+  append_node(out, spec.peer);
+  put_addrs(out, spec.addrs);
+  return out;
+}
+
+bool decode_migrate_spec(std::span<const std::uint8_t> in, MigrateSpec& out) {
+  if (in.empty()) return false;
+  const std::uint8_t mode = in[0];
+  if (mode < static_cast<std::uint8_t>(MigrateSpec::Mode::Freeze) ||
+      mode > static_cast<std::uint8_t>(MigrateSpec::Mode::Checkpoint))
+    return false;
+  out.mode = static_cast<MigrateSpec::Mode>(mode);
+  in = in.subspan(1);
+  if (!take_u64(in, out.epoch) || !consume_node(in, out.peer) ||
+      !take_addrs(in, out.addrs))
+    return false;
+  // Checkpoint is an admin ping — no address range. Every data-moving mode
+  // must name at least one address.
+  return in.empty() &&
+         (!out.addrs.empty() || out.mode == MigrateSpec::Mode::Checkpoint);
+}
+
+std::vector<std::uint8_t> encode_export(std::span<const ExportedBlock> blocks) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, static_cast<std::uint32_t>(blocks.size()));
+  for (const ExportedBlock& b : blocks) {
+    put_u64(out, b.addr);
+    out.push_back(b.present ? 1 : 0);
+    if (b.present) out.insert(out.end(), b.data.begin(), b.data.end());
+  }
+  return out;
+}
+
+bool decode_export(std::span<const std::uint8_t> in, std::size_t block_bytes,
+                   std::vector<ExportedBlock>& out) {
+  std::uint32_t count = 0;
+  if (!take_u32(in, count) || count > kMaxMigrateAddrs) return false;
+  out.clear();
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ExportedBlock b;
+    if (!take_u64(in, b.addr) || in.empty()) return false;
+    const std::uint8_t present = in[0];
+    if (present > 1) return false;
+    in = in.subspan(1);
+    b.present = present == 1;
+    if (b.present) {
+      if (in.size() < block_bytes) return false;
+      b.data.assign(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(block_bytes));
+      in = in.subspan(block_bytes);
+    }
+    out.push_back(std::move(b));
+  }
+  return in.empty();
+}
+
+MigrationJournal::MigrationJournal(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0)
+    throw std::runtime_error("spe::cluster: cannot open migration journal " +
+                             path_ + ": " + std::strerror(errno));
+}
+
+MigrationJournal::~MigrationJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+MigrationRecovery MigrationJournal::load() {
+  MigrationRecovery recovery;
+  state_ = MigrationState{};
+  std::vector<std::uint8_t> bytes;
+  if (fd_ >= 0) {
+    const off_t size = ::lseek(fd_, 0, SEEK_END);
+    if (size < 0)
+      throw std::runtime_error("spe::cluster: cannot seek migration journal");
+    bytes.resize(static_cast<std::size_t>(size));
+    std::size_t got = 0;
+    while (got < bytes.size()) {
+      const ssize_t n = ::pread(fd_, bytes.data() + got, bytes.size() - got,
+                                static_cast<off_t>(got));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0)
+        throw std::runtime_error("spe::cluster: cannot read migration journal");
+      got += static_cast<std::size_t>(n);
+    }
+  }
+  std::size_t off = 0;
+  if (!bytes.empty()) {
+    if (bytes.size() < sizeof kMagic) {
+      // A crash tore the very first append mid-magic: recover to empty.
+      recovery.truncated_bytes = bytes.size();
+      if (fd_ >= 0 && ::ftruncate(fd_, 0) != 0)
+        throw std::runtime_error("spe::cluster: cannot truncate torn journal tail");
+      return recovery;
+    }
+    if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0)
+      throw std::runtime_error("spe::cluster: " + path_ +
+                               " is not a migration journal (bad magic)");
+    off = sizeof kMagic;
+  }
+  std::size_t valid_end = off;
+  while (off < bytes.size()) {
+    std::span<const std::uint8_t> head(bytes.data() + off, bytes.size() - off);
+    std::uint32_t len = 0, crc = 0;
+    if (!take_u32(head, len) || !take_u32(head, crc) || len == 0 ||
+        len > kMaxRecordBytes || head.size() < len)
+      break;  // torn tail: a crash caught the append mid-write
+    const std::uint8_t* body = head.data();
+    if (util::crc32(body, len) != crc) break;
+    if (!apply(static_cast<RecordType>(body[0]),
+               std::span<const std::uint8_t>(body + 1, len - 1)))
+      break;  // malformed body counts as torn, same as a CRC failure
+    ++recovery.records;
+    off += 8 + len;
+    valid_end = off;
+  }
+  recovery.truncated_bytes = bytes.size() - valid_end;
+  if (fd_ >= 0 && recovery.truncated_bytes > 0) {
+    if (::ftruncate(fd_, static_cast<off_t>(valid_end)) != 0)
+      throw std::runtime_error("spe::cluster: cannot truncate torn journal tail");
+  }
+  for (const auto& [addr, p] : state_.incoming_committed)
+    recovery.forward.push_back(addr);
+  for (const auto& [addr, p] : state_.incoming_inflight)
+    recovery.rollback.push_back(addr);
+  for (const auto& [addr, p] : state_.outgoing) recovery.frozen.push_back(addr);
+  // In-flight pulls are rolled back here and now: the partial copy is not
+  // served, and re-running the pull starts from in_begin again.
+  state_.incoming_inflight.clear();
+  return recovery;
+}
+
+bool MigrationJournal::apply(RecordType type, std::span<const std::uint8_t> body) {
+  switch (type) {
+    case RecordType::OutFreeze: {
+      std::uint64_t epoch = 0;
+      NodeInfo dest;
+      std::vector<std::uint64_t> addrs;
+      if (!take_u64(body, epoch) || !consume_node(body, dest) ||
+          !take_addrs(body, addrs) || !body.empty())
+        return false;
+      for (const std::uint64_t a : addrs) state_.outgoing[a] = {dest, epoch};
+      return true;
+    }
+    case RecordType::OutUnfreeze: {
+      std::vector<std::uint64_t> addrs;
+      if (!take_addrs(body, addrs) || !body.empty()) return false;
+      for (const std::uint64_t a : addrs) state_.outgoing.erase(a);
+      return true;
+    }
+    case RecordType::InBegin: {
+      std::uint64_t addr = 0, epoch = 0;
+      NodeInfo source;
+      if (!take_u64(body, addr) || !take_u64(body, epoch) ||
+          !consume_node(body, source) || !body.empty())
+        return false;
+      state_.incoming_inflight[addr] = {source, epoch};
+      return true;
+    }
+    case RecordType::InCopied: {
+      std::uint64_t addr = 0;
+      if (!take_u64(body, addr) || !body.empty()) return false;
+      // Copied-but-uncommitted stays in-flight: the data is in the volatile
+      // service, not yet in a checkpoint.
+      return state_.incoming_inflight.contains(addr);
+    }
+    case RecordType::InCommit: {
+      std::vector<std::uint64_t> addrs;
+      if (!take_addrs(body, addrs) || !body.empty()) return false;
+      for (const std::uint64_t a : addrs) {
+        const auto it = state_.incoming_inflight.find(a);
+        if (it == state_.incoming_inflight.end()) return false;
+        state_.incoming_committed[a] = it->second;
+        state_.incoming_inflight.erase(it);
+      }
+      return true;
+    }
+    case RecordType::Adopt: {
+      std::uint64_t epoch = 0;
+      if (!take_u64(body, epoch)) return false;
+      state_.adopted_epoch = epoch;
+      state_.adopted_topology.assign(body.begin(), body.end());
+      // Ring ownership takes over for everything this epoch absorbed.
+      std::erase_if(state_.outgoing,
+                    [epoch](const auto& kv) { return kv.second.epoch <= epoch; });
+      std::erase_if(state_.incoming_committed,
+                    [epoch](const auto& kv) { return kv.second.epoch <= epoch; });
+      return true;
+    }
+  }
+  return false;
+}
+
+void MigrationJournal::append(RecordType type, const std::vector<std::uint8_t>& body_rest) {
+  std::vector<std::uint8_t> body;
+  body.reserve(1 + body_rest.size());
+  body.push_back(static_cast<std::uint8_t>(type));
+  body.insert(body.end(), body_rest.begin(), body_rest.end());
+
+  if (fd_ >= 0) {
+    std::vector<std::uint8_t> record;
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end == 0) record.insert(record.end(), kMagic, kMagic + sizeof kMagic);
+    put_u32(record, static_cast<std::uint32_t>(body.size()));
+    put_u32(record, util::crc32(body.data(), body.size()));
+    record.insert(record.end(), body.begin(), body.end());
+    std::size_t sent = 0;
+    while (sent < record.size()) {
+      const ssize_t n = ::write(fd_, record.data() + sent, record.size() - sent);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0)
+        throw std::runtime_error("spe::cluster: migration journal write failed: " +
+                                 std::string(std::strerror(errno)));
+      sent += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd_) != 0)
+      throw std::runtime_error("spe::cluster: migration journal fsync failed");
+  }
+  const bool ok = apply(type, std::span<const std::uint8_t>(body).subspan(1));
+  if (!ok)
+    throw std::logic_error("spe::cluster: journal append did not apply cleanly");
+  if (kill_hook_) kill_hook_();
+}
+
+void MigrationJournal::out_freeze(std::span<const std::uint64_t> addrs,
+                                  const NodeInfo& dest, std::uint64_t epoch) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, epoch);
+  append_node(body, dest);
+  put_addrs(body, addrs);
+  append(RecordType::OutFreeze, body);
+}
+
+void MigrationJournal::out_unfreeze(std::span<const std::uint64_t> addrs) {
+  std::vector<std::uint8_t> body;
+  put_addrs(body, addrs);
+  append(RecordType::OutUnfreeze, body);
+}
+
+void MigrationJournal::in_begin(std::uint64_t addr, const NodeInfo& source,
+                                std::uint64_t epoch) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, addr);
+  put_u64(body, epoch);
+  append_node(body, source);
+  append(RecordType::InBegin, body);
+}
+
+void MigrationJournal::in_copied(std::uint64_t addr) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, addr);
+  append(RecordType::InCopied, body);
+}
+
+void MigrationJournal::in_commit(std::span<const std::uint64_t> addrs) {
+  std::vector<std::uint8_t> body;
+  put_addrs(body, addrs);
+  append(RecordType::InCommit, body);
+}
+
+void MigrationJournal::adopt(const ClusterTopology& topology) {
+  std::vector<std::uint8_t> body;
+  put_u64(body, topology.epoch);
+  const std::vector<std::uint8_t> topo = encode_topology(topology);
+  body.insert(body.end(), topo.begin(), topo.end());
+  append(RecordType::Adopt, body);
+}
+
+}  // namespace spe::cluster

@@ -1,0 +1,175 @@
+#include "cluster/topology.hpp"
+
+#include <stdexcept>
+
+namespace spe::cluster {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+bool take_u16(std::span<const std::uint8_t>& in, std::uint16_t& v) {
+  if (in.size() < 2) return false;
+  v = static_cast<std::uint16_t>(in[0] | (in[1] << 8));
+  in = in.subspan(2);
+  return true;
+}
+
+bool take_u32(std::span<const std::uint8_t>& in, std::uint32_t& v) {
+  if (in.size() < 4) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  in = in.subspan(4);
+  return true;
+}
+
+bool take_u64(std::span<const std::uint8_t>& in, std::uint64_t& v) {
+  if (in.size() < 8) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  in = in.subspan(8);
+  return true;
+}
+
+bool take_string(std::span<const std::uint8_t>& in, std::string& s) {
+  std::uint16_t len = 0;
+  if (!take_u16(in, len) || len > kMaxNameBytes || in.size() < len) return false;
+  s.assign(in.begin(), in.begin() + len);
+  in = in.subspan(len);
+  return true;
+}
+
+}  // namespace
+
+const NodeInfo* ClusterTopology::find(const std::string& name) const {
+  for (const NodeInfo& n : nodes)
+    if (n.name == name) return &n;
+  return nullptr;
+}
+
+HashRing ClusterTopology::ring() const {
+  HashRing ring;
+  for (const NodeInfo& n : nodes)
+    if (n.weight > 0) ring.add_node(n.name, n.weight);
+  return ring;
+}
+
+const NodeInfo& ClusterTopology::owner(std::uint64_t addr) const {
+  // Copy, not reference: ring() is a temporary and owner() returns a
+  // reference into it.
+  const std::string name = ring().owner(addr);
+  const NodeInfo* node = find(name);
+  if (node == nullptr)
+    throw std::logic_error("spe::cluster: ring owner missing from topology");
+  return *node;
+}
+
+void append_node(std::vector<std::uint8_t>& out, const NodeInfo& node) {
+  put_string(out, node.name);
+  put_string(out, node.host);
+  put_u16(out, node.port);
+  put_u32(out, node.weight);
+}
+
+std::vector<std::uint8_t> encode_node(const NodeInfo& node) {
+  std::vector<std::uint8_t> out;
+  append_node(out, node);
+  return out;
+}
+
+bool consume_node(std::span<const std::uint8_t>& in, NodeInfo& out) {
+  std::uint32_t weight = 0;
+  if (!take_string(in, out.name) || !take_string(in, out.host) ||
+      !take_u16(in, out.port) || !take_u32(in, weight))
+    return false;
+  out.weight = weight;
+  return !out.name.empty();
+}
+
+bool decode_node(std::span<const std::uint8_t> in, NodeInfo& out) {
+  return consume_node(in, out) && in.empty();
+}
+
+std::vector<std::uint8_t> encode_topology(const ClusterTopology& topo) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, topo.epoch);
+  put_u32(out, static_cast<std::uint32_t>(topo.nodes.size()));
+  for (const NodeInfo& n : topo.nodes) append_node(out, n);
+  return out;
+}
+
+bool decode_topology(std::span<const std::uint8_t> in, ClusterTopology& out) {
+  std::uint32_t count = 0;
+  if (!take_u64(in, out.epoch) || !take_u32(in, count) || count > kMaxNodes)
+    return false;
+  out.nodes.clear();
+  out.nodes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NodeInfo node;
+    if (!consume_node(in, node)) return false;
+    // Duplicate names would make ring ownership ambiguous.
+    if (out.find(node.name) != nullptr) return false;
+    out.nodes.push_back(std::move(node));
+  }
+  return in.empty();
+}
+
+bool parse_node_spec(const std::string& spec, NodeInfo& out) {
+  const std::size_t eq = spec.find('=');
+  const std::size_t colon = spec.find(':', eq == std::string::npos ? 0 : eq + 1);
+  if (eq == std::string::npos || colon == std::string::npos || eq == 0 ||
+      colon <= eq + 1 || colon + 1 >= spec.size())
+    return false;
+  out.name = spec.substr(0, eq);
+  out.host = spec.substr(eq + 1, colon - eq - 1);
+  std::string port_part = spec.substr(colon + 1);
+  out.weight = 1;
+  if (const std::size_t star = port_part.find('*'); star != std::string::npos) {
+    const std::string weight_part = port_part.substr(star + 1);
+    port_part.resize(star);
+    if (weight_part.empty()) return false;
+    out.weight = static_cast<unsigned>(std::strtoul(weight_part.c_str(), nullptr, 10));
+  }
+  if (port_part.empty() || out.name.size() > kMaxNameBytes) return false;
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_part.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port == 0 || port > 65535) return false;
+  out.port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+bool parse_topology_spec(const std::string& spec, std::uint64_t epoch,
+                         ClusterTopology& out) {
+  out.epoch = epoch;
+  out.nodes.clear();
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    NodeInfo node;
+    if (!parse_node_spec(item, node) || out.find(node.name) != nullptr) return false;
+    out.nodes.push_back(std::move(node));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out.nodes.empty();
+}
+
+}  // namespace spe::cluster

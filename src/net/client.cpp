@@ -1,12 +1,14 @@
 #include "net/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <thread>
@@ -55,14 +57,50 @@ void Client::connect() {
     throw ConnectError("spe::net: bad host address " + config_.host);
 
   int last_errno = 0;
+  std::chrono::milliseconds backoff = config_.connect_retry_backoff;
   for (unsigned attempt = 0; attempt <= config_.connect_retries; ++attempt) {
-    if (attempt > 0) std::this_thread::sleep_for(config_.connect_retry_backoff);
-    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (attempt > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, config_.connect_backoff_max);
+    }
+    // Non-blocking connect so a black-holed peer (dropped SYNs, dead NAT
+    // entry) cannot pin this thread past connect_timeout.
+    const int fd =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
     if (fd < 0) {
       last_errno = errno;
       continue;
     }
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    if (rc != 0 && (errno == EINPROGRESS || errno == EINTR)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int timeout_ms =
+          config_.connect_timeout.count() > 0
+              ? static_cast<int>(config_.connect_timeout.count())
+              : -1;
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, timeout_ms);
+      } while (ready < 0 && errno == EINTR);
+      if (ready == 0) {
+        last_errno = ETIMEDOUT;
+        ::close(fd);
+        continue;
+      }
+      int sock_err = 0;
+      socklen_t len = sizeof sock_err;
+      if (ready > 0 &&
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &sock_err, &len) == 0 &&
+          sock_err == 0) {
+        rc = 0;
+      } else {
+        errno = sock_err != 0 ? sock_err : errno;
+      }
+    }
+    if (rc == 0) {
+      // Back to blocking mode: the send path relies on blocking writes.
+      const int flags = ::fcntl(fd, F_GETFL, 0);
+      if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       fd_ = fd;
@@ -71,8 +109,12 @@ void Client::connect() {
     last_errno = errno;
     ::close(fd);
   }
-  throw ConnectError("spe::net: cannot connect to " + config_.host + ":" +
-                     std::to_string(config_.port) + ": " +
+  const std::string where = config_.host + ":" + std::to_string(config_.port);
+  if (last_errno == ETIMEDOUT)
+    throw NetTimeoutError("spe::net: connect to " + where + " timed out after " +
+                          std::to_string(config_.connect_retries + 1) +
+                          " attempts");
+  throw ConnectError("spe::net: cannot connect to " + where + ": " +
                      std::strerror(last_errno));
 }
 
@@ -200,5 +242,17 @@ std::string Client::metrics(obs::MetricsFormat format) {
 }
 
 void Client::ping() { (void)await(send_ping()); }
+
+Frame Client::call(Frame frame) {
+  frame.request_id = next_id_++;
+  send_frame(frame);
+  Frame resp = recv_response();
+  if (resp.request_id != frame.request_id) {
+    close();
+    throw ProtocolError("spe::net: response id mismatch (pipelining mixed with "
+                        "blocking RPCs?)");
+  }
+  return resp;
+}
 
 }  // namespace spe::net

@@ -5,11 +5,15 @@
 // send_* / recv_response pair is what the load generator uses to keep
 // `depth` requests outstanding per connection.
 //
-// connect() retries with linear backoff (a freshly exec'd server may not be
-// listening yet); every receive honours io_deadline via poll(). All
-// failures are typed: ConnectError, TimeoutError, ProtocolError (malformed
-// or unexpected bytes, peer close), and RemoteError carrying the response
-// Status plus the server's reason string.
+// connect() retries with bounded exponential backoff (a freshly exec'd
+// server may not be listening yet, and a cluster node mid-restart comes back
+// within a few doublings); each attempt is itself bounded by
+// connect_timeout, and every receive honours io_deadline via poll(). All
+// failures are typed: ConnectError, NetTimeoutError (connect attempt or
+// response deadline expired), ProtocolError (malformed or unexpected bytes,
+// peer close), and RemoteError carrying the response Status plus the
+// server's reason string. After a transport error the client closes its
+// socket; calling connect() again reconnects with the same backoff budget.
 
 #include <chrono>
 #include <cstdint>
@@ -33,10 +37,13 @@ public:
   using NetError::NetError;
 };
 
-class TimeoutError : public NetError {
+/// A deadline expired: a single connect attempt outran connect_timeout, or
+/// no response arrived within io_deadline.
+class NetTimeoutError : public NetError {
 public:
   using NetError::NetError;
 };
+using TimeoutError = NetTimeoutError;  ///< pre-cluster name, kept for callers
 
 class ProtocolError : public NetError {
 public:
@@ -62,8 +69,11 @@ struct ClientConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   unsigned connect_retries = 20;
+  /// First retry delay; doubled per retry up to connect_backoff_max.
   std::chrono::milliseconds connect_retry_backoff{50};
-  std::chrono::milliseconds io_deadline{5'000};  ///< 0 = block forever
+  std::chrono::milliseconds connect_backoff_max{2'000};
+  std::chrono::milliseconds connect_timeout{1'000};  ///< per attempt; 0 = block
+  std::chrono::milliseconds io_deadline{5'000};      ///< 0 = block forever
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
 };
 
@@ -103,6 +113,13 @@ public:
   [[nodiscard]] std::string metrics(
       obs::MetricsFormat format = obs::MetricsFormat::Prometheus);
   void ping();
+
+  /// Sends `frame` (assigning the next request id) and returns the matching
+  /// response WITHOUT interpreting its status byte — cluster-aware callers
+  /// route on Status::Moved themselves, so unlike the conveniences above a
+  /// non-Ok status is returned, not thrown. Throws only on transport
+  /// failures.
+  [[nodiscard]] Frame call(Frame frame);
 
 private:
   std::uint64_t send_frame(const Frame& frame);

@@ -286,9 +286,23 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame&& frame) {
   obs::Tracer::instance().instant("net.request",
                                   static_cast<std::uint64_t>(frame.opcode),
                                   frame.request_id);
+  if (cluster_ != nullptr) {
+    Frame response;
+    switch (cluster_->fast_path(frame, response)) {
+      case ClusterHandler::Verdict::NotMine:
+        break;
+      case ClusterHandler::Verdict::Respond:
+        respond_now(conn, response);
+        return;
+      case ClusterHandler::Verdict::Defer:
+        submit_handler(conn, std::move(frame));
+        return;
+    }
+  }
   switch (frame.opcode) {
     case Opcode::Ping: {
       Frame resp;
+      resp.version = frame.version;
       resp.opcode = Opcode::Ping;
       resp.request_id = frame.request_id;
       resp.payload = std::move(frame.payload);
@@ -300,12 +314,13 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame&& frame) {
       WireErrorCode err = WireErrorCode::None;
       if (!parse_metrics_request(frame, format, err)) {
         counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-        respond_now(conn, make_error_response(Opcode::Metrics, Status::BadRequest,
-                                              frame.request_id, to_string(err)));
+        respond_now(conn,
+                    make_error_response(frame, Status::BadRequest, to_string(err)));
         return;
       }
       const std::string text = export_metrics(format);
       Frame resp;
+      resp.version = frame.version;
       resp.opcode = Opcode::Metrics;
       resp.request_id = frame.request_id;
       resp.payload.assign(text.begin(), text.end());
@@ -317,27 +332,60 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame&& frame) {
     case Opcode::Scrub:
       submit_request(conn, std::move(frame));
       return;
+    case Opcode::Topology:
+    case Opcode::MigrateRange:
+      // v2 opcodes reach here only without a cluster handler installed.
+      respond_now(conn, make_error_response(frame, Status::BadRequest,
+                                            "not a cluster member"));
+      return;
   }
+}
+
+bool Server::admit(const std::shared_ptr<Conn>& conn, const Frame& frame) {
+  if (draining_.load(std::memory_order_acquire)) {
+    respond_now(conn, make_error_response(frame, Status::Stopped, "server draining"));
+    return false;
+  }
+  if (conn->inflight.load(std::memory_order_acquire) >=
+      static_cast<int>(config_.max_inflight_per_conn)) {
+    counters_.overload_rejected.fetch_add(1, std::memory_order_relaxed);
+    respond_now(conn, make_error_response(frame, Status::Overloaded,
+                                          "per-connection in-flight cap"));
+    return false;
+  }
+  return true;
+}
+
+void Server::enqueue_pending(const std::shared_ptr<Conn>& conn, Pending&& pending) {
+  conn->inflight.fetch_add(1, std::memory_order_acq_rel);
+  pending_count_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard lock(completion_mutex_);
+    completion_queue_.push_back(std::move(pending));
+  }
+  completion_cv_.notify_one();
+}
+
+void Server::submit_handler(const std::shared_ptr<Conn>& conn, Frame&& frame) {
+  if (!admit(conn, frame)) return;
+  Pending pending;
+  pending.kind = Pending::Kind::Handler;
+  pending.conn = conn;
+  pending.request_id = frame.request_id;
+  pending.version = frame.version;
+  pending.received = Clock::now();
+  pending.handler_frame = std::move(frame);
+  enqueue_pending(conn, std::move(pending));
 }
 
 void Server::submit_request(const std::shared_ptr<Conn>& conn, Frame&& frame) {
   const Opcode op = frame.opcode;
   const std::uint64_t id = frame.request_id;
-  if (draining_.load(std::memory_order_acquire)) {
-    respond_now(conn, make_error_response(op, Status::Stopped, id,
-                                          "server draining"));
-    return;
-  }
-  if (conn->inflight.load(std::memory_order_acquire) >=
-      static_cast<int>(config_.max_inflight_per_conn)) {
-    counters_.overload_rejected.fetch_add(1, std::memory_order_relaxed);
-    respond_now(conn, make_error_response(op, Status::Overloaded, id,
-                                          "per-connection in-flight cap"));
-    return;
-  }
+  if (!admit(conn, frame)) return;
   Pending pending;
   pending.conn = conn;
   pending.request_id = id;
+  pending.version = frame.version;
   pending.received = Clock::now();
   try {
     switch (op) {
@@ -346,8 +394,8 @@ void Server::submit_request(const std::shared_ptr<Conn>& conn, Frame&& frame) {
         WireErrorCode err = WireErrorCode::None;
         if (!parse_read_request(frame, addr, err)) {
           counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-          respond_now(conn, make_error_response(op, Status::BadRequest, id,
-                                                to_string(err)));
+          respond_now(conn,
+                      make_error_response(frame, Status::BadRequest, to_string(err)));
           return;
         }
         pending.kind = Pending::Kind::Read;
@@ -361,9 +409,9 @@ void Server::submit_request(const std::shared_ptr<Conn>& conn, Frame&& frame) {
         if (!parse_write_request(frame, addr, data, err) ||
             data.size() != service_.block_bytes()) {
           counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-          respond_now(conn, make_error_response(
-                                op, Status::BadRequest, id,
-                                "write payload must be exactly one block"));
+          respond_now(conn,
+                      make_error_response(frame, Status::BadRequest,
+                                          "write payload must be exactly one block"));
           return;
         }
         pending.kind = Pending::Kind::Write;
@@ -376,22 +424,16 @@ void Server::submit_request(const std::shared_ptr<Conn>& conn, Frame&& frame) {
     }
   } catch (const runtime::QueueFullError& e) {
     counters_.overload_rejected.fetch_add(1, std::memory_order_relaxed);
-    respond_now(conn, make_error_response(op, Status::Overloaded, id, e.what()));
+    respond_now(conn, make_error_response(frame, Status::Overloaded, e.what()));
     return;
   } catch (const runtime::ServiceStoppedError& e) {
-    respond_now(conn, make_error_response(op, Status::Stopped, id, e.what()));
+    respond_now(conn, make_error_response(frame, Status::Stopped, e.what()));
     return;
   } catch (const std::exception& e) {
-    respond_now(conn, make_error_response(op, Status::Internal, id, e.what()));
+    respond_now(conn, make_error_response(frame, Status::Internal, e.what()));
     return;
   }
-  conn->inflight.fetch_add(1, std::memory_order_acq_rel);
-  pending_count_.fetch_add(1, std::memory_order_acq_rel);
-  {
-    std::lock_guard lock(completion_mutex_);
-    completion_queue_.push_back(std::move(pending));
-  }
-  completion_cv_.notify_one();
+  enqueue_pending(conn, std::move(pending));
 }
 
 void Server::completion_loop() {
@@ -409,7 +451,8 @@ void Server::completion_loop() {
       pending = std::move(completion_queue_.front());
       completion_queue_.pop_front();
     }
-    const Frame response = complete(pending);
+    Frame response = complete(pending);
+    response.version = pending.version;  // a v1 client never sees a v2 frame
     counters_.requests_completed.fetch_add(1, std::memory_order_relaxed);
     counters_.request_latency.record(Clock::now() - pending.received);
     pending.conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
@@ -430,9 +473,14 @@ Frame Server::complete(Pending& pending) {
     case Pending::Kind::Read: resp.opcode = Opcode::Read; break;
     case Pending::Kind::Write: resp.opcode = Opcode::Write; break;
     case Pending::Kind::Scrub: resp.opcode = Opcode::Scrub; break;
+    case Pending::Kind::Handler: resp.opcode = pending.handler_frame.opcode; break;
   }
   try {
     switch (pending.kind) {
+      case Pending::Kind::Handler:
+        // The cluster hook owns its own deadlines (migration batches can
+        // legitimately outlive request_timeout).
+        return cluster_->slow_path(std::move(pending.handler_frame));
       case Pending::Kind::Read:
         if (has_deadline &&
             pending.read_future.wait_until(deadline) != std::future_status::ready) {
@@ -625,6 +673,7 @@ std::string Server::export_metrics(obs::MetricsFormat format) const {
   obs::MetricsRegistry registry;
   service_.fill_metrics(registry);
   fill_metrics(registry);
+  if (cluster_ != nullptr) cluster_->fill_metrics(registry);
   return registry.render(format);
 }
 

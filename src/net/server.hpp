@@ -58,6 +58,33 @@
 
 namespace spe::net {
 
+/// Optional cluster hook the server consults before its own dispatch. The
+/// net layer stays cluster-agnostic: it hands every decoded request frame to
+/// fast_path() and routes on the verdict, never interpreting the cluster
+/// payloads itself (src/cluster implements this interface).
+class ClusterHandler {
+public:
+  enum class Verdict : std::uint8_t {
+    NotMine,  ///< normal server dispatch proceeds
+    Respond,  ///< `response` is filled; send it as-is
+    Defer,    ///< run slow_path() on a completion thread (may block)
+  };
+
+  virtual ~ClusterHandler() = default;
+
+  /// Event-loop thread — must not block (no I/O, no fsync). Ownership
+  /// checks and topology snapshots only.
+  [[nodiscard]] virtual Verdict fast_path(const Frame& request, Frame& response) = 0;
+
+  /// Completion thread — may block (journal fsync, peer network I/O).
+  /// Must return a response frame and never throw out of the server's
+  /// taxonomy; unexpected exceptions become Status::Internal.
+  [[nodiscard]] virtual Frame slow_path(Frame&& request) = 0;
+
+  /// Merged into the server's METRICS export.
+  virtual void fill_metrics(obs::MetricsRegistry&) const {}
+};
+
 struct ServerConfig {
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 0;  ///< 0 = ephemeral; start() returns the kernel's pick
@@ -96,6 +123,13 @@ public:
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
+
+  /// Installs the cluster hook. Call before start(); the handler must
+  /// outlive the server. Null detaches (single-node mode: the v2 cluster
+  /// opcodes answer BadRequest).
+  void set_cluster_handler(ClusterHandler* handler) noexcept {
+    cluster_ = handler;
+  }
 
   /// Binds, listens, and starts the event-loop + completion threads.
   /// Returns the bound port. Throws std::runtime_error on socket failure.
@@ -137,12 +171,14 @@ private:
   };
 
   struct Pending {
-    enum class Kind : std::uint8_t { Read, Write, Scrub } kind = Kind::Read;
+    enum class Kind : std::uint8_t { Read, Write, Scrub, Handler } kind = Kind::Read;
     std::shared_ptr<Conn> conn;
     std::uint64_t request_id = 0;
+    std::uint8_t version = kWireVersion;  ///< echoed into the response
     std::chrono::steady_clock::time_point received;
     std::future<std::vector<std::uint8_t>> read_future;
     std::future<void> write_future;
+    Frame handler_frame;  ///< Kind::Handler: the deferred cluster request
   };
 
   struct Counters {
@@ -167,6 +203,11 @@ private:
   void conn_readable(const std::shared_ptr<Conn>& conn);
   void handle_frame(const std::shared_ptr<Conn>& conn, Frame&& frame);
   void submit_request(const std::shared_ptr<Conn>& conn, Frame&& frame);
+  /// Queues a cluster frame for ClusterHandler::slow_path on a completion
+  /// thread (same admission control as submit_request).
+  void submit_handler(const std::shared_ptr<Conn>& conn, Frame&& frame);
+  [[nodiscard]] bool admit(const std::shared_ptr<Conn>& conn, const Frame& frame);
+  void enqueue_pending(const std::shared_ptr<Conn>& conn, Pending&& pending);
   /// Event-loop side: enqueue a response and try to flush immediately.
   void respond_now(const std::shared_ptr<Conn>& conn, const Frame& frame);
   /// Completion-thread side: enqueue a response and wake the event loop.
@@ -180,6 +221,7 @@ private:
 
   runtime::MemoryService& service_;
   ServerConfig config_;
+  ClusterHandler* cluster_ = nullptr;
   Counters counters_;
 
   int listen_fd_ = -1;

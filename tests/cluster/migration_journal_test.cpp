@@ -1,0 +1,232 @@
+// MigrationJournal crash-safety (src/cluster/migration): state-machine
+// semantics of the six record types, torn-tail truncation at EVERY byte
+// boundary of a real journal file, and a kill-point campaign that snapshots
+// the file after each fsync'd append (the BankShard::set_crash_hook
+// pattern) and asserts each snapshot recovers to a fully-source or
+// fully-destination classification — never a torn one.
+
+#include "cluster/migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace spe::cluster {
+namespace {
+
+NodeInfo node(const std::string& name, std::uint16_t port) {
+  return NodeInfo{name, "127.0.0.1", port, 1};
+}
+
+std::string temp_path(const std::string& tag) {
+  const std::string path = ::testing::TempDir() + "spe_mjournal_" + tag + ".bin";
+  std::remove(path.c_str());
+  return path;
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void dump(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(MigrationJournal, InMemoryStateMachine) {
+  MigrationJournal journal("");
+  (void)journal.load();
+  const NodeInfo dest = node("d", 2);
+  const std::uint64_t addrs[] = {10, 11, 12};
+  journal.out_freeze(addrs, dest, 5);
+  EXPECT_EQ(journal.state().outgoing.size(), 3u);
+  EXPECT_EQ(journal.state().outgoing.at(10).peer, dest);
+  EXPECT_EQ(journal.state().outgoing.at(10).epoch, 5u);
+
+  const std::uint64_t some[] = {11};
+  journal.out_unfreeze(some);
+  EXPECT_EQ(journal.state().outgoing.size(), 2u);
+  EXPECT_FALSE(journal.state().outgoing.contains(11));
+
+  journal.in_begin(77, node("s", 1), 5);
+  EXPECT_TRUE(journal.state().incoming_inflight.contains(77));
+  journal.in_copied(77);
+  EXPECT_TRUE(journal.state().incoming_inflight.contains(77));  // still volatile
+  const std::uint64_t commit[] = {77};
+  journal.in_commit(commit);
+  EXPECT_TRUE(journal.state().incoming_committed.contains(77));
+  EXPECT_TRUE(journal.state().incoming_inflight.empty());
+}
+
+TEST(MigrationJournal, MalformedTransitionThrows) {
+  MigrationJournal journal("");
+  (void)journal.load();
+  // in_copied without in_begin is a protocol bug, not valid input.
+  EXPECT_THROW(journal.in_copied(123), std::logic_error);
+  const std::uint64_t commit[] = {123};
+  EXPECT_THROW(journal.in_commit(commit), std::logic_error);
+}
+
+TEST(MigrationJournal, AdoptDropsOverlaysUpToEpoch) {
+  MigrationJournal journal("");
+  (void)journal.load();
+  const std::uint64_t old_addrs[] = {1};
+  const std::uint64_t new_addrs[] = {2};
+  journal.out_freeze(old_addrs, node("d", 2), 5);
+  journal.out_freeze(new_addrs, node("d", 2), 6);
+  journal.in_begin(50, node("s", 1), 5);
+  const std::uint64_t commit[] = {50};
+  journal.in_commit(commit);
+
+  ClusterTopology adopted{5, {node("a", 1), node("d", 2)}};
+  journal.adopt(adopted);
+  EXPECT_EQ(journal.state().adopted_epoch, 5u);
+  // Epoch-5 overlays are absorbed by ring ownership; epoch-6 ones survive.
+  EXPECT_FALSE(journal.state().outgoing.contains(1));
+  EXPECT_TRUE(journal.state().outgoing.contains(2));
+  EXPECT_FALSE(journal.state().incoming_committed.contains(50));
+}
+
+TEST(MigrationJournal, FileRoundTripAndReload) {
+  const std::string path = temp_path("roundtrip");
+  const NodeInfo dest = node("d", 2);
+  {
+    MigrationJournal journal(path);
+    (void)journal.load();
+    const std::uint64_t addrs[] = {100, 101};
+    journal.out_freeze(addrs, dest, 9);
+    journal.in_begin(200, node("s", 1), 9);
+    journal.in_copied(200);
+    const std::uint64_t commit[] = {200};
+    journal.in_commit(commit);
+  }
+  MigrationJournal reloaded(path);
+  const MigrationRecovery recovery = reloaded.load();
+  EXPECT_EQ(recovery.records, 4u);
+  EXPECT_EQ(recovery.truncated_bytes, 0u);
+  EXPECT_EQ(recovery.forward, std::vector<std::uint64_t>{200});
+  EXPECT_TRUE(recovery.rollback.empty());
+  EXPECT_EQ(recovery.frozen, (std::vector<std::uint64_t>{100, 101}));
+  EXPECT_EQ(reloaded.state().outgoing.at(100).peer, dest);
+  std::remove(path.c_str());
+}
+
+TEST(MigrationJournal, TornTailTruncatedAtEveryByte) {
+  // Build a journal with a few records, then replay every byte-length
+  // prefix as if a kill had torn the last write there. Recovery must never
+  // throw, never see a torn record, and always land on a record boundary.
+  const std::string golden = temp_path("torn_golden");
+  {
+    MigrationJournal journal(golden);
+    (void)journal.load();
+    const std::uint64_t addrs[] = {1, 2, 3};
+    journal.out_freeze(addrs, node("d", 2), 3);
+    journal.in_begin(7, node("s", 1), 3);
+    const std::uint64_t commit[] = {7};
+    journal.in_commit(commit);
+  }
+  const std::vector<std::uint8_t> full = slurp(golden);
+  ASSERT_GT(full.size(), 8u);
+
+  const std::string victim = temp_path("torn_victim");
+  std::size_t max_records = 0;
+  for (std::size_t len = 0; len <= full.size(); ++len) {
+    dump(victim, std::vector<std::uint8_t>(full.begin(),
+                                           full.begin() + static_cast<std::ptrdiff_t>(len)));
+    MigrationJournal journal(victim);
+    const MigrationRecovery recovery = journal.load();
+    EXPECT_GE(recovery.records, max_records)
+        << "prefix " << len << " lost a previously complete record";
+    max_records = std::max(max_records, recovery.records);
+    // The truncation must leave a loadable file: reload sees zero torn bytes.
+    MigrationJournal again(victim);
+    EXPECT_EQ(again.load().truncated_bytes, 0u) << "prefix " << len;
+    // A commit only ever surfaces whole: addr 7 is forward iff the commit
+    // record survived, otherwise it rolls back. Never both, never lost data
+    // on the source side (freeze state is independent).
+    EXPECT_LE(recovery.forward.size() + recovery.rollback.size(), 1u);
+  }
+  std::remove(golden.c_str());
+  std::remove(victim.c_str());
+}
+
+TEST(MigrationJournal, GarbageTailIsDropped) {
+  const std::string path = temp_path("garbage");
+  {
+    MigrationJournal journal(path);
+    (void)journal.load();
+    const std::uint64_t addrs[] = {42};
+    journal.out_freeze(addrs, node("d", 2), 1);
+  }
+  std::vector<std::uint8_t> bytes = slurp(path);
+  const std::size_t valid = bytes.size();
+  for (int i = 0; i < 32; ++i) bytes.push_back(static_cast<std::uint8_t>(i * 37));
+  dump(path, bytes);
+
+  MigrationJournal journal(path);
+  const MigrationRecovery recovery = journal.load();
+  EXPECT_EQ(recovery.records, 1u);
+  EXPECT_EQ(recovery.truncated_bytes, 32u);
+  EXPECT_EQ(slurp(path).size(), valid);  // tail physically removed
+  // The journal must be appendable after truncation.
+  journal.in_begin(1, node("s", 1), 1);
+  EXPECT_TRUE(journal.state().incoming_inflight.contains(1));
+  std::remove(path.c_str());
+}
+
+// The kill-point campaign: run a full destination-side pull sequence with a
+// kill hook snapshotting the journal file after every fsync'd append, then
+// recover each snapshot and assert the never-torn invariant the cluster
+// relies on: each block is fully source-owned (rollback / absent) or fully
+// destination-owned (forward), and forward only after the commit record.
+TEST(MigrationJournal, KillPointCampaignNeverTorn) {
+  const std::string path = temp_path("killpoints");
+  const std::string snap_path = temp_path("killpoint_snap");
+  std::vector<std::vector<std::uint8_t>> snapshots;
+  {
+    MigrationJournal journal(path);
+    (void)journal.load();
+    journal.set_kill_hook([&] { snapshots.push_back(slurp(path)); });
+    const std::vector<std::uint64_t> addrs = {10, 20, 30};
+    for (const std::uint64_t addr : addrs) {
+      journal.in_begin(addr, node("s", 1), 4);
+      journal.in_copied(addr);
+    }
+    journal.in_commit(addrs);  // checkpoint would be written just before this
+  }
+  ASSERT_EQ(snapshots.size(), 7u);  // 3 x (begin + copied) + commit
+
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    dump(snap_path, snapshots[i]);
+    MigrationJournal journal(snap_path);
+    const MigrationRecovery recovery = journal.load();
+    std::set<std::uint64_t> forward(recovery.forward.begin(), recovery.forward.end());
+    std::set<std::uint64_t> rollback(recovery.rollback.begin(), recovery.rollback.end());
+    for (const std::uint64_t addr : {10u, 20u, 30u}) {
+      EXPECT_FALSE(forward.contains(addr) && rollback.contains(addr))
+          << "addr " << addr << " torn at kill point " << i;
+    }
+    if (i + 1 < snapshots.size()) {
+      // Before the commit append completes nothing may be served here.
+      EXPECT_TRUE(forward.empty()) << "kill point " << i;
+    } else {
+      EXPECT_EQ(forward, (std::set<std::uint64_t>{10, 20, 30}));
+      EXPECT_TRUE(rollback.empty());
+    }
+    // Recovery discards in-flight state: a re-pull starts clean.
+    EXPECT_TRUE(journal.state().incoming_inflight.empty());
+  }
+  std::remove(path.c_str());
+  std::remove(snap_path.c_str());
+}
+
+}  // namespace
+}  // namespace spe::cluster

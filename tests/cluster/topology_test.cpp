@@ -1,0 +1,195 @@
+// Topology and migration payload codecs (src/cluster): round-trips for
+// NodeInfo / ClusterTopology / MigrateSpec / export batches, rejection of
+// malformed and truncated bytes (these parsers face the same trust boundary
+// as the frame decoder), and the "name=host:port[*weight]" spec grammar
+// used by spe_server --cluster-nodes and cluster_ctl.
+
+#include "cluster/migration.hpp"
+#include "cluster/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spe::cluster {
+namespace {
+
+NodeInfo node(const std::string& name, std::uint16_t port, unsigned weight = 1) {
+  return NodeInfo{name, "127.0.0.1", port, weight};
+}
+
+ClusterTopology three_nodes(std::uint64_t epoch = 7) {
+  return ClusterTopology{epoch, {node("a", 1001), node("b", 1002), node("c", 1003, 2)}};
+}
+
+TEST(TopologyCodec, NodeRoundTrip) {
+  const NodeInfo original = node("shard-7", 48123, 3);
+  NodeInfo decoded;
+  ASSERT_TRUE(decode_node(encode_node(original), decoded));
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(TopologyCodec, TopologyRoundTrip) {
+  const ClusterTopology original = three_nodes();
+  ClusterTopology decoded;
+  ASSERT_TRUE(decode_topology(encode_topology(original), decoded));
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(TopologyCodec, RejectsTruncationAtEveryLength) {
+  const std::vector<std::uint8_t> bytes = encode_topology(three_nodes());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    ClusterTopology decoded;
+    EXPECT_FALSE(decode_topology(
+        std::span<const std::uint8_t>(bytes.data(), len), decoded))
+        << "accepted a " << len << "-byte prefix of " << bytes.size();
+  }
+}
+
+TEST(TopologyCodec, RejectsTrailingGarbage) {
+  std::vector<std::uint8_t> bytes = encode_node(node("a", 1));
+  bytes.push_back(0);
+  NodeInfo decoded;
+  EXPECT_FALSE(decode_node(bytes, decoded));
+}
+
+TEST(TopologyCodec, RejectsDuplicateNames) {
+  const ClusterTopology dup{1, {node("a", 1001), node("a", 1002)}};
+  ClusterTopology decoded;
+  EXPECT_FALSE(decode_topology(encode_topology(dup), decoded));
+}
+
+TEST(TopologyCodec, RejectsEmptyName) {
+  NodeInfo anon = node("", 5);
+  NodeInfo decoded;
+  EXPECT_FALSE(decode_node(encode_node(anon), decoded));
+}
+
+TEST(Topology, FindAndOwner) {
+  const ClusterTopology topo = three_nodes();
+  ASSERT_NE(topo.find("b"), nullptr);
+  EXPECT_EQ(topo.find("b")->port, 1002);
+  EXPECT_EQ(topo.find("nope"), nullptr);
+  // owner() must return a NodeInfo that lives in the topology (regression:
+  // it used to bind a reference into the temporary ring).
+  for (std::uint64_t addr = 0; addr < 256; ++addr) {
+    const NodeInfo& owner = topo.owner(addr);
+    EXPECT_NE(topo.find(owner.name), nullptr);
+    EXPECT_EQ(topo.ring().owner(addr), owner.name);
+  }
+}
+
+TEST(Topology, ZeroWeightMemberHasNoArcs) {
+  ClusterTopology topo = three_nodes();
+  topo.nodes.push_back(node("joining", 1004, 0));
+  const HashRing ring = topo.ring();
+  EXPECT_FALSE(ring.contains("joining"));
+  // ...but it is still a findable member (join starts this way).
+  EXPECT_NE(topo.find("joining"), nullptr);
+}
+
+TEST(NodeSpec, ParsesNameHostPortWeight) {
+  NodeInfo parsed;
+  ASSERT_TRUE(parse_node_spec("a=10.0.0.1:48123", parsed));
+  EXPECT_EQ(parsed, (NodeInfo{"a", "10.0.0.1", 48123, 1}));
+  ASSERT_TRUE(parse_node_spec("big=127.0.0.1:9*4", parsed));
+  EXPECT_EQ(parsed.weight, 4u);
+  EXPECT_EQ(parsed.port, 9);
+}
+
+TEST(NodeSpec, RejectsMalformed) {
+  NodeInfo parsed;
+  for (const char* bad : {"", "a=", "=1.2.3.4:5", "a=host", "a=host:", "a=h:0",
+                          "a=h:70000", "a=h:12x", "a=h:12*"})
+    EXPECT_FALSE(parse_node_spec(bad, parsed)) << "accepted '" << bad << "'";
+}
+
+TEST(NodeSpec, TopologySpecList) {
+  ClusterTopology topo;
+  ASSERT_TRUE(parse_topology_spec("a=h1:1,b=h2:2*2,c=h3:3", 9, topo));
+  EXPECT_EQ(topo.epoch, 9u);
+  ASSERT_EQ(topo.nodes.size(), 3u);
+  EXPECT_EQ(topo.nodes[1].weight, 2u);
+  EXPECT_FALSE(parse_topology_spec("a=h:1,a=h:2", 1, topo));  // dup name
+  EXPECT_FALSE(parse_topology_spec("", 1, topo));
+  EXPECT_FALSE(parse_topology_spec("a=h:1,", 1, topo));
+}
+
+TEST(MigrateCodec, SpecRoundTrip) {
+  MigrateSpec original;
+  original.mode = MigrateSpec::Mode::Pull;
+  original.epoch = 42;
+  original.peer = node("src", 48001);
+  original.addrs = {0, 7, 123456789, std::uint64_t{1} << 40};
+  MigrateSpec decoded;
+  ASSERT_TRUE(decode_migrate_spec(encode_migrate_spec(original), decoded));
+  EXPECT_EQ(decoded.mode, original.mode);
+  EXPECT_EQ(decoded.epoch, original.epoch);
+  EXPECT_EQ(decoded.peer, original.peer);
+  EXPECT_EQ(decoded.addrs, original.addrs);
+}
+
+TEST(MigrateCodec, RejectsBadModeAndEmptyAddrs) {
+  MigrateSpec spec;
+  spec.peer = node("p", 1);
+  spec.addrs = {1};
+  std::vector<std::uint8_t> bytes = encode_migrate_spec(spec);
+  bytes[0] = 0;  // below Freeze
+  MigrateSpec decoded;
+  EXPECT_FALSE(decode_migrate_spec(bytes, decoded));
+  bytes[0] = 99;  // above Checkpoint
+  EXPECT_FALSE(decode_migrate_spec(bytes, decoded));
+
+  // Data-moving modes need at least one address...
+  spec.addrs.clear();
+  EXPECT_FALSE(decode_migrate_spec(encode_migrate_spec(spec), decoded));
+  // ...but the admin Checkpoint ping does not.
+  spec.mode = MigrateSpec::Mode::Checkpoint;
+  EXPECT_TRUE(decode_migrate_spec(encode_migrate_spec(spec), decoded));
+}
+
+TEST(MigrateCodec, SpecRejectsTruncation) {
+  MigrateSpec spec;
+  spec.mode = MigrateSpec::Mode::Freeze;
+  spec.peer = node("p", 1);
+  spec.addrs = {1, 2, 3};
+  const std::vector<std::uint8_t> bytes = encode_migrate_spec(spec);
+  MigrateSpec decoded;
+  for (std::size_t len = 0; len < bytes.size(); ++len)
+    EXPECT_FALSE(decode_migrate_spec(
+        std::span<const std::uint8_t>(bytes.data(), len), decoded))
+        << "accepted a " << len << "-byte prefix";
+}
+
+TEST(MigrateCodec, ExportRoundTrip) {
+  constexpr std::size_t kBlock = 16;
+  std::vector<ExportedBlock> original(3);
+  original[0] = {5, true, std::vector<std::uint8_t>(kBlock, 0xAB)};
+  original[1] = {6, false, {}};  // absent on the source
+  original[2] = {9, true, std::vector<std::uint8_t>(kBlock, 0x01)};
+  std::vector<ExportedBlock> decoded;
+  ASSERT_TRUE(decode_export(encode_export(original), kBlock, decoded));
+  ASSERT_EQ(decoded.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded[i].addr, original[i].addr);
+    EXPECT_EQ(decoded[i].present, original[i].present);
+    EXPECT_EQ(decoded[i].data, original[i].data);
+  }
+}
+
+TEST(MigrateCodec, ExportPinsBlockSize) {
+  std::vector<ExportedBlock> blocks(1);
+  blocks[0] = {1, true, std::vector<std::uint8_t>(16, 0xCD)};
+  const std::vector<std::uint8_t> bytes = encode_export(blocks);
+  std::vector<ExportedBlock> decoded;
+  // Length confusion on this path would write a wrong-sized block into the
+  // destination: a 16-byte image must not decode as any other size.
+  EXPECT_TRUE(decode_export(bytes, 16, decoded));
+  EXPECT_FALSE(decode_export(bytes, 32, decoded));
+  EXPECT_FALSE(decode_export(bytes, 8, decoded));
+}
+
+}  // namespace
+}  // namespace spe::cluster
