@@ -1,10 +1,20 @@
 #pragma once
 // Shared helpers for the table/figure reproduction harnesses and the
 // serving-layer binaries (spe_server, loadgen): env overrides, a banner,
-// and one tiny argv parser so every bench spells flags the same way.
+// one tiny argv parser so every bench spells flags the same way — and the
+// single JSON emitter for the perf-trajectory files (BENCH_throughput.json,
+// BENCH_latency.json). Every harness that writes those files goes through
+// write_throughput_json() / write_latency_json() so the schema (see
+// scripts/bench_throughput.schema.json) cannot fork per binary: one schema
+// tag, harness name in `source`, run shape in `config`, plus the git SHA
+// the numbers were measured at.
 
+#include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -93,5 +103,142 @@ private:
   std::vector<std::string> tokens_;
   std::vector<bool> used_;
 };
+
+// --- perf-trajectory JSON emitter -------------------------------------------
+
+inline constexpr const char* kThroughputSchema = "spe.bench.throughput.v2";
+inline constexpr const char* kLatencySchema = "spe.bench.latency.v2";
+
+/// The git SHA stamped into every bench report: SPE_GIT_SHA when set (CI can
+/// pin it), else `git rev-parse --short HEAD`, else "unknown" (tarball
+/// builds). Never throws.
+inline std::string git_sha() {
+  if (const char* env = std::getenv("SPE_GIT_SHA"); env && *env) return env;
+  std::string sha;
+  if (std::FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof buf, pipe)) sha = buf;
+    ::pclose(pipe);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) sha.pop_back();
+  for (const char c : sha)
+    if (!std::isxdigit(static_cast<unsigned char>(c))) return "unknown";
+  return sha.empty() ? "unknown" : sha;
+}
+
+/// Bytes moved per cycle at the 1 GHz nominal clock the perf docs quote
+/// (bytes/s / 1e9) — keeps the trajectory comparable across hosts whose
+/// real clocks differ but whose relative regressions matter.
+inline double bytes_per_cycle(double ops_per_sec, unsigned bytes_per_op) {
+  return ops_per_sec * static_cast<double>(bytes_per_op) / 1e9;
+}
+
+struct ThroughputReport {
+  std::string source;  ///< which harness produced it ("loadgen", ...)
+  std::string config;  ///< run-shape fingerprint ("4w/8s window=256 ...")
+  std::uint64_t ops = 0;
+  double ops_per_sec = 0.0;
+  double bytes_per_cycle = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// One row of the batch-size sweep (BENCH_latency.json). batch == 1 is the
+/// scalar reference configuration.
+struct LatencyRow {
+  unsigned batch = 1;
+  double ops_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+struct LatencyReport {
+  std::string source;
+  std::string config;
+  std::vector<LatencyRow> rows;
+};
+
+/// Scans `text` for `"key": <number>`; false when absent/malformed.
+inline bool json_number(const std::string& text, const std::string& key,
+                        double& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const char* start = text.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  out = v;
+  return true;
+}
+
+/// Prints the delta against the previous file (if readable), then writes
+/// the new report. Returns false when the file cannot be written.
+inline bool write_throughput_json(const std::string& path,
+                                  const ThroughputReport& report) {
+  {
+    std::ifstream in(path);
+    std::stringstream buf;
+    if (in) buf << in.rdbuf();
+    double prev_ops_per_sec = 0.0, prev_p99 = 0.0;
+    if (json_number(buf.str(), "ops_per_sec", prev_ops_per_sec) &&
+        prev_ops_per_sec > 0.0) {
+      const double pct =
+          (report.ops_per_sec - prev_ops_per_sec) / prev_ops_per_sec * 100.0;
+      std::printf("bench delta vs %s: %.1f -> %.1f kops/s (%+.1f%%)",
+                  path.c_str(), prev_ops_per_sec / 1000.0,
+                  report.ops_per_sec / 1000.0, pct);
+      if (json_number(buf.str(), "p99_us", prev_p99) && prev_p99 > 0.0)
+        std::printf(", p99 %.1f -> %.1f us", prev_p99, report.p99_us);
+      std::printf("\n");
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_util: cannot write %s\n", path.c_str());
+    return false;
+  }
+  char line[768];
+  std::snprintf(line, sizeof line,
+                "{\"schema\": \"%s\", \"source\": \"%s\", \"git_sha\": \"%s\", "
+                "\"config\": \"%s\", \"ops\": %llu, \"ops_per_sec\": %.1f, "
+                "\"bytes_per_cycle\": %.6f, "
+                "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f}\n",
+                kThroughputSchema, report.source.c_str(), git_sha().c_str(),
+                report.config.c_str(),
+                static_cast<unsigned long long>(report.ops), report.ops_per_sec,
+                report.bytes_per_cycle, report.p50_us, report.p95_us,
+                report.p99_us);
+  out << line;
+  return static_cast<bool>(out);
+}
+
+/// Writes the batch-size sweep. Same overwrite discipline as the throughput
+/// file; no delta line (the compare script reasons about rows).
+inline bool write_latency_json(const std::string& path,
+                               const LatencyReport& report) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_util: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\"schema\": \"" << kLatencySchema << "\", \"source\": \""
+      << report.source << "\", \"git_sha\": \"" << git_sha()
+      << "\", \"config\": \"" << report.config << "\", \"rows\": [";
+  char row[256];
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const LatencyRow& r = report.rows[i];
+    std::snprintf(row, sizeof row,
+                  "%s\n  {\"batch\": %u, \"ops_per_sec\": %.1f, \"p50_us\": %.1f, "
+                  "\"p95_us\": %.1f, \"p99_us\": %.1f}",
+                  i == 0 ? "" : ",", r.batch, r.ops_per_sec, r.p50_us, r.p95_us,
+                  r.p99_us);
+    out << row;
+  }
+  out << "\n]}\n";
+  return static_cast<bool>(out);
+}
 
 }  // namespace spe::benchutil

@@ -46,7 +46,6 @@
 #include <unordered_set>
 #include <vector>
 
-#include "bench_report.hpp"
 #include "bench_util.hpp"
 #include "cluster/cluster_client.hpp"
 #include "net/client.hpp"
@@ -445,8 +444,13 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     spe::benchutil::ThroughputReport report;
     report.source = cluster ? "loadgen-cluster" : "loadgen";
+    report.config = std::to_string(connections) + "c depth=" +
+                    std::to_string(depth) + " write_pct=" +
+                    std::to_string(write_pct) + " stripe=" + std::to_string(stripe);
     report.ops = ops;
     report.ops_per_sec = static_cast<double>(ops) / elapsed;
+    report.bytes_per_cycle = spe::benchutil::bytes_per_cycle(
+        report.ops_per_sec, /*bytes_per_op=*/64);
     report.p50_us = us(merged.p50());
     report.p95_us = us(merged.p95());
     report.p99_us = us(merged.p99());

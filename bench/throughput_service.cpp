@@ -17,11 +17,17 @@
 // Flags: --smoke, --ops N, --window N, --workload NAME (each flag falls
 // back to its environment override when absent), --json PATH (table mode:
 // write the best-config row as a BENCH_throughput.json report and print a
-// delta line against the previous file at that path).
+// delta line against the previous file at that path), --latency-json PATH
+// (run the batched-cipher sweep — batch sizes 1/2/4/8/16/32 through the
+// batch submit API, batch 1 = scalar cipher reference — and write the rows
+// as BENCH_latency.json), --min-batch-speedup X (with the sweep: fail the
+// run unless some batch >= 8 row reaches X times the scalar row's ops/s;
+// the CI perf gate passes 1.5).
 // Overrides: SPE_SVC_OPS (trace length), SPE_SVC_WORKLOAD (suite name),
 //            SPE_SVC_WINDOW (max outstanding submissions per client),
 //            SPE_OBS_MAX_OVERHEAD (--smoke gate, percent),
-//            SPE_METRICS_OUT (metrics dump path).
+//            SPE_METRICS_OUT (metrics dump path),
+//            SPE_GIT_SHA (report stamp override, see bench_util).
 //
 // The --smoke gate verdict never depends on the metrics dump: a failed
 // gate prints exactly one "SMOKE FAIL: <reason>" line on stderr and exits
@@ -36,7 +42,6 @@
 #include <string>
 #include <vector>
 
-#include "bench_report.hpp"
 #include "bench_util.hpp"
 #include "obs/trace.hpp"
 #include "runtime/memory_service.hpp"
@@ -74,6 +79,7 @@ std::vector<TraceOp> build_trace(const std::string& workload, unsigned ops) {
 struct RunResult {
   double seconds = 0.0;
   double ops_per_sec = 0.0;
+  unsigned block_bytes = 0;
   ServiceStatsSnapshot stats;
   std::string metrics;  ///< Prometheus export taken before shutdown
 };
@@ -118,6 +124,7 @@ RunResult replay(const std::vector<TraceOp>& trace, unsigned workers, unsigned s
 
   RunResult result;
   result.stats = service.stats();
+  result.block_bytes = block_bytes;
   result.seconds = std::chrono::duration<double>(elapsed).count();
   result.ops_per_sec =
       static_cast<double>(result.stats.total_ops()) / result.seconds;
@@ -127,6 +134,90 @@ RunResult replay(const std::vector<TraceOp>& trace, unsigned workers, unsigned s
 }
 
 double us(std::chrono::nanoseconds ns) { return static_cast<double>(ns.count()) / 1000.0; }
+
+// One row of the batched-cipher sweep: the same trace replayed through the
+// batch submit API in groups of `batch` same-kind ops. batch == 1 is the
+// scalar reference (batch_cipher off); batch > 1 runs the SpecuBatch fast
+// path on every drained run (batch_min_size 1 — run grouping is what the
+// submit batches create, engagement is what the sweep measures).
+spe::benchutil::LatencyRow sweep_run(const std::vector<TraceOp>& trace,
+                                     unsigned batch, std::size_t window) {
+  ServiceConfig cfg;
+  cfg.worker_threads = 4;
+  cfg.shards = 8;
+  cfg.queue_capacity = std::max<std::size_t>(window * 2, batch * 2);
+  cfg.batch_cipher = batch > 1;
+  cfg.batch_min_size = 1;
+  // The sweep gates the *cipher* trajectory: SEC-DED verify costs the same
+  // in every row (it has its own campaign coverage), so it is switched off
+  // here — otherwise it dilutes the scalar-vs-batched signal the perf gate
+  // watches.
+  cfg.ecc_enabled = false;
+  cfg.obs.trace = false;
+  spe::obs::Tracer::instance().disable();
+  MemoryService service(cfg);
+  const unsigned block_bytes = service.block_bytes();
+
+  std::deque<std::future<void>> writes;
+  std::deque<std::future<std::vector<std::uint8_t>>> reads;
+  std::vector<std::uint64_t> read_group, write_group;
+  std::vector<std::uint8_t> write_data;
+  const auto flush_reads = [&] {
+    if (read_group.empty()) return;
+    for (auto& f : service.submit_read_batch(read_group))
+      reads.push_back(std::move(f));
+    read_group.clear();
+  };
+  const auto flush_writes = [&] {
+    if (write_group.empty()) return;
+    for (auto& f : service.submit_write_batch(write_group, write_data))
+      writes.push_back(std::move(f));
+    write_group.clear();
+    write_data.clear();
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  for (const TraceOp& op : trace) {
+    if (op.is_write) {
+      flush_reads();  // keep groups kind-pure (they become same-kind runs)
+      write_group.push_back(op.block);
+      const std::size_t off = write_data.size();
+      write_data.resize(off + block_bytes);
+      for (unsigned i = 0; i < block_bytes; ++i)
+        write_data[off + i] = static_cast<std::uint8_t>(op.block * 7 + i);
+      if (write_group.size() >= batch) flush_writes();
+    } else {
+      flush_writes();
+      read_group.push_back(op.block);
+      if (read_group.size() >= batch) flush_reads();
+    }
+    while (writes.size() + reads.size() >= window) {
+      if (!writes.empty()) {
+        writes.front().get();
+        writes.pop_front();
+      } else {
+        (void)reads.front().get();
+        reads.pop_front();
+      }
+    }
+  }
+  flush_reads();
+  flush_writes();
+  for (auto& f : writes) f.get();
+  for (auto& f : reads) (void)f.get();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  const ServiceStatsSnapshot stats = service.stats();
+  service.stop();
+  spe::benchutil::LatencyRow row;
+  row.batch = batch;
+  row.ops_per_sec = static_cast<double>(stats.total_ops()) /
+                    std::chrono::duration<double>(elapsed).count();
+  row.p50_us = us(stats.totals.read_latency.p50());
+  row.p95_us = us(stats.totals.read_latency.p95());
+  row.p99_us = us(stats.totals.read_latency.p99());
+  return row;
+}
 
 void dump_metrics(const std::string& metrics, bool to_stdout) {
   if (const char* path = std::getenv("SPE_METRICS_OUT"); path && *path) {
@@ -187,7 +278,11 @@ int main(int argc, char** argv) {
   const std::string workload = args.str(
       "workload", workload_env && *workload_env ? workload_env : "bzip2");
   const std::string json_path = args.str("json", "");
+  const std::string latency_json_path = args.str("latency-json", "");
+  const std::string min_speedup_str = args.str("min-batch-speedup", "");
   if (!args.ok(stderr)) return 2;
+  const double min_batch_speedup =
+      min_speedup_str.empty() ? 0.0 : std::strtod(min_speedup_str.c_str(), nullptr);
 
   if (smoke) {
     std::printf("throughput_service --smoke: %s, %u block ops, window %u\n",
@@ -228,15 +323,20 @@ int main(int argc, char** argv) {
                           "wr p99us", "coalesced", "hwm"});
   double base_ops_per_sec = 0.0;
   std::string last_metrics;
+  unsigned block_bytes = 0;
   spe::benchutil::ThroughputReport best;
+  best.source = "throughput_service";
   for (const Config& c : configs) {
     const RunResult r = replay(trace, c.workers, c.shards, window);
     last_metrics = r.metrics;
+    block_bytes = r.block_bytes;
     if (r.ops_per_sec > best.ops_per_sec) {
-      best.source = "throughput_service " + std::to_string(c.workers) + "w/" +
-                    std::to_string(c.shards) + "s";
+      best.config = std::to_string(c.workers) + "w/" + std::to_string(c.shards) +
+                    "s window=" + std::to_string(window) + " workload=" + workload;
       best.ops = r.stats.total_ops();
       best.ops_per_sec = r.ops_per_sec;
+      best.bytes_per_cycle =
+          spe::benchutil::bytes_per_cycle(r.ops_per_sec, r.block_bytes);
       best.p50_us = us(r.stats.totals.read_latency.p50());
       best.p95_us = us(r.stats.totals.read_latency.p95());
       best.p99_us = us(r.stats.totals.read_latency.p99());
@@ -265,5 +365,37 @@ int main(int argc, char** argv) {
   if (!json_path.empty() &&
       !spe::benchutil::write_throughput_json(json_path, best))
     return 1;
+
+  if (!latency_json_path.empty()) {
+    std::printf("\nbatched-cipher sweep (4w/8s, batch 1 = scalar reference):\n");
+    spe::benchutil::LatencyReport sweep;
+    sweep.source = "throughput_service";
+    sweep.config = "4w/8s window=" + std::to_string(window) +
+                   " workload=" + workload + " block_bytes=" +
+                   std::to_string(block_bytes);
+    double scalar_ops_per_sec = 0.0;
+    double best_batched_speedup = 0.0;
+    for (const unsigned batch : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      const spe::benchutil::LatencyRow row = sweep_run(trace, batch, window);
+      sweep.rows.push_back(row);
+      if (batch == 1) scalar_ops_per_sec = row.ops_per_sec;
+      const double speedup =
+          scalar_ops_per_sec > 0.0 ? row.ops_per_sec / scalar_ops_per_sec : 0.0;
+      if (batch >= 8 && speedup > best_batched_speedup)
+        best_batched_speedup = speedup;
+      std::printf("  batch %2u: %8.1f kops/s (%.2fx)  p50=%.1fus p99=%.1fus\n",
+                  batch, row.ops_per_sec / 1000.0, speedup, row.p50_us,
+                  row.p99_us);
+    }
+    if (!spe::benchutil::write_latency_json(latency_json_path, sweep)) return 1;
+    std::printf("sweep written to %s; batch>=8 speedup %.2fx\n",
+                latency_json_path.c_str(), best_batched_speedup);
+    if (min_batch_speedup > 0.0 && best_batched_speedup < min_batch_speedup) {
+      std::fprintf(stderr,
+                   "BENCH FAIL: batch>=8 speedup %.2fx below required %.2fx\n",
+                   best_batched_speedup, min_batch_speedup);
+      return 1;
+    }
+  }
   return 0;
 }

@@ -7,6 +7,35 @@ namespace spe::core {
 namespace {
 constexpr std::uint64_t kChainInit = 0x510E527FADE682D1ull;
 constexpr std::uint64_t kDigestInit = 0x9B05688C2B3E6C1Full;
+
+// Shared per-pass math: one definition for the scalar and fast paths so the
+// two cannot drift apart (the loop structures differ; the arithmetic must
+// not).
+inline std::uint64_t pass_base(std::uint64_t digest, std::uint64_t fingerprint,
+                               const PulseStep& step, unsigned step_index,
+                               unsigned pass) noexcept {
+  return digest ^ fingerprint ^ (std::uint64_t{step.pulse_code} << 32) ^
+         (std::uint64_t{step.poe_cell} << 40) ^ (std::uint64_t{step_index} << 48) ^
+         (std::uint64_t{pass} << 56);
+}
+
+inline void transform_params(std::uint64_t base, std::uint64_t chain, unsigned tier,
+                             unsigned pulse_code, std::size_t library_size,
+                             unsigned& code, unsigned& rot) noexcept {
+  const std::uint64_t h = util::mix64(base ^ chain ^ (std::uint64_t{tier} << 8));
+  code = (pulse_code ^ static_cast<unsigned>(h & 31)) % library_size;
+  rot = static_cast<unsigned>((h >> 5) & (CipherCalibration::kLevels - 1));
+}
+
+inline std::uint64_t fold_chain(std::uint64_t chain, std::uint8_t level,
+                                std::uint16_t cell) noexcept {
+  return util::mix64(chain ^ (std::uint64_t{level} << 8) ^ cell);
+}
+
+/// Per-cell term of the outside-state digest (order-independent XOR fold).
+inline std::uint64_t cell_digest_term(std::uint8_t level, unsigned cell) noexcept {
+  return util::mix64((std::uint64_t{level} << 16) | cell);
+}
 }  // namespace
 
 SpeCipher::SpeCipher(const SpeKey& key, std::shared_ptr<const CipherCalibration> calibration,
@@ -34,7 +63,7 @@ std::uint64_t SpeCipher::outside_digest(const UnitLevels& levels,
   // recompute it.
   std::uint64_t digest = kDigestInit;
   for (unsigned i = 0; i < levels.size(); ++i) {
-    if (!in_shape[i]) digest ^= util::mix64((std::uint64_t{levels[i]} << 16) | i);
+    if (!in_shape[i]) digest ^= cell_digest_term(levels[i], i);
   }
   return digest;
 }
@@ -44,23 +73,11 @@ void SpeCipher::apply_pass(UnitLevels& levels, const CipherCalibration::Shape& s
                            std::uint64_t digest, bool reverse_order, bool encrypt) const {
   const unsigned count = static_cast<unsigned>(shape.cells.size());
   if (count == 0) return;
-  const std::uint64_t base = digest ^ cal_->fingerprint() ^
-                             (std::uint64_t{step.pulse_code} << 32) ^
-                             (std::uint64_t{step.poe_cell} << 40) ^
-                             (std::uint64_t{step_index} << 48) ^
-                             (std::uint64_t{pass} << 56);
+  const std::uint64_t base = pass_base(digest, cal_->fingerprint(), step, step_index, pass);
+  const std::size_t library_size = cal_->library().size();
 
   auto cell_at = [&](unsigned pos) {
     return reverse_order ? count - 1 - pos : pos;
-  };
-  auto transform_params = [&](std::uint64_t chain, unsigned tier, unsigned& code,
-                              unsigned& rot) {
-    const std::uint64_t h = util::mix64(base ^ chain ^ (std::uint64_t{tier} << 8));
-    code = (step.pulse_code ^ static_cast<unsigned>(h & 31)) % cal_->library().size();
-    rot = static_cast<unsigned>((h >> 5) & (CipherCalibration::kLevels - 1));
-  };
-  auto fold_chain = [](std::uint64_t chain, std::uint8_t level, std::uint16_t cell) {
-    return util::mix64(chain ^ (std::uint64_t{level} << 8) ^ cell);
   };
 
   if (encrypt) {
@@ -70,7 +87,7 @@ void SpeCipher::apply_pass(UnitLevels& levels, const CipherCalibration::Shape& s
       const std::uint16_t cell = shape.cells[k];
       const unsigned tier = shape.tiers[k];
       unsigned code, rot;
-      transform_params(chain, tier, code, rot);
+      transform_params(base, chain, tier, step.pulse_code, library_size, code, rot);
       const std::uint8_t old = levels[cell];
       const std::uint8_t fresh =
           cal_->perm(code, tier)[(old + rot) % CipherCalibration::kLevels];
@@ -90,7 +107,7 @@ void SpeCipher::apply_pass(UnitLevels& levels, const CipherCalibration::Shape& s
       const std::uint16_t cell = shape.cells[k];
       const unsigned tier = shape.tiers[k];
       unsigned code, rot;
-      transform_params(chain, tier, code, rot);
+      transform_params(base, chain, tier, step.pulse_code, library_size, code, rot);
       const std::uint8_t inv = cal_->inv_perm(code, tier)[levels[cell]];
       levels[cell] = static_cast<std::uint8_t>(
           (inv + CipherCalibration::kLevels - rot) % CipherCalibration::kLevels);
@@ -182,6 +199,113 @@ void SpeCipher::bytes_from_levels(const UnitLevels& levels, std::span<std::uint8
     const unsigned logic = device::MlcCodec::logic_bits_for_symbol(symbol);
     out[i / 4] |= static_cast<std::uint8_t>(logic << (6 - 2 * (i % 4)));
   }
+}
+
+void SpeCipher::init_fast_scratch(std::span<const std::uint8_t> levels,
+                                  FastScratch& scratch) const {
+  const unsigned cells = cell_count();
+  if (levels.size() != cells)
+    throw std::invalid_argument("SpeCipher::init_fast_scratch: size");
+  scratch.cell_hash.resize(cells);
+  scratch.chain_prefix.resize(cells + 1);
+  scratch.all_fold = 0;
+  for (unsigned i = 0; i < cells; ++i) {
+    scratch.cell_hash[i] = cell_digest_term(levels[i], i);
+    scratch.all_fold ^= scratch.cell_hash[i];
+  }
+}
+
+void SpeCipher::apply_pass_fast(std::span<std::uint8_t> levels,
+                                const CipherCalibration::Shape& shape,
+                                const PulseStep& step, unsigned step_index, unsigned pass,
+                                std::uint64_t digest, bool reverse_order, bool encrypt,
+                                FastScratch& scratch) const {
+  const unsigned count = static_cast<unsigned>(shape.cells.size());
+  if (count == 0) return;
+  const std::uint64_t base = pass_base(digest, cal_->fingerprint(), step, step_index, pass);
+  const std::size_t library_size = cal_->library().size();
+
+  auto cell_at = [&](unsigned pos) {
+    return reverse_order ? count - 1 - pos : pos;
+  };
+
+  if (encrypt) {
+    std::uint64_t chain = kChainInit;
+    for (unsigned pos = 0; pos < count; ++pos) {
+      const unsigned k = cell_at(pos);
+      const std::uint16_t cell = shape.cells[k];
+      const unsigned tier = shape.tiers[k];
+      unsigned code, rot;
+      transform_params(base, chain, tier, step.pulse_code, library_size, code, rot);
+      const std::uint8_t old = levels[cell];
+      const std::uint8_t fresh =
+          cal_->perm(code, tier)[(old + rot) % CipherCalibration::kLevels];
+      levels[cell] = fresh;
+      chain = fold_chain(chain, fresh, cell);
+    }
+  } else {
+    // Inverse pass, O(n): every position still holds its pass output when the
+    // pass starts, and position q only changes after every pos > q has been
+    // inverted — so the chain each position needs (a fold over positions
+    // 0..pos-1 of their pass outputs) can be precomputed once up front.
+    auto& prefix = scratch.chain_prefix;
+    prefix[0] = kChainInit;
+    for (unsigned p = 0; p < count; ++p) {
+      const unsigned kp = cell_at(p);
+      prefix[p + 1] = fold_chain(prefix[p], levels[shape.cells[kp]], shape.cells[kp]);
+    }
+    for (unsigned pos = count; pos-- > 0;) {
+      const unsigned k = cell_at(pos);
+      const std::uint16_t cell = shape.cells[k];
+      const unsigned tier = shape.tiers[k];
+      unsigned code, rot;
+      transform_params(base, prefix[pos], tier, step.pulse_code, library_size, code, rot);
+      const std::uint8_t inv = cal_->inv_perm(code, tier)[levels[cell]];
+      levels[cell] = static_cast<std::uint8_t>(
+          (inv + CipherCalibration::kLevels - rot) % CipherCalibration::kLevels);
+    }
+  }
+}
+
+void SpeCipher::apply_pulse_fast(std::span<std::uint8_t> levels, const PulseStep& step,
+                                 unsigned step_index, bool encrypt,
+                                 FastScratch& scratch) const {
+  const CipherCalibration::Shape& shape = cal_->shape(step.poe_cell);
+  // outside_digest without the rescan: XOR the covered cells' terms back out
+  // of the all-cells fold.
+  std::uint64_t digest = kDigestInit ^ scratch.all_fold;
+  for (std::uint16_t c : shape.cells) digest ^= scratch.cell_hash[c];
+  if (encrypt) {
+    apply_pass_fast(levels, shape, step, step_index, 0, digest, false, true, scratch);
+    apply_pass_fast(levels, shape, step, step_index, 1, digest, true, true, scratch);
+  } else {
+    apply_pass_fast(levels, shape, step, step_index, 1, digest, true, false, scratch);
+    apply_pass_fast(levels, shape, step, step_index, 0, digest, false, false, scratch);
+  }
+  // Only the covered cells moved; refresh their digest terms.
+  for (std::uint16_t c : shape.cells) {
+    const std::uint64_t h = cell_digest_term(levels[c], c);
+    scratch.all_fold ^= scratch.cell_hash[c] ^ h;
+    scratch.cell_hash[c] = h;
+  }
+}
+
+void SpeCipher::encrypt_step_fast(std::span<std::uint8_t> levels, unsigned step,
+                                  FastScratch& scratch) const {
+  if (levels.size() != cell_count() || scratch.cell_hash.size() != cell_count())
+    throw std::invalid_argument("SpeCipher::encrypt_step_fast: size");
+  if (step >= schedule_.steps().size())
+    throw std::out_of_range("SpeCipher::encrypt_step_fast: step index");
+  apply_pulse_fast(levels, schedule_.steps()[step], step, true, scratch);
+}
+
+void SpeCipher::decrypt_step_fast(std::span<std::uint8_t> levels, unsigned step,
+                                  FastScratch& scratch) const {
+  if (levels.size() != cell_count() || scratch.cell_hash.size() != cell_count())
+    throw std::invalid_argument("SpeCipher::decrypt_step_fast: size");
+  if (step >= schedule_.steps().size())
+    throw std::out_of_range("SpeCipher::decrypt_step_fast: step index");
+  apply_pulse_fast(levels, schedule_.steps()[step], step, false, scratch);
 }
 
 void SpeCipher::encrypt_bytes(std::span<const std::uint8_t> plaintext,

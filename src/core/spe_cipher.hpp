@@ -83,6 +83,26 @@ public:
   void encrypt_bytes(std::span<const std::uint8_t> plaintext,
                      std::span<std::uint8_t> ciphertext) const;
 
+  // --- batched fast path (SpecuBatch) --------------------------------------
+  // Bit-identical reformulation of encrypt_step / decrypt_step for the batch
+  // engine. The caller seeds a FastScratch once per unit operation; the
+  // scratch carries an incremental per-cell digest cache (outside_digest
+  // becomes an XOR delta instead of a full rescan) and a chain-prefix buffer
+  // that turns the inverse pass's per-position chain replay into one O(n)
+  // sweep. Steps run in place on the caller's storage — no per-step copies.
+  // The scalar path above stays the reference oracle; the differential suite
+  // (tests/core/batch_equivalence_test) pins fast == scalar byte-for-byte.
+  struct FastScratch {
+    std::vector<std::uint64_t> cell_hash;     ///< mix64((level << 16) | i) per cell
+    std::uint64_t all_fold = 0;               ///< XOR of cell_hash over all cells
+    std::vector<std::uint64_t> chain_prefix;  ///< per-pass inverse-chain buffer
+  };
+  void init_fast_scratch(std::span<const std::uint8_t> levels, FastScratch& scratch) const;
+  void encrypt_step_fast(std::span<std::uint8_t> levels, unsigned step,
+                         FastScratch& scratch) const;
+  void decrypt_step_fast(std::span<std::uint8_t> levels, unsigned step,
+                         FastScratch& scratch) const;
+
 private:
   void apply_pulse(UnitLevels& levels, const PulseStep& step, unsigned step_index,
                    bool encrypt) const;
@@ -91,6 +111,12 @@ private:
                   std::uint64_t digest, bool reverse_order, bool encrypt) const;
   [[nodiscard]] std::uint64_t outside_digest(const UnitLevels& levels,
                                              const CipherCalibration::Shape& shape) const;
+  void apply_pulse_fast(std::span<std::uint8_t> levels, const PulseStep& step,
+                        unsigned step_index, bool encrypt, FastScratch& scratch) const;
+  void apply_pass_fast(std::span<std::uint8_t> levels,
+                       const CipherCalibration::Shape& shape, const PulseStep& step,
+                       unsigned step_index, unsigned pass, std::uint64_t digest,
+                       bool reverse_order, bool encrypt, FastScratch& scratch) const;
 
   std::shared_ptr<const CipherCalibration> cal_;
   AddressLut addresses_;

@@ -10,8 +10,6 @@
 namespace spe::core {
 
 namespace {
-// Per-pulse ageing relative to a full write (Section 5.2 / wear module).
-constexpr double kSpePulseWear = 0.02;
 constexpr std::uint64_t kEpochInit = 0x243F6A8885A308D3ull;
 }  // namespace
 
@@ -107,7 +105,7 @@ void Specu::encrypt_block_in_place(std::uint64_t addr, Snvmm::Block& block,
     }
     ++stats_.encrypt_ops;
     // Section 5.2: each PoE pulse ages the cells by ~2% of a full write.
-    block.wear += kSpePulseWear * static_cast<double>(sched - first);
+    block.wear += kPulseWear * static_cast<double>(sched - first);
   }
   block.encrypted = true;
   journal.commit(addr);
@@ -134,7 +132,7 @@ void Specu::decrypt_block_in_place(std::uint64_t addr, Snvmm::Block& block) {
       journal.advance(addr);
     }
     ++stats_.decrypt_ops;
-    block.wear += kSpePulseWear * static_cast<double>(sched);
+    block.wear += kPulseWear * static_cast<double>(sched);
   }
   block.encrypted = false;
   journal.commit(addr);

@@ -33,6 +33,10 @@ enum class SpeMode { Serial, Parallel };
 
 class Specu {
 public:
+  /// Per-pulse ageing relative to a full write (Section 5.2 / wear module).
+  /// Shared with the batched fast path so both charge identical wear.
+  static constexpr double kPulseWear = 0.02;
+
   /// Creates the control unit for `memory`. No key yet: reads/writes throw
   /// until power_on() succeeds.
   Specu(Snvmm& memory, SpeMode mode, std::vector<unsigned> poes = {});
@@ -114,6 +118,11 @@ public:
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
 private:
+  // The batched fast path (specu_batch.cpp) replicates the scalar read/write
+  // semantics — spans, journal intents, stats, wear, pending set — against
+  // the same private state; the differential suite keeps the two identical.
+  friend class SpecuBatch;
+
   [[nodiscard]] const SpeCipher& cipher(unsigned unit) const { return *ciphers_.at(unit); }
   [[nodiscard]] unsigned schedule_length() const;
   void begin_intent(std::uint64_t addr, JournalOp op, std::uint32_t progress,

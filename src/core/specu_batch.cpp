@@ -1,0 +1,131 @@
+#include "core/specu_batch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+
+namespace spe::core {
+
+void SpecuBatch::encrypt_block_fast(std::uint64_t addr, Snvmm::Block& block) {
+  Specu& u = specu_;
+  const unsigned cells = u.calibration_->cell_count();
+  const unsigned sched = u.schedule_length();
+  obs::Span span("specu.encrypt", addr);
+  span.set_a1(u.pulses_per_block());
+  u.stats_.encrypt_pulses += u.pulses_per_block();
+  IntentJournal& journal = u.memory_.journal();
+  scratch_.resize(u.ciphers_.size());
+  for (unsigned unit = 0; unit < u.ciphers_.size(); ++unit) {
+    const SpeCipher& cipher = *u.ciphers_[unit];
+    const std::span<std::uint8_t> levels(block.levels.data() + unit * cells, cells);
+    cipher.init_fast_scratch(levels, scratch_[unit]);
+    for (unsigned s = 0; s < sched; ++s) {
+      // Same advance cadence as the scalar path: the array state between any
+      // two advances is exactly what a power loss there would leave behind.
+      cipher.encrypt_step_fast(levels, s, scratch_[unit]);
+      journal.advance(addr);
+    }
+    ++u.stats_.encrypt_ops;
+    block.wear += Specu::kPulseWear * static_cast<double>(sched);
+  }
+  block.encrypted = true;
+  journal.commit(addr);
+}
+
+void SpecuBatch::decrypt_block_fast(std::uint64_t addr, Snvmm::Block& block) {
+  Specu& u = specu_;
+  const unsigned cells = u.calibration_->cell_count();
+  const unsigned sched = u.schedule_length();
+  obs::Span span("specu.decrypt", addr);
+  span.set_a1(u.pulses_per_block());
+  u.stats_.decrypt_pulses += u.pulses_per_block();
+  IntentJournal& journal = u.memory_.journal();
+  u.begin_intent(addr, JournalOp::Decrypt, 0, u.pulses_per_block(), block.levels);
+  scratch_.resize(u.ciphers_.size());
+  for (unsigned unit = 0; unit < u.ciphers_.size(); ++unit) {
+    const SpeCipher& cipher = *u.ciphers_[unit];
+    const std::span<std::uint8_t> levels(block.levels.data() + unit * cells, cells);
+    cipher.init_fast_scratch(levels, scratch_[unit]);
+    for (unsigned s = sched; s-- > 0;) {
+      cipher.decrypt_step_fast(levels, s, scratch_[unit]);
+      journal.advance(addr);
+    }
+    ++u.stats_.decrypt_ops;
+    block.wear += Specu::kPulseWear * static_cast<double>(sched);
+  }
+  block.encrypted = false;
+  journal.commit(addr);
+}
+
+void SpecuBatch::write_block(std::uint64_t block_addr, std::span<const std::uint8_t> data) {
+  Specu& u = specu_;
+  if (!u.powered()) throw std::logic_error("Specu::write_block: not powered / no key");
+  if (data.size() != u.memory_.block_bytes())
+    throw std::invalid_argument("Specu::write_block: bad block size");
+
+  obs::Span span("specu.write", block_addr);
+  Snvmm::Block& block = u.memory_.block(block_addr);
+  const auto units = static_cast<std::uint32_t>(u.ciphers_.size());
+  u.begin_intent(block_addr, JournalOp::Program, 0, units);
+  block.wear += 1.0;
+  const unsigned cells = u.calibration_->cell_count();
+  const unsigned unit_bytes = cells / 4;
+  for (unsigned unit = 0; unit < u.ciphers_.size(); ++unit) {
+    const UnitLevels levels =
+        u.cipher(unit).levels_from_bytes(data.subspan(unit * unit_bytes, unit_bytes));
+    std::copy(levels.begin(), levels.end(), block.levels.begin() + unit * cells);
+    u.memory_.journal().advance(block_addr);
+  }
+  block.encrypted = false;
+  u.plaintext_.erase(block_addr);
+  u.begin_intent(block_addr, JournalOp::Encrypt, 0, u.pulses_per_block());
+  encrypt_block_fast(block_addr, block);
+  ++u.stats_.writes;
+}
+
+std::vector<std::uint8_t> SpecuBatch::read_block(std::uint64_t block_addr) {
+  Specu& u = specu_;
+  if (!u.powered()) throw std::logic_error("Specu::read_block: not powered / no key");
+  obs::Span span("specu.read", block_addr);
+  Snvmm::Block& block = u.memory_.block(block_addr);
+  if (block.encrypted) decrypt_block_fast(block_addr, block);
+
+  const unsigned cells = u.calibration_->cell_count();
+  const unsigned unit_bytes = cells / 4;
+  std::vector<std::uint8_t> out(u.memory_.block_bytes(), 0);
+  for (unsigned unit = 0; unit < u.ciphers_.size(); ++unit) {
+    const UnitLevels levels(block.levels.begin() + unit * cells,
+                            block.levels.begin() + (unit + 1) * cells);
+    u.cipher(unit).bytes_from_levels(
+        levels, std::span(out).subspan(unit * unit_bytes, unit_bytes));
+  }
+  ++u.stats_.reads;
+
+  if (u.mode_ == SpeMode::Parallel) {
+    u.begin_intent(block_addr, JournalOp::Encrypt, 0, u.pulses_per_block());
+    encrypt_block_fast(block_addr, block);
+  } else {
+    u.plaintext_.insert(block_addr);
+  }
+  return out;
+}
+
+void SpecuBatch::write_blocks(std::span<const std::uint64_t> addrs,
+                              std::span<const std::uint8_t> data) {
+  const std::size_t block_bytes = specu_.memory_.block_bytes();
+  if (data.size() != addrs.size() * block_bytes)
+    throw std::invalid_argument("SpecuBatch::write_blocks: bad data size");
+  for (std::size_t i = 0; i < addrs.size(); ++i)
+    write_block(addrs[i], data.subspan(i * block_bytes, block_bytes));
+}
+
+std::vector<std::vector<std::uint8_t>> SpecuBatch::read_blocks(
+    std::span<const std::uint64_t> addrs) {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(addrs.size());
+  for (const std::uint64_t addr : addrs) out.push_back(read_block(addr));
+  return out;
+}
+
+}  // namespace spe::core

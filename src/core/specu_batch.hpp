@@ -1,0 +1,52 @@
+#pragma once
+// Batched fast path for the SPECU (DESIGN.md §12).
+//
+// The scalar Specu applies one pulse at a time to a freshly copied unit
+// vector and rescans the whole crossbar for every outside-state digest —
+// faithful to the paper's per-pulse description, and kept as the reference
+// oracle. This engine executes the same key-scheduled pulse sequences
+// through SpeCipher's fast step primitives: per-block it seeds one digest
+// cache per unit, runs every pulse in place on the block's level storage,
+// and replays inverse-pass chains from O(n) prefixes. Everything observable
+// is identical to the scalar path — ciphertext/plaintext bytes, journal
+// intent/advance/commit sequences (and therefore every crash kill-point
+// state), spans, stats, wear, and the serial-mode plaintext pending set.
+// tests/core/batch_equivalence_test holds the two paths byte-identical.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/specu.hpp"
+
+namespace spe::core {
+
+class SpecuBatch {
+public:
+  /// Borrows the controller; the batch engine shares all of its state (key,
+  /// journal, stats, pending set) and may be used interchangeably with it.
+  explicit SpecuBatch(Specu& specu) : specu_(specu) {}
+
+  /// Fast-path equivalents of Specu::write_block / Specu::read_block.
+  void write_block(std::uint64_t block_addr, std::span<const std::uint8_t> data);
+  [[nodiscard]] std::vector<std::uint8_t> read_block(std::uint64_t block_addr);
+
+  /// N-block batch submits: `data` carries addrs.size() * block_bytes()
+  /// plaintext bytes. Blocks are processed in argument order; key-schedule
+  /// and calibration lookups are hoisted out of the per-block loop.
+  void write_blocks(std::span<const std::uint64_t> addrs,
+                    std::span<const std::uint8_t> data);
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> read_blocks(
+      std::span<const std::uint64_t> addrs);
+
+private:
+  void encrypt_block_fast(std::uint64_t addr, Snvmm::Block& block);
+  void decrypt_block_fast(std::uint64_t addr, Snvmm::Block& block);
+
+  Specu& specu_;
+  /// One scratch per crossbar unit, reused across every block in a batch so
+  /// the digest-cache and chain-prefix buffers are allocated once.
+  std::vector<SpeCipher::FastScratch> scratch_;
+};
+
+}  // namespace spe::core

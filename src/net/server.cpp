@@ -31,6 +31,9 @@ using Clock = std::chrono::steady_clock;
 Server::Server(runtime::MemoryService& service, ServerConfig config)
     : service_(service), config_(std::move(config)) {
   if (config_.completion_threads == 0) config_.completion_threads = 1;
+  lanes_.reserve(config_.completion_threads);
+  for (unsigned i = 0; i < config_.completion_threads; ++i)
+    lanes_.push_back(std::make_unique<CompletionLane>());
 }
 
 Server::~Server() { stop(); }
@@ -79,7 +82,8 @@ std::uint16_t Server::start() {
 
   completion_threads_.reserve(config_.completion_threads);
   for (unsigned i = 0; i < config_.completion_threads; ++i)
-    completion_threads_.emplace_back([this] { completion_loop(); });
+    completion_threads_.emplace_back(
+        [this, lane = lanes_[i].get()] { completion_loop(*lane); });
   event_thread_ = std::thread([this] { event_loop(); });
   return port_;
 }
@@ -108,13 +112,15 @@ void Server::stop() {
         return pending_count_.load(std::memory_order_acquire) == 0;
       });
     }
-    // Phase 3: completion threads finish the queue (each item bounded by
+    // Phase 3: completion threads finish their lanes (each item bounded by
     // request_timeout) and exit; then the loop flushes and closes.
-    {
-      std::lock_guard lock(completion_mutex_);
-      completions_quit_ = true;
+    completions_quit_.store(true, std::memory_order_release);
+    for (auto& lane : lanes_) {
+      {
+        std::lock_guard lock(lane->mutex);  // pairs with the waiter's check
+      }
+      lane->cv.notify_all();
     }
-    completion_cv_.notify_all();
     for (auto& t : completion_threads_) {
       if (t.joinable()) t.join();
     }
@@ -359,11 +365,12 @@ bool Server::admit(const std::shared_ptr<Conn>& conn, const Frame& frame) {
 void Server::enqueue_pending(const std::shared_ptr<Conn>& conn, Pending&& pending) {
   conn->inflight.fetch_add(1, std::memory_order_acq_rel);
   pending_count_.fetch_add(1, std::memory_order_acq_rel);
+  CompletionLane& lane = *lanes_[pending.lane % lanes_.size()];
   {
-    std::lock_guard lock(completion_mutex_);
-    completion_queue_.push_back(std::move(pending));
+    std::lock_guard lock(lane.mutex);
+    lane.queue.push_back(std::move(pending));
   }
-  completion_cv_.notify_one();
+  lane.cv.notify_one();
 }
 
 void Server::submit_handler(const std::shared_ptr<Conn>& conn, Frame&& frame) {
@@ -373,6 +380,7 @@ void Server::submit_handler(const std::shared_ptr<Conn>& conn, Frame&& frame) {
   pending.conn = conn;
   pending.request_id = frame.request_id;
   pending.version = frame.version;
+  pending.lane = next_lane_++;  // no shard affinity: spread across lanes
   pending.received = Clock::now();
   pending.handler_frame = std::move(frame);
   enqueue_pending(conn, std::move(pending));
@@ -399,6 +407,7 @@ void Server::submit_request(const std::shared_ptr<Conn>& conn, Frame&& frame) {
           return;
         }
         pending.kind = Pending::Kind::Read;
+        pending.lane = service_.shard_of(addr);  // shard-affine completion
         pending.read_future = service_.submit_read(addr);
         break;
       }
@@ -415,11 +424,13 @@ void Server::submit_request(const std::shared_ptr<Conn>& conn, Frame&& frame) {
           return;
         }
         pending.kind = Pending::Kind::Write;
+        pending.lane = service_.shard_of(addr);  // shard-affine completion
         pending.write_future = service_.submit_write(addr, data);
         break;
       }
       default:
         pending.kind = Pending::Kind::Scrub;
+        pending.lane = next_lane_++;
         break;
     }
   } catch (const runtime::QueueFullError& e) {
@@ -436,27 +447,26 @@ void Server::submit_request(const std::shared_ptr<Conn>& conn, Frame&& frame) {
   enqueue_pending(conn, std::move(pending));
 }
 
-void Server::completion_loop() {
+void Server::completion_loop(CompletionLane& lane) {
   for (;;) {
     Pending pending;
     {
-      std::unique_lock lock(completion_mutex_);
-      completion_cv_.wait(lock, [this] {
-        return completions_quit_ || !completion_queue_.empty();
+      std::unique_lock lock(lane.mutex);
+      lane.cv.wait(lock, [this, &lane] {
+        return completions_quit_.load(std::memory_order_acquire) ||
+               !lane.queue.empty();
       });
-      if (completion_queue_.empty()) {
-        if (completions_quit_) return;
+      if (lane.queue.empty()) {
+        if (completions_quit_.load(std::memory_order_acquire)) return;
         continue;
       }
-      pending = std::move(completion_queue_.front());
-      completion_queue_.pop_front();
+      pending = std::move(lane.queue.front());
+      lane.queue.pop_front();
     }
-    Frame response = complete(pending);
-    response.version = pending.version;  // a v1 client never sees a v2 frame
+    finish_pending(pending);
     counters_.requests_completed.fetch_add(1, std::memory_order_relaxed);
     counters_.request_latency.record(Clock::now() - pending.received);
     pending.conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
-    deliver(pending.conn, response);
     if (pending_count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard lock(drain_mutex_);  // pairs with the stop() waiter
       drain_cv_.notify_all();
@@ -464,62 +474,75 @@ void Server::completion_loop() {
   }
 }
 
-Frame Server::complete(Pending& pending) {
+void Server::finish_pending(Pending& pending) {
   const bool has_deadline = config_.request_timeout.count() > 0;
   const auto deadline = pending.received + config_.request_timeout;
-  Frame resp;
-  resp.request_id = pending.request_id;
+  Opcode opcode = Opcode::Scrub;
   switch (pending.kind) {
-    case Pending::Kind::Read: resp.opcode = Opcode::Read; break;
-    case Pending::Kind::Write: resp.opcode = Opcode::Write; break;
-    case Pending::Kind::Scrub: resp.opcode = Opcode::Scrub; break;
-    case Pending::Kind::Handler: resp.opcode = pending.handler_frame.opcode; break;
+    case Pending::Kind::Read: opcode = Opcode::Read; break;
+    case Pending::Kind::Write: opcode = Opcode::Write; break;
+    case Pending::Kind::Scrub: opcode = Opcode::Scrub; break;
+    case Pending::Kind::Handler: opcode = pending.handler_frame.opcode; break;
   }
+  // Every error/handler outcome goes through a Frame + deliver(); READ and
+  // WRITE successes skip the Frame and encode straight into the connection's
+  // output buffer. The version echo happens in both paths (a v1 client never
+  // sees a v2 frame).
+  Frame response;
   try {
     switch (pending.kind) {
       case Pending::Kind::Handler:
         // The cluster hook owns its own deadlines (migration batches can
         // legitimately outlive request_timeout).
-        return cluster_->slow_path(std::move(pending.handler_frame));
-      case Pending::Kind::Read:
+        response = cluster_->slow_path(std::move(pending.handler_frame));
+        response.version = pending.version;
+        deliver(pending.conn, response);
+        return;
+      case Pending::Kind::Read: {
         if (has_deadline &&
             pending.read_future.wait_until(deadline) != std::future_status::ready) {
           counters_.request_timeouts.fetch_add(1, std::memory_order_relaxed);
-          return make_error_response(resp.opcode, Status::Timeout,
-                                     pending.request_id, "read deadline expired");
+          response = make_error_response(opcode, Status::Timeout,
+                                         pending.request_id, "read deadline expired");
+          break;
         }
-        resp.payload = pending.read_future.get();
-        return resp;
+        const std::vector<std::uint8_t> data = pending.read_future.get();
+        deliver_direct(pending, opcode, data);
+        return;
+      }
       case Pending::Kind::Write:
         if (has_deadline &&
             pending.write_future.wait_until(deadline) != std::future_status::ready) {
           counters_.request_timeouts.fetch_add(1, std::memory_order_relaxed);
-          return make_error_response(resp.opcode, Status::Timeout,
-                                     pending.request_id, "write deadline expired");
+          response = make_error_response(opcode, Status::Timeout,
+                                         pending.request_id, "write deadline expired");
+          break;
         }
         pending.write_future.get();
-        return resp;
+        deliver_direct(pending, opcode, {});
+        return;
       case Pending::Kind::Scrub:
-        return make_scrub_response(pending.request_id, service_.scrub_all());
+        response = make_scrub_response(pending.request_id, service_.scrub_all());
+        break;
     }
   } catch (const runtime::UncorrectableFaultError& e) {
-    return make_error_response(resp.opcode, Status::Uncorrectable,
-                               pending.request_id, e.what());
+    response = make_error_response(opcode, Status::Uncorrectable,
+                                   pending.request_id, e.what());
   } catch (const runtime::QuarantinedBlockError& e) {
-    return make_error_response(resp.opcode, Status::Quarantined,
-                               pending.request_id, e.what());
+    response = make_error_response(opcode, Status::Quarantined,
+                                   pending.request_id, e.what());
   } catch (const runtime::TornBlockError& e) {
-    return make_error_response(resp.opcode, Status::Torn, pending.request_id,
-                               e.what());
+    response =
+        make_error_response(opcode, Status::Torn, pending.request_id, e.what());
   } catch (const runtime::ServiceStoppedError& e) {
-    return make_error_response(resp.opcode, Status::Stopped, pending.request_id,
-                               e.what());
+    response =
+        make_error_response(opcode, Status::Stopped, pending.request_id, e.what());
   } catch (const std::exception& e) {
-    return make_error_response(resp.opcode, Status::Internal, pending.request_id,
-                               e.what());
+    response = make_error_response(opcode, Status::Internal, pending.request_id,
+                                   e.what());
   }
-  return make_error_response(resp.opcode, Status::Internal, pending.request_id,
-                             "unreachable");
+  response.version = pending.version;
+  deliver(pending.conn, response);
 }
 
 void Server::respond_now(const std::shared_ptr<Conn>& conn, const Frame& frame) {
@@ -536,6 +559,23 @@ void Server::deliver(const std::shared_ptr<Conn>& conn, const Frame& frame) {
   {
     std::lock_guard lock(conn->out_mutex);
     append_frame(conn->out, frame);
+  }
+  counters_.frames_tx.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(dirty_mutex_);
+    dirty_.push_back(conn);
+  }
+  wake();
+}
+
+void Server::deliver_direct(const Pending& pending, Opcode opcode,
+                            std::span<const std::uint8_t> payload) {
+  const std::shared_ptr<Conn>& conn = pending.conn;
+  if (conn->dead.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard lock(conn->out_mutex);
+    append_frame_direct(conn->out, pending.version, opcode, Status::Ok,
+                        pending.request_id, payload);
   }
   counters_.frames_tx.fetch_add(1, std::memory_order_relaxed);
   {

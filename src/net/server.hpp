@@ -12,8 +12,17 @@
 //                        to the connection's output buffer, and wake the
 //                        event loop through an eventfd.
 //
+// Completion threads are shard-affine: each owns one lane (its own queue +
+// cv), and a READ/WRITE is routed at submit time to lane shard_of(addr) %
+// lanes. One shard's completions therefore settle in submission order on
+// one thread — which also matches how the shard worker resolves the futures
+// — and lanes never contend on a shared queue. SCRUB and cluster-handler
+// work round-robins across lanes. Successful READ/WRITE responses are
+// encoded straight into the connection's output buffer (append_frame_direct,
+// no intermediate Frame); error paths still build a Frame.
+//
 // The only cross-thread state is each connection's output buffer (mutex),
-// its in-flight counter / dead flag (atomics), the completion queue, and
+// its in-flight counter / dead flag (atomics), the per-lane queues, and
 // the dirty-connection list — everything else stays on the event loop.
 //
 // Admission control and lifecycle:
@@ -175,10 +184,18 @@ private:
     std::shared_ptr<Conn> conn;
     std::uint64_t request_id = 0;
     std::uint8_t version = kWireVersion;  ///< echoed into the response
+    unsigned lane = 0;  ///< completion lane chosen at submit (shard-affine)
     std::chrono::steady_clock::time_point received;
     std::future<std::vector<std::uint8_t>> read_future;
     std::future<void> write_future;
     Frame handler_frame;  ///< Kind::Handler: the deferred cluster request
+  };
+
+  /// One completion thread's private work queue (see file comment).
+  struct CompletionLane {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Pending> queue;
   };
 
   struct Counters {
@@ -198,7 +215,7 @@ private:
   };
 
   void event_loop();
-  void completion_loop();
+  void completion_loop(CompletionLane& lane);
   void accept_ready();
   void conn_readable(const std::shared_ptr<Conn>& conn);
   void handle_frame(const std::shared_ptr<Conn>& conn, Frame&& frame);
@@ -212,7 +229,14 @@ private:
   void respond_now(const std::shared_ptr<Conn>& conn, const Frame& frame);
   /// Completion-thread side: enqueue a response and wake the event loop.
   void deliver(const std::shared_ptr<Conn>& conn, const Frame& frame);
-  [[nodiscard]] Frame complete(Pending& pending);
+  /// Completion-thread side, zero-copy: encode an Ok response with this
+  /// payload straight into the connection's output buffer and wake the
+  /// event loop (no intermediate Frame).
+  void deliver_direct(const Pending& pending, Opcode opcode,
+                      std::span<const std::uint8_t> payload);
+  /// Settles one pending request on its completion lane: waits the future
+  /// (bounded by request_timeout), encodes and delivers the response.
+  void finish_pending(Pending& pending);
   void flush(const std::shared_ptr<Conn>& conn);
   void set_want_write(Conn& conn, bool want);
   void close_conn(const std::shared_ptr<Conn>& conn);
@@ -234,10 +258,9 @@ private:
   std::vector<std::thread> completion_threads_;
   std::unordered_map<int, std::shared_ptr<Conn>> conns_;  ///< event loop only
 
-  std::mutex completion_mutex_;
-  std::condition_variable completion_cv_;
-  std::deque<Pending> completion_queue_;
-  bool completions_quit_ = false;
+  std::vector<std::unique_ptr<CompletionLane>> lanes_;  ///< one per completion thread
+  unsigned next_lane_ = 0;  ///< event loop only: round-robin for laneless work
+  std::atomic<bool> completions_quit_{false};
 
   std::mutex dirty_mutex_;
   std::vector<std::shared_ptr<Conn>> dirty_;  ///< conns with fresh output

@@ -90,21 +90,26 @@ const char* to_string(WireErrorCode code) noexcept {
   return "?";
 }
 
-void append_frame(std::vector<std::uint8_t>& out, const Frame& frame) {
-  out.reserve(out.size() + kHeaderBytes + frame.payload.size());
+void append_frame_direct(std::vector<std::uint8_t>& out, std::uint8_t version,
+                         Opcode opcode, Status status, std::uint64_t request_id,
+                         std::span<const std::uint8_t> payload) {
+  out.reserve(out.size() + kHeaderBytes + payload.size());
   out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
-  const std::uint8_t version =
-      frame.version >= kMinWireVersion && frame.version <= kWireVersion
-          ? frame.version
-          : kWireVersion;
-  out.push_back(version);
-  out.push_back(static_cast<std::uint8_t>(frame.opcode));
-  out.push_back(static_cast<std::uint8_t>(frame.status));
+  out.push_back(version >= kMinWireVersion && version <= kWireVersion
+                    ? version
+                    : kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(opcode));
+  out.push_back(static_cast<std::uint8_t>(status));
   out.push_back(0);  // reserved
-  put_u64(out, frame.request_id);
-  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
-  put_u32(out, util::crc32(frame.payload.data(), frame.payload.size()));
-  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  put_u64(out, request_id);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, util::crc32(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void append_frame(std::vector<std::uint8_t>& out, const Frame& frame) {
+  append_frame_direct(out, frame.version, frame.opcode, frame.status,
+                      frame.request_id, frame.payload);
 }
 
 std::vector<std::uint8_t> encode_frame(const Frame& frame) {

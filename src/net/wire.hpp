@@ -124,6 +124,14 @@ struct Frame {
 /// Serialises header + payload + CRC; appends to `out` (the server's
 /// per-connection output buffer) without clearing it.
 void append_frame(std::vector<std::uint8_t>& out, const Frame& frame);
+/// Same encoding without materialising a Frame: the payload is written
+/// straight from the caller's buffer into `out` — the server's completion
+/// lanes use this to assemble READ/WRITE responses directly in the
+/// connection's output buffer. An out-of-range version encodes as
+/// kWireVersion (same clamping append_frame applies).
+void append_frame_direct(std::vector<std::uint8_t>& out, std::uint8_t version,
+                         Opcode opcode, Status status, std::uint64_t request_id,
+                         std::span<const std::uint8_t> payload);
 [[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
 
 // --- typed request/response builders ---------------------------------------

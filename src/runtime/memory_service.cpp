@@ -177,6 +177,56 @@ std::future<void> MemoryService::submit_write(std::uint64_t block_addr,
   return future;
 }
 
+std::vector<std::future<std::vector<std::uint8_t>>> MemoryService::submit_read_batch(
+    std::span<const std::uint64_t> addrs) {
+  std::vector<std::future<std::vector<std::uint8_t>>> futures;
+  futures.reserve(addrs.size());
+  for (const std::uint64_t addr : addrs) {
+    const unsigned s = shard_of(addr);
+    obs::Tracer::instance().instant("svc.submit", addr, s);
+    try {
+      futures.push_back(shards_[s]->queue().push_read(addr));
+    } catch (...) {
+      // Reject bounce / racing stop: fail this entry only, keep the batch.
+      std::promise<std::vector<std::uint8_t>> bounced;
+      bounced.set_exception(std::current_exception());
+      futures.push_back(bounced.get_future());
+      continue;
+    }
+    // Per-push wakeup: under the Block policy a later push in this batch may
+    // wait for a drain, so the worker must already know about this one.
+    notify_worker(s);
+  }
+  return futures;
+}
+
+std::vector<std::future<void>> MemoryService::submit_write_batch(
+    std::span<const std::uint64_t> addrs, std::span<const std::uint8_t> data) {
+  const std::size_t bytes = block_bytes();
+  if (data.size() != addrs.size() * bytes)
+    throw std::invalid_argument(
+        "MemoryService::submit_write_batch: data must be addrs * block_bytes");
+  std::vector<std::future<void>> futures;
+  futures.reserve(addrs.size());
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    const std::uint64_t addr = addrs[i];
+    const unsigned s = shard_of(addr);
+    obs::Tracer::instance().instant("svc.submit", addr, s);
+    const auto block = data.subspan(i * bytes, bytes);
+    try {
+      futures.push_back(
+          shards_[s]->queue().push_write(addr, {block.begin(), block.end()}));
+    } catch (...) {
+      std::promise<void> bounced;
+      bounced.set_exception(std::current_exception());
+      futures.push_back(bounced.get_future());
+      continue;
+    }
+    notify_worker(s);
+  }
+  return futures;
+}
+
 std::vector<std::uint8_t> MemoryService::read(std::uint64_t block_addr) {
   return submit_read(block_addr).get();
 }
@@ -401,6 +451,8 @@ void MemoryService::fill_metrics(obs::MetricsRegistry& registry) const {
           snap.totals.injected_faults);
   counter("spe_slow_ops_total", "ops over ObsConfig::slow_op_threshold",
           snap.totals.slow_ops);
+  counter("spe_cipher_batched_total", "ops executed via the batched cipher fast path",
+          snap.totals.cipher_batched);
   counter("spe_trace_events_dropped_total", "trace events dropped by full rings",
           obs::Tracer::instance().dropped());
 

@@ -69,6 +69,19 @@ public:
   [[nodiscard]] std::future<void> submit_write(std::uint64_t block_addr,
                                                std::span<const std::uint8_t> data);
 
+  /// Batch submits: one future per address, pushed in argument order (so a
+  /// shard's requests land back-to-back and its worker drains them as one
+  /// run through the batched cipher path — see ServiceConfig::batch_cipher).
+  /// `data` carries addrs.size() * block_bytes() bytes, block i at offset
+  /// i * block_bytes(). Never throws mid-batch: an entry bounced by Reject
+  /// backpressure (or a racing stop()) resolves its own future with the
+  /// error, leaving the other entries queued — the result always has
+  /// addrs.size() futures.
+  [[nodiscard]] std::vector<std::future<std::vector<std::uint8_t>>> submit_read_batch(
+      std::span<const std::uint64_t> addrs);
+  [[nodiscard]] std::vector<std::future<void>> submit_write_batch(
+      std::span<const std::uint64_t> addrs, std::span<const std::uint8_t> data);
+
   /// Blocking conveniences.
   [[nodiscard]] std::vector<std::uint8_t> read(std::uint64_t block_addr);
   void write(std::uint64_t block_addr, std::span<const std::uint8_t> data);

@@ -169,6 +169,15 @@ struct ServiceConfig {
   bool scrub_enabled = true;
   unsigned scrub_blocks_per_pass = 8;
 
+  // --- batched cipher fast path (core::SpecuBatch, DESIGN.md §12) ---------
+  /// Drain-time batching: when a worker drains its queue, any run of at
+  /// least batch_min_size consecutive same-kind requests executes through
+  /// the SpecuBatch fast path (bit-identical to the scalar Specu path; the
+  /// differential suite in tests/core/batch_equivalence_test pins it).
+  /// Scalar stays the reference path for singles, recovery, and scavenging.
+  bool batch_cipher = true;
+  unsigned batch_min_size = 2;
+
   // --- deterministic fault injection (src/fault) --------------------------
   /// Off by default; when on, every shard gets a FaultInjector over one
   /// shared FaultPlan(fault_seed, faults), keyed by the shard's device id.

@@ -1,5 +1,6 @@
 #include "runtime/shard.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <exception>
@@ -48,7 +49,8 @@ BankShard::BankShard(unsigned id, const ServiceConfig& config,
       queue_(id, config.queue_capacity, config.backpressure, config.coalesce_writes,
              counters_),
       memory_(shard_memory_config(id, config)),
-      specu_(memory_, config.mode) {
+      specu_(memory_, config.mode),
+      batch_(specu_) {
   if (fault_plan)
     injector_ = std::make_unique<fault::FaultInjector>(std::move(fault_plan),
                                                        memory_.device_id());
@@ -67,7 +69,8 @@ BankShard::BankShard(unsigned id, const ServiceConfig& config,
       queue_(id, config.queue_capacity, config.backpressure, config.coalesce_writes,
              counters_),
       memory_(std::move(state.image.nvmm)),
-      specu_(memory_, config.mode) {
+      specu_(memory_, config.mode),
+      batch_(specu_) {
   if (memory_.device_id() != config.device_seed_base + id)
     throw std::runtime_error(
         "shard state: device seed mismatch (checkpoint is for a different "
@@ -290,7 +293,7 @@ bool BankShard::verify_block(std::uint64_t addr, core::Snvmm::Block& block,
   return false;
 }
 
-std::vector<std::uint8_t> BankShard::read_block_guarded(std::uint64_t addr) {
+std::vector<std::uint8_t> BankShard::read_block_guarded(std::uint64_t addr, bool fast) {
   if (const auto it = quarantined_.find(addr); it != quarantined_.end()) {
     if (it->second == QuarantineReason::Torn) throw TornBlockError(id_, addr);
     throw QuarantinedBlockError(id_, addr);
@@ -304,7 +307,7 @@ std::vector<std::uint8_t> BankShard::read_block_guarded(std::uint64_t addr) {
       throw UncorrectableFaultError(id_, addr);
     }
   }
-  auto data = specu_.read_block(addr);
+  auto data = fast ? batch_.read_block(addr) : specu_.read_block(addr);
   // The read changed the resting state (decrypted in serial mode,
   // re-encrypted in parallel mode); re-shadow it.
   if (config_.ecc_enabled) refresh_checks(addr);
@@ -312,7 +315,7 @@ std::vector<std::uint8_t> BankShard::read_block_guarded(std::uint64_t addr) {
 }
 
 void BankShard::write_block_guarded(std::uint64_t addr,
-                                    std::span<const std::uint8_t> data) {
+                                    std::span<const std::uint8_t> data, bool fast) {
   // A rewrite lifts quarantine (fault-induced or torn) by remapping the
   // block to a spare physical location (fresh fault draws under the bumped
   // epoch).
@@ -328,7 +331,10 @@ void BankShard::write_block_guarded(std::uint64_t addr,
         obs::Tracer::instance().instant("ecc.retry", addr, attempt);
         backoff(attempt);
       }
-      specu_.write_block(addr, data);
+      if (fast)
+        batch_.write_block(addr, data);
+      else
+        specu_.write_block(addr, data);
       core::Snvmm::Block& block = memory_.block(addr);
       if (config_.ecc_enabled) refresh_checks(addr);
       if (!injector_ || !injector_->enabled()) return;
@@ -358,7 +364,25 @@ void BankShard::write_block_guarded(std::uint64_t addr,
 void BankShard::execute_batch(std::vector<Request> batch) {
   std::lock_guard lock(state_mutex_);
   obs::ShardScope shard_scope(id_);
-  for (Request& req : batch) {
+  // Drain-time batching: runs of >= batch_min_size consecutive same-kind
+  // requests execute through the SpecuBatch fast path. Requests still run
+  // one at a time in FIFO order — coalescing, ECC guards, summaries and
+  // journal semantics are untouched; only the cipher math inside each op is
+  // the hoisted batch variant (bit-identical, per the differential suite).
+  std::vector<bool> use_fast(batch.size(), false);
+  if (config_.batch_cipher) {
+    const std::size_t min_run = std::max<std::size_t>(config_.batch_min_size, 1);
+    for (std::size_t i = 0; i < batch.size();) {
+      std::size_t j = i + 1;
+      while (j < batch.size() && batch[j].kind == batch[i].kind) ++j;
+      if (j - i >= min_run)
+        for (std::size_t k = i; k < j; ++k) use_fast[k] = true;
+      i = j;
+    }
+  }
+  for (std::size_t req_index = 0; req_index < batch.size(); ++req_index) {
+    Request& req = batch[req_index];
+    const bool fast = use_fast[req_index];
     // Summaries are built from counter deltas across the op, so the
     // baselines are only sampled when someone will read the result (a
     // traced submit or an armed slow-op threshold).
@@ -401,11 +425,12 @@ void BankShard::execute_batch(std::vector<Request> batch) {
         std::vector<std::uint8_t> data;
         {
           obs::Span span("shard.read", req.block_addr);
-          data = read_block_guarded(req.block_addr);
+          data = read_block_guarded(req.block_addr, fast);
         }
         const auto done = std::chrono::steady_clock::now();
         counters_.read_latency.record(done - req.enqueued);
         counters_.reads_completed.fetch_add(1, std::memory_order_relaxed);
+        if (fast) counters_.cipher_batched.fetch_add(1, std::memory_order_relaxed);
         if (want_summary) {
           OpSummary s = summarize(false, done);
           s.queue_ns = exec_start - req.enqueued;
@@ -420,11 +445,12 @@ void BankShard::execute_batch(std::vector<Request> batch) {
       try {
         {
           obs::Span span("shard.write", req.block_addr);
-          write_block_guarded(req.block_addr, req.data);
+          write_block_guarded(req.block_addr, req.data, fast);
         }
         const auto done = std::chrono::steady_clock::now();
         counters_.writes_completed.fetch_add(req.write_waiters.size(),
                                              std::memory_order_relaxed);
+        if (fast) counters_.cipher_batched.fetch_add(1, std::memory_order_relaxed);
         OpSummary s;
         if (want_summary) {
           s = summarize(true, done);

@@ -41,6 +41,7 @@
 #include "core/snvmm.hpp"
 #include "core/snvmm_io.hpp"
 #include "core/specu.hpp"
+#include "core/specu_batch.hpp"
 #include "core/tpm.hpp"
 #include "fault/fault_injector.hpp"
 #include "runtime/recovery.hpp"
@@ -153,10 +154,15 @@ private:
   BankShard(unsigned id, const ServiceConfig& config,
             std::shared_ptr<const fault::FaultPlan> fault_plan, RestoredState state);
 
-  // All private helpers assume state_mutex_ is held.
+  // All private helpers assume state_mutex_ is held. `fast` selects the
+  // batched cipher path (core::SpecuBatch) — bit-identical to scalar, chosen
+  // by execute_batch for runs of >= ServiceConfig::batch_min_size same-kind
+  // requests in one drain.
   void save_state_locked(std::ostream& out) const;
-  [[nodiscard]] std::vector<std::uint8_t> read_block_guarded(std::uint64_t addr);
-  void write_block_guarded(std::uint64_t addr, std::span<const std::uint8_t> data);
+  [[nodiscard]] std::vector<std::uint8_t> read_block_guarded(std::uint64_t addr,
+                                                             bool fast);
+  void write_block_guarded(std::uint64_t addr, std::span<const std::uint8_t> data,
+                           bool fast);
   /// Sense + SEC-DED verify of a resident block against its shadow checks,
   /// with bounded re-sense retries. Returns false when uncorrectable (the
   /// caller quarantines); counts detected/corrected/retries.
@@ -176,6 +182,7 @@ private:
   mutable std::mutex state_mutex_;  ///< guards memory_ + specu_ + resilience state
   core::Snvmm memory_;
   core::Specu specu_;
+  core::SpecuBatch batch_;  ///< fast path over specu_ (shares all its state)
   std::unique_ptr<fault::FaultInjector> injector_;  ///< null = no injection
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> checks_;
   std::unordered_map<std::uint64_t, QuarantineReason> quarantined_;
