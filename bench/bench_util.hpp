@@ -29,6 +29,13 @@ inline unsigned env_or(const char* name, unsigned fallback) {
   return static_cast<unsigned>(std::strtoul(value, nullptr, 10));
 }
 
+/// 64-bit variant for seed overrides (base 0: accepts decimal or 0x hex).
+inline std::uint64_t env_or_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 0);
+}
+
 inline void banner(const std::string& title, const std::string& paper_ref) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());

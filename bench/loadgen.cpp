@@ -40,6 +40,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -100,6 +101,7 @@ struct WorkerStats {
   std::uint64_t unknown_ids = 0;   ///< response id we never sent
   LatencyHistogram::Snapshot latency;
   std::string error;               ///< fatal exception, empty = clean
+  spe::cluster::ClusterClient::Stats cluster;  ///< cluster mode only
 };
 
 struct Inflight {
@@ -230,13 +232,15 @@ WorkerStats run_worker(const WorkerConfig& cfg) {
 WorkerStats run_cluster_worker(const WorkerConfig& cfg) {
   WorkerStats stats;
   LatencyHistogram latency;
+  std::optional<spe::cluster::ClusterClient> maybe_client;
   try {
     spe::cluster::ClusterClientConfig ccfg;
     ccfg.seeds = cfg.seeds;
     // Widen the MOVED budget: during a pull the frozen blocks ping-pong
     // between source and destination until the whole batch commits.
     ccfg.op_retries = 64;
-    spe::cluster::ClusterClient client(ccfg);
+    maybe_client.emplace(ccfg);
+    spe::cluster::ClusterClient& client = *maybe_client;
     client.connect();
 
     const std::uint64_t base = std::uint64_t{cfg.index} * cfg.stripe;
@@ -290,6 +294,7 @@ WorkerStats run_cluster_worker(const WorkerConfig& cfg) {
   } catch (const std::exception& e) {
     stats.error = e.what();
   }
+  if (maybe_client) stats.cluster = maybe_client->stats();
   stats.latency = latency.snapshot();
   return stats;
 }
@@ -413,6 +418,33 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total.corruptions),
               static_cast<unsigned long long>(total.bad_status),
               static_cast<unsigned long long>(total.unknown_ids));
+  if (cluster) {
+    spe::cluster::ClusterClient::Stats csum;
+    for (const WorkerStats& s : stats) {
+      csum.moved_redirects += s.cluster.moved_redirects;
+      csum.failovers += s.cluster.failovers;
+      csum.topology_refreshes += s.cluster.topology_refreshes;
+      csum.retries += s.cluster.retries;
+      csum.busy_backoffs += s.cluster.busy_backoffs;
+      csum.breaker_trips += s.cluster.breaker_trips;
+      csum.breaker_skips += s.cluster.breaker_skips;
+      csum.deadline_exceeded += s.cluster.deadline_exceeded;
+      csum.ambiguous_results += s.cluster.ambiguous_results;
+    }
+    std::printf(
+        "loadgen: cluster moved=%llu failovers=%llu refreshes=%llu retries=%llu "
+        "busy=%llu breaker_trips=%llu breaker_skips=%llu deadline_exceeded=%llu "
+        "ambiguous=%llu\n",
+        static_cast<unsigned long long>(csum.moved_redirects),
+        static_cast<unsigned long long>(csum.failovers),
+        static_cast<unsigned long long>(csum.topology_refreshes),
+        static_cast<unsigned long long>(csum.retries),
+        static_cast<unsigned long long>(csum.busy_backoffs),
+        static_cast<unsigned long long>(csum.breaker_trips),
+        static_cast<unsigned long long>(csum.breaker_skips),
+        static_cast<unsigned long long>(csum.deadline_exceeded),
+        static_cast<unsigned long long>(csum.ambiguous_results));
+  }
 
   if (scrape_metrics && !cluster) {
     try {

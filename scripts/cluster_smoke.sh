@@ -13,6 +13,14 @@
 #   3. verify: a read-only loadgen pass checks every block still carries the
 #      payload written in step 0 — zero silent corruption.
 #
+# Hardening invariants (kept CI-safe on a shared box):
+#   - ports come from the kernel's ephemeral range (bind :0), not a fixed
+#     base, so parallel runs don't collide;
+#   - every wait is bounded and fails fast when the awaited process has
+#     already died (with that node's log tail, not a silent timeout);
+#   - children are ALWAYS reaped: kill + wait on every exit path, so no
+#     orphan spe_server keeps a port or a mmap'd checkpoint alive.
+#
 # Usage: scripts/cluster_smoke.sh [path-to-bench-dir]   (default: build/bench)
 set -euo pipefail
 
@@ -23,14 +31,52 @@ done
 
 WORK="$(mktemp -d)"
 declare -A NODE_PID=()
+CTL_PID=""
 cleanup() {
+  local rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "== cluster_smoke FAILED (rc=$rc); node log tails:" >&2
+    for log in "$WORK"/*.log; do
+      [ -f "$log" ] || continue
+      echo "--- $log" >&2
+      tail -n 20 "$log" >&2 || true
+    done
+  fi
+  [ -n "$CTL_PID" ] && kill -9 "$CTL_PID" 2>/dev/null || true
   for pid in "${NODE_PID[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+  # Reap everything we killed so no zombie outlives the script.
+  wait 2>/dev/null || true
   rm -rf "$WORK"
+  exit "$rc"
 }
 trap cleanup EXIT
 
-BASE=$((42000 + RANDOM % 20000))
-PA=$BASE PB=$((BASE + 1)) PC=$((BASE + 2)) PD=$((BASE + 3))
+# Ephemeral ports from the kernel (bind :0, all held concurrently so the
+# four are distinct). Falls back to a randomized base when python3 is
+# missing — same behaviour this script always had.
+reserve_ports() {  # reserve_ports COUNT -> one port per line
+  local count=$1
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$count" << 'EOF'
+import socket, sys
+socks = []
+for _ in range(int(sys.argv[1])):
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    socks.append(s)
+for s in socks:
+    print(s.getsockname()[1])
+    s.close()
+EOF
+  else
+    local base=$((42000 + RANDOM % 20000)) i
+    for ((i = 0; i < count; ++i)); do echo $((base + i)); done
+  fi
+}
+
+mapfile -t PORTS < <(reserve_ports 4)
+[ "${#PORTS[@]}" -eq 4 ] || { echo "cluster_smoke: port reservation failed" >&2; exit 2; }
+PA=${PORTS[0]} PB=${PORTS[1]} PC=${PORTS[2]} PD=${PORTS[3]}
 SPEC3="a=127.0.0.1:$PA,b=127.0.0.1:$PB,c=127.0.0.1:$PC"
 SEED_ADDR="127.0.0.1:$PA"
 CTL="$BIN/cluster_ctl --seed $SEED_ADDR"
@@ -44,21 +90,28 @@ start_node() {  # start_node NAME PORT NODES_SPEC EPOCH LOG_SUFFIX
   NODE_PID[$name]=$!
 }
 
-wait_ready() {  # wait_ready [HOST:PORT]  (default: the seed node)
-  local addr="${1:-$SEED_ADDR}"
+wait_ready() {  # wait_ready NAME [HOST:PORT]  (default: the seed node)
+  local name=$1 addr="${2:-$SEED_ADDR}"
   for _ in $(seq 1 100); do
     "$BIN/cluster_ctl" --seed "$addr" --status > /dev/null 2>&1 && return 0
+    # Fail fast when the node already died — a timeout would hide the cause.
+    if ! kill -0 "${NODE_PID[$name]}" 2>/dev/null; then
+      echo "cluster_smoke: node $name ($addr) exited during startup" >&2
+      return 1
+    fi
     sleep 0.1
   done
-  echo "cluster_smoke: node $addr never became ready" >&2
+  echo "cluster_smoke: node $name ($addr) never became ready" >&2
   return 1
 }
 
-echo "== boot 3 nodes (ports $PA-$PC, state in $WORK)"
+echo "== boot 3 nodes (ports $PA $PB $PC, state in $WORK)"
 start_node a "$PA" "$SPEC3" 1 boot
 start_node b "$PB" "$SPEC3" 1 boot
 start_node c "$PC" "$SPEC3" 1 boot
-wait_ready
+wait_ready a
+wait_ready b "127.0.0.1:$PB"
+wait_ready c "127.0.0.1:$PC"
 
 echo "== write the dataset (version-1 payloads, then no more writes)"
 "$BIN/loadgen" --cluster-seeds "a=$SEED_ADDR" --connections 4 --stripe 128 \
@@ -70,6 +123,7 @@ $CTL --checkpoint
 
 echo "== join node d (boots weight-0, ctl migrates it in)"
 start_node d "$PD" "$SPEC3,d=127.0.0.1:$PD*0" 1 boot
+wait_ready d "127.0.0.1:$PD"
 $CTL --join "d=127.0.0.1:$PD"
 $CTL --checkpoint
 $CTL --status | tee "$WORK/status-join.log"
@@ -82,6 +136,8 @@ CTL_PID=$!
 sleep 0.1
 kill -9 "${NODE_PID[c]}"
 wait "$CTL_PID" || leave_rc=$?
+CTL_PID=""
+wait "${NODE_PID[c]}" 2>/dev/null || true  # reap the killed node
 cat "$WORK/leave-1.log"
 if [ "$leave_rc" -eq 0 ]; then
   # The migration can in principle finish inside the 100ms window; nothing
@@ -90,7 +146,7 @@ if [ "$leave_rc" -eq 0 ]; then
 else
   echo "== leave failed as expected (rc=$leave_rc); restart c and retry"
   start_node c "$PC" "$SPEC3" 1 restart
-  wait_ready "127.0.0.1:$PC"
+  wait_ready c "127.0.0.1:$PC"
   grep -q 'restored service from' "$WORK/c.restart.log"
   grep -q 'journal replay' "$WORK/c.restart.log"
   $CTL --leave c

@@ -10,6 +10,21 @@ using net::Frame;
 using net::Opcode;
 using net::Status;
 
+namespace {
+
+/// Stable per-endpoint stream id (FNV-1a) for the deterministic jitter and
+/// chaos streams — reproducible across runs, unlike pointer identity.
+std::uint64_t endpoint_stream(const std::string& endpoint) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : endpoint) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
 ClusterClient::ClusterClient(ClusterClientConfig config)
     : config_(std::move(config)) {
   if (config_.seeds.empty())
@@ -23,14 +38,37 @@ net::Client& ClusterClient::node_client(const NodeInfo& node) {
     net::ClientConfig cfg = config_.net;
     cfg.host = node.host;
     cfg.port = node.port;
+    // A reproducible chaos stream per endpoint, advanced by the drop epoch:
+    // deterministic across runs, but a re-created client does not replay
+    // the schedule its predecessor already consumed.
+    if (cfg.chaos && cfg.chaos_stream == 0)
+      cfg.chaos_stream =
+          endpoint_stream(key) ^ (chaos_epochs_[key] * 0x9E3779B97F4A7C15ull);
     it = pool_.emplace(key, net::Client(std::move(cfg))).first;
   }
   it->second.connect();  // no-op when already connected
   return it->second;
 }
 
+net::CircuitBreaker& ClusterClient::breaker_for(const NodeInfo& node) {
+  return breakers_.try_emplace(node.endpoint(), config_.breaker).first->second;
+}
+
+void ClusterClient::bounded_sleep(std::chrono::milliseconds pause,
+                                  std::chrono::steady_clock::time_point deadline,
+                                  bool has_deadline) const {
+  if (pause.count() <= 0) return;
+  if (has_deadline) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return;
+    pause = std::min(pause, left);
+  }
+  std::this_thread::sleep_for(pause);
+}
+
 void ClusterClient::drop_client(const NodeInfo& node) {
-  pool_.erase(node.endpoint());
+  if (pool_.erase(node.endpoint()) > 0) ++chaos_epochs_[node.endpoint()];
 }
 
 bool ClusterClient::try_fetch_topology(const NodeInfo& node) {
@@ -98,23 +136,96 @@ unsigned ClusterClient::propose_topology(const ClusterTopology& proposed) {
   return acked;
 }
 
-Frame ClusterClient::route_call(std::uint64_t addr, const Frame& request) {
+Frame ClusterClient::route_call(std::uint64_t addr, Frame request, bool is_write) {
   if (topology_.nodes.empty()) connect();
+  using Clock = std::chrono::steady_clock;
+  const bool has_deadline = config_.op_deadline.count() > 0;
+  const Clock::time_point op_deadline = Clock::now() + config_.op_deadline;
+  const auto remaining = [&]() -> std::chrono::milliseconds {
+    if (!has_deadline) return std::chrono::milliseconds{0};
+    return std::chrono::duration_cast<std::chrono::milliseconds>(op_deadline -
+                                                                 Clock::now());
+  };
   NodeInfo target = topology_.owner(addr);
-  bool directed = false;  // true: `target` came from a MOVED payload
+  bool directed = false;   // true: `target` came from a MOVED payload
+  bool ambiguous = false;  // a write may have reached a node inconclusively
+  unsigned transient = 0;  // transient-failure index into the backoff stream
   std::chrono::milliseconds backoff = config_.moved_backoff;
+  // Out of budget: reads (and writes that never reached the wire) failed
+  // cleanly — nothing happened. A write whose send died mid-flight may have
+  // executed anyway; surface that as ambiguity, never a generic timeout.
+  const auto give_up = [&]() {
+    ++stats_.deadline_exceeded;
+    if (is_write && ambiguous) {
+      ++stats_.ambiguous_results;
+      throw net::AmbiguousResultError(
+          "spe::cluster: write outcome unknown for addr " + std::to_string(addr) +
+          " (deadline expired with an attempt in flight; read back to reconcile)");
+    }
+    throw net::DeadlineExceededError("spe::cluster: op deadline exceeded for addr " +
+                                     std::to_string(addr));
+  };
   for (unsigned attempt = 0; attempt <= config_.op_retries; ++attempt) {
-    Frame reply;
-    try {
-      reply = node_client(target).call(request);
-    } catch (const net::NetError&) {
-      // Owner unreachable (crashed node, dropped connection): learn the
-      // membership that exists now and re-route.
-      drop_client(target);
-      ++stats_.failovers;
-      refresh_topology();
+    if (has_deadline && remaining().count() <= 0) give_up();
+    net::CircuitBreaker& breaker = breaker_for(target);
+    if (!breaker.allow()) {
+      // Fail fast instead of burning budget on a node that keeps failing. A
+      // refreshed topology may name a different owner; the pause also lets
+      // the breaker's open_timeout tick toward a half-open probe.
+      ++stats_.breaker_skips;
+      bounded_sleep(net::retry_backoff(config_.retry,
+                                       endpoint_stream(target.endpoint()), transient++),
+                    op_deadline, has_deadline);
+      try {
+        refresh_topology();
+      } catch (const net::NetError&) {
+        if (!has_deadline) throw;  // whole cluster gone and no budget to wait out
+      }
       target = topology_.owner(addr);
       directed = false;
+      continue;
+    }
+    Frame reply;
+    try {
+      const std::chrono::milliseconds budget = remaining();
+      request.deadline_ms =
+          has_deadline ? static_cast<std::uint64_t>(budget.count()) : 0;
+      net::Client& client = node_client(target);
+      if (is_write) ambiguous = true;  // from here the payload may be in flight
+      reply = client.call(request, has_deadline ? budget : std::chrono::milliseconds{0});
+      breaker.on_success();
+    } catch (const net::NetError&) {
+      // Owner unreachable (crashed node, dropped/reset connection): learn
+      // the membership that exists now and re-route after a deterministic
+      // jittered backoff.
+      breaker.on_failure();
+      drop_client(target);
+      ++stats_.failovers;
+      ++stats_.retries;
+      bounded_sleep(net::retry_backoff(config_.retry,
+                                       endpoint_stream(target.endpoint()), transient++),
+                    op_deadline, has_deadline);
+      try {
+        refresh_topology();
+      } catch (const net::NetError&) {
+        if (!has_deadline) throw;
+      }
+      target = topology_.owner(addr);
+      directed = false;
+      continue;
+    }
+    if (reply.status == Status::Busy) {
+      // Deadline-aware shed: the node's queue wait exceeds our remaining
+      // budget. Honour the retry-after hint (clipped so one wild estimate
+      // cannot eat the whole budget) and try again — queue depth decays fast.
+      ++stats_.busy_backoffs;
+      ++stats_.retries;
+      std::uint64_t retry_after_ms = 0;
+      net::WireErrorCode err{};
+      (void)net::parse_busy_response(reply, retry_after_ms, err);
+      auto pause = std::chrono::milliseconds(std::max<std::uint64_t>(retry_after_ms, 1));
+      pause = std::min(pause, config_.retry.backoff_max);
+      bounded_sleep(pause, op_deadline, has_deadline);
       continue;
     }
     if (reply.status != Status::Moved) return reply;
@@ -127,9 +238,13 @@ Frame ClusterClient::route_call(std::uint64_t addr, const Frame& request) {
       throw net::ProtocolError("spe::cluster: malformed MOVED payload");
     if (directed && owner.endpoint() == target.endpoint()) {
       // Self-referential bounce would spin; treat as transient and refresh.
-      refresh_topology();
+      try {
+        refresh_topology();
+      } catch (const net::NetError&) {
+        if (!has_deadline) throw;
+      }
     }
-    std::this_thread::sleep_for(backoff);
+    bounded_sleep(backoff, op_deadline, has_deadline);
     backoff = std::min(backoff * 2, config_.moved_backoff_max);
     target = std::move(owner);
     directed = true;
@@ -140,7 +255,7 @@ Frame ClusterClient::route_call(std::uint64_t addr, const Frame& request) {
 }
 
 std::vector<std::uint8_t> ClusterClient::read_block(std::uint64_t addr) {
-  const Frame reply = route_call(addr, net::make_read_request(0, addr));
+  const Frame reply = route_call(addr, net::make_read_request(0, addr), false);
   if (reply.status != Status::Ok)
     throw net::RemoteError(reply.status,
                            std::string(reply.payload.begin(), reply.payload.end()));
@@ -149,10 +264,36 @@ std::vector<std::uint8_t> ClusterClient::read_block(std::uint64_t addr) {
 
 void ClusterClient::write_block(std::uint64_t addr,
                                 std::span<const std::uint8_t> data) {
-  const Frame reply = route_call(addr, net::make_write_request(0, addr, data));
+  const Frame reply = route_call(addr, net::make_write_request(0, addr, data), true);
   if (reply.status != Status::Ok)
     throw net::RemoteError(reply.status,
                            std::string(reply.payload.begin(), reply.payload.end()));
+}
+
+ClusterClient::Stats ClusterClient::stats() const {
+  Stats out = stats_;
+  out.breaker_trips = 0;
+  for (const auto& [endpoint, breaker] : breakers_) out.breaker_trips += breaker.trips();
+  return out;
+}
+
+void ClusterClient::fill_metrics(obs::MetricsRegistry& registry) const {
+  const Stats s = stats();
+  const auto counter = [&registry](const std::string& name, const std::string& help,
+                                   std::uint64_t v) { registry.counter(name, help).add(v); };
+  counter("spe_cluster_client_moved_redirects_total", "MOVED bounces chased", s.moved_redirects);
+  counter("spe_cluster_client_failovers_total", "unreachable-owner reroutes", s.failovers);
+  counter("spe_cluster_client_topology_refreshes_total", "topology re-fetches",
+          s.topology_refreshes);
+  counter("spe_cluster_client_retries_total", "transient-failure re-attempts", s.retries);
+  counter("spe_cluster_client_busy_backoffs_total", "BUSY sheds honoured", s.busy_backoffs);
+  counter("spe_cluster_client_breaker_trips_total", "circuit breaker trips", s.breaker_trips);
+  counter("spe_cluster_client_breaker_skips_total", "fail-fast skips on open breakers",
+          s.breaker_skips);
+  counter("spe_cluster_client_deadline_exceeded_total", "ops out of deadline budget",
+          s.deadline_exceeded);
+  counter("spe_cluster_client_ambiguous_results_total",
+          "writes with unknown outcome at deadline", s.ambiguous_results);
 }
 
 }  // namespace spe::cluster

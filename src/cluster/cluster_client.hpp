@@ -20,9 +20,23 @@
 //   failover             a node that cannot be reached is skipped: the
 //                        topology is refreshed from any other member and
 //                        the operation retries against the new owner.
+//   circuit breaking     one net::CircuitBreaker per endpoint. A node that
+//                        keeps failing is skipped without burning deadline
+//                        budget on its connect timeout; half-open probes
+//                        re-admit it once it recovers.
+//   deadline retries     ClusterClientConfig::op_deadline bounds the WHOLE
+//                        operation (every attempt, every backoff). The
+//                        remaining budget rides each wire-v3 frame so the
+//                        server can shed work it cannot finish in time, and
+//                        caps each attempt's socket deadline. Exhaustion
+//                        surfaces typed: DeadlineExceededError for reads /
+//                        never-sent writes, AmbiguousResultError for a write
+//                        that reached the network without a conclusive
+//                        answer.
 //
 // Single-owner-thread, like net::Client. Run one ClusterClient per worker.
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <span>
@@ -31,6 +45,8 @@
 
 #include "cluster/topology.hpp"
 #include "net/client.hpp"
+#include "net/resilience.hpp"
+#include "obs/metrics.hpp"
 
 namespace spe::cluster {
 
@@ -49,6 +65,19 @@ struct ClusterClientConfig {
   std::chrono::milliseconds moved_backoff{5};
   std::chrono::milliseconds moved_backoff_max{250};
   net::ClientConfig net;  ///< template for per-node sockets (host/port overridden)
+
+  /// End-to-end budget for one read_block/write_block, spanning every
+  /// attempt, redirect, and backoff. 0 = unbounded (legacy behaviour). When
+  /// set, the remaining budget is encoded on each request frame (wire v3
+  /// deadline extension) and caps each attempt's socket I/O deadline.
+  std::chrono::milliseconds op_deadline{0};
+  /// Backoff schedule for transient-failure retries (unreachable node,
+  /// dropped connection, BUSY shed). Deterministic per (jitter_seed,
+  /// endpoint, attempt) — fixed-seed chaos campaigns replay identical
+  /// timing. Distinct from moved_backoff, which paces MOVED chasing.
+  net::RetryConfig retry;
+  /// Per-endpoint breaker settings (see net/resilience.hpp).
+  net::CircuitBreakerConfig breaker;
 };
 
 class ClusterClient {
@@ -79,22 +108,47 @@ public:
     std::uint64_t moved_redirects = 0;
     std::uint64_t failovers = 0;  ///< unreachable owner, rerouted
     std::uint64_t topology_refreshes = 0;
+    std::uint64_t retries = 0;        ///< transient-failure re-attempts
+    std::uint64_t busy_backoffs = 0;  ///< BUSY sheds honoured (retry-after)
+    std::uint64_t breaker_trips = 0;  ///< Closed/HalfOpen -> Open transitions
+    std::uint64_t breaker_skips = 0;  ///< attempts failed fast on an Open breaker
+    std::uint64_t deadline_exceeded = 0;   ///< ops out of budget, outcome known
+    std::uint64_t ambiguous_results = 0;   ///< writes out of budget, outcome unknown
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Snapshot (breaker_trips is summed over the per-endpoint breakers at
+  /// call time; everything else accumulates inline).
+  [[nodiscard]] Stats stats() const;
+
+  /// Registers the spe_cluster_client_* counters into `registry` (loadgen's
+  /// summary and the chaos campaign report both pull from this).
+  void fill_metrics(obs::MetricsRegistry& registry) const;
 
   /// Direct access to the pooled connection for `node` (admin plane: freeze
   /// / pull / unfreeze RPCs go to specific nodes, not ring owners).
   [[nodiscard]] net::Client& node_client(const NodeInfo& node);
 
 private:
-  [[nodiscard]] net::Frame route_call(std::uint64_t addr, const net::Frame& request);
+  [[nodiscard]] net::Frame route_call(std::uint64_t addr, net::Frame request,
+                                      bool is_write);
   [[nodiscard]] bool try_fetch_topology(const NodeInfo& node);
   void drop_client(const NodeInfo& node);
+  [[nodiscard]] net::CircuitBreaker& breaker_for(const NodeInfo& node);
+  /// Sleeps for `pause` clipped to the operation deadline (no-op once the
+  /// budget is spent).
+  void bounded_sleep(std::chrono::milliseconds pause,
+                     std::chrono::steady_clock::time_point deadline,
+                     bool has_deadline) const;
 
   ClusterClientConfig config_;
   ClusterTopology topology_;
   HashRing ring_;
   std::map<std::string, net::Client> pool_;  ///< endpoint -> connection
+  std::map<std::string, net::CircuitBreaker> breakers_;  ///< endpoint -> breaker
+  /// Times each endpoint's pooled client was dropped. Mixed into the chaos
+  /// stream id so a re-created client advances the injection schedule
+  /// instead of replaying it from event 0 (a reset-on-first-frame decision
+  /// would otherwise wedge that endpoint forever).
+  std::map<std::string, std::uint64_t> chaos_epochs_;
   Stats stats_;
 };
 

@@ -24,6 +24,8 @@ Client::Client(Client&& other) noexcept
     : config_(std::move(other.config_)),
       fd_(other.fd_),
       next_id_(other.next_id_),
+      chaos_tx_events_(other.chaos_tx_events_),
+      chaos_rx_events_(other.chaos_rx_events_),
       decoder_(std::move(other.decoder_)) {
   other.fd_ = -1;
 }
@@ -34,6 +36,8 @@ Client& Client::operator=(Client&& other) noexcept {
     config_ = std::move(other.config_);
     fd_ = other.fd_;
     next_id_ = other.next_id_;
+    chaos_tx_events_ = other.chaos_tx_events_;
+    chaos_rx_events_ = other.chaos_rx_events_;
     decoder_ = std::move(other.decoder_);
     other.fd_ = -1;
   }
@@ -120,32 +124,95 @@ void Client::connect() {
 
 std::uint64_t Client::send_frame(const Frame& frame) {
   if (!connected()) throw ConnectError("spe::net: not connected");
-  const std::vector<std::uint8_t> bytes = encode_frame(frame);
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n =
-        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<std::size_t>(n);
-      continue;
+  std::vector<std::uint8_t> bytes = encode_frame(frame);
+  std::size_t send_len = bytes.size();
+  unsigned copies = 1;
+  if (ChaosPolicy* chaos = config_.chaos.get(); chaos != nullptr && chaos->enabled()) {
+    const ChaosSite site{config_.chaos_stream, chaos_tx_events_++,
+                         static_cast<std::uint8_t>(frame.opcode), false};
+    const ChaosAction action = chaos->decide(site);
+    switch (action) {
+      case ChaosAction::None:
+        break;
+      case ChaosAction::Drop:
+        // Swallow the frame whole; the peer never sees it and the caller's
+        // receive deadline is what eventually notices.
+        chaos->stats().note(action);
+        return frame.request_id;
+      case ChaosAction::Delay:
+        chaos->stats().note(action);
+        std::this_thread::sleep_for(chaos->delay_for(site));
+        break;
+      case ChaosAction::Corrupt:
+        chaos->stats().note(action);
+        bytes[chaos->corrupt_offset(site, bytes.size())] ^= chaos->corrupt_mask(site);
+        break;
+      case ChaosAction::Truncate:
+        // The stream stalls mid-frame; this connection is unusable for
+        // further requests until the peer drops it.
+        chaos->stats().note(action);
+        send_len = chaos->truncate_len(site, bytes.size());
+        break;
+      case ChaosAction::Duplicate:
+        chaos->stats().note(action);
+        copies = 2;
+        break;
+      case ChaosAction::Reset:
+        chaos->stats().note(action);
+        close();
+        throw ProtocolError("spe::net: connection reset (chaos)");
     }
-    if (n < 0 && errno == EINTR) continue;
-    const int err = errno;
-    close();
-    throw ProtocolError(std::string("spe::net: send failed: ") +
-                        std::strerror(err));
+  }
+  for (unsigned copy = 0; copy < copies; ++copy) {
+    std::size_t sent = 0;
+    while (sent < send_len) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, send_len - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      const int err = errno;
+      close();
+      throw ProtocolError(std::string("spe::net: send failed: ") +
+                          std::strerror(err));
+    }
   }
   return frame.request_id;
 }
 
-Frame Client::recv_response() {
+Frame Client::recv_response(std::chrono::milliseconds deadline_override) {
   if (!connected()) throw ConnectError("spe::net: not connected");
-  const auto deadline = std::chrono::steady_clock::now() + config_.io_deadline;
-  const bool has_deadline = config_.io_deadline.count() > 0;
+  std::chrono::milliseconds budget = config_.io_deadline;
+  if (deadline_override.count() > 0 &&
+      (budget.count() <= 0 || deadline_override < budget)) {
+    budget = deadline_override;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  const bool has_deadline = budget.count() > 0;
   Frame frame;
   for (;;) {
     const DecodeStatus status = decoder_.next(frame);
-    if (status == DecodeStatus::Ok) return frame;
+    if (status == DecodeStatus::Ok) {
+      if (ChaosPolicy* chaos = config_.chaos.get();
+          chaos != nullptr && chaos->enabled()) {
+        const ChaosSite site{config_.chaos_stream, chaos_rx_events_++,
+                             static_cast<std::uint8_t>(frame.opcode), true};
+        const ChaosAction action = chaos->decide(site);
+        // Only Drop and Delay make sense at post-decode granularity; the
+        // byte-mangling actions already happened on the sender's side.
+        if (action == ChaosAction::Drop) {
+          chaos->stats().note(action);
+          continue;
+        }
+        if (action == ChaosAction::Delay) {
+          chaos->stats().note(action);
+          std::this_thread::sleep_for(chaos->delay_for(site));
+        }
+      }
+      return frame;
+    }
     if (status == DecodeStatus::Error) {
       const WireErrorCode code = decoder_.error();
       close();
@@ -205,12 +272,7 @@ std::uint64_t Client::send_metrics(obs::MetricsFormat format) {
 }
 
 Frame Client::await(std::uint64_t id) {
-  Frame frame = recv_response();
-  if (frame.request_id != id) {
-    close();
-    throw ProtocolError("spe::net: response id mismatch (pipelining mixed with "
-                        "blocking RPCs?)");
-  }
+  Frame frame = await_matching(id, std::chrono::milliseconds{0});
   if (frame.status != Status::Ok)
     throw RemoteError(frame.status,
                       std::string(frame.payload.begin(), frame.payload.end()));
@@ -243,16 +305,27 @@ std::string Client::metrics(obs::MetricsFormat format) {
 
 void Client::ping() { (void)await(send_ping()); }
 
-Frame Client::call(Frame frame) {
+Frame Client::await_matching(std::uint64_t id,
+                             std::chrono::milliseconds deadline_override) {
+  // A duplicated request (chaos, or a retry racing its original) makes the
+  // server answer the same id twice, and an abandoned attempt can leave its
+  // response in the pipe — stale ids below `id` are skipped, bounded so a
+  // babbling peer still fails typed.
+  for (unsigned skips = 0; skips < 64; ++skips) {
+    Frame resp = recv_response(deadline_override);
+    if (resp.request_id == id) return resp;
+    if (resp.request_id < id) continue;
+    break;
+  }
+  close();
+  throw ProtocolError("spe::net: response id mismatch (pipelining mixed with "
+                      "blocking RPCs?)");
+}
+
+Frame Client::call(Frame frame, std::chrono::milliseconds io_deadline_override) {
   frame.request_id = next_id_++;
   send_frame(frame);
-  Frame resp = recv_response();
-  if (resp.request_id != frame.request_id) {
-    close();
-    throw ProtocolError("spe::net: response id mismatch (pipelining mixed with "
-                        "blocking RPCs?)");
-  }
-  return resp;
+  return await_matching(frame.request_id, io_deadline_override);
 }
 
 }  // namespace spe::net

@@ -17,11 +17,13 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "net/chaos.hpp"
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
 
@@ -75,6 +77,12 @@ struct ClientConfig {
   std::chrono::milliseconds connect_timeout{1'000};  ///< per attempt; 0 = block
   std::chrono::milliseconds io_deadline{5'000};      ///< 0 = block forever
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Chaos injection on this client's I/O (nullptr = clean). Shared so one
+  /// policy (one seed, one stats block) can cover a whole fleet of clients.
+  std::shared_ptr<ChaosPolicy> chaos;
+  /// Stable stream id for chaos decisions — pick something reproducible
+  /// across runs (an endpoint hash, a worker index), NOT a pointer or fd.
+  std::uint64_t chaos_stream = 0;
 };
 
 class Client {
@@ -104,7 +112,11 @@ public:
   std::uint64_t send_ping(std::span<const std::uint8_t> echo = {});
   std::uint64_t send_scrub();
   std::uint64_t send_metrics(obs::MetricsFormat format = obs::MetricsFormat::Prometheus);
-  [[nodiscard]] Frame recv_response();
+  /// `deadline_override` > 0 caps this receive below config io_deadline —
+  /// the deadline-aware retry loop passes its remaining budget here so one
+  /// dropped response cannot eat the whole op deadline.
+  [[nodiscard]] Frame recv_response(
+      std::chrono::milliseconds deadline_override = std::chrono::milliseconds{0});
 
   // --- blocking RPC conveniences (single outstanding request) --------------
   [[nodiscard]] std::vector<std::uint8_t> read_block(std::uint64_t block_addr);
@@ -118,17 +130,25 @@ public:
   /// response WITHOUT interpreting its status byte — cluster-aware callers
   /// route on Status::Moved themselves, so unlike the conveniences above a
   /// non-Ok status is returned, not thrown. Throws only on transport
-  /// failures.
-  [[nodiscard]] Frame call(Frame frame);
+  /// failures. Stale responses to earlier (duplicated / abandoned) request
+  /// ids are skipped, not treated as protocol errors. `io_deadline_override`
+  /// > 0 caps the receive below config io_deadline.
+  [[nodiscard]] Frame call(Frame frame,
+                           std::chrono::milliseconds io_deadline_override =
+                               std::chrono::milliseconds{0});
 
 private:
   std::uint64_t send_frame(const Frame& frame);
   /// recv_response() that must match `id` (convenience RPC path).
   Frame await(std::uint64_t id);
+  /// recv_response() skipping stale ids below `id` (bounded), for call().
+  Frame await_matching(std::uint64_t id, std::chrono::milliseconds deadline_override);
 
   ClientConfig config_;
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
+  std::uint64_t chaos_tx_events_ = 0;  ///< frames offered to tx chaos
+  std::uint64_t chaos_rx_events_ = 0;  ///< frames offered to rx chaos
   FrameDecoder decoder_;
 };
 

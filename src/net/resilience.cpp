@@ -1,0 +1,111 @@
+#include "net/resilience.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace spe::net {
+
+namespace {
+
+constexpr std::uint64_t kJitterTag = 0xB0FF0FF5E72417EDull;
+
+double unit_interval(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::chrono::milliseconds retry_backoff(const RetryConfig& config,
+                                        std::uint64_t stream,
+                                        unsigned attempt) noexcept {
+  if (config.backoff_base.count() <= 0) return std::chrono::milliseconds{0};
+  // Exponential doubling without overflow: stop shifting once past the cap.
+  std::int64_t ms = config.backoff_base.count();
+  for (unsigned i = 0; i < attempt && ms < config.backoff_max.count(); ++i) ms *= 2;
+  ms = std::min<std::int64_t>(ms, config.backoff_max.count());
+  if (config.jitter > 0.0) {
+    std::uint64_t h = util::mix64(config.jitter_seed ^ kJitterTag);
+    h = util::mix64(h ^ stream);
+    h = util::mix64(h ^ attempt);
+    const double jitter = std::clamp(config.jitter, 0.0, 1.0);
+    const double scale = 1.0 - jitter * unit_interval(h);
+    ms = std::max<std::int64_t>(0, static_cast<std::int64_t>(
+                                       static_cast<double>(ms) * scale));
+  }
+  return std::chrono::milliseconds{ms};
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config) : config_(config) {}
+
+void CircuitBreaker::trip_locked(Clock::time_point now) {
+  state_ = State::Open;
+  opened_at_ = now;
+  half_open_inflight_ = 0;
+  trips_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool CircuitBreaker::allow() {
+  std::lock_guard lock(mutex_);
+  switch (state_) {
+    case State::Closed:
+      return true;
+    case State::Open: {
+      const auto now = Clock::now();
+      if (now - opened_at_ < config_.open_timeout) return false;
+      state_ = State::HalfOpen;
+      half_open_inflight_ = 0;
+      [[fallthrough]];
+    }
+    case State::HalfOpen:
+      if (half_open_inflight_ >= config_.half_open_probes) return false;
+      ++half_open_inflight_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success() {
+  std::lock_guard lock(mutex_);
+  consecutive_failures_ = 0;
+  if (state_ != State::Closed) {
+    state_ = State::Closed;
+    half_open_inflight_ = 0;
+  }
+}
+
+void CircuitBreaker::on_failure() {
+  std::lock_guard lock(mutex_);
+  switch (state_) {
+    case State::Closed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        trip_locked(Clock::now());
+      }
+      break;
+    case State::HalfOpen:
+      // A failed probe re-opens immediately; the timer restarts.
+      trip_locked(Clock::now());
+      break;
+    case State::Open:
+      // Late failure report from a call admitted before the trip; the
+      // breaker is already open — just keep the failure streak honest.
+      ++consecutive_failures_;
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+const char* to_string(CircuitBreaker::State state) noexcept {
+  switch (state) {
+    case CircuitBreaker::State::Closed: return "closed";
+    case CircuitBreaker::State::Open: return "open";
+    case CircuitBreaker::State::HalfOpen: return "half-open";
+  }
+  return "closed";
+}
+
+}  // namespace spe::net

@@ -8,9 +8,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/trace.hpp"
 #include "runtime/service_config.hpp"
@@ -112,6 +114,12 @@ void Server::stop() {
         return pending_count_.load(std::memory_order_acquire) == 0;
       });
     }
+    // Anything still pending has outlived the drain budget: finish_pending
+    // now answers unready futures with Status::Stopped immediately instead
+    // of blocking request_timeout per queued item — every in-flight op gets
+    // a typed response, and stop() stays bounded.
+    if (pending_count_.load(std::memory_order_acquire) != 0)
+      drain_expired_.store(true, std::memory_order_release);
     // Phase 3: completion threads finish their lanes (each item bounded by
     // request_timeout) and exit; then the loop flushes and closes.
     completions_quit_.store(true, std::memory_order_release);
@@ -226,6 +234,7 @@ void Server::accept_ready() {
     conn->id = ++next_conn_id_;
     conn->decoder = FrameDecoder(config_.max_frame_bytes);
     conn->last_activity = Clock::now();
+    conn->last_progress = conn->last_activity;
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -292,6 +301,16 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame&& frame) {
   obs::Tracer::instance().instant("net.request",
                                   static_cast<std::uint64_t>(frame.opcode),
                                   frame.request_id);
+  if (ChaosPolicy* chaos = config_.chaos.get(); chaos != nullptr && chaos->enabled()) {
+    // rx side only drops: the frame vanished in flight, the client's
+    // deadline notices. (Byte-level mangling is a tx-side concern.)
+    const ChaosSite site{conn->id, conn->chaos_rx_events++,
+                         static_cast<std::uint8_t>(frame.opcode), true};
+    if (chaos->decide(site) == ChaosAction::Drop) {
+      chaos->stats().note(ChaosAction::Drop);
+      return;
+    }
+  }
   if (cluster_ != nullptr) {
     Frame response;
     switch (cluster_->fast_path(frame, response)) {
@@ -380,6 +399,7 @@ void Server::submit_handler(const std::shared_ptr<Conn>& conn, Frame&& frame) {
   pending.conn = conn;
   pending.request_id = frame.request_id;
   pending.version = frame.version;
+  pending.deadline_ms = frame.deadline_ms;
   pending.lane = next_lane_++;  // no shard affinity: spread across lanes
   pending.received = Clock::now();
   pending.handler_frame = std::move(frame);
@@ -394,7 +414,22 @@ void Server::submit_request(const std::shared_ptr<Conn>& conn, Frame&& frame) {
   pending.conn = conn;
   pending.request_id = id;
   pending.version = frame.version;
+  pending.deadline_ms = frame.deadline_ms;
   pending.received = Clock::now();
+  // Deadline-aware load shedding: when a v3 frame declares its remaining
+  // budget and the target shard's expected queue wait already exceeds it,
+  // answer Busy with that wait as the retry-after hint — queueing it would
+  // only burn shard time on a response the client must discard as late.
+  const auto shed = [this, &conn, &frame](unsigned shard) {
+    if (!config_.deadline_shedding || frame.deadline_ms == 0) return false;
+    const std::uint64_t wait_ms =
+        service_.estimated_queue_wait_ns(shard) / 1'000'000;
+    if (wait_ms <= frame.deadline_ms) return false;
+    counters_.busy_shed.fetch_add(1, std::memory_order_relaxed);
+    respond_now(conn, make_busy_response(frame, wait_ms,
+                                         "queue wait exceeds op deadline"));
+    return true;
+  };
   try {
     switch (op) {
       case Opcode::Read: {
@@ -408,6 +443,7 @@ void Server::submit_request(const std::shared_ptr<Conn>& conn, Frame&& frame) {
         }
         pending.kind = Pending::Kind::Read;
         pending.lane = service_.shard_of(addr);  // shard-affine completion
+        if (shed(pending.lane)) return;
         pending.read_future = service_.submit_read(addr);
         break;
       }
@@ -425,6 +461,7 @@ void Server::submit_request(const std::shared_ptr<Conn>& conn, Frame&& frame) {
         }
         pending.kind = Pending::Kind::Write;
         pending.lane = service_.shard_of(addr);  // shard-affine completion
+        if (shed(pending.lane)) return;
         pending.write_future = service_.submit_write(addr, data);
         break;
       }
@@ -475,8 +512,22 @@ void Server::completion_loop(CompletionLane& lane) {
 }
 
 void Server::finish_pending(Pending& pending) {
-  const bool has_deadline = config_.request_timeout.count() > 0;
-  const auto deadline = pending.received + config_.request_timeout;
+  // The wait is bounded by whichever expires first: the server-wide request
+  // timeout or the op's own v3 deadline. Drain expiry (stop() past its
+  // budget) short-circuits the wait entirely — unready ops answer Stopped
+  // now, typed, instead of holding shutdown hostage one timeout at a time.
+  bool has_deadline = config_.request_timeout.count() > 0;
+  auto deadline = pending.received + config_.request_timeout;
+  if (pending.deadline_ms != 0) {
+    const auto op_deadline =
+        pending.received + std::chrono::milliseconds(pending.deadline_ms);
+    if (!has_deadline || op_deadline < deadline) deadline = op_deadline;
+    has_deadline = true;
+  }
+  if (drain_expired_.load(std::memory_order_acquire)) {
+    has_deadline = true;
+    deadline = Clock::now();
+  }
   Opcode opcode = Opcode::Scrub;
   switch (pending.kind) {
     case Pending::Kind::Read: opcode = Opcode::Read; break;
@@ -501,9 +552,16 @@ void Server::finish_pending(Pending& pending) {
       case Pending::Kind::Read: {
         if (has_deadline &&
             pending.read_future.wait_until(deadline) != std::future_status::ready) {
-          counters_.request_timeouts.fetch_add(1, std::memory_order_relaxed);
-          response = make_error_response(opcode, Status::Timeout,
-                                         pending.request_id, "read deadline expired");
+          if (drain_expired_.load(std::memory_order_acquire)) {
+            counters_.drain_aborted.fetch_add(1, std::memory_order_relaxed);
+            response = make_error_response(opcode, Status::Stopped,
+                                           pending.request_id,
+                                           "server drained before completion");
+          } else {
+            counters_.request_timeouts.fetch_add(1, std::memory_order_relaxed);
+            response = make_error_response(opcode, Status::Timeout,
+                                           pending.request_id, "read deadline expired");
+          }
           break;
         }
         const std::vector<std::uint8_t> data = pending.read_future.get();
@@ -513,9 +571,16 @@ void Server::finish_pending(Pending& pending) {
       case Pending::Kind::Write:
         if (has_deadline &&
             pending.write_future.wait_until(deadline) != std::future_status::ready) {
-          counters_.request_timeouts.fetch_add(1, std::memory_order_relaxed);
-          response = make_error_response(opcode, Status::Timeout,
-                                         pending.request_id, "write deadline expired");
+          if (drain_expired_.load(std::memory_order_acquire)) {
+            counters_.drain_aborted.fetch_add(1, std::memory_order_relaxed);
+            response = make_error_response(opcode, Status::Stopped,
+                                           pending.request_id,
+                                           "server drained before completion");
+          } else {
+            counters_.request_timeouts.fetch_add(1, std::memory_order_relaxed);
+            response = make_error_response(opcode, Status::Timeout,
+                                           pending.request_id, "write deadline expired");
+          }
           break;
         }
         pending.write_future.get();
@@ -545,22 +610,78 @@ void Server::finish_pending(Pending& pending) {
   deliver(pending.conn, response);
 }
 
-void Server::respond_now(const std::shared_ptr<Conn>& conn, const Frame& frame) {
+bool Server::append_response(const std::shared_ptr<Conn>& conn,
+                             std::uint8_t version, Opcode opcode, Status status,
+                             std::uint64_t request_id,
+                             std::span<const std::uint8_t> payload,
+                             bool may_block) {
+  ChaosPolicy* chaos = config_.chaos.get();
+  ChaosAction action = ChaosAction::None;
+  ChaosSite site;
+  if (chaos != nullptr && chaos->enabled()) {
+    site = ChaosSite{conn->id,
+                     conn->chaos_tx_events.fetch_add(1, std::memory_order_relaxed),
+                     static_cast<std::uint8_t>(opcode), false};
+    action = chaos->decide(site);
+    // The event loop must never sleep; a Delay decided there degrades to a
+    // clean send rather than stalling every connection.
+    if (action == ChaosAction::Delay && !may_block) action = ChaosAction::None;
+    if (action != ChaosAction::None) chaos->stats().note(action);
+  }
+  switch (action) {
+    case ChaosAction::Drop:
+      return false;  // the response vanishes; the client's deadline notices
+    case ChaosAction::Delay:
+      std::this_thread::sleep_for(chaos->delay_for(site));
+      break;
+    default:
+      break;
+  }
   {
     std::lock_guard lock(conn->out_mutex);
-    append_frame(conn->out, frame);
+    const std::size_t start = conn->out.size();
+    append_frame_direct(conn->out, version, opcode, status, request_id, payload);
+    switch (action) {
+      case ChaosAction::Corrupt:
+        conn->out[start + chaos->corrupt_offset(site, conn->out.size() - start)] ^=
+            chaos->corrupt_mask(site);
+        break;
+      case ChaosAction::Truncate:
+        // Keep only a prefix: the client's decoder stalls mid-frame and its
+        // io deadline (then reconnect) recovers the stream.
+        conn->out.resize(start + chaos->truncate_len(site, conn->out.size() - start));
+        break;
+      case ChaosAction::Duplicate: {
+        const std::size_t len = conn->out.size() - start;
+        conn->out.insert(conn->out.end(), conn->out.begin() + start,
+                         conn->out.begin() + start + len);
+        break;
+      }
+      case ChaosAction::Reset:
+        // Close after this frame hits the wire; the event loop owns fds, so
+        // just flag it and let flush() finish the kill.
+        conn->chaos_kill.store(true, std::memory_order_release);
+        break;
+      default:
+        break;
+    }
   }
   counters_.frames_tx.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Server::respond_now(const std::shared_ptr<Conn>& conn, const Frame& frame) {
+  if (!append_response(conn, frame.version, frame.opcode, frame.status,
+                       frame.request_id, frame.payload, /*may_block=*/false))
+    return;
   flush(conn);
 }
 
 void Server::deliver(const std::shared_ptr<Conn>& conn, const Frame& frame) {
   if (conn->dead.load(std::memory_order_acquire)) return;
-  {
-    std::lock_guard lock(conn->out_mutex);
-    append_frame(conn->out, frame);
-  }
-  counters_.frames_tx.fetch_add(1, std::memory_order_relaxed);
+  if (!append_response(conn, frame.version, frame.opcode, frame.status,
+                       frame.request_id, frame.payload, /*may_block=*/true))
+    return;
   {
     std::lock_guard lock(dirty_mutex_);
     dirty_.push_back(conn);
@@ -572,12 +693,9 @@ void Server::deliver_direct(const Pending& pending, Opcode opcode,
                             std::span<const std::uint8_t> payload) {
   const std::shared_ptr<Conn>& conn = pending.conn;
   if (conn->dead.load(std::memory_order_acquire)) return;
-  {
-    std::lock_guard lock(conn->out_mutex);
-    append_frame_direct(conn->out, pending.version, opcode, Status::Ok,
-                        pending.request_id, payload);
-  }
-  counters_.frames_tx.fetch_add(1, std::memory_order_relaxed);
+  if (!append_response(conn, pending.version, opcode, Status::Ok,
+                       pending.request_id, payload, /*may_block=*/true))
+    return;
   {
     std::lock_guard lock(dirty_mutex_);
     dirty_.push_back(conn);
@@ -590,6 +708,7 @@ void Server::flush(const std::shared_ptr<Conn>& conn) {
   obs::Span span("net.flush", conn->id);
   bool flushed_all = false;
   bool io_error = false;
+  bool over_cap = false;
   {
     std::lock_guard lock(conn->out_mutex);
     while (conn->out_off < conn->out.size()) {
@@ -600,6 +719,7 @@ void Server::flush(const std::shared_ptr<Conn>& conn) {
         counters_.bytes_tx.fetch_add(static_cast<std::uint64_t>(n),
                                      std::memory_order_relaxed);
         span.add_a1(static_cast<std::uint64_t>(n));
+        conn->last_progress = Clock::now();
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -611,9 +731,22 @@ void Server::flush(const std::shared_ptr<Conn>& conn) {
       conn->out.clear();
       conn->out_off = 0;
       flushed_all = true;
+    } else if (config_.max_output_buffer != 0 &&
+               conn->out.size() - conn->out_off > config_.max_output_buffer) {
+      // Slow consumer past the buffer cap: evict rather than balloon.
+      over_cap = true;
     }
   }
   if (io_error) {
+    close_conn(conn);
+    return;
+  }
+  if (over_cap) {
+    counters_.stalled_closed.fetch_add(1, std::memory_order_relaxed);
+    close_conn(conn);
+    return;
+  }
+  if (flushed_all && conn->chaos_kill.load(std::memory_order_acquire)) {
     close_conn(conn);
     return;
   }
@@ -641,17 +774,35 @@ void Server::close_conn(const std::shared_ptr<Conn>& conn) {
 }
 
 void Server::sweep_idle(Clock::time_point now) {
-  if (config_.idle_timeout.count() == 0) return;
-  std::vector<std::shared_ptr<Conn>> victims;
+  std::vector<std::shared_ptr<Conn>> idle_victims;
+  std::vector<std::shared_ptr<Conn>> stalled_victims;
   for (const auto& [fd, conn] : conns_) {
     // In-flight requests still count as activity (their completions refresh
     // nothing); unread output does not — a peer that never reads is idle.
-    if (conn->inflight.load(std::memory_order_acquire) == 0 &&
-        now - conn->last_activity >= config_.idle_timeout)
-      victims.push_back(conn);
+    if (config_.idle_timeout.count() != 0 &&
+        conn->inflight.load(std::memory_order_acquire) == 0 &&
+        now - conn->last_activity >= config_.idle_timeout) {
+      idle_victims.push_back(conn);
+      continue;
+    }
+    // Stall eviction: output is pending but not a byte has moved for
+    // stall_timeout — a zero-window or wedged peer holding buffer hostage.
+    if (config_.stall_timeout.count() != 0) {
+      bool stalled = false;
+      {
+        std::lock_guard lock(conn->out_mutex);
+        stalled = conn->out_off < conn->out.size() &&
+                  now - conn->last_progress >= config_.stall_timeout;
+      }
+      if (stalled) stalled_victims.push_back(conn);
+    }
   }
-  for (const auto& conn : victims) {
+  for (const auto& conn : idle_victims) {
     counters_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+    close_conn(conn);
+  }
+  for (const auto& conn : stalled_victims) {
+    counters_.stalled_closed.fetch_add(1, std::memory_order_relaxed);
     close_conn(conn);
   }
 }
@@ -672,6 +823,9 @@ ServerCountersSnapshot Server::counters() const {
   s.overload_rejected = get(counters_.overload_rejected);
   s.request_timeouts = get(counters_.request_timeouts);
   s.idle_closed = get(counters_.idle_closed);
+  s.busy_shed = get(counters_.busy_shed);
+  s.stalled_closed = get(counters_.stalled_closed);
+  s.drain_aborted = get(counters_.drain_aborted);
   s.requests_completed = get(counters_.requests_completed);
   s.request_latency = counters_.request_latency.snapshot();
   return s;
@@ -698,6 +852,24 @@ void Server::fill_metrics(obs::MetricsRegistry& registry) const {
           "requests answered Timeout past the server deadline", s.request_timeouts);
   counter("spe_net_idle_closed_total", "connections closed by the idle sweep",
           s.idle_closed);
+  counter("spe_net_busy_shed_total",
+          "requests answered Busy by deadline-aware load shedding", s.busy_shed);
+  counter("spe_net_stalled_closed_total",
+          "connections evicted for stalled/oversized output", s.stalled_closed);
+  counter("spe_net_drain_aborted_total",
+          "in-flight requests failed typed at drain expiry", s.drain_aborted);
+  if (config_.chaos != nullptr) {
+    const ChaosStats& c = config_.chaos->stats();
+    const auto chaos_get = [](const std::atomic<std::uint64_t>& v) {
+      return v.load(std::memory_order_relaxed);
+    };
+    counter("spe_net_chaos_injections_total",
+            "chaos actions injected into server frame I/O", c.total());
+    counter("spe_net_chaos_dropped_total", "frames dropped by chaos",
+            chaos_get(c.dropped));
+    counter("spe_net_chaos_corrupted_total", "frames corrupted by chaos",
+            chaos_get(c.corrupted));
+  }
   counter("spe_net_requests_completed_total",
           "responses encoded by the completion threads", s.requests_completed);
   registry.gauge("spe_net_connections_active", "connections currently open")

@@ -60,6 +60,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/chaos.hpp"
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/latency_histogram.hpp"
@@ -105,6 +106,22 @@ struct ServerConfig {
   std::chrono::milliseconds idle_timeout{30'000};    ///< 0 disables
   std::chrono::milliseconds request_timeout{5'000};  ///< 0 disables
   std::chrono::milliseconds drain_timeout{5'000};    ///< stop() in-flight bound
+  /// Deadline-aware load shedding: a v3 READ/WRITE whose declared deadline
+  /// is shorter than the target shard's expected queue wait is answered
+  /// Status::Busy (with the expected wait as the retry-after hint) instead
+  /// of being queued to time out. Frames without a deadline are unaffected.
+  bool deadline_shedding = true;
+  /// A connection whose output buffer has not drained at all for this long
+  /// is evicted by the sweep (a stalled/zero-window peer would otherwise
+  /// pin its buffer forever). 0 disables.
+  std::chrono::milliseconds stall_timeout{10'000};
+  /// Hard cap on one connection's un-flushed output; a slow consumer past
+  /// it is closed rather than ballooning server memory. 0 disables.
+  std::size_t max_output_buffer = std::size_t{8} << 20;
+  /// Chaos injection on this server's frame I/O (nullptr = clean). The
+  /// per-connection stream id is the accept sequence number, so a
+  /// fixed-order connect sequence replays identical injections.
+  std::shared_ptr<ChaosPolicy> chaos;
 };
 
 /// Plain copy of the server's counters at a point in time.
@@ -120,6 +137,9 @@ struct ServerCountersSnapshot {
   std::uint64_t overload_rejected = 0;
   std::uint64_t request_timeouts = 0;
   std::uint64_t idle_closed = 0;
+  std::uint64_t busy_shed = 0;        ///< deadline-aware Busy rejections
+  std::uint64_t stalled_closed = 0;   ///< output-stall / buffer-cap evictions
+  std::uint64_t drain_aborted = 0;    ///< in-flight ops failed typed at drain expiry
   std::uint64_t requests_completed = 0;  ///< responses encoded (any status)
   runtime::LatencyHistogram::Snapshot request_latency;  ///< frame rx -> response encoded
 };
@@ -156,6 +176,12 @@ public:
 
   [[nodiscard]] ServerCountersSnapshot counters() const;
 
+  /// Requests submitted but not yet answered. 0 after stop() returns — the
+  /// chaos campaign's "no stuck futures" assertion.
+  [[nodiscard]] std::size_t pending_requests() const noexcept {
+    return pending_count_.load(std::memory_order_acquire);
+  }
+
   /// spe_net_* counters/gauges/histogram into `registry`.
   void fill_metrics(obs::MetricsRegistry& registry) const;
 
@@ -174,9 +200,15 @@ private:
     std::size_t out_off = 0;
     std::atomic<int> inflight{0};
     std::atomic<bool> dead{false};
+    std::atomic<bool> chaos_kill{false};  ///< tx Reset decided; loop closes it
+    std::atomic<std::uint64_t> chaos_tx_events{0};
+    std::uint64_t chaos_rx_events = 0;  ///< event loop only
     bool want_write = false;   ///< event loop: EPOLLOUT armed
     bool closing = false;      ///< event loop: close once flushed + drained
     std::chrono::steady_clock::time_point last_activity;
+    /// Last time flush() moved at least one byte while output was pending
+    /// (guarded by out_mutex). Stall eviction compares against this.
+    std::chrono::steady_clock::time_point last_progress;
   };
 
   struct Pending {
@@ -184,6 +216,7 @@ private:
     std::shared_ptr<Conn> conn;
     std::uint64_t request_id = 0;
     std::uint8_t version = kWireVersion;  ///< echoed into the response
+    std::uint64_t deadline_ms = 0;  ///< v3 op deadline; 0 = none
     unsigned lane = 0;  ///< completion lane chosen at submit (shard-affine)
     std::chrono::steady_clock::time_point received;
     std::future<std::vector<std::uint8_t>> read_future;
@@ -210,6 +243,9 @@ private:
     std::atomic<std::uint64_t> overload_rejected{0};
     std::atomic<std::uint64_t> request_timeouts{0};
     std::atomic<std::uint64_t> idle_closed{0};
+    std::atomic<std::uint64_t> busy_shed{0};
+    std::atomic<std::uint64_t> stalled_closed{0};
+    std::atomic<std::uint64_t> drain_aborted{0};
     std::atomic<std::uint64_t> requests_completed{0};
     runtime::LatencyHistogram request_latency;
   };
@@ -234,6 +270,14 @@ private:
   /// event loop (no intermediate Frame).
   void deliver_direct(const Pending& pending, Opcode opcode,
                       std::span<const std::uint8_t> payload);
+  /// The one tx encode path all three of the above funnel through: appends
+  /// the encoded response under out_mutex, applying tx chaos. Returns false
+  /// when the chaos decision swallowed the frame (nothing appended).
+  /// `may_block` gates the Delay action (completion threads only — the
+  /// event loop must never sleep).
+  bool append_response(const std::shared_ptr<Conn>& conn, std::uint8_t version,
+                       Opcode opcode, Status status, std::uint64_t request_id,
+                       std::span<const std::uint8_t> payload, bool may_block);
   /// Settles one pending request on its completion lane: waits the future
   /// (bounded by request_timeout), encodes and delivers the response.
   void finish_pending(Pending& pending);
@@ -271,6 +315,10 @@ private:
 
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};
+  /// drain_timeout expired during stop(): finish_pending stops waiting on
+  /// futures and answers the remainder with Status::Stopped (typed, never
+  /// silently dropped).
+  std::atomic<bool> drain_expired_{false};
   std::atomic<bool> quit_{false};
   std::atomic<bool> stop_started_{false};
   std::atomic<bool> stop_done_flag_{false};

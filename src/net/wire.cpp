@@ -52,9 +52,9 @@ const char* to_string(Opcode op) noexcept {
 }
 
 bool status_valid(std::uint8_t raw, std::uint8_t version) noexcept {
-  const std::uint8_t max = version >= 2
-                               ? static_cast<std::uint8_t>(Status::Moved)
-                               : static_cast<std::uint8_t>(Status::Internal);
+  const std::uint8_t max = version >= 3   ? static_cast<std::uint8_t>(Status::Busy)
+                           : version >= 2 ? static_cast<std::uint8_t>(Status::Moved)
+                                          : static_cast<std::uint8_t>(Status::Internal);
   return raw <= max;
 }
 
@@ -70,6 +70,7 @@ const char* to_string(Status status) noexcept {
     case Status::Timeout: return "request timeout";
     case Status::Internal: return "internal error";
     case Status::Moved: return "moved";
+    case Status::Busy: return "busy";
   }
   return "?";
 }
@@ -92,24 +93,39 @@ const char* to_string(WireErrorCode code) noexcept {
 
 void append_frame_direct(std::vector<std::uint8_t>& out, std::uint8_t version,
                          Opcode opcode, Status status, std::uint64_t request_id,
-                         std::span<const std::uint8_t> payload) {
-  out.reserve(out.size() + kHeaderBytes + payload.size());
+                         std::span<const std::uint8_t> payload,
+                         std::uint64_t deadline_ms) {
+  const std::uint8_t v = version >= kMinWireVersion && version <= kWireVersion
+                             ? version
+                             : kWireVersion;
+  // The deadline extension only exists in v3 frames; older peers get the
+  // bare frame (they could not decode the flag anyway).
+  const bool with_deadline = deadline_ms != 0 && v >= 3;
+  std::uint8_t ext[kDeadlineExtBytes];
+  if (with_deadline) {
+    for (std::size_t i = 0; i < kDeadlineExtBytes; ++i)
+      ext[i] = static_cast<std::uint8_t>(deadline_ms >> (8 * i));
+  }
+  const std::size_t ext_len = with_deadline ? kDeadlineExtBytes : 0;
+  out.reserve(out.size() + kHeaderBytes + ext_len + payload.size());
   out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
-  out.push_back(version >= kMinWireVersion && version <= kWireVersion
-                    ? version
-                    : kWireVersion);
+  out.push_back(v);
   out.push_back(static_cast<std::uint8_t>(opcode));
   out.push_back(static_cast<std::uint8_t>(status));
-  out.push_back(0);  // reserved
+  out.push_back(with_deadline ? kFlagDeadline : 0);  // v3 flags / reserved
   put_u64(out, request_id);
-  put_u32(out, static_cast<std::uint32_t>(payload.size()));
-  put_u32(out, util::crc32(payload.data(), payload.size()));
+  put_u32(out, static_cast<std::uint32_t>(ext_len + payload.size()));
+  std::uint32_t crc = 0;
+  if (with_deadline) crc = util::crc32(ext, kDeadlineExtBytes);
+  crc = util::crc32(payload.data(), payload.size(), crc);
+  put_u32(out, crc);
+  if (with_deadline) out.insert(out.end(), ext, ext + kDeadlineExtBytes);
   out.insert(out.end(), payload.begin(), payload.end());
 }
 
 void append_frame(std::vector<std::uint8_t>& out, const Frame& frame) {
   append_frame_direct(out, frame.version, frame.opcode, frame.status,
-                      frame.request_id, frame.payload);
+                      frame.request_id, frame.payload, frame.deadline_ms);
 }
 
 std::vector<std::uint8_t> encode_frame(const Frame& frame) {
@@ -229,6 +245,19 @@ Frame make_error_response(const Frame& request, Status status, std::string_view 
   return f;
 }
 
+Frame make_busy_response(const Frame& request, std::uint64_t retry_after_ms,
+                         std::string_view reason) {
+  Frame f;
+  f.version = request.version;  // callers only shed v3 requests
+  f.opcode = request.opcode;
+  f.status = Status::Busy;
+  f.request_id = request.request_id;
+  f.payload.reserve(8 + reason.size());
+  put_u64(f.payload, retry_after_ms);
+  f.payload.insert(f.payload.end(), reason.begin(), reason.end());
+  return f;
+}
+
 bool parse_read_request(const Frame& frame, std::uint64_t& block_addr,
                         WireErrorCode& error) noexcept {
   if (frame.payload.size() != 8) {
@@ -289,6 +318,16 @@ bool parse_migrate_response(const Frame& frame, std::uint64_t& migrated,
   return true;
 }
 
+bool parse_busy_response(const Frame& frame, std::uint64_t& retry_after_ms,
+                         WireErrorCode& error) noexcept {
+  if (frame.status != Status::Busy || frame.payload.size() < 8) {
+    error = WireErrorCode::BadPayload;
+    return false;
+  }
+  retry_after_ms = get_u64(frame.payload.data());
+  return true;
+}
+
 void FrameDecoder::feed(const void* data, std::size_t len) {
   if (error_ != WireErrorCode::None || len == 0) return;
   // Compact once the consumed prefix dominates, so a long-lived connection
@@ -322,11 +361,19 @@ DecodeStatus FrameDecoder::next(Frame& out) {
   const std::uint8_t version = p[4];
   if (!opcode_valid(p[5], version)) return fail(WireErrorCode::BadOpcode);
   if (!status_valid(p[6], version)) return fail(WireErrorCode::BadStatus);
-  if (p[7] != 0) return fail(WireErrorCode::ReservedNonzero);
+  const std::uint8_t flags = p[7];
+  // v1/v2 reserve the whole byte; v3 defines kKnownFlags and reserves the
+  // rest, so an unknown future flag still fails loudly instead of being
+  // silently misparsed.
+  if (version < 3 ? flags != 0 : (flags & ~kKnownFlags) != 0)
+    return fail(WireErrorCode::ReservedNonzero);
   const std::uint64_t request_id = get_u64(p + 8);
   const std::uint32_t payload_len = get_u32(p + 16);
   const std::uint32_t crc = get_u32(p + 20);
   if (payload_len > max_frame_bytes_) return fail(WireErrorCode::FrameTooLarge);
+  const bool with_deadline = (flags & kFlagDeadline) != 0;
+  if (with_deadline && payload_len < kDeadlineExtBytes)
+    return fail(WireErrorCode::BadPayload);
   if (avail < kHeaderBytes + payload_len) return DecodeStatus::NeedMore;
 
   const std::uint8_t* payload = p + kHeaderBytes;
@@ -336,7 +383,11 @@ DecodeStatus FrameDecoder::next(Frame& out) {
   out.opcode = static_cast<Opcode>(p[5]);
   out.status = static_cast<Status>(p[6]);
   out.request_id = request_id;
-  out.payload.assign(payload, payload + payload_len);
+  out.deadline_ms = with_deadline ? get_u64(payload) : 0;
+  if (with_deadline) payload += kDeadlineExtBytes;
+  out.payload.assign(payload, payload + (payload_len - (with_deadline
+                                                            ? kDeadlineExtBytes
+                                                            : 0)));
   off_ += kHeaderBytes + payload_len;
   if (off_ == buf_.size()) {
     buf_.clear();

@@ -14,11 +14,20 @@
 //        4    1 version (kWireVersion)
 //        5    1 opcode (Opcode)
 //        6    1 status (Status; Ok on requests)
-//        7    1 reserved, must be zero
+//        7    1 flags (v3; must be zero in v1/v2 where it was reserved)
 //        8    8 request id (echoed verbatim in the response)
 //       16    4 payload length in bytes
 //       20    4 CRC32 over the payload bytes
 //       24    n payload
+//
+// v3 flags: bit 0 = deadline extension — the first 8 payload bytes are a
+// little-endian u64 deadline in milliseconds (the sender's remaining time
+// budget for this op). The extension bytes count toward payload length and
+// the CRC; the decoder strips them into Frame::deadline_ms so opcode payload
+// parsers are version-agnostic. All other flag bits must be zero
+// (ReservedNonzero), preserving v1/v2 semantics where the whole byte was
+// reserved — a v3 frame with no flags is byte-identical to a v2 frame
+// except for the version byte.
 //
 // Payloads by opcode:
 //   PING     request: arbitrary bytes      response: echoed bytes
@@ -38,9 +47,10 @@
 // Versioning: frames carry the version they were encoded with. The decoder
 // accepts every version in [kMinWireVersion, kWireVersion]; v2-only opcodes
 // (TOPOLOGY, MIGRATE_RANGE) and the MOVED status are rejected as
-// BadOpcode/BadStatus when they arrive in a v1 frame. Servers echo the
-// request's version in the response so a v1 client keeps decoding cleanly
-// against a v2 server.
+// BadOpcode/BadStatus when they arrive in a v1 frame, and the v3-only BUSY
+// status and deadline flag are rejected likewise in v1/v2 frames. Servers
+// echo the request's version in the response so a v1/v2 client keeps
+// decoding cleanly against a v3 server.
 //
 // Decoding is incremental and truncation-safe: FrameDecoder::feed() buffers
 // arbitrary byte chunks and next() yields complete frames, NeedMore while a
@@ -59,11 +69,17 @@
 
 namespace spe::net {
 
-inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::uint8_t kWireVersion = 3;
 inline constexpr std::uint8_t kMinWireVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 24;
 inline constexpr std::uint8_t kMagic[4] = {'S', 'P', 'W', '1'};
 inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;
+
+/// v3 header flags (byte 7). Must all be zero in v1/v2 frames.
+inline constexpr std::uint8_t kFlagDeadline = 0x01;
+inline constexpr std::uint8_t kKnownFlags = kFlagDeadline;
+/// Encoded size of the deadline extension the kFlagDeadline flag announces.
+inline constexpr std::size_t kDeadlineExtBytes = 8;
 
 enum class Opcode : std::uint8_t {
   Ping = 1,
@@ -91,6 +107,7 @@ enum class Status : std::uint8_t {
   Timeout = 7,        ///< server-side request deadline expired
   Internal = 8,       ///< anything else; payload carries the reason
   Moved = 9,          ///< v2: address owned by another node (payload names it)
+  Busy = 10,          ///< v3: load shed — payload leads with u64 retry-after ms
 };
 [[nodiscard]] bool status_valid(std::uint8_t raw,
                                 std::uint8_t version = kWireVersion) noexcept;
@@ -118,6 +135,11 @@ struct Frame {
   Opcode opcode = Opcode::Ping;
   Status status = Status::Ok;
   std::uint64_t request_id = 0;
+  /// v3 deadline extension, milliseconds of budget remaining for the op.
+  /// 0 = none. Encoded only when nonzero AND version >= 3 (a v1/v2 frame
+  /// silently sheds it — those peers cannot carry the field); the decoder
+  /// strips the extension here so `payload` is always the opcode payload.
+  std::uint64_t deadline_ms = 0;
   std::vector<std::uint8_t> payload;
 };
 
@@ -131,7 +153,8 @@ void append_frame(std::vector<std::uint8_t>& out, const Frame& frame);
 /// kWireVersion (same clamping append_frame applies).
 void append_frame_direct(std::vector<std::uint8_t>& out, std::uint8_t version,
                          Opcode opcode, Status status, std::uint64_t request_id,
-                         std::span<const std::uint8_t> payload);
+                         std::span<const std::uint8_t> payload,
+                         std::uint64_t deadline_ms = 0);
 [[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
 
 // --- typed request/response builders ---------------------------------------
@@ -168,6 +191,11 @@ void append_frame_direct(std::vector<std::uint8_t>& out, std::uint8_t version,
 /// version, so a v1 client never receives a v2 frame.
 [[nodiscard]] Frame make_error_response(const Frame& request, Status status,
                                         std::string_view reason);
+/// BUSY (v3): load shed with a retry-after hint. The payload leads with a
+/// u64 retry-after in milliseconds followed by the reason string.
+[[nodiscard]] Frame make_busy_response(const Frame& request,
+                                       std::uint64_t retry_after_ms,
+                                       std::string_view reason);
 
 // --- typed payload parsers --------------------------------------------------
 // Return false and set `error` (BadPayload) instead of throwing: the server
@@ -187,6 +215,9 @@ void append_frame_direct(std::vector<std::uint8_t>& out, std::uint8_t version,
 [[nodiscard]] bool parse_migrate_response(const Frame& frame, std::uint64_t& migrated,
                                           std::uint64_t& skipped, std::uint64_t& failed,
                                           WireErrorCode& error) noexcept;
+[[nodiscard]] bool parse_busy_response(const Frame& frame,
+                                       std::uint64_t& retry_after_ms,
+                                       WireErrorCode& error) noexcept;
 
 enum class DecodeStatus : std::uint8_t {
   Ok,        ///< a complete frame was produced

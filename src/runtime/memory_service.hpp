@@ -62,6 +62,20 @@ public:
   [[nodiscard]] unsigned block_bytes() const noexcept { return shards_[0]->block_bytes(); }
   [[nodiscard]] unsigned shard_of(std::uint64_t block_addr) const noexcept;
 
+  /// Expected queue wait for a request submitted to `shard` right now:
+  /// current queue depth × the shard's EWMA per-request execution time.
+  /// A statistical estimate (both inputs are relaxed reads) — the serving
+  /// layer's deadline-aware load shedding compares it against an op's
+  /// declared deadline, where an occasional misestimate only costs one
+  /// retry, never correctness.
+  [[nodiscard]] std::uint64_t estimated_queue_wait_ns(unsigned shard) const noexcept {
+    if (shard >= shards_.size()) return 0;
+    const std::uint64_t depth = shards_[shard]->queue().depth();
+    const std::uint64_t avg = shards_[shard]->counters().avg_execute_ns.load(
+        std::memory_order_relaxed);
+    return depth * avg;
+  }
+
   /// Async API. The future resolves once the shard worker has executed the
   /// operation (QueueFullError propagates out of submit itself under the
   /// Reject policy or after stop()).

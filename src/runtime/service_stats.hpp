@@ -47,6 +47,18 @@ struct ShardCounters {
   std::atomic<std::uint64_t> slow_ops{0};  ///< ops over ObsConfig::slow_op_threshold
   std::atomic<std::uint64_t> cipher_batched{0};  ///< ops served by the batched fast path
 
+  /// EWMA of one request's shard execution time (alpha = 1/8), maintained by
+  /// the worker after every request. Load-shedding multiplies this by the
+  /// queue depth to estimate a newcomer's wait; it is an estimator, not an
+  /// accounting counter — the only non-monotonic field in this struct.
+  std::atomic<std::uint64_t> avg_execute_ns{0};
+
+  void note_execute_ns(std::uint64_t ns) noexcept {
+    const std::uint64_t old = avg_execute_ns.load(std::memory_order_relaxed);
+    avg_execute_ns.store(old == 0 ? ns : (7 * old + ns) / 8,
+                         std::memory_order_relaxed);
+  }
+
   LatencyHistogram read_latency;   ///< submit -> future fulfilled
   LatencyHistogram write_latency;  ///< submit -> future fulfilled
   LatencyHistogram background_latency;  ///< one scavenger block re-encryption

@@ -470,6 +470,8 @@ void BankShard::execute_batch(std::vector<Request> batch) {
           waiter.promise.set_exception(std::current_exception());
       }
     }
+    counters_.note_execute_ns(static_cast<std::uint64_t>(
+        (std::chrono::steady_clock::now() - exec_start).count()));
   }
 }
 

@@ -108,9 +108,16 @@ TEST(WireCodec, BitFlipCorpusYieldsTypedErrors) {
       if (byte < 4) {  // magic
         ASSERT_EQ(status, DecodeStatus::Error);
         EXPECT_EQ(decoder.error(), WireErrorCode::BadMagic);
-      } else if (byte == 4) {  // version
-        ASSERT_EQ(status, DecodeStatus::Error);
-        EXPECT_EQ(decoder.error(), WireErrorCode::BadVersion);
+      } else if (byte == 4) {  // version: another served version or typed
+        if (status == DecodeStatus::Ok) {
+          EXPECT_NE(f.version, original.version);
+          EXPECT_GE(f.version, kMinWireVersion);
+          EXPECT_LE(f.version, kWireVersion);
+          EXPECT_EQ(f.payload, original.payload);
+        } else {
+          ASSERT_EQ(status, DecodeStatus::Error);
+          EXPECT_EQ(decoder.error(), WireErrorCode::BadVersion);
+        }
       } else if (byte == 5) {  // opcode: either another valid opcode or typed
         if (status == DecodeStatus::Ok) {
           EXPECT_NE(f.opcode, original.opcode);
@@ -127,9 +134,19 @@ TEST(WireCodec, BitFlipCorpusYieldsTypedErrors) {
           ASSERT_EQ(status, DecodeStatus::Error);
           EXPECT_EQ(decoder.error(), WireErrorCode::BadStatus);
         }
-      } else if (byte == 7) {  // reserved
-        ASSERT_EQ(status, DecodeStatus::Error);
-        EXPECT_EQ(decoder.error(), WireErrorCode::ReservedNonzero);
+      } else if (byte == 7) {  // v3 flags
+        if ((flipped[byte] & ~kKnownFlags) != 0) {
+          ASSERT_EQ(status, DecodeStatus::Error);
+          EXPECT_EQ(decoder.error(), WireErrorCode::ReservedNonzero);
+        } else {
+          // A lone kFlagDeadline bit reinterprets the payload's first 8
+          // bytes as the deadline extension — still a valid frame, but
+          // never byte-identical to the original.
+          ASSERT_EQ(status, DecodeStatus::Ok);
+          EXPECT_EQ(f.payload.size(),
+                    original.payload.size() - kDeadlineExtBytes);
+          EXPECT_NE(f.deadline_ms, original.deadline_ms);
+        }
       } else if (byte < 16) {  // request id: not CRC-covered, decodes Ok
         ASSERT_EQ(status, DecodeStatus::Ok);
         EXPECT_NE(f.request_id, original.request_id);
