@@ -1,0 +1,105 @@
+// Placement-frontier harness (DESIGN.md §14): sweeps the minimum-PoE
+// placement over crossbar sizes 8x8 .. 256x256 through the solver
+// portfolio and emits the coverage-vs-size frontier as a
+// spe.bench.frontier.v1 JSON document (validated in CI by
+// scripts/bench_compare.py --schema frontier).
+//
+// Flags:
+//   --smoke            small sweep (8..64) for CI's perf-smoke job
+//   --sizes 8,16,...   explicit comma-separated square sizes
+//   --security N       fixed security margin S (default: cells/16 per size)
+//   --seed N           heuristic seed (SPE_ILP_SEED env also honoured)
+//   --time-limit MS    per-backend wall-clock cut-off (0 = deterministic
+//                      work-based budgets only)
+//   --out PATH         output JSON (default BENCH_frontier.json)
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ilp/frontier.hpp"
+
+namespace {
+
+std::vector<unsigned> parse_sizes(const std::string& csv) {
+  std::vector<unsigned> sizes;
+  std::string token;
+  for (const char c : csv + ",") {
+    if (c == ',') {
+      if (!token.empty()) sizes.push_back(static_cast<unsigned>(std::stoul(token)));
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spe;
+  benchutil::Args args(argc, argv);
+  const bool smoke = args.flag("smoke");
+  const std::string sizes_csv = args.str("sizes", smoke ? "8,16,32,64" : "8,16,32,64,128,256");
+  const int security = static_cast<int>(args.uns("security", static_cast<unsigned>(-1)));
+  const std::uint64_t seed =
+      benchutil::env_or_u64("SPE_ILP_SEED", args.uns("seed", 0x51EED));
+  const unsigned time_limit = args.uns("time-limit", 0);
+  const std::string out_path = args.str("out", "BENCH_frontier.json");
+  if (!args.ok(stderr)) return 2;
+
+  benchutil::banner("PoE placement frontier (solver portfolio)",
+                    "Section 5.5 placement ILP at scale; DESIGN.md §14");
+
+  const std::vector<unsigned> sizes = parse_sizes(sizes_csv);
+  if (sizes.empty()) {
+    std::fprintf(stderr, "placement_frontier: no sizes\n");
+    return 2;
+  }
+
+  ilp::SolverOptions base;
+  base.seed = seed;
+  base.time_limit_ms = static_cast<double>(time_limit);
+  // Keep the exact backend's tail bounded when it leads (small sizes) or
+  // backstops (large sizes): the frontier is about coverage scaling, not
+  // about burning CI minutes on optimality proofs.
+  base.node_limit = 200'000;
+
+  std::printf("size      S    status      backend  poes  coverage  overlap  ms\n");
+  std::vector<ilp::FrontierPoint> points;
+  for (const unsigned size : sizes) {
+    const ilp::FrontierPoint pt = ilp::frontier_point(size, security, base);
+    points.push_back(pt);
+    std::printf("%3ux%-4u %5u  %-10s  %-7s  %4u  %8u  %7u  %.1f\n", pt.rows, pt.cols,
+                pt.security_s, to_string(pt.status), to_string(pt.backend), pt.poes,
+                pt.total_coverage, pt.overlapped_cells, pt.elapsed_ms);
+    if (!pt.feasible) {
+      std::fprintf(stderr, "placement_frontier: %ux%u came back infeasible (%s)\n",
+                   pt.rows, pt.cols, to_string(pt.status));
+      return 1;
+    }
+  }
+
+  ilp::FrontierMeta meta;
+  meta.source = "placement_frontier";
+  meta.config = "sizes=" + sizes_csv +
+                " security=" + (security < 0 ? std::string("cells/16")
+                                             : std::to_string(security)) +
+                " seed=" + std::to_string(seed) +
+                " time_limit_ms=" + std::to_string(time_limit);
+  meta.git_sha = benchutil::git_sha();
+  meta.include_timing = true;
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "placement_frontier: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << ilp::frontier_json(points, meta);
+  std::printf("\nwrote %s (%zu rows, schema %s)\n", out_path.c_str(), points.size(),
+              ilp::kFrontierSchema);
+  return 0;
+}

@@ -18,6 +18,7 @@ import bench_compare  # noqa: E402
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 THROUGHPUT_SCHEMA = os.path.join(REPO, "scripts", "bench_throughput.schema.json")
 LATENCY_SCHEMA = os.path.join(REPO, "scripts", "bench_latency.schema.json")
+FRONTIER_SCHEMA = os.path.join(REPO, "scripts", "bench_frontier.schema.json")
 
 
 def throughput_report(ops_per_sec):
@@ -47,6 +48,25 @@ def latency_report():
             {"batch": 8, "ops_per_sec": 20000.0, "p50_us": 40.0,
              "p95_us": 100.0, "p99_us": 300.0},
         ],
+    }
+
+
+def frontier_report(include_timing=True):
+    row = {
+        "rows": 64, "cols": 64, "security_s": 256,
+        "feasible": True, "optimal": False, "status": "feasible",
+        "backend": "lp", "poes": 546, "total_coverage": 5738,
+        "overlapped_cells": 1642, "uncovered_cells": 0,
+        "best_bound": 0.0, "has_bound": False,
+    }
+    if include_timing:
+        row["elapsed_ms"] = 23.3
+    return {
+        "schema": "spe.bench.frontier.v1",
+        "source": "placement_frontier",
+        "git_sha": "abc1234",
+        "config": "sizes=8,16,32,64 security=cells/16 seed=335597 time_limit_ms=0",
+        "rows": [row],
     }
 
 
@@ -142,6 +162,44 @@ class BenchCompareTest(unittest.TestCase):
         current = self.write("latency.json", report)
         argv = ["--current", current, "--schema", LATENCY_SCHEMA, "--validate-only"]
         self.assertEqual(bench_compare.main(argv), 1)
+
+    def test_frontier_schema_accepts_good_report(self):
+        current = self.write("frontier.json", frontier_report())
+        argv = ["--current", current, "--schema", FRONTIER_SCHEMA, "--validate-only"]
+        self.assertEqual(bench_compare.main(argv), 0)
+
+    def test_frontier_schema_accepts_timing_free_golden_shape(self):
+        # The golden regression copy omits elapsed_ms (machine-dependent).
+        current = self.write("frontier.json", frontier_report(include_timing=False))
+        argv = ["--current", current, "--schema", FRONTIER_SCHEMA, "--validate-only"]
+        self.assertEqual(bench_compare.main(argv), 0)
+
+    def test_frontier_schema_rejects_unknown_backend(self):
+        report = frontier_report()
+        report["rows"][0]["backend"] = "cplex"
+        current = self.write("frontier.json", report)
+        argv = ["--current", current, "--schema", FRONTIER_SCHEMA, "--validate-only"]
+        self.assertEqual(bench_compare.main(argv), 1)
+
+    def test_frontier_schema_rejects_bad_status(self):
+        report = frontier_report()
+        report["rows"][0]["status"] = "solved"
+        current = self.write("frontier.json", report)
+        argv = ["--current", current, "--schema", FRONTIER_SCHEMA, "--validate-only"]
+        self.assertEqual(bench_compare.main(argv), 1)
+
+    def test_frontier_schema_rejects_extra_row_key(self):
+        report = frontier_report()
+        report["rows"][0]["surprise"] = 1
+        current = self.write("frontier.json", report)
+        argv = ["--current", current, "--schema", FRONTIER_SCHEMA, "--validate-only"]
+        self.assertEqual(bench_compare.main(argv), 1)
+
+    def test_checked_in_golden_frontier_validates(self):
+        path = os.path.join(REPO, "tests", "ilp", "golden_frontier.json")
+        self.assertTrue(os.path.exists(path), path)
+        argv = ["--current", path, "--schema", FRONTIER_SCHEMA, "--validate-only"]
+        self.assertEqual(bench_compare.main(argv), 0)
 
     def test_checked_in_baselines_validate(self):
         for path, schema in ((os.path.join(REPO, "BENCH_throughput.json"),

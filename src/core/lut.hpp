@@ -4,6 +4,7 @@
 // *set* comes from the Table-1 ILP (Section 5.5); the PRNG chooses the order
 // in which the set is traversed and the pulse applied at each PoE.
 
+#include <cstdint>
 #include <vector>
 
 #include "device/pulse.hpp"
@@ -17,6 +18,19 @@ namespace spe::core {
 /// the fig6_coverage bench, which re-derives and checks it). Flat row-major
 /// cell indices.
 [[nodiscard]] const std::vector<unsigned>& default_poes_8x8();
+
+/// PoE placement for an arbitrary rows x cols crossbar. 8x8 returns the
+/// precomputed default table; anything else is solved on first use through
+/// the placement solver portfolio (ilp/placement_solver.hpp, minimum-count
+/// model, security margin S = cells/16) and memoised process-wide, so the
+/// ILP runs once per (rows, cols, seed) no matter how many shards spin up.
+/// `seed` drives the heuristic backends (same seed => same placement on
+/// every host); `time_limit_ms` caps each portfolio member (0 = work-based
+/// budgets only, the deterministic mode). Throws std::runtime_error when no
+/// backend finds a feasible placement.
+[[nodiscard]] std::vector<unsigned> poes_for_crossbar(unsigned rows, unsigned cols,
+                                                      std::uint64_t seed = 0x51EED,
+                                                      double time_limit_ms = 0.0);
 
 /// Address LUT: the ordered PoE universe for one crossbar unit.
 class AddressLut {

@@ -1,0 +1,77 @@
+#include "ilp/frontier.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace spe::ilp {
+
+FrontierPoint frontier_point(unsigned size, int security_s, const SolverOptions& base) {
+  const unsigned cells = size * size;
+  const unsigned s =
+      security_s >= 0 ? static_cast<unsigned>(security_s) : cells / 16;
+
+  PortfolioOptions opts;
+  opts.base = base;
+  const PoePlacement placement =
+      solve_min_poes_portfolio(size, size, std::min(s, cells - 1), opts);
+
+  FrontierPoint pt;
+  pt.rows = size;
+  pt.cols = size;
+  pt.security_s = std::min(s, cells - 1);
+  pt.feasible = placement.feasible;
+  pt.optimal = placement.optimal;
+  pt.status = placement.status;
+  pt.backend = placement.backend;
+  pt.poes = static_cast<unsigned>(placement.poes.size());
+  pt.total_coverage = placement.total_coverage();
+  pt.overlapped_cells = placement.overlapped_cells();
+  pt.uncovered_cells = placement.uncovered_cells();
+  pt.best_bound = placement.best_bound;
+  pt.has_bound = placement.has_bound;
+  pt.elapsed_ms = placement.elapsed_ms;
+  return pt;
+}
+
+std::vector<FrontierPoint> placement_frontier(const std::vector<unsigned>& sizes,
+                                              int security_s, const SolverOptions& base) {
+  std::vector<FrontierPoint> points;
+  points.reserve(sizes.size());
+  for (const unsigned size : sizes)
+    points.push_back(frontier_point(size, security_s, base));
+  return points;
+}
+
+std::string frontier_json(const std::vector<FrontierPoint>& points,
+                          const FrontierMeta& meta) {
+  std::string out;
+  out += "{\"schema\": \"";
+  out += kFrontierSchema;
+  out += "\", \"source\": \"" + meta.source + "\", \"git_sha\": \"" + meta.git_sha +
+         "\", \"config\": \"" + meta.config + "\", \"rows\": [";
+  char buf[512];
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const FrontierPoint& p = points[i];
+    std::snprintf(buf, sizeof buf,
+                  "%s\n  {\"rows\": %u, \"cols\": %u, \"security_s\": %u, "
+                  "\"feasible\": %s, \"optimal\": %s, \"status\": \"%s\", "
+                  "\"backend\": \"%s\", \"poes\": %u, \"total_coverage\": %u, "
+                  "\"overlapped_cells\": %u, \"uncovered_cells\": %u, "
+                  "\"best_bound\": %.1f, \"has_bound\": %s",
+                  i == 0 ? "" : ",", p.rows, p.cols, p.security_s,
+                  p.feasible ? "true" : "false", p.optimal ? "true" : "false",
+                  to_string(p.status), to_string(p.backend), p.poes,
+                  p.total_coverage, p.overlapped_cells, p.uncovered_cells,
+                  p.best_bound, p.has_bound ? "true" : "false");
+    out += buf;
+    if (meta.include_timing) {
+      std::snprintf(buf, sizeof buf, ", \"elapsed_ms\": %.3f", p.elapsed_ms);
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace spe::ilp

@@ -1,0 +1,68 @@
+#pragma once
+// Coverage-vs-size placement frontier (DESIGN.md §14).
+//
+// One FrontierPoint per crossbar size: the minimum-PoE placement (security
+// margin S) solved through the portfolio, with provenance — which backend
+// won, with what status, and the tightest anytime bound any member proved.
+// Lives in src/ilp (not bench/) so bench/placement_frontier and the golden
+// regression test (tests/ilp/golden_frontier_test.cpp) compute and
+// serialise rows through the exact same code; the golden file simply omits
+// the machine-dependent timing fields.
+
+#include <string>
+#include <vector>
+
+#include "ilp/poe_placement.hpp"
+
+namespace spe::ilp {
+
+struct FrontierPoint {
+  unsigned rows = 0;
+  unsigned cols = 0;
+  unsigned security_s = 0;
+
+  bool feasible = false;
+  bool optimal = false;
+  Solution::Status status = Solution::Status::NoSolution;
+  BackendKind backend = BackendKind::BranchAndBound;  ///< winning backend
+
+  unsigned poes = 0;            ///< chosen PoE count
+  unsigned total_coverage = 0;  ///< sum of per-cell coverage
+  unsigned overlapped_cells = 0;
+  unsigned uncovered_cells = 0;
+
+  double best_bound = 0.0;  ///< proven bound on the minimum count
+  bool has_bound = false;
+  double elapsed_ms = 0.0;  ///< wall-clock across all portfolio members
+};
+
+/// Solves the minimum-PoE model for one square size through the portfolio.
+/// `base` seeds default_schedule(); security margin S scales as cells/16
+/// when `security_s` is negative (a fixed fraction keeps the frontier
+/// comparable across sizes), else the given value is used for every size.
+[[nodiscard]] FrontierPoint frontier_point(unsigned size, int security_s,
+                                           const SolverOptions& base);
+
+/// The full sweep: one point per entry of `sizes` (square crossbars).
+[[nodiscard]] std::vector<FrontierPoint> placement_frontier(
+    const std::vector<unsigned>& sizes, int security_s, const SolverOptions& base);
+
+/// JSON serialisation metadata. `include_timing` gates the elapsed_ms
+/// field: the bench emits it, the golden file omits it so the checked-in
+/// bytes are machine-independent.
+struct FrontierMeta {
+  std::string source = "placement_frontier";
+  std::string config;
+  std::string git_sha = "unknown";
+  bool include_timing = true;
+};
+
+inline constexpr const char* kFrontierSchema = "spe.bench.frontier.v1";
+
+/// Serialises the frontier as the spe.bench.frontier.v1 document
+/// (validated by scripts/bench_frontier.schema.json). Deterministic byte
+/// output for fixed inputs: fixed field order, fixed float formatting.
+[[nodiscard]] std::string frontier_json(const std::vector<FrontierPoint>& points,
+                                        const FrontierMeta& meta);
+
+}  // namespace spe::ilp

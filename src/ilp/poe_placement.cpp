@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace spe::ilp {
 
@@ -53,13 +54,9 @@ std::vector<std::vector<unsigned>> all_stencils(unsigned rows, unsigned cols) {
   return shapes;
 }
 
-namespace {
-
-/// Builds the symmetry-reduced set-form model: one binary x_p per candidate
-/// PoE; per-cell coverage in [1, 2]; optional exact PoE count; optional
-/// total-coverage floor. Objective: minimize count or maximize coverage.
-Model build_set_model(const std::vector<std::vector<unsigned>>& shapes, unsigned cell_count,
-                      int exact_count, int min_total_coverage, bool maximize_coverage) {
+Model build_placement_model(const std::vector<std::vector<unsigned>>& shapes,
+                            unsigned cell_count, int exact_count, int min_total_coverage,
+                            bool maximize_coverage) {
   Model m;
   m.sense = maximize_coverage ? Sense::Maximize : Sense::Minimize;
 
@@ -92,10 +89,18 @@ Model build_set_model(const std::vector<std::vector<unsigned>>& shapes, unsigned
   return m;
 }
 
+namespace {
+
 PoePlacement placement_from(const std::vector<std::vector<unsigned>>& shapes,
-                            unsigned cell_count, const Solution& sol) {
+                            unsigned cell_count, const Solution& sol,
+                            BackendKind backend = BackendKind::BranchAndBound) {
   PoePlacement out;
   out.coverage.assign(cell_count, 0);
+  out.status = sol.status;
+  out.backend = backend;
+  out.best_bound = sol.best_bound;
+  out.has_bound = sol.has_bound;
+  out.elapsed_ms = sol.elapsed_ms;
   if (!sol.has_solution()) return out;
   out.feasible = true;
   out.optimal = sol.status == Solution::Status::Optimal;
@@ -107,13 +112,22 @@ PoePlacement placement_from(const std::vector<std::vector<unsigned>>& shapes,
   return out;
 }
 
+PoePlacement placement_from_portfolio(const std::vector<std::vector<unsigned>>& shapes,
+                                      unsigned cell_count, const PortfolioResult& result) {
+  PoePlacement out = placement_from(shapes, cell_count, result.best, result.winner);
+  // Total wall-clock is every member that ran, not just the winner.
+  out.elapsed_ms = 0.0;
+  for (const BackendReport& r : result.reports) out.elapsed_ms += r.elapsed_ms;
+  return out;
+}
+
 }  // namespace
 
 PoePlacement solve_fixed_poes_shapes(const std::vector<std::vector<unsigned>>& shapes,
                                      unsigned cell_count, unsigned count,
                                      SolverOptions options) {
-  const Model m = build_set_model(shapes, cell_count, static_cast<int>(count), -1,
-                                  /*maximize_coverage=*/true);
+  const Model m = build_placement_model(shapes, cell_count, static_cast<int>(count), -1,
+                                        /*maximize_coverage=*/true);
   Solver solver(options);
   return placement_from(shapes, cell_count, solver.solve(m));
 }
@@ -134,12 +148,50 @@ PoePlacement solve_min_poes_shapes(const std::vector<std::vector<unsigned>>& sha
 
   Solver solver(options);
   for (unsigned p = std::max(lower, 1u); p <= shapes.size(); ++p) {
-    const Model m = build_set_model(shapes, cell_count, static_cast<int>(p), min_total,
-                                    /*maximize_coverage=*/true);
+    const Model m = build_placement_model(shapes, cell_count, static_cast<int>(p),
+                                          min_total, /*maximize_coverage=*/true);
     const Solution sol = solver.solve(m);
     if (sol.has_solution()) return placement_from(shapes, cell_count, sol);
   }
-  return PoePlacement{{}, std::vector<unsigned>(cell_count, 0), false, false};
+  PoePlacement none;
+  none.coverage.assign(cell_count, 0);
+  return none;
+}
+
+PoePlacement solve_fixed_poes_shapes_portfolio(
+    const std::vector<std::vector<unsigned>>& shapes, unsigned cell_count, unsigned count,
+    PortfolioOptions options) {
+  const Model m = build_placement_model(shapes, cell_count, static_cast<int>(count), -1,
+                                        /*maximize_coverage=*/true);
+  PortfolioSolver portfolio(std::move(options));
+  return placement_from_portfolio(shapes, cell_count, portfolio.run(m));
+}
+
+PoePlacement solve_min_poes_shapes_portfolio(
+    const std::vector<std::vector<unsigned>>& shapes, unsigned cell_count,
+    unsigned security_s, PortfolioOptions options) {
+  if (security_s >= cell_count)
+    throw std::invalid_argument("solve_min_poes: S must satisfy 0 <= S <= MN-1");
+  // Direct minimise-count model (no per-count sweep): the heuristics handle
+  // the free count natively, and the exact backend's cardinality-sharpened
+  // bound still prunes on it.
+  const Model m = build_placement_model(shapes, cell_count, /*exact_count=*/-1,
+                                        static_cast<int>(cell_count + security_s),
+                                        /*maximize_coverage=*/false);
+  PortfolioSolver portfolio(std::move(options));
+  return placement_from_portfolio(shapes, cell_count, portfolio.run(m));
+}
+
+PoePlacement solve_min_poes_portfolio(unsigned rows, unsigned cols, unsigned security_s,
+                                      PortfolioOptions options) {
+  return solve_min_poes_shapes_portfolio(all_stencils(rows, cols), rows * cols, security_s,
+                                         std::move(options));
+}
+
+PoePlacement solve_fixed_poes_portfolio(unsigned rows, unsigned cols, unsigned count,
+                                        PortfolioOptions options) {
+  return solve_fixed_poes_shapes_portfolio(all_stencils(rows, cols), rows * cols, count,
+                                           std::move(options));
 }
 
 PoePlacement solve_min_poes(unsigned rows, unsigned cols, unsigned security_s,

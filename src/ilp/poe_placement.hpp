@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "ilp/placement_solver.hpp"
 #include "ilp/solver.hpp"
 
 namespace spe::ilp {
@@ -25,6 +26,14 @@ struct PoePlacement {
   std::vector<unsigned> coverage;  ///< Per-cell polyomino count.
   bool optimal = false;            ///< Solver proved optimality.
   bool feasible = false;           ///< A valid placement was found.
+
+  /// Provenance (filled by every entry point; the classic single-solver
+  /// paths always attribute BranchAndBound).
+  Solution::Status status = Solution::Status::NoSolution;
+  BackendKind backend = BackendKind::BranchAndBound;  ///< winning backend
+  double best_bound = 0.0;  ///< proven bound on the optimum (see has_bound)
+  bool has_bound = false;
+  double elapsed_ms = 0.0;  ///< total solve wall-clock across backends
 
   [[nodiscard]] unsigned overlapped_cells() const;      ///< coverage >= 2
   [[nodiscard]] unsigned single_covered_cells() const;  ///< coverage == 1
@@ -64,6 +73,35 @@ struct PoePlacement {
 [[nodiscard]] PoePlacement solve_fixed_poes_shapes(
     const std::vector<std::vector<unsigned>>& shapes, unsigned cell_count, unsigned count,
     SolverOptions options = {});
+
+/// Builds the symmetry-reduced set-form placement model directly (one
+/// binary per candidate PoE; per-cell coverage in [1, 2]). Exposed so the
+/// portfolio, the frontier bench, and the differential tests all solve the
+/// *same* model object. `exact_count < 0` leaves the PoE count free;
+/// `min_total_coverage <= 0` drops the coverage floor. With
+/// `maximize_coverage` false the objective minimises the PoE count.
+[[nodiscard]] Model build_placement_model(const std::vector<std::vector<unsigned>>& shapes,
+                                          unsigned cell_count, int exact_count,
+                                          int min_total_coverage, bool maximize_coverage);
+
+/// Portfolio entry points (the production path for crossbars beyond 8x8).
+/// Unlike solve_min_poes' per-count feasibility sweep, the minimum-count
+/// variant solves the direct minimise-count model once through the backend
+/// schedule, so heuristic backends can answer when the exact B&B cannot.
+/// Provenance (winning backend, status, anytime bound) lands in the
+/// PoePlacement fields above.
+[[nodiscard]] PoePlacement solve_min_poes_portfolio(unsigned rows, unsigned cols,
+                                                    unsigned security_s,
+                                                    PortfolioOptions options = {});
+[[nodiscard]] PoePlacement solve_fixed_poes_portfolio(unsigned rows, unsigned cols,
+                                                      unsigned count,
+                                                      PortfolioOptions options = {});
+[[nodiscard]] PoePlacement solve_min_poes_shapes_portfolio(
+    const std::vector<std::vector<unsigned>>& shapes, unsigned cell_count,
+    unsigned security_s, PortfolioOptions options = {});
+[[nodiscard]] PoePlacement solve_fixed_poes_shapes_portfolio(
+    const std::vector<std::vector<unsigned>>& shapes, unsigned cell_count, unsigned count,
+    PortfolioOptions options = {});
 
 /// The literal Table-1 formulation with explicit B[i][j] binaries for
 /// `max_polyominoes` polyomino slots (use only for small crossbars).

@@ -1,16 +1,33 @@
 #include "ilp/solver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <stdexcept>
 
 namespace spe::ilp {
+
+const char* to_string(Solution::Status status) noexcept {
+  switch (status) {
+    case Solution::Status::Optimal: return "optimal";
+    case Solution::Status::Feasible: return "feasible";
+    case Solution::Status::TimeLimit: return "time_limit";
+    case Solution::Status::Infeasible: return "infeasible";
+    case Solution::Status::NoSolution: return "no_solution";
+  }
+  return "unknown";
+}
 
 namespace {
 
 constexpr double kEps = 1e-9;
 constexpr std::int8_t kUnassigned = -1;
+
+/// How often the DFS re-reads the wall clock. Cheap enough to keep the
+/// deadline cooperative without a syscall per node.
+constexpr std::uint64_t kDeadlineCheckNodes = 1024;
 
 /// Search state shared across the DFS. Assignments are trailed so they can
 /// be undone on backtrack; per-constraint running sums keep propagation
@@ -257,20 +274,51 @@ private:
 class Search {
 public:
   Search(const Model& model, const SolverOptions& options)
-      : model_(model), options_(options), state_(model) {}
+      : model_(model), options_(options), state_(model) {
+    if (options.time_limit_ms > 0.0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(options.time_limit_ms));
+      has_deadline_ = true;
+    }
+  }
 
   Solution run() {
+    const auto t0 = std::chrono::steady_clock::now();
+    // Root relaxation bound: with nothing assigned, bound() is the best the
+    // objective could ever reach (the cardinality sharpening applies here
+    // too). Sound whatever happens later, so report it even on a cutoff.
+    const double root_bound = state_.bound();
     if (options_.use_greedy_start) greedy_start();
     dfs();
     Solution out;
     out.nodes_explored = nodes_;
     if (has_incumbent_) {
-      out.status = hit_limit_ ? Solution::Status::Feasible : Solution::Status::Optimal;
+      if (hit_deadline_)
+        out.status = Solution::Status::TimeLimit;
+      else if (hit_limit_)
+        out.status = Solution::Status::Feasible;
+      else
+        out.status = Solution::Status::Optimal;
       out.objective = incumbent_obj_;
       out.values = incumbent_;
     } else {
-      out.status = hit_limit_ ? Solution::Status::NoSolution : Solution::Status::Infeasible;
+      out.status = (hit_limit_ || hit_deadline_) ? Solution::Status::NoSolution
+                                                 : Solution::Status::Infeasible;
     }
+    // Bound: proven optimal => the objective itself; cut off => the root
+    // bound still holds. A full search with no incumbent proves infeasibility
+    // (no finite bound to report).
+    if (out.status == Solution::Status::Optimal) {
+      out.best_bound = out.objective;
+      out.has_bound = true;
+    } else if (out.status != Solution::Status::Infeasible) {
+      out.best_bound = root_bound;
+      out.has_bound = true;
+    }
+    out.elapsed_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
     return out;
   }
 
@@ -337,6 +385,12 @@ private:
       hit_limit_ = true;
       return;
     }
+    if (has_deadline_ && nodes_ % kDeadlineCheckNodes == 0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      hit_deadline_ = true;
+      return;
+    }
+    if (hit_deadline_) return;
     const std::size_t mark = state_.trail_size();
     if (!state_.propagate()) {
       state_.undo_to(mark);
@@ -356,7 +410,8 @@ private:
     const double coeff = model_.objective()[v];
     const std::uint8_t first =
         (model_.sense == Sense::Minimize) ? (coeff <= 0.0 ? 1 : 0) : (coeff >= 0.0 ? 1 : 0);
-    for (std::uint8_t attempt = 0; attempt < 2 && !hit_limit_; ++attempt) {
+    for (std::uint8_t attempt = 0; attempt < 2 && !hit_limit_ && !hit_deadline_;
+         ++attempt) {
       const std::uint8_t val = attempt == 0 ? first : static_cast<std::uint8_t>(1 - first);
       const std::size_t sub_mark = state_.trail_size();
       if (state_.assign(v, val)) dfs();
@@ -370,6 +425,9 @@ private:
   SearchState state_;
   std::uint64_t nodes_ = 0;
   bool hit_limit_ = false;
+  bool hit_deadline_ = false;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_;
   bool has_incumbent_ = false;
   double incumbent_obj_ = 0.0;
   std::vector<std::uint8_t> incumbent_;
@@ -381,6 +439,8 @@ Solution Solver::solve(const Model& model) {
   if (model.num_vars() == 0) {
     Solution s;
     s.status = Solution::Status::Optimal;
+    s.best_bound = 0.0;
+    s.has_bound = true;
     return s;
   }
   Search search(model, options_);

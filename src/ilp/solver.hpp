@@ -4,6 +4,12 @@
 // (ref [16]). Designed for the Table-1 PoE-placement models: tens of
 // variables, tight two-sided covering constraints — propagation does most of
 // the work; the objective bound prunes the rest.
+//
+// Since the solver-portfolio PR this is the *exact reference backend* of the
+// placement portfolio (ilp/placement_solver.hpp). Larger crossbars go to the
+// heuristic backends; the shared SolverOptions carries both the exact
+// solver's budgets and the heuristics' knobs so one options struct can
+// parameterise any portfolio member.
 
 #include <cstdint>
 #include <vector>
@@ -15,14 +21,39 @@ namespace spe::ilp {
 struct SolverOptions {
   std::uint64_t node_limit = 50'000'000;  ///< Hard cap on explored nodes.
   bool use_greedy_start = true;           ///< Seed the incumbent greedily.
+
+  /// Cooperative wall-clock deadline in milliseconds; 0 = unbounded. The
+  /// B&B checks it inside the recursion (every kDeadlineCheckNodes nodes) so
+  /// a portfolio member can be cut off and report TimeLimit with its best
+  /// incumbent instead of running unbounded. Heuristic backends check it
+  /// between restarts/sweeps and inside their annealing loops. NOTE: wall
+  /// clocks make *which* incumbent a run ends with machine-dependent; the
+  /// determinism contract (DESIGN.md §14) therefore only covers runs whose
+  /// limits are the work-based budgets below.
+  double time_limit_ms = 0.0;
+
+  /// Seed for the heuristic backends' RNG streams (ignored by the exact
+  /// B&B). Same seed + same work budgets => byte-identical solutions.
+  std::uint64_t seed = 0x51EED;
+
+  // --- GRASP backend (ilp/grasp.cpp) ---------------------------------------
+  unsigned grasp_restarts = 8;      ///< seeded construct+improve restarts
+  double grasp_rcl_alpha = 0.3;     ///< RCL width: accept gain >= best*(1-a)
+  unsigned grasp_anneal_iters = 20'000;  ///< repair-annealing moves/restart
+  unsigned grasp_improve_iters = 4'000;  ///< objective local-search moves
+
+  // --- LP-relaxation rounding backend (ilp/lp_rounding.cpp) ----------------
+  unsigned lp_sweeps = 128;  ///< projection sweeps for the fractional guide
 };
 
 struct Solution {
   enum class Status {
-    Optimal,     ///< Proven optimal.
-    Feasible,    ///< Incumbent found but search hit the node limit.
+    Optimal,     ///< Proven optimal (bound meets the incumbent).
+    Feasible,    ///< Incumbent found but search hit the node limit, or a
+                 ///< heuristic produced it (no optimality proof).
+    TimeLimit,   ///< Cooperative deadline fired with an incumbent in hand.
     Infeasible,  ///< Proven infeasible.
-    NoSolution,  ///< Node limit hit with no incumbent (feasibility unknown).
+    NoSolution,  ///< A limit fired with no incumbent (feasibility unknown).
   };
 
   Status status = Status::NoSolution;
@@ -30,10 +61,25 @@ struct Solution {
   std::vector<std::uint8_t> values;
   std::uint64_t nodes_explored = 0;
 
+  /// Proven bound on the optimum: a lower bound when minimising, an upper
+  /// bound when maximising. The exact backend always reports one (the root
+  /// relaxation bound, or the objective itself once optimality is proven);
+  /// heuristics cannot prove bounds and report +/-infinity ("no bound").
+  /// Status is never Optimal unless best_bound == objective.
+  double best_bound = 0.0;
+  bool has_bound = false;  ///< best_bound is a proven (finite) bound
+
+  double elapsed_ms = 0.0;  ///< wall-clock spent producing this solution
+
   [[nodiscard]] bool has_solution() const noexcept {
-    return status == Status::Optimal || status == Status::Feasible;
+    // TimeLimit is only ever reported with an incumbent in hand; a deadline
+    // that fires with nothing found reports NoSolution instead.
+    return status == Status::Optimal || status == Status::Feasible ||
+           status == Status::TimeLimit;
   }
 };
+
+const char* to_string(Solution::Status status) noexcept;
 
 class Solver {
 public:

@@ -178,6 +178,16 @@ struct ServiceConfig {
   bool batch_cipher = true;
   unsigned batch_min_size = 2;
 
+  // --- PoE placement for non-8x8 shard crossbars (DESIGN.md §14) ----------
+  /// Shards whose crossbar geometry is not the precomputed 8x8 default get
+  /// their PoE set from core::poes_for_crossbar, which runs the placement
+  /// solver portfolio once per geometry and memoises it. The seed drives
+  /// the heuristic backends (fixed seed => the same placement on every
+  /// host / restart); the per-backend time budget is a cut-off safety net
+  /// only (0 keeps the deterministic work-based budgets).
+  std::uint64_t placement_seed = 0x90E5;
+  double placement_time_limit_ms = 0.0;
+
   // --- deterministic fault injection (src/fault) --------------------------
   /// Off by default; when on, every shard gets a FaultInjector over one
   /// shared FaultPlan(fault_seed, faults), keyed by the shard's device id.

@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/lut.hpp"
 #include "ecc/level_ecc.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -22,6 +23,17 @@ core::SnvmmConfig shard_memory_config(unsigned id, const ServiceConfig& config) 
   core::SnvmmConfig mem = config.shard_memory;
   mem.device_seed = config.device_seed_base + id;  // distinct manufactured instance
   return mem;
+}
+
+/// PoE set for this shard's crossbar geometry. The 8x8 default geometry
+/// passes {} through so Specu keeps using its built-in table (identical
+/// behaviour to before the portfolio existed); any other geometry is solved
+/// once via the placement portfolio and memoised process-wide.
+std::vector<unsigned> shard_poes(const core::Snvmm& memory, const ServiceConfig& config) {
+  const auto& params = memory.device_params();
+  if (params.rows == 8 && params.cols == 8) return {};
+  return core::poes_for_crossbar(params.rows, params.cols, config.placement_seed,
+                                 config.placement_time_limit_ms);
 }
 
 void write_u64(std::ostream& out, std::uint64_t v) {
@@ -49,7 +61,7 @@ BankShard::BankShard(unsigned id, const ServiceConfig& config,
       queue_(id, config.queue_capacity, config.backpressure, config.coalesce_writes,
              counters_),
       memory_(shard_memory_config(id, config)),
-      specu_(memory_, config.mode),
+      specu_(memory_, config.mode, shard_poes(memory_, config)),
       batch_(specu_) {
   if (fault_plan)
     injector_ = std::make_unique<fault::FaultInjector>(std::move(fault_plan),
@@ -69,7 +81,7 @@ BankShard::BankShard(unsigned id, const ServiceConfig& config,
       queue_(id, config.queue_capacity, config.backpressure, config.coalesce_writes,
              counters_),
       memory_(std::move(state.image.nvmm)),
-      specu_(memory_, config.mode),
+      specu_(memory_, config.mode, shard_poes(memory_, config)),
       batch_(specu_) {
   if (memory_.device_id() != config.device_seed_base + id)
     throw std::runtime_error(

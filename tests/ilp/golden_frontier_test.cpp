@@ -1,0 +1,85 @@
+// Golden regression for the placement frontier (DESIGN.md §14): the sweep
+// over 8..64 crossbars with the default seed must serialise byte-for-byte
+// to the checked-in tests/ilp/golden_frontier.json. The golden copy is
+// machine-independent on purpose — work-based budgets only
+// (time_limit_ms = 0), timing fields omitted, fixed "golden" git_sha.
+//
+// Refresh after an intentional solver/bench change:
+//   SPE_ILP_UPDATE_GOLDEN=1 ctest -R GoldenFrontier
+// then commit the rewritten file alongside the change that moved it.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ilp/frontier.hpp"
+
+#ifndef SPE_GOLDEN_FRONTIER_PATH
+#error "SPE_GOLDEN_FRONTIER_PATH must point at tests/ilp/golden_frontier.json"
+#endif
+
+namespace spe::ilp {
+namespace {
+
+std::string compute_frontier_json() {
+  SolverOptions base;
+  base.seed = 0x51EED;
+  base.time_limit_ms = 0.0;  // determinism contract: work-based budgets only
+  base.node_limit = 200'000;  // same cap as bench/placement_frontier
+  const std::vector<unsigned> sizes = {8, 16, 32, 64};
+  const auto points = placement_frontier(sizes, /*security_s=*/-1, base);
+
+  FrontierMeta meta;
+  meta.source = "placement_frontier";
+  meta.config = "sizes=8,16,32,64 security=cells/16 seed=335597 time_limit_ms=0";
+  meta.git_sha = "golden";          // fixed: checked-in bytes outlive commits
+  meta.include_timing = false;      // elapsed_ms is machine-dependent
+  return frontier_json(points, meta);
+}
+
+TEST(GoldenFrontier, MatchesCheckedInBytes) {
+  const std::string fresh = compute_frontier_json();
+  const char* path = SPE_GOLDEN_FRONTIER_PATH;
+
+  if (const char* update = std::getenv("SPE_ILP_UPDATE_GOLDEN");
+      update && update[0] == '1') {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    ASSERT_TRUE(out) << "cannot rewrite " << path;
+    out << fresh;
+    GTEST_SKIP() << "golden frontier rewritten: " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — run with SPE_ILP_UPDATE_GOLDEN=1 to create it";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string golden = buf.str();
+
+  EXPECT_EQ(fresh, golden)
+      << "placement frontier drifted from tests/ilp/golden_frontier.json; if "
+         "the solver change is intentional, refresh with SPE_ILP_UPDATE_GOLDEN=1";
+}
+
+TEST(GoldenFrontier, RowsAreFeasibleAndAttributed) {
+  // Independent of the byte comparison: every golden-size row must be
+  // feasible, carry a truthful status string, and attribute a backend.
+  SolverOptions base;
+  base.seed = 0x51EED;
+  base.node_limit = 200'000;
+  for (const unsigned size : {8u, 32u}) {
+    const FrontierPoint pt = frontier_point(size, -1, base);
+    EXPECT_TRUE(pt.feasible) << size;
+    EXPECT_EQ(pt.uncovered_cells, 0u) << size;
+    EXPECT_EQ(pt.rows, size);
+    EXPECT_EQ(pt.security_s, size * size / 16) << size;
+    EXPECT_GT(pt.poes, 0u) << size;
+    EXPECT_GE(pt.total_coverage, size * size + pt.security_s) << size;
+  }
+}
+
+}  // namespace
+}  // namespace spe::ilp

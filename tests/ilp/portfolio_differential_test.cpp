@@ -1,0 +1,251 @@
+// Cross-solver differential suite for the placement portfolio
+// (ilp/placement_solver.hpp). On crossbar sizes where the exact
+// branch-and-bound completes with an optimality proof (<= 6x6 for the
+// direct minimum-count model; 8x8 within a node cap), every heuristic
+// backend must produce a *feasible* placement — per-cell coverage in
+// [1, 2], total coverage >= MN + S — whose objective sits within the
+// documented optimality gap, and seeded runs must be byte-for-byte
+// deterministic.
+//
+// Documented gap bound: the heuristics never beat a proven optimum
+// (minimisation) and land within kMaxGapFactor of it. Measured gaps on
+// these sizes are 1.0x-1.25x; the bound leaves slack so the suite pins the
+// contract, not one RNG stream's luck.
+
+#include "ilp/placement_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ilp/poe_placement.hpp"
+
+namespace spe::ilp {
+namespace {
+
+constexpr double kMaxGapFactor = 1.5;
+
+Model min_count_model(unsigned size, unsigned security_s) {
+  const unsigned cells = size * size;
+  return build_placement_model(all_stencils(size, size), cells, /*exact_count=*/-1,
+                               static_cast<int>(cells + security_s),
+                               /*maximize_coverage=*/false);
+}
+
+/// Feasibility invariants every placement solution must satisfy, checked
+/// against the model itself and against the reconstructed coverage map.
+void expect_valid_placement(const Model& model, const Solution& sol, unsigned size,
+                            unsigned security_s, const char* who) {
+  ASSERT_TRUE(sol.has_solution()) << who;
+  ASSERT_EQ(sol.values.size(), model.num_vars()) << who;
+  EXPECT_TRUE(model.is_feasible(sol.values)) << who;
+
+  const auto shapes = all_stencils(size, size);
+  std::vector<unsigned> coverage(size * size, 0);
+  unsigned count = 0;
+  for (unsigned p = 0; p < shapes.size(); ++p) {
+    if (!sol.values[p]) continue;
+    ++count;
+    for (unsigned cell : shapes[p]) ++coverage[cell];
+  }
+  unsigned total = 0;
+  for (unsigned cell = 0; cell < coverage.size(); ++cell) {
+    EXPECT_GE(coverage[cell], 1u) << who << ": cell " << cell;
+    EXPECT_LE(coverage[cell], 2u) << who << ": cell " << cell;
+    total += coverage[cell];
+  }
+  EXPECT_GE(total, size * size + security_s) << who;
+  EXPECT_DOUBLE_EQ(sol.objective, static_cast<double>(count)) << who;
+}
+
+TEST(BackendNames, RoundTrip) {
+  for (BackendKind kind :
+       {BackendKind::BranchAndBound, BackendKind::LpRounding, BackendKind::Grasp}) {
+    BackendKind parsed{};
+    ASSERT_TRUE(backend_from_string(to_string(kind), parsed)) << to_string(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  BackendKind out{};
+  EXPECT_FALSE(backend_from_string("cplex", out));
+  EXPECT_FALSE(backend_from_string("", out));
+}
+
+TEST(BackendFactory, ProducesMatchingKinds) {
+  for (BackendKind kind :
+       {BackendKind::BranchAndBound, BackendKind::LpRounding, BackendKind::Grasp}) {
+    auto solver = make_solver(kind);
+    ASSERT_NE(solver, nullptr);
+    EXPECT_EQ(solver->kind(), kind);
+    EXPECT_STREQ(solver->name(), to_string(kind));
+  }
+}
+
+// --- exact-vs-heuristic gap on proven-optimal sizes -------------------------
+
+class DifferentialSizes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DifferentialSizes, HeuristicsMatchProvenOptimumWithinGap) {
+  const unsigned size = GetParam();
+  const unsigned security_s = size;  // a nonzero margin exercises the floor
+  const Model model = min_count_model(size, security_s);
+
+  SolverOptions options;
+  options.node_limit = 2'000'000;
+  const Solution exact = make_solver(BackendKind::BranchAndBound, options)->solve(model);
+  ASSERT_EQ(exact.status, Solution::Status::Optimal)
+      << "B&B must complete on " << size << "x" << size;
+  ASSERT_TRUE(exact.has_bound);
+  EXPECT_DOUBLE_EQ(exact.best_bound, exact.objective);
+  expect_valid_placement(model, exact, size, security_s, "bnb");
+
+  for (BackendKind kind : {BackendKind::Grasp, BackendKind::LpRounding}) {
+    const Solution heur = make_solver(kind, options)->solve(model);
+    expect_valid_placement(model, heur, size, security_s, to_string(kind));
+    // Never better than a proven optimum; never worse than the gap bound.
+    EXPECT_GE(heur.objective, exact.objective - 1e-9) << to_string(kind);
+    EXPECT_LE(heur.objective, exact.objective * kMaxGapFactor + 1e-9) << to_string(kind);
+    // A heuristic proves nothing.
+    EXPECT_NE(heur.status, Solution::Status::Optimal) << to_string(kind);
+    EXPECT_FALSE(heur.has_bound) << to_string(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProvenOptimalSizes, DifferentialSizes,
+                         ::testing::Values(4u, 5u, 6u));
+
+TEST(Differential, EightByEightAgainstNodeCappedIncumbent) {
+  // 8x8 direct minimum-count: the B&B finds the (known) best incumbent fast
+  // but cannot prove optimality within a CI-sized node budget, so the
+  // heuristics are compared against the incumbent without an optimality
+  // claim.
+  const unsigned size = 8, security_s = 4;
+  const Model model = min_count_model(size, security_s);
+  SolverOptions options;
+  options.node_limit = 200'000;
+  const Solution exact = make_solver(BackendKind::BranchAndBound, options)->solve(model);
+  expect_valid_placement(model, exact, size, security_s, "bnb");
+
+  for (BackendKind kind : {BackendKind::Grasp, BackendKind::LpRounding}) {
+    const Solution heur = make_solver(kind, options)->solve(model);
+    expect_valid_placement(model, heur, size, security_s, to_string(kind));
+    EXPECT_LE(heur.objective, exact.objective * kMaxGapFactor + 1e-9) << to_string(kind);
+  }
+}
+
+// --- seeded determinism -----------------------------------------------------
+
+TEST(Determinism, SameSeedSameBytes) {
+  const Model model = min_count_model(8, 4);
+  for (BackendKind kind : {BackendKind::Grasp, BackendKind::LpRounding}) {
+    SolverOptions options;
+    options.seed = 0xD15EA5E;
+    options.time_limit_ms = 0.0;  // the determinism contract's precondition
+    const Solution a = make_solver(kind, options)->solve(model);
+    const Solution b = make_solver(kind, options)->solve(model);
+    ASSERT_EQ(a.status, b.status) << to_string(kind);
+    EXPECT_EQ(a.values, b.values) << to_string(kind);
+    EXPECT_DOUBLE_EQ(a.objective, b.objective) << to_string(kind);
+  }
+}
+
+TEST(Determinism, PortfolioPlacementIsSeedStable) {
+  PortfolioOptions options;
+  options.base.seed = 42;
+  options.base.node_limit = 200'000;  // CI-sized cap; the B&B leads at 16x16
+  const PoePlacement a = solve_min_poes_portfolio(16, 16, 16, options);
+  const PoePlacement b = solve_min_poes_portfolio(16, 16, 16, options);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_EQ(a.poes, b.poes);
+  EXPECT_EQ(a.backend, b.backend);
+  EXPECT_EQ(a.status, b.status);
+}
+
+// --- portfolio semantics ----------------------------------------------------
+
+TEST(Portfolio, FirstFeasibleWins) {
+  const Model model = min_count_model(6, 6);
+  PortfolioOptions options;
+  options.schedule = {{BackendKind::Grasp, {}}, {BackendKind::BranchAndBound, {}}};
+  PortfolioSolver portfolio(options);
+  const PortfolioResult result = portfolio.run(model);
+  ASSERT_TRUE(result.has_solution());
+  EXPECT_EQ(result.winner, BackendKind::Grasp);
+  // Stopped after the first feasible member: the B&B never ran.
+  ASSERT_EQ(result.reports.size(), 1u);
+  EXPECT_TRUE(result.reports[0].winner);
+  EXPECT_EQ(result.reports[0].kind, BackendKind::Grasp);
+}
+
+TEST(Portfolio, RunAllKeepsBestObjective) {
+  const Model model = min_count_model(6, 6);
+  PortfolioOptions options;
+  options.stop_at_first_feasible = false;
+  options.schedule = {{BackendKind::LpRounding, {}},
+                      {BackendKind::Grasp, {}},
+                      {BackendKind::BranchAndBound, {}}};
+  PortfolioSolver portfolio(options);
+  const PortfolioResult result = portfolio.run(model);
+  ASSERT_TRUE(result.has_solution());
+  unsigned winners = 0;
+  for (const BackendReport& r : result.reports) {
+    winners += r.winner ? 1 : 0;
+    if (r.found_solution) {
+      EXPECT_GE(r.objective, result.best.objective - 1e-9) << to_string(r.kind);
+    }
+  }
+  EXPECT_EQ(winners, 1u);
+  ASSERT_EQ(result.reports.size(), 3u);
+  // The exact member ran last and proved the optimum; the portfolio's
+  // anytime bound must close the gap and upgrade the winner's status.
+  EXPECT_TRUE(result.has_bound);
+  EXPECT_EQ(result.best.status, Solution::Status::Optimal);
+  EXPECT_DOUBLE_EQ(result.best.objective, result.best_bound);
+}
+
+TEST(Portfolio, InfeasibleProofShortCircuits) {
+  // A cell no candidate shape covers: cover constraint with no terms and
+  // lo = 1 — propagation refutes it at the root.
+  std::vector<std::vector<unsigned>> shapes = {{0u}};  // covers cell 0 only
+  const Model model =
+      build_placement_model(shapes, /*cell_count=*/2, -1, -1, /*maximize=*/false);
+  PortfolioOptions options;
+  options.schedule = {{BackendKind::BranchAndBound, {}}, {BackendKind::Grasp, {}}};
+  PortfolioSolver portfolio(options);
+  const PortfolioResult result = portfolio.run(model);
+  EXPECT_FALSE(result.has_solution());
+  EXPECT_EQ(result.best.status, Solution::Status::Infeasible);
+  // Proof ends the schedule: the heuristic never ran.
+  ASSERT_EQ(result.reports.size(), 1u);
+}
+
+TEST(Portfolio, DefaultScheduleShapes) {
+  const auto small = default_schedule(64);
+  ASSERT_FALSE(small.empty());
+  EXPECT_EQ(small.front().kind, BackendKind::BranchAndBound);
+
+  const auto large = default_schedule(4096);
+  ASSERT_GE(large.size(), 2u);
+  EXPECT_EQ(large.front().kind, BackendKind::LpRounding);
+  // The exact backend stays available as the last resort, node-capped.
+  EXPECT_EQ(large.back().kind, BackendKind::BranchAndBound);
+  EXPECT_LE(large.back().options.node_limit, 2'000'000u);
+}
+
+TEST(Portfolio, FixedCountMatchesClassicPathOnEightByEight) {
+  // The portfolio's fixed-count solve must agree with the classic
+  // single-solver entry point on feasibility and the coverage accounting.
+  SolverOptions opt;
+  opt.node_limit = 2'000'000;
+  const PoePlacement classic = solve_fixed_poes(8, 8, 14, opt);
+  PortfolioOptions popt;
+  popt.base = opt;
+  const PoePlacement portfolio = solve_fixed_poes_portfolio(8, 8, 14, popt);
+  ASSERT_TRUE(classic.feasible);
+  ASSERT_TRUE(portfolio.feasible);
+  EXPECT_EQ(portfolio.poes.size(), 14u);
+  EXPECT_EQ(portfolio.uncovered_cells(), 0u);
+  for (unsigned c : portfolio.coverage) EXPECT_LE(c, 2u);
+}
+
+}  // namespace
+}  // namespace spe::ilp
