@@ -24,7 +24,12 @@ Specu::Specu(Snvmm& memory, SpeMode mode, std::vector<unsigned> poes)
 }
 
 bool Specu::power_on(const Tpm& tpm, std::uint64_t platform_measurement) {
-  const auto key = tpm.authenticate_and_release(memory_.device_id(), platform_measurement);
+  return power_on(tpm, platform_measurement, memory_.device_id());
+}
+
+bool Specu::power_on(const Tpm& tpm, std::uint64_t platform_measurement,
+                     std::uint64_t key_handle) {
+  const auto key = tpm.authenticate_and_release(key_handle, platform_measurement);
   if (!key) return false;
   ciphers_.clear();
   for (unsigned unit = 0; unit < memory_.config().units_per_block; ++unit)
@@ -198,6 +203,27 @@ unsigned Specu::background_encrypt(unsigned max_blocks) {
   unsigned secured = 0;
   while (secured < max_blocks && background_encrypt_one()) ++secured;
   return secured;
+}
+
+unsigned Specu::retain_plaintext(const std::function<bool(std::uint64_t)>& owned) {
+  unsigned dropped = 0;
+  for (auto it = plaintext_.begin(); it != plaintext_.end();) {
+    if (owned(*it)) {
+      ++it;
+    } else {
+      it = plaintext_.erase(it);
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+void Specu::decrypt_for_handoff(std::uint64_t block_addr) {
+  if (!powered())
+    throw std::logic_error("Specu::decrypt_for_handoff: not powered / no key");
+  Snvmm::Block& block = memory_.block(block_addr);
+  if (block.encrypted) decrypt_block_in_place(block_addr, block);
+  plaintext_.erase(block_addr);
 }
 
 std::optional<std::uint64_t> Specu::background_encrypt_one() {

@@ -17,6 +17,7 @@
 // area/latency model and are charged by the architecture simulator.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <set>
@@ -44,6 +45,13 @@ public:
   /// Power-on handshake: TPM authenticates the platform and releases the
   /// key. Returns false (and stays locked) on authentication failure.
   bool power_on(const Tpm& tpm, std::uint64_t platform_measurement);
+
+  /// Multi-tenant power-on: same handshake, but against an explicit sealing
+  /// handle instead of the device id — tenant key domains seal per-(tenant,
+  /// epoch) keys under synthetic handles so several controllers can share
+  /// one crossbar, each under its own key.
+  bool power_on(const Tpm& tpm, std::uint64_t platform_measurement,
+                std::uint64_t key_handle);
 
   /// Orderly power-down: every plaintext block is encrypted (counted into
   /// stats; the cold-boot analysis uses the count), then the volatile key
@@ -101,6 +109,31 @@ public:
   /// committed. The restore is a plain level copy (no pulses), the analog
   /// equivalent of re-programming the saved ciphertext.
   void rollback_decrypt(std::uint64_t block_addr, std::span<const std::uint8_t> pre_image);
+
+  // --- pending-set ownership (multi-tenant key domains) -------------------
+  // Several Specus can front one Snvmm, each owning a disjoint address set.
+  // The constructor conservatively adopts EVERY unencrypted resident block;
+  // the owner partitions the pending sets with these before serving traffic.
+
+  /// Keeps only pending plaintext addresses for which `owned` returns true.
+  /// Returns how many addresses were handed off (dropped).
+  unsigned retain_plaintext(const std::function<bool(std::uint64_t)>& owned);
+
+  /// Removes one address from the pending set (another controller takes
+  /// over its re-encryption). Returns whether it was pending here.
+  bool drop_pending(std::uint64_t block_addr) { return plaintext_.erase(block_addr) > 0; }
+
+  /// Adopts responsibility for re-encrypting a plaintext block (rotation
+  /// hands blocks decrypted under the old key to the new-key controller).
+  void adopt_pending(std::uint64_t block_addr) { plaintext_.insert(block_addr); }
+
+  /// Rotation handoff: decrypts the resting ciphertext in place (journaled,
+  /// so a crash mid-way rolls back to the old-key ciphertext) and leaves the
+  /// plaintext OUT of this controller's pending set — the new key domain's
+  /// controller re-encrypts it under the new key. Works in both modes (no
+  /// immediate re-encrypt, unlike a parallel-mode read). A block already
+  /// plaintext is just dropped from pending.
+  void decrypt_for_handoff(std::uint64_t block_addr);
 
   /// Blocks currently sitting in the array as plaintext.
   [[nodiscard]] std::size_t plaintext_blocks() const noexcept { return plaintext_.size(); }

@@ -5,6 +5,7 @@
 // SPECU, which keeps it in volatile storage only — on power-down the key is
 // gone and only the TPM can restore it on a *measured* platform.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -21,11 +22,21 @@ public:
                  const SpeKey& key);
 
   /// Power-on handshake: returns the key iff the device is known and the
-  /// presented measurement matches the sealed one.
+  /// presented measurement matches the sealed one. The measurement compare
+  /// is constant-time (a mismatched boot hash must not leak which bits were
+  /// wrong through timing), and every refusal — unknown device or wrong
+  /// measurement — is counted into the failed-release audit trail.
   [[nodiscard]] std::optional<SpeKey> authenticate_and_release(
       std::uint64_t device_id, std::uint64_t platform_measurement) const;
 
   [[nodiscard]] bool knows_device(std::uint64_t device_id) const;
+
+  /// Audit counter: refused release attempts since construction. Also
+  /// exported as `spe_tpm_failed_releases_total` via the global metrics
+  /// registry so operators see authentication pressure without polling.
+  [[nodiscard]] std::uint64_t failed_releases() const noexcept {
+    return failed_releases_.load(std::memory_order_relaxed);
+  }
 
 private:
   struct Sealed {
@@ -33,6 +44,7 @@ private:
     SpeKey key;
   };
   std::map<std::uint64_t, Sealed> sealed_;
+  mutable std::atomic<std::uint64_t> failed_releases_{0};
 };
 
 }  // namespace spe::core

@@ -13,6 +13,8 @@
 #include <cstring>
 #include <thread>
 
+#include "tenant/token.hpp"
+
 namespace spe::net {
 
 Client::Client(ClientConfig config)
@@ -24,6 +26,9 @@ Client::Client(Client&& other) noexcept
     : config_(std::move(other.config_)),
       fd_(other.fd_),
       next_id_(other.next_id_),
+      tenant_set_(other.tenant_set_),
+      tenant_id_(other.tenant_id_),
+      tenant_secret_(other.tenant_secret_),
       chaos_tx_events_(other.chaos_tx_events_),
       chaos_rx_events_(other.chaos_rx_events_),
       decoder_(std::move(other.decoder_)) {
@@ -36,6 +41,9 @@ Client& Client::operator=(Client&& other) noexcept {
     config_ = std::move(other.config_);
     fd_ = other.fd_;
     next_id_ = other.next_id_;
+    tenant_set_ = other.tenant_set_;
+    tenant_id_ = other.tenant_id_;
+    tenant_secret_ = other.tenant_secret_;
     chaos_tx_events_ = other.chaos_tx_events_;
     chaos_rx_events_ = other.chaos_rx_events_;
     decoder_ = std::move(other.decoder_);
@@ -124,7 +132,20 @@ void Client::connect() {
 
 std::uint64_t Client::send_frame(const Frame& frame) {
   if (!connected()) throw ConnectError("spe::net: not connected");
-  std::vector<std::uint8_t> bytes = encode_frame(frame);
+  std::vector<std::uint8_t> bytes;
+  if (tenant_set_ && frame.version >= 4 && !frame.has_tenant) {
+    // Stamp the attached identity: a fresh token per frame, bound to the
+    // request id and opcode so a captured frame cannot be replayed as a
+    // different operation.
+    append_frame_direct(bytes, frame.version, frame.opcode, frame.status,
+                        frame.request_id, frame.payload, frame.deadline_ms,
+                        /*has_tenant=*/true, tenant_id_,
+                        tenant::make_token(tenant_secret_, tenant_id_,
+                                           frame.request_id,
+                                           static_cast<std::uint8_t>(frame.opcode)));
+  } else {
+    bytes = encode_frame(frame);
+  }
   std::size_t send_len = bytes.size();
   unsigned copies = 1;
   if (ChaosPolicy* chaos = config_.chaos.get(); chaos != nullptr && chaos->enabled()) {
@@ -304,6 +325,20 @@ std::string Client::metrics(obs::MetricsFormat format) {
 }
 
 void Client::ping() { (void)await(send_ping()); }
+
+std::uint64_t Client::send_rotate(std::uint32_t tenant) {
+  return send_frame(make_rotate_request(next_id_++, tenant));
+}
+
+Client::RotationInfo Client::rotate_key(std::uint32_t tenant) {
+  const Frame frame = await(send_rotate(tenant));
+  RotationInfo info;
+  WireErrorCode err = WireErrorCode::None;
+  if (!parse_rotate_response(frame, info.epoch, info.scheduled, err))
+    throw ProtocolError(std::string("spe::net: bad rotate response: ") +
+                        to_string(err));
+  return info;
+}
 
 Frame Client::await_matching(std::uint64_t id,
                              std::chrono::milliseconds deadline_override) {

@@ -103,6 +103,19 @@ public:
   void close() noexcept;
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
 
+  // --- multi-tenant identity (wire v4) --------------------------------------
+  /// Attaches an authenticated tenant identity: every subsequent v4 frame
+  /// carries the tenant extension with a per-frame token MAC'd from
+  /// `token_secret` (see src/tenant/token.hpp). The server denies forged or
+  /// cross-tenant requests with Status::AccessDenied. Clearing reverts to
+  /// the default domain (the v1–v3 behaviour).
+  void set_tenant(std::uint32_t tenant_id, std::uint64_t token_secret) noexcept {
+    tenant_set_ = true;
+    tenant_id_ = tenant_id;
+    tenant_secret_ = token_secret;
+  }
+  void clear_tenant() noexcept { tenant_set_ = false; }
+
   // --- pipelined API (load generator) --------------------------------------
   // Each send returns the request id; responses arrive via recv_response()
   // in server completion order (which is NOT submission order across
@@ -126,6 +139,17 @@ public:
       obs::MetricsFormat format = obs::MetricsFormat::Prometheus);
   void ping();
 
+  /// ROTATE_KEY RPC: asks the server to rotate `tenant`'s key domain.
+  /// Requires an attached tenant identity (set_tenant) — the server answers
+  /// BadRequest for tokenless frames and AccessDenied when the caller is
+  /// neither `tenant` itself nor the admin (default) domain.
+  struct RotationInfo {
+    std::uint64_t epoch = 0;
+    std::uint64_t scheduled = 0;
+  };
+  RotationInfo rotate_key(std::uint32_t tenant);
+  std::uint64_t send_rotate(std::uint32_t tenant);
+
   /// Sends `frame` (assigning the next request id) and returns the matching
   /// response WITHOUT interpreting its status byte — cluster-aware callers
   /// route on Status::Moved themselves, so unlike the conveniences above a
@@ -147,6 +171,9 @@ private:
   ClientConfig config_;
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
+  bool tenant_set_ = false;
+  std::uint32_t tenant_id_ = 0;
+  std::uint64_t tenant_secret_ = 0;
   std::uint64_t chaos_tx_events_ = 0;  ///< frames offered to tx chaos
   std::uint64_t chaos_rx_events_ = 0;  ///< frames offered to rx chaos
   FrameDecoder decoder_;

@@ -355,6 +355,7 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame&& frame) {
     case Opcode::Read:
     case Opcode::Write:
     case Opcode::Scrub:
+    case Opcode::RotateKey:
       submit_request(conn, std::move(frame));
       return;
     case Opcode::Topology:
@@ -410,11 +411,57 @@ void Server::submit_request(const std::shared_ptr<Conn>& conn, Frame&& frame) {
   const Opcode op = frame.opcode;
   const std::uint64_t id = frame.request_id;
   if (!admit(conn, frame)) return;
+  // --- tenant resolution (wire v4) ------------------------------------------
+  // A frame without the tenant extension runs as the default domain — that is
+  // how v1–v3 clients keep working unchanged. A frame that does claim a
+  // tenant must authenticate (constant-time token MAC) before anything else;
+  // a forged or unknown identity is a typed AccessDenied, never a fallback
+  // to the default domain.
+  tenant::TenantRegistry* reg = service_.config().tenants.get();
+  tenant::TenantId tid = tenant::kDefaultTenant;
+  if (frame.has_tenant && frame.tenant_id != tenant::kDefaultTenant) {
+    if (reg == nullptr) {
+      respond_now(conn, make_error_response(frame, Status::AccessDenied,
+                                            "multi-tenancy disabled"));
+      return;
+    }
+    if (!reg->authenticate(frame.tenant_id, frame.tenant_token, id,
+                           static_cast<std::uint8_t>(op))) {
+      if (reg->spec(frame.tenant_id) == nullptr)  // unknown id: count here
+        reg->counters(tenant::kDefaultTenant)
+            .auth_failures.fetch_add(1, std::memory_order_relaxed);
+      respond_now(conn, make_error_response(frame, Status::AccessDenied,
+                                            "tenant authentication failed"));
+      return;
+    }
+    tid = frame.tenant_id;
+  }
+  // Per-tenant admission: one inflight slot, released when the request
+  // settles (or on any early-out below, via the guard).
+  bool tenant_admitted = false;
+  if (reg != nullptr) {
+    if (!reg->try_acquire_inflight(tid)) {
+      counters_.overload_rejected.fetch_add(1, std::memory_order_relaxed);
+      respond_now(conn, make_error_response(frame, Status::Overloaded,
+                                            "tenant in-flight cap"));
+      return;
+    }
+    tenant_admitted = true;
+  }
+  struct InflightGuard {
+    tenant::TenantRegistry* reg = nullptr;
+    tenant::TenantId id = 0;
+    ~InflightGuard() {
+      if (reg != nullptr) reg->release_inflight(id);
+    }
+  } admission_guard{tenant_admitted ? reg : nullptr, tid};
   Pending pending;
   pending.conn = conn;
   pending.request_id = id;
   pending.version = frame.version;
   pending.deadline_ms = frame.deadline_ms;
+  pending.tenant = tid;
+  pending.admitted = tenant_admitted;
   pending.received = Clock::now();
   // Deadline-aware load shedding: when a v3 frame declares its remaining
   // budget and the target shard's expected queue wait already exceeds it,
@@ -441,10 +488,20 @@ void Server::submit_request(const std::shared_ptr<Conn>& conn, Frame&& frame) {
                       make_error_response(frame, Status::BadRequest, to_string(err)));
           return;
         }
+        // Every identity — including the default domain — is confined to the
+        // ranges it owns; there is no admin bypass on the data path.
+        if (reg != nullptr && reg->owner_of(addr) != tid) {
+          reg->counters(tid).denied.fetch_add(1, std::memory_order_relaxed);
+          respond_now(conn, make_error_response(frame, Status::AccessDenied,
+                                                "address owned by another tenant"));
+          return;
+        }
         pending.kind = Pending::Kind::Read;
         pending.lane = service_.shard_of(addr);  // shard-affine completion
         if (shed(pending.lane)) return;
         pending.read_future = service_.submit_read(addr);
+        if (reg != nullptr)
+          reg->counters(tid).reads.fetch_add(1, std::memory_order_relaxed);
         break;
       }
       case Opcode::Write: {
@@ -459,13 +516,62 @@ void Server::submit_request(const std::shared_ptr<Conn>& conn, Frame&& frame) {
                                           "write payload must be exactly one block"));
           return;
         }
+        if (reg != nullptr && reg->owner_of(addr) != tid) {
+          reg->counters(tid).denied.fetch_add(1, std::memory_order_relaxed);
+          respond_now(conn, make_error_response(frame, Status::AccessDenied,
+                                                "address owned by another tenant"));
+          return;
+        }
         pending.kind = Pending::Kind::Write;
         pending.lane = service_.shard_of(addr);  // shard-affine completion
         if (shed(pending.lane)) return;
         pending.write_future = service_.submit_write(addr, data);
+        if (reg != nullptr)
+          reg->counters(tid).writes.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case Opcode::RotateKey: {
+        std::uint32_t target = 0;
+        WireErrorCode err = WireErrorCode::None;
+        if (!parse_rotate_request(frame, target, err)) {
+          counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          respond_now(conn,
+                      make_error_response(frame, Status::BadRequest, to_string(err)));
+          return;
+        }
+        if (reg == nullptr) {
+          respond_now(conn, make_error_response(frame, Status::AccessDenied,
+                                                "multi-tenancy disabled"));
+          return;
+        }
+        if (!frame.has_tenant) {
+          // Pre-v4 clients carry no identity to authorize an admin op with.
+          reg->counters(tid).denied.fetch_add(1, std::memory_order_relaxed);
+          respond_now(conn,
+                      make_error_response(frame, Status::BadRequest,
+                                          "key rotation requires a v4 tenant token"));
+          return;
+        }
+        if (tid != tenant::kDefaultTenant && tid != target) {
+          reg->counters(tid).denied.fetch_add(1, std::memory_order_relaxed);
+          respond_now(conn,
+                      make_error_response(frame, Status::AccessDenied,
+                                          "tenant may rotate only its own key domain"));
+          return;
+        }
+        pending.kind = Pending::Kind::Rotate;
+        pending.rotate_target = target;
+        pending.lane = next_lane_++;
         break;
       }
       default:
+        if (reg != nullptr && tid != tenant::kDefaultTenant) {
+          // Scrub sweeps every tenant's blocks — admin (default domain) only.
+          reg->counters(tid).denied.fetch_add(1, std::memory_order_relaxed);
+          respond_now(conn, make_error_response(frame, Status::AccessDenied,
+                                                "scrub is an admin op"));
+          return;
+        }
         pending.kind = Pending::Kind::Scrub;
         pending.lane = next_lane_++;
         break;
@@ -481,6 +587,7 @@ void Server::submit_request(const std::shared_ptr<Conn>& conn, Frame&& frame) {
     respond_now(conn, make_error_response(frame, Status::Internal, e.what()));
     return;
   }
+  admission_guard.reg = nullptr;  // the slot now rides with the Pending
   enqueue_pending(conn, std::move(pending));
 }
 
@@ -501,6 +608,9 @@ void Server::completion_loop(CompletionLane& lane) {
       lane.queue.pop_front();
     }
     finish_pending(pending);
+    if (pending.admitted)
+      if (tenant::TenantRegistry* reg = service_.config().tenants.get())
+        reg->release_inflight(pending.tenant);
     counters_.requests_completed.fetch_add(1, std::memory_order_relaxed);
     counters_.request_latency.record(Clock::now() - pending.received);
     pending.conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
@@ -534,6 +644,7 @@ void Server::finish_pending(Pending& pending) {
     case Pending::Kind::Write: opcode = Opcode::Write; break;
     case Pending::Kind::Scrub: opcode = Opcode::Scrub; break;
     case Pending::Kind::Handler: opcode = pending.handler_frame.opcode; break;
+    case Pending::Kind::Rotate: opcode = Opcode::RotateKey; break;
   }
   // Every error/handler outcome goes through a Frame + deliver(); READ and
   // WRITE successes skip the Frame and encode straight into the connection's
@@ -589,7 +700,23 @@ void Server::finish_pending(Pending& pending) {
       case Pending::Kind::Scrub:
         response = make_scrub_response(pending.request_id, service_.scrub_all());
         break;
+      case Pending::Kind::Rotate: {
+        // Authorization happened at submit; the rotation itself (epoch bump,
+        // key sealing, per-shard domain flip) may block, which is why it
+        // lives on a completion thread.
+        const runtime::MemoryService::RotationResult r =
+            service_.rotate_tenant_key(pending.rotate_target);
+        response = make_rotate_response(pending.request_id, r.epoch, r.scheduled);
+        break;
+      }
     }
+  } catch (const runtime::QuotaExceededError& e) {
+    response = make_error_response(opcode, Status::QuotaExceeded,
+                                   pending.request_id, e.what());
+  } catch (const std::invalid_argument& e) {
+    // rotate_tenant_key on an unknown/default tenant
+    response = make_error_response(opcode, Status::BadRequest,
+                                   pending.request_id, e.what());
   } catch (const runtime::UncorrectableFaultError& e) {
     response = make_error_response(opcode, Status::Uncorrectable,
                                    pending.request_id, e.what());

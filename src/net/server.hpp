@@ -212,12 +212,20 @@ private:
   };
 
   struct Pending {
-    enum class Kind : std::uint8_t { Read, Write, Scrub, Handler } kind = Kind::Read;
+    enum class Kind : std::uint8_t {
+      Read, Write, Scrub, Handler, Rotate
+    } kind = Kind::Read;
     std::shared_ptr<Conn> conn;
     std::uint64_t request_id = 0;
     std::uint8_t version = kWireVersion;  ///< echoed into the response
     std::uint64_t deadline_ms = 0;  ///< v3 op deadline; 0 = none
     unsigned lane = 0;  ///< completion lane chosen at submit (shard-affine)
+    /// v4: the authenticated tenant this request runs as (default for
+    /// legacy frames). `admitted` means a per-tenant inflight slot is held
+    /// and must be released when the request settles.
+    std::uint32_t tenant = 0;
+    bool admitted = false;
+    std::uint32_t rotate_target = 0;  ///< Kind::Rotate: tenant to rotate
     std::chrono::steady_clock::time_point received;
     std::future<std::vector<std::uint8_t>> read_future;
     std::future<void> write_future;

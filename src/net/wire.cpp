@@ -32,7 +32,9 @@ std::uint64_t get_u64(const std::uint8_t* p) noexcept {
 }  // namespace
 
 bool opcode_valid(std::uint8_t raw, std::uint8_t version) noexcept {
-  const std::uint8_t max = version >= 2
+  const std::uint8_t max = version >= 4
+                               ? static_cast<std::uint8_t>(Opcode::RotateKey)
+                           : version >= 2
                                ? static_cast<std::uint8_t>(Opcode::MigrateRange)
                                : static_cast<std::uint8_t>(Opcode::Metrics);
   return raw >= static_cast<std::uint8_t>(Opcode::Ping) && raw <= max;
@@ -47,12 +49,14 @@ const char* to_string(Opcode op) noexcept {
     case Opcode::Metrics: return "METRICS";
     case Opcode::Topology: return "TOPOLOGY";
     case Opcode::MigrateRange: return "MIGRATE_RANGE";
+    case Opcode::RotateKey: return "ROTATE_KEY";
   }
   return "?";
 }
 
 bool status_valid(std::uint8_t raw, std::uint8_t version) noexcept {
-  const std::uint8_t max = version >= 3   ? static_cast<std::uint8_t>(Status::Busy)
+  const std::uint8_t max = version >= 4   ? static_cast<std::uint8_t>(Status::AccessDenied)
+                           : version >= 3 ? static_cast<std::uint8_t>(Status::Busy)
                            : version >= 2 ? static_cast<std::uint8_t>(Status::Moved)
                                           : static_cast<std::uint8_t>(Status::Internal);
   return raw <= max;
@@ -71,6 +75,8 @@ const char* to_string(Status status) noexcept {
     case Status::Internal: return "internal error";
     case Status::Moved: return "moved";
     case Status::Busy: return "busy";
+    case Status::QuotaExceeded: return "quota exceeded";
+    case Status::AccessDenied: return "access denied";
   }
   return "?";
 }
@@ -94,38 +100,50 @@ const char* to_string(WireErrorCode code) noexcept {
 void append_frame_direct(std::vector<std::uint8_t>& out, std::uint8_t version,
                          Opcode opcode, Status status, std::uint64_t request_id,
                          std::span<const std::uint8_t> payload,
-                         std::uint64_t deadline_ms) {
+                         std::uint64_t deadline_ms, bool has_tenant,
+                         std::uint32_t tenant_id, std::uint64_t tenant_token) {
   const std::uint8_t v = version >= kMinWireVersion && version <= kWireVersion
                              ? version
                              : kWireVersion;
-  // The deadline extension only exists in v3 frames; older peers get the
-  // bare frame (they could not decode the flag anyway).
+  // Extensions only exist from the version that defined them; older peers
+  // get the bare frame (they could not decode the flag anyway).
   const bool with_deadline = deadline_ms != 0 && v >= 3;
-  std::uint8_t ext[kDeadlineExtBytes];
+  const bool with_tenant = has_tenant && v >= 4;
+  std::uint8_t ext[kDeadlineExtBytes + kTenantExtBytes];
+  std::size_t ext_len = 0;
   if (with_deadline) {
     for (std::size_t i = 0; i < kDeadlineExtBytes; ++i)
-      ext[i] = static_cast<std::uint8_t>(deadline_ms >> (8 * i));
+      ext[ext_len++] = static_cast<std::uint8_t>(deadline_ms >> (8 * i));
   }
-  const std::size_t ext_len = with_deadline ? kDeadlineExtBytes : 0;
+  if (with_tenant) {
+    for (std::size_t i = 0; i < 4; ++i)
+      ext[ext_len++] = static_cast<std::uint8_t>(tenant_id >> (8 * i));
+    for (std::size_t i = 0; i < 8; ++i)
+      ext[ext_len++] = static_cast<std::uint8_t>(tenant_token >> (8 * i));
+  }
+  std::uint8_t flags = 0;
+  if (with_deadline) flags |= kFlagDeadline;
+  if (with_tenant) flags |= kFlagTenant;
   out.reserve(out.size() + kHeaderBytes + ext_len + payload.size());
   out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
   out.push_back(v);
   out.push_back(static_cast<std::uint8_t>(opcode));
   out.push_back(static_cast<std::uint8_t>(status));
-  out.push_back(with_deadline ? kFlagDeadline : 0);  // v3 flags / reserved
+  out.push_back(flags);
   put_u64(out, request_id);
   put_u32(out, static_cast<std::uint32_t>(ext_len + payload.size()));
   std::uint32_t crc = 0;
-  if (with_deadline) crc = util::crc32(ext, kDeadlineExtBytes);
+  if (ext_len > 0) crc = util::crc32(ext, ext_len);
   crc = util::crc32(payload.data(), payload.size(), crc);
   put_u32(out, crc);
-  if (with_deadline) out.insert(out.end(), ext, ext + kDeadlineExtBytes);
+  out.insert(out.end(), ext, ext + ext_len);
   out.insert(out.end(), payload.begin(), payload.end());
 }
 
 void append_frame(std::vector<std::uint8_t>& out, const Frame& frame) {
   append_frame_direct(out, frame.version, frame.opcode, frame.status,
-                      frame.request_id, frame.payload, frame.deadline_ms);
+                      frame.request_id, frame.payload, frame.deadline_ms,
+                      frame.has_tenant, frame.tenant_id, frame.tenant_token);
 }
 
 std::vector<std::uint8_t> encode_frame(const Frame& frame) {
@@ -258,6 +276,24 @@ Frame make_busy_response(const Frame& request, std::uint64_t retry_after_ms,
   return f;
 }
 
+Frame make_rotate_request(std::uint64_t id, std::uint32_t tenant) {
+  Frame f;
+  f.opcode = Opcode::RotateKey;
+  f.request_id = id;
+  put_u32(f.payload, tenant);
+  return f;
+}
+
+Frame make_rotate_response(std::uint64_t id, std::uint64_t epoch,
+                           std::uint64_t scheduled) {
+  Frame f;
+  f.opcode = Opcode::RotateKey;
+  f.request_id = id;
+  put_u64(f.payload, epoch);
+  put_u64(f.payload, scheduled);
+  return f;
+}
+
 bool parse_read_request(const Frame& frame, std::uint64_t& block_addr,
                         WireErrorCode& error) noexcept {
   if (frame.payload.size() != 8) {
@@ -328,6 +364,28 @@ bool parse_busy_response(const Frame& frame, std::uint64_t& retry_after_ms,
   return true;
 }
 
+bool parse_rotate_request(const Frame& frame, std::uint32_t& tenant,
+                          WireErrorCode& error) noexcept {
+  if (frame.payload.size() != 4) {
+    error = WireErrorCode::BadPayload;
+    return false;
+  }
+  tenant = get_u32(frame.payload.data());
+  return true;
+}
+
+bool parse_rotate_response(const Frame& frame, std::uint64_t& epoch,
+                           std::uint64_t& scheduled,
+                           WireErrorCode& error) noexcept {
+  if (frame.payload.size() != 16) {
+    error = WireErrorCode::BadPayload;
+    return false;
+  }
+  epoch = get_u64(frame.payload.data());
+  scheduled = get_u64(frame.payload.data() + 8);
+  return true;
+}
+
 void FrameDecoder::feed(const void* data, std::size_t len) {
   if (error_ != WireErrorCode::None || len == 0) return;
   // Compact once the consumed prefix dominates, so a long-lived connection
@@ -362,18 +420,21 @@ DecodeStatus FrameDecoder::next(Frame& out) {
   if (!opcode_valid(p[5], version)) return fail(WireErrorCode::BadOpcode);
   if (!status_valid(p[6], version)) return fail(WireErrorCode::BadStatus);
   const std::uint8_t flags = p[7];
-  // v1/v2 reserve the whole byte; v3 defines kKnownFlags and reserves the
-  // rest, so an unknown future flag still fails loudly instead of being
+  // v1/v2 reserve the whole byte; each later version defines its own known
+  // set and reserves the rest, so an unknown future flag — or a v4-only
+  // flag arriving in an older frame — still fails loudly instead of being
   // silently misparsed.
-  if (version < 3 ? flags != 0 : (flags & ~kKnownFlags) != 0)
+  if ((flags & ~known_flags(version)) != 0)
     return fail(WireErrorCode::ReservedNonzero);
   const std::uint64_t request_id = get_u64(p + 8);
   const std::uint32_t payload_len = get_u32(p + 16);
   const std::uint32_t crc = get_u32(p + 20);
   if (payload_len > max_frame_bytes_) return fail(WireErrorCode::FrameTooLarge);
   const bool with_deadline = (flags & kFlagDeadline) != 0;
-  if (with_deadline && payload_len < kDeadlineExtBytes)
-    return fail(WireErrorCode::BadPayload);
+  const bool with_tenant = (flags & kFlagTenant) != 0;
+  const std::size_t ext_len = (with_deadline ? kDeadlineExtBytes : 0) +
+                              (with_tenant ? kTenantExtBytes : 0);
+  if (payload_len < ext_len) return fail(WireErrorCode::BadPayload);
   if (avail < kHeaderBytes + payload_len) return DecodeStatus::NeedMore;
 
   const std::uint8_t* payload = p + kHeaderBytes;
@@ -385,9 +446,15 @@ DecodeStatus FrameDecoder::next(Frame& out) {
   out.request_id = request_id;
   out.deadline_ms = with_deadline ? get_u64(payload) : 0;
   if (with_deadline) payload += kDeadlineExtBytes;
-  out.payload.assign(payload, payload + (payload_len - (with_deadline
-                                                            ? kDeadlineExtBytes
-                                                            : 0)));
+  out.has_tenant = with_tenant;
+  out.tenant_id = 0;
+  out.tenant_token = 0;
+  if (with_tenant) {
+    out.tenant_id = get_u32(payload);
+    out.tenant_token = get_u64(payload + 4);
+    payload += kTenantExtBytes;
+  }
+  out.payload.assign(payload, payload + (payload_len - ext_len));
   off_ += kHeaderBytes + payload_len;
   if (off_ == buf_.size()) {
     buf_.clear();

@@ -29,6 +29,18 @@
 // reserved — a v3 frame with no flags is byte-identical to a v2 frame
 // except for the version byte.
 //
+// v4 flags: bit 1 = tenant extension — 12 payload bytes (u32 tenant id +
+// u64 authentication token, see src/tenant/token.hpp) placed AFTER the
+// deadline extension when both flags are set. Like the deadline, the bytes
+// count toward payload length and the CRC and are stripped by the decoder
+// (Frame::has_tenant / tenant_id / tenant_token). The tenant flag in a
+// pre-v4 frame is ReservedNonzero, so v1–v3 encodings are untouched; a v4
+// frame with no flags differs from v3 only in the version byte, which is
+// how legacy clients keep being served byte-for-byte as the default tenant.
+// v4 also adds the ROTATE_KEY admin opcode and the QUOTA_EXCEEDED /
+// ACCESS_DENIED statuses (multi-tenant denials to pre-v4 clients are mapped
+// to BadRequest, which every version can carry).
+//
 // Payloads by opcode:
 //   PING     request: arbitrary bytes      response: echoed bytes
 //   READ     request: u64 block address    response: block data
@@ -40,6 +52,9 @@
 //            to propose/adopt             response: serialised topology
 //   MIGRATE_RANGE (v2) request: serialised MigrateSpec (src/cluster)
 //                                         response: u64 migrated/skipped/failed
+//   ROTATE_KEY (v4) request: u32 tenant id whose key domain to rotate
+//                                         response: u64 new epoch + u64 blocks
+//                                         scheduled for re-encryption
 //   any error response: human-readable reason string
 //   MOVED (v2 status) response: serialised owner NodeInfo (src/cluster) —
 //            the address now lives on another cluster node; retry there.
@@ -69,17 +84,25 @@
 
 namespace spe::net {
 
-inline constexpr std::uint8_t kWireVersion = 3;
+inline constexpr std::uint8_t kWireVersion = 4;
 inline constexpr std::uint8_t kMinWireVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 24;
 inline constexpr std::uint8_t kMagic[4] = {'S', 'P', 'W', '1'};
 inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;
 
-/// v3 header flags (byte 7). Must all be zero in v1/v2 frames.
+/// Header flags (byte 7). Must all be zero in v1/v2 frames; v3 knows the
+/// deadline flag, v4 adds the tenant flag.
 inline constexpr std::uint8_t kFlagDeadline = 0x01;
-inline constexpr std::uint8_t kKnownFlags = kFlagDeadline;
+inline constexpr std::uint8_t kFlagTenant = 0x02;  ///< v4: tenant extension
+inline constexpr std::uint8_t kKnownFlags = kFlagDeadline | kFlagTenant;
+/// Flag bits a frame of `version` may legally carry.
+[[nodiscard]] constexpr std::uint8_t known_flags(std::uint8_t version) noexcept {
+  return version >= 4 ? kKnownFlags : version >= 3 ? kFlagDeadline : 0;
+}
 /// Encoded size of the deadline extension the kFlagDeadline flag announces.
 inline constexpr std::size_t kDeadlineExtBytes = 8;
+/// Encoded size of the v4 tenant extension (u32 tenant id + u64 token).
+inline constexpr std::size_t kTenantExtBytes = 12;
 
 enum class Opcode : std::uint8_t {
   Ping = 1,
@@ -89,6 +112,7 @@ enum class Opcode : std::uint8_t {
   Metrics = 5,
   Topology = 6,      ///< v2: cluster topology fetch / propose
   MigrateRange = 7,  ///< v2: device-bound block migration batch
+  RotateKey = 8,     ///< v4: admin — rotate a tenant's key domain
 };
 [[nodiscard]] bool opcode_valid(std::uint8_t raw,
                                 std::uint8_t version = kWireVersion) noexcept;
@@ -108,6 +132,8 @@ enum class Status : std::uint8_t {
   Internal = 8,       ///< anything else; payload carries the reason
   Moved = 9,          ///< v2: address owned by another node (payload names it)
   Busy = 10,          ///< v3: load shed — payload leads with u64 retry-after ms
+  QuotaExceeded = 11, ///< v4: tenant resident-block quota exhausted
+  AccessDenied = 12,  ///< v4: bad token, cross-tenant access, or admin refused
 };
 [[nodiscard]] bool status_valid(std::uint8_t raw,
                                 std::uint8_t version = kWireVersion) noexcept;
@@ -140,8 +166,23 @@ struct Frame {
   /// silently sheds it — those peers cannot carry the field); the decoder
   /// strips the extension here so `payload` is always the opcode payload.
   std::uint64_t deadline_ms = 0;
+  /// v4 tenant extension: an authenticated tenant identity. Encoded only
+  /// when has_tenant AND version >= 4; stripped by the decoder like the
+  /// deadline. Responses never carry it (the server knows who it answers).
+  bool has_tenant = false;
+  std::uint32_t tenant_id = 0;
+  std::uint64_t tenant_token = 0;
   std::vector<std::uint8_t> payload;
 };
+
+/// Stamps a request frame with a tenant identity + token (sets the v4
+/// tenant extension fields; the encoder emits them for v4 frames).
+inline void attach_tenant(Frame& frame, std::uint32_t tenant_id,
+                          std::uint64_t token) noexcept {
+  frame.has_tenant = true;
+  frame.tenant_id = tenant_id;
+  frame.tenant_token = token;
+}
 
 /// Serialises header + payload + CRC; appends to `out` (the server's
 /// per-connection output buffer) without clearing it.
@@ -154,7 +195,9 @@ void append_frame(std::vector<std::uint8_t>& out, const Frame& frame);
 void append_frame_direct(std::vector<std::uint8_t>& out, std::uint8_t version,
                          Opcode opcode, Status status, std::uint64_t request_id,
                          std::span<const std::uint8_t> payload,
-                         std::uint64_t deadline_ms = 0);
+                         std::uint64_t deadline_ms = 0, bool has_tenant = false,
+                         std::uint32_t tenant_id = 0,
+                         std::uint64_t tenant_token = 0);
 [[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
 
 // --- typed request/response builders ---------------------------------------
@@ -196,6 +239,12 @@ void append_frame_direct(std::vector<std::uint8_t>& out, std::uint8_t version,
 [[nodiscard]] Frame make_busy_response(const Frame& request,
                                        std::uint64_t retry_after_ms,
                                        std::string_view reason);
+/// ROTATE_KEY (v4): admin request to rotate `tenant`'s key domain; the
+/// response reports the new epoch and how many blocks were scheduled for
+/// background re-encryption.
+[[nodiscard]] Frame make_rotate_request(std::uint64_t id, std::uint32_t tenant);
+[[nodiscard]] Frame make_rotate_response(std::uint64_t id, std::uint64_t epoch,
+                                         std::uint64_t scheduled);
 
 // --- typed payload parsers --------------------------------------------------
 // Return false and set `error` (BadPayload) instead of throwing: the server
@@ -218,6 +267,11 @@ void append_frame_direct(std::vector<std::uint8_t>& out, std::uint8_t version,
 [[nodiscard]] bool parse_busy_response(const Frame& frame,
                                        std::uint64_t& retry_after_ms,
                                        WireErrorCode& error) noexcept;
+[[nodiscard]] bool parse_rotate_request(const Frame& frame, std::uint32_t& tenant,
+                                        WireErrorCode& error) noexcept;
+[[nodiscard]] bool parse_rotate_response(const Frame& frame, std::uint64_t& epoch,
+                                         std::uint64_t& scheduled,
+                                         WireErrorCode& error) noexcept;
 
 enum class DecodeStatus : std::uint8_t {
   Ok,        ///< a complete frame was produced

@@ -22,11 +22,55 @@ std::string fmt_double(double v) {
 }
 }  // namespace
 
+namespace {
+constexpr const char* kDroppedSeriesMetric = "spe_obs_dropped_series_total";
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() {
+  for (unsigned k = 0; k < sinks_.size(); ++k) {
+    sinks_[k].kind = static_cast<Kind>(k);
+    sinks_[k].counter = std::make_unique<Counter>();
+    sinks_[k].gauge = std::make_unique<Gauge>();
+    sinks_[k].histogram = std::make_unique<Histogram>();
+  }
+}
+
+void MetricsRegistry::set_series_cap(std::size_t cap) {
+  std::lock_guard lock(mutex_);
+  series_cap_ = cap;
+}
+
+std::uint64_t MetricsRegistry::dropped_series() const {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(kDroppedSeriesMetric);
+  return it == entries_.end() ? 0 : it->second.counter->value();
+}
+
 MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
                                                const std::string& help, Kind kind) {
   std::lock_guard lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
+    const auto brace = name.find('{');
+    if (brace != std::string::npos && series_cap_ != 0) {
+      std::size_t& series = family_series_[name.substr(0, brace)];
+      if (series >= series_cap_) {
+        // Over the cardinality cap: count the refusal into an exported
+        // overflow counter, then hand back the hidden per-kind sink so the
+        // caller's cached reference stays valid and hot-path writes go
+        // nowhere instead of growing the registry without bound.
+        auto [dit, created] = entries_.try_emplace(kDroppedSeriesMetric);
+        if (created) {
+          dit->second.kind = Kind::Counter;
+          dit->second.help =
+              "labeled metric series refused by the per-family cardinality cap";
+          dit->second.counter = std::make_unique<Counter>();
+        }
+        dit->second.counter->add();
+        return sinks_[static_cast<unsigned>(kind)];
+      }
+      ++series;
+    }
     Entry e;
     e.kind = kind;
     e.help = help;

@@ -119,11 +119,26 @@ enum class MetricsFormat { Prometheus, Json };
 
 class MetricsRegistry {
 public:
+  /// Labeled series allowed per family before new label values are dropped
+  /// (see set_series_cap). Generous: per-shard labels are tens of series,
+  /// per-tenant labels hundreds — only an unbounded label source (a tenant
+  /// id echoed from the wire, say) ever reaches this.
+  static constexpr std::size_t kDefaultSeriesCap = 1024;
+
+  MetricsRegistry();
+
   /// Finds or creates the named instrument. The reference stays valid for
   /// the registry's lifetime (instruments are never removed). A name may be
   /// "family{label=\"v\"}"; help is taken from the first registration of
   /// the family. Throws std::logic_error if the name already exists with a
   /// different instrument type.
+  ///
+  /// Cardinality guard: once a family holds `series_cap` distinct labeled
+  /// names, further *new* labeled names in that family are not registered —
+  /// the call counts into `spe_obs_dropped_series_total` and returns a
+  /// hidden sink instrument (never exported), so callers keep a valid
+  /// reference and the hot path stays branch-free. Existing names are
+  /// always served.
   [[nodiscard]] Counter& counter(const std::string& name, const std::string& help = "");
   [[nodiscard]] Gauge& gauge(const std::string& name, const std::string& help = "");
   [[nodiscard]] Histogram& histogram(const std::string& name,
@@ -148,6 +163,13 @@ public:
   /// transitions). Instruments here accumulate for the process lifetime.
   static MetricsRegistry& global();
 
+  /// Reconfigures the per-family labeled-series cap (0 = unlimited).
+  /// Existing series survive a lowered cap; only new names are affected.
+  void set_series_cap(std::size_t cap);
+
+  /// Labeled registrations refused by the cardinality cap so far.
+  [[nodiscard]] std::uint64_t dropped_series() const;
+
 private:
   enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
   struct Entry {
@@ -161,6 +183,9 @@ private:
 
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;  ///< sorted => deterministic export
+  std::map<std::string, std::size_t> family_series_;  ///< labeled names per family
+  std::size_t series_cap_ = kDefaultSeriesCap;
+  std::array<Entry, 3> sinks_;  ///< per-kind bit bucket for capped series
 };
 
 }  // namespace spe::obs

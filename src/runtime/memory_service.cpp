@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -109,6 +111,18 @@ void MemoryService::init_from_checkpoint(std::istream& checkpoint) {
   // back what the crash caught mid-flight, quarantine what is torn.
   recovery_report_.shards.reserve(config_.shards);
   for (auto& shard : shards_) recovery_report_.shards.push_back(shard->recover());
+  // Quota accounting is volatile; recount what actually survived so a
+  // restarted tenant neither inherits stale charges nor double-charges.
+  if (config_.tenants) {
+    std::map<tenant::TenantId, std::uint64_t> resident;
+    for (const auto& shard : shards_)
+      for (const std::uint64_t addr : shard->resident_blocks())
+        ++resident[config_.tenants->owner_of(addr)];
+    config_.tenants->set_resident_blocks(tenant::kDefaultTenant,
+                                         resident[tenant::kDefaultTenant]);
+    for (const tenant::TenantId tid : config_.tenants->ids())
+      config_.tenants->set_resident_blocks(tid, resident[tid]);
+  }
   start_threads();
 }
 
@@ -130,6 +144,29 @@ void MemoryService::provision_and_power() {
     if (!shard->power_on(tpm_, config_.platform_measurement))
       throw std::runtime_error("MemoryService: shard power-on handshake failed");
   }
+  if (config_.tenants) {
+    auto& reg = *config_.tenants;
+    for (const tenant::TenantId tid : reg.ids()) {
+      // Seal a key per (device, tenant, epoch) for every epoch in play: the
+      // registry's (fresh path) plus whatever the shard checkpoints name —
+      // after a crash mid-rotation a shard may still read under an older
+      // epoch, and a fresh registry starts everyone at 0.
+      std::set<std::uint32_t> epochs{reg.key_epoch(tid)};
+      for (const auto& shard : shards_)
+        for (const auto& [t, e] : shard->restored_epochs())
+          if (t == tid) epochs.insert(e);
+      for (const std::uint32_t epoch : epochs) {
+        const core::SpeKey tenant_key = reg.derive_key(tid, epoch);
+        for (auto& shard : shards_)
+          tpm_.provision(
+              tenant::TenantRegistry::key_handle(shard->device_id(), tid, epoch),
+              config_.platform_measurement, tenant_key);
+      }
+    }
+    for (auto& shard : shards_)
+      if (!shard->power_on_tenants(tpm_, config_.platform_measurement))
+        throw std::runtime_error("MemoryService: tenant power-on handshake failed");
+  }
 }
 
 void MemoryService::start_threads() {
@@ -142,9 +179,11 @@ void MemoryService::start_threads() {
     worker->thread = std::thread([this, &w = *worker] { worker_loop(w); });
 
   // The background thread runs when there is anything for it to do:
-  // re-encryption scavenging (serial mode) and/or the piggybacked scrub.
+  // re-encryption scavenging (serial mode), rotation draining (any mode
+  // with tenant key domains), and/or the piggybacked scrub.
   const bool wants_scavenge =
-      config_.scavenger_enabled && config_.mode == core::SpeMode::Serial;
+      config_.scavenger_enabled &&
+      (config_.mode == core::SpeMode::Serial || config_.tenants != nullptr);
   const bool wants_scrub = config_.scrub_enabled && config_.ecc_enabled;
   if (wants_scavenge || wants_scrub)
     scavenger_ = std::thread([this] { scavenger_loop(); });
@@ -296,7 +335,8 @@ void MemoryService::worker_loop(Worker& worker) {
 
 void MemoryService::scavenger_loop() {
   const bool wants_scavenge =
-      config_.scavenger_enabled && config_.mode == core::SpeMode::Serial;
+      config_.scavenger_enabled &&
+      (config_.mode == core::SpeMode::Serial || config_.tenants != nullptr);
   const bool wants_scrub = config_.scrub_enabled && config_.ecc_enabled;
   std::unique_lock lock(scavenger_mutex_);
   while (!stopping_.load(std::memory_order_acquire)) {
@@ -404,6 +444,38 @@ ServiceStatsSnapshot MemoryService::stats() const {
   return aggregate(std::move(rows));
 }
 
+MemoryService::RotationResult MemoryService::rotate_tenant_key(tenant::TenantId tenant) {
+  if (!config_.tenants)
+    throw std::logic_error("MemoryService::rotate_tenant_key: no tenant registry");
+  // One rotation at a time: tpm_ (a plain map) is written here and read by
+  // the per-shard power-on handshakes this call makes.
+  std::lock_guard lock(rotation_mutex_);
+  auto& reg = *config_.tenants;
+  if (reg.spec(tenant) == nullptr)
+    throw std::invalid_argument("MemoryService::rotate_tenant_key: unknown tenant " +
+                                std::to_string(tenant));
+  const std::uint32_t epoch = reg.advance_epoch(tenant);
+  const core::SpeKey key = reg.derive_key(tenant, epoch);
+  for (auto& shard : shards_)
+    tpm_.provision(tenant::TenantRegistry::key_handle(shard->device_id(), tenant, epoch),
+                   config_.platform_measurement, key);
+  RotationResult result;
+  result.epoch = epoch;
+  for (auto& shard : shards_)
+    result.scheduled +=
+        shard->begin_rotation(tenant, epoch, tpm_, config_.platform_measurement);
+  // The scavenger drains the scheduled blocks on its normal cadence
+  // (scavenger_interval defaults to 500us, so the drain begins immediately
+  // for practical purposes).
+  return result;
+}
+
+std::uint64_t MemoryService::rotation_pending(tenant::TenantId tenant) const {
+  std::uint64_t pending = 0;
+  for (const auto& shard : shards_) pending += shard->rotation_pending(tenant);
+  return pending;
+}
+
 unsigned MemoryService::scrub_all() {
   unsigned scrubbed = 0;
   // scrub() caps one call at the shard's resident count, so a single
@@ -502,6 +574,42 @@ void MemoryService::fill_metrics(obs::MetricsRegistry& registry) const {
           snap.totals.write_latency);
   latency("spe_background_latency_ns", "one scavenger block re-encryption",
           snap.totals.background_latency);
+
+  if (config_.tenants) {
+    const auto& reg = *config_.tenants;
+    const auto load = [](const std::atomic<std::uint64_t>& v) {
+      return v.load(std::memory_order_relaxed);
+    };
+    for (const tenant::TenantId tid : reg.ids()) {
+      const tenant::TenantSpec* spec = reg.spec(tid);
+      const tenant::TenantCounters& c = reg.counters(tid);
+      const std::string label = "{tenant=\"" + spec->name + "\"}";
+      counter("spe_tenant_reads_total" + label, "reads completed per tenant",
+              load(c.reads));
+      counter("spe_tenant_writes_total" + label, "writes completed per tenant",
+              load(c.writes));
+      counter("spe_tenant_denied_total" + label,
+              "cross-tenant or unauthorized operations refused", load(c.denied));
+      counter("spe_tenant_auth_failures_total" + label,
+              "wire tokens that failed MAC verification", load(c.auth_failures));
+      counter("spe_tenant_quota_rejections_total" + label,
+              "writes refused over the tenant block quota",
+              load(c.quota_rejections));
+      counter("spe_tenant_admission_rejections_total" + label,
+              "requests refused over the tenant inflight cap",
+              load(c.admission_rejections));
+      counter("spe_tenant_rotations_total" + label, "key rotations scheduled",
+              load(c.rotations));
+      registry.gauge("spe_tenant_resident_blocks" + label,
+                     "blocks resident per tenant (quota accounting)")
+          .set(static_cast<double>(load(c.resident_blocks)));
+      registry.gauge("spe_tenant_rotation_pending" + label,
+                     "blocks still resting under the tenant's previous key")
+          .set(static_cast<double>(rotation_pending(tid)));
+      registry.gauge("spe_tenant_key_epoch" + label, "current key epoch per tenant")
+          .set(static_cast<double>(reg.key_epoch(tid)));
+    }
+  }
 
   for (const ShardStatsSnapshot& s : snap.shards) {
     const std::string label = "{shard=\"" + std::to_string(s.shard) + "\"}";

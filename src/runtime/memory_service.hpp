@@ -171,6 +171,26 @@ public:
   /// this is what the fault campaign uses for replayable reports.
   unsigned scrub_all();
 
+  // --- multi-tenant key domains (src/tenant; DESIGN.md §15) ------------------
+
+  struct RotationResult {
+    std::uint64_t epoch = 0;      ///< the new key epoch
+    std::uint64_t scheduled = 0;  ///< blocks queued for re-encryption
+  };
+
+  /// Online key rotation for a registered tenant: advances the registry
+  /// epoch, derives + seals the new epoch's key on every shard's device, and
+  /// flips each shard's domain — reads are served from the old key while the
+  /// scavenger drains the re-encryption backlog (zero failed reads; the wire
+  /// ROTATE_KEY op lands here). Serialized against concurrent rotations.
+  /// Throws std::logic_error without a registry, std::invalid_argument for
+  /// an unknown tenant.
+  RotationResult rotate_tenant_key(tenant::TenantId tenant);
+
+  /// Blocks across all shards still resting under `tenant`'s previous key
+  /// (0 = the last rotation has fully drained and was byte-verified safe).
+  [[nodiscard]] std::uint64_t rotation_pending(tenant::TenantId tenant) const;
+
   /// Direct shard access for tests and the fault campaign (quiesce first —
   /// callers must not race the shard's worker).
   [[nodiscard]] BankShard& shard(unsigned idx) noexcept { return *shards_[idx]; }
@@ -198,6 +218,7 @@ private:
   ServiceConfig config_;
   RecoveryReport recovery_report_;
   core::Tpm tpm_;
+  std::mutex rotation_mutex_;  ///< serializes rotate_tenant_key (tpm_ writes)
   std::vector<std::unique_ptr<BankShard>> shards_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::thread scavenger_;

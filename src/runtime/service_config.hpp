@@ -7,12 +7,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "core/snvmm.hpp"
 #include "core/specu.hpp"
 #include "fault/fault_plan.hpp"
+#include "tenant/registry.hpp"
 
 namespace spe::runtime {
 
@@ -119,6 +121,30 @@ private:
   std::uint64_t block_addr_;
 };
 
+/// Write would create a block the owning tenant has no quota headroom for
+/// (tenant::TenantSpec::block_quota). Nothing was programmed; the request
+/// can be retried after the tenant frees capacity or its quota is raised.
+class QuotaExceededError : public std::runtime_error {
+public:
+  QuotaExceededError(unsigned shard, std::uint64_t block_addr, std::uint32_t tenant)
+      : std::runtime_error("spe::runtime: tenant " + std::to_string(tenant) +
+                           " over block quota writing block " +
+                           std::to_string(block_addr) + " (shard " +
+                           std::to_string(shard) + ")"),
+        shard_(shard),
+        block_addr_(block_addr),
+        tenant_(tenant) {}
+
+  [[nodiscard]] unsigned shard() const noexcept { return shard_; }
+  [[nodiscard]] std::uint64_t block_addr() const noexcept { return block_addr_; }
+  [[nodiscard]] std::uint32_t tenant() const noexcept { return tenant_; }
+
+private:
+  unsigned shard_;
+  std::uint64_t block_addr_;
+  std::uint32_t tenant_;
+};
+
 /// Observability knobs (src/obs wiring). Tracing is process-global — a
 /// service whose config asks for it enables the global Tracer at
 /// construction (restarting the trace session); metrics export needs no
@@ -197,6 +223,17 @@ struct ServiceConfig {
 
   // --- observability (src/obs: tracing, metrics, slow-op accounting) ------
   ObsConfig obs;
+
+  // --- multi-tenant key domains (src/tenant, DESIGN.md §15) ---------------
+  /// Optional tenant registry. When set, every shard powers one extra Specu
+  /// per registered tenant (its key derived per (tenant, epoch) and sealed
+  /// in the TPM under a synthetic handle), blocks encrypt under their
+  /// address-range owner's key domain, writes that create blocks charge the
+  /// owner's block quota (QuotaExceededError when exhausted), and
+  /// MemoryService::rotate_tenant_key drives online key rotation. Null (the
+  /// default) keeps the single-tenant behaviour byte-for-byte: one default
+  /// key domain, no quota checks, no extra state in checkpoints.
+  std::shared_ptr<tenant::TenantRegistry> tenants;
 };
 
 }  // namespace spe::runtime

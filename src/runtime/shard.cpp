@@ -52,6 +52,21 @@ std::uint64_t read_u64(std::istream& in, const char* what) {
     v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
   return v;
 }
+
+/// Like read_u64, but a clean end-of-stream yields nullopt instead of
+/// throwing — fields appended to the blob format (the rotation records) are
+/// simply absent in blobs written before they existed.
+std::optional<std::uint64_t> read_u64_opt(std::istream& in, const char* what) {
+  char buf[8];
+  in.read(buf, 8);
+  if (in.gcount() == 0) return std::nullopt;
+  if (static_cast<std::size_t>(in.gcount()) != 8)
+    throw std::runtime_error(std::string("shard state: truncated while reading ") + what);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
+  return v;
+}
 }  // namespace
 
 BankShard::BankShard(unsigned id, const ServiceConfig& config,
@@ -98,6 +113,7 @@ BankShard::BankShard(unsigned id, const ServiceConfig& config,
   quarantined_ = std::move(state.quarantined);
   restored_crc_corrupt_ = std::move(state.image.corrupt_blocks);
   scrub_cursor_ = state.scrub_cursor;
+  restored_domains_ = std::move(state.domains);
 }
 
 BankShard::RestoredState BankShard::read_state(std::istream& in) {
@@ -118,6 +134,22 @@ BankShard::RestoredState BankShard::read_state(std::istream& in) {
     state.remap_table.emplace_back(addr, static_cast<std::uint32_t>(epoch));
   }
   state.scrub_cursor = read_u64(in, "scrub cursor");
+  // Rotation records (appended by the multi-tenant format revision): a
+  // pre-tenant blob simply ends at the scrub cursor.
+  if (const auto domain_count = read_u64_opt(in, "domain record count")) {
+    for (std::uint64_t d = 0; d < *domain_count; ++d) {
+      DomainRecord rec;
+      rec.tenant = static_cast<tenant::TenantId>(read_u64(in, "domain tenant id"));
+      rec.key_epoch = static_cast<std::uint32_t>(read_u64(in, "domain key epoch"));
+      rec.old_active = read_u64(in, "domain old-epoch flag") != 0;
+      rec.old_key_epoch = static_cast<std::uint32_t>(read_u64(in, "domain old epoch"));
+      const std::uint64_t rotating = read_u64(in, "domain rotating count");
+      rec.rotating.reserve(rotating);
+      for (std::uint64_t i = 0; i < rotating; ++i)
+        rec.rotating.push_back(read_u64(in, "domain rotating address"));
+      state.domains.push_back(std::move(rec));
+    }
+  }
   return state;
 }
 
@@ -140,6 +172,18 @@ void BankShard::save_state_locked(std::ostream& out) const {
     write_u64(out, epoch);
   }
   write_u64(out, scrub_cursor_);
+  // Rotation records: per-domain key epochs plus the addresses still
+  // resting under the previous key. Deterministic (both containers sorted),
+  // and written even when empty so restored state round-trips byte-for-byte.
+  write_u64(out, domains_.size());
+  for (const auto& [tid, domain] : domains_) {
+    write_u64(out, tid);
+    write_u64(out, domain.key_epoch);
+    write_u64(out, domain.old_specu ? 1 : 0);
+    write_u64(out, domain.old_key_epoch);
+    write_u64(out, domain.rotating.size());
+    for (const std::uint64_t addr : domain.rotating) write_u64(out, addr);
+  }
   if (!out) throw std::runtime_error("shard state: write failure");
 }
 
@@ -169,6 +213,165 @@ bool BankShard::power_on(const core::Tpm& tpm, std::uint64_t measurement) {
   return specu_.power_on(tpm, measurement);
 }
 
+std::unique_ptr<core::Specu> BankShard::make_domain_specu() {
+  return std::make_unique<core::Specu>(memory_, config_.mode,
+                                       shard_poes(memory_, config_));
+}
+
+bool BankShard::power_on_tenants(const core::Tpm& tpm, std::uint64_t measurement) {
+  std::lock_guard lock(state_mutex_);
+  const auto& registry = config_.tenants;
+  if (!registry) {
+    restored_domains_.clear();
+    return true;
+  }
+  std::map<tenant::TenantId, const DomainRecord*> restored;
+  for (const DomainRecord& rec : restored_domains_) restored[rec.tenant] = &rec;
+  domains_.clear();
+  for (const tenant::TenantId tid : registry->ids()) {
+    const auto rit = restored.find(tid);
+    const DomainRecord* rec = rit == restored.end() ? nullptr : rit->second;
+    Domain domain;
+    domain.key_epoch = rec != nullptr ? rec->key_epoch : registry->key_epoch(tid);
+    // Restore path: the shard blob carries the authoritative epoch (a fresh
+    // registry starts every tenant at 0); raise the registry to match.
+    registry->restore_epoch(tid, domain.key_epoch);
+    domain.specu = make_domain_specu();
+    if (!domain.specu->power_on(tpm, measurement,
+                                tenant::TenantRegistry::key_handle(
+                                    memory_.device_id(), tid, domain.key_epoch)))
+      return false;
+    // The constructor conservatively adopted EVERY plaintext resident block;
+    // this controller re-encrypts only what its tenant owns.
+    domain.specu->retain_plaintext(
+        [&](std::uint64_t addr) { return registry->owner_of(addr) == tid; });
+    domain.batch = std::make_unique<core::SpecuBatch>(*domain.specu);
+    if (rec != nullptr && rec->old_active) {
+      domain.old_key_epoch = rec->old_key_epoch;
+      domain.old_specu = make_domain_specu();
+      if (!domain.old_specu->power_on(tpm, measurement,
+                                      tenant::TenantRegistry::key_handle(
+                                          memory_.device_id(), tid,
+                                          domain.old_key_epoch)))
+        return false;
+      // Old-epoch controllers never own pending plaintext: a handoff decrypt
+      // moves the block straight into the current controller's pending set.
+      domain.old_specu->retain_plaintext([](std::uint64_t) { return false; });
+      for (const std::uint64_t addr : rec->rotating) {
+        // A block whose decrypt committed before the crash (now plaintext,
+        // pending in the current controller) or that vanished has already
+        // left the old key domain.
+        if (memory_.has_block(addr) && memory_.block(addr).encrypted)
+          domain.rotating.insert(addr);
+      }
+      finish_rotation_locked(domain);
+    }
+    domains_.emplace(tid, std::move(domain));
+  }
+  // What remains pending in the default controller is default-owned only.
+  specu_.retain_plaintext([&](std::uint64_t addr) {
+    return registry->owner_of(addr) == tenant::kDefaultTenant;
+  });
+  restored_domains_.clear();
+  return true;
+}
+
+std::uint64_t BankShard::begin_rotation(tenant::TenantId tenant, std::uint32_t new_epoch,
+                                        const core::Tpm& tpm, std::uint64_t measurement) {
+  std::lock_guard lock(state_mutex_);
+  const auto& registry = config_.tenants;
+  if (!registry) throw std::logic_error("BankShard::begin_rotation: no tenant registry");
+  const auto it = domains_.find(tenant);
+  if (it == domains_.end())
+    throw std::invalid_argument("BankShard::begin_rotation: unknown tenant domain");
+  Domain& domain = it->second;
+  // At most one old epoch is live per domain: a still-draining previous
+  // rotation finishes synchronously before the new one begins.
+  while (domain.old_specu && !domain.rotating.empty()) {
+    const std::uint64_t addr = *domain.rotating.begin();
+    domain.old_specu->decrypt_for_handoff(addr);
+    domain.rotating.erase(addr);
+    domain.specu->resume_encrypt(addr, 0);
+    if (config_.ecc_enabled) refresh_checks(addr);
+  }
+  finish_rotation_locked(domain);
+
+  auto fresh = make_domain_specu();
+  if (!fresh->power_on(tpm, measurement,
+                       tenant::TenantRegistry::key_handle(memory_.device_id(),
+                                                          tenant, new_epoch)))
+    throw std::runtime_error("BankShard::begin_rotation: key release refused");
+  // Pending plaintext follows the NEW controller — it re-encrypts under the
+  // new key; the outgoing controller keeps none.
+  fresh->retain_plaintext(
+      [&](std::uint64_t addr) { return registry->owner_of(addr) == tenant; });
+  domain.old_specu = std::move(domain.specu);
+  domain.old_specu->retain_plaintext([](std::uint64_t) { return false; });
+  domain.old_key_epoch = domain.key_epoch;
+  domain.specu = std::move(fresh);
+  domain.batch = std::make_unique<core::SpecuBatch>(*domain.specu);
+  domain.key_epoch = new_epoch;
+
+  domain.rotating.clear();
+  for (const auto& [addr, block] : std::as_const(memory_).blocks()) {
+    if (!block.encrypted || quarantined_.contains(addr)) continue;
+    if (registry->owner_of(addr) == tenant) domain.rotating.insert(addr);
+  }
+  const std::uint64_t scheduled = domain.rotating.size();
+  finish_rotation_locked(domain);
+  return scheduled;
+}
+
+std::uint64_t BankShard::rotation_pending(tenant::TenantId tenant) const {
+  std::lock_guard lock(state_mutex_);
+  const auto it = domains_.find(tenant);
+  return it == domains_.end() ? 0 : it->second.rotating.size();
+}
+
+std::vector<std::pair<tenant::TenantId, std::uint32_t>> BankShard::restored_epochs()
+    const {
+  std::lock_guard lock(state_mutex_);
+  std::vector<std::pair<tenant::TenantId, std::uint32_t>> out;
+  for (const DomainRecord& rec : restored_domains_) {
+    out.emplace_back(rec.tenant, rec.key_epoch);
+    if (rec.old_active) out.emplace_back(rec.tenant, rec.old_key_epoch);
+  }
+  return out;
+}
+
+BankShard::Domain* BankShard::domain_of(std::uint64_t addr) {
+  if (domains_.empty() || !config_.tenants) return nullptr;
+  const tenant::TenantId owner = config_.tenants->owner_of(addr);
+  if (owner == tenant::kDefaultTenant) return nullptr;
+  const auto it = domains_.find(owner);
+  return it == domains_.end() ? nullptr : &it->second;
+}
+
+void BankShard::finish_rotation_locked(Domain& domain) {
+  if (domain.old_specu && domain.rotating.empty()) {
+    domain.old_specu.reset();
+    domain.old_key_epoch = 0;
+  }
+}
+
+std::optional<std::uint64_t> BankShard::rotation_drain_one_locked() {
+  for (auto& [tid, domain] : domains_) {
+    if (!domain.old_specu || domain.rotating.empty()) continue;
+    const std::uint64_t addr = *domain.rotating.begin();
+    // Decrypt under the old key (journaled: a crash rolls back to the
+    // old-epoch ciphertext and the address is still scheduled), then
+    // re-encrypt under the current key (journaled: a crash resumes under
+    // the new epoch — the address left the rotating set in the same durable
+    // snapshot, so recovery stays consistent either side).
+    domain.old_specu->decrypt_for_handoff(addr);
+    domain.rotating.erase(addr);
+    domain.specu->resume_encrypt(addr, 0);
+    finish_rotation_locked(domain);
+    return addr;
+  }
+  return std::nullopt;
+}
+
 ShardRecovery BankShard::recover() {
   std::lock_guard lock(state_mutex_);
   if (!specu_.powered())
@@ -188,6 +391,7 @@ ShardRecovery BankShard::recover() {
     if (touched.insert(addr).second) ++rec.crc_quarantined;
     quarantine(addr, QuarantineReason::Uncorrectable);
     memory_.journal().commit(addr);
+    for (auto& [tid, domain] : domains_) domain.rotating.erase(addr);
   }
   restored_crc_corrupt_.clear();
 
@@ -195,36 +399,69 @@ ShardRecovery BankShard::recover() {
   for (const auto& [addr, entry] : entries) {
     touched.insert(addr);
     const bool resident = memory_.has_block(addr);
-    const bool epoch_ok = entry.epoch == specu_.schedule_epoch();
+    // Multi-tenant: the intent may have been journaled by any powered
+    // controller — the default domain, a tenant's current epoch, or (mid
+    // rotation) a tenant's previous epoch. The schedule-epoch digest picks
+    // the one whose pulses were recorded.
+    core::Specu* owner = nullptr;
+    Domain* owner_domain = nullptr;
+    bool owner_is_old = false;
+    if (entry.epoch == specu_.schedule_epoch()) {
+      owner = &specu_;
+    } else {
+      for (auto& [tid, domain] : domains_) {
+        if (domain.specu && entry.epoch == domain.specu->schedule_epoch()) {
+          owner = domain.specu.get();
+          owner_domain = &domain;
+        } else if (domain.old_specu &&
+                   entry.epoch == domain.old_specu->schedule_epoch()) {
+          owner = domain.old_specu.get();
+          owner_domain = &domain;
+          owner_is_old = true;
+        }
+        if (owner != nullptr) break;
+      }
+    }
     const bool program_complete =
         entry.op == core::JournalOp::Program && entry.progress == entry.total;
-    if (!resident || !epoch_ok ||
+    if (!resident || owner == nullptr ||
         (entry.op == core::JournalOp::Program && !program_complete)) {
       // Unrecoverable: the block vanished, the pulses were journaled under
-      // a different key schedule, or the crash landed mid-write-phase (old
-      // contents overwritten, new ones incomplete).
+      // a key schedule no powered controller holds, or the crash landed
+      // mid-write-phase (old contents overwritten, new ones incomplete).
       quarantine(addr, QuarantineReason::Torn);
       memory_.journal().commit(addr);
       ++rec.torn_quarantined;
+      for (auto& [tid, domain] : domains_) domain.rotating.erase(addr);
       continue;
     }
     switch (entry.op) {
       case core::JournalOp::Encrypt:
-        specu_.resume_encrypt(addr, entry.progress);
+        owner->resume_encrypt(addr, entry.progress);
         ++rec.replayed_forward;
         break;
       case core::JournalOp::Program:
         // Write phase finished, encryption never started: the plaintext is
         // fully programmed, so encrypt it from pulse 0.
-        specu_.resume_encrypt(addr, 0);
+        owner->resume_encrypt(addr, 0);
         ++rec.replayed_forward;
         break;
       case core::JournalOp::Decrypt:
-        specu_.rollback_decrypt(addr, entry.pre_image);
+        owner->rollback_decrypt(addr, entry.pre_image);
         ++rec.rolled_back;
         break;
     }
+    // Reconcile the rotation set with the block's recovered resting epoch:
+    // replayed under the old key => still scheduled for the drain; replayed
+    // under the tenant's current key => the rotation is done with it.
+    if (owner_domain != nullptr) {
+      if (owner_is_old)
+        owner_domain->rotating.insert(addr);
+      else
+        owner_domain->rotating.erase(addr);
+    }
   }
+  for (auto& [tid, domain] : domains_) finish_rotation_locked(domain);
 
   // The SEC-DED shadows are volatile (derived state); rebuild them for the
   // post-recovery resting levels of every surviving block.
@@ -319,7 +556,28 @@ std::vector<std::uint8_t> BankShard::read_block_guarded(std::uint64_t addr, bool
       throw UncorrectableFaultError(id_, addr);
     }
   }
-  auto data = fast ? batch_.read_block(addr) : specu_.read_block(addr);
+  Domain* const domain = domain_of(addr);
+  std::vector<std::uint8_t> data;
+  if (domain != nullptr && domain->old_specu != nullptr &&
+      domain->rotating.contains(addr)) {
+    // Rotation window: the resting ciphertext is still old-epoch, so the
+    // old-key controller serves the read. Serial mode leaves plaintext
+    // behind — hand it to the current-epoch controller, which re-encrypts
+    // it under the new key (the scavenger finishes the migration). Parallel
+    // mode re-encrypts under the old key immediately, so the block stays
+    // scheduled for the drain.
+    data = domain->old_specu->read_block(addr);
+    if (config_.mode == core::SpeMode::Serial) {
+      domain->old_specu->drop_pending(addr);
+      domain->rotating.erase(addr);
+      domain->specu->adopt_pending(addr);
+      finish_rotation_locked(*domain);
+    }
+  } else if (domain != nullptr) {
+    data = fast ? domain->batch->read_block(addr) : domain->specu->read_block(addr);
+  } else {
+    data = fast ? batch_.read_block(addr) : specu_.read_block(addr);
+  }
   // The read changed the resting state (decrypted in serial mode,
   // re-encrypted in parallel mode); re-shadow it.
   if (config_.ecc_enabled) refresh_checks(addr);
@@ -328,6 +586,22 @@ std::vector<std::uint8_t> BankShard::read_block_guarded(std::uint64_t addr, bool
 
 void BankShard::write_block_guarded(std::uint64_t addr,
                                     std::span<const std::uint8_t> data, bool fast) {
+  // Quota: a write that creates a block charges the owner's resident-block
+  // budget before anything is programmed (the default domain never rejects,
+  // it only counts).
+  if (config_.tenants && !memory_.has_block(addr)) {
+    const tenant::TenantId owner = config_.tenants->owner_of(addr);
+    if (!config_.tenants->try_charge_block(owner))
+      throw QuotaExceededError(id_, addr, owner);
+  }
+  Domain* const domain = domain_of(addr);
+  if (domain != nullptr) {
+    // The rewrite programs + encrypts under the current key; whatever epoch
+    // the block rested under before is gone.
+    domain->rotating.erase(addr);
+    if (domain->old_specu) domain->old_specu->drop_pending(addr);
+    finish_rotation_locked(*domain);
+  }
   // A rewrite lifts quarantine (fault-induced or torn) by remapping the
   // block to a spare physical location (fresh fault draws under the bumped
   // epoch).
@@ -344,9 +618,9 @@ void BankShard::write_block_guarded(std::uint64_t addr,
         backoff(attempt);
       }
       if (fast)
-        batch_.write_block(addr, data);
+        (domain != nullptr ? *domain->batch : batch_).write_block(addr, data);
       else
-        specu_.write_block(addr, data);
+        (domain != nullptr ? *domain->specu : specu_).write_block(addr, data);
       core::Snvmm::Block& block = memory_.block(addr);
       if (config_.ecc_enabled) refresh_checks(addr);
       if (!injector_ || !injector_->enabled()) return;
@@ -407,7 +681,7 @@ void BankShard::execute_batch(std::vector<Request> batch) {
     std::uint64_t pre_corrected = 0;
     std::uint64_t pre_retries = 0;
     if (want_summary) {
-      pre_specu = specu_.stats();
+      pre_specu = specu_stats_locked();
       pre_corrected = counters_.faults_corrected.load(std::memory_order_relaxed);
       pre_retries = counters_.read_retries.load(std::memory_order_relaxed) +
                     counters_.write_retries.load(std::memory_order_relaxed);
@@ -419,7 +693,7 @@ void BankShard::execute_batch(std::vector<Request> batch) {
       s.shard = id_;
       s.is_write = is_write;
       s.execute_ns = done - exec_start;
-      const core::Specu::Stats post = specu_.stats();
+      const core::Specu::Stats post = specu_stats_locked();
       s.pulses = (post.encrypt_pulses + post.decrypt_pulses) -
                  (pre_specu.encrypt_pulses + pre_specu.decrypt_pulses);
       s.cells_corrected =
@@ -525,7 +799,16 @@ unsigned BankShard::scavenge(unsigned max_blocks) {
     obs::ShardScope shard_scope(id_);
     obs::Span span("shard.scavenge");
     const auto start = std::chrono::steady_clock::now();
-    const std::optional<std::uint64_t> addr = specu_.background_encrypt_one();
+    std::optional<std::uint64_t> addr = specu_.background_encrypt_one();
+    if (!addr) {
+      for (auto& [tid, domain] : domains_) {
+        if (domain.specu) addr = domain.specu->background_encrypt_one();
+        if (addr) break;
+      }
+    }
+    // Nothing pending anywhere: put the cycle into a rotation drain (one
+    // old-key block decrypted and re-encrypted under the new key).
+    if (!addr) addr = rotation_drain_one_locked();
     if (!addr) break;
     span.set_a1(1);
     if (config_.ecc_enabled) refresh_checks(*addr);
@@ -581,6 +864,10 @@ ShardStatsSnapshot BankShard::stats_snapshot() const {
   ShardStatsSnapshot snap = snapshot_counters(id_, counters_);
   std::lock_guard lock(state_mutex_);
   snap.plaintext_blocks = specu_.plaintext_blocks();
+  for (const auto& [tid, domain] : domains_) {
+    if (domain.specu) snap.plaintext_blocks += domain.specu->plaintext_blocks();
+    if (domain.old_specu) snap.plaintext_blocks += domain.old_specu->plaintext_blocks();
+  }
   snap.resident_blocks = memory_.block_count();
   snap.quarantined_now = quarantined_.size();
   snap.injected_faults = injector_ ? injector_->counts().total() : 0;
@@ -600,9 +887,26 @@ double BankShard::encrypted_fraction() const {
   return specu_.encrypted_fraction();
 }
 
+core::Specu::Stats BankShard::specu_stats_locked() const {
+  core::Specu::Stats total = specu_.stats();
+  const auto fold = [&total](const core::Specu::Stats& s) {
+    total.reads += s.reads;
+    total.writes += s.writes;
+    total.decrypt_ops += s.decrypt_ops;
+    total.encrypt_ops += s.encrypt_ops;
+    total.encrypt_pulses += s.encrypt_pulses;
+    total.decrypt_pulses += s.decrypt_pulses;
+  };
+  for (const auto& [tid, domain] : domains_) {
+    if (domain.specu) fold(domain.specu->stats());
+    if (domain.old_specu) fold(domain.old_specu->stats());
+  }
+  return total;
+}
+
 core::Specu::Stats BankShard::specu_stats() const {
   std::lock_guard lock(state_mutex_);
-  return specu_.stats();
+  return specu_stats_locked();
 }
 
 }  // namespace spe::runtime

@@ -31,9 +31,11 @@
 #include <deque>
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -81,6 +83,37 @@ public:
 
   /// Power-on handshake against the service TPM. False = key withheld.
   [[nodiscard]] bool power_on(const core::Tpm& tpm, std::uint64_t measurement);
+
+  // --- multi-tenant key domains (DESIGN.md §15) -----------------------------
+
+  /// Builds one key domain per registered tenant (ServiceConfig::tenants):
+  /// a Specu powered under the tenant's synthetic TPM handle at its current
+  /// epoch, plus its batched fast path. Partitions the plaintext pending
+  /// sets by address ownership and, on the restore path, rebuilds in-flight
+  /// rotations from the checkpoint's rotation records. Call after power_on
+  /// and before recover(). No-op without a registry; false when any tenant
+  /// handshake fails.
+  [[nodiscard]] bool power_on_tenants(const core::Tpm& tpm, std::uint64_t measurement);
+
+  /// Begins an online key rotation for `tenant` onto `new_epoch`: the
+  /// current domain controller becomes the old-key reader, a fresh one is
+  /// powered under the new epoch's sealed handle, and every encrypted owned
+  /// resident block is scheduled for re-encryption (drained by the
+  /// scavenger; reads are served from the old key meanwhile). A rotation
+  /// still in flight is drained synchronously first. Returns how many
+  /// blocks were scheduled.
+  std::uint64_t begin_rotation(tenant::TenantId tenant, std::uint32_t new_epoch,
+                               const core::Tpm& tpm, std::uint64_t measurement);
+
+  /// Blocks still resting under `tenant`'s previous key on this shard (0
+  /// when no rotation is in flight here).
+  [[nodiscard]] std::uint64_t rotation_pending(tenant::TenantId tenant) const;
+
+  /// (tenant, epoch) pairs named by the restore blob's rotation records
+  /// (current plus, mid-rotation, old epochs). The service seals keys for
+  /// these handles before calling power_on_tenants. Empty on the fresh path.
+  [[nodiscard]] std::vector<std::pair<tenant::TenantId, std::uint32_t>>
+  restored_epochs() const;
 
   /// Worker side: executes a drained batch in FIFO order under the state
   /// lock, fulfilling every promise (value or exception).
@@ -142,6 +175,30 @@ public:
   [[nodiscard]] fault::FaultInjector* injector() noexcept { return injector_.get(); }
 
 private:
+  /// One tenant's key domain on this shard: the current-epoch controller
+  /// (plus its batched fast path) and, while a rotation drains, the
+  /// previous-epoch controller that still reads the not-yet-re-encrypted
+  /// blocks listed in `rotating`. unique_ptr because Specu binds a reference
+  /// to the shard's Snvmm and is re-created per epoch.
+  struct Domain {
+    std::unique_ptr<core::Specu> specu;        ///< current-epoch controller
+    std::unique_ptr<core::SpecuBatch> batch;   ///< fast path over specu
+    std::unique_ptr<core::Specu> old_specu;    ///< previous epoch, while rotating
+    std::uint32_t key_epoch = 0;
+    std::uint32_t old_key_epoch = 0;
+    std::set<std::uint64_t> rotating;  ///< resting ciphertext still old-epoch
+  };
+
+  /// Serialised rotation state of one domain (appended to save_state blobs
+  /// after the scrub cursor; absent in pre-tenant blobs).
+  struct DomainRecord {
+    tenant::TenantId tenant = 0;
+    std::uint32_t key_epoch = 0;
+    bool old_active = false;
+    std::uint32_t old_key_epoch = 0;
+    std::vector<std::uint64_t> rotating;
+  };
+
   /// Durable state parsed off a save_state() blob, staged so the restore
   /// constructor can initialise members in declaration order.
   struct RestoredState {
@@ -149,6 +206,7 @@ private:
     std::unordered_map<std::uint64_t, QuarantineReason> quarantined;
     std::vector<std::pair<std::uint64_t, std::uint32_t>> remap_table;
     std::uint64_t scrub_cursor = 0;
+    std::vector<DomainRecord> domains;
   };
   [[nodiscard]] static RestoredState read_state(std::istream& in);
   BankShard(unsigned id, const ServiceConfig& config,
@@ -171,6 +229,19 @@ private:
   void refresh_checks(std::uint64_t addr);
   void quarantine(std::uint64_t addr, QuarantineReason reason);
   void backoff(unsigned attempt) const;
+  /// Key domain owning `addr`; nullptr for the default domain (no registry,
+  /// unclaimed address, or domain not powered).
+  [[nodiscard]] Domain* domain_of(std::uint64_t addr);
+  /// Fresh un-powered controller over this shard's array (same mode/PoEs as
+  /// the default specu_).
+  [[nodiscard]] std::unique_ptr<core::Specu> make_domain_specu();
+  /// One step of a rotation drain: decrypt the next `rotating` block under
+  /// the old key (journaled) and re-encrypt it under the current key.
+  /// Returns the drained address; nullopt when no rotation has work.
+  std::optional<std::uint64_t> rotation_drain_one_locked();
+  /// Drops the old-key controller once nothing rests under it any more.
+  void finish_rotation_locked(Domain& domain);
+  [[nodiscard]] core::Specu::Stats specu_stats_locked() const;
   /// Slow-op accounting for one executed request: counter, bounded ring,
   /// optional stderr line. Takes slow_mutex_ (not state_mutex_).
   void note_slow_op(const OpSummary& summary);
@@ -183,6 +254,8 @@ private:
   core::Snvmm memory_;
   core::Specu specu_;
   core::SpecuBatch batch_;  ///< fast path over specu_ (shares all its state)
+  std::map<tenant::TenantId, Domain> domains_;  ///< per-tenant key domains
+  std::vector<DomainRecord> restored_domains_;  ///< consumed by power_on_tenants()
   std::unique_ptr<fault::FaultInjector> injector_;  ///< null = no injection
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> checks_;
   std::unordered_map<std::uint64_t, QuarantineReason> quarantined_;

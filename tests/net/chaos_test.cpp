@@ -213,10 +213,22 @@ TEST(Wire, NonzeroFlagsRejectedPreV3AndUnknownBitsInV3) {
     ASSERT_EQ(decoder.next(out), DecodeStatus::Error) << unsigned{version};
     EXPECT_EQ(decoder.error(), WireErrorCode::ReservedNonzero);
   }
+  {
+    Frame frame = make_ping(1);
+    frame.version = 3;
+    std::vector<std::uint8_t> bytes;
+    append_frame(bytes, frame);
+    bytes[7] = kFlagTenant;  // v4 bit arriving in a v3 frame
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Frame out;
+    ASSERT_EQ(decoder.next(out), DecodeStatus::Error);
+    EXPECT_EQ(decoder.error(), WireErrorCode::ReservedNonzero);
+  }
   Frame frame = make_ping(1);
   std::vector<std::uint8_t> bytes;
   append_frame(bytes, frame);
-  bytes[7] = 0x02;  // unknown v3 flag bit
+  bytes[7] = 0x04;  // unknown even in v4
   FrameDecoder decoder;
   decoder.feed(bytes);
   Frame out;

@@ -134,10 +134,18 @@ TEST(WireCodec, BitFlipCorpusYieldsTypedErrors) {
           ASSERT_EQ(status, DecodeStatus::Error);
           EXPECT_EQ(decoder.error(), WireErrorCode::BadStatus);
         }
-      } else if (byte == 7) {  // v3 flags
+      } else if (byte == 7) {  // flags (v3 deadline bit, v4 tenant bit)
         if ((flipped[byte] & ~kKnownFlags) != 0) {
           ASSERT_EQ(status, DecodeStatus::Error);
           EXPECT_EQ(decoder.error(), WireErrorCode::ReservedNonzero);
+        } else if ((flipped[byte] & kFlagTenant) != 0) {
+          // A lone kFlagTenant bit reinterprets the payload's first 12
+          // bytes as the tenant extension — a structurally valid frame,
+          // but never byte-identical to the original.
+          ASSERT_EQ(status, DecodeStatus::Ok);
+          EXPECT_TRUE(f.has_tenant);
+          EXPECT_EQ(f.payload.size(),
+                    original.payload.size() - kTenantExtBytes);
         } else {
           // A lone kFlagDeadline bit reinterprets the payload's first 8
           // bytes as the deadline extension — still a valid frame, but
@@ -170,6 +178,105 @@ TEST(WireCodec, BitFlipCorpusYieldsTypedErrors) {
       }
     }
   }
+}
+
+// --- wire v4: tenant extension ----------------------------------------------
+
+TEST(WireCodec, TenantExtensionRoundTrips) {
+  Frame frame = make_read_request(77, 0x1234);
+  attach_tenant(frame, 42, 0xFEEDFACECAFEBEEFULL);
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  EXPECT_EQ(bytes[7] & kFlagTenant, kFlagTenant);
+
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame out;
+  ASSERT_EQ(decoder.next(out), DecodeStatus::Ok);
+  EXPECT_EQ(out.version, kWireVersion);
+  ASSERT_TRUE(out.has_tenant);
+  EXPECT_EQ(out.tenant_id, 42u);
+  EXPECT_EQ(out.tenant_token, 0xFEEDFACECAFEBEEFULL);
+  std::uint64_t addr = 0;
+  WireErrorCode err{};
+  ASSERT_TRUE(parse_read_request(out, addr, err)) << "ext must be stripped";
+  EXPECT_EQ(addr, 0x1234u);
+}
+
+TEST(WireCodec, TenantAndDeadlineExtensionsComposeInOrder) {
+  Frame frame = make_write_request(9, 5, std::vector<std::uint8_t>(64, 0x3C));
+  frame.deadline_ms = 250;
+  attach_tenant(frame, 7, 0xA5A5A5A5A5A5A5A5ULL);
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  EXPECT_EQ(bytes[7], kFlagDeadline | kFlagTenant);
+
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame out;
+  ASSERT_EQ(decoder.next(out), DecodeStatus::Ok);
+  EXPECT_EQ(out.deadline_ms, 250u);
+  ASSERT_TRUE(out.has_tenant);
+  EXPECT_EQ(out.tenant_id, 7u);
+  EXPECT_EQ(out.tenant_token, 0xA5A5A5A5A5A5A5A5ULL);
+  std::uint64_t addr = 0;
+  std::span<const std::uint8_t> data;
+  WireErrorCode err{};
+  ASSERT_TRUE(parse_write_request(out, addr, data, err));
+  EXPECT_EQ(addr, 5u);
+  EXPECT_EQ(std::vector<std::uint8_t>(data.begin(), data.end()),
+            std::vector<std::uint8_t>(64, 0x3C));
+}
+
+// Legacy interop: attaching a tenant to a pre-v4 frame must not change a
+// single encoded byte — v1–v3 clients keep talking the exact old wire and
+// are served as the default tenant.
+TEST(WireCodec, PreV4EncodingsAreByteIdenticalWithOrWithoutTenant) {
+  for (const std::uint8_t version : {std::uint8_t{1}, std::uint8_t{2},
+                                     std::uint8_t{3}}) {
+    Frame bare = make_read_request(11, 0xBEEF);
+    bare.version = version;
+    Frame tagged = bare;
+    attach_tenant(tagged, 5, 0x1111111111111111ULL);
+    EXPECT_EQ(encode_frame(bare), encode_frame(tagged))
+        << "v" << unsigned{version};
+
+    FrameDecoder decoder;
+    const std::vector<std::uint8_t> bytes = encode_frame(tagged);
+    decoder.feed(bytes.data(), bytes.size());
+    Frame out;
+    ASSERT_EQ(decoder.next(out), DecodeStatus::Ok);
+    EXPECT_FALSE(out.has_tenant);
+    EXPECT_EQ(out.tenant_id, 0u);
+  }
+}
+
+// A flagless v4 frame differs from its v3 encoding in exactly one byte (the
+// version), so pre-tenant servers and captures stay diffable.
+TEST(WireCodec, FlaglessV4DiffersFromV3OnlyInVersionByte) {
+  Frame v3 = make_ping(123);
+  v3.version = 3;
+  Frame v4 = make_ping(123);
+  v4.version = 4;
+  const std::vector<std::uint8_t> a = encode_frame(v3);
+  const std::vector<std::uint8_t> b = encode_frame(v4);
+  ASSERT_EQ(a.size(), b.size());
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) {
+      EXPECT_EQ(i, 4u) << "only the version byte may differ";
+      ++diffs;
+    }
+  EXPECT_EQ(diffs, 1u);
+}
+
+TEST(WireCodec, TenantFlagWithShortPayloadIsBadPayload) {
+  Frame frame = make_ping(3);  // empty payload
+  std::vector<std::uint8_t> bytes = encode_frame(frame);
+  bytes[7] = kFlagTenant;  // announces 12 ext bytes the payload lacks
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame out;
+  ASSERT_EQ(decoder.next(out), DecodeStatus::Error);
+  EXPECT_EQ(decoder.error(), WireErrorCode::BadPayload);
 }
 
 TEST(WireCodec, FrameOverSizeCapIsTyped) {

@@ -1,0 +1,75 @@
+// Label-cardinality guard (DESIGN.md §15): an unbounded label source — a
+// tenant id echoed from the wire, say — must not grow the registry without
+// bound. Once a family holds series_cap labeled names, new names are
+// refused: counted into spe_obs_dropped_series_total, served by a hidden
+// sink so cached references stay valid, and kept out of the export.
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace spe::obs {
+namespace {
+
+std::string series(unsigned i) {
+  return "spe_test_family{tenant=\"" + std::to_string(i) + "\"}";
+}
+
+TEST(MetricsCardinality, CapRefusesNewSeriesAndCountsDrops) {
+  MetricsRegistry reg;
+  reg.set_series_cap(4);
+  for (unsigned i = 0; i < 4; ++i) reg.counter(series(i)).add(i + 1);
+  EXPECT_EQ(reg.dropped_series(), 0u);
+
+  // Over the cap: the call still returns a usable counter (the sink), but
+  // the name is not registered and the refusal is counted.
+  Counter& sink = reg.counter(series(4));
+  sink.add(100);
+  EXPECT_EQ(reg.dropped_series(), 1u);
+  reg.counter(series(5)).add(1);
+  EXPECT_EQ(reg.dropped_series(), 2u);
+
+  const auto names = reg.names();
+  for (unsigned i = 0; i < 4; ++i)
+    EXPECT_NE(std::find(names.begin(), names.end(), series(i)), names.end()) << i;
+  EXPECT_EQ(std::find(names.begin(), names.end(), series(4)), names.end());
+
+  // The sink's writes never reach the export; the drop counter does.
+  const std::string out = reg.render(MetricsFormat::Prometheus);
+  EXPECT_EQ(out.find("tenant=\"4\""), std::string::npos);
+  EXPECT_NE(out.find("spe_obs_dropped_series_total 2"), std::string::npos);
+}
+
+TEST(MetricsCardinality, ExistingSeriesAlwaysServedAfterCapLowered) {
+  MetricsRegistry reg;
+  reg.set_series_cap(8);
+  for (unsigned i = 0; i < 6; ++i) reg.counter(series(i)).add();
+  reg.set_series_cap(2);  // lowering the cap never evicts existing series
+  for (unsigned i = 0; i < 6; ++i) {
+    reg.counter(series(i)).add();
+    EXPECT_EQ(reg.counter(series(i)).value(), 2u) << i;
+  }
+  EXPECT_EQ(reg.dropped_series(), 0u);
+  reg.counter(series(6)).add();  // but new names are refused
+  EXPECT_EQ(reg.dropped_series(), 1u);
+}
+
+TEST(MetricsCardinality, UnlabeledNamesAndZeroCapAreExempt) {
+  MetricsRegistry reg;
+  reg.set_series_cap(1);
+  // Unlabeled instruments never count against any family's cap.
+  for (unsigned i = 0; i < 8; ++i)
+    reg.counter("spe_test_plain_" + std::to_string(i)).add();
+  EXPECT_EQ(reg.dropped_series(), 0u);
+  // Cap 0 = unlimited.
+  MetricsRegistry open;
+  open.set_series_cap(0);
+  for (unsigned i = 0; i < 64; ++i) open.counter(series(i)).add();
+  EXPECT_EQ(open.dropped_series(), 0u);
+}
+
+}  // namespace
+}  // namespace spe::obs
